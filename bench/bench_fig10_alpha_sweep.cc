@@ -1,0 +1,39 @@
+// Figure 10: sensitivity to the EMA weight alpha (Equation 2), normalized
+// to the default alpha = 1/2, for all six workloads.
+//
+// Expected shape: combining current and historical profiling (alpha between
+// the extremes) is best for most workloads; alpha = 0 (history only) and
+// alpha = 1 (no history) both lose on workloads with drifting hot sets.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workloads/workload_factory.h"
+
+int main() {
+  using namespace mtm;
+  benchutil::PrintHeader("Figure 10", "performance vs EMA weight alpha (normalized to alpha=1/2)");
+
+  const double alphas[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  benchutil::Table table({"workload", "a=0", "a=1/4", "a=1/2", "a=3/4", "a=1"});
+  for (const std::string& workload : AllWorkloadNames()) {
+    double totals[5] = {};
+    for (int i = 0; i < 5; ++i) {
+      ExperimentConfig config = benchutil::DefaultConfig();
+      config.target_accesses = 20'000'000;
+      config.mtm.alpha = alphas[i];
+      RunResult r = RunExperiment(workload, SolutionKind::kMtm, config);
+      totals[i] = ToSeconds(r.total_ns());
+    }
+    double base = totals[2];  // alpha = 1/2
+    table.AddRow({workload, benchutil::Fmt("%.3f", base / totals[0]),
+                  benchutil::Fmt("%.3f", base / totals[1]),
+                  benchutil::Fmt("%.3f", base / totals[2]),
+                  benchutil::Fmt("%.3f", base / totals[3]),
+                  benchutil::Fmt("%.3f", base / totals[4])});
+    std::printf("[%s done]\n", workload.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("values are speedups relative to alpha=1/2 (1.000 = default; <1 = slower)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 4: overall performance of the six Table-2 workloads under
+// first-touch NUMA, HMC (Memory Mode), vanilla and patched tiered-AutoNUMA,
+// AutoTiering, and MTM — execution time normalized to first-touch.
+//
+// Expected shape: MTM is the best (or tied-best) bar on every workload,
+// outperforming the baselines by roughly 15-25% on average; tiered-AutoNUMA
+// is often *worse* than first-touch (profiling + migration overheads exceed
+// the placement gains).
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/workloads/workload_factory.h"
+
+int main() {
+  using namespace mtm;
+  ExperimentConfig config = benchutil::DefaultConfig();
+  benchutil::PrintHeader("Figure 4", "overall execution time, normalized to first-touch NUMA");
+  benchutil::PrintConfig(config);
+
+  std::vector<SolutionKind> solutions = Figure4Solutions();
+  benchutil::Table table({"workload", "first-touch", "hmc", "vanilla-tANUMA", "tiered-ANUMA",
+                          "autotiering", "mtm"});
+
+  double gain_ft = 0.0;
+  double gain_tanuma = 0.0;
+  double gain_at = 0.0;
+  int workload_count = 0;
+  for (const std::string& workload : AllWorkloadNames()) {
+    std::map<SolutionKind, double> seconds;
+    for (SolutionKind kind : solutions) {
+      RunResult r = RunExperiment(workload, kind, config);
+      seconds[kind] = ToSeconds(r.total_ns());
+    }
+    double base = seconds[SolutionKind::kFirstTouch];
+    double mtm = seconds[SolutionKind::kMtm];
+    gain_ft += (base - mtm) / base * 100.0;
+    gain_tanuma += (seconds[SolutionKind::kTieredAutoNuma] - mtm) /
+                   seconds[SolutionKind::kTieredAutoNuma] * 100.0;
+    gain_at += (seconds[SolutionKind::kAutoTiering] - mtm) /
+               seconds[SolutionKind::kAutoTiering] * 100.0;
+    ++workload_count;
+    table.AddRow({workload, benchutil::Fmt("%.2fs", base),
+                  benchutil::Fmt("%.3f", seconds[SolutionKind::kHmc] / base),
+                  benchutil::Fmt("%.3f", seconds[SolutionKind::kVanillaTieredAutoNuma] / base),
+                  benchutil::Fmt("%.3f", seconds[SolutionKind::kTieredAutoNuma] / base),
+                  benchutil::Fmt("%.3f", seconds[SolutionKind::kAutoTiering] / base),
+                  benchutil::Fmt("%.3f", seconds[SolutionKind::kMtm] / base)});
+    std::printf("[%s done]\n", workload.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("MTM average gain: vs first-touch %+.1f%%, vs tiered-AutoNUMA %+.1f%%, "
+              "vs AutoTiering %+.1f%%\n(paper: 22%%, 20%%, 17%% respectively)\n",
+              gain_ft / workload_count, gain_tanuma / workload_count,
+              gain_at / workload_count);
+  return 0;
+}

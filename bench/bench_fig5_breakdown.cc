@@ -1,0 +1,38 @@
+// Figure 5: breakdown of end-to-end time into application execution,
+// profiling, and migration for the four solutions that drive all tiers.
+//
+// Expected shape: profiling stays within the 5% constraint everywhere; MTM
+// spends far less in migration than tiered-AutoNUMA (~3.5x less in the
+// paper) and ~25% less than AutoTiering, with the lowest application time.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workloads/workload_factory.h"
+
+int main() {
+  using namespace mtm;
+  ExperimentConfig config = benchutil::DefaultConfig();
+  benchutil::PrintHeader("Figure 5", "execution-time breakdown (app / profiling / migration), seconds");
+  benchutil::PrintConfig(config);
+
+  std::vector<SolutionKind> solutions = {
+      SolutionKind::kFirstTouch, SolutionKind::kTieredAutoNuma, SolutionKind::kAutoTiering,
+      SolutionKind::kMtm};
+
+  benchutil::Table table(
+      {"workload", "solution", "app(s)", "profiling(s)", "migration(s)", "total(s)"});
+  for (const std::string& workload : AllWorkloadNames()) {
+    for (SolutionKind kind : solutions) {
+      RunResult r = RunExperiment(workload, kind, config);
+      table.AddRow({workload, SolutionKindName(kind),
+                    benchutil::Fmt("%.3f", ToSeconds(r.app_ns)),
+                    benchutil::Fmt("%.3f", ToSeconds(r.profiling_ns)),
+                    benchutil::Fmt("%.3f", ToSeconds(r.migration_ns)),
+                    benchutil::Fmt("%.3f", ToSeconds(r.total_ns()))});
+    }
+    std::printf("[%s done]\n", workload.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 7: contribution of each MTM technique, evaluated on VoltDB.
+//
+//  * Thermostat / tiered-AutoNUMA profilers paired with MTM's policy and
+//    migration (isolating profiling quality);
+//  * MTM without adaptive memory regions (AMR), without PEBS assistance,
+//    without adaptive page sampling (APS), without overhead control (OC),
+//    and without asynchronous migration.
+//
+// Expected shape: full MTM is fastest; each removed technique costs
+// performance (paper: 22% w/o AMR, 21% w/o APS, ~11% w/o PEBS, 3x the
+// profiling time w/o OC, +60% exposed migration w/o async).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workloads/workload_factory.h"
+
+int main() {
+  using namespace mtm;
+  ExperimentConfig base = benchutil::DefaultConfig();
+  benchutil::PrintHeader("Figure 7", "MTM technique ablations on VoltDB (seconds)");
+  benchutil::PrintConfig(base);
+
+  benchutil::Table table({"variant", "app(s)", "profiling(s)", "migration(s)", "total(s)",
+                          "vs mtm"});
+  double mtm_total = 0.0;
+
+  auto run = [&](const char* name, SolutionKind kind, ExperimentConfig config) {
+    RunResult r = RunExperiment("voltdb", kind, config);
+    double total = ToSeconds(r.total_ns());
+    if (mtm_total == 0.0) {
+      mtm_total = total;
+    }
+    table.AddRow({name, benchutil::Fmt("%.3f", ToSeconds(r.app_ns)),
+                  benchutil::Fmt("%.3f", ToSeconds(r.profiling_ns)),
+                  benchutil::Fmt("%.3f", ToSeconds(r.migration_ns)),
+                  benchutil::Fmt("%.3f", total),
+                  benchutil::Fmt("%+.1f%%", (total - mtm_total) / mtm_total * 100.0)});
+    std::printf("[%s done]\n", name);
+  };
+
+  run("mtm (full)", SolutionKind::kMtm, base);
+  run("thermostat-prof + mtm-mig", SolutionKind::kThermostatProfilerMtmMigration, base);
+  run("autonuma-prof + mtm-mig", SolutionKind::kAutoNumaProfilerMtmMigration, base);
+
+  ExperimentConfig config = base;
+  config.mtm.adaptive_regions = false;
+  run("mtm w/o AMR", SolutionKind::kMtm, config);
+
+  config = base;
+  config.mtm.use_pebs = false;
+  run("mtm w/o PEBS", SolutionKind::kMtm, config);
+
+  config = base;
+  config.mtm.adaptive_sampling = false;
+  run("mtm w/o APS", SolutionKind::kMtm, config);
+
+  config = base;
+  config.mtm.overhead_control = false;
+  config.mtm.tau_m = 0.0;  // §9.3: tau_m = tau_s = 0, no merging/splitting control
+  config.mtm.tau_s = 0.0;
+  run("mtm w/o OC", SolutionKind::kMtm, config);
+
+  config = base;
+  config.mtm.mechanism = MechanismKind::kMmrSync;
+  run("mtm w/o async migration", SolutionKind::kMtm, config);
+
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

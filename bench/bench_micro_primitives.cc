@@ -1,0 +1,115 @@
+// Google-benchmark microbenchmarks of the substrate's hot primitives: page
+// table walks, PTE scans, access application, histogram updates, and
+// workload generation. These quantify the §3 motivation numbers (e.g. what
+// a full PTE scan of a large table costs) on the simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/mem/placement.h"
+#include "src/sim/access_engine.h"
+#include "src/workloads/gups.h"
+
+namespace mtm {
+namespace {
+
+constexpr VirtAddr kBase = 0x5500'0000'0000ull;
+
+void BM_PageTableWalk(benchmark::State& state) {
+  PageTable pt;
+  const u64 pages = 1 << 16;
+  MTM_CHECK(pt.MapRange(kBase, pages * kPageSize, 0, false).ok());
+  Rng rng(1);
+  for (auto _ : state) {
+    VirtAddr addr = kBase + AddrOfVpn(rng.NextBounded(pages));
+    benchmark::DoNotOptimize(pt.Find(addr));
+  }
+}
+BENCHMARK(BM_PageTableWalk);
+
+void BM_PteScan(benchmark::State& state) {
+  PageTable pt;
+  const u64 pages = 1 << 16;
+  MTM_CHECK(pt.MapRange(kBase, pages * kPageSize, 0, false).ok());
+  Rng rng(1);
+  bool accessed = false;
+  for (auto _ : state) {
+    VirtAddr addr = kBase + AddrOfVpn(rng.NextBounded(pages));
+    benchmark::DoNotOptimize(pt.ScanAccessed(addr, &accessed));
+  }
+}
+BENCHMARK(BM_PteScan);
+
+void BM_FullTableScan(benchmark::State& state) {
+  // The §3 motivation: scanning every PTE of a large mapping.
+  PageTable pt;
+  const u64 bytes = MiB(static_cast<u64>(state.range(0)));
+  MTM_CHECK(pt.MapRange(kBase, bytes, 0, false).ok());
+  for (auto _ : state) {
+    u64 visited = 0;
+    pt.ForEachMapping(kBase, bytes, [&](VirtAddr, u64, Pte&) { ++visited; });
+    benchmark::DoNotOptimize(visited);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(bytes / kPageSize));
+}
+BENCHMARK(BM_FullTableScan)->Arg(64)->Arg(256);
+
+void BM_AccessEngineApply(benchmark::State& state) {
+  Machine machine = Machine::OptaneFourTier(512);
+  SimClock clock;
+  PageTable pt;
+  AddressSpace as;
+  FrameAllocator frames(machine);
+  MemCounters counters(machine.num_components());
+  AccessEngine engine(machine, pt, clock, counters, AccessEngine::Config{});
+  u32 vma = as.Allocate(MiB(64), true, "bench");
+  PlacementFaultHandler handler(machine, pt, frames, as, PlacementPolicy::kFirstTouch);
+  engine.set_fault_handler(&handler);
+  VirtAddr start = as.vma(vma).start;
+  Rng rng(1);
+  for (auto _ : state) {
+    engine.Apply(start + (rng.Next() & (MiB(64) - 1) & ~u64{7}), false, 0);
+  }
+}
+BENCHMARK(BM_AccessEngineApply);
+
+void BM_HistogramUpdate(benchmark::State& state) {
+  BucketedHistogram<u64> hist(0.0, 3.0, 16);
+  Rng rng(1);
+  u64 id = 0;
+  for (auto _ : state) {
+    hist.Update(id++ % 4096, rng.NextDouble() * 3.0);
+  }
+}
+BENCHMARK(BM_HistogramUpdate);
+
+void BM_GupsBatch(benchmark::State& state) {
+  Workload::Params params;
+  params.footprint_bytes = MiB(256);
+  params.seed = 1;
+  GupsWorkload gups(params);
+  AddressSpace as;
+  gups.Build(as);
+  std::vector<MemAccess> buf(2048);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gups.NextBatch(buf.data(), 2048));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 2048);
+}
+BENCHMARK(BM_GupsBatch);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(1'000'000, 0.99);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace mtm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Example: plugging a custom tiering policy and a custom workload into the
+// framework — the extension points a downstream user would touch.
+//
+// The custom policy is a deliberately simple "hot-threshold" policy:
+// promote any region above a fixed WHI threshold to the fastest tier with
+// space, demote nothing explicitly (reclaim handles pressure). The example
+// runs it head-to-head against MTM's histogram policy on the same workload
+// to show why the paper's global-ranking design matters.
+//
+//   ./build/examples/custom_policy
+#include <cstdio>
+#include <memory>
+
+#include "src/common/units.h"
+#include "src/core/driver.h"
+#include "src/core/solution.h"
+#include "src/workloads/gups.h"
+#include "src/workloads/workload_factory.h"
+
+namespace {
+
+using namespace mtm;
+
+// A minimal user-defined policy: fixed threshold, no ranking, no planned
+// demotion.
+class ThresholdPolicy : public TieringPolicy {
+ public:
+  ThresholdPolicy(double threshold, u64 budget) : threshold_(threshold), budget_(budget) {}
+
+  std::string name() const override { return "threshold-policy"; }
+
+  std::vector<MigrationOrder> Decide(const ProfileOutput& profile,
+                                     PolicyContext& ctx) override {
+    std::vector<MigrationOrder> orders;
+    i64 budget = static_cast<i64>(budget_);
+    for (const HotnessEntry& e : profile.entries) {
+      if (budget <= 0) {
+        break;
+      }
+      if (e.hotness < threshold_) {
+        continue;
+      }
+      const Pte* pte = ctx.page_table->Find(e.start);
+      if (pte == nullptr) {
+        continue;
+      }
+      u32 rank = ctx.machine->TierRank(e.preferred_socket, pte->component);
+      if (rank == 0) {
+        continue;
+      }
+      // Fastest tier with free space right now.
+      for (u32 target = 0; target < rank; ++target) {
+        ComponentId dst = ctx.machine->TierOrder(e.preferred_socket)[target];
+        if (ctx.frames->free_bytes(dst) >= e.len) {
+          orders.push_back(MigrationOrder{e.start, e.len, dst, e.preferred_socket});
+          budget -= static_cast<i64>(e.len);
+          break;
+        }
+      }
+    }
+    return orders;
+  }
+
+ private:
+  double threshold_;
+  u64 budget_;
+};
+
+// Runs GUPS under a Solution whose policy we overwrite after construction
+// is not supported by the public API by design (policies are part of the
+// solution definition); instead we drive the loop ourselves — which is also
+// how embedders integrate MTM's components into their own runtimes.
+double RunWithPolicy(TieringPolicy* policy, const ExperimentConfig& config) {
+  Workload::Params params;
+  params.footprint_bytes = kGupsFootprint / config.sim_scale;
+  params.num_threads = config.num_threads;
+  params.seed = config.seed;
+  GupsWorkload gups(params);
+  Solution solution(SolutionKind::kMtm, config, gups);
+
+  PolicyContext ctx;
+  ctx.machine = &solution.machine();
+  ctx.page_table = &solution.page_table();
+  ctx.frames = &solution.frames();
+
+  std::vector<MemAccess> buf(2048);
+  const SimNanos interval_ns = config.IntervalNs();
+  u64 accesses = 0;
+  for (u32 interval = 0; interval < config.num_intervals; ++interval) {
+    if (accesses >= config.target_accesses) {
+      break;
+    }
+    solution.profiler()->OnIntervalStart();
+    SimNanos start = solution.clock().now();
+    for (u32 tick = 0; tick < 3; ++tick) {
+      SimNanos tick_end = start + (tick + 1) * interval_ns / 3;
+      while (solution.clock().now() < tick_end) {
+        u32 n = gups.NextBatch(buf.data(), buf.size());
+        for (u32 i = 0; i < n; ++i) {
+          solution.engine().Apply(buf[i].addr, buf[i].is_write,
+                                  solution.SocketOfThread(buf[i].thread));
+        }
+        accesses += n;
+        solution.migration()->Poll();
+      }
+      solution.profiler()->OnScanTick(tick);
+    }
+    ProfileOutput out = solution.profiler()->OnIntervalEnd();
+    solution.clock().AdvanceProfiling(out.profiling_cost_ns);
+    TieringPolicy* active = policy != nullptr ? policy : solution.policy();
+    for (const MigrationOrder& order : active->Decide(out, ctx)) {
+      solution.migration()->Submit(order);
+    }
+  }
+  solution.migration()->Flush();
+  return ToSeconds(solution.clock().now());
+}
+
+}  // namespace
+
+int main() {
+  ExperimentConfig config;
+  config.sim_scale = 512;
+  config.num_intervals = 400;
+  config.target_accesses = 20'000'000;
+
+  std::printf("Custom-policy example: fixed-threshold policy vs MTM's histogram policy\n\n");
+
+  ThresholdPolicy threshold(/*threshold=*/1.5, config.PromoteBatchBytes());
+  double custom_s = RunWithPolicy(&threshold, config);
+  std::printf("threshold-policy : %.3fs\n", custom_s);
+
+  double mtm_s = RunWithPolicy(nullptr, config);
+  std::printf("mtm-policy       : %.3fs\n", mtm_s);
+
+  std::printf("\nThe histogram policy ranks *all* regions globally and demotes the\n"
+              "coldest to make room, so it keeps winning once the fast tier fills —\n"
+              "the fixed threshold stalls when tier 1 has no free space.\n");
+  std::printf("mtm vs custom: %.1f%% faster\n", (custom_s - mtm_s) / custom_s * 100.0);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Minimal command-line flag parsing for the tools: --key=value and --key
+// boolean forms. No global registry; call sites query by name.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace mtm {
+
+class FlagSet {
+ public:
+  FlagSet(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      arg = arg.substr(2);
+      std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_.emplace_back(arg, "true");
+      } else {
+        flags_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      }
+    }
+  }
+
+  std::optional<std::string> Get(const std::string& name) const {
+    for (const auto& [key, value] : flags_) {
+      if (key == name) {
+        return value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::string GetString(const std::string& name, const std::string& fallback) const {
+    return Get(name).value_or(fallback);
+  }
+
+  u64 GetU64(const std::string& name, u64 fallback) const {
+    auto v = Get(name);
+    return v ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto v = Get(name);
+    return v ? std::strtod(v->c_str(), nullptr) : fallback;
+  }
+
+  bool GetBool(const std::string& name, bool fallback) const {
+    auto v = Get(name);
+    if (!v) {
+      return fallback;
+    }
+    return *v == "true" || *v == "1" || *v == "yes";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,124 @@
+// Bucketed histogram used by the MTM migration policy (§6.1 of the paper):
+// "MTM builds a histogram to get the distribution of EMA of all regions. The
+// histogram segments the range of EMA values into buckets, and tracks how
+// many and what regions fall into each bucket."
+//
+// BucketedHistogram<T> keys arbitrary items by a double score into a fixed
+// number of equal-width buckets over [min, max]; items can be updated
+// incrementally as new scores arrive, and enumerated from the hottest bucket
+// downward (promotion) or the coldest upward (demotion).
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/types.h"
+
+namespace mtm {
+
+template <typename ItemId>
+class BucketedHistogram {
+ public:
+  BucketedHistogram(double min_value, double max_value, u32 num_buckets)
+      : min_(min_value), max_(max_value), buckets_(num_buckets) {
+    MTM_CHECK_GT(num_buckets, 0u);
+    MTM_CHECK_LT(min_value, max_value);
+  }
+
+  u32 num_buckets() const { return static_cast<u32>(buckets_.size()); }
+
+  u32 BucketFor(double value) const {
+    if (value <= min_) {
+      return 0;
+    }
+    if (value >= max_) {
+      return num_buckets() - 1;
+    }
+    double frac = (value - min_) / (max_ - min_);
+    u32 b = static_cast<u32>(frac * num_buckets());
+    return std::min(b, num_buckets() - 1);
+  }
+
+  // Inserts or moves `item` to the bucket for `value`. O(1) amortized plus
+  // O(bucket) for removal from its previous bucket.
+  void Update(ItemId item, double value) {
+    auto it = position_.find(item);
+    u32 target = BucketFor(value);
+    if (it != position_.end()) {
+      if (it->second == target) {
+        return;
+      }
+      RemoveFromBucket(item, it->second);
+      it->second = target;
+    } else {
+      position_.emplace(item, target);
+    }
+    buckets_[target].push_back(item);
+  }
+
+  void Remove(ItemId item) {
+    auto it = position_.find(item);
+    if (it == position_.end()) {
+      return;
+    }
+    RemoveFromBucket(item, it->second);
+    position_.erase(it);
+  }
+
+  bool Contains(ItemId item) const { return position_.count(item) > 0; }
+
+  std::size_t size() const { return position_.size(); }
+
+  const std::vector<ItemId>& bucket(u32 index) const {
+    MTM_CHECK_LT(index, num_buckets());
+    return buckets_[index];
+  }
+
+  // Items ordered from the hottest bucket down. Within a bucket, insertion
+  // order is preserved.
+  std::vector<ItemId> HottestFirst() const {
+    std::vector<ItemId> out;
+    out.reserve(position_.size());
+    for (u32 b = num_buckets(); b-- > 0;) {
+      for (const ItemId& item : buckets_[b]) {
+        out.push_back(item);
+      }
+    }
+    return out;
+  }
+
+  std::vector<ItemId> ColdestFirst() const {
+    std::vector<ItemId> out;
+    out.reserve(position_.size());
+    for (u32 b = 0; b < num_buckets(); ++b) {
+      for (const ItemId& item : buckets_[b]) {
+        out.push_back(item);
+      }
+    }
+    return out;
+  }
+
+  void Clear() {
+    for (auto& bucket : buckets_) {
+      bucket.clear();
+    }
+    position_.clear();
+  }
+
+ private:
+  void RemoveFromBucket(const ItemId& item, u32 bucket) {
+    auto& vec = buckets_[bucket];
+    auto pos = std::find(vec.begin(), vec.end(), item);
+    MTM_CHECK(pos != vec.end());
+    vec.erase(pos);
+  }
+
+  double min_;
+  double max_;
+  std::vector<std::vector<ItemId>> buckets_;
+  std::unordered_map<ItemId, u32> position_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,62 @@
+// Minimal logging and invariant-checking facility.
+//
+// CHECK-style macros abort on violated invariants; they are used for
+// programmer errors, never for recoverable conditions (those return Status).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mtm {
+
+enum class LogLevel { kDebug, kInfo, kWarning, kError };
+
+// Global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the message is disabled.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace log_internal
+}  // namespace mtm
+
+#define MTM_LOG(level)                                                                 \
+  ::mtm::log_internal::LogMessage(::mtm::LogLevel::k##level, __FILE__, __LINE__)
+
+#define MTM_CHECK(cond)                                                                \
+  (cond) ? (void)0                                                                     \
+         : ::mtm::log_internal::Voidify() &                                            \
+               ::mtm::log_internal::LogMessage(::mtm::LogLevel::kError, __FILE__,      \
+                                               __LINE__, /*fatal=*/true)               \
+                   << "CHECK failed: " #cond " "
+
+#define MTM_CHECK_EQ(a, b) MTM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MTM_CHECK_NE(a, b) MTM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MTM_CHECK_LT(a, b) MTM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MTM_CHECK_LE(a, b) MTM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MTM_CHECK_GT(a, b) MTM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MTM_CHECK_GE(a, b) MTM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "

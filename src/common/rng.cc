@@ -1,0 +1,53 @@
+#include "src/common/rng.h"
+
+namespace mtm {
+namespace {
+
+double Zeta(u64 n, double theta) {
+  double sum = 0.0;
+  for (u64 i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+// For large n, computing zeta exactly is O(n); use the standard incremental
+// approximation used by YCSB for n above a threshold.
+double ZetaApprox(u64 n, double theta) {
+  constexpr u64 kExactLimit = 1'000'000;
+  if (n <= kExactLimit) {
+    return Zeta(n, theta);
+  }
+  double zeta = Zeta(kExactLimit, theta);
+  // Integral approximation of the tail sum_{i=L+1}^{n} i^-theta.
+  double a = 1.0 - theta;
+  zeta += (std::pow(static_cast<double>(n), a) - std::pow(static_cast<double>(kExactLimit), a)) / a;
+  return zeta;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(u64 n, double theta) : n_(n), theta_(theta) {
+  MTM_CHECK_GT(n, 0ull);
+  MTM_CHECK_GT(theta, 0.0);
+  MTM_CHECK_LT(theta, 1.0);
+  zetan_ = ZetaApprox(n, theta);
+  zeta2_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2_ / zetan_);
+}
+
+u64 ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  u64 v = static_cast<u64>(static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace mtm

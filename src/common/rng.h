@@ -1,0 +1,123 @@
+// Deterministic pseudo-random number generation and the samplers the
+// workload generators need (uniform, zipfian, gaussian).
+//
+// Every simulation component takes an explicit seed so experiments are
+// reproducible run-to-run; nothing reads global entropy.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/types.h"
+
+namespace mtm {
+
+// SplitMix64: used to seed and to hash seeds into streams.
+inline u64 SplitMix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: fast, high-quality generator for the access-stream hot path.
+class Rng {
+ public:
+  explicit Rng(u64 seed) {
+    u64 sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  u64 Next() {
+    const u64 result = Rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  u64 NextBounded(u64 bound) {
+    MTM_CHECK_GT(bound, 0ull);
+    // Multiply-shift rejection-free mapping (slightly biased for huge bounds;
+    // fine for simulation workloads).
+    return static_cast<u64>((static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  // Standard normal via Box-Muller (no cached second value for simplicity).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+ private:
+  static u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  u64 state_[4];
+};
+
+// Zipfian sampler over [0, n) using the Gray/YCSB rejection-inversion-free
+// approximation. theta in (0, 1); YCSB uses 0.99.
+class ZipfSampler {
+ public:
+  ZipfSampler(u64 n, double theta);
+
+  u64 Sample(Rng& rng) const;
+
+  u64 n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  u64 n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+// Samples page indices from a (truncated, discretized) Gaussian centered at
+// `mean_index` with standard deviation `stddev_indices` over [0, n).
+// Used by GUPS ground truth ("hotness follows a Gaussian distribution").
+class GaussianIndexSampler {
+ public:
+  GaussianIndexSampler(u64 n, double mean_index, double stddev_indices)
+      : n_(n), mean_(mean_index), stddev_(stddev_indices) {
+    MTM_CHECK_GT(n, 0ull);
+  }
+
+  u64 Sample(Rng& rng) const {
+    // Rejection-sample until inside [0, n).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      double x = mean_ + rng.NextGaussian() * stddev_;
+      if (x >= 0.0 && x < static_cast<double>(n_)) {
+        return static_cast<u64>(x);
+      }
+    }
+    return rng.NextBounded(n_);
+  }
+
+ private:
+  u64 n_;
+  double mean_;
+  double stddev_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,87 @@
+// Small statistics accumulators used by reports and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/types.h"
+
+namespace mtm {
+
+// Welford running mean/variance.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  u64 count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+// Exponential moving average of a scalar, Equation 2 of the paper:
+//   WHI_i = alpha * HI_i + (1 - alpha) * WHI_{i-1}
+// The first observation initializes the average directly.
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {
+    MTM_CHECK_GE(alpha, 0.0);
+    MTM_CHECK_LE(alpha, 1.0);
+  }
+
+  double Update(double value) {
+    if (!initialized_) {
+      value_ = value;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * value + (1.0 - alpha_) * value_;
+    }
+    return value_;
+  }
+
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Exact percentile over a stored sample set (used in tests/benches only, not
+// on hot paths).
+inline double Percentile(std::vector<double> values, double p) {
+  MTM_CHECK(!values.empty());
+  MTM_CHECK_GE(p, 0.0);
+  MTM_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  std::size_t low = static_cast<std::size_t>(rank);
+  std::size_t high = std::min(low + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(low);
+  return values[low] * (1.0 - frac) + values[high] * frac;
+}
+
+}  // namespace mtm

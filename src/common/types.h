@@ -1,0 +1,45 @@
+// Core integer and address types shared by every mtm module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mtm {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+// A simulated virtual address. The simulator models a 48-bit canonical
+// address space, matching the four-level/five-level x86-64 layout the paper
+// profiles with PTE scans.
+using VirtAddr = u64;
+
+// A virtual page number: VirtAddr >> kPageShift.
+using Vpn = u64;
+
+// Simulated time in nanoseconds.
+using SimNanos = u64;
+
+inline constexpr u64 kPageShift = 12;
+inline constexpr u64 kPageSize = u64{1} << kPageShift;  // 4 KiB base page.
+inline constexpr u64 kHugePageShift = 21;
+inline constexpr u64 kHugePageSize = u64{1} << kHugePageShift;  // 2 MiB huge page.
+inline constexpr u64 kPagesPerHugePage = kHugePageSize / kPageSize;  // 512.
+
+inline constexpr Vpn VpnOf(VirtAddr addr) { return addr >> kPageShift; }
+inline constexpr VirtAddr AddrOfVpn(Vpn vpn) { return vpn << kPageShift; }
+inline constexpr VirtAddr PageAlignDown(VirtAddr addr) { return addr & ~(kPageSize - 1); }
+inline constexpr VirtAddr PageAlignUp(VirtAddr addr) {
+  return (addr + kPageSize - 1) & ~(kPageSize - 1);
+}
+inline constexpr VirtAddr HugeAlignDown(VirtAddr addr) { return addr & ~(kHugePageSize - 1); }
+inline constexpr VirtAddr HugeAlignUp(VirtAddr addr) {
+  return (addr + kHugePageSize - 1) & ~(kHugePageSize - 1);
+}
+inline constexpr bool IsHugeAligned(VirtAddr addr) { return (addr & (kHugePageSize - 1)) == 0; }
+inline constexpr bool IsPageAligned(VirtAddr addr) { return (addr & (kPageSize - 1)) == 0; }
+
+}  // namespace mtm

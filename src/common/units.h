@@ -1,0 +1,26 @@
+// Byte-size and time-unit helpers so configuration reads like the paper
+// ("96GB DRAM", "10 second profiling interval", "90ns latency").
+#pragma once
+
+#include "src/common/types.h"
+
+namespace mtm {
+
+inline constexpr u64 KiB(u64 n) { return n << 10; }
+inline constexpr u64 MiB(u64 n) { return n << 20; }
+inline constexpr u64 GiB(u64 n) { return n << 30; }
+inline constexpr u64 TiB(u64 n) { return n << 40; }
+
+inline constexpr SimNanos Nanos(u64 n) { return n; }
+inline constexpr SimNanos Micros(u64 n) { return n * 1000ull; }
+inline constexpr SimNanos Millis(u64 n) { return n * 1000'000ull; }
+inline constexpr SimNanos Seconds(u64 n) { return n * 1000'000'000ull; }
+
+inline constexpr double ToSeconds(SimNanos ns) { return static_cast<double>(ns) / 1e9; }
+inline constexpr double ToMillis(SimNanos ns) { return static_cast<double>(ns) / 1e6; }
+inline constexpr double ToMicros(SimNanos ns) { return static_cast<double>(ns) / 1e3; }
+
+inline constexpr double ToMiB(u64 bytes) { return static_cast<double>(bytes) / (1 << 20); }
+inline constexpr double ToGiB(u64 bytes) { return static_cast<double>(bytes) / (1 << 30); }
+
+}  // namespace mtm

@@ -1,0 +1,160 @@
+#include "src/core/driver.h"
+
+#include <array>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/workloads/workload_factory.h"
+
+namespace mtm {
+
+RunResult RunSimulation(Workload& workload, Solution& solution,
+                        const ExperimentConfig& config, const RunOptions& options) {
+  RunResult result;
+  result.solution = solution.name();
+  result.workload = workload.name();
+  result.footprint_bytes = workload.params().footprint_bytes;
+
+  const SimNanos interval_ns = config.IntervalNs();
+  const u32 ticks = std::max<u32>(1, config.mtm.num_scans);
+  SimClock& clock = solution.clock();
+  AccessEngine& engine = solution.engine();
+  MemCounters& counters = solution.counters();
+
+  PolicyContext ctx;
+  ctx.machine = &solution.machine();
+  ctx.page_table = &solution.page_table();
+  ctx.frames = &solution.frames();
+
+  constexpr u32 kBatch = 2048;
+  std::array<MemAccess, kBatch> batch;
+
+  // Application initialization: fault the working set in address order, as
+  // real initialization loops do. This is where first-touch placement
+  // decisions happen; the access-phase hot set has no influence on them.
+  {
+    u32 rr = 0;
+    for (const Vma& vma : solution.address_space().vmas()) {
+      if (!vma.prefault) {
+        continue;  // grows at runtime (e.g. append-only history)
+      }
+      const u64 step = vma.thp ? kHugePageSize : kPageSize;
+      for (VirtAddr addr = vma.start; addr < vma.end(); addr += step) {
+        engine.Apply(addr, /*is_write=*/true, solution.SocketOfThread(rr++));
+      }
+    }
+    solution.tracker().ResetEpoch();
+    // Initialization leaves every accessed bit set; clear them so the first
+    // profiling interval observes the access phase, not the init loop.
+    for (const Vma& vma : solution.address_space().vmas()) {
+      solution.page_table().ForEachMapping(vma.start, vma.len, [](VirtAddr, u64, Pte& pte) {
+        pte.Clear(Pte::kAccessed);
+        pte.Clear(Pte::kDirty);
+      });
+    }
+  }
+
+  u64 fast_tier_accesses_prev = 0;
+  const ComponentId fast_tier = solution.machine().TierOrder(0)[0];
+
+  RunningStats hot_bytes_stats;
+  RunningStats merged_stats;
+  RunningStats split_stats;
+  RunningStats regions_stats;
+
+  for (u32 interval = 0; interval < config.num_intervals; ++interval) {
+    if (config.target_accesses != 0 && result.total_accesses >= config.target_accesses) {
+      break;
+    }
+    if (solution.profiler() != nullptr) {
+      solution.profiler()->OnIntervalStart();
+    }
+    const SimNanos interval_start = clock.now();
+    for (u32 tick = 0; tick < ticks; ++tick) {
+      const SimNanos tick_end =
+          interval_start + (static_cast<u64>(tick) + 1) * interval_ns / ticks;
+      while (clock.now() < tick_end) {
+        u32 n = workload.NextBatch(batch.data(), kBatch);
+        for (u32 i = 0; i < n; ++i) {
+          engine.Apply(batch[i].addr, batch[i].is_write,
+                       solution.SocketOfThread(batch[i].thread));
+        }
+        result.total_accesses += n;
+        if (solution.migration() != nullptr) {
+          solution.migration()->Poll();
+        }
+      }
+      if (solution.profiler() != nullptr) {
+        solution.profiler()->OnScanTick(tick);
+      }
+    }
+
+    IntervalRecord record;
+    record.fast_tier_accesses = counters.app_accesses(fast_tier) - fast_tier_accesses_prev;
+    fast_tier_accesses_prev = counters.app_accesses(fast_tier);
+
+    if (solution.profiler() != nullptr) {
+      ProfileOutput profile = solution.profiler()->OnIntervalEnd();
+      clock.AdvanceProfiling(profile.profiling_cost_ns);
+      if (options.evaluate_quality) {
+        std::vector<HotRange> truth = workload.TrueHotRanges();
+        if (!truth.empty()) {
+          record.quality = Oracle::Evaluate(std::move(truth), profile);
+        }
+      }
+      record.hot_bytes = profile.hot_bytes;
+      record.regions_merged = profile.regions_merged;
+      record.regions_split = profile.regions_split;
+      record.num_regions = profile.num_regions;
+      hot_bytes_stats.Add(static_cast<double>(profile.hot_bytes));
+      merged_stats.Add(static_cast<double>(profile.regions_merged));
+      split_stats.Add(static_cast<double>(profile.regions_split));
+      regions_stats.Add(static_cast<double>(profile.num_regions));
+
+      if (solution.policy() != nullptr && solution.migration() != nullptr) {
+        std::vector<MigrationOrder> orders = solution.policy()->Decide(profile, ctx);
+        for (const MigrationOrder& order : orders) {
+          solution.migration()->Submit(order);
+        }
+      }
+    }
+    record.end_time_ns = clock.now();
+    if (options.record_intervals) {
+      result.intervals.push_back(record);
+    }
+    solution.tracker().ResetEpoch();
+  }
+
+  if (solution.migration() != nullptr) {
+    solution.migration()->Flush();
+    result.migration_stats = solution.migration()->stats();
+  }
+  result.app_ns = clock.app_ns();
+  result.profiling_ns = clock.profiling_ns();
+  result.migration_ns = clock.migration_ns();
+  for (u32 c = 0; c < solution.machine().num_components(); ++c) {
+    result.component_app_accesses.push_back(counters.app_accesses(c));
+  }
+  if (solution.profiler() != nullptr) {
+    result.profiler_memory_bytes = solution.profiler()->MemoryOverheadBytes();
+  }
+  result.avg_hot_bytes = hot_bytes_stats.mean();
+  result.avg_regions_merged = merged_stats.mean();
+  result.avg_regions_split = split_stats.mean();
+  result.avg_num_regions = regions_stats.mean();
+  return result;
+}
+
+RunResult RunExperiment(const std::string& workload_name, SolutionKind kind,
+                        const ExperimentConfig& config, const RunOptions& options) {
+  std::unique_ptr<Workload> workload =
+      MakeWorkload(workload_name, config.sim_scale, config.num_threads, config.seed);
+  Solution solution(kind, config, *workload);
+  if (solution.profiler() == nullptr && kind != SolutionKind::kFirstTouch &&
+      kind != SolutionKind::kHmc) {
+    MTM_CHECK(false) << "solution missing profiler";
+  }
+  return RunSimulation(*workload, solution, config, options);
+}
+
+}  // namespace mtm

@@ -1,0 +1,69 @@
+// The simulation driver: runs a workload under a solution for a number of
+// profiling intervals, orchestrating the §8 daemon loop — profile at scan
+// ticks, decide at interval end, migrate — and collecting everything the
+// paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/solution.h"
+#include "src/migration/migration_engine.h"
+#include "src/profiling/oracle.h"
+#include "src/workloads/workload.h"
+
+namespace mtm {
+
+struct IntervalRecord {
+  SimNanos end_time_ns = 0;
+  ProfilingQuality quality;  // populated when the workload has ground truth
+  u64 hot_bytes = 0;
+  u64 fast_tier_accesses = 0;  // app accesses to tier 1 (socket-0 view)
+  u64 regions_merged = 0;
+  u64 regions_split = 0;
+  u64 num_regions = 0;
+};
+
+struct RunResult {
+  std::string solution;
+  std::string workload;
+
+  SimNanos app_ns = 0;
+  SimNanos profiling_ns = 0;
+  SimNanos migration_ns = 0;
+  u64 total_accesses = 0;
+
+  std::vector<u64> component_app_accesses;  // per component, app only
+  MigrationStats migration_stats;
+  u64 profiler_memory_bytes = 0;
+  u64 footprint_bytes = 0;
+
+  double avg_hot_bytes = 0.0;
+  double avg_regions_merged = 0.0;
+  double avg_regions_split = 0.0;
+  double avg_num_regions = 0.0;
+
+  std::vector<IntervalRecord> intervals;  // populated when record_intervals
+
+  SimNanos total_ns() const { return app_ns + profiling_ns + migration_ns; }
+  double AccessesPerSecond() const {
+    return total_ns() == 0 ? 0.0
+                           : static_cast<double>(total_accesses) /
+                                 (static_cast<double>(total_ns()) / 1e9);
+  }
+};
+
+struct RunOptions {
+  bool record_intervals = false;
+  bool evaluate_quality = false;  // per-interval oracle recall/accuracy
+};
+
+RunResult RunSimulation(Workload& workload, Solution& solution,
+                        const ExperimentConfig& config, const RunOptions& options = {});
+
+// Convenience: build the workload + solution and run.
+RunResult RunExperiment(const std::string& workload_name, SolutionKind kind,
+                        const ExperimentConfig& config, const RunOptions& options = {});
+
+}  // namespace mtm

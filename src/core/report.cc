@@ -1,0 +1,113 @@
+#include "src/core/report.h"
+
+#include <sstream>
+
+#include "src/common/units.h"
+
+namespace mtm {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CsvHeader() {
+  return "workload,solution,app_s,profiling_s,migration_s,total_s,accesses,"
+         "migrated_bytes,failed_bytes,sync_fallbacks,reclaim_demotions,"
+         "profiler_memory_bytes,avg_regions,avg_hot_bytes";
+}
+
+std::string CsvRow(const RunResult& r) {
+  std::ostringstream os;
+  os << r.workload << ',' << r.solution << ',' << ToSeconds(r.app_ns) << ','
+     << ToSeconds(r.profiling_ns) << ',' << ToSeconds(r.migration_ns) << ','
+     << ToSeconds(r.total_ns()) << ',' << r.total_accesses << ','
+     << r.migration_stats.bytes_migrated << ',' << r.migration_stats.bytes_failed << ','
+     << r.migration_stats.sync_fallbacks << ',' << r.migration_stats.reclaim_demotions << ','
+     << r.profiler_memory_bytes << ',' << r.avg_num_regions << ',' << r.avg_hot_bytes;
+  return os.str();
+}
+
+std::string HumanReport(const RunResult& r) {
+  std::ostringstream os;
+  os << r.workload << " under " << r.solution << "\n";
+  os << "  time: app " << ToSeconds(r.app_ns) << "s, profiling " << ToSeconds(r.profiling_ns)
+     << "s, migration " << ToSeconds(r.migration_ns) << "s, total " << ToSeconds(r.total_ns())
+     << "s\n";
+  os << "  work: " << r.total_accesses << " accesses ("
+     << r.AccessesPerSecond() / 1e6 << "M/s simulated)\n";
+  os << "  migration: " << ToMiB(r.migration_stats.bytes_migrated) << " MiB moved, "
+     << r.migration_stats.regions_migrated << " region moves, "
+     << r.migration_stats.sync_fallbacks << " sync fallbacks, "
+     << r.migration_stats.reclaim_demotions << " reclaim demotions\n";
+  os << "  per-component app accesses:";
+  for (std::size_t c = 0; c < r.component_app_accesses.size(); ++c) {
+    os << " c" << c << "=" << r.component_app_accesses[c];
+  }
+  os << "\n";
+  if (r.profiler_memory_bytes > 0) {
+    os << "  profiler metadata: " << static_cast<double>(r.profiler_memory_bytes) / 1024.0
+       << " KiB (" << 100.0 * static_cast<double>(r.profiler_memory_bytes) /
+                          static_cast<double>(r.footprint_bytes)
+       << "% of footprint)\n";
+  }
+  return os.str();
+}
+
+std::string JsonReport(const RunResult& r) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"workload\":\"" << EscapeJson(r.workload) << "\",";
+  os << "\"solution\":\"" << EscapeJson(r.solution) << "\",";
+  os << "\"app_s\":" << ToSeconds(r.app_ns) << ",";
+  os << "\"profiling_s\":" << ToSeconds(r.profiling_ns) << ",";
+  os << "\"migration_s\":" << ToSeconds(r.migration_ns) << ",";
+  os << "\"total_s\":" << ToSeconds(r.total_ns()) << ",";
+  os << "\"accesses\":" << r.total_accesses << ",";
+  os << "\"migrated_bytes\":" << r.migration_stats.bytes_migrated << ",";
+  os << "\"sync_fallbacks\":" << r.migration_stats.sync_fallbacks << ",";
+  os << "\"reclaim_demotions\":" << r.migration_stats.reclaim_demotions << ",";
+  os << "\"profiler_memory_bytes\":" << r.profiler_memory_bytes << ",";
+  os << "\"component_app_accesses\":[";
+  for (std::size_t c = 0; c < r.component_app_accesses.size(); ++c) {
+    os << (c == 0 ? "" : ",") << r.component_app_accesses[c];
+  }
+  os << "]";
+  if (!r.intervals.empty()) {
+    os << ",\"intervals\":[";
+    for (std::size_t i = 0; i < r.intervals.size(); ++i) {
+      const IntervalRecord& iv = r.intervals[i];
+      os << (i == 0 ? "" : ",") << "{\"end_s\":" << ToSeconds(iv.end_time_ns)
+         << ",\"fast_tier_accesses\":" << iv.fast_tier_accesses
+         << ",\"hot_bytes\":" << iv.hot_bytes << ",\"regions\":" << iv.num_regions
+         << ",\"recall\":" << iv.quality.recall << ",\"accuracy\":" << iv.quality.accuracy
+         << "}";
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string Render(const RunResult& result, ReportFormat format) {
+  switch (format) {
+    case ReportFormat::kHuman:
+      return HumanReport(result);
+    case ReportFormat::kCsv:
+      return CsvRow(result);
+    case ReportFormat::kJson:
+      return JsonReport(result);
+  }
+  return "";
+}
+
+}  // namespace mtm

@@ -1,0 +1,24 @@
+// Result reporting: human-readable, CSV, and JSON renderings of RunResult,
+// used by the mtmsim CLI and available to embedders.
+#pragma once
+
+#include <string>
+
+#include "src/core/driver.h"
+
+namespace mtm {
+
+enum class ReportFormat { kHuman, kCsv, kJson };
+
+// Header line for CSV output (matches CsvRow's columns).
+std::string CsvHeader();
+std::string CsvRow(const RunResult& result);
+
+std::string HumanReport(const RunResult& result);
+
+// One JSON object per run; per-interval records included when present.
+std::string JsonReport(const RunResult& result);
+
+std::string Render(const RunResult& result, ReportFormat format);
+
+}  // namespace mtm

@@ -1,0 +1,253 @@
+#include "src/core/solution.h"
+
+#include "src/common/logging.h"
+#include "src/profiling/autonuma.h"
+#include "src/profiling/autotiering.h"
+#include "src/profiling/damon.h"
+#include "src/profiling/hemem_profiler.h"
+#include "src/profiling/mtm_profiler.h"
+#include "src/profiling/thermostat.h"
+
+namespace mtm {
+
+const char* SolutionKindName(SolutionKind kind) {
+  switch (kind) {
+    case SolutionKind::kFirstTouch:
+      return "first-touch";
+    case SolutionKind::kHmc:
+      return "hmc";
+    case SolutionKind::kVanillaTieredAutoNuma:
+      return "vanilla-tiered-autonuma";
+    case SolutionKind::kTieredAutoNuma:
+      return "tiered-autonuma";
+    case SolutionKind::kAutoTiering:
+      return "autotiering";
+    case SolutionKind::kHemem:
+      return "hemem";
+    case SolutionKind::kMtm:
+      return "mtm";
+    case SolutionKind::kThermostatProfilerMtmMigration:
+      return "thermostat+mtm-migration";
+    case SolutionKind::kAutoNumaProfilerMtmMigration:
+      return "autonuma+mtm-migration";
+  }
+  return "?";
+}
+
+SolutionKind SolutionKindFromName(const std::string& name) {
+  for (SolutionKind k :
+       {SolutionKind::kFirstTouch, SolutionKind::kHmc, SolutionKind::kVanillaTieredAutoNuma,
+        SolutionKind::kTieredAutoNuma, SolutionKind::kAutoTiering, SolutionKind::kHemem,
+        SolutionKind::kMtm, SolutionKind::kThermostatProfilerMtmMigration,
+        SolutionKind::kAutoNumaProfilerMtmMigration}) {
+    if (name == SolutionKindName(k)) {
+      return k;
+    }
+  }
+  MTM_CHECK(false) << "unknown solution: " << name;
+  return SolutionKind::kMtm;
+}
+
+std::vector<SolutionKind> Figure4Solutions() {
+  return {SolutionKind::kFirstTouch,      SolutionKind::kHmc,
+          SolutionKind::kVanillaTieredAutoNuma, SolutionKind::kTieredAutoNuma,
+          SolutionKind::kAutoTiering,     SolutionKind::kMtm};
+}
+
+Solution::Solution(SolutionKind kind, const ExperimentConfig& config, Workload& workload)
+    : kind_(kind), config_(config) {
+  machine_ = std::make_unique<Machine>(config.two_tier
+                                           ? Machine::TwoTier(config.sim_scale)
+                                           : Machine::OptaneFourTier(config.sim_scale));
+  frames_ = std::make_unique<FrameAllocator>(*machine_);
+  counters_ = std::make_unique<MemCounters>(machine_->num_components());
+
+  PebsEngine::Config pebs_config;
+  if (kind == SolutionKind::kHemem) {
+    pebs_config.sample_dram = true;  // HeMem samples DRAM and NVM loads
+  }
+  pebs_ = std::make_unique<PebsEngine>(*machine_, pebs_config);
+
+  AccessEngine::Config engine_config;
+  engine_config.num_threads = config.num_threads;
+  engine_ = std::make_unique<AccessEngine>(*machine_, page_table_, clock_, *counters_,
+                                           engine_config);
+  engine_->set_pebs(pebs_.get());
+  engine_->set_tracker(&tracker_);
+
+  // Placement policy per solution.
+  PlacementPolicy placement = PlacementPolicy::kFirstTouch;
+  if (kind == SolutionKind::kMtm || kind == SolutionKind::kThermostatProfilerMtmMigration ||
+      kind == SolutionKind::kAutoNumaProfilerMtmMigration) {
+    placement = config.mtm.placement;
+  } else if (kind == SolutionKind::kHmc) {
+    placement = PlacementPolicy::kPmOnly;
+  }
+
+  // Lay out the workload, then register tracking over its VMAs.
+  workload.Build(address_space_);
+  for (const Vma& vma : address_space_.vmas()) {
+    tracker_.Register(vma.start, vma.len);
+  }
+
+  fault_handler_ = std::make_unique<PlacementFaultHandler>(*machine_, page_table_, *frames_,
+                                                           address_space_, placement);
+  engine_->set_fault_handler(fault_handler_.get());
+
+  if (kind == SolutionKind::kHmc) {
+    // One DRAM cache per socket fronting that socket's PM.
+    std::vector<HmcCache*> caches;
+    for (u32 s = 0; s < machine_->num_sockets(); ++s) {
+      ComponentId dram = kInvalidComponent;
+      for (u32 c = 0; c < machine_->num_components(); ++c) {
+        if (machine_->component(c).mem_class == MemClass::kDram &&
+            machine_->component(c).home_socket == s) {
+          dram = c;
+        }
+      }
+      MTM_CHECK_NE(dram, kInvalidComponent);
+      hmc_caches_.push_back(std::make_unique<HmcCache>(
+          *machine_, s, machine_->component(dram).capacity_bytes));
+      caches.push_back(hmc_caches_.back().get());
+    }
+    engine_->set_hmc_caches(std::move(caches));
+    return;  // no profiler / policy / migration
+  }
+  if (kind == SolutionKind::kFirstTouch) {
+    return;  // allocation-only baseline
+  }
+
+  const SimNanos interval = config.IntervalNs();
+  const u64 batch = config.PromoteBatchBytes();
+
+  // Profiler.
+  switch (kind) {
+    case SolutionKind::kMtm: {
+      MtmProfiler::Config pc;
+      pc.num_scans = config.mtm.num_scans;
+      pc.overhead_fraction = config.mtm.overhead_fraction;
+      pc.interval_ns = interval;
+      pc.tau_m = config.mtm.TauM();
+      pc.tau_s = config.mtm.TauS();
+      pc.alpha = config.mtm.alpha;
+      pc.adaptive_regions = config.mtm.adaptive_regions;
+      pc.adaptive_sampling = config.mtm.adaptive_sampling;
+      pc.overhead_control = config.mtm.overhead_control;
+      pc.use_pebs = config.mtm.use_pebs;
+      pc.seed = config.seed ^ 0x5151;
+      profiler_ = std::make_unique<MtmProfiler>(*machine_, page_table_, address_space_,
+                                                *engine_, pebs_.get(), pc);
+      break;
+    }
+    case SolutionKind::kVanillaTieredAutoNuma:
+    case SolutionKind::kTieredAutoNuma: {
+      AutoNumaProfiler::Config pc;
+      // NUMA balancing covers the address space over tens of scan periods;
+      // model one full sweep per ~64 intervals at minimum.
+      pc.scan_window_bytes =
+          std::max(config.ScanWindowBytes(), address_space_.total_bytes() / 64);
+      pc.patched = kind == SolutionKind::kTieredAutoNuma;
+      // Kernel two-touch counters persist; the patched MFU path weights
+      // recent faults.
+      pc.decay = pc.patched ? 0.7 : 1.0;
+      profiler_ = std::make_unique<AutoNumaProfiler>(page_table_, address_space_, *engine_, pc);
+      break;
+    }
+    case SolutionKind::kAutoTiering: {
+      AutoTieringProfiler::Config pc;
+      pc.scan_window_bytes = config.ScanWindowBytes();
+      pc.seed = config.seed ^ 0xa7a7;
+      profiler_ = std::make_unique<AutoTieringProfiler>(page_table_, address_space_, pc);
+      break;
+    }
+    case SolutionKind::kHemem: {
+      HememProfiler::Config pc;
+      profiler_ = std::make_unique<HememProfiler>(page_table_, *pebs_, pc);
+      break;
+    }
+    case SolutionKind::kThermostatProfilerMtmMigration: {
+      ThermostatProfiler::Config pc;
+      pc.interval_ns = interval;
+      pc.overhead_fraction = config.mtm.overhead_fraction;
+      pc.seed = config.seed ^ 0x7777;
+      profiler_ = std::make_unique<ThermostatProfiler>(address_space_, tracker_, pc);
+      break;
+    }
+    case SolutionKind::kAutoNumaProfilerMtmMigration: {
+      AutoNumaProfiler::Config pc;
+      pc.scan_window_bytes =
+          std::max(config.ScanWindowBytes(), address_space_.total_bytes() / 64);
+      pc.patched = true;
+      pc.decay = 0.7;
+      profiler_ = std::make_unique<AutoNumaProfiler>(page_table_, address_space_, *engine_, pc);
+      break;
+    }
+    default:
+      break;
+  }
+  if (profiler_ != nullptr) {
+    profiler_->Initialize();
+  }
+
+  // Policy.
+  switch (kind) {
+    case SolutionKind::kMtm: {
+      MtmPolicy::Config pc;
+      pc.promote_batch_bytes = batch;
+      pc.hotness_max = static_cast<double>(config.mtm.num_scans);
+      policy_ = std::make_unique<MtmPolicy>(pc);
+      break;
+    }
+    case SolutionKind::kThermostatProfilerMtmMigration:
+    case SolutionKind::kAutoNumaProfilerMtmMigration: {
+      MtmPolicy::Config pc;
+      pc.promote_batch_bytes = batch;
+      pc.hotness_max = -1.0;  // adapt to the foreign profiler's scale
+      policy_ = std::make_unique<MtmPolicy>(pc);
+      break;
+    }
+    case SolutionKind::kVanillaTieredAutoNuma:
+    case SolutionKind::kTieredAutoNuma: {
+      AutoNumaPolicy::Config pc;
+      pc.promote_batch_bytes = batch;
+      pc.patched = kind == SolutionKind::kTieredAutoNuma;
+      policy_ = std::make_unique<AutoNumaPolicy>(pc);
+      break;
+    }
+    case SolutionKind::kAutoTiering: {
+      AutoTieringPolicy::Config pc;
+      pc.promote_batch_bytes = batch;
+      policy_ = std::make_unique<AutoTieringPolicy>(pc);
+      break;
+    }
+    case SolutionKind::kHemem: {
+      HememPolicy::Config pc;
+      pc.promote_batch_bytes = batch;
+      policy_ = std::make_unique<HememPolicy>(pc);
+      break;
+    }
+    default:
+      break;
+  }
+
+  // Migration mechanism.
+  MechanismKind mech = MechanismKind::kMovePages;
+  switch (kind) {
+    case SolutionKind::kMtm:
+    case SolutionKind::kThermostatProfilerMtmMigration:
+    case SolutionKind::kAutoNumaProfilerMtmMigration:
+      mech = config.mtm.mechanism;
+      break;
+    case SolutionKind::kHemem:
+      mech = MechanismKind::kNimble;  // HeMem migrates asynchronously in userspace
+      break;
+    default:
+      mech = MechanismKind::kMovePages;  // kernel default path
+      break;
+  }
+  migration_ = std::make_unique<MigrationEngine>(*machine_, page_table_, *frames_,
+                                                 address_space_, *counters_, clock_, mech);
+  engine_->set_write_track_observer(migration_.get());
+}
+
+}  // namespace mtm

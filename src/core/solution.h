@@ -1,0 +1,94 @@
+// A Solution bundles one complete page-management system under test: the
+// simulated machine, placement policy, profiler, tiering policy, and
+// migration mechanism — everything §9's comparisons vary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
+#include "src/mem/placement.h"
+#include "src/migration/migration_engine.h"
+#include "src/migration/policy.h"
+#include "src/profiling/profiler.h"
+#include "src/sim/access_engine.h"
+#include "src/sim/access_tracker.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/hmc_cache.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+#include "src/sim/pebs.h"
+#include "src/workloads/workload.h"
+
+namespace mtm {
+
+enum class SolutionKind {
+  kFirstTouch,             // first-touch NUMA, no migration
+  kHmc,                    // hardware-managed caching (Memory Mode)
+  kVanillaTieredAutoNuma,  // two-touch, tier-by-tier
+  kTieredAutoNuma,         // + hot-page-selection & auto-threshold patches
+  kAutoTiering,
+  kHemem,                  // two-tier PEBS-only
+  kMtm,
+  // §9.3 profiler-swap ablations: baseline profiler + MTM policy/migration.
+  kThermostatProfilerMtmMigration,
+  kAutoNumaProfilerMtmMigration,
+};
+
+const char* SolutionKindName(SolutionKind kind);
+SolutionKind SolutionKindFromName(const std::string& name);
+std::vector<SolutionKind> Figure4Solutions();
+
+// Owns the full simulation stack for one run. Construction order matters:
+// machine -> memory -> engine -> workload Build -> profiler/policy/migration.
+class Solution {
+ public:
+  Solution(SolutionKind kind, const ExperimentConfig& config, Workload& workload);
+
+  SolutionKind kind() const { return kind_; }
+  std::string name() const { return SolutionKindName(kind_); }
+
+  const Machine& machine() const { return *machine_; }
+  SimClock& clock() { return clock_; }
+  PageTable& page_table() { return page_table_; }
+  FrameAllocator& frames() { return *frames_; }
+  AddressSpace& address_space() { return address_space_; }
+  MemCounters& counters() { return *counters_; }
+  AccessEngine& engine() { return *engine_; }
+  AccessTracker& tracker() { return tracker_; }
+  PebsEngine* pebs() { return pebs_.get(); }
+
+  Profiler* profiler() { return profiler_.get(); }          // may be null
+  TieringPolicy* policy() { return policy_.get(); }          // may be null
+  MigrationEngine* migration() { return migration_.get(); }  // may be null
+
+  u32 SocketOfThread(u32 thread) const {
+    return config_.spread_threads ? thread % machine_->num_sockets() : 0;
+  }
+
+ private:
+  SolutionKind kind_;
+  ExperimentConfig config_;
+
+  std::unique_ptr<Machine> machine_;
+  SimClock clock_;
+  PageTable page_table_;
+  AddressSpace address_space_;
+  AccessTracker tracker_;
+  std::unique_ptr<FrameAllocator> frames_;
+  std::unique_ptr<MemCounters> counters_;
+  std::unique_ptr<PebsEngine> pebs_;
+  std::unique_ptr<AccessEngine> engine_;
+  std::unique_ptr<PlacementFaultHandler> fault_handler_;
+  std::vector<std::unique_ptr<HmcCache>> hmc_caches_;
+
+  std::unique_ptr<Profiler> profiler_;
+  std::unique_ptr<TieringPolicy> policy_;
+  std::unique_ptr<MigrationEngine> migration_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,70 @@
+// Virtual address space and VMAs for the simulated process.
+//
+// Workloads carve their data structures (tables, graphs, arrays) out of one
+// simulated address space. A VMA carries the THP eligibility flag
+// (madvise(MADV_HUGEPAGE)-style, the paper's default configuration).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace mtm {
+
+struct Vma {
+  VirtAddr start = 0;
+  u64 len = 0;
+  bool thp = false;       // eligible for transparent 2 MiB mappings
+  bool prefault = true;   // touched by application initialization
+  std::string name;
+
+  VirtAddr end() const { return start + len; }
+  bool Contains(VirtAddr addr) const { return addr >= start && addr < end(); }
+};
+
+class AddressSpace {
+ public:
+  // VMAs start above the typical ELF/brk area; gaps of one huge page are
+  // left between VMAs so region formation never bridges two objects by
+  // accident of adjacency.
+  static constexpr VirtAddr kBase = 0x5500'0000'0000ull;
+
+  // Reserves a VMA of `len` bytes (rounded up to a huge-page multiple so the
+  // whole object is THP-mappable). Returns its index.
+  u32 Allocate(u64 len, bool thp, std::string name, bool prefault = true) {
+    u64 rounded = HugeAlignUp(len);
+    Vma vma;
+    vma.start = next_;
+    vma.len = rounded;
+    vma.thp = thp;
+    vma.prefault = prefault;
+    vma.name = std::move(name);
+    next_ += rounded + kHugePageSize;  // guard gap
+    vmas_.push_back(vma);
+    total_bytes_ += rounded;
+    return static_cast<u32>(vmas_.size() - 1);
+  }
+
+  const std::vector<Vma>& vmas() const { return vmas_; }
+  const Vma& vma(u32 index) const { return vmas_[index]; }
+
+  const Vma* FindVma(VirtAddr addr) const {
+    for (const Vma& v : vmas_) {
+      if (v.Contains(addr)) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+
+  u64 total_bytes() const { return total_bytes_; }
+
+ private:
+  VirtAddr next_ = kBase;
+  std::vector<Vma> vmas_;
+  u64 total_bytes_ = 0;
+};
+
+}  // namespace mtm

@@ -1,0 +1,60 @@
+// Physical-capacity accounting per memory component.
+//
+// The simulator does not track individual page frames (page identity lives
+// in the page table); what matters for tiering decisions is how much free
+// capacity each component has — this is what the paper's promotion/demotion
+// logic queries ("the next lower memory tier with enough memory capacity",
+// §6.2).
+#pragma once
+
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/types.h"
+#include "src/sim/machine.h"
+
+namespace mtm {
+
+class FrameAllocator {
+ public:
+  explicit FrameAllocator(const Machine& machine) {
+    capacity_.reserve(machine.num_components());
+    for (u32 c = 0; c < machine.num_components(); ++c) {
+      capacity_.push_back(machine.component(c).capacity_bytes);
+    }
+    used_.assign(machine.num_components(), 0);
+  }
+
+  u64 capacity(ComponentId c) const { return capacity_[c]; }
+  u64 used(ComponentId c) const { return used_[c]; }
+  u64 free_bytes(ComponentId c) const { return capacity_[c] - used_[c]; }
+
+  // Attempts to reserve `bytes` on component c; returns false if it would
+  // exceed capacity.
+  bool Reserve(ComponentId c, u64 bytes) {
+    if (used_[c] + bytes > capacity_[c]) {
+      return false;
+    }
+    used_[c] += bytes;
+    return true;
+  }
+
+  void Release(ComponentId c, u64 bytes) {
+    MTM_CHECK_GE(used_[c], bytes);
+    used_[c] -= bytes;
+  }
+
+  u64 total_used() const {
+    u64 t = 0;
+    for (u64 u : used_) {
+      t += u;
+    }
+    return t;
+  }
+
+ private:
+  std::vector<u64> capacity_;
+  std::vector<u64> used_;
+};
+
+}  // namespace mtm

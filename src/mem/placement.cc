@@ -1,0 +1,105 @@
+#include "src/mem/placement.h"
+
+#include "src/common/logging.h"
+
+namespace mtm {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstTouch:
+      return "first-touch";
+    case PlacementPolicy::kSlowTierFirst:
+      return "slow-tier-first";
+    case PlacementPolicy::kPmOnly:
+      return "pm-only";
+  }
+  return "?";
+}
+
+void PlacementFaultHandler::CandidateOrder(u32 socket, ComponentId out[], u32* count) const {
+  const auto& order = machine_.TierOrder(socket);
+  u32 n = 0;
+  switch (policy_) {
+    case PlacementPolicy::kFirstTouch:
+      for (ComponentId c : order) {
+        out[n++] = c;
+      }
+      break;
+    case PlacementPolicy::kSlowTierFirst:
+      // Slow (PM) components first, nearest first; then DRAM, nearest first.
+      for (ComponentId c : order) {
+        if (machine_.component(c).mem_class == MemClass::kPm) {
+          out[n++] = c;
+        }
+      }
+      for (ComponentId c : order) {
+        if (machine_.component(c).mem_class == MemClass::kDram) {
+          out[n++] = c;
+        }
+      }
+      break;
+    case PlacementPolicy::kPmOnly:
+      for (ComponentId c : order) {
+        if (machine_.component(c).mem_class == MemClass::kPm) {
+          out[n++] = c;
+        }
+      }
+      break;
+  }
+  *count = n;
+}
+
+ComponentId PlacementFaultHandler::HandlePageFault(VirtAddr addr, u32 socket, bool is_write) {
+  ComponentId candidates[16];
+  u32 count = 0;
+  CandidateOrder(socket, candidates, &count);
+  MTM_CHECK_GT(count, 0u);
+
+  const Vma* vma = address_space_.FindVma(addr);
+  bool want_huge = vma != nullptr && vma->thp;
+  VirtAddr huge_start = HugeAlignDown(addr);
+  if (want_huge) {
+    // The whole huge block must be inside the VMA and fully unmapped.
+    if (huge_start < vma->start || huge_start + kHugePageSize > vma->end()) {
+      want_huge = false;
+    } else {
+      bool any_mapped = false;
+      page_table_.ForEachMapping(huge_start, kHugePageSize,
+                                 [&](VirtAddr, u64, const Pte&) { any_mapped = true; });
+      if (any_mapped) {
+        want_huge = false;
+      }
+    }
+  }
+
+  for (u32 i = 0; i < count; ++i) {
+    ComponentId c = candidates[i];
+    if (want_huge && frames_.Reserve(c, kHugePageSize)) {
+      Status s = page_table_.MapRange(huge_start, kHugePageSize, c, /*huge=*/true);
+      MTM_CHECK(s.ok()) << s.ToString();
+      ++huge_faults_;
+      return c;
+    }
+    if (!want_huge && frames_.Reserve(c, kPageSize)) {
+      Status s = page_table_.MapRange(PageAlignDown(addr), kPageSize, c, /*huge=*/false);
+      MTM_CHECK(s.ok()) << s.ToString();
+      ++base_faults_;
+      return c;
+    }
+  }
+  // A huge reservation may fail everywhere while a base page still fits.
+  if (want_huge) {
+    for (u32 i = 0; i < count; ++i) {
+      ComponentId c = candidates[i];
+      if (frames_.Reserve(c, kPageSize)) {
+        Status s = page_table_.MapRange(PageAlignDown(addr), kPageSize, c, /*huge=*/false);
+        MTM_CHECK(s.ok()) << s.ToString();
+        ++base_faults_;
+        return c;
+      }
+    }
+  }
+  return kInvalidComponent;
+}
+
+}  // namespace mtm

@@ -1,0 +1,74 @@
+#include "src/migration/mechanism.h"
+
+namespace mtm {
+
+const char* MechanismKindName(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kMovePages:
+      return "move_pages";
+    case MechanismKind::kNimble:
+      return "nimble";
+    case MechanismKind::kMoveMemoryRegions:
+      return "move_memory_regions";
+    case MechanismKind::kMmrSync:
+      return "move_memory_regions(sync)";
+  }
+  return "?";
+}
+
+MechanismCost ComputeMechanismCost(MechanismKind kind, const MigrationCostModel& model,
+                                   const Machine& machine, u32 socket, ComponentId src,
+                                   ComponentId dst, u64 base_pages, u64 huge_pages) {
+  MechanismCost cost;
+  const u64 bytes = base_pages * kPageSize + huge_pages * kHugePageSize;
+
+  switch (kind) {
+    case MechanismKind::kMovePages: {
+      // Huge pages are split and moved as base pages, sequentially.
+      u64 pages = base_pages + huge_pages * kPagesPerHugePage;
+      cost.critical.allocate_ns = pages * model.alloc_per_page_ns;
+      cost.critical.unmap_remap_ns =
+          pages * (model.unmap_per_page_ns + model.remap_per_page_ns);
+      cost.critical.copy_ns = model.CopyNs(machine, socket, src, dst, bytes);
+      break;
+    }
+    case MechanismKind::kNimble: {
+      // THP migrated natively; copies parallelized across kernel threads.
+      cost.critical.allocate_ns = base_pages * model.alloc_per_page_ns +
+                                  huge_pages * model.huge_op_per_page_ns / 3;
+      cost.critical.unmap_remap_ns =
+          base_pages * (model.unmap_per_page_ns + model.remap_per_page_ns) +
+          huge_pages * model.huge_op_per_page_ns * 2 / 3;
+      cost.critical.copy_ns =
+          model.CopyNs(machine, socket, src, dst, bytes, model.copy_parallelism);
+      break;
+    }
+    case MechanismKind::kMoveMemoryRegions:
+    case MechanismKind::kMmrSync: {
+      u64 pte_pages = base_pages + huge_pages;  // one PTE/PDE per mapping
+      double batch = model.mmr_pte_batch_factor;
+      cost.critical.unmap_remap_ns = static_cast<SimNanos>(
+          static_cast<double>(pte_pages) *
+          static_cast<double>(model.unmap_per_page_ns + model.remap_per_page_ns) * batch);
+      cost.critical.page_table_ns = model.pt_page_move_ns;
+      cost.critical.dirty_tracking_ns =
+          model.tlb_flush_ns + pte_pages * model.write_track_arm_per_page_ns;
+      SimNanos alloc = static_cast<SimNanos>(
+          static_cast<double>(base_pages) * model.alloc_per_page_ns * batch +
+          static_cast<double>(huge_pages) * model.huge_op_per_page_ns / 3);
+      SimNanos copy = model.CopyNs(machine, socket, src, dst, bytes, model.copy_parallelism);
+      if (kind == MechanismKind::kMoveMemoryRegions) {
+        cost.background.allocate_ns = alloc;
+        cost.background.copy_ns = copy;
+      } else {
+        cost.critical.allocate_ns = alloc;
+        cost.critical.copy_ns = copy;
+        cost.critical.dirty_tracking_ns = 0;  // sync copy needs no tracking
+      }
+      break;
+    }
+  }
+  return cost;
+}
+
+}  // namespace mtm

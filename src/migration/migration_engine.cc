@@ -1,0 +1,317 @@
+#include "src/migration/migration_engine.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mtm {
+
+MigrationEngine::MigrationEngine(const Machine& machine, PageTable& page_table,
+                                 FrameAllocator& frames, const AddressSpace& address_space,
+                                 MemCounters& counters, SimClock& clock, MechanismKind kind,
+                                 MigrationCostModel model)
+    : machine_(machine),
+      page_table_(page_table),
+      frames_(frames),
+      address_space_(address_space),
+      counters_(counters),
+      clock_(clock),
+      kind_(kind),
+      model_(model) {}
+
+MechanismCost MigrationEngine::PlanCost(const MigrationOrder& order, MechanismKind kind,
+                                        u64* bytes_out) {
+  // Group the range's mappings by source component.
+  struct Run {
+    ComponentId src = kInvalidComponent;
+    u64 base_pages = 0;
+    u64 huge_pages = 0;
+  };
+  std::vector<Run> runs;
+  u64 bytes = 0;
+  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr addr, u64 size, Pte& pte) {
+    if (pte.component == order.dst) {
+      return;  // already resident
+    }
+    auto it = std::find_if(runs.begin(), runs.end(),
+                           [&](const Run& r) { return r.src == pte.component; });
+    if (it == runs.end()) {
+      runs.push_back(Run{pte.component, 0, 0});
+      it = std::prev(runs.end());
+    }
+    if (size == kHugePageSize) {
+      ++it->huge_pages;
+    } else {
+      ++it->base_pages;
+    }
+    bytes += size;
+  });
+  MechanismCost total;
+  for (const Run& r : runs) {
+    MechanismCost c = ComputeMechanismCost(kind, model_, machine_, order.socket, r.src,
+                                           order.dst, r.base_pages, r.huge_pages);
+    total.critical += c.critical;
+    total.background += c.background;
+  }
+  if (bytes_out != nullptr) {
+    *bytes_out = bytes;
+  }
+  return total;
+}
+
+bool MigrationEngine::ReclaimFrom(ComponentId component, u64 bytes_needed, int depth) {
+  if (depth > static_cast<int>(machine_.num_components())) {
+    return false;
+  }
+  if (reclaim_cursor_.size() < machine_.num_components()) {
+    reclaim_cursor_.assign(machine_.num_components(), 0);
+  }
+  // Demotion target: the next lower tier with space, from the view of the
+  // component's home socket (§6.2 "slow demotion").
+  u32 home = machine_.component(component).home_socket;
+  const auto& order = machine_.TierOrder(home);
+  u32 rank = machine_.TierRank(home, component);
+
+  // Like kswapd, free a batch beyond the immediate need so back-to-back
+  // small promotions don't each pay a full victim scan.
+  const u64 target = std::max<u64>(bytes_needed, 2 * kHugePageSize);
+
+  // Two victim passes: inactive (accessed-bit clear) pages first, then any.
+  // The per-component clock hand resumes where the last scan stopped, so
+  // repeatedly reclaimed components rotate victims instead of always
+  // evicting the lowest addresses.
+  u32 hopeless_lower = 0;  // bitmask of lower tiers whose reclaim failed
+  for (int pass = 0; pass < 2 && frames_.free_bytes(component) < target; ++pass) {
+    const auto& vmas = address_space_.vmas();
+    if (vmas.empty()) {
+      break;
+    }
+    std::size_t start_vma = 0;
+    for (std::size_t v = 0; v < vmas.size(); ++v) {
+      if (vmas[v].Contains(reclaim_cursor_[component])) {
+        start_vma = v;
+        break;
+      }
+    }
+    for (std::size_t step = 0; step <= vmas.size(); ++step) {
+      if (frames_.free_bytes(component) >= target) {
+        break;
+      }
+      const Vma& vma = vmas[(start_vma + step) % vmas.size()];
+      VirtAddr begin = vma.start;
+      u64 len = vma.len;
+      if (step == 0 && vma.Contains(reclaim_cursor_[component])) {
+        begin = reclaim_cursor_[component];
+        len = vma.end() - begin;
+      } else if (step == vmas.size()) {
+        // Wrapped: rescan the head of the cursor VMA.
+        len = reclaim_cursor_[component] > vma.start ? reclaim_cursor_[component] - vma.start
+                                                     : 0;
+        if (len == 0) {
+          break;
+        }
+      }
+      page_table_.ForEachMapping(begin, len, [&](VirtAddr addr, u64 size, Pte& pte) {
+        if (frames_.free_bytes(component) >= target) {
+          return;
+        }
+        if (pte.component != component) {
+          return;
+        }
+        if (pass == 0 && pte.accessed()) {
+          return;  // keep active pages in the first pass
+        }
+        // Find a lower tier with room, cascading reclaim once if needed.
+        // Only strictly slower classes are demotion targets (DRAM -> PM).
+        for (u32 r = rank + 1; r < order.size(); ++r) {
+          ComponentId lower = order[r];
+          if (!machine_.IsSlowerClass(component, lower)) {
+            continue;
+          }
+          if (hopeless_lower & (1u << lower)) {
+            continue;  // cascading reclaim already failed there this scan
+          }
+          if (frames_.free_bytes(lower) < size && !ReclaimFrom(lower, size, depth + 1)) {
+            hopeless_lower |= 1u << lower;
+            continue;
+          }
+          if (!frames_.Reserve(lower, size)) {
+            continue;
+          }
+          // Demotion is a synchronous kernel move; charge its cost.
+          MechanismKind k =
+              kind_ == MechanismKind::kMoveMemoryRegions ? MechanismKind::kMmrSync : kind_;
+          u64 base = size == kHugePageSize ? 0 : 1;
+          u64 huge = size == kHugePageSize ? 1 : 0;
+          MechanismCost c =
+              ComputeMechanismCost(k, model_, machine_, home, component, lower, base, huge);
+          clock_.AdvanceMigration(c.CriticalNs());
+          stats_.critical_ns += c.CriticalNs();
+          stats_.steps += c.critical;
+          frames_.Release(component, size);
+          pte.component = lower;
+          counters_.CountMigrationBytes(component, size);
+          counters_.CountMigrationBytes(lower, size);
+          ++stats_.reclaim_demotions;
+          stats_.bytes_migrated += size;
+          reclaim_cursor_[component] = addr + size;
+          return;
+        }
+      });
+    }
+  }
+  page_table_.BumpGeneration();
+  return frames_.free_bytes(component) >= bytes_needed;
+}
+
+void MigrationEngine::CommitMove(const MigrationOrder& order) {
+  u64 moved = 0;
+  u64 failed = 0;
+  bool reclaim_hopeless = false;  // don't rescan for every page of the range
+  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr addr, u64 size, Pte& pte) {
+    if (pte.component == order.dst) {
+      return;
+    }
+    if (frames_.free_bytes(order.dst) < size) {
+      if (reclaim_hopeless || !ReclaimFrom(order.dst, size, /*depth=*/0)) {
+        reclaim_hopeless = true;
+        failed += size;
+        return;
+      }
+    }
+    if (!frames_.Reserve(order.dst, size)) {
+      failed += size;
+      return;
+    }
+    ComponentId src = pte.component;
+    frames_.Release(src, size);
+    pte.component = order.dst;
+    pte.Clear(Pte::kWriteTracked);
+    counters_.CountMigrationBytes(src, size);
+    counters_.CountMigrationBytes(order.dst, size);
+    moved += size;
+  });
+  page_table_.BumpGeneration();
+  stats_.bytes_migrated += moved;
+  stats_.bytes_failed += failed;
+  if (moved > 0) {
+    ++stats_.regions_migrated;
+  }
+}
+
+void MigrationEngine::ArmWriteTracking(const MigrationOrder& order) {
+  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr, u64, Pte& pte) {
+    pte.Set(Pte::kWriteTracked);
+  });
+  page_table_.BumpGeneration();
+}
+
+void MigrationEngine::DisarmWriteTracking(const MigrationOrder& order) {
+  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr, u64, Pte& pte) {
+    pte.Clear(Pte::kWriteTracked);
+  });
+  page_table_.BumpGeneration();
+}
+
+void MigrationEngine::Submit(const MigrationOrder& order) {
+  // Drop orders overlapping an in-flight async move.
+  for (const Pending& p : pending_) {
+    if (order.start < p.order.start + p.order.len && p.order.start < order.start + order.len) {
+      return;
+    }
+  }
+  u64 bytes = 0;
+  MechanismCost cost = PlanCost(order, kind_, &bytes);
+  if (bytes == 0) {
+    return;
+  }
+
+  if (kind_ != MechanismKind::kMoveMemoryRegions) {
+    // Fully synchronous mechanisms: charge and commit now.
+    clock_.AdvanceMigration(cost.CriticalNs());
+    stats_.critical_ns += cost.CriticalNs();
+    stats_.steps += cost.critical;
+    CommitMove(order);
+    return;
+  }
+
+  // move_memory_regions: arm dirty tracking now (TLB flushed once), copy in
+  // the background, finalize at the deadline.
+  clock_.AdvanceMigration(cost.critical.dirty_tracking_ns);
+  stats_.critical_ns += cost.critical.dirty_tracking_ns;
+  stats_.steps.dirty_tracking_ns += cost.critical.dirty_tracking_ns;
+  ArmWriteTracking(order);
+
+  Pending p;
+  p.order = order;
+  p.submitted_at = clock_.now();
+  p.background_ns = cost.BackgroundNs();
+  p.complete_at = clock_.now() + p.background_ns;
+  p.cost = cost;
+  pending_.push_back(p);
+}
+
+void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
+                                    double remaining_fraction) {
+  Pending p = pending_[index];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+
+  SimNanos exposed = p.cost.critical.unmap_remap_ns + p.cost.critical.page_table_ns;
+  stats_.steps.unmap_remap_ns += p.cost.critical.unmap_remap_ns;
+  stats_.steps.page_table_ns += p.cost.critical.page_table_ns;
+  if (forced_sync) {
+    // The write-protect fault switched this region to synchronous copy.
+    // Pages copied so far are stale and "must be copied again" (§7.2): the
+    // full copy lands on the critical path, and the fallback goes through
+    // the regular per-page kernel migration path, losing the batched-PTE
+    // advantage — write-intensive migrations perform like move_pages().
+    SimNanos unbatched_extra = static_cast<SimNanos>(
+        static_cast<double>(p.cost.critical.unmap_remap_ns) *
+        (1.0 / model_.mmr_pte_batch_factor - 1.0));
+    exposed += p.background_ns + unbatched_extra;
+    stats_.steps.copy_ns += p.background_ns;
+    stats_.steps.unmap_remap_ns += unbatched_extra;
+    ++stats_.sync_fallbacks;
+    (void)remaining_fraction;
+    DisarmWriteTracking(p.order);
+  } else {
+    stats_.background_ns += p.background_ns;
+    stats_.steps.allocate_ns += 0;  // async allocation is off the critical path
+  }
+  clock_.AdvanceMigration(exposed);
+  stats_.critical_ns += exposed;
+  CommitMove(p.order);
+}
+
+void MigrationEngine::Poll() {
+  for (std::size_t i = 0; i < pending_.size();) {
+    if (pending_[i].complete_at <= clock_.now()) {
+      FinishPending(i, /*forced_sync=*/false, 0.0);
+      // FinishPending erased element i; stay at the same index.
+    } else {
+      ++i;
+    }
+  }
+}
+
+void MigrationEngine::Flush() {
+  while (!pending_.empty()) {
+    FinishPending(0, /*forced_sync=*/false, 0.0);
+  }
+}
+
+void MigrationEngine::OnWriteTrackFault(VirtAddr addr, u32 socket) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const Pending& p = pending_[i];
+    if (addr >= p.order.start && addr < p.order.start + p.order.len) {
+      double elapsed = static_cast<double>(clock_.now() - p.submitted_at);
+      double remaining = p.background_ns == 0
+                             ? 0.0
+                             : 1.0 - elapsed / static_cast<double>(p.background_ns);
+      FinishPending(i, /*forced_sync=*/true, remaining);
+      return;
+    }
+  }
+}
+
+}  // namespace mtm

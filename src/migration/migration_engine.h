@@ -1,0 +1,122 @@
+// The migration engine executes migration orders: it performs the
+// functional page moves (page-table remap + frame accounting) and charges
+// the mechanism's modeled cost to the simulated clock.
+//
+// For move_memory_regions() it implements the paper's adaptive scheme
+// (§7.2) faithfully in event time:
+//   * on submit, write tracking is armed on the region (reserved PTE bit +
+//     one TLB flush) and the asynchronous copy is scheduled to complete
+//     after its modeled duration, during which the application keeps
+//     executing against the source pages;
+//   * if the application writes the region before the copy completes, the
+//     write-protect fault (observed via WriteTrackObserver) switches the
+//     region to synchronous copy: the remaining copy time is exposed on the
+//     critical path and the move completes immediately;
+//   * otherwise Poll() finalizes the move when the copy deadline passes,
+//     paying only the unmap/remap and page-table-page migration.
+//
+// When a destination component lacks space, the engine reclaims: it demotes
+// inactive (accessed-bit-clear) pages from the destination to the next
+// lower tier with room, modeling kernel reclaim-based demotion.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
+#include "src/migration/mechanism.h"
+#include "src/sim/access_engine.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+
+namespace mtm {
+
+// One policy decision: move [start, start+len) to component dst, using the
+// tier view of `socket` for any cascading demotions.
+struct MigrationOrder {
+  VirtAddr start = 0;
+  u64 len = 0;
+  ComponentId dst = kInvalidComponent;
+  u32 socket = 0;
+};
+
+struct MigrationStats {
+  u64 bytes_migrated = 0;
+  u64 bytes_failed = 0;     // no space anywhere
+  u64 regions_migrated = 0;
+  u64 sync_fallbacks = 0;   // async copies switched to sync by a write
+  u64 reclaim_demotions = 0;
+  SimNanos critical_ns = 0;
+  SimNanos background_ns = 0;
+  MigrationStepBreakdown steps;
+};
+
+class MigrationEngine : public WriteTrackObserver {
+ public:
+  MigrationEngine(const Machine& machine, PageTable& page_table, FrameAllocator& frames,
+                  const AddressSpace& address_space, MemCounters& counters, SimClock& clock,
+                  MechanismKind kind, MigrationCostModel model = {});
+
+  MechanismKind kind() const { return kind_; }
+
+  // Executes (or schedules) one order. Overlaps with in-flight async moves
+  // are dropped.
+  void Submit(const MigrationOrder& order);
+
+  // Completes async copies whose deadline has passed. Call frequently.
+  void Poll();
+
+  // Forces all in-flight migrations to complete (end of run).
+  void Flush();
+
+  // WriteTrackObserver: a tracked page was written mid-copy.
+  void OnWriteTrackFault(VirtAddr addr, u32 socket) override;
+
+  const MigrationStats& stats() const { return stats_; }
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    MigrationOrder order;
+    SimNanos complete_at = 0;
+    SimNanos submitted_at = 0;
+    SimNanos background_ns = 0;
+    MechanismCost cost;  // precomputed aggregate cost
+  };
+
+  // Gathers the pages of [start, len) grouped by source component and
+  // returns the aggregate mechanism cost; out parameters receive totals.
+  MechanismCost PlanCost(const MigrationOrder& order, MechanismKind kind, u64* bytes_out);
+
+  // Remaps every page of the range to dst, reclaiming on pressure.
+  void CommitMove(const MigrationOrder& order);
+
+  // Demotes inactive pages from `component` until `bytes_needed` are free.
+  // Returns true on success. `depth` guards cascade recursion.
+  bool ReclaimFrom(ComponentId component, u64 bytes_needed, int depth);
+
+  void ArmWriteTracking(const MigrationOrder& order);
+  void DisarmWriteTracking(const MigrationOrder& order);
+  void FinishPending(std::size_t index, bool forced_sync, double remaining_fraction);
+
+  const Machine& machine_;
+  PageTable& page_table_;
+  FrameAllocator& frames_;
+  const AddressSpace& address_space_;
+  MemCounters& counters_;
+  SimClock& clock_;
+  MechanismKind kind_;
+  MigrationCostModel model_;
+
+  std::vector<Pending> pending_;
+  MigrationStats stats_;
+  // Per-component clock hand for reclaim victim scanning (kswapd-style
+  // round-robin over the address space).
+  std::vector<VirtAddr> reclaim_cursor_;
+};
+
+}  // namespace mtm

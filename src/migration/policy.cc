@@ -1,0 +1,318 @@
+#include "src/migration/policy.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/histogram.h"
+#include "src/common/logging.h"
+
+namespace mtm {
+namespace {
+
+i64 frames_capacity(PolicyContext& ctx, ComponentId c) {
+  return static_cast<i64>(ctx.frames->capacity(c));
+}
+
+ComponentId ComponentOf(PolicyContext& ctx, const HotnessEntry& e) {
+  const Pte* pte = ctx.page_table->Find(e.start);
+  if (pte == nullptr) {
+    pte = ctx.page_table->Find(e.start + e.len / 2);
+  }
+  return pte == nullptr ? kInvalidComponent : pte->component;
+}
+
+// Finds the first mapping in `e` residing on `component` and returns a
+// slice of at most max_len from there; len 0 when none. Lets partial
+// promotions/demotions of large merged regions progress across intervals
+// instead of re-targeting already-moved pages.
+std::pair<VirtAddr, u64> SliceOn(PolicyContext& ctx, const HotnessEntry& e,
+                                 ComponentId component, u64 max_len) {
+  VirtAddr found = 0;
+  ctx.page_table->ForEachMapping(e.start, e.len, [&](VirtAddr addr, u64 size, Pte& pte) {
+    if (found == 0 && pte.component == component) {
+      found = addr;
+    }
+  });
+  if (found == 0) {
+    return {0, 0};
+  }
+  return {found, std::min<u64>(max_len, e.end() - found)};
+}
+
+// Finds the first mapping in `e` whose tier rank (seen from `socket`)
+// exceeds `min_rank`; returns {addr, component} or {0, kInvalidComponent}.
+// A large merged region may straddle tiers after partial promotion, so
+// residency must be probed per-mapping, not at the region head.
+std::pair<VirtAddr, ComponentId> SlowestSliceStart(PolicyContext& ctx, const HotnessEntry& e,
+                                                   u32 socket, u32 min_rank) {
+  const Machine& machine = *ctx.machine;
+  VirtAddr found = 0;
+  ComponentId comp = kInvalidComponent;
+  ctx.page_table->ForEachMapping(e.start, e.len, [&](VirtAddr addr, u64 size, Pte& pte) {
+    if (found == 0 && machine.TierRank(socket, pte.component) > min_rank) {
+      found = addr;
+      comp = pte.component;
+    }
+  });
+  return {found, comp};
+}
+
+}  // namespace
+
+std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
+                                              PolicyContext& ctx) {
+  MTM_CHECK_GT(config_.promote_batch_bytes, 0ull);
+  const Machine& machine = *ctx.machine;
+  std::vector<MigrationOrder> orders;
+
+  // Histogram of WHI across all regions in all tiers — the global view.
+  // A non-positive hotness_max adapts to the profiler's scale (used when
+  // MTM's policy runs on a foreign profiler's output, §9.3).
+  double hotness_max = config_.hotness_max;
+  if (hotness_max <= 0.0) {
+    for (const HotnessEntry& e : profile.entries) {
+      hotness_max = std::max(hotness_max, e.hotness);
+    }
+    if (hotness_max <= 0.0) {
+      return {};
+    }
+  }
+  BucketedHistogram<std::size_t> hist(0.0, hotness_max, config_.num_buckets);
+  for (std::size_t i = 0; i < profile.entries.size(); ++i) {
+    hist.Update(i, profile.entries[i].hotness);
+  }
+  std::vector<std::size_t> hottest = hist.HottestFirst();
+
+  // Planned free space per component, adjusted as orders accumulate.
+  std::vector<i64> planned_free(machine.num_components());
+  for (u32 c = 0; c < machine.num_components(); ++c) {
+    planned_free[c] = static_cast<i64>(ctx.frames->free_bytes(c));
+  }
+  // Demotion candidates, coldest first.
+  std::vector<std::size_t> coldest = hist.ColdestFirst();
+  std::unordered_set<std::size_t> planned;  // entries already part of an order
+
+  // Tries to free `need` bytes on dst by demoting colder-than-`hotness`
+  // resident entries one tier down ("slow demotion"). Appends demotion
+  // orders; returns true once planned_free[dst] >= need.
+  const double hysteresis = hotness_max / static_cast<double>(config_.num_buckets) * 2.0;
+  auto make_room = [&](ComponentId dst, i64 need, double hotness, u32 socket) -> bool {
+    if (planned_free[dst] >= need) {
+      return true;
+    }
+    u32 home = machine.component(dst).home_socket;
+    const auto& tiers = machine.TierOrder(home);
+    u32 dst_rank = machine.TierRank(home, dst);
+    for (std::size_t idx : coldest) {
+      if (planned_free[dst] >= need) {
+        break;
+      }
+      if (planned.count(idx) > 0) {
+        continue;
+      }
+      const HotnessEntry& victim = profile.entries[idx];
+      // Hysteresis: only displace victims meaningfully colder than the
+      // incoming region, or near-ties ping-pong across intervals and the
+      // migration budget burns on churn.
+      if (victim.hotness >= hotness - hysteresis) {
+        break;  // coldest-first order: everything beyond is hotter
+      }
+      // Demote only as much of the victim as the deficit requires; large
+      // merged regions step down in huge-page-aligned slices.
+      u64 deficit = static_cast<u64>(need - planned_free[dst]);
+      auto [slice_start, demote_len] =
+          SliceOn(ctx, victim, dst, std::min<u64>(victim.len, HugeAlignUp(deficit)));
+      if (demote_len == 0) {
+        continue;
+      }
+      // Next lower tier with planned space; demotion only steps to a
+      // strictly slower class (§6.2 "next lower memory tier").
+      for (u32 r = dst_rank + 1; r < tiers.size(); ++r) {
+        ComponentId lower = tiers[r];
+        if (!machine.IsSlowerClass(dst, lower)) {
+          continue;
+        }
+        if (planned_free[lower] >= static_cast<i64>(demote_len)) {
+          orders.push_back(MigrationOrder{slice_start, demote_len, lower, home});
+          planned.insert(idx);
+          planned_free[lower] -= static_cast<i64>(demote_len);
+          planned_free[dst] += static_cast<i64>(demote_len);
+          break;
+        }
+      }
+    }
+    return planned_free[dst] >= need;
+  };
+
+  i64 budget = static_cast<i64>(config_.promote_batch_bytes);
+  for (std::size_t idx : hottest) {
+    if (budget <= 0) {
+      break;
+    }
+    const HotnessEntry& e = profile.entries[idx];
+    if (e.hotness < config_.min_hotness || planned.count(idx) > 0) {
+      continue;
+    }
+    u32 socket = e.preferred_socket;
+    const auto& tiers = machine.TierOrder(socket);
+    // Probe per-mapping residency: after partial promotion a merged region
+    // straddles tiers, and the remaining slow-resident slice is what needs
+    // promoting.
+    auto [slice_start, cur] = SlowestSliceStart(ctx, e, socket, /*min_rank=*/0);
+    if (cur == kInvalidComponent) {
+      continue;  // fully resident in the fastest tier
+    }
+    u32 cur_rank = machine.TierRank(socket, cur);
+    // The accumulated size of migrated regions is capped at N (§6.1): a
+    // merged region larger than the remaining budget promotes in a
+    // huge-page-aligned slice and continues next interval.
+    u64 promote_len = std::min<u64>(
+        e.end() - slice_start,
+        std::max<u64>(HugeAlignDown(static_cast<u64>(budget)), kHugePageSize));
+    // Fast promotion: aim for the fastest tier; if its residents are all
+    // hotter (no room can be made), fall through to the next tier — the
+    // paper's "2nd highest bucket to the 2nd-fastest tier" behavior.
+    for (u32 target = 0; target < cur_rank; ++target) {
+      ComponentId dst = tiers[target];
+      if (static_cast<u64>(frames_capacity(ctx, dst)) < promote_len) {
+        continue;
+      }
+      if (!make_room(dst, static_cast<i64>(promote_len), e.hotness, socket)) {
+        continue;
+      }
+      orders.push_back(MigrationOrder{slice_start, promote_len, dst, socket});
+      planned.insert(idx);
+      planned_free[dst] -= static_cast<i64>(promote_len);
+      planned_free[cur] += static_cast<i64>(promote_len);
+      budget -= static_cast<i64>(promote_len);
+      break;
+    }
+  }
+  return orders;
+}
+
+std::vector<MigrationOrder> AutoNumaPolicy::Decide(const ProfileOutput& profile,
+                                                   PolicyContext& ctx) {
+  MTM_CHECK_GT(config_.promote_batch_bytes, 0ull);
+  const Machine& machine = *ctx.machine;
+  std::vector<const HotnessEntry*> candidates;
+  for (const HotnessEntry& e : profile.entries) {
+    if (e.hotness > 0.0) {
+      candidates.push_back(&e);
+    }
+  }
+  if (config_.patched) {
+    // MFU with auto threshold: rank by fault count; the budget cut-off is
+    // the automatically adjusted hot threshold.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const HotnessEntry* a, const HotnessEntry* b) {
+                return a->hotness > b->hotness;
+              });
+  }
+  std::vector<MigrationOrder> orders;
+  i64 budget = static_cast<i64>(config_.promote_batch_bytes);
+  for (const HotnessEntry* e : candidates) {
+    if (budget <= 0) {
+      break;
+    }
+    ComponentId cur = ComponentOf(ctx, *e);
+    if (cur == kInvalidComponent) {
+      continue;
+    }
+    u32 socket = e->preferred_socket;
+    // Kernel-faithful one-step moves — the traditional NUMA abstraction the
+    // paper identifies as the latency problem for deep hierarchies:
+    //  * a PM page promotes to the DRAM of its own socket;
+    //  * a DRAM page on the wrong socket rebalances to the faulting
+    //    socket's DRAM (classic NUMA balancing).
+    // Reaching the application's top tier from remote PM therefore takes
+    // two separate migration decisions across intervals.
+    ComponentId dst = kInvalidComponent;
+    u32 cur_home = machine.component(cur).home_socket;
+    if (machine.component(cur).mem_class == MemClass::kPm) {
+      dst = machine.TierOrder(cur_home)[0];  // local DRAM of the page's socket
+    } else if (cur_home != socket) {
+      dst = machine.TierOrder(socket)[0];  // NUMA-balance toward the tasks
+    } else {
+      continue;  // already in the task-local DRAM
+    }
+    orders.push_back(MigrationOrder{e->start, e->len, dst, socket});
+    budget -= static_cast<i64>(e->len);
+  }
+  return orders;
+}
+
+std::vector<MigrationOrder> AutoTieringPolicy::Decide(const ProfileOutput& profile,
+                                                      PolicyContext& ctx) {
+  MTM_CHECK_GT(config_.promote_batch_bytes, 0ull);
+  const Machine& machine = *ctx.machine;
+  std::vector<MigrationOrder> orders;
+  std::vector<i64> planned_free(machine.num_components());
+  for (u32 c = 0; c < machine.num_components(); ++c) {
+    planned_free[c] = static_cast<i64>(ctx.frames->free_bytes(c));
+  }
+  i64 budget = static_cast<i64>(config_.promote_batch_bytes);
+  for (const HotnessEntry& e : profile.entries) {
+    if (budget <= 0) {
+      break;
+    }
+    if (e.hotness <= 0.0) {
+      continue;
+    }
+    ComponentId cur = ComponentOf(ctx, e);
+    if (cur == kInvalidComponent) {
+      continue;
+    }
+    u32 socket = e.preferred_socket;
+    u32 cur_rank = machine.TierRank(socket, cur);
+    // Opportunistic: the fastest tier that currently has room, regardless
+    // of how hot the chunk is relative to anything else; when every faster
+    // tier is full, promote to the fastest anyway and let opportunistic
+    // (reclaim-based) demotion evict a victim.
+    ComponentId dst = machine.TierOrder(socket)[0];
+    for (u32 target = 0; target < cur_rank; ++target) {
+      ComponentId candidate = machine.TierOrder(socket)[target];
+      if (planned_free[candidate] >= static_cast<i64>(e.len)) {
+        dst = candidate;
+        break;
+      }
+    }
+    orders.push_back(MigrationOrder{e.start, e.len, dst, socket});
+    planned_free[dst] -= static_cast<i64>(e.len);
+    planned_free[cur] += static_cast<i64>(e.len);
+    budget -= static_cast<i64>(e.len);
+  }
+  return orders;
+}
+
+std::vector<MigrationOrder> HememPolicy::Decide(const ProfileOutput& profile,
+                                                PolicyContext& ctx) {
+  MTM_CHECK_GT(config_.promote_batch_bytes, 0ull);
+  const Machine& machine = *ctx.machine;
+  ComponentId dram = machine.TierOrder(0)[0];
+  std::vector<const HotnessEntry*> hot;
+  for (const HotnessEntry& e : profile.entries) {
+    if (e.hotness >= config_.hot_threshold) {
+      hot.push_back(&e);
+    }
+  }
+  std::sort(hot.begin(), hot.end(), [](const HotnessEntry* a, const HotnessEntry* b) {
+    return a->hotness > b->hotness;
+  });
+  std::vector<MigrationOrder> orders;
+  i64 budget = static_cast<i64>(config_.promote_batch_bytes);
+  for (const HotnessEntry* e : hot) {
+    if (budget <= 0) {
+      break;
+    }
+    ComponentId cur = ComponentOf(ctx, *e);
+    if (cur == kInvalidComponent || cur == dram) {
+      continue;
+    }
+    orders.push_back(MigrationOrder{e->start, e->len, dram, 0});
+    budget -= static_cast<i64>(e->len);
+  }
+  return orders;
+}
+
+}  // namespace mtm

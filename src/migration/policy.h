@@ -1,0 +1,118 @@
+// Tiering policies: given a profiler's hotness view, decide which extents
+// move where (§6).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mem/frame_allocator.h"
+#include "src/migration/migration_engine.h"
+#include "src/profiling/profiler.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+
+namespace mtm {
+
+struct PolicyContext {
+  const Machine* machine = nullptr;
+  PageTable* page_table = nullptr;
+  FrameAllocator* frames = nullptr;
+};
+
+class TieringPolicy {
+ public:
+  virtual ~TieringPolicy() = default;
+  virtual std::string name() const = 0;
+
+  // Returns orders in execution sequence (demotions that make room come
+  // before the promotions that need it).
+  virtual std::vector<MigrationOrder> Decide(const ProfileOutput& profile,
+                                             PolicyContext& ctx) = 0;
+};
+
+// No migration at all (first-touch NUMA, HMC).
+class NullPolicy : public TieringPolicy {
+ public:
+  std::string name() const override { return "none"; }
+  std::vector<MigrationOrder> Decide(const ProfileOutput&, PolicyContext&) override {
+    return {};
+  }
+};
+
+// MTM's policy (§6): histogram over the per-region WHI; fast promotion
+// (hottest regions anywhere go straight to the fastest tier of their
+// dominant socket's view, up to promote_batch_bytes per interval) and slow
+// demotion (colder-than-incoming regions step down one tier with space).
+class MtmPolicy : public TieringPolicy {
+ public:
+  struct Config {
+    u64 promote_batch_bytes = 0;  // required: N in §6.1 (200 MB on testbed)
+    u32 num_buckets = 16;
+    double hotness_max = 3.0;  // WHI range is [0, num_scans]
+    double min_hotness = 1e-9;  // never promote stone-cold regions
+  };
+
+  explicit MtmPolicy(Config config) : config_(config) {}
+  std::string name() const override { return "mtm-policy"; }
+  std::vector<MigrationOrder> Decide(const ProfileOutput& profile, PolicyContext& ctx) override;
+
+ private:
+  Config config_;
+};
+
+// Tiered-AutoNUMA policy: pages promote one tier at a time toward the
+// faulting socket's faster memory. Vanilla uses the binary two-touch
+// signal in arrival order; patched ranks by MFU fault count with the
+// threshold auto-adjusted to the promotion budget.
+class AutoNumaPolicy : public TieringPolicy {
+ public:
+  struct Config {
+    u64 promote_batch_bytes = 0;  // required
+    bool patched = true;
+  };
+
+  explicit AutoNumaPolicy(Config config) : config_(config) {}
+  std::string name() const override {
+    return config_.patched ? "tiered-autonuma" : "vanilla-tiered-autonuma";
+  }
+  std::vector<MigrationOrder> Decide(const ProfileOutput& profile, PolicyContext& ctx) override;
+
+ private:
+  Config config_;
+};
+
+// AutoTiering policy: opportunistic promotion of any sampled-hot chunk
+// directly to the fastest tier with free space; no hotness ranking.
+class AutoTieringPolicy : public TieringPolicy {
+ public:
+  struct Config {
+    u64 promote_batch_bytes = 0;  // required
+  };
+
+  explicit AutoTieringPolicy(Config config) : config_(config) {}
+  std::string name() const override { return "autotiering"; }
+  std::vector<MigrationOrder> Decide(const ProfileOutput& profile, PolicyContext& ctx) override;
+
+ private:
+  Config config_;
+};
+
+// HeMem policy (two tiers): PEBS-hot pages promote to DRAM; eviction under
+// pressure is reclaim-based demotion of inactive pages.
+class HememPolicy : public TieringPolicy {
+ public:
+  struct Config {
+    u64 promote_batch_bytes = 0;  // required
+    double hot_threshold = 2.0;
+  };
+
+  explicit HememPolicy(Config config) : config_(config) {}
+  std::string name() const override { return "hemem"; }
+  std::vector<MigrationOrder> Decide(const ProfileOutput& profile, PolicyContext& ctx) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,66 @@
+// Tiered-AutoNUMA profiler (vanilla and patched), §3/§9.
+//
+// Linux NUMA balancing profiles by unmapping ("hint-arming") a window of
+// virtual address space each scan period; the next access to an armed page
+// takes a hint fault that tells the kernel which task touched which page.
+//
+//  * Vanilla tiered-AutoNUMA promotes a page once it has faulted twice
+//    (two-touch filter); hotness is effectively binary.
+//  * Patched tiered-AutoNUMA ("hot page selection with hint page fault
+//    latency" + "adjust hot threshold automatically") implements MFU:
+//    hotness is the accumulated, decayed fault count, and the policy's
+//    threshold adapts to hit the promotion budget.
+//
+// The profiler arms a fixed-size window (256 MB on the paper's testbed,
+// scaled with the simulation) per interval, walking the address space
+// cyclically as task_numa_work does.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/mem/address_space.h"
+#include "src/profiling/profiler.h"
+#include "src/sim/access_engine.h"
+#include "src/sim/page_table.h"
+
+namespace mtm {
+
+class AutoNumaProfiler : public Profiler {
+ public:
+  struct Config {
+    u64 scan_window_bytes = 0;  // required: 256MB / sim scale
+    bool patched = true;        // MFU + auto threshold (the default baseline)
+    SimNanos arm_cost_ns = 120;  // cost to arm one PTE (a PTE write)
+    double decay = 0.85;         // per-interval decay of fault counts
+    double hot_threshold = 1.5;  // vanilla two-touch rule (with decay)
+  };
+
+  AutoNumaProfiler(PageTable& page_table, const AddressSpace& address_space,
+                   AccessEngine& engine, Config config)
+      : page_table_(page_table), address_space_(address_space), engine_(engine),
+        config_(config) {}
+
+  std::string name() const override {
+    return config_.patched ? "tiered-autonuma" : "vanilla-tiered-autonuma";
+  }
+  void OnIntervalStart() override;
+  ProfileOutput OnIntervalEnd() override;
+  u64 MemoryOverheadBytes() const override;
+
+ private:
+  struct PageStat {
+    double faults = 0.0;  // decayed fault count
+    u32 last_socket = 0;
+  };
+
+  PageTable& page_table_;
+  const AddressSpace& address_space_;
+  AccessEngine& engine_;
+  Config config_;
+
+  u64 scan_cursor_ = 0;  // byte offset into the concatenated VMA space
+  u64 armed_this_interval_ = 0;
+  std::unordered_map<Vpn, PageStat> stats_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,75 @@
+#include "src/profiling/autotiering.h"
+
+namespace mtm {
+
+void AutoTieringProfiler::OnIntervalStart() {
+  sampled_chunks_.clear();
+  scans_this_interval_ = 0;
+  u64 budget = config_.scan_window_bytes;
+  const auto& vmas = address_space_.vmas();
+  u64 total = address_space_.total_bytes();
+  if (vmas.empty() || total < config_.chunk_bytes) {
+    return;
+  }
+  while (budget >= config_.chunk_bytes) {
+    // Byte-weighted random chunk over the whole mapped space.
+    u64 offset = rng_.NextBounded(total);
+    budget -= config_.chunk_bytes;
+    u64 walked = 0;
+    for (const Vma& vma : vmas) {
+      if (offset < walked + vma.len) {
+        u64 within = (offset - walked) / config_.chunk_bytes * config_.chunk_bytes;
+        if (within + config_.chunk_bytes <= vma.len) {
+          sampled_chunks_.push_back(Chunk{vma.start + within, config_.chunk_bytes, 0.0});
+        }
+        break;
+      }
+      walked += vma.len;
+    }
+  }
+}
+
+ProfileOutput AutoTieringProfiler::OnIntervalEnd() {
+  ProfileOutput out;
+  for (auto it = accumulated_.begin(); it != accumulated_.end();) {
+    it->second *= config_.decay;
+    it = it->second < 0.05 ? accumulated_.erase(it) : std::next(it);
+  }
+  for (Chunk& c : sampled_chunks_) {
+    u32 hits = 0;
+    u64 pages = c.len / kPageSize;
+    for (u32 i = 0; i < config_.pages_per_chunk; ++i) {
+      VirtAddr addr = c.start + AddrOfVpn(rng_.NextBounded(pages));
+      bool accessed = false;
+      if (page_table_.ScanAccessed(addr, &accessed) && accessed) {
+        ++hits;
+      }
+      ++scans_this_interval_;
+    }
+    c.hotness = static_cast<double>(hits) / static_cast<double>(config_.pages_per_chunk);
+    if (c.hotness > 0.0) {
+      double& acc = accumulated_[c.start];
+      acc = std::max(acc, c.hotness);
+    } else {
+      accumulated_.erase(c.start);  // freshly observed cold
+    }
+  }
+  for (const auto& [start, hotness] : accumulated_) {
+    HotnessEntry e;
+    e.start = start;
+    e.len = config_.chunk_bytes;
+    e.hotness = hotness;
+    out.entries.push_back(e);
+    out.hot_bytes += e.len;
+  }
+  out.num_regions = accumulated_.size();
+  out.pte_scans = scans_this_interval_;
+  out.profiling_cost_ns = scans_this_interval_ * config_.one_scan_overhead_ns;
+  return out;
+}
+
+u64 AutoTieringProfiler::MemoryOverheadBytes() const {
+  return sampled_chunks_.capacity() * sizeof(Chunk);
+}
+
+}  // namespace mtm

@@ -1,0 +1,60 @@
+// AutoTiering baseline profiler (§3, §9.1).
+//
+// AutoTiering "randomly chooses 256MB pages for profiling to detect hot
+// pages" each interval and has no systematic, hotness-ranked strategy. The
+// model: each interval pick random 2 MiB chunks totaling the scan window,
+// scan a handful of PTE access bits per chunk once, and report the accessed
+// fraction as the chunk's hotness. Randomness in both chunk choice and page
+// choice makes profiling quality uncontrolled — the behavior Figure 1
+// demonstrates (slow ramp to high recall).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mem/address_space.h"
+#include "src/profiling/profiler.h"
+#include "src/sim/page_table.h"
+
+namespace mtm {
+
+class AutoTieringProfiler : public Profiler {
+ public:
+  struct Config {
+    u64 scan_window_bytes = 0;  // required: 256MB / sim scale
+    u64 chunk_bytes = kHugePageSize;
+    u32 pages_per_chunk = 4;   // PTEs sampled per chunk, single scan each
+    double decay = 0.98;        // accumulated hotness decay per interval
+    SimNanos one_scan_overhead_ns = 120;
+    u64 seed = 0xa0707;
+  };
+
+  AutoTieringProfiler(PageTable& page_table, const AddressSpace& address_space, Config config)
+      : page_table_(page_table), address_space_(address_space), config_(config),
+        rng_(config.seed) {}
+
+  std::string name() const override { return "autotiering"; }
+  void OnIntervalStart() override;
+  ProfileOutput OnIntervalEnd() override;
+  u64 MemoryOverheadBytes() const override;
+
+ private:
+  struct Chunk {
+    VirtAddr start = 0;
+    u64 len = 0;
+    double hotness = 0.0;
+  };
+
+  PageTable& page_table_;
+  const AddressSpace& address_space_;
+  Config config_;
+  Rng rng_;
+  std::vector<Chunk> sampled_chunks_;
+  // Hot chunks identified so far (start -> decayed hotness): random
+  // sampling is slow, but what it finds is remembered.
+  std::unordered_map<VirtAddr, double> accumulated_;
+  u64 scans_this_interval_ = 0;
+};
+
+}  // namespace mtm

@@ -1,0 +1,135 @@
+#include "src/profiling/damon.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace mtm {
+
+void DamonProfiler::Initialize() {
+  // One region per VMA: DAMON seeds its regions from the virtual memory
+  // area tree.
+  for (const Vma& vma : address_space_.vmas()) {
+    regions_.SeedWhole(vma.start, vma.end());
+  }
+}
+
+void DamonProfiler::OnIntervalStart() {
+  scans_this_interval_ = 0;
+  for (auto& [start, region] : regions_) {
+    state_[region.id].nr_accesses = 0;
+  }
+}
+
+void DamonProfiler::OnScanTick(u32 tick) {
+  // DAMON's access check: read the accessed bit of the page it mkold'ed at
+  // the previous tick (so the bit reflects exactly one sampling window),
+  // then pick a new random page and mkold it for the next tick.
+  for (auto& [start, region] : regions_) {
+    DamonState& st = state_[region.id];
+    if (st.sampled != 0 && st.sampled >= region.start && st.sampled < region.end) {
+      bool accessed = false;
+      if (page_table_.ScanAccessed(st.sampled, &accessed) && accessed) {
+        ++st.nr_accesses;
+      }
+      ++scans_this_interval_;
+    }
+    u64 pages = region.bytes() / kPageSize;
+    VirtAddr addr = region.start + AddrOfVpn(rng_.NextBounded(pages));
+    bool ignored = false;
+    page_table_.ScanAccessed(addr, &ignored);  // mkold: clear for the next check
+    ++scans_this_interval_;
+    st.sampled = addr;
+  }
+}
+
+ProfileOutput DamonProfiler::OnIntervalEnd() {
+  ProfileOutput out;
+
+  // Update the age-smoothed estimates before structural changes.
+  for (auto& [start, region] : regions_) {
+    DamonState& st = state_[region.id];
+    st.smoothed = 0.5 * st.smoothed + 0.5 * static_cast<double>(st.nr_accesses);
+  }
+
+  // Merge pass: adjacent regions with similar smoothed access estimates.
+  auto it = regions_.begin();
+  while (it != regions_.end()) {
+    auto next = std::next(it);
+    if (next == regions_.end()) {
+      break;
+    }
+    Region& a = it->second;
+    Region& b = next->second;
+    u32 ca = state_[a.id].nr_accesses;
+    u32 cb = state_[b.id].nr_accesses;
+    double diff = std::abs(state_[a.id].smoothed - state_[b.id].smoothed);
+    if (a.end == b.start && diff <= config_.merge_threshold &&
+        regions_.size() > config_.min_regions) {
+      u32 merged = std::max(ca, cb);
+      double smoothed = std::max(state_[a.id].smoothed, state_[b.id].smoothed);
+      state_.erase(b.id);
+      it = regions_.MergeWithNext(it);
+      MTM_CHECK(it != regions_.end());
+      state_[it->second.id].nr_accesses = merged;
+      state_[it->second.id].smoothed = smoothed;
+      ++out.regions_merged;
+      continue;
+    }
+    ++it;
+  }
+
+  // Split pass: if fewer than half the budget exists, split every region in
+  // two at a random point (DAMON's ad-hoc split).
+  if (regions_.size() < config_.max_regions / 2) {
+    std::vector<VirtAddr> starts;
+    starts.reserve(regions_.size());
+    for (auto& [start, region] : regions_) {
+      starts.push_back(start);
+    }
+    for (VirtAddr start : starts) {
+      if (regions_.size() >= config_.max_regions) {
+        break;
+      }
+      auto rit = regions_.FindContaining(start);
+      MTM_CHECK(rit != regions_.end());
+      Region& r = rit->second;
+      u64 pages = r.bytes() / kPageSize;
+      if (pages < 2) {
+        continue;
+      }
+      // Random split offset in [1, pages-1], page aligned, huge-unaware.
+      VirtAddr split_at = r.start + AddrOfVpn(1 + rng_.NextBounded(pages - 1));
+      RegionMap::iterator first;
+      RegionMap::iterator second;
+      if (regions_.Split(rit, split_at, &first, &second)) {
+        DamonState parent = state_[first->second.id];
+        state_[second->second.id] = parent;
+        ++out.regions_split;
+      }
+    }
+  }
+
+  for (auto& [start, region] : regions_) {
+    DamonState& st = state_[region.id];
+    HotnessEntry e;
+    e.start = region.start;
+    e.len = region.bytes();
+    e.hotness = st.smoothed;
+    out.entries.push_back(e);
+    if (e.hotness >= config_.hot_threshold) {
+      out.hot_bytes += e.len;
+    }
+  }
+  out.pte_scans = scans_this_interval_;
+  out.num_regions = regions_.size();
+  out.profiling_cost_ns = scans_this_interval_ * config_.one_scan_overhead_ns;
+  return out;
+}
+
+u64 DamonProfiler::MemoryOverheadBytes() const {
+  return regions_.size() * (sizeof(Region) + sizeof(DamonState) + sizeof(void*) * 4);
+}
+
+}  // namespace mtm

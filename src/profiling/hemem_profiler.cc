@@ -1,0 +1,42 @@
+#include "src/profiling/hemem_profiler.h"
+
+namespace mtm {
+
+ProfileOutput HememProfiler::OnIntervalEnd() {
+  ProfileOutput out;
+  for (auto& [vpn, count] : counts_) {
+    count *= config_.cooling_factor;
+  }
+  std::vector<PebsSample> samples = pebs_.Drain();
+  for (const PebsSample& s : samples) {
+    counts_[VpnOf(s.addr)] += 1.0;
+  }
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    if (it->second < 0.05) {
+      it = counts_.erase(it);
+      continue;
+    }
+    u64 size = kPageSize;
+    const Pte* pte = page_table_.Find(AddrOfVpn(it->first), &size);
+    if (pte != nullptr) {
+      HotnessEntry e;
+      e.start = AddrOfVpn(it->first) & ~(size - 1);
+      e.len = size;
+      e.hotness = it->second;
+      out.entries.push_back(e);
+      if (it->second >= config_.hot_threshold) {
+        out.hot_bytes += size;
+      }
+    }
+    ++it;
+  }
+  out.num_regions = counts_.size();
+  out.profiling_cost_ns = samples.size() * config_.drain_per_sample_ns;
+  return out;
+}
+
+u64 HememProfiler::MemoryOverheadBytes() const {
+  return counts_.size() * (sizeof(Vpn) + sizeof(double) + sizeof(void*) * 2);
+}
+
+}  // namespace mtm

@@ -1,0 +1,43 @@
+// HeMem baseline profiler (§2.1, §9.6).
+//
+// "HeMem only uses perf-counters for mem-profiling": PEBS runs continuously
+// (DRAM and PM load events), per-page sample counts accumulate with periodic
+// cooling, and a page is hot once its count crosses a threshold. The
+// counters' 1-in-200 randomness misses hot pages — the weakness §5.5 calls
+// out — and there is no region formation at all.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/profiling/profiler.h"
+#include "src/sim/page_table.h"
+#include "src/sim/pebs.h"
+
+namespace mtm {
+
+class HememProfiler : public Profiler {
+ public:
+  struct Config {
+    double hot_threshold = 2.0;   // PEBS samples to classify hot
+    double cooling_factor = 0.5;  // per-interval decay
+    SimNanos drain_per_sample_ns = 40;
+  };
+
+  HememProfiler(PageTable& page_table, PebsEngine& pebs, Config config)
+      : page_table_(page_table), pebs_(pebs), config_(config) {}
+
+  std::string name() const override { return "hemem"; }
+
+  void Initialize() override { pebs_.SetEnabled(true); }  // always-on PEBS
+
+  ProfileOutput OnIntervalEnd() override;
+  u64 MemoryOverheadBytes() const override;
+
+ private:
+  PageTable& page_table_;
+  PebsEngine& pebs_;
+  Config config_;
+  std::unordered_map<Vpn, double> counts_;
+};
+
+}  // namespace mtm

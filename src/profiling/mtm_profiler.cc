@@ -1,0 +1,444 @@
+#include "src/profiling/mtm_profiler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace mtm {
+
+MtmProfiler::MtmProfiler(const Machine& machine, PageTable& page_table,
+                         const AddressSpace& address_space, AccessEngine& engine,
+                         PebsEngine* pebs, Config config)
+    : machine_(machine),
+      page_table_(page_table),
+      address_space_(address_space),
+      engine_(engine),
+      pebs_(pebs),
+      config_(config),
+      rng_(config.seed),
+      tau_m_current_(config.tau_m) {
+  MTM_CHECK_GT(config_.interval_ns, 0ull);
+  MTM_CHECK_GT(config_.num_scans, 0u);
+  if (!config_.use_pebs) {
+    pebs_ = nullptr;
+  }
+}
+
+double MtmProfiler::EffectiveScanCost() const {
+  // One hint fault (12x a scan) per hint_fault_period scans.
+  double hint_extra = 12.0 / static_cast<double>(config_.hint_fault_period);
+  return static_cast<double>(config_.one_scan_overhead_ns) * (1.0 + hint_extra);
+}
+
+u64 MtmProfiler::NumPageSamples() const {
+  double budget_ns = static_cast<double>(config_.interval_ns) * config_.overhead_fraction;
+  double per_sample = EffectiveScanCost() * static_cast<double>(config_.num_scans);
+  u64 n = static_cast<u64>(budget_ns / per_sample);
+  return n == 0 ? 1 : n;
+}
+
+void MtmProfiler::Initialize() {
+  for (const Vma& vma : address_space_.vmas()) {
+    regions_.SeedRange(vma.start, vma.end(), config_.default_region_bytes);
+  }
+  for (auto& [start, region] : regions_) {
+    region.socket_hits.assign(machine_.num_sockets(), 0);
+  }
+}
+
+ComponentId MtmProfiler::RegionComponent(const Region& r) const {
+  const Pte* pte = page_table_.Find(r.start);
+  if (pte == nullptr) {
+    // Probe the middle as well; a region may have an unmapped head.
+    pte = page_table_.Find(r.start + r.bytes() / 2);
+  }
+  return pte == nullptr ? kInvalidComponent : pte->component;
+}
+
+bool MtmProfiler::IsSlowTierRegion(const Region& r) const {
+  ComponentId c = RegionComponent(r);
+  return c != kInvalidComponent && machine_.IsSlowestTier(c);
+}
+
+void MtmProfiler::OnIntervalStart() {
+  scans_this_interval_ = 0;
+  pebs_nominations_.clear();
+  if (pebs_ != nullptr) {
+    // Brief counter window at the head of the interval (§5.5).
+    pebs_->SetEnabled(true);
+    pebs_window_open_ = true;
+  }
+  SelectSamples();
+}
+
+void MtmProfiler::SelectSamples() {
+  // Distribute the Equation-1 budget over the regions profiled this
+  // interval. Slow-tier regions wait for PEBS nominations (1 sample each);
+  // all other regions receive their quota of random pages.
+  const u64 num_ps = NumPageSamples();
+  u64 used = 0;
+  u64 region_index = 0;
+  const u64 region_count = regions_.size();
+
+  for (auto& [start, region] : regions_) {
+    region.sampled_pages.clear();
+    region.sample_hits.clear();
+    ++region_index;
+    if (pebs_ != nullptr && IsSlowTierRegion(region)) {
+      continue;  // nominated lazily by the PEBS window
+    }
+    if (used >= num_ps) {
+      continue;  // over budget: overhead control will merge regions down
+    }
+    u32 quota = region.sample_quota;
+    if (!config_.adaptive_sampling) {
+      quota = 1;  // w/o APS: flat random sampling, one page per region
+    }
+    quota = static_cast<u32>(std::min<u64>(quota, num_ps - used));
+    if (quota == 0) {
+      quota = 1;
+    }
+    u64 pages = region.bytes() / kPageSize;
+    quota = static_cast<u32>(std::min<u64>(quota, pages));
+    // Distinct pages: re-scanning the same PTE within a tick would read the
+    // bit it just cleared and destroy the hit count.
+    std::unordered_set<u64> chosen;
+    while (chosen.size() < quota) {
+      chosen.insert(rng_.NextBounded(pages));
+    }
+    for (u64 page : chosen) {
+      VirtAddr addr = region.start + AddrOfVpn(page);
+      // Prime: clear any stale accessed bit so the first scan measures this
+      // interval, not history.
+      bool ignored = false;
+      page_table_.ScanAccessed(addr, &ignored);
+      ++scans_this_interval_;
+      region.sampled_pages.push_back(addr);
+      region.sample_hits.push_back(0);
+    }
+    used += quota;
+  }
+  (void)region_count;
+  (void)region_index;
+}
+
+void MtmProfiler::NominateFromPebs() {
+  if (pebs_ == nullptr || !pebs_window_open_) {
+    return;
+  }
+  pebs_->SetEnabled(false);
+  pebs_window_open_ = false;
+  std::vector<PebsSample> samples = pebs_->Drain();
+  pebs_samples_drained_ += samples.size();
+  std::unordered_set<u64> nominated;
+  for (const PebsSample& s : samples) {
+    auto it = regions_.FindContaining(s.addr);
+    if (it == regions_.end()) {
+      continue;
+    }
+    Region& region = it->second;
+    if (!IsSlowTierRegion(region)) {
+      continue;  // fast-tier regions are already sampled
+    }
+    if (!nominated.insert(region.id).second) {
+      continue;  // one sample per slow region: the PEBS-captured page
+    }
+    // No priming here: the PEBS event itself proves this page was accessed
+    // this interval, so the first scan's accessed bit is evidence.
+    region.sampled_pages.push_back(PageAlignDown(s.addr));
+    region.sample_hits.push_back(0);
+    pebs_nominations_.push_back(s.addr);
+  }
+}
+
+void MtmProfiler::DoScan() {
+  for (auto& [start, region] : regions_) {
+    for (std::size_t i = 0; i < region.sampled_pages.size(); ++i) {
+      bool accessed = false;
+      if (page_table_.ScanAccessed(region.sampled_pages[i], &accessed) && accessed) {
+        ++region.sample_hits[i];
+      }
+      ++scans_this_interval_;
+      // Every hint_fault_period-th scan arms a hint fault on the scanned
+      // page so the next access reveals the accessing socket (§6.2).
+      if (++scans_since_hint_ >= config_.hint_fault_period) {
+        scans_since_hint_ = 0;
+        Pte* pte = page_table_.Find(region.sampled_pages[i]);
+        if (pte != nullptr) {
+          pte->Set(Pte::kHintArmed);
+          page_table_.BumpGeneration();
+        }
+      }
+    }
+  }
+}
+
+void MtmProfiler::OnScanTick(u32 tick) {
+  if (tick == 0) {
+    // The PEBS window closes at the first scan tick; nominated slow-tier
+    // regions join the scan set from here on.
+    NominateFromPebs();
+  }
+  DoScan();
+}
+
+void MtmProfiler::UpdateSocketAttribution() {
+  std::vector<HintFaultEvent> events = engine_.DrainHintFaults();
+  for (const HintFaultEvent& e : events) {
+    auto it = regions_.FindContaining(e.addr);
+    if (it != regions_.end()) {
+      if (it->second.socket_hits.size() != machine_.num_sockets()) {
+        it->second.socket_hits.assign(machine_.num_sockets(), 0);
+      }
+      ++it->second.socket_hits[e.socket];
+    }
+  }
+}
+
+void MtmProfiler::MergePass(ProfileOutput& out) {
+  auto it = regions_.begin();
+  while (it != regions_.end()) {
+    auto next = std::next(it);
+    if (next == regions_.end()) {
+      break;
+    }
+    Region& a = it->second;
+    Region& b = next->second;
+    bool adjacent = a.end == b.start;
+    bool similar = std::abs(a.hi - b.hi) < tau_m_current_;
+    bool both_profiled = !a.sampled_pages.empty() || !b.sampled_pages.empty();
+    // Regions resident on different components never merge: a merged region
+    // headed by fast-tier pages would hide its slow-tier tail from the
+    // PEBS-assisted slow-tier profiling path and from residency probes.
+    bool same_tier = RegionComponent(a) == RegionComponent(b);
+    // Never merge a union whose combined sample disparity already exceeds
+    // the split threshold: the merged region would immediately qualify for
+    // splitting, and the merge/split churn would erase refinement.
+    u32 min_hit = ~0u;
+    u32 max_hit = 0;
+    for (const Region* r : {&a, &b}) {
+      for (u32 h : r->sample_hits) {
+        min_hit = std::min(min_hit, h);
+        max_hit = std::max(max_hit, h);
+      }
+    }
+    bool split_worthy =
+        min_hit != ~0u && static_cast<double>(max_hit - min_hit) > config_.tau_s;
+    if (adjacent && similar && both_profiled && same_tier && !split_worthy) {
+      // Combined sample total is halved, floor one (§5.2); the freed quota
+      // goes to the redistribution pool.
+      u32 combined = a.sample_quota + b.sample_quota;
+      u32 new_quota = std::max<u32>(1, combined / 2);
+      quota_pool_ += combined - new_quota;
+      double merged_hi = (a.hi * static_cast<double>(a.bytes()) +
+                          b.hi * static_cast<double>(b.bytes())) /
+                         static_cast<double>(a.bytes() + b.bytes());
+      double merged_whi;
+      bool whi_init = a.whi_initialized || b.whi_initialized;
+      if (a.whi_initialized && b.whi_initialized) {
+        merged_whi = (a.whi + b.whi) / 2.0;
+      } else {
+        merged_whi = a.whi_initialized ? a.whi : b.whi;
+      }
+      for (u32 s = 0; s < machine_.num_sockets(); ++s) {
+        a.socket_hits[s] += s < b.socket_hits.size() ? b.socket_hits[s] : 0;
+      }
+      it = regions_.MergeWithNext(it);
+      MTM_CHECK(it != regions_.end());
+      it->second.sample_quota = new_quota;
+      it->second.hi = merged_hi;
+      it->second.whi = merged_whi;
+      it->second.whi_initialized = whi_init;
+      ++out.regions_merged;
+      continue;  // try to extend the merge run
+    }
+    ++it;
+  }
+}
+
+void MtmProfiler::SplitPass(ProfileOutput& out) {
+  std::vector<VirtAddr> to_split;
+  for (auto& [start, region] : regions_) {
+    if (region.sample_hits.size() < 2) {
+      continue;
+    }
+    auto [min_it, max_it] =
+        std::minmax_element(region.sample_hits.begin(), region.sample_hits.end());
+    if (static_cast<double>(*max_it - *min_it) > config_.tau_s) {
+      to_split.push_back(start);
+    }
+  }
+  for (VirtAddr start : to_split) {
+    auto it = regions_.FindContaining(start);
+    MTM_CHECK(it != regions_.end());
+    VirtAddr split_at = RegionMap::SplitPoint(it->second);
+    if (split_at == 0) {
+      continue;
+    }
+    RegionMap::iterator first;
+    RegionMap::iterator second;
+    if (!regions_.Split(it, split_at, &first, &second)) {
+      continue;
+    }
+    // Quota splits evenly; total scans unchanged (§5.2). Both halves
+    // inherit the parent's hotness history.
+    Region& left = first->second;
+    Region& right = second->second;
+    u32 q = left.sample_quota;
+    left.sample_quota = std::max<u32>(1, q / 2);
+    right.sample_quota = std::max<u32>(1, q - q / 2);
+    right.hi = left.hi;
+    right.prev_hi = left.prev_hi;
+    right.whi = left.whi;
+    right.whi_initialized = left.whi_initialized;
+    right.socket_hits = left.socket_hits;
+    ++out.regions_split;
+  }
+}
+
+void MtmProfiler::RedistributeQuota() {
+  // Enforce sum(quota) == num_ps: the merge pool plus any imbalance goes to
+  // the regions with the largest HI variance across the last two intervals
+  // (top-five records, §5.2); excess is reclaimed from the least-varying.
+  const u64 num_ps = NumPageSamples();
+  u64 total = 0;
+  std::vector<Region*> all;
+  all.reserve(regions_.size());
+  for (auto& [start, region] : regions_) {
+    total += region.sample_quota;
+    all.push_back(&region);
+  }
+  quota_pool_ = 0;  // consumed by the normalization below
+
+  if (all.empty()) {
+    return;
+  }
+  auto variance_desc = [](Region* a, Region* b) {
+    return a->HotnessVariance() > b->HotnessVariance();
+  };
+  if (total < num_ps) {
+    u64 extra = num_ps - total;
+    if (config_.adaptive_sampling) {
+      std::partial_sort(all.begin(),
+                        all.begin() + std::min<std::size_t>(config_.top_variance_k, all.size()),
+                        all.end(), variance_desc);
+      std::size_t k = std::min<std::size_t>(config_.top_variance_k, all.size());
+      for (u64 i = 0; i < extra; ++i) {
+        ++all[i % k]->sample_quota;
+      }
+    } else {
+      for (u64 i = 0; i < extra; ++i) {
+        ++all[rng_.NextBounded(all.size())]->sample_quota;
+      }
+    }
+  } else if (total > num_ps) {
+    u64 excess = total - num_ps;
+    std::sort(all.begin(), all.end(),
+              [](Region* a, Region* b) { return a->HotnessVariance() < b->HotnessVariance(); });
+    for (Region* r : all) {
+      while (excess > 0 && r->sample_quota > 1) {
+        --r->sample_quota;
+        --excess;
+      }
+      if (excess == 0) {
+        break;
+      }
+    }
+  }
+}
+
+ProfileOutput MtmProfiler::OnIntervalEnd() {
+  ProfileOutput out;
+  UpdateSocketAttribution();
+
+  // HI and WHI updates (§5.1, §6.1).
+  for (auto& [start, region] : regions_) {
+    region.prev_hi = region.hi;
+    if (!region.sampled_pages.empty()) {
+      double sum = 0.0;
+      for (u32 hits : region.sample_hits) {
+        sum += static_cast<double>(hits);
+      }
+      region.hi = sum / static_cast<double>(region.sampled_pages.size());
+    } else {
+      // Unprofiled slow-tier region with no PEBS activity: observed cold.
+      region.hi = 0.0;
+    }
+    if (region.whi_initialized) {
+      region.whi = config_.alpha * region.hi + (1.0 - config_.alpha) * region.whi;
+    } else {
+      region.whi = region.hi;
+      region.whi_initialized = true;
+    }
+    // Socket-attribution decay so stale views age out.
+    for (u32& hits : region.socket_hits) {
+      hits /= 2;
+    }
+  }
+
+  if (config_.adaptive_regions) {
+    MergePass(out);
+    SplitPass(out);
+  }
+
+  // Overhead control (§5.3): if the region count exceeds the sample budget,
+  // escalate tau_m across intervals until merging catches up, then reset.
+  if (config_.overhead_control) {
+    const u64 num_ps = NumPageSamples();
+    if (regions_.size() > num_ps) {
+      tau_m_current_ = std::min(tau_m_current_ * 1.5 + 0.1,
+                                static_cast<double>(config_.num_scans));
+    } else {
+      tau_m_current_ = config_.tau_m;
+    }
+    RedistributeQuota();
+  }
+
+  // Emit the policy view.
+  out.entries.reserve(regions_.size());
+  for (auto& [start, region] : regions_) {
+    HotnessEntry e;
+    e.start = region.start;
+    e.len = region.bytes();
+    e.hotness = region.whi;
+    u32 best_socket = 0;
+    u32 best_hits = 0;
+    for (u32 s = 0; s < region.socket_hits.size(); ++s) {
+      if (region.socket_hits[s] > best_hits) {
+        best_hits = region.socket_hits[s];
+        best_socket = s;
+      }
+    }
+    e.preferred_socket = best_socket;
+    out.entries.push_back(e);
+    if (region.whi >= config_.hot_whi_threshold) {
+      out.hot_bytes += region.bytes();
+    }
+  }
+
+  out.pte_scans = scans_this_interval_;
+  out.num_regions = regions_.size();
+  out.profiling_cost_ns =
+      static_cast<SimNanos>(static_cast<double>(scans_this_interval_) * EffectiveScanCost()) +
+      pebs_samples_drained_ * config_.pebs_drain_per_sample_ns;
+  last_scans_ = scans_this_interval_;
+  pebs_samples_drained_ = 0;
+  return out;
+}
+
+u64 MtmProfiler::MemoryOverheadBytes() const {
+  // Region metadata: begin address + offset, current and historical hotness
+  // (two floats), quota, and the socket tallies — per §5.3's accounting.
+  u64 per_region = sizeof(Region) + machine_.num_sockets() * sizeof(u32);
+  u64 samples = 0;
+  for (const auto& [start, region] : regions_) {
+    samples += region.sampled_pages.capacity() * sizeof(VirtAddr) +
+               region.sample_hits.capacity() * sizeof(u32);
+  }
+  // Hash-map index over address ranges (§9.1) modeled at ~1.5x node cost.
+  u64 index = regions_.size() * (sizeof(void*) * 4 + sizeof(u64));
+  return regions_.size() * per_region + samples + index;
+}
+
+}  // namespace mtm

@@ -1,0 +1,81 @@
+#include "src/profiling/oracle.h"
+
+#include <algorithm>
+
+namespace mtm {
+
+void Oracle::Normalize(std::vector<HotRange>& ranges) {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const HotRange& a, const HotRange& b) { return a.start < b.start; });
+  std::vector<HotRange> merged;
+  for (const HotRange& r : ranges) {
+    if (r.len == 0) {
+      continue;
+    }
+    if (!merged.empty() && r.start <= merged.back().end()) {
+      VirtAddr new_end = std::max(merged.back().end(), r.end());
+      merged.back().len = new_end - merged.back().start;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  ranges.swap(merged);
+}
+
+u64 Oracle::OverlapBytes(const std::vector<HotRange>& truth, VirtAddr start, u64 len) {
+  VirtAddr end = start + len;
+  u64 overlap = 0;
+  // First truth range whose end might exceed start.
+  auto it = std::lower_bound(truth.begin(), truth.end(), start,
+                             [](const HotRange& r, VirtAddr v) { return r.end() <= v; });
+  for (; it != truth.end() && it->start < end; ++it) {
+    VirtAddr lo = std::max(it->start, start);
+    VirtAddr hi = std::min(it->end(), end);
+    if (hi > lo) {
+      overlap += hi - lo;
+    }
+  }
+  return overlap;
+}
+
+ProfilingQuality Oracle::Evaluate(std::vector<HotRange> truth, const ProfileOutput& output) {
+  ProfilingQuality q;
+  Normalize(truth);
+  for (const HotRange& r : truth) {
+    q.true_hot_bytes += r.len;
+  }
+  if (q.true_hot_bytes == 0) {
+    return q;
+  }
+
+  std::vector<const HotnessEntry*> ranked;
+  ranked.reserve(output.entries.size());
+  for (const HotnessEntry& e : output.entries) {
+    if (e.hotness > 0.0) {
+      ranked.push_back(&e);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const HotnessEntry* a, const HotnessEntry* b) { return a->hotness > b->hotness; });
+
+  for (const HotnessEntry* e : ranked) {
+    if (q.claimed_hot_bytes >= q.true_hot_bytes) {
+      break;
+    }
+    // The final entry is clipped to the remaining claim volume so a single
+    // giant region cannot blow past the budget (a real system would promote
+    // only that much of it).
+    u64 deficit = q.true_hot_bytes - q.claimed_hot_bytes;
+    u64 take = std::min<u64>(e->len, deficit);
+    q.claimed_hot_bytes += take;
+    q.correct_hot_bytes += OverlapBytes(truth, e->start, take);
+  }
+  q.recall = static_cast<double>(q.correct_hot_bytes) / static_cast<double>(q.true_hot_bytes);
+  q.accuracy = q.claimed_hot_bytes == 0
+                   ? 0.0
+                   : static_cast<double>(q.correct_hot_bytes) /
+                         static_cast<double>(q.claimed_hot_bytes);
+  return q;
+}
+
+}  // namespace mtm

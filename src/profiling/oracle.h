@@ -1,0 +1,49 @@
+// Ground-truth profiling-quality evaluation (Figure 1).
+//
+// The paper defines, for hot-page detection:
+//   recall   = correctly-detected hot / true hot
+//   accuracy = correctly-detected hot / total detected hot
+// computed here byte-weighted against workload-declared true-hot ranges
+// (GUPS knows its hot set a priori, exactly as in the paper's methodology).
+//
+// The claimed-hot set is built uniformly across profilers: entries ranked by
+// hotness descending, claimed until the claimed volume reaches the true hot
+// volume or hotness falls to zero. A coarse profiler that lumps hot and
+// cold pages into one region claims many cold bytes and scores low accuracy
+// — the DAMON behavior in Figure 1(b).
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/profiling/profiler.h"
+
+namespace mtm {
+
+struct HotRange {
+  VirtAddr start = 0;
+  u64 len = 0;
+  VirtAddr end() const { return start + len; }
+};
+
+struct ProfilingQuality {
+  double recall = 0.0;
+  double accuracy = 0.0;
+  u64 true_hot_bytes = 0;
+  u64 claimed_hot_bytes = 0;
+  u64 correct_hot_bytes = 0;
+};
+
+class Oracle {
+ public:
+  // `truth` need not be sorted or disjoint; it is normalized internally.
+  static ProfilingQuality Evaluate(std::vector<HotRange> truth, const ProfileOutput& output);
+
+  // Bytes of overlap between [start, start+len) and the normalized truth.
+  static u64 OverlapBytes(const std::vector<HotRange>& sorted_truth, VirtAddr start, u64 len);
+
+  // Sorts and merges ranges in place.
+  static void Normalize(std::vector<HotRange>& ranges);
+};
+
+}  // namespace mtm

@@ -1,0 +1,68 @@
+// Common interface for all memory profilers (MTM, DAMON, Thermostat,
+// AutoTiering's random sampler, tiered-AutoNUMA's hint faults, HeMem's
+// PEBS-only profiler).
+//
+// The simulation driver runs each profiling interval in `num_scan_ticks`
+// equal slices of application work; after each slice it calls OnScanTick so
+// multi-scan profilers (MTM, §5.1) can re-scan their sampled PTEs within the
+// interval. At the end of the interval, OnIntervalEnd returns the hotness
+// view the migration policy consumes, plus the profiling cost to charge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/tier.h"
+
+namespace mtm {
+
+// One profiled extent with its hotness estimate. For region-based profilers
+// an entry is a region; for page-based profilers (AutoNUMA, HeMem) an entry
+// is a page or a small run of pages.
+struct HotnessEntry {
+  VirtAddr start = 0;
+  u64 len = 0;
+  double hotness = 0.0;       // profiler-specific scale; higher is hotter
+  u32 preferred_socket = 0;   // multi-view destination (§6.2)
+
+  VirtAddr end() const { return start + len; }
+};
+
+struct ProfileOutput {
+  std::vector<HotnessEntry> entries;
+  SimNanos profiling_cost_ns = 0;  // charged to the profiling time bucket
+
+  // Statistics for Tables 5 and 7.
+  u64 pte_scans = 0;
+  u64 regions_merged = 0;
+  u64 regions_split = 0;
+  u64 num_regions = 0;
+
+  // Bytes this profiler currently classifies as hot (Table 3's "volume of
+  // hot pages identified").
+  u64 hot_bytes = 0;
+};
+
+class Profiler {
+ public:
+  virtual ~Profiler() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called once when the address space layout is final (after workload
+  // Build) so region-based profilers can seed their region lists.
+  virtual void Initialize() {}
+
+  virtual void OnIntervalStart() {}
+
+  // tick runs 0..num_scan_ticks-1 within each interval.
+  virtual void OnScanTick(u32 tick) {}
+
+  virtual ProfileOutput OnIntervalEnd() = 0;
+
+  // Metadata footprint (Table 5).
+  virtual u64 MemoryOverheadBytes() const = 0;
+};
+
+}  // namespace mtm

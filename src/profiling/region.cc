@@ -1,0 +1,106 @@
+#include "src/profiling/region.h"
+
+#include "src/common/logging.h"
+
+namespace mtm {
+
+void RegionMap::SeedRange(VirtAddr start, VirtAddr end, u64 region_bytes) {
+  MTM_CHECK_LT(start, end);
+  MTM_CHECK_GT(region_bytes, 0ull);
+  VirtAddr cursor = start;
+  while (cursor < end) {
+    VirtAddr next = cursor - (cursor % region_bytes) + region_bytes;
+    if (next > end) {
+      next = end;
+    }
+    Region r;
+    r.id = next_id_++;
+    r.start = cursor;
+    r.end = next;
+    regions_.emplace(cursor, std::move(r));
+    cursor = next;
+  }
+}
+
+void RegionMap::SeedWhole(VirtAddr start, VirtAddr end) {
+  MTM_CHECK_LT(start, end);
+  Region r;
+  r.id = next_id_++;
+  r.start = start;
+  r.end = end;
+  regions_.emplace(start, std::move(r));
+}
+
+RegionMap::iterator RegionMap::FindContaining(VirtAddr addr) {
+  auto it = regions_.upper_bound(addr);
+  if (it == regions_.begin()) {
+    return regions_.end();
+  }
+  --it;
+  if (addr >= it->second.start && addr < it->second.end) {
+    return it;
+  }
+  return regions_.end();
+}
+
+RegionMap::iterator RegionMap::MergeWithNext(iterator it) {
+  MTM_CHECK(it != regions_.end());
+  auto next = std::next(it);
+  if (next == regions_.end() || next->second.start != it->second.end) {
+    return regions_.end();
+  }
+  it->second.end = next->second.end;
+  regions_.erase(next);
+  return it;
+}
+
+bool RegionMap::Split(iterator it, VirtAddr split_addr, iterator* first, iterator* second) {
+  MTM_CHECK(it != regions_.end());
+  Region& r = it->second;
+  if (split_addr <= r.start || split_addr >= r.end) {
+    return false;
+  }
+  Region right;
+  right.id = next_id_++;
+  right.start = split_addr;
+  right.end = r.end;
+  r.end = split_addr;
+  auto [rit, inserted] = regions_.emplace(right.start, std::move(right));
+  MTM_CHECK(inserted);
+  if (first != nullptr) {
+    *first = it;
+  }
+  if (second != nullptr) {
+    *second = rit;
+  }
+  return true;
+}
+
+VirtAddr RegionMap::SplitPoint(const Region& region) {
+  u64 bytes = region.bytes();
+  if (bytes <= kPageSize) {
+    return 0;
+  }
+  VirtAddr mid = region.start + bytes / 2;
+  if (bytes > kHugePageSize) {
+    // Round to the nearest huge-page boundary (§5.4). The halves may be
+    // slightly unequal; the paper notes the difference is small relative to
+    // MB-scale regions.
+    VirtAddr down = HugeAlignDown(mid);
+    VirtAddr up = HugeAlignUp(mid);
+    VirtAddr candidate = (mid - down <= up - mid) ? down : up;
+    if (candidate > region.start && candidate < region.end) {
+      return candidate;
+    }
+    // Fall back to whichever huge boundary is interior.
+    if (down > region.start) {
+      return down;
+    }
+    if (up < region.end) {
+      return up;
+    }
+  }
+  return PageAlignDown(mid) > region.start ? PageAlignDown(mid) : region.start + kPageSize;
+}
+
+}  // namespace mtm

@@ -1,0 +1,67 @@
+// Thermostat baseline profiler (§3, §9.3).
+//
+// Thermostat keeps fixed-size (2 MiB) regions and samples one random 4 KiB
+// page per region, counting its accesses exactly by write-protecting it and
+// taking protection faults. Modeled consequences, per the paper:
+//  * exact counts for the sampled page (we read them from the access
+//    tracker, standing in for fault counting);
+//  * a per-sample cost ~2.5x MTM's PTE-scan cost — so under the same
+//    overhead budget Thermostat profiles proportionally fewer pages;
+//  * inside a huge page it still samples a single 4 KiB sub-page, losing
+//    profiling quality (§5.4).
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mem/address_space.h"
+#include "src/profiling/profiler.h"
+#include "src/sim/access_tracker.h"
+
+namespace mtm {
+
+class ThermostatProfiler : public Profiler {
+ public:
+  struct Config {
+    u64 region_bytes = kHugePageSize;  // fixed-size regions
+    double cost_multiplier = 2.5;       // vs one PTE scan (paper §9.3)
+    u32 scans_equivalent = 3;           // budget parity with MTM's num_scans
+    SimNanos one_scan_overhead_ns = 120;
+    double overhead_fraction = 0.05;
+    SimNanos interval_ns = 0;  // required
+    double hot_threshold = 8.0;  // exact accesses/interval to call a page hot
+    u64 seed = 0x7e7a0;
+  };
+
+  ThermostatProfiler(const AddressSpace& address_space, const AccessTracker& tracker,
+                     Config config);
+
+  std::string name() const override { return "thermostat"; }
+  void Initialize() override;
+  void OnIntervalStart() override;
+  ProfileOutput OnIntervalEnd() override;
+  u64 MemoryOverheadBytes() const override;
+
+  // Number of regions the overhead budget lets Thermostat sample per
+  // interval.
+  u64 SampleBudget() const;
+
+ private:
+  struct FixedRegion {
+    VirtAddr start = 0;
+    u64 len = 0;
+    VirtAddr sampled = 0;   // page sampled this interval (0 = unsampled)
+    u64 baseline = 0;       // tracker count when sampling started
+    double hotness = 0.0;
+  };
+
+  const AddressSpace& address_space_;
+  const AccessTracker& tracker_;
+  Config config_;
+  Rng rng_;
+  std::vector<FixedRegion> regions_;
+  u64 rotation_ = 0;  // rotating window over regions when budget < regions
+  u64 sampled_this_interval_ = 0;
+};
+
+}  // namespace mtm

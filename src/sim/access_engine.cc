@@ -1,0 +1,135 @@
+#include "src/sim/access_engine.h"
+
+#include <algorithm>
+
+namespace mtm {
+
+AccessEngine::AccessEngine(const Machine& machine, PageTable& page_table, SimClock& clock,
+                           MemCounters& counters, Config config)
+    : machine_(machine),
+      page_table_(page_table),
+      clock_(clock),
+      counters_(counters),
+      config_(config),
+      tlb_(kTlbSize) {
+  MTM_CHECK_GT(config_.num_threads, 0u);
+}
+
+SimNanos AccessEngine::AccessCost(u32 socket, ComponentId component) const {
+  const LinkSpec& link = machine_.link(socket, component);
+  // Latency is overlapped across the application's threads; bandwidth at the
+  // component is a hard floor that concurrency cannot hide.
+  double latency_share =
+      static_cast<double>(link.latency_ns) / static_cast<double>(config_.num_threads);
+  double bandwidth_floor = static_cast<double>(config_.access_bytes) / link.BytesPerNano();
+  double cpu = static_cast<double>(config_.cpu_ns_per_access) /
+               static_cast<double>(config_.num_threads);
+  return static_cast<SimNanos>(std::max(latency_share, bandwidth_floor) + cpu);
+}
+
+SimNanos AccessEngine::PageFillCost(u32 socket, ComponentId component) const {
+  const LinkSpec& link = machine_.link(socket, component);
+  double transfer = static_cast<double>(kPageSize) / link.BytesPerNano();
+  return static_cast<SimNanos>((static_cast<double>(link.latency_ns) + transfer) /
+                               static_cast<double>(config_.num_threads));
+}
+
+Pte* AccessEngine::Translate(VirtAddr addr) {
+  Vpn vpn = VpnOf(addr);
+  TlbEntry& slot = tlb_[vpn & (kTlbSize - 1)];
+  if (slot.vpn == vpn && slot.generation == page_table_.generation()) {
+    return slot.pte;
+  }
+  Pte* pte = page_table_.Find(addr);
+  if (pte != nullptr) {
+    slot = TlbEntry{vpn, pte, page_table_.generation()};
+  }
+  return pte;
+}
+
+ComponentId AccessEngine::Apply(VirtAddr addr, bool is_write, u32 socket) {
+  ++total_accesses_;
+  Pte* pte = Translate(addr);
+  if (pte == nullptr) {
+    MTM_CHECK(fault_handler_ != nullptr) << "page fault with no handler, addr=" << addr;
+    ++page_faults_;
+    clock_.AdvanceApp(config_.page_fault_ns / config_.num_threads);
+    ComponentId placed = fault_handler_->HandlePageFault(addr, socket, is_write);
+    MTM_CHECK_NE(placed, kInvalidComponent) << "unserviceable page fault";
+    pte = Translate(addr);
+    MTM_CHECK(pte != nullptr) << "fault handler did not map the page";
+  }
+
+  // Hint fault (NUMA balancing): record the accessing socket, then proceed.
+  if (pte->flags & Pte::kHintArmed) {
+    pte->Clear(Pte::kHintArmed);
+    page_table_.BumpGeneration();
+    hint_fault_buffer_.push_back(HintFaultEvent{addr, socket, is_write});
+    ++hint_faults_;
+    clock_.AdvanceApp(config_.hint_fault_ns / config_.num_threads);
+  }
+
+  // Write-tracking fault (move_memory_regions dirtiness tracking).
+  if (is_write && pte->write_tracked()) {
+    pte->Clear(Pte::kWriteTracked);
+    page_table_.BumpGeneration();
+    ++write_track_faults_;
+    clock_.AdvanceApp(config_.write_track_fault_ns / config_.num_threads);
+    if (write_observer_ != nullptr) {
+      write_observer_->OnWriteTrackFault(addr, socket);
+    }
+  }
+
+  // MMU: accessed/dirty bits.
+  pte->Set(Pte::kAccessed);
+  if (is_write) {
+    pte->Set(Pte::kDirty);
+  }
+
+  ComponentId component = pte->component;
+  counters_.CountApp(component, is_write);
+  if (tracker_ != nullptr) {
+    tracker_->OnAccess(addr, is_write);
+  }
+
+  // Memory-mode caching intercepts the cost model: hits are served at local
+  // DRAM speed, misses pay the PM access plus the line fill, and dirty
+  // evictions pay the writeback (write amplification).
+  if (!hmc_caches_.empty() && machine_.component(component).mem_class == MemClass::kPm) {
+    u32 home = machine_.component(component).home_socket;
+    HmcCache* cache = hmc_caches_[home];
+    MTM_CHECK(cache != nullptr);
+    HmcCache::AccessOutcome outcome = cache->Access(VpnOf(addr), is_write);
+    ComponentId local_dram = machine_.TierOrder(home)[0];
+    if (outcome.hit) {
+      clock_.AdvanceApp(AccessCost(socket, local_dram) +
+                        config_.hmc_hit_overhead_ns / config_.num_threads);
+    } else {
+      // Miss: the demand access goes to PM, and the 4 KiB line fill consumes
+      // PM bandwidth (modeled as a handful of line transfers of overhead).
+      SimNanos miss_cost = AccessCost(socket, component);
+      SimNanos fill_cost = PageFillCost(home, component);
+      SimNanos writeback_cost = outcome.dirty_writeback ? PageFillCost(home, component) : 0;
+      clock_.AdvanceApp(miss_cost + fill_cost + writeback_cost);
+      counters_.CountMigrationBytes(component, kPageSize);
+    }
+    if (pebs_ != nullptr) {
+      pebs_->Observe(addr, component, socket, is_write);
+    }
+    return component;
+  }
+
+  clock_.AdvanceApp(AccessCost(socket, component));
+  if (pebs_ != nullptr) {
+    pebs_->Observe(addr, component, socket, is_write);
+  }
+  return component;
+}
+
+std::vector<HintFaultEvent> AccessEngine::DrainHintFaults() {
+  std::vector<HintFaultEvent> out;
+  out.swap(hint_fault_buffer_);
+  return out;
+}
+
+}  // namespace mtm

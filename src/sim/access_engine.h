@@ -1,0 +1,142 @@
+// The access engine plays the role of the CPU + MMU: it applies the
+// application's memory accesses to the simulated machine.
+//
+// For each access it:
+//   1. translates through the page table (with a small software TLB for
+//      simulation speed — invalidated by page-table generation bumps);
+//   2. on a missing translation, invokes the fault handler (first-touch
+//      allocation, THP fault, etc.);
+//   3. sets the PTE accessed/dirty bits — the raw signal every PTE-scan
+//      profiler in the paper consumes;
+//   4. services hint faults (NUMA-balancing-style) and write-tracking
+//      faults (move_memory_regions dirtiness tracking);
+//   5. charges simulated time from the tier's latency/bandwidth (Table 1),
+//      divided by the thread concurrency but floored by the component's
+//      bandwidth;
+//   6. feeds the PEBS engine and the per-tier counters.
+#pragma once
+
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/types.h"
+#include "src/sim/access_tracker.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/hmc_cache.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+#include "src/sim/pebs.h"
+
+namespace mtm {
+
+// Services page faults (missing translation). Implementations decide
+// placement (first-touch NUMA, MTM's slow-tier-first, memory mode) and must
+// map the page (base or huge) into the page table before returning.
+class FaultHandler {
+ public:
+  virtual ~FaultHandler() = default;
+  // Returns the component the faulting page was placed on, or
+  // kInvalidComponent if the fault could not be serviced (treated fatal).
+  virtual ComponentId HandlePageFault(VirtAddr addr, u32 socket, bool is_write) = 0;
+};
+
+// Notified when a write hits a write-tracked page (the reserved-PTE-bit
+// write-protect fault used by move_memory_regions, §7.2/§8).
+class WriteTrackObserver {
+ public:
+  virtual ~WriteTrackObserver() = default;
+  virtual void OnWriteTrackFault(VirtAddr addr, u32 socket) = 0;
+};
+
+// A NUMA hint fault observed by the kernel: records which socket touched
+// which address. MTM samples these 1-in-12 PTE scans to resolve the
+// multi-view migration destination (§6.2); tiered-AutoNUMA profiles with
+// them exclusively.
+struct HintFaultEvent {
+  VirtAddr addr = 0;
+  u32 socket = 0;
+  bool is_write = false;
+};
+
+class AccessEngine {
+ public:
+  struct Config {
+    u32 num_threads = 8;          // concurrency divisor for latency
+    SimNanos cpu_ns_per_access = 8;  // non-memory work per access, per thread
+    SimNanos page_fault_ns = 1500;   // minor fault service time
+    SimNanos hint_fault_ns = 1200;   // NUMA hint fault service time
+    SimNanos write_track_fault_ns = 40000;  // §9.5: ~40us per tracked fault
+    SimNanos hmc_hit_overhead_ns = 40;      // Memory-Mode tag/directory check
+    u64 access_bytes = 64;           // one cache line per access
+  };
+
+  AccessEngine(const Machine& machine, PageTable& page_table, SimClock& clock,
+               MemCounters& counters, Config config);
+
+  void set_fault_handler(FaultHandler* handler) { fault_handler_ = handler; }
+  void set_write_track_observer(WriteTrackObserver* observer) { write_observer_ = observer; }
+  void set_pebs(PebsEngine* pebs) { pebs_ = pebs; }
+  void set_tracker(AccessTracker* tracker) { tracker_ = tracker; }
+
+  // Enables Memory-Mode caching: `caches[s]` fronts the PM of socket s.
+  // In this mode the page's resident component is PM but hits are charged
+  // at local-DRAM cost.
+  void set_hmc_caches(std::vector<HmcCache*> caches) { hmc_caches_ = std::move(caches); }
+
+  const Config& config() const { return config_; }
+
+  // Applies one application access issued by a thread running on `socket`.
+  // Advances the application clock. Returns the component that serviced the
+  // access (after any fault handling).
+  ComponentId Apply(VirtAddr addr, bool is_write, u32 socket);
+
+  // Drains hint-fault events recorded since the last call.
+  std::vector<HintFaultEvent> DrainHintFaults();
+
+  u64 total_accesses() const { return total_accesses_; }
+  u64 page_faults() const { return page_faults_; }
+  u64 hint_faults() const { return hint_faults_; }
+  u64 write_track_faults() const { return write_track_faults_; }
+
+  // Cost (ns of application time) of one access to `component` from
+  // `socket`, given the configured concurrency. Exposed for cost-model
+  // tests and for the HMC fill model.
+  SimNanos AccessCost(u32 socket, ComponentId component) const;
+
+  // Cost of transferring one 4 KiB cache line between DRAM cache and PM in
+  // Memory Mode (latency + full-page transfer, amortized over threads).
+  SimNanos PageFillCost(u32 socket, ComponentId component) const;
+
+ private:
+  struct TlbEntry {
+    Vpn vpn = ~u64{0};
+    Pte* pte = nullptr;
+    u64 generation = ~u64{0};
+  };
+  static constexpr u64 kTlbSize = 256;  // direct-mapped software TLB
+
+  Pte* Translate(VirtAddr addr);
+
+  const Machine& machine_;
+  PageTable& page_table_;
+  SimClock& clock_;
+  MemCounters& counters_;
+  Config config_;
+
+  FaultHandler* fault_handler_ = nullptr;
+  WriteTrackObserver* write_observer_ = nullptr;
+  PebsEngine* pebs_ = nullptr;
+  AccessTracker* tracker_ = nullptr;
+  std::vector<HmcCache*> hmc_caches_;
+
+  std::vector<TlbEntry> tlb_;
+  std::vector<HintFaultEvent> hint_fault_buffer_;
+
+  u64 total_accesses_ = 0;
+  u64 page_faults_ = 0;
+  u64 hint_faults_ = 0;
+  u64 write_track_faults_ = 0;
+};
+
+}  // namespace mtm

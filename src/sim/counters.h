@@ -1,0 +1,56 @@
+// Per-component access counters, modeled on Intel Processor Counter Monitor
+// as used for Table 6 of the paper: application accesses are counted
+// separately from migration traffic so migrations don't pollute the
+// application's tier-access statistics.
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/tier.h"
+
+namespace mtm {
+
+class MemCounters {
+ public:
+  explicit MemCounters(u32 num_components)
+      : app_reads_(num_components, 0),
+        app_writes_(num_components, 0),
+        migration_bytes_(num_components, 0) {}
+
+  void CountApp(ComponentId c, bool is_write) {
+    if (is_write) {
+      ++app_writes_[c];
+    } else {
+      ++app_reads_[c];
+    }
+  }
+
+  void CountMigrationBytes(ComponentId c, u64 bytes) { migration_bytes_[c] += bytes; }
+
+  u64 app_reads(ComponentId c) const { return app_reads_[c]; }
+  u64 app_writes(ComponentId c) const { return app_writes_[c]; }
+  u64 app_accesses(ComponentId c) const { return app_reads_[c] + app_writes_[c]; }
+  u64 migration_bytes(ComponentId c) const { return migration_bytes_[c]; }
+
+  u64 total_app_accesses() const {
+    u64 total = 0;
+    for (std::size_t c = 0; c < app_reads_.size(); ++c) {
+      total += app_reads_[c] + app_writes_[c];
+    }
+    return total;
+  }
+
+  void Reset() {
+    std::fill(app_reads_.begin(), app_reads_.end(), 0);
+    std::fill(app_writes_.begin(), app_writes_.end(), 0);
+    std::fill(migration_bytes_.begin(), migration_bytes_.end(), 0);
+  }
+
+ private:
+  std::vector<u64> app_reads_;
+  std::vector<u64> app_writes_;
+  std::vector<u64> migration_bytes_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,75 @@
+// Hardware-managed memory caching (Optane "Memory Mode") model.
+//
+// In Memory Mode the DRAM of each socket becomes a direct-mapped,
+// 4 KiB-line, hardware-managed cache in front of that socket's PM; software
+// sees only the PM capacity. The paper uses this as the HMC baseline and
+// attributes its losses to (a) data duplication (DRAM capacity is invisible)
+// and (b) write amplification on misses that evict dirty lines (§2.1, §9.1).
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/machine.h"
+
+namespace mtm {
+
+class HmcCache {
+ public:
+  // One cache per socket: `dram_capacity` bytes of 4 KiB lines fronting the
+  // socket's PM component.
+  HmcCache(const Machine& machine, u32 socket, u64 dram_capacity)
+      : machine_(machine), socket_(socket) {
+    num_sets_ = dram_capacity / kPageSize;
+    tags_.assign(num_sets_, kInvalidTag);
+    dirty_.assign(num_sets_, 0);
+  }
+
+  struct AccessOutcome {
+    bool hit = false;
+    bool dirty_writeback = false;  // miss evicted a dirty line (write amplification)
+  };
+
+  AccessOutcome Access(Vpn vpn, bool is_write) {
+    AccessOutcome outcome;
+    u64 set = vpn % num_sets_;
+    if (tags_[set] == vpn) {
+      outcome.hit = true;
+      ++hits_;
+    } else {
+      ++misses_;
+      if (tags_[set] != kInvalidTag && dirty_[set]) {
+        outcome.dirty_writeback = true;
+        ++dirty_writebacks_;
+      }
+      tags_[set] = vpn;
+      dirty_[set] = 0;
+    }
+    if (is_write) {
+      dirty_[set] = 1;
+    }
+    return outcome;
+  }
+
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+  u64 dirty_writebacks() const { return dirty_writebacks_; }
+  double hit_rate() const {
+    u64 total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  static constexpr u64 kInvalidTag = ~u64{0};
+
+  const Machine& machine_;
+  u32 socket_;
+  u64 num_sets_;
+  std::vector<u64> tags_;
+  std::vector<u8> dirty_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 dirty_writebacks_ = 0;
+};
+
+}  // namespace mtm

@@ -1,0 +1,75 @@
+// Machine topology: sockets, memory components, and the latency/bandwidth
+// matrix between them. Provides the two configurations evaluated in the
+// paper: the two-socket four-tier Optane system (Table 1) and a
+// single-socket two-tier DRAM+PM system (§9.6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/sim/tier.h"
+
+namespace mtm {
+
+class Machine {
+ public:
+  Machine(u32 num_sockets, std::vector<ComponentSpec> components,
+          std::vector<std::vector<LinkSpec>> links);
+
+  // The paper's testbed (Table 1), capacities divided by `scale` (the
+  // simulation also scales workload footprints and time constants by the
+  // same factor, preserving every capacity ratio):
+  //   tier 1 (local DRAM):   90 ns, 95 GB/s, 96 GB / scale
+  //   tier 2 (remote DRAM): 145 ns, 35 GB/s, 96 GB / scale
+  //   tier 3 (local PM):    275 ns, 35 GB/s, 756 GB / scale
+  //   tier 4 (remote PM):   340 ns,  1 GB/s, 756 GB / scale
+  static Machine OptaneFourTier(u64 scale);
+
+  // Single socket with one DRAM (tier 1) and one PM (tier 2) component, as
+  // used for the HeMem comparison in §9.6.
+  static Machine TwoTier(u64 scale);
+
+  u32 num_sockets() const { return num_sockets_; }
+  u32 num_components() const { return static_cast<u32>(components_.size()); }
+
+  const ComponentSpec& component(ComponentId id) const { return components_[id]; }
+  const LinkSpec& link(u32 socket, ComponentId id) const { return links_[socket][id]; }
+
+  // Components ordered fastest-to-slowest as seen from `socket` (the
+  // socket's tier order). TierRank(socket, c) is the 0-based tier index of
+  // component c in that order (0 == tier 1).
+  const std::vector<ComponentId>& TierOrder(u32 socket) const { return tier_order_[socket]; }
+  u32 TierRank(u32 socket, ComponentId id) const { return tier_rank_[socket][id]; }
+
+  // The slowest components from any view: every component whose rank is last
+  // from its *best* socket. Used by MTM's PEBS-assisted profiling, which
+  // treats the slowest tier specially (§5.5).
+  bool IsSlowestTier(ComponentId id) const;
+
+  // Latency of a component from its own home socket — its intrinsic speed
+  // class. Demotion paths only ever step to a strictly slower class
+  // (DRAM -> PM), mirroring the kernel's node-demotion targets; lateral
+  // moves between same-class components are NUMA balancing, not demotion.
+  SimNanos LocalLatency(ComponentId id) const {
+    return links_[components_[id].home_socket][id].latency_ns;
+  }
+  bool IsSlowerClass(ComponentId from, ComponentId to) const {
+    return LocalLatency(to) > LocalLatency(from);
+  }
+
+  // Total capacity across all components.
+  u64 TotalCapacity() const;
+
+  std::string DebugString() const;
+
+ private:
+  u32 num_sockets_;
+  std::vector<ComponentSpec> components_;
+  std::vector<std::vector<LinkSpec>> links_;       // [socket][component]
+  std::vector<std::vector<ComponentId>> tier_order_;  // [socket] -> ranked components
+  std::vector<std::vector<u32>> tier_rank_;        // [socket][component] -> rank
+};
+
+}  // namespace mtm

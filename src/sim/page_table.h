@@ -1,0 +1,154 @@
+// Simulated five-level radix page table.
+//
+// This reproduces the part of the x86-64/Linux MMU that the paper's
+// profiling mechanisms depend on:
+//   * per-PTE accessed bit, set by the MMU on every access and cleared by
+//     PTE-scan profilers (read-and-clear, no TLB flush — §5);
+//   * per-PTE dirty bit, set on writes (used by move_memory_regions()'s
+//     dirtiness tracking, §7.2);
+//   * a reserved software bit (the paper uses PTE bit 11) that
+//     move_memory_regions() uses to arm write-protect faults;
+//   * 2 MiB huge-page leaf entries at the last-level page-directory level,
+//     so a huge page has exactly one accessed/dirty bit (§5.4);
+//   * the component (memory node) a page resides on, changed by migration.
+//
+// The radix has five levels of 9 bits each over a 57-bit virtual address
+// space, matching the "five-level page table" sizing discussion in §5.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/sim/tier.h"
+
+namespace mtm {
+
+// Page table entry. Plain aggregate so scans stay cheap.
+struct Pte {
+  enum Flags : u16 {
+    kPresent = 1u << 0,
+    kAccessed = 1u << 1,
+    kDirty = 1u << 2,
+    kHuge = 1u << 3,
+    // Software write-protect armed by move_memory_regions() dirty tracking:
+    // the next write faults instead of silently setting the dirty bit.
+    kWriteTracked = 1u << 4,
+    // The reserved bit (bit 11 in the paper) available to software.
+    kReserved = 1u << 5,
+    // NUMA-balancing hint-fault arming: the next access faults, letting the
+    // kernel record which socket touched the page, then clears the flag.
+    kHintArmed = 1u << 6,
+  };
+
+  u16 flags = 0;
+  ComponentId component = kInvalidComponent;
+
+  bool present() const { return flags & kPresent; }
+  bool accessed() const { return flags & kAccessed; }
+  bool dirty() const { return flags & kDirty; }
+  bool huge() const { return flags & kHuge; }
+  bool write_tracked() const { return flags & kWriteTracked; }
+
+  void Set(Flags f) { flags |= f; }
+  void Clear(Flags f) { flags = static_cast<u16>(flags & ~f); }
+};
+
+class PageTable {
+ public:
+  static constexpr int kLevels = 5;
+  static constexpr int kBitsPerLevel = 9;
+  static constexpr u64 kEntriesPerNode = 1ull << kBitsPerLevel;
+  static constexpr u64 kVaBits = kPageShift + kLevels * kBitsPerLevel;  // 57
+
+  PageTable();
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  // Maps [start, start+len) onto `component`. With huge=true, start and len
+  // must be 2 MiB aligned and each 2 MiB chunk becomes one huge leaf.
+  // Fails with kAlreadyExists if any page in the range is already mapped.
+  Status MapRange(VirtAddr start, u64 len, ComponentId component, bool huge);
+
+  // Unmaps every mapping that starts within [start, start+len). Huge
+  // mappings must be covered entirely.
+  Status UnmapRange(VirtAddr start, u64 len);
+
+  // Converts the 2 MiB huge mapping covering addr into 512 base-page PTEs
+  // (all inheriting the huge page's component and A/D bits).
+  Status SplitHuge(VirtAddr addr);
+
+  // Returns the leaf entry covering addr, or nullptr if not mapped.
+  // mapping_size (if non-null) receives 4 KiB or 2 MiB.
+  Pte* Find(VirtAddr addr, u64* mapping_size = nullptr);
+  const Pte* Find(VirtAddr addr, u64* mapping_size = nullptr) const;
+
+  // MMU behavior for one memory access: sets the accessed bit, and the
+  // dirty bit on writes.
+  enum class TouchResult {
+    kOk,
+    kNotPresent,      // page fault: no mapping
+    kWriteTrackFault,  // write hit a write-tracked page (software fault)
+  };
+  TouchResult Touch(VirtAddr addr, bool is_write, Pte** entry_out = nullptr);
+
+  // PTE-scan primitive (§5): reads the accessed bit of the mapping covering
+  // addr and clears it. Returns false if unmapped; accessed_out receives the
+  // bit value. No TLB flush is modeled, matching the paper.
+  bool ScanAccessed(VirtAddr addr, bool* accessed_out);
+
+  // Visits every leaf mapping whose start lies in [start, start+len), in
+  // address order. fn(addr, mapping_size, pte).
+  void ForEachMapping(VirtAddr start, u64 len,
+                      const std::function<void(VirtAddr, u64, Pte&)>& fn);
+  void ForEachMapping(VirtAddr start, u64 len,
+                      const std::function<void(VirtAddr, u64, const Pte&)>& fn) const;
+
+  u64 mapped_bytes() const { return mapped_bytes_; }
+  u64 mapped_base_pages() const { return mapped_base_pages_; }
+  u64 mapped_huge_pages() const { return mapped_huge_pages_; }
+
+  // Number of 4 KiB pages occupied by the table itself (the "page table
+  // pages" migrated by move_memory_regions in Figure 2/3).
+  u64 page_table_pages() const { return node_count_; }
+
+  // Bumped whenever any translation changes (map/unmap/split/remap). Caches
+  // such as the access engine's software TLB key off this.
+  u64 generation() const { return generation_; }
+  void BumpGeneration() { ++generation_; }
+
+ private:
+  struct Node {
+    std::array<void*, kEntriesPerNode> slots;  // child Node* or nullptr
+    std::array<Pte, kEntriesPerNode> entries;  // leaf PTEs at levels 0/1
+    Node() { slots.fill(nullptr); }
+  };
+
+  static u64 IndexAt(VirtAddr addr, int level) {
+    return (addr >> (kPageShift + level * kBitsPerLevel)) & (kEntriesPerNode - 1);
+  }
+
+  Node* EnsureChild(Node* node, u64 index);
+  void FreeNode(Node* node, int level);
+
+  // Walks to the node at `target_level` for addr, optionally creating
+  // intermediate nodes.
+  Node* WalkTo(VirtAddr addr, int target_level, bool create);
+  const Node* WalkToConst(VirtAddr addr, int target_level) const;
+
+  Status MapOne(VirtAddr addr, ComponentId component, bool huge);
+
+  Node* root_;
+  u64 mapped_bytes_ = 0;
+  u64 mapped_base_pages_ = 0;
+  u64 mapped_huge_pages_ = 0;
+  u64 node_count_ = 0;
+  u64 generation_ = 0;
+};
+
+}  // namespace mtm

@@ -1,0 +1,90 @@
+// Processor-event-based-sampling (PEBS) model.
+//
+// The paper's MTM implementation uses Intel PEBS with the
+// MEM_LOAD_RETIRED.LOCAL_PMM / REMOTE_PMM events at a 1-in-200 sampling
+// period to (a) assist PTE-scan profiling on the slowest tier (§5.5) and
+// (b) implement the HeMem baseline, which profiles with PEBS alone (§9.6).
+//
+// The model samples every `sample_period`-th access to a component whose
+// MemClass is enabled, into a bounded buffer; samples past capacity are
+// dropped until the buffer is drained (mirroring the preallocated PEBS
+// buffer + interrupt-handler design in §8).
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/machine.h"
+#include "src/sim/tier.h"
+
+namespace mtm {
+
+struct PebsSample {
+  VirtAddr addr = 0;
+  ComponentId component = kInvalidComponent;
+  u32 socket = 0;  // socket the sampled load issued from
+  bool is_write = false;
+};
+
+class PebsEngine {
+ public:
+  struct Config {
+    u32 sample_period = 200;  // 1 sample per 200 accesses, as in TPP/production
+    std::size_t buffer_capacity = 65536;
+    bool sample_dram = false;  // LOCAL/REMOTE_PMM only, by default
+    bool sample_pm = true;
+  };
+
+  PebsEngine(const Machine& machine, Config config)
+      : machine_(machine), config_(config) {
+    buffer_.reserve(config_.buffer_capacity);
+  }
+
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  const Config& config() const { return config_; }
+
+  // Called by the access engine on every application access.
+  void Observe(VirtAddr addr, ComponentId component, u32 socket, bool is_write) {
+    if (!enabled_) {
+      return;
+    }
+    MemClass mc = machine_.component(component).mem_class;
+    if ((mc == MemClass::kDram && !config_.sample_dram) ||
+        (mc == MemClass::kPm && !config_.sample_pm)) {
+      return;
+    }
+    if (++counter_ < config_.sample_period) {
+      return;
+    }
+    counter_ = 0;
+    if (buffer_.size() >= config_.buffer_capacity) {
+      ++samples_dropped_;
+      return;
+    }
+    buffer_.push_back(PebsSample{addr, component, socket, is_write});
+    ++samples_taken_;
+  }
+
+  std::vector<PebsSample> Drain() {
+    std::vector<PebsSample> out;
+    out.swap(buffer_);
+    return out;
+  }
+
+  std::size_t pending() const { return buffer_.size(); }
+  u64 samples_taken() const { return samples_taken_; }
+  u64 samples_dropped() const { return samples_dropped_; }
+
+ private:
+  const Machine& machine_;
+  Config config_;
+  bool enabled_ = false;
+  u32 counter_ = 0;
+  std::vector<PebsSample> buffer_;
+  u64 samples_taken_ = 0;
+  u64 samples_dropped_ = 0;
+};
+
+}  // namespace mtm

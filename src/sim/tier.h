@@ -1,0 +1,49 @@
+// Memory components, tiers, and socket-relative views.
+//
+// A *component* is a physical memory device (e.g. the DRAM attached to
+// socket 0, or the Optane PM attached to socket 1). A *tier* is a
+// socket-relative concept: from a given socket, components are ordered by
+// access latency — tier 1 is the fastest. This matches the paper's Table 1
+// and its "multi-view of tiered memory" discussion (§6.2): the same DRAM is
+// tier 1 for threads on its home socket and tier 2 for remote threads.
+#pragma once
+
+#include <string>
+
+#include "src/common/types.h"
+
+namespace mtm {
+
+// Index of a memory component within a Machine.
+using ComponentId = u32;
+
+inline constexpr ComponentId kInvalidComponent = ~ComponentId{0};
+
+// Technology class of a component; determines which PEBS event stream its
+// accesses feed (MEM_LOAD_RETIRED.{LOCAL,REMOTE}_PMM in the paper).
+enum class MemClass : u8 {
+  kDram,
+  kPm,  // persistent memory (Optane in the paper) / CXL-class slow memory
+};
+
+inline const char* MemClassName(MemClass mc) {
+  return mc == MemClass::kDram ? "DRAM" : "PM";
+}
+
+// A physical memory device.
+struct ComponentSpec {
+  std::string name;
+  MemClass mem_class = MemClass::kDram;
+  u32 home_socket = 0;
+  u64 capacity_bytes = 0;
+};
+
+// Performance of accessing a component from a socket.
+struct LinkSpec {
+  SimNanos latency_ns = 0;
+  double bandwidth_gbps = 0.0;  // GB/s (1e9 bytes per second)
+
+  double BytesPerNano() const { return bandwidth_gbps; }  // GB/s == bytes/ns
+};
+
+}  // namespace mtm

@@ -1,0 +1,92 @@
+#include "src/workloads/cassandra.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mtm {
+namespace {
+
+u64 MemtableBytes(const Workload::Params& p, const CassandraWorkload::Options& o) {
+  return o.memtable_bytes != 0 ? o.memtable_bytes : HugeAlignUp(p.footprint_bytes / 32);
+}
+
+u64 CommitLogBytes(const Workload::Params& p, const CassandraWorkload::Options& o) {
+  return o.commitlog_bytes != 0 ? o.commitlog_bytes : HugeAlignUp(p.footprint_bytes / 64);
+}
+
+u64 NumRows(const Workload::Params& p, const CassandraWorkload::Options& o) {
+  u64 rows_bytes = HugeAlignDown(p.footprint_bytes - MemtableBytes(p, o) - CommitLogBytes(p, o));
+  return std::max<u64>(1, rows_bytes / o.row_bytes);
+}
+
+}  // namespace
+
+CassandraWorkload::CassandraWorkload(Params params)
+    : CassandraWorkload(params, Options{}) {}
+
+CassandraWorkload::CassandraWorkload(Params params, Options options)
+    : Workload(params),
+      options_(options),
+      key_zipf_(NumRows(params, options), options.zipf_theta) {
+  memtable_bytes_ = MemtableBytes(params_, options_);
+  commitlog_bytes_ = CommitLogBytes(params_, options_);
+  rows_bytes_ = HugeAlignDown(params_.footprint_bytes - memtable_bytes_ - commitlog_bytes_);
+  num_rows_ = NumRows(params_, options_);
+  MTM_CHECK_GT(num_rows_, 0ull);
+}
+
+void CassandraWorkload::Build(AddressSpace& address_space) {
+  // Base pages for the row store (scattered row reads/updates, as above).
+  u32 r = address_space.Allocate(rows_bytes_, /*thp=*/false, "cassandra.rows");
+  u32 m = address_space.Allocate(memtable_bytes_, /*thp=*/true, "cassandra.memtable");
+  u32 c = address_space.Allocate(commitlog_bytes_, /*thp=*/true, "cassandra.commitlog");
+  rows_start_ = address_space.vma(r).start;
+  memtable_start_ = address_space.vma(m).start;
+  commitlog_start_ = address_space.vma(c).start;
+}
+
+VirtAddr CassandraWorkload::RowAddr(u64 key) {
+  // Keys map to slots with block-granular shuffling: runs of 4096
+  // consecutive ranks (a few MB of rows) stay together but the blocks
+  // scatter across the store. Popular keys thus form hot *blocks* spread
+  // over the address space — the clustering a real memtable/SSTable layout
+  // produces — rather than a uniform per-row hash that would erase all
+  // page-level hotness structure.
+  constexpr u64 kBlockRows = 4096;
+  u64 num_blocks = std::max<u64>(1, num_rows_ / kBlockRows);
+  u64 block = ((key / kBlockRows) * 0x9e3779b97f4a7c15ull >> 17) % num_blocks;
+  u64 slot = block * kBlockRows + key % kBlockRows;
+  if (slot >= num_rows_) {
+    slot = key % num_rows_;
+  }
+  return rows_start_ + slot * options_.row_bytes;
+}
+
+u32 CassandraWorkload::NextBatch(MemAccess* out, u32 n) {
+  u32 filled = 0;
+  while (filled < n) {
+    u32 thread = NextThread();
+    u64 key = key_zipf_.Sample(rng_);
+    VirtAddr row = RowAddr(key);
+    bool update = rng_.NextBernoulli(0.5);  // YCSB-A: 50/50 read/update
+    out[filled++] = MemAccess{row, thread, false};  // read the row either way
+    if (!update || filled >= n) {
+      continue;
+    }
+    out[filled++] = MemAccess{row, thread, true};
+    if (filled < n && rng_.NextBernoulli(options_.memtable_prob)) {
+      VirtAddr a = memtable_start_ + (memtable_cursor_ % memtable_bytes_);
+      memtable_cursor_ += options_.row_bytes;
+      out[filled++] = MemAccess{a, thread, true};
+    }
+    if (filled < n) {
+      VirtAddr a = commitlog_start_ + (commitlog_cursor_ % commitlog_bytes_);
+      commitlog_cursor_ += 64;
+      out[filled++] = MemAccess{a, thread, true};
+    }
+  }
+  return filled;
+}
+
+}  // namespace mtm

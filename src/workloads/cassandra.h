@@ -1,0 +1,50 @@
+// Cassandra under YCSB workload A (Table 2: 400 GB, update-heavy, R/W 1:1).
+//
+// YCSB-A issues 50% reads and 50% updates over a zipfian key distribution
+// (theta 0.99, the YCSB default). The model adds Cassandra's storage-engine
+// structure: an in-memory row store (the partitioned rows), a memtable
+// absorbing updates with sequential appends, and a commit log written
+// sequentially. Row keys map to row slots via a multiplicative hash, so the
+// zipfian-popular rows scatter across the row store — hot *pages* rather
+// than one hot blob.
+#pragma once
+
+#include "src/workloads/workload.h"
+
+namespace mtm {
+
+class CassandraWorkload : public Workload {
+ public:
+  struct Options {
+    double zipf_theta = 0.99;
+    u64 row_bytes = 1024;
+    double memtable_prob = 0.6;   // updates also touch the memtable
+    u64 memtable_bytes = 0;       // default footprint/32
+    u64 commitlog_bytes = 0;      // default footprint/64
+  };
+
+  explicit CassandraWorkload(Params params);
+  CassandraWorkload(Params params, Options options);
+
+  std::string name() const override { return "cassandra"; }
+  void Build(AddressSpace& address_space) override;
+  u32 NextBatch(MemAccess* out, u32 n) override;
+  double read_fraction() const override { return 0.5; }
+
+ private:
+  VirtAddr RowAddr(u64 key);
+
+  Options options_;
+  u64 rows_bytes_ = 0;
+  u64 memtable_bytes_ = 0;
+  u64 commitlog_bytes_ = 0;
+  u64 num_rows_ = 0;
+  VirtAddr rows_start_ = 0;
+  VirtAddr memtable_start_ = 0;
+  VirtAddr commitlog_start_ = 0;
+  ZipfSampler key_zipf_;
+  u64 memtable_cursor_ = 0;
+  u64 commitlog_cursor_ = 0;
+};
+
+}  // namespace mtm

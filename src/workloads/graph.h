@@ -1,0 +1,83 @@
+// Graph analytics workloads: BFS and SSSP over a synthetic skewed graph
+// (Table 2: parallel traversal/shortest-path on a 0.9B-node, 14B-edge graph,
+// 525 GB, read-only).
+//
+// A real CSR graph is generated (power-law-ish degrees via zipf-sampled
+// endpoints, RMAT-like skew) and real BFS / Bellman-Ford-style SSSP rounds
+// are executed over it; the traversal's loads of the offset, edge, and
+// per-vertex state arrays are emitted as simulated memory accesses at the
+// arrays' simulated addresses. Hot structure emerges naturally: high-degree
+// vertices' adjacency lists and the frontier state are touched far more
+// often than the long tail.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace mtm {
+
+// Compressed-sparse-row graph with skewed degree distribution.
+class CsrGraph {
+ public:
+  // Builds a graph with ~avg_degree * num_vertices edges; hub vertices are
+  // chosen by zipf so degree mass concentrates (RMAT-like skew).
+  CsrGraph(u64 num_vertices, double avg_degree, double skew_theta, u64 seed);
+
+  u64 num_vertices() const { return num_vertices_; }
+  u64 num_edges() const { return edges_.size(); }
+  u64 OffsetOf(u64 v) const { return offsets_[v]; }
+  u64 DegreeOf(u64 v) const { return offsets_[v + 1] - offsets_[v]; }
+  u32 Edge(u64 index) const { return edges_[index]; }
+
+ private:
+  u64 num_vertices_;
+  std::vector<u64> offsets_;  // size num_vertices + 1
+  std::vector<u32> edges_;
+};
+
+class GraphWorkload : public Workload {
+ public:
+  enum class Algorithm { kBfs, kSssp };
+
+  struct Options {
+    Algorithm algorithm = Algorithm::kBfs;
+    double avg_degree = 15.5;  // 14B edges / 0.9B nodes
+    double skew_theta = 0.6;
+    u32 edges_per_access = 2;  // 64B line covers two 32B edge records
+  };
+
+  GraphWorkload(Params params, Options options);
+
+  std::string name() const override {
+    return options_.algorithm == Algorithm::kBfs ? "bfs" : "sssp";
+  }
+  void Build(AddressSpace& address_space) override;
+  u32 NextBatch(MemAccess* out, u32 n) override;
+  double read_fraction() const override { return 1.0; }  // Table 2: read-only
+
+  const CsrGraph& graph() const { return *graph_; }
+
+ private:
+  void StartTraversal();
+  // Expands one vertex, appending its accesses; returns accesses emitted.
+  u32 ExpandVertex(u64 v, MemAccess* out, u32 capacity);
+
+  Options options_;
+  std::unique_ptr<CsrGraph> graph_;
+  u64 num_vertices_ = 0;
+
+  VirtAddr offsets_start_ = 0;
+  VirtAddr edges_start_ = 0;
+  VirtAddr state_start_ = 0;  // visited/distance array
+
+  std::vector<u8> visited_;
+  std::vector<u32> dist_;
+  std::deque<u64> frontier_;
+  u64 traversals_ = 0;
+  u32 sssp_round_ = 0;
+};
+
+}  // namespace mtm

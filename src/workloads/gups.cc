@@ -1,0 +1,108 @@
+#include "src/workloads/gups.h"
+
+#include "src/common/logging.h"
+
+namespace mtm {
+
+GupsWorkload::GupsWorkload(Params params) : GupsWorkload(params, Options{}) {}
+
+GupsWorkload::GupsWorkload(Params params, Options options)
+    : Workload(params), options_(options) {
+  MTM_CHECK_GT(params_.footprint_bytes, kHugePageSize * 4);
+  index_bytes_ = options_.index_bytes != 0 ? options_.index_bytes
+                                           : HugeAlignUp(params_.footprint_bytes / 64);
+  info_bytes_ = options_.info_bytes != 0 ? options_.info_bytes
+                                         : HugeAlignUp(params_.footprint_bytes / 1024);
+  table_bytes_ = HugeAlignDown(params_.footprint_bytes - index_bytes_ - info_bytes_);
+  table_pages_ = table_bytes_ / kPageSize;
+  hot_pages_ = static_cast<u64>(static_cast<double>(table_pages_) * options_.hot_fraction);
+  if (hot_pages_ == 0) {
+    hot_pages_ = 1;
+  }
+}
+
+void GupsWorkload::Build(AddressSpace& address_space) {
+  // Base pages for the table: GUPS performs random 8-byte updates, and
+  // access-bit profiling of such traffic needs 4 KiB granularity (a 2 MiB
+  // huge page's single accessed bit saturates under uniform background
+  // traffic). The index stays THP-mapped.
+  u32 table = address_space.Allocate(table_bytes_, /*thp=*/false, "gups.table");
+  u32 index = address_space.Allocate(index_bytes_, /*thp=*/true, "gups.index");
+  u32 info = address_space.Allocate(info_bytes_, /*thp=*/false, "gups.info");
+  table_start_ = address_space.vma(table).start;
+  index_start_ = address_space.vma(index).start;
+  info_start_ = address_space.vma(info).start;
+  // Initial hot-set position: centered in the table (Figure 6 places the
+  // hot set C in the middle of the address space), which also puts it past
+  // what first-touch can hold in DRAM.
+  hot_first_page_ = (table_pages_ - hot_pages_) / 2;
+}
+
+HotRange GupsWorkload::object_c() const {
+  return {table_start_ + AddrOfVpn(hot_first_page_), hot_pages_ * kPageSize};
+}
+
+std::vector<HotRange> GupsWorkload::TrueHotRanges() const {
+  return {object_a(), object_b(), object_c()};
+}
+
+void GupsWorkload::AdvancePhaseIfNeeded() {
+  if (options_.phase_ops == 0 || ops_ == 0 || ops_ % options_.phase_ops != 0) {
+    return;
+  }
+  ++phase_;
+  // Drift the hot set by a quarter of its size each phase, wrapping.
+  u64 shift = hot_pages_ / 4 + 1;
+  hot_first_page_ = (hot_first_page_ + shift) % (table_pages_ - hot_pages_);
+}
+
+VirtAddr GupsWorkload::SampleTableAddr() {
+  if (rng_.NextBernoulli(options_.hot_access_prob)) {
+    // Gaussian-weighted page inside the hot set, centered mid-hot-set.
+    GaussianIndexSampler sampler(
+        hot_pages_, static_cast<double>(hot_pages_) / 2.0,
+        static_cast<double>(hot_pages_) * options_.gaussian_stddev_frac);
+    u64 page = hot_first_page_ + sampler.Sample(rng_);
+    return table_start_ + AddrOfVpn(page) + (rng_.Next() & (kPageSize - 1) & ~u64{7});
+  }
+  u64 page = rng_.NextBounded(table_pages_);
+  return table_start_ + AddrOfVpn(page) + (rng_.Next() & (kPageSize - 1) & ~u64{7});
+}
+
+u32 GupsWorkload::NextBatch(MemAccess* out, u32 n) {
+  u32 filled = 0;
+  while (filled < n) {
+    if (pending_write_) {
+      out[filled++] = MemAccess{pending_addr_, pending_thread_, /*is_write=*/true};
+      pending_write_ = false;
+      continue;
+    }
+    u32 thread = NextThread();
+    // Occasional reads of the index (A) and hot-set info (B).
+    if (filled < n && rng_.NextBernoulli(options_.index_access_prob)) {
+      VirtAddr a = index_start_ + (rng_.NextBounded(index_bytes_) & ~u64{7});
+      out[filled++] = MemAccess{a, thread, /*is_write=*/false};
+      if (filled >= n) {
+        break;
+      }
+    }
+    if (filled < n && rng_.NextBernoulli(options_.info_access_prob)) {
+      VirtAddr b = info_start_ + (rng_.NextBounded(info_bytes_) & ~u64{7});
+      out[filled++] = MemAccess{b, thread, /*is_write=*/false};
+      if (filled >= n) {
+        break;
+      }
+    }
+    // The update: read then write the same table location.
+    VirtAddr addr = SampleTableAddr();
+    out[filled++] = MemAccess{addr, thread, /*is_write=*/false};
+    pending_write_ = true;
+    pending_addr_ = addr;
+    pending_thread_ = thread;
+    ++ops_;
+    AdvancePhaseIfNeeded();
+  }
+  return filled;
+}
+
+}  // namespace mtm

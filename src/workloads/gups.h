@@ -1,0 +1,70 @@
+// GUPS (Giga Updates Per Second), the paper's primary microbenchmark.
+//
+// Layout follows the Figure 6 methodology: three data objects
+//   A — the indexes used to address the hot set (small, very hot),
+//   B — the hot-set information (small, hot),
+//   C — the hot set itself: hot_fraction of the main table.
+// 20% of the table is selected as the hot set; 80% of updates land in it,
+// with per-page hotness inside the hot set following a (truncated) Gaussian
+// — "the page hotness of GUPS follows a Gaussian distribution" (§3). An
+// update is a read followed by a write of the same location (R/W 1:1,
+// Table 2). The hot set drifts every phase_ops updates so profilers face
+// access-pattern variance, as in §9.3's DAMON comparison.
+#pragma once
+
+#include "src/workloads/workload.h"
+
+namespace mtm {
+
+class GupsWorkload : public Workload {
+ public:
+  struct Options {
+    double hot_fraction = 0.2;
+    double hot_access_prob = 0.8;
+    double index_access_prob = 0.15;   // reads of object A per update
+    double info_access_prob = 0.05;    // reads of object B per update
+    u64 phase_ops = 0;                 // 0 = static hot set
+    double gaussian_stddev_frac = 0.15;  // stddev as a fraction of hot pages
+    u64 index_bytes = 0;               // default footprint/64
+    u64 info_bytes = 0;                // default footprint/1024
+  };
+
+  explicit GupsWorkload(Params params);
+  GupsWorkload(Params params, Options options);
+
+  std::string name() const override { return "gups"; }
+  void Build(AddressSpace& address_space) override;
+  u32 NextBatch(MemAccess* out, u32 n) override;
+  std::vector<HotRange> TrueHotRanges() const override;
+  double read_fraction() const override { return 0.5; }
+
+  // Object extents (for Figure 6's labeled heatmap).
+  HotRange object_a() const { return {index_start_, index_bytes_}; }
+  HotRange object_b() const { return {info_start_, info_bytes_}; }
+  HotRange object_c() const;  // the current hot set within the table
+
+ private:
+  void AdvancePhaseIfNeeded();
+  VirtAddr SampleTableAddr();
+
+  Options options_;
+  u64 table_bytes_ = 0;
+  u64 index_bytes_ = 0;
+  u64 info_bytes_ = 0;
+  VirtAddr table_start_ = 0;
+  VirtAddr index_start_ = 0;
+  VirtAddr info_start_ = 0;
+
+  u64 table_pages_ = 0;
+  u64 hot_pages_ = 0;
+  u64 hot_first_page_ = 0;  // hot-set offset (in pages) within the table
+  u64 ops_ = 0;
+  u64 phase_ = 0;
+
+  // Pending write-half of an update (read emitted first).
+  bool pending_write_ = false;
+  VirtAddr pending_addr_ = 0;
+  u32 pending_thread_ = 0;
+};
+
+}  // namespace mtm

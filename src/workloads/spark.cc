@@ -1,0 +1,79 @@
+#include "src/workloads/spark.h"
+
+#include "src/common/logging.h"
+
+namespace mtm {
+
+SparkTeraSortWorkload::SparkTeraSortWorkload(Params params)
+    : SparkTeraSortWorkload(params, Options{}) {}
+
+SparkTeraSortWorkload::SparkTeraSortWorkload(Params params, Options options)
+    : Workload(params), options_(options) {
+  input_bytes_ = HugeAlignDown(params_.footprint_bytes * 2 / 5);
+  shuffle_bytes_ = HugeAlignDown(params_.footprint_bytes * 2 / 5);
+  output_bytes_ = HugeAlignDown(params_.footprint_bytes / 5);
+  MTM_CHECK_GT(input_bytes_, 0ull);
+  phase_budget_ = input_bytes_ / options_.record_bytes * 2;  // read + write per record
+}
+
+void SparkTeraSortWorkload::Build(AddressSpace& address_space) {
+  u32 in = address_space.Allocate(input_bytes_, /*thp=*/true, "spark.input");
+  u32 sh = address_space.Allocate(shuffle_bytes_, /*thp=*/true, "spark.shuffle");
+  u32 outv = address_space.Allocate(output_bytes_, /*thp=*/true, "spark.output");
+  input_start_ = address_space.vma(in).start;
+  shuffle_start_ = address_space.vma(sh).start;
+  output_start_ = address_space.vma(outv).start;
+}
+
+u32 SparkTeraSortWorkload::NextBatch(MemAccess* out, u32 n) {
+  const u64 bucket_bytes = shuffle_bytes_ / options_.num_buckets;
+  u32 filled = 0;
+  while (filled < n) {
+    u32 thread = NextThread();
+    if (phase_ == Phase::kMap) {
+      // Sequential input read; partitioned (pseudo-random bucket) shuffle
+      // write.
+      VirtAddr in = input_start_ + (map_cursor_ % input_bytes_);
+      map_cursor_ += options_.record_bytes;
+      out[filled++] = MemAccess{in, thread, false};
+      if (filled < n) {
+        u64 bucket = rng_.NextBounded(options_.num_buckets);
+        VirtAddr sh = shuffle_start_ + bucket * bucket_bytes +
+                      (rng_.NextBounded(bucket_bytes) & ~u64{63});
+        out[filled++] = MemAccess{sh, thread, true};
+      }
+      phase_accesses_ += 2;
+      if (phase_accesses_ >= phase_budget_) {
+        phase_ = Phase::kReduce;
+        phase_accesses_ = 0;
+        phase_budget_ = static_cast<u64>(static_cast<double>(shuffle_bytes_) /
+                                         static_cast<double>(options_.record_bytes) *
+                                         (options_.reduce_passes + 1.0));
+        current_bucket_ = 0;
+      }
+    } else {
+      // Per-bucket merge: random reads within the current (hot) bucket,
+      // sequential output writes. Buckets advance so the hot spot moves.
+      VirtAddr sh = shuffle_start_ + current_bucket_ * bucket_bytes +
+                    (rng_.NextBounded(bucket_bytes) & ~u64{63});
+      out[filled++] = MemAccess{sh, thread, false};
+      if (filled < n && rng_.NextBernoulli(1.0 / (options_.reduce_passes + 1.0))) {
+        VirtAddr o = output_start_ + (output_cursor_ % output_bytes_);
+        output_cursor_ += options_.record_bytes;
+        out[filled++] = MemAccess{o, thread, true};
+      }
+      phase_accesses_ += 2;
+      u64 per_bucket = phase_budget_ / options_.num_buckets;
+      current_bucket_ = static_cast<u32>(
+          std::min<u64>(options_.num_buckets - 1, phase_accesses_ / std::max<u64>(1, per_bucket)));
+      if (phase_accesses_ >= phase_budget_) {
+        phase_ = Phase::kMap;
+        phase_accesses_ = 0;
+        phase_budget_ = input_bytes_ / options_.record_bytes * 2;
+      }
+    }
+  }
+  return filled;
+}
+
+}  // namespace mtm

@@ -1,0 +1,54 @@
+// Spark running TeraSort (Table 2: 350 GB, R/W 1:1).
+//
+// TeraSort's memory behavior is phase-structured:
+//   map    — sequential scan of the input partition, writes scattered into
+//            shuffle buckets (partitioning by key prefix);
+//   reduce — per-bucket sort: repeated reads within the bucket (merge runs),
+//            sequential writes to the output.
+// Phases alternate over the job, so the hot object migrates from the input
+// to the shuffle space to the output — a pattern that rewards profilers
+// that adapt quickly.
+#pragma once
+
+#include "src/workloads/workload.h"
+
+namespace mtm {
+
+class SparkTeraSortWorkload : public Workload {
+ public:
+  struct Options {
+    u64 record_bytes = 128;
+    u32 num_buckets = 16;
+    // Accesses per phase before switching, as a fraction of records.
+    double map_pass_fraction = 1.0;
+    double reduce_passes = 2.0;  // merge reads per record in reduce
+  };
+
+  explicit SparkTeraSortWorkload(Params params);
+  SparkTeraSortWorkload(Params params, Options options);
+
+  std::string name() const override { return "spark"; }
+  void Build(AddressSpace& address_space) override;
+  u32 NextBatch(MemAccess* out, u32 n) override;
+  double read_fraction() const override { return 0.5; }
+
+ private:
+  enum class Phase { kMap, kReduce };
+
+  Options options_;
+  u64 input_bytes_ = 0;
+  u64 shuffle_bytes_ = 0;
+  u64 output_bytes_ = 0;
+  VirtAddr input_start_ = 0;
+  VirtAddr shuffle_start_ = 0;
+  VirtAddr output_start_ = 0;
+
+  Phase phase_ = Phase::kMap;
+  u64 phase_accesses_ = 0;
+  u64 phase_budget_ = 0;
+  u64 map_cursor_ = 0;
+  u64 output_cursor_ = 0;
+  u32 current_bucket_ = 0;
+};
+
+}  // namespace mtm

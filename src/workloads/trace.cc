@@ -1,0 +1,149 @@
+#include "src/workloads/trace.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace mtm {
+namespace {
+
+struct TraceHeader {
+  char magic[8];
+  u32 version;
+  u32 vma_count;
+};
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::unique_ptr<Workload> inner, std::string path)
+    : Workload(inner->params()), inner_(std::move(inner)), path_(std::move(path)) {}
+
+TraceRecorder::~TraceRecorder() { (void)Finish(); }
+
+void TraceRecorder::Build(AddressSpace& address_space) {
+  inner_->Build(address_space);
+  MTM_CHECK(!address_space.vmas().empty());
+  base_ = address_space.vmas().front().start;
+
+  file_ = std::fopen(path_.c_str(), "wb");
+  MTM_CHECK(file_ != nullptr) << "cannot open trace file " << path_;
+  TraceHeader header;
+  std::memcpy(header.magic, kTraceMagic, sizeof(header.magic));
+  header.version = kTraceVersion;
+  header.vma_count = static_cast<u32>(address_space.vmas().size());
+  std::fwrite(&header, sizeof(header), 1, file_);
+  for (const Vma& vma : address_space.vmas()) {
+    u64 start = vma.start;
+    u64 len = vma.len;
+    u8 thp = vma.thp ? 1 : 0;
+    std::fwrite(&start, sizeof(start), 1, file_);
+    std::fwrite(&len, sizeof(len), 1, file_);
+    std::fwrite(&thp, sizeof(thp), 1, file_);
+  }
+}
+
+u32 TraceRecorder::NextBatch(MemAccess* out, u32 n) {
+  u32 filled = inner_->NextBatch(out, n);
+  MTM_CHECK(file_ != nullptr) << "Build() must run before NextBatch";
+  for (u32 i = 0; i < filled; ++i) {
+    u64 packed = PackRecord(out[i].addr, base_, out[i].thread, out[i].is_write);
+    std::fwrite(&packed, sizeof(packed), 1, file_);
+  }
+  records_written_ += filled;
+  return filled;
+}
+
+Status TraceRecorder::Finish() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0) {
+      file_ = nullptr;
+      return InternalError("trace close failed");
+    }
+    file_ = nullptr;
+  }
+  return OkStatus();
+}
+
+TraceReplayWorkload::TraceReplayWorkload(Params params, std::FILE* file,
+                                         std::vector<TraceVma> vmas, long data_offset)
+    : Workload(params), file_(file), vmas_(std::move(vmas)), data_offset_(data_offset) {}
+
+TraceReplayWorkload::~TraceReplayWorkload() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Result<std::unique_ptr<TraceReplayWorkload>> TraceReplayWorkload::Open(const std::string& path,
+                                                                       Params params) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status(StatusCode::kNotFound, "trace file not found: " + path);
+  }
+  TraceHeader header;
+  if (std::fread(&header, sizeof(header), 1, file) != 1 ||
+      std::memcmp(header.magic, kTraceMagic, sizeof(header.magic)) != 0) {
+    std::fclose(file);
+    return Status(StatusCode::kInvalidArgument, "not an MTM trace: " + path);
+  }
+  if (header.version != kTraceVersion) {
+    std::fclose(file);
+    return Status(StatusCode::kInvalidArgument, "unsupported trace version");
+  }
+  std::vector<TraceVma> vmas;
+  VirtAddr recorded_base = 0;
+  for (u32 i = 0; i < header.vma_count; ++i) {
+    u64 start = 0;
+    u64 len = 0;
+    u8 thp = 0;
+    if (std::fread(&start, sizeof(start), 1, file) != 1 ||
+        std::fread(&len, sizeof(len), 1, file) != 1 ||
+        std::fread(&thp, sizeof(thp), 1, file) != 1) {
+      std::fclose(file);
+      return Status(StatusCode::kInvalidArgument, "truncated trace header");
+    }
+    if (i == 0) {
+      recorded_base = start;
+    }
+    vmas.push_back(TraceVma{len, thp != 0});
+  }
+  long data_offset = std::ftell(file);
+  auto workload = std::unique_ptr<TraceReplayWorkload>(
+      new TraceReplayWorkload(params, file, std::move(vmas), data_offset));
+  workload->recorded_base_ = recorded_base;
+  return workload;
+}
+
+void TraceReplayWorkload::Build(AddressSpace& address_space) {
+  // Recreate the recorded layout; AddressSpace's deterministic packing
+  // (huge-aligned VMAs with one-huge-page guard gaps) means recorded
+  // offsets from the first VMA remain valid relative to the new base.
+  for (std::size_t i = 0; i < vmas_.size(); ++i) {
+    u32 index = address_space.Allocate(vmas_[i].len, vmas_[i].thp,
+                                       "trace.vma" + std::to_string(i));
+    if (i == 0) {
+      replay_base_ = address_space.vma(index).start;
+    }
+  }
+}
+
+u32 TraceReplayWorkload::NextBatch(MemAccess* out, u32 n) {
+  MTM_CHECK(replay_base_ != 0) << "Build() must run before NextBatch";
+  u32 filled = 0;
+  while (filled < n) {
+    u64 packed = 0;
+    if (std::fread(&packed, sizeof(packed), 1, file_) != 1) {
+      // End of trace: loop.
+      std::fseek(file_, data_offset_, SEEK_SET);
+      ++loops_;
+      if (std::fread(&packed, sizeof(packed), 1, file_) != 1) {
+        break;  // empty trace
+      }
+    }
+    UnpackRecord(packed, replay_base_, &out[filled]);
+    ++filled;
+  }
+  return filled;
+}
+
+}  // namespace mtm

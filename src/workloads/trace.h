@@ -1,0 +1,104 @@
+// Access-trace recording and replay.
+//
+// A TraceRecorder wraps any workload and tees its access stream to a
+// compact binary file; a TraceReplayWorkload plays a recorded file back as
+// a workload. This is the standard methodology bridge for memory-tiering
+// research: capture a stream once (or convert an external trace into this
+// format) and evaluate every solution against the identical stream.
+//
+// File format (little-endian):
+//   header:  magic "MTMTRACE" | u32 version | u32 reserved
+//            u32 vma_count | per VMA: u64 start, u64 len, u8 thp
+//   records: u64 packed = (addr << 12 sign... ) — see PackRecord: the
+//            49-bit address offset from the first VMA base, 14-bit thread,
+//            1-bit is_write.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/workloads/workload.h"
+
+namespace mtm {
+
+inline constexpr char kTraceMagic[8] = {'M', 'T', 'M', 'T', 'R', 'A', 'C', 'E'};
+inline constexpr u32 kTraceVersion = 1;
+
+// Packs one access relative to `base` (the lowest VMA start).
+inline u64 PackRecord(VirtAddr addr, VirtAddr base, u32 thread, bool is_write) {
+  u64 offset = addr - base;
+  return (offset << 15) | (static_cast<u64>(thread & 0x3fff) << 1) |
+         static_cast<u64>(is_write);
+}
+
+inline void UnpackRecord(u64 packed, VirtAddr base, MemAccess* out) {
+  out->is_write = (packed & 1) != 0;
+  out->thread = static_cast<u32>((packed >> 1) & 0x3fff);
+  out->addr = base + (packed >> 15);
+}
+
+// Wraps a workload; every generated batch is also appended to the trace
+// file. The wrapped workload defines the address-space layout.
+class TraceRecorder : public Workload {
+ public:
+  // Takes ownership of `inner`. The file is created on Build.
+  TraceRecorder(std::unique_ptr<Workload> inner, std::string path);
+  ~TraceRecorder() override;
+
+  std::string name() const override { return inner_->name() + "+trace"; }
+  void Build(AddressSpace& address_space) override;
+  u32 NextBatch(MemAccess* out, u32 n) override;
+  std::vector<HotRange> TrueHotRanges() const override { return inner_->TrueHotRanges(); }
+  double read_fraction() const override { return inner_->read_fraction(); }
+
+  // Flushes and closes the file (also done by the destructor).
+  Status Finish();
+
+  u64 records_written() const { return records_written_; }
+
+ private:
+  std::unique_ptr<Workload> inner_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  VirtAddr base_ = 0;
+  u64 records_written_ = 0;
+};
+
+// Replays a recorded trace as a workload. The original VMA layout is
+// restored (sizes and THP flags), rebased to wherever the current address
+// space places it. Replay loops when the trace is exhausted.
+class TraceReplayWorkload : public Workload {
+ public:
+  // `params.footprint_bytes` is ignored (the trace defines the layout).
+  static Result<std::unique_ptr<TraceReplayWorkload>> Open(const std::string& path,
+                                                           Params params);
+  ~TraceReplayWorkload() override;
+
+  std::string name() const override { return "trace-replay"; }
+  void Build(AddressSpace& address_space) override;
+  u32 NextBatch(MemAccess* out, u32 n) override;
+  double read_fraction() const override { return 0.5; }
+
+  u64 loops() const { return loops_; }
+
+ private:
+  struct TraceVma {
+    u64 len = 0;
+    bool thp = false;
+  };
+
+  TraceReplayWorkload(Params params, std::FILE* file, std::vector<TraceVma> vmas,
+                      long data_offset);
+
+  std::FILE* file_;
+  std::vector<TraceVma> vmas_;
+  long data_offset_;
+  VirtAddr recorded_base_ = 0;  // base used at record time (offset 0)
+  VirtAddr replay_base_ = 0;    // base in the replaying address space
+  u64 loops_ = 0;
+};
+
+}  // namespace mtm

@@ -1,0 +1,94 @@
+#include "src/workloads/voltdb.h"
+
+#include "src/common/logging.h"
+
+namespace mtm {
+
+VoltDbWorkload::VoltDbWorkload(Params params) : VoltDbWorkload(params, Options{}) {}
+
+VoltDbWorkload::VoltDbWorkload(Params params, Options options)
+    : Workload(params),
+      options_(options),
+      warehouse_zipf_(options.num_warehouses, options.warehouse_zipf_theta) {
+  MTM_CHECK_GT(params_.footprint_bytes, kHugePageSize * 8);
+  index_bytes_ = options_.index_bytes != 0 ? options_.index_bytes
+                                           : HugeAlignUp(params_.footprint_bytes / 48);
+  log_bytes_ = options_.log_bytes != 0 ? options_.log_bytes
+                                       : HugeAlignUp(params_.footprint_bytes / 64);
+  history_bytes_ = options_.history_bytes != 0 ? options_.history_bytes
+                                               : HugeAlignDown(params_.footprint_bytes / 4);
+  table_bytes_ =
+      HugeAlignDown(params_.footprint_bytes - index_bytes_ - log_bytes_ - history_bytes_);
+  warehouse_bytes_ = table_bytes_ / options_.num_warehouses;
+  MTM_CHECK_GT(warehouse_bytes_, 0ull);
+}
+
+void VoltDbWorkload::Build(AddressSpace& address_space) {
+  // Base pages for the record blocks: OLTP touches scattered rows, and
+  // access-bit profiling of such traffic needs 4 KiB granularity (a huge
+  // page's single accessed bit saturates under any broad traffic).
+  u32 t = address_space.Allocate(table_bytes_, /*thp=*/false, "voltdb.tables");
+  u32 i = address_space.Allocate(index_bytes_, /*thp=*/true, "voltdb.index");
+  u32 l = address_space.Allocate(log_bytes_, /*thp=*/true, "voltdb.orderlog");
+  // Accumulated order-line history: the bulk of a TPC-C database's
+  // footprint, appended by every transaction and almost never read back —
+  // the cold mass a tiering system parks in slow memory.
+  u32 h = address_space.Allocate(history_bytes_, /*thp=*/true, "voltdb.history",
+                                 /*prefault=*/false);
+  table_start_ = address_space.vma(t).start;
+  index_start_ = address_space.vma(i).start;
+  log_start_ = address_space.vma(l).start;
+  history_start_ = address_space.vma(h).start;
+}
+
+u64 VoltDbWorkload::WarehouseForRank(u64 rank) const {
+  // Rotating the rank->warehouse mapping shifts which warehouses are busy.
+  return (rank + rotation_) % options_.num_warehouses;
+}
+
+u32 VoltDbWorkload::NextBatch(MemAccess* out, u32 n) {
+  u32 filled = 0;
+  while (filled < n) {
+    u32 thread = NextThread();
+    u64 warehouse = WarehouseForRank(warehouse_zipf_.Sample(rng_));
+    VirtAddr wh_base = table_start_ + warehouse * warehouse_bytes_;
+
+    // Index lookups precede record touches.
+    if (rng_.NextBernoulli(options_.index_access_prob)) {
+      VirtAddr a = index_start_ + (rng_.NextBounded(index_bytes_) & ~u64{7});
+      out[filled++] = MemAccess{a, thread, false};
+      if (filled >= n) {
+        break;
+      }
+    }
+    for (u32 r = 0; r < options_.records_per_txn && filled < n; ++r) {
+      VirtAddr a = wh_base + (rng_.NextBounded(warehouse_bytes_) & ~u64{7});
+      bool is_write = (r & 1) != 0;  // R/W 1:1 within the transaction
+      out[filled++] = MemAccess{a, thread, is_write};
+    }
+    // Append to the order log and the order-line history.
+    if (filled < n) {
+      VirtAddr a = log_start_ + (log_cursor_ % log_bytes_);
+      log_cursor_ += 64;
+      out[filled++] = MemAccess{a, thread, true};
+    }
+    if (filled < n) {
+      VirtAddr a = history_start_ + (history_cursor_ % history_bytes_);
+      history_cursor_ += 256;
+      out[filled++] = MemAccess{a, thread, true};
+    }
+    if (filled < n && rng_.NextBernoulli(options_.history_read_prob)) {
+      VirtAddr a = history_start_ + (rng_.NextBounded(history_bytes_) & ~u64{7});
+      out[filled++] = MemAccess{a, thread, false};
+    }
+    ++txns_;
+    if (options_.rotate_txns != 0 && txns_ % options_.rotate_txns == 0) {
+      // Gentle drift: the busy-warehouse set shifts by a few warehouses, as
+      // client affinity changes — not a wholesale teleport of the hot set.
+      rotation_ = (rotation_ + options_.num_warehouses / 64 + 1) % options_.num_warehouses;
+    }
+  }
+  return filled;
+}
+
+}  // namespace mtm

@@ -1,0 +1,59 @@
+// VoltDB running TPC-C (Table 2: 300 GB working set, R/W 1:1).
+//
+// The model captures the access structure that matters for tiering:
+//  * per-warehouse record blocks; transactions pick a warehouse with a
+//    zipfian home-warehouse skew and touch a handful of records in its
+//    block (stock/customer/order rows), half reads half writes;
+//  * B-tree-style index pages, a small and very hot object;
+//  * an append-only order log written sequentially;
+//  * the set of busy warehouses rotates slowly, giving the time-varying
+//    hotness that distinguishes adaptive profilers.
+#pragma once
+
+#include "src/workloads/workload.h"
+
+namespace mtm {
+
+class VoltDbWorkload : public Workload {
+ public:
+  struct Options {
+    u64 num_warehouses = 512;
+    double warehouse_zipf_theta = 0.95;
+    u32 records_per_txn = 12;
+    double index_access_prob = 0.5;
+    double history_read_prob = 0.02;  // rare lookups into old orders
+    u64 rotate_txns = 400000;  // drift the zipf mapping this often
+    u64 index_bytes = 0;       // default footprint/48
+    u64 log_bytes = 0;         // default footprint/64
+    u64 history_bytes = 0;     // default footprint/4: accumulated order lines
+  };
+
+  explicit VoltDbWorkload(Params params);
+  VoltDbWorkload(Params params, Options options);
+
+  std::string name() const override { return "voltdb"; }
+  void Build(AddressSpace& address_space) override;
+  u32 NextBatch(MemAccess* out, u32 n) override;
+  double read_fraction() const override { return 0.5; }
+
+ private:
+  u64 WarehouseForRank(u64 rank) const;
+
+  Options options_;
+  u64 table_bytes_ = 0;
+  u64 index_bytes_ = 0;
+  u64 log_bytes_ = 0;
+  u64 history_bytes_ = 0;
+  u64 warehouse_bytes_ = 0;
+  VirtAddr table_start_ = 0;
+  VirtAddr index_start_ = 0;
+  VirtAddr log_start_ = 0;
+  VirtAddr history_start_ = 0;
+  u64 history_cursor_ = 0;
+  ZipfSampler warehouse_zipf_;
+  u64 txns_ = 0;
+  u64 rotation_ = 0;
+  u64 log_cursor_ = 0;
+};
+
+}  // namespace mtm

@@ -1,0 +1,27 @@
+// Factory building the Table 2 workloads at paper-faithful footprints
+// (divided by the simulation scale).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/workloads/workload.h"
+
+namespace mtm {
+
+// Paper footprints (Table 2), in bytes at scale 1.
+inline constexpr u64 kGupsFootprint = GiB(512);
+inline constexpr u64 kVoltDbFootprint = GiB(300);
+inline constexpr u64 kCassandraFootprint = GiB(400);
+inline constexpr u64 kGraphFootprint = GiB(525);
+inline constexpr u64 kSparkFootprint = GiB(350);
+
+// names: gups, voltdb, cassandra, bfs, sssp, spark
+std::unique_ptr<Workload> MakeWorkload(const std::string& name, u64 sim_scale,
+                                       u32 num_threads, u64 seed);
+
+std::vector<std::string> AllWorkloadNames();
+
+}  // namespace mtm

@@ -1,0 +1,304 @@
+// Tests for src/common: RNG and samplers, histogram, stats, status, units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/common/units.h"
+
+namespace mtm {
+namespace {
+
+TEST(TypesTest, PageConstants) {
+  EXPECT_EQ(kPageSize, 4096u);
+  EXPECT_EQ(kHugePageSize, 2u * 1024 * 1024);
+  EXPECT_EQ(kPagesPerHugePage, 512u);
+}
+
+TEST(TypesTest, Alignment) {
+  EXPECT_EQ(PageAlignDown(4097), 4096u);
+  EXPECT_EQ(PageAlignUp(4097), 8192u);
+  EXPECT_EQ(PageAlignUp(4096), 4096u);
+  EXPECT_EQ(HugeAlignDown(kHugePageSize + 5), kHugePageSize);
+  EXPECT_EQ(HugeAlignUp(kHugePageSize + 5), 2 * kHugePageSize);
+  EXPECT_TRUE(IsHugeAligned(4 * kHugePageSize));
+  EXPECT_FALSE(IsHugeAligned(kHugePageSize + kPageSize));
+  EXPECT_TRUE(IsPageAligned(8192));
+}
+
+TEST(TypesTest, VpnRoundTrip) {
+  VirtAddr addr = 0x55001234'5000ull;
+  EXPECT_EQ(AddrOfVpn(VpnOf(addr)), PageAlignDown(addr));
+}
+
+TEST(UnitsTest, Sizes) {
+  EXPECT_EQ(KiB(1), 1024u);
+  EXPECT_EQ(MiB(2), 2u * 1024 * 1024);
+  EXPECT_EQ(GiB(1), 1024u * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(ToMiB(MiB(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToGiB(GiB(7)), 7.0);
+}
+
+TEST(UnitsTest, Times) {
+  EXPECT_EQ(Micros(3), 3000u);
+  EXPECT_EQ(Millis(2), 2'000'000u);
+  EXPECT_EQ(Seconds(1), 1'000'000'000u);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(4)), 4.0);
+  EXPECT_DOUBLE_EQ(ToMicros(Micros(9)), 9.0);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedInRange) {
+  Rng rng(7);
+  for (u64 bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.NextGaussian());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  ZipfSampler zipf(1000, 0.99);
+  Rng rng(17);
+  std::map<u64, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  // Rank 0 must dominate every other rank.
+  for (const auto& [rank, count] : counts) {
+    if (rank != 0) {
+      EXPECT_GE(counts[0], count) << "rank " << rank;
+    }
+  }
+  // And the head must be heavy: top-10 ranks carry a large share at 0.99.
+  int head = 0;
+  for (u64 r = 0; r < 10; ++r) {
+    head += counts.count(r) ? counts[r] : 0;
+  }
+  EXPECT_GT(head, 100000 / 4);
+}
+
+TEST(ZipfTest, AllSamplesInRange) {
+  ZipfSampler zipf(50, 0.5);
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 50u);
+  }
+}
+
+TEST(ZipfTest, LowThetaFlatter) {
+  Rng rng(23);
+  ZipfSampler skewed(1000, 0.99);
+  ZipfSampler flat(1000, 0.1);
+  int skewed_zero = 0;
+  int flat_zero = 0;
+  for (int i = 0; i < 50000; ++i) {
+    skewed_zero += skewed.Sample(rng) == 0;
+    flat_zero += flat.Sample(rng) == 0;
+  }
+  EXPECT_GT(skewed_zero, flat_zero * 2);
+}
+
+TEST(GaussianIndexSamplerTest, CenteredAndBounded) {
+  Rng rng(29);
+  GaussianIndexSampler sampler(1000, 500.0, 100.0);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    u64 v = sampler.Sample(rng);
+    EXPECT_LT(v, 1000u);
+    stats.Add(static_cast<double>(v));
+  }
+  EXPECT_NEAR(stats.mean(), 500.0, 5.0);
+  EXPECT_NEAR(stats.stddev(), 100.0, 5.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  BucketedHistogram<int> hist(0.0, 10.0, 10);
+  EXPECT_EQ(hist.BucketFor(-1.0), 0u);
+  EXPECT_EQ(hist.BucketFor(0.0), 0u);
+  EXPECT_EQ(hist.BucketFor(0.5), 0u);
+  EXPECT_EQ(hist.BucketFor(5.0), 5u);
+  EXPECT_EQ(hist.BucketFor(9.99), 9u);
+  EXPECT_EQ(hist.BucketFor(10.0), 9u);
+  EXPECT_EQ(hist.BucketFor(100.0), 9u);
+}
+
+TEST(HistogramTest, UpdateMovesBuckets) {
+  BucketedHistogram<int> hist(0.0, 10.0, 10);
+  hist.Update(1, 1.5);
+  EXPECT_EQ(hist.bucket(1).size(), 1u);
+  hist.Update(1, 8.5);
+  EXPECT_EQ(hist.bucket(1).size(), 0u);
+  EXPECT_EQ(hist.bucket(8).size(), 1u);
+  EXPECT_EQ(hist.size(), 1u);
+}
+
+TEST(HistogramTest, HottestAndColdestOrder) {
+  BucketedHistogram<int> hist(0.0, 3.0, 16);
+  hist.Update(10, 0.1);
+  hist.Update(20, 2.9);
+  hist.Update(30, 1.5);
+  std::vector<int> hottest = hist.HottestFirst();
+  ASSERT_EQ(hottest.size(), 3u);
+  EXPECT_EQ(hottest[0], 20);
+  EXPECT_EQ(hottest[2], 10);
+  std::vector<int> coldest = hist.ColdestFirst();
+  EXPECT_EQ(coldest[0], 10);
+  EXPECT_EQ(coldest[2], 20);
+}
+
+TEST(HistogramTest, RemoveAndClear) {
+  BucketedHistogram<int> hist(0.0, 1.0, 4);
+  hist.Update(1, 0.2);
+  hist.Update(2, 0.9);
+  hist.Remove(1);
+  EXPECT_FALSE(hist.Contains(1));
+  EXPECT_TRUE(hist.Contains(2));
+  EXPECT_EQ(hist.size(), 1u);
+  hist.Clear();
+  EXPECT_EQ(hist.size(), 0u);
+}
+
+// Property: histogram ordering agrees with a naive sort by bucket index.
+TEST(HistogramTest, PropertyAgainstNaive) {
+  Rng rng(31);
+  BucketedHistogram<int> hist(0.0, 100.0, 20);
+  std::map<int, double> values;
+  for (int step = 0; step < 500; ++step) {
+    int id = static_cast<int>(rng.NextBounded(50));
+    double v = rng.NextDouble() * 100.0;
+    hist.Update(id, v);
+    values[id] = v;
+  }
+  std::vector<int> hottest = hist.HottestFirst();
+  ASSERT_EQ(hottest.size(), values.size());
+  for (std::size_t i = 1; i < hottest.size(); ++i) {
+    EXPECT_GE(hist.BucketFor(values[hottest[i - 1]]), hist.BucketFor(values[hottest[i]]));
+  }
+}
+
+TEST(RunningStatsTest, Moments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(EmaTest, Equation2) {
+  // WHI_i = alpha*HI_i + (1-alpha)*WHI_{i-1} with alpha = 0.5 (the paper's
+  // default).
+  Ema ema(0.5);
+  EXPECT_FALSE(ema.initialized());
+  EXPECT_DOUBLE_EQ(ema.Update(3.0), 3.0);  // first observation initializes
+  EXPECT_DOUBLE_EQ(ema.Update(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(ema.Update(0.0), 1.0);
+}
+
+TEST(EmaTest, AlphaOneIgnoresHistory) {
+  Ema ema(1.0);
+  ema.Update(5.0);
+  EXPECT_DOUBLE_EQ(ema.Update(1.0), 1.0);
+}
+
+TEST(EmaTest, AlphaZeroKeepsHistory) {
+  Ema ema(0.0);
+  ema.Update(5.0);
+  EXPECT_DOUBLE_EQ(ema.Update(1.0), 5.0);
+}
+
+TEST(PercentileTest, Basics) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.5);
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(OkStatus().ok());
+  Status s = InvalidArgumentError("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad");
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err(InternalError("boom"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mtm

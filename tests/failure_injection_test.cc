@@ -1,0 +1,180 @@
+// Failure-injection and pressure tests: what happens when tiers run out of
+// space, PEBS buffers overflow, migrations have nowhere to go, or the
+// address space outgrows the machine.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/core/driver.h"
+#include "src/mem/placement.h"
+#include "src/migration/migration_engine.h"
+#include "src/workloads/workload_factory.h"
+
+namespace mtm {
+namespace {
+
+TEST(PressureTest, MachineNearlyFullStillPlaces) {
+  // Footprint close to total capacity: placement must spill through all
+  // four components without failing.
+  Machine machine = Machine::OptaneFourTier(512);
+  PageTable pt;
+  AddressSpace as;
+  FrameAllocator frames(machine);
+  u64 footprint = machine.TotalCapacity() * 9 / 10;
+  u32 vma = as.Allocate(footprint, /*thp=*/true, "big");
+  PlacementFaultHandler handler(machine, pt, frames, as, PlacementPolicy::kFirstTouch);
+  int placed[8] = {};
+  for (u64 off = 0; off < footprint; off += kHugePageSize) {
+    ComponentId c = handler.HandlePageFault(as.vma(vma).start + off, 0, false);
+    ASSERT_NE(c, kInvalidComponent);
+    ++placed[c];
+  }
+  // Every component received pages.
+  for (u32 c = 0; c < machine.num_components(); ++c) {
+    EXPECT_GT(placed[c], 0) << machine.component(c).name;
+  }
+  EXPECT_EQ(frames.total_used(), pt.mapped_bytes());
+}
+
+TEST(PressureTest, PlacementFailsCleanlyWhenMachineFull) {
+  Machine machine = Machine::OptaneFourTier(512);
+  PageTable pt;
+  AddressSpace as;
+  FrameAllocator frames(machine);
+  for (u32 c = 0; c < machine.num_components(); ++c) {
+    ASSERT_TRUE(frames.Reserve(c, frames.free_bytes(c)));
+  }
+  u32 vma = as.Allocate(MiB(4), false, "x");
+  PlacementFaultHandler handler(machine, pt, frames, as, PlacementPolicy::kFirstTouch);
+  EXPECT_EQ(handler.HandlePageFault(as.vma(vma).start, 0, false), kInvalidComponent);
+}
+
+TEST(PressureTest, MigrationWithNoRoomAnywhereRecordsFailure) {
+  // Every component full: an order into a full tier whose reclaim cannot
+  // cascade (all lower tiers full too) fails without corrupting state.
+  Machine machine = Machine::OptaneFourTier(4096);  // tiny tiers
+  SimClock clock;
+  PageTable pt;
+  AddressSpace as;
+  FrameAllocator frames(machine);
+  MemCounters counters(machine.num_components());
+  ComponentId t1 = machine.TierOrder(0)[0];
+  ComponentId t3 = machine.TierOrder(0)[2];
+
+  // Fill t1 exactly; fill every PM component so demotion has nowhere to go.
+  u32 resident_vma = as.Allocate(frames.capacity(t1), false, "resident");
+  ASSERT_TRUE(pt.MapRange(as.vma(resident_vma).start, frames.capacity(t1), t1, false).ok());
+  ASSERT_TRUE(frames.Reserve(t1, frames.capacity(t1)));
+  for (u32 c = 0; c < machine.num_components(); ++c) {
+    if (c != t1) {
+      ASSERT_TRUE(frames.Reserve(c, frames.free_bytes(c)));
+    }
+  }
+  // One more region nominally on t3 (accounting-wise it is part of the
+  // reserve above; map only).
+  u32 hot_vma = as.Allocate(kHugePageSize, false, "hot");
+  ASSERT_TRUE(pt.MapRange(as.vma(hot_vma).start, kHugePageSize, t3, false).ok());
+
+  MigrationEngine engine(machine, pt, frames, as, counters, clock,
+                         MechanismKind::kMovePages);
+  engine.Submit(MigrationOrder{as.vma(hot_vma).start, kHugePageSize, t1, 0});
+  EXPECT_GT(engine.stats().bytes_failed, 0u);
+  // The hot pages stay where they were.
+  EXPECT_EQ(pt.Find(as.vma(hot_vma).start)->component, t3);
+}
+
+TEST(PressureTest, PebsBufferOverflowDropsSamples) {
+  Machine machine = Machine::OptaneFourTier(512);
+  PebsEngine::Config config;
+  config.sample_period = 1;
+  config.buffer_capacity = 16;
+  config.sample_dram = true;
+  PebsEngine pebs(machine, config);
+  pebs.SetEnabled(true);
+  for (int i = 0; i < 100; ++i) {
+    pebs.Observe(0x1000 + static_cast<u64>(i) * kPageSize, 0, 0, false);
+  }
+  EXPECT_EQ(pebs.pending(), 16u);
+  EXPECT_EQ(pebs.samples_dropped(), 84u);
+  EXPECT_EQ(pebs.Drain().size(), 16u);
+  // Buffer drains and refills.
+  pebs.Observe(0x1000, 0, 0, false);
+  EXPECT_EQ(pebs.pending(), 1u);
+}
+
+TEST(PressureTest, WorkloadLargerThanFastTiersRuns) {
+  // The paper's setup requires footprints exceeding the two fast tiers;
+  // verify end-to-end that such a run completes under every major solution.
+  ExperimentConfig config;
+  config.sim_scale = 2048;  // GUPS at 256 MiB vs 48+48 MiB DRAM
+  config.num_intervals = 8;
+  for (SolutionKind kind : {SolutionKind::kFirstTouch, SolutionKind::kTieredAutoNuma,
+                            SolutionKind::kAutoTiering, SolutionKind::kMtm}) {
+    RunResult r = RunExperiment("gups", kind, config);
+    EXPECT_GT(r.total_accesses, 0u) << SolutionKindName(kind);
+    u64 dram = 0;
+    Machine machine = Machine::OptaneFourTier(config.sim_scale);
+    for (u32 c = 0; c < machine.num_components(); ++c) {
+      if (machine.component(c).mem_class == MemClass::kDram) {
+        dram += machine.component(c).capacity_bytes;
+      }
+    }
+    EXPECT_GT(r.footprint_bytes, dram);
+  }
+}
+
+TEST(PressureTest, ZeroLengthOrderIsNoop) {
+  Machine machine = Machine::OptaneFourTier(512);
+  SimClock clock;
+  PageTable pt;
+  AddressSpace as;
+  FrameAllocator frames(machine);
+  MemCounters counters(machine.num_components());
+  MigrationEngine engine(machine, pt, frames, as, counters, clock,
+                         MechanismKind::kMoveMemoryRegions);
+  engine.Submit(MigrationOrder{0x5500'0000'0000ull, 0, 0, 0});
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.stats().bytes_migrated, 0u);
+}
+
+TEST(PressureTest, RepeatedFlushIdempotent) {
+  Machine machine = Machine::OptaneFourTier(512);
+  SimClock clock;
+  PageTable pt;
+  AddressSpace as;
+  FrameAllocator frames(machine);
+  MemCounters counters(machine.num_components());
+  MigrationEngine engine(machine, pt, frames, as, counters, clock,
+                         MechanismKind::kMoveMemoryRegions);
+  engine.Flush();
+  engine.Flush();
+  EXPECT_EQ(engine.stats().bytes_migrated, 0u);
+}
+
+TEST(PressureTest, TwoTierDemotionTargetsExist) {
+  // On the two-tier machine, reclaim from DRAM must demote to PM (the only
+  // slower class) and never fail while PM has room.
+  Machine machine = Machine::TwoTier(512);
+  SimClock clock;
+  PageTable pt;
+  AddressSpace as;
+  FrameAllocator frames(machine);
+  MemCounters counters(machine.num_components());
+  ComponentId dram = machine.TierOrder(0)[0];
+  ComponentId pm = machine.TierOrder(0)[1];
+
+  u32 fill = as.Allocate(frames.capacity(dram), false, "fill");
+  ASSERT_TRUE(pt.MapRange(as.vma(fill).start, frames.capacity(dram), dram, false).ok());
+  ASSERT_TRUE(frames.Reserve(dram, frames.capacity(dram)));
+  u32 hot = as.Allocate(kHugePageSize, false, "hot");
+  ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageSize, pm, false).ok());
+  ASSERT_TRUE(frames.Reserve(pm, kHugePageSize));
+
+  MigrationEngine engine(machine, pt, frames, as, counters, clock,
+                         MechanismKind::kNimble);
+  engine.Submit(MigrationOrder{as.vma(hot).start, kHugePageSize, dram, 0});
+  EXPECT_EQ(pt.Find(as.vma(hot).start)->component, dram);
+  EXPECT_GT(engine.stats().reclaim_demotions, 0u);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,117 @@
+// Tests for the machine topology (Table 1 of the paper).
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/sim/machine.h"
+
+namespace mtm {
+namespace {
+
+TEST(MachineTest, OptaneFourTierMatchesTable1) {
+  Machine m = Machine::OptaneFourTier(1);
+  ASSERT_EQ(m.num_sockets(), 2u);
+  ASSERT_EQ(m.num_components(), 4u);
+
+  // Socket 0's tier order: local DRAM, remote DRAM, local PM, remote PM.
+  const auto& order = m.TierOrder(0);
+  EXPECT_EQ(m.component(order[0]).name, "DRAM0");
+  EXPECT_EQ(m.component(order[1]).name, "DRAM1");
+  EXPECT_EQ(m.component(order[2]).name, "PM0");
+  EXPECT_EQ(m.component(order[3]).name, "PM1");
+
+  // Table 1 latencies and bandwidths from socket 0.
+  EXPECT_EQ(m.link(0, order[0]).latency_ns, 90u);
+  EXPECT_DOUBLE_EQ(m.link(0, order[0]).bandwidth_gbps, 95.0);
+  EXPECT_EQ(m.link(0, order[1]).latency_ns, 145u);
+  EXPECT_DOUBLE_EQ(m.link(0, order[1]).bandwidth_gbps, 35.0);
+  EXPECT_EQ(m.link(0, order[2]).latency_ns, 275u);
+  EXPECT_DOUBLE_EQ(m.link(0, order[2]).bandwidth_gbps, 35.0);
+  EXPECT_EQ(m.link(0, order[3]).latency_ns, 340u);
+  EXPECT_DOUBLE_EQ(m.link(0, order[3]).bandwidth_gbps, 1.0);
+
+  // Capacities: 96 GB DRAM, 756 GB PM per socket.
+  EXPECT_EQ(m.component(order[0]).capacity_bytes, GiB(96));
+  EXPECT_EQ(m.component(order[2]).capacity_bytes, GiB(756));
+}
+
+TEST(MachineTest, MultiViewSymmetry) {
+  // The multi-view of tiered memory (§6.2): socket 1 sees the mirror order.
+  Machine m = Machine::OptaneFourTier(1);
+  const auto& order1 = m.TierOrder(1);
+  EXPECT_EQ(m.component(order1[0]).name, "DRAM1");
+  EXPECT_EQ(m.component(order1[1]).name, "DRAM0");
+  EXPECT_EQ(m.component(order1[2]).name, "PM1");
+  EXPECT_EQ(m.component(order1[3]).name, "PM0");
+  // The same DRAM is tier 1 for its home socket and tier 2 remotely.
+  ComponentId dram0 = m.TierOrder(0)[0];
+  EXPECT_EQ(m.TierRank(0, dram0), 0u);
+  EXPECT_EQ(m.TierRank(1, dram0), 1u);
+}
+
+TEST(MachineTest, ScaleDividesCapacity) {
+  Machine m = Machine::OptaneFourTier(512);
+  EXPECT_EQ(m.component(m.TierOrder(0)[0]).capacity_bytes, GiB(96) / 512);
+  EXPECT_EQ(m.component(m.TierOrder(0)[2]).capacity_bytes, GiB(756) / 512);
+  // Latency unchanged by scale.
+  EXPECT_EQ(m.link(0, m.TierOrder(0)[0]).latency_ns, 90u);
+}
+
+TEST(MachineTest, TierRankInverse) {
+  Machine m = Machine::OptaneFourTier(64);
+  for (u32 s = 0; s < m.num_sockets(); ++s) {
+    const auto& order = m.TierOrder(s);
+    for (u32 rank = 0; rank < order.size(); ++rank) {
+      EXPECT_EQ(m.TierRank(s, order[rank]), rank);
+    }
+  }
+}
+
+TEST(MachineTest, SlowestTierIsPm) {
+  Machine m = Machine::OptaneFourTier(64);
+  int slowest = 0;
+  for (u32 c = 0; c < m.num_components(); ++c) {
+    if (m.IsSlowestTier(c)) {
+      ++slowest;
+      EXPECT_EQ(m.component(c).mem_class, MemClass::kPm);
+    }
+  }
+  EXPECT_EQ(slowest, 2);
+}
+
+TEST(MachineTest, SlowerClass) {
+  Machine m = Machine::OptaneFourTier(64);
+  ComponentId dram0 = m.TierOrder(0)[0];
+  ComponentId dram1 = m.TierOrder(0)[1];
+  ComponentId pm0 = m.TierOrder(0)[2];
+  EXPECT_TRUE(m.IsSlowerClass(dram0, pm0));
+  EXPECT_FALSE(m.IsSlowerClass(pm0, dram0));
+  // Lateral DRAM<->DRAM is not a demotion relationship.
+  EXPECT_FALSE(m.IsSlowerClass(dram0, dram1));
+  EXPECT_FALSE(m.IsSlowerClass(dram1, dram0));
+}
+
+TEST(MachineTest, TwoTier) {
+  Machine m = Machine::TwoTier(1);
+  EXPECT_EQ(m.num_sockets(), 1u);
+  ASSERT_EQ(m.num_components(), 2u);
+  const auto& order = m.TierOrder(0);
+  EXPECT_EQ(m.component(order[0]).mem_class, MemClass::kDram);
+  EXPECT_EQ(m.component(order[1]).mem_class, MemClass::kPm);
+  EXPECT_TRUE(m.IsSlowestTier(order[1]));
+  EXPECT_FALSE(m.IsSlowestTier(order[0]));
+}
+
+TEST(MachineTest, TotalCapacity) {
+  Machine m = Machine::OptaneFourTier(1);
+  EXPECT_EQ(m.TotalCapacity(), 2 * GiB(96) + 2 * GiB(756));
+}
+
+TEST(MachineTest, DebugStringMentionsTiers) {
+  Machine m = Machine::OptaneFourTier(1);
+  std::string s = m.DebugString();
+  EXPECT_NE(s.find("DRAM0"), std::string::npos);
+  EXPECT_NE(s.find("PM1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,105 @@
+// Tests for the profiling-quality oracle (Figure 1 recall/accuracy).
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/profiling/oracle.h"
+
+namespace mtm {
+namespace {
+
+constexpr VirtAddr kBase = 0x5500'0000'0000ull;
+
+HotnessEntry Entry(VirtAddr start, u64 len, double hotness) {
+  HotnessEntry e;
+  e.start = start;
+  e.len = len;
+  e.hotness = hotness;
+  return e;
+}
+
+TEST(OracleTest, NormalizeSortsAndMerges) {
+  std::vector<HotRange> ranges = {
+      {kBase + MiB(4), MiB(2)}, {kBase, MiB(1)}, {kBase + MiB(5), MiB(3)}};
+  Oracle::Normalize(ranges);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].start, kBase);
+  EXPECT_EQ(ranges[1].start, kBase + MiB(4));
+  EXPECT_EQ(ranges[1].len, MiB(4));  // [4,6) + [5,8) -> [4,8)
+}
+
+TEST(OracleTest, OverlapBytes) {
+  std::vector<HotRange> truth = {{kBase, MiB(2)}, {kBase + MiB(8), MiB(2)}};
+  Oracle::Normalize(truth);
+  EXPECT_EQ(Oracle::OverlapBytes(truth, kBase, MiB(1)), MiB(1));
+  EXPECT_EQ(Oracle::OverlapBytes(truth, kBase + MiB(1), MiB(2)), MiB(1));
+  EXPECT_EQ(Oracle::OverlapBytes(truth, kBase + MiB(4), MiB(2)), 0u);
+  EXPECT_EQ(Oracle::OverlapBytes(truth, kBase, MiB(16)), MiB(4));
+}
+
+TEST(OracleTest, PerfectDetection) {
+  ProfileOutput out;
+  out.entries.push_back(Entry(kBase, MiB(4), 3.0));
+  ProfilingQuality q = Oracle::Evaluate({{kBase, MiB(4)}}, out);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.accuracy, 1.0);
+}
+
+TEST(OracleTest, CoarseRegionLowersAccuracy) {
+  // A DAMON-style giant region covering the hot set plus cold space: the
+  // claim is clipped to the true volume, so only the region's head counts —
+  // cold bytes crowd out hot ones and both recall and accuracy suffer (the
+  // Figure 1(b) behavior).
+  ProfileOutput out;
+  out.entries.push_back(Entry(kBase, MiB(16), 1.0));
+  ProfilingQuality q = Oracle::Evaluate({{kBase + MiB(2), MiB(4)}}, out);
+  EXPECT_NEAR(q.recall, 0.5, 1e-9);    // only [2,4) of the hot [2,6) is in the clipped claim
+  EXPECT_NEAR(q.accuracy, 0.5, 1e-9);  // half the claimed 4 MiB is actually hot
+  EXPECT_EQ(q.claimed_hot_bytes, MiB(4));
+}
+
+TEST(OracleTest, MissedHotSetLowersRecall) {
+  ProfileOutput out;
+  out.entries.push_back(Entry(kBase, MiB(2), 2.0));  // half the hot set
+  ProfilingQuality q = Oracle::Evaluate({{kBase, MiB(4)}}, out);
+  EXPECT_NEAR(q.recall, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(q.accuracy, 1.0);
+}
+
+TEST(OracleTest, ClaimsRankedByHotnessUntilTrueVolume) {
+  // The cold-but-claimed entry ranks below the hot ones and is not taken
+  // once the claimed volume matches the truth volume.
+  ProfileOutput out;
+  out.entries.push_back(Entry(kBase + MiB(8), MiB(4), 0.2));   // cold claim
+  out.entries.push_back(Entry(kBase, MiB(4), 3.0));            // true hot
+  ProfilingQuality q = Oracle::Evaluate({{kBase, MiB(4)}}, out);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.accuracy, 1.0);
+  EXPECT_EQ(q.claimed_hot_bytes, MiB(4));
+}
+
+TEST(OracleTest, ZeroHotnessNeverClaimed) {
+  ProfileOutput out;
+  out.entries.push_back(Entry(kBase, MiB(4), 0.0));
+  ProfilingQuality q = Oracle::Evaluate({{kBase, MiB(4)}}, out);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.accuracy, 0.0);
+}
+
+TEST(OracleTest, EmptyTruthYieldsZeroes) {
+  ProfileOutput out;
+  out.entries.push_back(Entry(kBase, MiB(4), 1.0));
+  ProfilingQuality q = Oracle::Evaluate({}, out);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_EQ(q.true_hot_bytes, 0u);
+}
+
+TEST(OracleTest, WrongPlaceClaims) {
+  ProfileOutput out;
+  out.entries.push_back(Entry(kBase + MiB(32), MiB(4), 3.0));
+  ProfilingQuality q = Oracle::Evaluate({{kBase, MiB(4)}}, out);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,154 @@
+// Tests for initial page placement policies (first-touch, slow-tier-first,
+// PM-only) and their THP behavior.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/mem/placement.h"
+#include "src/sim/machine.h"
+
+namespace mtm {
+namespace {
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  PlacementTest() : machine_(Machine::OptaneFourTier(512)), frames_(machine_) {}
+
+  PlacementFaultHandler MakeHandler(PlacementPolicy policy) {
+    return PlacementFaultHandler(machine_, page_table_, frames_, address_space_, policy);
+  }
+
+  Machine machine_;
+  PageTable page_table_;
+  AddressSpace address_space_;
+  FrameAllocator frames_;
+};
+
+TEST_F(PlacementTest, FirstTouchPrefersLocalDram) {
+  u32 vma = address_space_.Allocate(MiB(4), false, "x");
+  auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
+  VirtAddr addr = address_space_.vma(vma).start;
+  EXPECT_EQ(handler.HandlePageFault(addr, /*socket=*/0, false), machine_.TierOrder(0)[0]);
+  EXPECT_EQ(handler.HandlePageFault(addr + kPageSize, /*socket=*/1, false),
+            machine_.TierOrder(1)[0]);
+}
+
+TEST_F(PlacementTest, FirstTouchSpillsWhenFull) {
+  u32 vma = address_space_.Allocate(MiB(16), false, "x");
+  auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
+  // Fill local DRAM completely.
+  ComponentId t1 = machine_.TierOrder(0)[0];
+  ASSERT_TRUE(frames_.Reserve(t1, frames_.free_bytes(t1)));
+  VirtAddr addr = address_space_.vma(vma).start;
+  EXPECT_EQ(handler.HandlePageFault(addr, 0, false), machine_.TierOrder(0)[1]);
+}
+
+TEST_F(PlacementTest, SlowTierFirstPrefersLocalPm) {
+  // MTM's initial placement (§9.1 Table 4): local slow tier first.
+  u32 vma = address_space_.Allocate(MiB(4), false, "x");
+  auto handler = MakeHandler(PlacementPolicy::kSlowTierFirst);
+  VirtAddr addr = address_space_.vma(vma).start;
+  ComponentId placed = handler.HandlePageFault(addr, 0, false);
+  EXPECT_EQ(machine_.component(placed).mem_class, MemClass::kPm);
+  EXPECT_EQ(machine_.component(placed).home_socket, 0u);
+}
+
+TEST_F(PlacementTest, SlowTierFirstFallsBackToDram) {
+  u32 vma = address_space_.Allocate(MiB(4), false, "x");
+  auto handler = MakeHandler(PlacementPolicy::kSlowTierFirst);
+  for (u32 c = 0; c < machine_.num_components(); ++c) {
+    if (machine_.component(c).mem_class == MemClass::kPm) {
+      ASSERT_TRUE(frames_.Reserve(c, frames_.free_bytes(c)));
+    }
+  }
+  VirtAddr addr = address_space_.vma(vma).start;
+  ComponentId placed = handler.HandlePageFault(addr, 0, false);
+  EXPECT_EQ(machine_.component(placed).mem_class, MemClass::kDram);
+}
+
+TEST_F(PlacementTest, PmOnlyNeverUsesDram) {
+  u32 vma = address_space_.Allocate(MiB(4), false, "x");
+  auto handler = MakeHandler(PlacementPolicy::kPmOnly);
+  for (int i = 0; i < 32; ++i) {
+    VirtAddr addr = address_space_.vma(vma).start + static_cast<u64>(i) * kPageSize;
+    ComponentId placed = handler.HandlePageFault(addr, static_cast<u32>(i % 2), false);
+    EXPECT_EQ(machine_.component(placed).mem_class, MemClass::kPm);
+  }
+}
+
+TEST_F(PlacementTest, ThpVmaGetsHugeMapping) {
+  u32 vma = address_space_.Allocate(MiB(4), /*thp=*/true, "x");
+  auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
+  VirtAddr addr = address_space_.vma(vma).start + 123456;
+  handler.HandlePageFault(addr, 0, false);
+  u64 size = 0;
+  ASSERT_NE(page_table_.Find(addr, &size), nullptr);
+  EXPECT_EQ(size, kHugePageSize);
+  EXPECT_EQ(handler.huge_faults(), 1u);
+}
+
+TEST_F(PlacementTest, HugeFallsBackToBasePageUnderPressure) {
+  u32 vma = address_space_.Allocate(MiB(4), /*thp=*/true, "x");
+  auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
+  // Leave less than one huge page free everywhere.
+  for (u32 c = 0; c < machine_.num_components(); ++c) {
+    u64 keep = c == machine_.TierOrder(0)[0] ? kPageSize * 3 : 0;
+    ASSERT_TRUE(frames_.Reserve(c, frames_.free_bytes(c) - keep));
+  }
+  VirtAddr addr = address_space_.vma(vma).start;
+  ComponentId placed = handler.HandlePageFault(addr, 0, false);
+  EXPECT_NE(placed, kInvalidComponent);
+  u64 size = 0;
+  ASSERT_NE(page_table_.Find(addr, &size), nullptr);
+  EXPECT_EQ(size, kPageSize);
+  EXPECT_EQ(handler.base_faults(), 1u);
+}
+
+TEST_F(PlacementTest, NonThpVmaUsesBasePages) {
+  u32 vma = address_space_.Allocate(MiB(4), /*thp=*/false, "x");
+  auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
+  VirtAddr addr = address_space_.vma(vma).start;
+  handler.HandlePageFault(addr, 0, false);
+  u64 size = 0;
+  ASSERT_NE(page_table_.Find(addr, &size), nullptr);
+  EXPECT_EQ(size, kPageSize);
+}
+
+TEST_F(PlacementTest, FrameAccountingMatchesMappings) {
+  u32 vma = address_space_.Allocate(MiB(4), true, "x");
+  auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
+  for (u64 off = 0; off < MiB(4); off += kHugePageSize) {
+    handler.HandlePageFault(address_space_.vma(vma).start + off, 0, false);
+  }
+  EXPECT_EQ(frames_.total_used(), MiB(4));
+  EXPECT_EQ(page_table_.mapped_bytes(), MiB(4));
+}
+
+TEST(FrameAllocatorTest, ReserveRelease) {
+  Machine machine = Machine::OptaneFourTier(512);
+  FrameAllocator frames(machine);
+  ComponentId c = 0;
+  u64 cap = frames.capacity(c);
+  EXPECT_TRUE(frames.Reserve(c, cap));
+  EXPECT_FALSE(frames.Reserve(c, 1));
+  EXPECT_EQ(frames.free_bytes(c), 0u);
+  frames.Release(c, cap / 2);
+  EXPECT_EQ(frames.free_bytes(c), cap / 2);
+}
+
+TEST(AddressSpaceTest, AllocateWithGuardGaps) {
+  AddressSpace as;
+  u32 a = as.Allocate(MiB(3), true, "a");
+  u32 b = as.Allocate(MiB(1), false, "b");
+  const Vma& va = as.vma(a);
+  const Vma& vb = as.vma(b);
+  EXPECT_EQ(va.len, MiB(4));  // rounded to huge multiple
+  EXPECT_GE(vb.start, va.end() + kHugePageSize);
+  EXPECT_TRUE(IsHugeAligned(va.start));
+  EXPECT_EQ(as.FindVma(va.start + 5), &va);
+  EXPECT_EQ(as.FindVma(va.end()), nullptr);  // guard gap unmapped
+  EXPECT_EQ(vb.len, MiB(2));                 // also rounded up
+  EXPECT_EQ(as.total_bytes(), MiB(4) + MiB(2));
+}
+
+}  // namespace
+}  // namespace mtm

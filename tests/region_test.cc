@@ -1,0 +1,169 @@
+// Tests for the region map: seeding, merge, split, huge-page alignment.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/profiling/region.h"
+
+namespace mtm {
+namespace {
+
+constexpr VirtAddr kBase = 0x5500'0000'0000ull;
+
+TEST(RegionMapTest, SeedRangeDefaultSize) {
+  RegionMap map;
+  map.SeedRange(kBase, kBase + 8 * kHugePageSize, kHugePageSize);
+  EXPECT_EQ(map.size(), 8u);
+  VirtAddr expected = kBase;
+  for (const auto& [start, region] : map) {
+    EXPECT_EQ(region.start, expected);
+    EXPECT_EQ(region.bytes(), kHugePageSize);
+    expected = region.end;
+  }
+  EXPECT_EQ(expected, kBase + 8 * kHugePageSize);
+}
+
+TEST(RegionMapTest, SeedRangeUnevenTail) {
+  RegionMap map;
+  map.SeedRange(kBase, kBase + kHugePageSize + 3 * kPageSize, kHugePageSize);
+  EXPECT_EQ(map.size(), 2u);
+  auto last = std::prev(map.end());
+  EXPECT_EQ(last->second.bytes(), 3 * kPageSize);
+}
+
+TEST(RegionMapTest, SeedUnalignedStartAlignsBoundaries) {
+  RegionMap map;
+  map.SeedRange(kBase + 3 * kPageSize, kBase + 2 * kHugePageSize, kHugePageSize);
+  // First region ends at the next huge boundary so later regions align.
+  auto it = map.begin();
+  EXPECT_EQ(it->second.end % kHugePageSize, 0u);
+}
+
+TEST(RegionMapTest, FindContaining) {
+  RegionMap map;
+  map.SeedRange(kBase, kBase + 4 * kHugePageSize, kHugePageSize);
+  auto it = map.FindContaining(kBase + kHugePageSize + 7);
+  ASSERT_NE(it, map.end());
+  EXPECT_EQ(it->second.start, kBase + kHugePageSize);
+  EXPECT_EQ(map.FindContaining(kBase - 1), map.end());
+  EXPECT_EQ(map.FindContaining(kBase + 4 * kHugePageSize), map.end());
+}
+
+TEST(RegionMapTest, MergeWithNext) {
+  RegionMap map;
+  map.SeedRange(kBase, kBase + 2 * kHugePageSize, kHugePageSize);
+  u64 id = map.begin()->second.id;
+  auto merged = map.MergeWithNext(map.begin());
+  ASSERT_NE(merged, map.end());
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(merged->second.id, id);  // keeps the left id
+  EXPECT_EQ(merged->second.bytes(), 2 * kHugePageSize);
+}
+
+TEST(RegionMapTest, MergeNonAdjacentFails) {
+  RegionMap map;
+  map.SeedRange(kBase, kBase + kHugePageSize, kHugePageSize);
+  map.SeedRange(kBase + 4 * kHugePageSize, kBase + 5 * kHugePageSize, kHugePageSize);
+  EXPECT_EQ(map.MergeWithNext(map.begin()), map.end());
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(RegionMapTest, SplitCreatesFreshId) {
+  RegionMap map;
+  map.SeedRange(kBase, kBase + 4 * kHugePageSize, 4 * kHugePageSize);
+  ASSERT_EQ(map.size(), 1u);
+  u64 left_id = map.begin()->second.id;
+  RegionMap::iterator first;
+  RegionMap::iterator second;
+  ASSERT_TRUE(map.Split(map.begin(), kBase + 2 * kHugePageSize, &first, &second));
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(first->second.id, left_id);
+  EXPECT_NE(second->second.id, left_id);
+  EXPECT_EQ(first->second.end, second->second.start);
+}
+
+TEST(RegionMapTest, SplitRejectsBoundaries) {
+  RegionMap map;
+  map.SeedRange(kBase, kBase + kHugePageSize, kHugePageSize);
+  EXPECT_FALSE(map.Split(map.begin(), kBase, nullptr, nullptr));
+  EXPECT_FALSE(map.Split(map.begin(), kBase + kHugePageSize, nullptr, nullptr));
+}
+
+TEST(RegionMapTest, SplitPointHugeAligned) {
+  // §5.4: splits of multi-huge-page regions land on huge boundaries so a
+  // huge page is never profiled in two regions.
+  Region r;
+  r.start = kBase;
+  r.end = kBase + 5 * kHugePageSize;
+  VirtAddr split = RegionMap::SplitPoint(r);
+  EXPECT_TRUE(IsHugeAligned(split));
+  EXPECT_GT(split, r.start);
+  EXPECT_LT(split, r.end);
+}
+
+TEST(RegionMapTest, SplitPointOddRegionStillAligned) {
+  Region r;
+  r.start = kBase + kPageSize;  // not huge aligned
+  r.end = kBase + 3 * kHugePageSize;
+  VirtAddr split = RegionMap::SplitPoint(r);
+  EXPECT_TRUE(IsHugeAligned(split));
+  EXPECT_GT(split, r.start);
+  EXPECT_LT(split, r.end);
+}
+
+TEST(RegionMapTest, SplitPointSmallRegionPageAligned) {
+  Region r;
+  r.start = kBase;
+  r.end = kBase + 6 * kPageSize;
+  VirtAddr split = RegionMap::SplitPoint(r);
+  EXPECT_TRUE(IsPageAligned(split));
+  EXPECT_EQ(split, kBase + 3 * kPageSize);
+}
+
+TEST(RegionMapTest, SplitPointSinglePageImpossible) {
+  Region r;
+  r.start = kBase;
+  r.end = kBase + kPageSize;
+  EXPECT_EQ(RegionMap::SplitPoint(r), 0u);
+}
+
+TEST(RegionTest, HotnessVariance) {
+  Region r;
+  r.hi = 2.5;
+  r.prev_hi = 1.0;
+  EXPECT_DOUBLE_EQ(r.HotnessVariance(), 1.5);
+  r.hi = 0.5;
+  EXPECT_DOUBLE_EQ(r.HotnessVariance(), 0.5);
+}
+
+// Property: random merges and splits preserve exact coverage of the seeded
+// range with no overlaps.
+TEST(RegionMapPropertyTest, CoverageInvariant) {
+  RegionMap map;
+  const VirtAddr end = kBase + 64 * kHugePageSize;
+  map.SeedRange(kBase, end, kHugePageSize);
+  Rng rng(99);
+  for (int step = 0; step < 500; ++step) {
+    u64 pick = rng.NextBounded(map.size());
+    auto it = map.begin();
+    std::advance(it, static_cast<long>(pick));
+    if (rng.NextBernoulli(0.5)) {
+      map.MergeWithNext(it);
+    } else {
+      VirtAddr split = RegionMap::SplitPoint(it->second);
+      if (split != 0) {
+        map.Split(it, split, nullptr, nullptr);
+      }
+    }
+    // Invariant check.
+    VirtAddr cursor = kBase;
+    for (const auto& [start, region] : map) {
+      ASSERT_EQ(region.start, cursor);
+      ASSERT_LT(region.start, region.end);
+      cursor = region.end;
+    }
+    ASSERT_EQ(cursor, end);
+  }
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,148 @@
+// Tests for access-trace recording and replay.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/units.h"
+#include "src/workloads/gups.h"
+#include "src/workloads/trace.h"
+
+namespace mtm {
+namespace {
+
+std::string TempTracePath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/mtm_trace_" + tag + ".bin";
+}
+
+Workload::Params SmallParams() {
+  Workload::Params p;
+  p.footprint_bytes = MiB(32);
+  p.num_threads = 8;
+  p.seed = 11;
+  return p;
+}
+
+TEST(TracePackTest, RoundTrip) {
+  VirtAddr base = 0x5500'0000'0000ull;
+  for (u64 offset : {u64{0}, u64{4096}, GiB(1), (u64{1} << 48) - 8}) {
+    for (u32 thread : {0u, 7u, 16383u}) {
+      for (bool write : {false, true}) {
+        u64 packed = PackRecord(base + offset, base, thread, write);
+        MemAccess out;
+        UnpackRecord(packed, base, &out);
+        EXPECT_EQ(out.addr, base + offset);
+        EXPECT_EQ(out.thread, thread);
+        EXPECT_EQ(out.is_write, write);
+      }
+    }
+  }
+}
+
+TEST(TraceTest, RecordThenReplayIdenticalStream) {
+  std::string path = TempTracePath("roundtrip");
+  std::vector<MemAccess> original(4096);
+  std::vector<u64> vma_offsets;  // record-time VMA starts relative to base
+
+  {
+    auto gups = std::make_unique<GupsWorkload>(SmallParams());
+    TraceRecorder recorder(std::move(gups), path);
+    AddressSpace as;
+    recorder.Build(as);
+    for (const Vma& vma : as.vmas()) {
+      vma_offsets.push_back(vma.start - as.vmas().front().start);
+    }
+    ASSERT_EQ(recorder.NextBatch(original.data(), original.size()), original.size());
+    ASSERT_TRUE(recorder.Finish().ok());
+    EXPECT_EQ(recorder.records_written(), original.size());
+  }
+
+  auto replay = TraceReplayWorkload::Open(path, SmallParams());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  AddressSpace as;
+  (*replay)->Build(as);
+  ASSERT_EQ(as.vmas().size(), vma_offsets.size());
+  for (std::size_t i = 0; i < as.vmas().size(); ++i) {
+    EXPECT_EQ(as.vmas()[i].start - as.vmas().front().start, vma_offsets[i]);
+  }
+  std::vector<MemAccess> replayed(original.size());
+  ASSERT_EQ((*replay)->NextBatch(replayed.data(), replayed.size()), replayed.size());
+  VirtAddr base = as.vmas().front().start;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    // Same offsets from the base, same thread and r/w bits.
+    EXPECT_EQ(replayed[i].addr - base, original[i].addr - base);
+    EXPECT_EQ(replayed[i].thread, original[i].thread);
+    EXPECT_EQ(replayed[i].is_write, original[i].is_write);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReplayLoopsAtEnd) {
+  std::string path = TempTracePath("loop");
+  {
+    auto gups = std::make_unique<GupsWorkload>(SmallParams());
+    TraceRecorder recorder(std::move(gups), path);
+    AddressSpace as;
+    recorder.Build(as);
+    std::vector<MemAccess> buf(512);
+    recorder.NextBatch(buf.data(), buf.size());
+    ASSERT_TRUE(recorder.Finish().ok());
+  }
+  auto replay = TraceReplayWorkload::Open(path, SmallParams());
+  ASSERT_TRUE(replay.ok());
+  AddressSpace as;
+  (*replay)->Build(as);
+  std::vector<MemAccess> buf(2048);
+  ASSERT_EQ((*replay)->NextBatch(buf.data(), buf.size()), buf.size());
+  EXPECT_GE((*replay)->loops(), 1u);
+  // The stream repeats with period 512.
+  EXPECT_EQ(buf[0].addr, buf[512].addr);
+  EXPECT_EQ(buf[100].addr, buf[612].addr);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, OpenMissingFileFails) {
+  auto replay = TraceReplayWorkload::Open("/nonexistent/trace.bin", SmallParams());
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TraceTest, OpenGarbageFails) {
+  std::string path = TempTracePath("garbage");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("not a trace at all", 1, 18, f);
+  std::fclose(f);
+  auto replay = TraceReplayWorkload::Open(path, SmallParams());
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ThpFlagsPreserved) {
+  std::string path = TempTracePath("thp");
+  std::vector<bool> recorded_thp;
+  {
+    auto gups = std::make_unique<GupsWorkload>(SmallParams());
+    TraceRecorder recorder(std::move(gups), path);
+    AddressSpace as;
+    recorder.Build(as);
+    for (const Vma& vma : as.vmas()) {
+      recorded_thp.push_back(vma.thp);
+    }
+    std::vector<MemAccess> buf(64);
+    recorder.NextBatch(buf.data(), buf.size());
+    ASSERT_TRUE(recorder.Finish().ok());
+  }
+  auto replay = TraceReplayWorkload::Open(path, SmallParams());
+  ASSERT_TRUE(replay.ok());
+  AddressSpace as;
+  (*replay)->Build(as);
+  ASSERT_EQ(as.vmas().size(), recorded_thp.size());
+  for (std::size_t i = 0; i < recorded_thp.size(); ++i) {
+    EXPECT_EQ(as.vmas()[i].thp, recorded_thp[i]);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,83 @@
+// mtmsim — command-line runner for the MTM simulation framework.
+//
+// Runs one workload under one page-management solution and reports the
+// result in human, CSV, or JSON form.
+//
+// Usage:
+//   mtmsim --workload=gups --solution=mtm
+//   mtmsim --workload=voltdb --solution=tiered-autonuma --format=csv
+//   mtmsim --workload=gups --solution=mtm --two-tier --threads=16
+//
+// Flags (defaults in brackets):
+//   --workload=NAME     gups|voltdb|cassandra|bfs|sssp|spark        [gups]
+//   --solution=NAME     first-touch|hmc|vanilla-tiered-autonuma|
+//                       tiered-autonuma|autotiering|hemem|mtm|
+//                       thermostat+mtm-migration|autonuma+mtm-migration [mtm]
+//   --scale=N           capacity/interval scale divisor              [512]
+//   --threads=N         application threads                          [8]
+//   --intervals=N       max profiling intervals                      [400]
+//   --accesses=N        fixed work (0 = run all intervals)           [30000000]
+//   --overhead=F        profiling overhead target                    [0.05]
+//   --alpha=F           EMA weight (Equation 2)                      [0.5]
+//   --num-scans=N       PTE scans per sample per interval            [3]
+//   --two-tier          use the single-socket DRAM+PM machine        [false]
+//   --spread-threads    spread threads over both sockets             [false]
+//   --no-pebs           disable performance-counter assistance       [false]
+//   --sync-migration    disable asynchronous page copy               [false]
+//   --seed=N            deterministic seed                           [42]
+//   --format=F          human|csv|json                               [human]
+//   --record-intervals  include per-interval records (json)          [false]
+#include <cstdio>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/core/driver.h"
+#include "src/core/report.h"
+#include "src/workloads/workload_factory.h"
+
+int main(int argc, char** argv) {
+  mtm::FlagSet flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::printf("see the header of tools/mtmsim.cc for flag documentation\n");
+    return 0;
+  }
+
+  mtm::ExperimentConfig config;
+  config.sim_scale = flags.GetU64("scale", 512);
+  config.num_threads = static_cast<mtm::u32>(flags.GetU64("threads", 8));
+  config.num_intervals = static_cast<mtm::u32>(flags.GetU64("intervals", 400));
+  config.target_accesses = flags.GetU64("accesses", 30'000'000);
+  config.seed = flags.GetU64("seed", 42);
+  config.two_tier = flags.GetBool("two-tier", false);
+  config.spread_threads = flags.GetBool("spread-threads", false);
+  config.mtm.overhead_fraction = flags.GetDouble("overhead", 0.05);
+  config.mtm.alpha = flags.GetDouble("alpha", 0.5);
+  config.mtm.num_scans = static_cast<mtm::u32>(flags.GetU64("num-scans", 3));
+  config.mtm.use_pebs = !flags.GetBool("no-pebs", false);
+  if (flags.GetBool("sync-migration", false)) {
+    config.mtm.mechanism = mtm::MechanismKind::kMmrSync;
+  }
+
+  std::string workload = flags.GetString("workload", "gups");
+  std::string solution = flags.GetString("solution", "mtm");
+  std::string format_name = flags.GetString("format", "human");
+  mtm::ReportFormat format = mtm::ReportFormat::kHuman;
+  if (format_name == "csv") {
+    format = mtm::ReportFormat::kCsv;
+  } else if (format_name == "json") {
+    format = mtm::ReportFormat::kJson;
+  }
+
+  mtm::RunOptions options;
+  options.record_intervals = flags.GetBool("record-intervals", false);
+  options.evaluate_quality = options.record_intervals;
+
+  mtm::RunResult result = mtm::RunExperiment(
+      workload, mtm::SolutionKindFromName(solution), config, options);
+
+  if (format == mtm::ReportFormat::kCsv) {
+    std::printf("%s\n", mtm::CsvHeader().c_str());
+  }
+  std::printf("%s\n", mtm::Render(result, format).c_str());
+  return 0;
+}
