@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_two_tier_hemem.dir/bench_fig12_two_tier_hemem.cc.o"
+  "CMakeFiles/bench_fig12_two_tier_hemem.dir/bench_fig12_two_tier_hemem.cc.o.d"
+  "bench_fig12_two_tier_hemem"
+  "bench_fig12_two_tier_hemem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_two_tier_hemem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_migration_breakdown.dir/bench_fig3_migration_breakdown.cc.o"
+  "CMakeFiles/bench_fig3_migration_breakdown.dir/bench_fig3_migration_breakdown.cc.o.d"
+  "bench_fig3_migration_breakdown"
+  "bench_fig3_migration_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_migration_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_initial_placement.dir/bench_table4_initial_placement.cc.o"
+  "CMakeFiles/bench_table4_initial_placement.dir/bench_table4_initial_placement.cc.o.d"
+  "bench_table4_initial_placement"
+  "bench_table4_initial_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_initial_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_tier_accesses.dir/bench_table6_tier_accesses.cc.o"
+  "CMakeFiles/bench_table6_tier_accesses.dir/bench_table6_tier_accesses.cc.o.d"
+  "bench_table6_tier_accesses"
+  "bench_table6_tier_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_tier_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtm_common.dir/logging.cc.o"
+  "CMakeFiles/mtm_common.dir/logging.cc.o.d"
+  "CMakeFiles/mtm_common.dir/rng.cc.o"
+  "CMakeFiles/mtm_common.dir/rng.cc.o.d"
+  "CMakeFiles/mtm_common.dir/status.cc.o"
+  "CMakeFiles/mtm_common.dir/status.cc.o.d"
+  "libmtm_common.a"
+  "libmtm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtm_core.dir/driver.cc.o"
+  "CMakeFiles/mtm_core.dir/driver.cc.o.d"
+  "CMakeFiles/mtm_core.dir/report.cc.o"
+  "CMakeFiles/mtm_core.dir/report.cc.o.d"
+  "CMakeFiles/mtm_core.dir/solution.cc.o"
+  "CMakeFiles/mtm_core.dir/solution.cc.o.d"
+  "libmtm_core.a"
+  "libmtm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

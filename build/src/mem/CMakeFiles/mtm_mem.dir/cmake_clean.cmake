@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtm_mem.dir/placement.cc.o"
+  "CMakeFiles/mtm_mem.dir/placement.cc.o.d"
+  "libmtm_mem.a"
+  "libmtm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

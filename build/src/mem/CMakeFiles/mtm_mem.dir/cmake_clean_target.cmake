@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtm_mem.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtm_migration.dir/mechanism.cc.o"
+  "CMakeFiles/mtm_migration.dir/mechanism.cc.o.d"
+  "CMakeFiles/mtm_migration.dir/migration_engine.cc.o"
+  "CMakeFiles/mtm_migration.dir/migration_engine.cc.o.d"
+  "CMakeFiles/mtm_migration.dir/policy.cc.o"
+  "CMakeFiles/mtm_migration.dir/policy.cc.o.d"
+  "libmtm_migration.a"
+  "libmtm_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtm_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

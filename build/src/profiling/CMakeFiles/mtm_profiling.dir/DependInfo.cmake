@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/autonuma.cc" "src/profiling/CMakeFiles/mtm_profiling.dir/autonuma.cc.o" "gcc" "src/profiling/CMakeFiles/mtm_profiling.dir/autonuma.cc.o.d"
+  "/root/repo/src/profiling/autotiering.cc" "src/profiling/CMakeFiles/mtm_profiling.dir/autotiering.cc.o" "gcc" "src/profiling/CMakeFiles/mtm_profiling.dir/autotiering.cc.o.d"
+  "/root/repo/src/profiling/damon.cc" "src/profiling/CMakeFiles/mtm_profiling.dir/damon.cc.o" "gcc" "src/profiling/CMakeFiles/mtm_profiling.dir/damon.cc.o.d"
+  "/root/repo/src/profiling/hemem_profiler.cc" "src/profiling/CMakeFiles/mtm_profiling.dir/hemem_profiler.cc.o" "gcc" "src/profiling/CMakeFiles/mtm_profiling.dir/hemem_profiler.cc.o.d"
+  "/root/repo/src/profiling/mtm_profiler.cc" "src/profiling/CMakeFiles/mtm_profiling.dir/mtm_profiler.cc.o" "gcc" "src/profiling/CMakeFiles/mtm_profiling.dir/mtm_profiler.cc.o.d"
+  "/root/repo/src/profiling/oracle.cc" "src/profiling/CMakeFiles/mtm_profiling.dir/oracle.cc.o" "gcc" "src/profiling/CMakeFiles/mtm_profiling.dir/oracle.cc.o.d"
+  "/root/repo/src/profiling/region.cc" "src/profiling/CMakeFiles/mtm_profiling.dir/region.cc.o" "gcc" "src/profiling/CMakeFiles/mtm_profiling.dir/region.cc.o.d"
+  "/root/repo/src/profiling/thermostat.cc" "src/profiling/CMakeFiles/mtm_profiling.dir/thermostat.cc.o" "gcc" "src/profiling/CMakeFiles/mtm_profiling.dir/thermostat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

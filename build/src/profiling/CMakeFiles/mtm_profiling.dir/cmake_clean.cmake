@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtm_profiling.dir/autonuma.cc.o"
+  "CMakeFiles/mtm_profiling.dir/autonuma.cc.o.d"
+  "CMakeFiles/mtm_profiling.dir/autotiering.cc.o"
+  "CMakeFiles/mtm_profiling.dir/autotiering.cc.o.d"
+  "CMakeFiles/mtm_profiling.dir/damon.cc.o"
+  "CMakeFiles/mtm_profiling.dir/damon.cc.o.d"
+  "CMakeFiles/mtm_profiling.dir/hemem_profiler.cc.o"
+  "CMakeFiles/mtm_profiling.dir/hemem_profiler.cc.o.d"
+  "CMakeFiles/mtm_profiling.dir/mtm_profiler.cc.o"
+  "CMakeFiles/mtm_profiling.dir/mtm_profiler.cc.o.d"
+  "CMakeFiles/mtm_profiling.dir/oracle.cc.o"
+  "CMakeFiles/mtm_profiling.dir/oracle.cc.o.d"
+  "CMakeFiles/mtm_profiling.dir/region.cc.o"
+  "CMakeFiles/mtm_profiling.dir/region.cc.o.d"
+  "CMakeFiles/mtm_profiling.dir/thermostat.cc.o"
+  "CMakeFiles/mtm_profiling.dir/thermostat.cc.o.d"
+  "libmtm_profiling.a"
+  "libmtm_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtm_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

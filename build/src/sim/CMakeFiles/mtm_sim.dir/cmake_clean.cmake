@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtm_sim.dir/access_engine.cc.o"
+  "CMakeFiles/mtm_sim.dir/access_engine.cc.o.d"
+  "CMakeFiles/mtm_sim.dir/machine.cc.o"
+  "CMakeFiles/mtm_sim.dir/machine.cc.o.d"
+  "CMakeFiles/mtm_sim.dir/page_table.cc.o"
+  "CMakeFiles/mtm_sim.dir/page_table.cc.o.d"
+  "libmtm_sim.a"
+  "libmtm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cassandra.cc" "src/workloads/CMakeFiles/mtm_workloads.dir/cassandra.cc.o" "gcc" "src/workloads/CMakeFiles/mtm_workloads.dir/cassandra.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/mtm_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/mtm_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/gups.cc" "src/workloads/CMakeFiles/mtm_workloads.dir/gups.cc.o" "gcc" "src/workloads/CMakeFiles/mtm_workloads.dir/gups.cc.o.d"
+  "/root/repo/src/workloads/spark.cc" "src/workloads/CMakeFiles/mtm_workloads.dir/spark.cc.o" "gcc" "src/workloads/CMakeFiles/mtm_workloads.dir/spark.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/mtm_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/mtm_workloads.dir/trace.cc.o.d"
+  "/root/repo/src/workloads/voltdb.cc" "src/workloads/CMakeFiles/mtm_workloads.dir/voltdb.cc.o" "gcc" "src/workloads/CMakeFiles/mtm_workloads.dir/voltdb.cc.o.d"
+  "/root/repo/src/workloads/workload_factory.cc" "src/workloads/CMakeFiles/mtm_workloads.dir/workload_factory.cc.o" "gcc" "src/workloads/CMakeFiles/mtm_workloads.dir/workload_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/mtm_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtm_workloads.dir/cassandra.cc.o"
+  "CMakeFiles/mtm_workloads.dir/cassandra.cc.o.d"
+  "CMakeFiles/mtm_workloads.dir/graph.cc.o"
+  "CMakeFiles/mtm_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/mtm_workloads.dir/gups.cc.o"
+  "CMakeFiles/mtm_workloads.dir/gups.cc.o.d"
+  "CMakeFiles/mtm_workloads.dir/spark.cc.o"
+  "CMakeFiles/mtm_workloads.dir/spark.cc.o.d"
+  "CMakeFiles/mtm_workloads.dir/trace.cc.o"
+  "CMakeFiles/mtm_workloads.dir/trace.cc.o.d"
+  "CMakeFiles/mtm_workloads.dir/voltdb.cc.o"
+  "CMakeFiles/mtm_workloads.dir/voltdb.cc.o.d"
+  "CMakeFiles/mtm_workloads.dir/workload_factory.cc.o"
+  "CMakeFiles/mtm_workloads.dir/workload_factory.cc.o.d"
+  "libmtm_workloads.a"
+  "libmtm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

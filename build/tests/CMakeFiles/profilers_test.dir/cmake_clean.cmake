@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profilers_test.dir/profilers_test.cc.o"
+  "CMakeFiles/profilers_test.dir/profilers_test.cc.o.d"
+  "profilers_test"
+  "profilers_test.pdb"
+  "profilers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profilers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

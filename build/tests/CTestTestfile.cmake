@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/page_table_test[1]_include.cmake")
+include("/root/repo/build/tests/access_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/region_test[1]_include.cmake")
+include("/root/repo/build/tests/mtm_profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/profilers_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/migration_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtmsim.dir/mtmsim.cc.o"
+  "CMakeFiles/mtmsim.dir/mtmsim.cc.o.d"
+  "mtmsim"
+  "mtmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
