@@ -1,0 +1,245 @@
+#include "src/common/fault_injection.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace mtm {
+namespace {
+
+// Splits `text` on `sep`, dropping empty pieces (trailing ';' is legal).
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    if (end > start) {
+      out.push_back(text.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+struct Clause {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  const std::string* Find(const std::string& key) const {
+    for (const auto& [k, v] : params) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+Result<Clause> ParseClause(const std::string& text) {
+  Clause clause;
+  std::size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    return InvalidArgumentError("fault spec clause missing ':': " + text);
+  }
+  clause.name = text.substr(0, colon);
+  for (const std::string& param : Split(text.substr(colon + 1), ',')) {
+    std::size_t eq = param.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == param.size()) {
+      return InvalidArgumentError("fault spec parameter not key=value: " + param);
+    }
+    clause.params.emplace_back(param.substr(0, eq), param.substr(eq + 1));
+  }
+  return clause;
+}
+
+Result<double> ParseProbability(const Clause& clause) {
+  const std::string* p = clause.Find("p");
+  if (p == nullptr) {
+    return InvalidArgumentError("fault site '" + clause.name + "' requires p=<prob>");
+  }
+  char* end = nullptr;
+  double value = std::strtod(p->c_str(), &end);
+  if (end == p->c_str() || *end != '\0' || value < 0.0 || value > 1.0) {
+    return InvalidArgumentError("bad probability for '" + clause.name + "': " + *p);
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kMigrationCopy:
+      return "copy_fail";
+    case FaultSite::kMigrationRemap:
+      return "remap_fail";
+    case FaultSite::kAllocation:
+      return "alloc_fail";
+    case FaultSite::kPebsDrop:
+      return "pebs_drop";
+  }
+  return "?";
+}
+
+Result<SimNanos> ParseDuration(const std::string& text) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0.0) {
+    return InvalidArgumentError("bad duration: " + text);
+  }
+  std::string unit(end);
+  double scale = 1.0;
+  if (unit.empty() || unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (unit == "s") {
+    scale = 1e9;
+  } else {
+    return InvalidArgumentError("bad duration unit: " + text);
+  }
+  return static_cast<SimNanos>(value * scale);
+}
+
+FaultInjector::FaultInjector(u64 seed) {
+  // Each site gets an independent stream hashed from (seed, site index), so
+  // the fault sequence at one site is invariant to activity at the others.
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    u64 sm = seed + 0x9e3779b97f4a7c15ull * (i + 1);
+    sites_[i].rng = Rng(SplitMix64(sm));
+  }
+}
+
+Result<FaultInjector> FaultInjector::Parse(const std::string& spec, u64 seed) {
+  FaultInjector injector(seed);
+  for (const std::string& text : Split(spec, ';')) {
+    Result<Clause> clause = ParseClause(text);
+    if (!clause.ok()) {
+      return clause.status();
+    }
+    bool site_clause = false;
+    for (u32 i = 0; i < kNumFaultSites; ++i) {
+      FaultSite site = static_cast<FaultSite>(i);
+      if (clause->name == FaultSiteName(site)) {
+        Result<double> p = ParseProbability(*clause);
+        if (!p.ok()) {
+          return p.status();
+        }
+        injector.set_probability(site, *p);
+        site_clause = true;
+        break;
+      }
+    }
+    if (site_clause) {
+      continue;
+    }
+    if (clause->name == "tier_offline" || clause->name == "tier_derate") {
+      TierFaultEvent event;
+      const std::string* c = clause->Find("c");
+      const std::string* at = clause->Find("at");
+      if (c == nullptr || at == nullptr) {
+        return InvalidArgumentError("'" + clause->name + "' requires c=<component>,at=<time>");
+      }
+      char* end = nullptr;
+      event.component = static_cast<u32>(std::strtoul(c->c_str(), &end, 10));
+      if (end == c->c_str() || *end != '\0') {
+        return InvalidArgumentError("bad component id: " + *c);
+      }
+      Result<SimNanos> when = ParseDuration(*at);
+      if (!when.ok()) {
+        return when.status();
+      }
+      event.at_ns = *when;
+      if (clause->name == "tier_offline") {
+        event.offline = true;
+        event.bandwidth_derate = 0.0;
+      } else {
+        const std::string* f = clause->Find("f");
+        if (f == nullptr) {
+          return InvalidArgumentError("'tier_derate' requires f=<factor>");
+        }
+        double factor = std::strtod(f->c_str(), &end);
+        if (end == f->c_str() || *end != '\0' || factor <= 0.0 || factor > 1.0) {
+          return InvalidArgumentError("bad derate factor: " + *f);
+        }
+        event.bandwidth_derate = factor;
+      }
+      injector.AddTierEvent(event);
+      continue;
+    }
+    return InvalidArgumentError("unknown fault spec clause: " + clause->name);
+  }
+  return injector;
+}
+
+bool FaultInjector::armed() const {
+  for (const SiteState& site : sites_) {
+    if (site.probability > 0.0) {
+      return true;
+    }
+  }
+  return !schedule_.empty();
+}
+
+bool FaultInjector::ShouldFail(FaultSite site) {
+  SiteState& state = sites_[Index(site)];
+  if (state.probability <= 0.0) {
+    return false;  // inert sites never consume randomness
+  }
+  ++state.draws;
+  if (!state.rng.NextBernoulli(state.probability)) {
+    return false;
+  }
+  ++state.injected;
+  return true;
+}
+
+u64 FaultInjector::total_injected() const {
+  u64 total = 0;
+  for (const SiteState& site : sites_) {
+    total += site.injected;
+  }
+  return total;
+}
+
+void FaultInjector::AddTierEvent(const TierFaultEvent& event) {
+  // Keep the unfired tail sorted; events already fired stay in place.
+  schedule_.push_back(event);
+  std::stable_sort(schedule_.begin() + static_cast<std::ptrdiff_t>(next_event_),
+                   schedule_.end(),
+                   [](const TierFaultEvent& a, const TierFaultEvent& b) {
+                     return a.at_ns < b.at_ns;
+                   });
+}
+
+std::vector<TierFaultEvent> FaultInjector::TakeDue(SimNanos now) {
+  std::vector<TierFaultEvent> due;
+  while (next_event_ < schedule_.size() && schedule_[next_event_].at_ns <= now) {
+    due.push_back(schedule_[next_event_]);
+    ++next_event_;
+  }
+  return due;
+}
+
+std::string FaultInjector::DebugString() const {
+  std::ostringstream os;
+  for (u32 i = 0; i < kNumFaultSites; ++i) {
+    FaultSite site = static_cast<FaultSite>(i);
+    if (probability(site) > 0.0) {
+      os << FaultSiteName(site) << ":p=" << probability(site) << " (injected "
+         << injected(site) << "/" << draws(site) << ") ";
+    }
+  }
+  for (const TierFaultEvent& e : schedule_) {
+    os << (e.offline ? "tier_offline" : "tier_derate") << ":c=" << e.component
+       << ",at=" << e.at_ns << "ns ";
+  }
+  return os.str();
+}
+
+}  // namespace mtm

@@ -1,0 +1,109 @@
+// Deterministic fault injection for chaos runs.
+//
+// A FaultInjector owns one seeded RNG stream per named injection site, so a
+// given (spec, seed) pair replays the exact same fault sequence run-to-run —
+// the property every chaos test in tests/failure_injection_test.cc relies
+// on. Sites cover the failure classes a production multi-tier system must
+// survive (Nomad-style abortable migration, PEBS interrupt storms, transient
+// allocation failure), plus a schedule of per-component tier degradation
+// events: a bandwidth derate or a full offline at a fixed simulated time,
+// modeling a CXL/PMEM device browning out or dropping off the bus mid-run.
+//
+// Specs are parsed from a compact command-line grammar
+// (clauses separated by ';', parameters by ','):
+//   copy_fail:p=0.01          migration copy fails, order rolls back
+//   remap_fail:p=0.001        unmap/remap step fails after the copy
+//   alloc_fail:p=0.02         transient destination-frame allocation failure
+//   pebs_drop:p=0.05          PEBS handler drops a sample (buffer storm)
+//   tier_derate:c=2,at=2s,f=0.25   component 2 at 25% bandwidth from t=2s
+//   tier_offline:c=3,at=5s         component 3 offline (drained) at t=5s
+// Times accept ns/us/ms/s suffixes (bare numbers are nanoseconds).
+//
+// A default-constructed injector is inert: no site ever fires and no RNG is
+// consumed, so wiring one unconditionally costs nothing.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace mtm {
+
+enum class FaultSite : u32 {
+  kMigrationCopy = 0,  // the region copy fails mid-flight
+  kMigrationRemap,     // the unmap/remap step fails after a successful copy
+  kAllocation,         // transient destination-frame allocation failure
+  kPebsDrop,           // PEBS interrupt handler drops a sample
+};
+inline constexpr u32 kNumFaultSites = 4;
+
+const char* FaultSiteName(FaultSite site);
+
+// One scheduled per-component degradation event. `component` is a
+// ComponentId (an index into the Machine); declared as u32 here so common/
+// stays below sim/ in the layering.
+struct TierFaultEvent {
+  u32 component = ~u32{0};
+  SimNanos at_ns = 0;
+  bool offline = false;           // full device loss: residents must drain
+  double bandwidth_derate = 1.0;  // multiplier applied when not offline
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;  // inert
+  explicit FaultInjector(u64 seed);
+
+  // Parses `spec` (grammar above). An empty spec yields an inert injector.
+  static Result<FaultInjector> Parse(const std::string& spec, u64 seed);
+
+  // True when any site can fire or any tier event is scheduled. Callers use
+  // this to skip wiring entirely so fault-free runs stay byte-identical.
+  bool armed() const;
+
+  // Draws from the site's dedicated stream. Sites with probability zero
+  // return false without consuming randomness, so enabling one site never
+  // perturbs another site's sequence.
+  bool ShouldFail(FaultSite site);
+
+  double probability(FaultSite site) const { return sites_[Index(site)].probability; }
+  void set_probability(FaultSite site, double p) { sites_[Index(site)].probability = p; }
+
+  u64 draws(FaultSite site) const { return sites_[Index(site)].draws; }
+  u64 injected(FaultSite site) const { return sites_[Index(site)].injected; }
+  u64 total_injected() const;
+
+  // Tier degradation schedule, ordered by at_ns.
+  void AddTierEvent(const TierFaultEvent& event);
+  const std::vector<TierFaultEvent>& schedule() const { return schedule_; }
+
+  // Returns (and marks fired) every scheduled event with at_ns <= now.
+  std::vector<TierFaultEvent> TakeDue(SimNanos now);
+  std::size_t events_fired() const { return next_event_; }
+  std::size_t events_pending() const { return schedule_.size() - next_event_; }
+
+  std::string DebugString() const;
+
+ private:
+  static std::size_t Index(FaultSite site) { return static_cast<std::size_t>(site); }
+
+  struct SiteState {
+    double probability = 0.0;
+    u64 draws = 0;
+    u64 injected = 0;
+    Rng rng{0};
+  };
+
+  std::array<SiteState, kNumFaultSites> sites_;
+  std::vector<TierFaultEvent> schedule_;  // sorted by at_ns
+  std::size_t next_event_ = 0;
+};
+
+// Parses a duration like "5s", "250ms", "10us", "1500ns", or "1500" (ns).
+Result<SimNanos> ParseDuration(const std::string& text);
+
+}  // namespace mtm

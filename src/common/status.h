@@ -22,6 +22,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  kUnavailable,        // transient: the operation may succeed if retried
+  kDeadlineExceeded,   // the operation ran out of (simulated) time budget
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -44,7 +46,10 @@ class Status {
     return std::string(StatusCodeName(code_)) + ": " + message_;
   }
 
-  bool operator==(const Status& other) const { return code_ == other.code_; }
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
 
  private:
   StatusCode code_;
@@ -75,6 +80,16 @@ inline Status InternalError(std::string msg) {
 }
 inline Status UnimplementedError(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline bool IsUnavailable(const Status& s) { return s.code() == StatusCode::kUnavailable; }
+inline bool IsDeadlineExceeded(const Status& s) {
+  return s.code() == StatusCode::kDeadlineExceeded;
 }
 
 // Result<T> holds either a value or a non-OK Status.

@@ -57,6 +57,31 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
   u64 fast_tier_accesses_prev = 0;
   const ComponentId fast_tier = solution.machine().TierOrder(0)[0];
 
+  // Chaos wiring: fire scheduled tier-degradation events once their
+  // simulated time passes. The Machine's health state flips first (so cost
+  // models and policies see it), then the migration engine reacts — rolling
+  // back in-flight orders targeting a dead component and draining it.
+  FaultInjector* injector = solution.fault_injector();
+  auto apply_due_faults = [&]() {
+    if (injector == nullptr) {
+      return;
+    }
+    for (const TierFaultEvent& event : injector->TakeDue(clock.now())) {
+      MTM_CHECK_LT(event.component, solution.machine().num_components());
+      ++result.faults.tier_events;
+      if (event.offline) {
+        solution.mutable_machine().SetOffline(event.component, true);
+      } else {
+        solution.mutable_machine().SetBandwidthDerate(event.component, event.bandwidth_derate);
+      }
+      if (solution.migration() != nullptr) {
+        solution.migration()->OnTierFault(event);
+      }
+    }
+  };
+  result.faults.active = injector != nullptr;
+  apply_due_faults();
+
   RunningStats hot_bytes_stats;
   RunningStats merged_stats;
   RunningStats split_stats;
@@ -69,10 +94,14 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
     if (solution.profiler() != nullptr) {
       solution.profiler()->OnIntervalStart();
     }
+    if (solution.migration() != nullptr) {
+      solution.migration()->BeginInterval();  // fresh thrash-guard window
+    }
     const SimNanos interval_start = clock.now();
     for (u32 tick = 0; tick < ticks; ++tick) {
       const SimNanos tick_end =
           interval_start + (static_cast<u64>(tick) + 1) * interval_ns / ticks;
+      apply_due_faults();
       while (clock.now() < tick_end) {
         u32 n = workload.NextBatch(batch.data(), kBatch);
         for (u32 i = 0; i < n; ++i) {
@@ -122,12 +151,41 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
     if (options.record_intervals) {
       result.intervals.push_back(record);
     }
+    if (injector != nullptr && solution.migration() != nullptr) {
+      // Chaos runs audit transactional consistency after every interval.
+      Status audit = solution.migration()->VerifyInvariants();
+      if (!audit.ok()) {
+        ++result.faults.invariant_violations;
+        if (result.faults.first_violation.empty()) {
+          result.faults.first_violation = audit.message();
+        }
+        MTM_LOG(Error) << "invariant violation after interval " << interval << ": "
+                       << audit.ToString();
+      }
+    }
     solution.tracker().ResetEpoch();
   }
+  apply_due_faults();  // events scheduled past the last interval still fire
 
   if (solution.migration() != nullptr) {
     solution.migration()->Flush();
     result.migration_stats = solution.migration()->stats();
+  }
+  if (injector != nullptr) {
+    result.faults.copy_failures = injector->injected(FaultSite::kMigrationCopy);
+    result.faults.remap_failures = injector->injected(FaultSite::kMigrationRemap);
+    result.faults.alloc_failures = injector->injected(FaultSite::kAllocation);
+    result.faults.pebs_drops = injector->injected(FaultSite::kPebsDrop);
+    if (solution.migration() != nullptr) {
+      Status audit = solution.migration()->VerifyInvariants();
+      if (!audit.ok()) {
+        ++result.faults.invariant_violations;
+        if (result.faults.first_violation.empty()) {
+          result.faults.first_violation = audit.message();
+        }
+        MTM_LOG(Error) << "invariant violation after flush: " << audit.ToString();
+      }
+    }
   }
   result.app_ns = clock.app_ns();
   result.profiling_ns = clock.profiling_ns();

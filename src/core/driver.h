@@ -25,6 +25,19 @@ struct IntervalRecord {
   u64 num_regions = 0;
 };
 
+// Chaos-run outcome: what was injected and whether the system stayed
+// consistent. All-zero (active == false) for fault-free runs.
+struct FaultSummary {
+  bool active = false;           // a fault_spec was armed for this run
+  u64 copy_failures = 0;         // injected at the migration copy site
+  u64 remap_failures = 0;
+  u64 alloc_failures = 0;
+  u64 pebs_drops = 0;            // injected PEBS sample drops
+  u64 tier_events = 0;           // scheduled degradations fired
+  u64 invariant_violations = 0;  // post-interval VerifyInvariants failures
+  std::string first_violation;   // message of the first failed audit
+};
+
 struct RunResult {
   std::string solution;
   std::string workload;
@@ -36,6 +49,7 @@ struct RunResult {
 
   std::vector<u64> component_app_accesses;  // per component, app only
   MigrationStats migration_stats;
+  FaultSummary faults;
   u64 profiler_memory_bytes = 0;
   u64 footprint_bytes = 0;
 

@@ -56,6 +56,10 @@ struct ExperimentConfig {
   u64 promote_batch_bytes = 0;     // 0: max(200 MiB / sim_scale, one region)
   u64 scan_window_bytes = 0;       // 0: max(256 MiB / sim_scale, one region)
   u64 seed = 42;
+  // Fault-injection spec for chaos runs (see FaultInjector::Parse), e.g.
+  // "copy_fail:p=0.01;tier_offline:c=3,at=100ms". Empty: fault-free run with
+  // behavior identical to a build without the fault framework.
+  std::string fault_spec;
   MtmKnobs mtm;
 
   SimNanos IntervalNs() const {

@@ -23,7 +23,8 @@ std::string EscapeJson(const std::string& s) {
 std::string CsvHeader() {
   return "workload,solution,app_s,profiling_s,migration_s,total_s,accesses,"
          "migrated_bytes,failed_bytes,sync_fallbacks,reclaim_demotions,"
-         "profiler_memory_bytes,avg_regions,avg_hot_bytes";
+         "profiler_memory_bytes,avg_regions,avg_hot_bytes,"
+         "retries,rollbacks,orders_abandoned,drained_bytes,invariant_violations";
 }
 
 std::string CsvRow(const RunResult& r) {
@@ -33,7 +34,10 @@ std::string CsvRow(const RunResult& r) {
      << ToSeconds(r.total_ns()) << ',' << r.total_accesses << ','
      << r.migration_stats.bytes_migrated << ',' << r.migration_stats.bytes_failed << ','
      << r.migration_stats.sync_fallbacks << ',' << r.migration_stats.reclaim_demotions << ','
-     << r.profiler_memory_bytes << ',' << r.avg_num_regions << ',' << r.avg_hot_bytes;
+     << r.profiler_memory_bytes << ',' << r.avg_num_regions << ',' << r.avg_hot_bytes << ','
+     << r.migration_stats.retries << ',' << r.migration_stats.rollbacks << ','
+     << r.migration_stats.orders_abandoned << ',' << r.migration_stats.drained_bytes << ','
+     << r.faults.invariant_violations;
   return os.str();
 }
 
@@ -54,6 +58,24 @@ std::string HumanReport(const RunResult& r) {
     os << " c" << c << "=" << r.component_app_accesses[c];
   }
   os << "\n";
+  if (r.faults.active) {
+    const MigrationStats& m = r.migration_stats;
+    os << "  resilience: " << r.faults.copy_failures << " copy / " << r.faults.remap_failures
+       << " remap / " << r.faults.alloc_failures << " alloc faults injected, "
+       << r.faults.pebs_drops << " pebs drops, " << m.rollbacks << " rollbacks, " << m.retries
+       << " retries, " << m.orders_abandoned << " abandoned ("
+       << m.thrash_aborts << " thrash)\n";
+    if (r.faults.tier_events > 0) {
+      os << "  degradation: " << r.faults.tier_events << " tier events, " << m.tier_drains
+         << " drains, " << ToMiB(m.drained_bytes) << " MiB drained, "
+         << ToMiB(m.drain_failed_bytes) << " MiB stranded\n";
+    }
+    os << "  audit: " << r.faults.invariant_violations << " invariant violations";
+    if (!r.faults.first_violation.empty()) {
+      os << " (first: " << r.faults.first_violation << ")";
+    }
+    os << "\n";
+  }
   if (r.profiler_memory_bytes > 0) {
     os << "  profiler metadata: " << static_cast<double>(r.profiler_memory_bytes) / 1024.0
        << " KiB (" << 100.0 * static_cast<double>(r.profiler_memory_bytes) /
@@ -82,6 +104,30 @@ std::string JsonReport(const RunResult& r) {
     os << (c == 0 ? "" : ",") << r.component_app_accesses[c];
   }
   os << "]";
+  if (r.faults.active) {
+    // Emitted only for chaos runs so fault-free JSON stays byte-identical
+    // to builds without the fault framework.
+    const MigrationStats& m = r.migration_stats;
+    os << ",\"faults\":{";
+    os << "\"copy_failures\":" << r.faults.copy_failures << ",";
+    os << "\"remap_failures\":" << r.faults.remap_failures << ",";
+    os << "\"alloc_failures\":" << r.faults.alloc_failures << ",";
+    os << "\"pebs_drops\":" << r.faults.pebs_drops << ",";
+    os << "\"tier_events\":" << r.faults.tier_events << ",";
+    os << "\"rollbacks\":" << m.rollbacks << ",";
+    os << "\"retries\":" << m.retries << ",";
+    os << "\"orders_abandoned\":" << m.orders_abandoned << ",";
+    os << "\"bytes_abandoned\":" << m.bytes_abandoned << ",";
+    os << "\"thrash_aborts\":" << m.thrash_aborts << ",";
+    os << "\"tier_drains\":" << m.tier_drains << ",";
+    os << "\"drained_bytes\":" << m.drained_bytes << ",";
+    os << "\"drain_failed_bytes\":" << m.drain_failed_bytes << ",";
+    os << "\"invariant_violations\":" << r.faults.invariant_violations;
+    if (!r.faults.first_violation.empty()) {
+      os << ",\"first_violation\":\"" << EscapeJson(r.faults.first_violation) << "\"";
+    }
+    os << "}";
+  }
   if (!r.intervals.empty()) {
     os << ",\"intervals\":[";
     for (std::size_t i = 0; i < r.intervals.size(); ++i) {

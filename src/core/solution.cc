@@ -56,6 +56,13 @@ std::vector<SolutionKind> Figure4Solutions() {
 
 Solution::Solution(SolutionKind kind, const ExperimentConfig& config, Workload& workload)
     : kind_(kind), config_(config) {
+  if (!config.fault_spec.empty()) {
+    // Distinct seed stream from the profiler/workload RNGs so enabling
+    // faults never perturbs their sequences.
+    Result<FaultInjector> parsed = FaultInjector::Parse(config.fault_spec, config.seed ^ 0xFA017);
+    MTM_CHECK(parsed.ok()) << "bad fault_spec: " << parsed.status().ToString();
+    injector_ = std::make_unique<FaultInjector>(std::move(parsed).value());
+  }
   machine_ = std::make_unique<Machine>(config.two_tier
                                            ? Machine::TwoTier(config.sim_scale)
                                            : Machine::OptaneFourTier(config.sim_scale));
@@ -67,6 +74,9 @@ Solution::Solution(SolutionKind kind, const ExperimentConfig& config, Workload& 
     pebs_config.sample_dram = true;  // HeMem samples DRAM and NVM loads
   }
   pebs_ = std::make_unique<PebsEngine>(*machine_, pebs_config);
+  if (fault_injector() != nullptr) {
+    pebs_->set_fault_injector(fault_injector());
+  }
 
   AccessEngine::Config engine_config;
   engine_config.num_threads = config.num_threads;
@@ -248,6 +258,9 @@ Solution::Solution(SolutionKind kind, const ExperimentConfig& config, Workload& 
   migration_ = std::make_unique<MigrationEngine>(*machine_, page_table_, *frames_,
                                                  address_space_, *counters_, clock_, mech);
   engine_->set_write_track_observer(migration_.get());
+  if (fault_injector() != nullptr) {
+    migration_->set_fault_injector(fault_injector());
+  }
 }
 
 }  // namespace mtm

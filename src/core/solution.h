@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/core/experiment.h"
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
@@ -53,6 +54,8 @@ class Solution {
   std::string name() const { return SolutionKindName(kind_); }
 
   const Machine& machine() const { return *machine_; }
+  // Health events mutate the machine at runtime (driver-applied tier faults).
+  Machine& mutable_machine() { return *machine_; }
   SimClock& clock() { return clock_; }
   PageTable& page_table() { return page_table_; }
   FrameAllocator& frames() { return *frames_; }
@@ -65,6 +68,10 @@ class Solution {
   Profiler* profiler() { return profiler_.get(); }          // may be null
   TieringPolicy* policy() { return policy_.get(); }          // may be null
   MigrationEngine* migration() { return migration_.get(); }  // may be null
+  // Armed when the config carried a non-empty fault_spec; null otherwise.
+  FaultInjector* fault_injector() { return injector_ != nullptr && injector_->armed()
+                                               ? injector_.get()
+                                               : nullptr; }
 
   u32 SocketOfThread(u32 thread) const {
     return config_.spread_threads ? thread % machine_->num_sockets() : 0;
@@ -74,6 +81,7 @@ class Solution {
   SolutionKind kind_;
   ExperimentConfig config_;
 
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<Machine> machine_;
   SimClock clock_;
   PageTable page_table_;

@@ -53,6 +53,16 @@ ComponentId PlacementFaultHandler::HandlePageFault(VirtAddr addr, u32 socket, bo
   ComponentId candidates[16];
   u32 count = 0;
   CandidateOrder(socket, candidates, &count);
+  // Offline components take no new allocations; compact them out of the
+  // candidate list (preserving order) rather than in CandidateOrder so the
+  // policy's tier preferences stay health-agnostic.
+  u32 healthy = 0;
+  for (u32 i = 0; i < count; ++i) {
+    if (!machine_.IsOffline(candidates[i])) {
+      candidates[healthy++] = candidates[i];
+    }
+  }
+  count = healthy;
   MTM_CHECK_GT(count, 0u);
 
   const Vma* vma = address_space_.FindVma(addr);

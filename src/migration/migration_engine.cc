@@ -128,6 +128,9 @@ bool MigrationEngine::ReclaimFrom(ComponentId component, u64 bytes_needed, int d
           if (!machine_.IsSlowerClass(component, lower)) {
             continue;
           }
+          if (machine_.IsOffline(lower)) {
+            continue;  // never demote onto a dead device
+          }
           if (hopeless_lower & (1u << lower)) {
             continue;  // cascading reclaim already failed there this scan
           }
@@ -164,23 +167,29 @@ bool MigrationEngine::ReclaimFrom(ComponentId component, u64 bytes_needed, int d
   return frames_.free_bytes(component) >= bytes_needed;
 }
 
-void MigrationEngine::CommitMove(const MigrationOrder& order) {
-  u64 moved = 0;
-  u64 failed = 0;
+MigrationEngine::CommitOutcome MigrationEngine::CommitMove(const MigrationOrder& order) {
+  CommitOutcome out;
   bool reclaim_hopeless = false;  // don't rescan for every page of the range
   page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr addr, u64 size, Pte& pte) {
     if (pte.component == order.dst) {
       return;
     }
+    if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kAllocation)) {
+      // Transient destination-frame allocation failure: the page is skipped
+      // this attempt and retried with the rest of the order.
+      ++stats_.injected_alloc_failures;
+      out.failed_transient += size;
+      return;
+    }
     if (frames_.free_bytes(order.dst) < size) {
       if (reclaim_hopeless || !ReclaimFrom(order.dst, size, /*depth=*/0)) {
         reclaim_hopeless = true;
-        failed += size;
+        out.failed_space += size;
         return;
       }
     }
     if (!frames_.Reserve(order.dst, size)) {
-      failed += size;
+      out.failed_space += size;
       return;
     }
     ComponentId src = pte.component;
@@ -189,14 +198,15 @@ void MigrationEngine::CommitMove(const MigrationOrder& order) {
     pte.Clear(Pte::kWriteTracked);
     counters_.CountMigrationBytes(src, size);
     counters_.CountMigrationBytes(order.dst, size);
-    moved += size;
+    out.moved += size;
   });
   page_table_.BumpGeneration();
-  stats_.bytes_migrated += moved;
-  stats_.bytes_failed += failed;
-  if (moved > 0) {
+  stats_.bytes_migrated += out.moved;
+  stats_.bytes_failed += out.failed_space;
+  if (out.moved > 0) {
     ++stats_.regions_migrated;
   }
+  return out;
 }
 
 void MigrationEngine::ArmWriteTracking(const MigrationOrder& order) {
@@ -213,17 +223,30 @@ void MigrationEngine::DisarmWriteTracking(const MigrationOrder& order) {
   page_table_.BumpGeneration();
 }
 
-void MigrationEngine::Submit(const MigrationOrder& order) {
+Status MigrationEngine::Submit(const MigrationOrder& order) {
+  return SubmitAttempt(order, /*attempt=*/1);
+}
+
+Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) {
+  if (order.len == 0) {
+    return InvalidArgumentError("zero-length migration order");
+  }
+  if (order.dst >= machine_.num_components()) {
+    return InvalidArgumentError("migration order targets unknown component");
+  }
+  if (machine_.IsOffline(order.dst)) {
+    return UnavailableError("migration target offline: " + machine_.component(order.dst).name);
+  }
   // Drop orders overlapping an in-flight async move.
   for (const Pending& p : pending_) {
     if (order.start < p.order.start + p.order.len && p.order.start < order.start + order.len) {
-      return;
+      return AlreadyExistsError("order overlaps an in-flight migration");
     }
   }
   u64 bytes = 0;
   MechanismCost cost = PlanCost(order, kind_, &bytes);
   if (bytes == 0) {
-    return;
+    return OkStatus();  // already fully resident on dst
   }
 
   if (kind_ != MechanismKind::kMoveMemoryRegions) {
@@ -231,8 +254,28 @@ void MigrationEngine::Submit(const MigrationOrder& order) {
     clock_.AdvanceMigration(cost.CriticalNs());
     stats_.critical_ns += cost.CriticalNs();
     stats_.steps += cost.critical;
-    CommitMove(order);
-    return;
+    if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kMigrationCopy)) {
+      // The copy failed after its cost was spent. Nothing was remapped yet,
+      // so the rollback leaves sources mapped and frame accounting intact.
+      ++stats_.injected_copy_failures;
+      ++stats_.rollbacks;
+      HandleAbort(order, attempt);
+      return UnavailableError("injected copy failure");
+    }
+    if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kMigrationRemap)) {
+      ++stats_.injected_remap_failures;
+      ++stats_.rollbacks;
+      HandleAbort(order, attempt);
+      return UnavailableError("injected remap failure");
+    }
+    CommitOutcome out = CommitMove(order);
+    if (out.failed_transient > 0) {
+      HandleAbort(order, attempt);
+      if (out.moved == 0) {
+        return UnavailableError("transient allocation failure; retry queued");
+      }
+    }
+    return OkStatus();
   }
 
   // move_memory_regions: arm dirty tracking now (TLB flushed once), copy in
@@ -248,7 +291,9 @@ void MigrationEngine::Submit(const MigrationOrder& order) {
   p.background_ns = cost.BackgroundNs();
   p.complete_at = clock_.now() + p.background_ns;
   p.cost = cost;
+  p.attempt = attempt;
   pending_.push_back(p);
+  return OkStatus();
 }
 
 void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
@@ -280,8 +325,88 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
   }
   clock_.AdvanceMigration(exposed);
   stats_.critical_ns += exposed;
-  CommitMove(p.order);
+
+  if (injector_ != nullptr) {
+    // The finalize step is where an async attempt can die: the device lost
+    // the copy, the remap failed, or the target went offline mid-flight.
+    // All three roll back identically — tracking disarmed, no page moved.
+    if (machine_.IsOffline(p.order.dst)) {
+      DisarmWriteTracking(p.order);
+      ++stats_.rollbacks;
+      ++stats_.orders_abandoned;  // offline is permanent: no retry
+      u64 remaining = 0;
+      PlanCost(p.order, kind_, &remaining);
+      stats_.bytes_abandoned += remaining;
+      return;
+    }
+    if (injector_->ShouldFail(FaultSite::kMigrationCopy)) {
+      DisarmWriteTracking(p.order);
+      ++stats_.injected_copy_failures;
+      ++stats_.rollbacks;
+      HandleAbort(p.order, p.attempt);
+      return;
+    }
+    if (injector_->ShouldFail(FaultSite::kMigrationRemap)) {
+      DisarmWriteTracking(p.order);
+      ++stats_.injected_remap_failures;
+      ++stats_.rollbacks;
+      HandleAbort(p.order, p.attempt);
+      return;
+    }
+  }
+  CommitOutcome out = CommitMove(p.order);
+  if (out.failed_transient > 0) {
+    HandleAbort(p.order, p.attempt);
+  }
 }
+
+void MigrationEngine::HandleAbort(const MigrationOrder& order, u32 attempt) {
+  u64 remaining = 0;
+  PlanCost(order, kind_, &remaining);  // bytes still off the target
+  u32 aborts = ++interval_aborts_[order.start];
+  if (aborts >= retry_policy_.thrash_abort_limit) {
+    // Thrash guard: this region keeps aborting inside one interval window
+    // (a write storm or a flapping device); stop burning migration
+    // bandwidth on it until the next interval's policy decision.
+    ++stats_.thrash_aborts;
+    ++stats_.orders_abandoned;
+    stats_.bytes_abandoned += remaining;
+    return;
+  }
+  if (attempt >= retry_policy_.max_attempts) {
+    ++stats_.orders_abandoned;
+    stats_.bytes_abandoned += remaining;
+    return;
+  }
+  SimNanos backoff = retry_policy_.initial_backoff_ns;
+  for (u32 i = 1; i < attempt && backoff < retry_policy_.max_backoff_ns; ++i) {
+    backoff <<= 1;
+  }
+  backoff = std::min(backoff, retry_policy_.max_backoff_ns);
+  retry_queue_.push_back(RetryEntry{order, attempt + 1, clock_.now() + backoff});
+}
+
+void MigrationEngine::ProcessRetries() {
+  if (retry_queue_.empty()) {
+    return;
+  }
+  // One pass over the entries present at entry; resubmitted orders that
+  // abort again re-queue behind them with a later deadline and are seen
+  // next Poll, so this cannot loop.
+  std::size_t n = retry_queue_.size();
+  for (std::size_t i = 0; i < n && !retry_queue_.empty(); ++i) {
+    RetryEntry e = retry_queue_.front();
+    retry_queue_.pop_front();
+    if (e.ready_at > clock_.now()) {
+      retry_queue_.push_back(e);  // still backing off; rotate past it
+      continue;
+    }
+    ++stats_.retries;
+    SubmitAttempt(e.order, e.attempt);
+  }
+}
+
+void MigrationEngine::BeginInterval() { interval_aborts_.clear(); }
 
 void MigrationEngine::Poll() {
   for (std::size_t i = 0; i < pending_.size();) {
@@ -292,11 +417,24 @@ void MigrationEngine::Poll() {
       ++i;
     }
   }
+  ProcessRetries();
 }
 
 void MigrationEngine::Flush() {
   while (!pending_.empty()) {
     FinishPending(0, /*forced_sync=*/false, 0.0);
+  }
+  // Run down the retry backlog ignoring backoff deadlines: each attempt
+  // either commits, re-queues with a higher attempt number (bounded by
+  // max_attempts and the thrash guard), or is abandoned.
+  while (!retry_queue_.empty()) {
+    RetryEntry e = retry_queue_.front();
+    retry_queue_.pop_front();
+    ++stats_.retries;
+    SubmitAttempt(e.order, e.attempt);
+    while (!pending_.empty()) {
+      FinishPending(0, /*forced_sync=*/false, 0.0);
+    }
   }
 }
 
@@ -312,6 +450,145 @@ void MigrationEngine::OnWriteTrackFault(VirtAddr addr, u32 socket) {
       return;
     }
   }
+}
+
+void MigrationEngine::OnTierFault(const TierFaultEvent& event) {
+  const ComponentId component = event.component;
+  MTM_CHECK_LT(component, machine_.num_components());
+  if (!event.offline) {
+    return;  // bandwidth derates only change costs; the Machine holds them
+  }
+  // Roll back in-flight orders targeting the dead component.
+  for (std::size_t i = 0; i < pending_.size();) {
+    if (pending_[i].order.dst == component) {
+      Pending p = pending_[i];
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      DisarmWriteTracking(p.order);
+      ++stats_.rollbacks;
+      ++stats_.orders_abandoned;  // offline is permanent: no retry
+      u64 remaining = 0;
+      PlanCost(p.order, kind_, &remaining);
+      stats_.bytes_abandoned += remaining;
+    } else {
+      ++i;
+    }
+  }
+  // Abandon queued retries for it.
+  for (auto it = retry_queue_.begin(); it != retry_queue_.end();) {
+    if (it->order.dst == component) {
+      ++stats_.orders_abandoned;
+      it = retry_queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  DrainComponent(component);
+}
+
+u64 MigrationEngine::DrainComponent(ComponentId component) {
+  u64 drained = 0;
+  u64 failed = 0;
+  const u32 home = machine_.component(component).home_socket;
+  const auto& order = machine_.TierOrder(home);
+  const u32 rank = machine_.TierRank(home, component);
+  // Candidate targets from the home-socket view: next lower tiers first (a
+  // dead slow device's pages should not crowd the fast tiers), then faster
+  // tiers as a last resort.
+  std::vector<ComponentId> targets;
+  for (u32 r = rank + 1; r < order.size(); ++r) {
+    targets.push_back(order[r]);
+  }
+  for (u32 r = rank; r > 0; --r) {
+    targets.push_back(order[r - 1]);
+  }
+  // The drain is a synchronous kernel sweep, like reclaim demotion.
+  const MechanismKind k =
+      kind_ == MechanismKind::kMoveMemoryRegions ? MechanismKind::kMmrSync : kind_;
+  for (const Vma& vma : address_space_.vmas()) {
+    page_table_.ForEachMapping(vma.start, vma.len, [&](VirtAddr addr, u64 size, Pte& pte) {
+      if (pte.component != component) {
+        return;
+      }
+      for (ComponentId dst : targets) {
+        if (machine_.IsOffline(dst)) {
+          continue;
+        }
+        if (frames_.free_bytes(dst) < size && !ReclaimFrom(dst, size, /*depth=*/0)) {
+          continue;
+        }
+        if (!frames_.Reserve(dst, size)) {
+          continue;
+        }
+        u64 base = size == kHugePageSize ? 0 : 1;
+        u64 huge = size == kHugePageSize ? 1 : 0;
+        MechanismCost c =
+            ComputeMechanismCost(k, model_, machine_, home, component, dst, base, huge);
+        clock_.AdvanceMigration(c.CriticalNs());
+        stats_.critical_ns += c.CriticalNs();
+        stats_.steps += c.critical;
+        frames_.Release(component, size);
+        pte.component = dst;
+        pte.Clear(Pte::kWriteTracked);
+        counters_.CountMigrationBytes(component, size);
+        counters_.CountMigrationBytes(dst, size);
+        drained += size;
+        return;
+      }
+      failed += size;
+    });
+  }
+  page_table_.BumpGeneration();
+  ++stats_.tier_drains;
+  stats_.drained_bytes += drained;
+  stats_.drain_failed_bytes += failed;
+  return drained;
+}
+
+Status MigrationEngine::VerifyInvariants() const {
+  if (frames_.total_used() != page_table_.mapped_bytes()) {
+    return InternalError("frame accounting diverged from page table: used=" +
+                         std::to_string(frames_.total_used()) +
+                         " mapped=" + std::to_string(page_table_.mapped_bytes()));
+  }
+  std::vector<u64> resident(machine_.num_components(), 0);
+  bool bad_component = false;
+  const PageTable& pt = page_table_;
+  for (const Vma& vma : address_space_.vmas()) {
+    pt.ForEachMapping(vma.start, vma.len, [&](VirtAddr, u64 size, const Pte& pte) {
+      if (pte.component < machine_.num_components()) {
+        resident[pte.component] += size;
+      } else {
+        bad_component = true;
+      }
+    });
+  }
+  if (bad_component) {
+    return InternalError("mapped page references an unknown component");
+  }
+  for (u32 c = 0; c < machine_.num_components(); ++c) {
+    if (resident[c] != frames_.used(c)) {
+      return InternalError("component " + machine_.component(c).name +
+                           " accounting diverged: resident=" + std::to_string(resident[c]) +
+                           " reserved=" + std::to_string(frames_.used(c)));
+    }
+    if (frames_.used(c) > frames_.capacity(c)) {
+      return InternalError("component " + machine_.component(c).name + " over capacity");
+    }
+    if (machine_.IsOffline(c) && resident[c] != 0 && stats_.drain_failed_bytes == 0) {
+      return InternalError("offline component " + machine_.component(c).name +
+                           " still holds " + std::to_string(resident[c]) + " bytes");
+    }
+  }
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    for (std::size_t j = i + 1; j < pending_.size(); ++j) {
+      const MigrationOrder& a = pending_[i].order;
+      const MigrationOrder& b = pending_[j].order;
+      if (a.start < b.start + b.len && b.start < a.start + a.len) {
+        return InternalError("in-flight migrations overlap");
+      }
+    }
+  }
+  return OkStatus();
 }
 
 }  // namespace mtm

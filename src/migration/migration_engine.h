@@ -18,11 +18,24 @@
 // When a destination component lacks space, the engine reclaims: it demotes
 // inactive (accessed-bit-clear) pages from the destination to the next
 // lower tier with room, modeling kernel reclaim-based demotion.
+//
+// Migrations are transactional (Nomad-style): an order either commits or
+// rolls back with source pages still mapped and frame accounting intact.
+// With a FaultInjector attached, copy and remap failures abort the order,
+// which is re-queued with capped exponential backoff in simulated time; a
+// per-interval thrash guard abandons regions that abort repeatedly, and a
+// tier that goes offline has its residents drained to the nearest healthy
+// component while in-flight orders targeting it are rolled back.
+// VerifyInvariants() audits the page-table/frame-accounting agreement and
+// is run by the driver after every interval of a chaos run.
 #pragma once
 
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/fault_injection.h"
+#include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
@@ -44,6 +57,18 @@ struct MigrationOrder {
   u32 socket = 0;
 };
 
+// Retry/backoff/thrash-guard parameters for aborted orders. Backoff is
+// exponential in simulated time: initial_backoff_ns << (attempt - 1),
+// capped at max_backoff_ns.
+struct MigrationRetryPolicy {
+  u32 max_attempts = 6;                 // total tries per order, first included
+  SimNanos initial_backoff_ns = 50'000;  // 50 us simulated
+  SimNanos max_backoff_ns = 5'000'000;   // 5 ms simulated
+  // Aborts of the same region within one profiling interval before the
+  // thrash guard abandons it (write storms re-abort the same region).
+  u32 thrash_abort_limit = 3;
+};
+
 struct MigrationStats {
   u64 bytes_migrated = 0;
   u64 bytes_failed = 0;     // no space anywhere
@@ -53,6 +78,19 @@ struct MigrationStats {
   SimNanos critical_ns = 0;
   SimNanos background_ns = 0;
   MigrationStepBreakdown steps;
+
+  // Resilience layer — all zero unless faults are injected or tiers degrade.
+  u64 injected_copy_failures = 0;
+  u64 injected_remap_failures = 0;
+  u64 injected_alloc_failures = 0;  // page-granular transient failures
+  u64 rollbacks = 0;                // aborted orders rolled back cleanly
+  u64 retries = 0;                  // re-submissions from the retry queue
+  u64 orders_abandoned = 0;         // retry budget exhausted or thrash guard
+  u64 bytes_abandoned = 0;
+  u64 thrash_aborts = 0;            // regions dropped by the thrash guard
+  u64 tier_drains = 0;              // offline-drain sweeps executed
+  u64 drained_bytes = 0;            // bytes relocated off degraded tiers
+  u64 drain_failed_bytes = 0;       // could not be relocated (machine full)
 };
 
 class MigrationEngine : public WriteTrackObserver {
@@ -63,21 +101,55 @@ class MigrationEngine : public WriteTrackObserver {
 
   MechanismKind kind() const { return kind_; }
 
-  // Executes (or schedules) one order. Overlaps with in-flight async moves
-  // are dropped.
-  void Submit(const MigrationOrder& order);
+  // Executes (or schedules) one order. The engine self-heals — failed
+  // attempts are re-queued internally — so the Status is informational:
+  //   kOk                  committed (sync) or scheduled (async)
+  //   kInvalidArgument     zero-length or out-of-range order
+  //   kUnavailable         target offline, or an injected fault aborted the
+  //                        attempt (a retry is queued)
+  //   kAlreadyExists       overlaps an in-flight async move; dropped
+  Status Submit(const MigrationOrder& order);
 
-  // Completes async copies whose deadline has passed. Call frequently.
+  // Completes async copies whose deadline has passed and re-submits queued
+  // retries whose backoff expired. Call frequently.
   void Poll();
 
-  // Forces all in-flight migrations to complete (end of run).
+  // Forces all in-flight migrations and queued retries to complete or be
+  // abandoned (end of run).
   void Flush();
 
   // WriteTrackObserver: a tracked page was written mid-copy.
   void OnWriteTrackFault(VirtAddr addr, u32 socket) override;
 
+  // Chaos wiring. The injector may be null (fault-free run).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  void set_retry_policy(const MigrationRetryPolicy& policy) { retry_policy_ = policy; }
+  const MigrationRetryPolicy& retry_policy() const { return retry_policy_; }
+
+  // Driver hook at each profiling-interval boundary: opens a fresh
+  // thrash-guard window.
+  void BeginInterval();
+
+  // Applies a degradation event to this engine (the Machine's health state
+  // is flipped by the caller first). Offline events roll back in-flight
+  // orders targeting the component, abandon queued retries for it, and
+  // drain its residents to the nearest healthy component.
+  void OnTierFault(const TierFaultEvent& event);
+
+  // Moves every page resident on `component` to the nearest healthy
+  // component with room (next lower tiers first, then faster ones).
+  // Returns the number of bytes relocated.
+  u64 DrainComponent(ComponentId component);
+
+  // Audits the transactional invariants: frame accounting matches the page
+  // table globally and per component, no component is over capacity, no
+  // page resides on an offline component (unless a drain already reported
+  // failure), and in-flight orders do not overlap.
+  Status VerifyInvariants() const;
+
   const MigrationStats& stats() const { return stats_; }
   std::size_t pending() const { return pending_.size(); }
+  std::size_t retry_backlog() const { return retry_queue_.size(); }
 
  private:
   struct Pending {
@@ -86,14 +158,32 @@ class MigrationEngine : public WriteTrackObserver {
     SimNanos submitted_at = 0;
     SimNanos background_ns = 0;
     MechanismCost cost;  // precomputed aggregate cost
+    u32 attempt = 1;     // 1-based try counter for backoff on abort
   };
+
+  struct RetryEntry {
+    MigrationOrder order;
+    u32 attempt = 1;        // the attempt number this retry will be
+    SimNanos ready_at = 0;  // backoff deadline in simulated time
+  };
+
+  // Per-page commit outcome of one attempt.
+  struct CommitOutcome {
+    u64 moved = 0;
+    u64 failed_space = 0;      // no capacity anywhere (permanent, as before)
+    u64 failed_transient = 0;  // injected allocation failures (retryable)
+  };
+
+  Status SubmitAttempt(const MigrationOrder& order, u32 attempt);
 
   // Gathers the pages of [start, len) grouped by source component and
   // returns the aggregate mechanism cost; out parameters receive totals.
   MechanismCost PlanCost(const MigrationOrder& order, MechanismKind kind, u64* bytes_out);
 
-  // Remaps every page of the range to dst, reclaiming on pressure.
-  void CommitMove(const MigrationOrder& order);
+  // Remaps every page of the range to dst, reclaiming on pressure. Pages
+  // hit by an injected transient allocation failure are skipped and
+  // reported for retry.
+  CommitOutcome CommitMove(const MigrationOrder& order);
 
   // Demotes inactive pages from `component` until `bytes_needed` are free.
   // Returns true on success. `depth` guards cascade recursion.
@@ -102,6 +192,12 @@ class MigrationEngine : public WriteTrackObserver {
   void ArmWriteTracking(const MigrationOrder& order);
   void DisarmWriteTracking(const MigrationOrder& order);
   void FinishPending(std::size_t index, bool forced_sync, double remaining_fraction);
+
+  // Abort bookkeeping: rolls the attempt back (caller already restored all
+  // state) and either queues a retry with exponential backoff or abandons
+  // the order (retry budget exhausted / thrash guard tripped).
+  void HandleAbort(const MigrationOrder& order, u32 attempt);
+  void ProcessRetries();
 
   const Machine& machine_;
   PageTable& page_table_;
@@ -112,7 +208,13 @@ class MigrationEngine : public WriteTrackObserver {
   MechanismKind kind_;
   MigrationCostModel model_;
 
+  FaultInjector* injector_ = nullptr;
+  MigrationRetryPolicy retry_policy_;
+
   std::vector<Pending> pending_;
+  std::deque<RetryEntry> retry_queue_;
+  // Aborts per region start address within the current interval window.
+  std::unordered_map<VirtAddr, u32> interval_aborts_;
   MigrationStats stats_;
   // Per-component clock hand for reclaim victim scanning (kswapd-style
   // round-robin over the address space).

@@ -132,6 +132,9 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
         if (!machine.IsSlowerClass(dst, lower)) {
           continue;
         }
+        if (machine.IsOffline(lower)) {
+          continue;  // never demote onto a dead device
+        }
         if (planned_free[lower] >= static_cast<i64>(demote_len)) {
           orders.push_back(MigrationOrder{slice_start, demote_len, lower, home});
           planned.insert(idx);
@@ -174,6 +177,9 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
     // paper's "2nd highest bucket to the 2nd-fastest tier" behavior.
     for (u32 target = 0; target < cur_rank; ++target) {
       ComponentId dst = tiers[target];
+      if (machine.IsOffline(dst)) {
+        continue;  // degraded device: fall through to the next tier
+      }
       if (static_cast<u64>(frames_capacity(ctx, dst)) < promote_len) {
         continue;
       }

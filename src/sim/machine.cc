@@ -17,6 +17,8 @@ Machine::Machine(u32 num_sockets, std::vector<ComponentSpec> components,
   for (const auto& row : links_) {
     MTM_CHECK_EQ(row.size(), components_.size());
   }
+  base_links_ = links_;
+  health_.assign(components_.size(), ComponentHealth{});
   tier_order_.resize(num_sockets_);
   tier_rank_.assign(num_sockets_, std::vector<u32>(components_.size(), 0));
   for (u32 s = 0; s < num_sockets_; ++s) {
@@ -77,6 +79,39 @@ bool Machine::IsSlowestTier(ComponentId id) const {
     }
   }
   return component(id).mem_class == slowest;
+}
+
+void Machine::SetBandwidthDerate(ComponentId id, double factor) {
+  MTM_CHECK_LT(id, components_.size());
+  MTM_CHECK(factor > 0.0 && factor <= 1.0) << "derate factor out of (0,1]: " << factor;
+  health_[id].bandwidth_derate = factor;
+  for (u32 s = 0; s < num_sockets_; ++s) {
+    links_[s][id].bandwidth_gbps = base_links_[s][id].bandwidth_gbps * factor;
+  }
+}
+
+void Machine::SetOffline(ComponentId id, bool offline) {
+  MTM_CHECK_LT(id, components_.size());
+  health_[id].offline = offline;
+}
+
+bool Machine::AnyUnhealthy() const {
+  for (const ComponentHealth& h : health_) {
+    if (h.offline || h.bandwidth_derate < 1.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ComponentId> Machine::HealthyTierOrder(u32 socket) const {
+  std::vector<ComponentId> order;
+  for (ComponentId c : tier_order_[socket]) {
+    if (!health_[c].offline) {
+      order.push_back(c);
+    }
+  }
+  return order;
 }
 
 u64 Machine::TotalCapacity() const {

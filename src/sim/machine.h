@@ -62,12 +62,36 @@ class Machine {
   // Total capacity across all components.
   u64 TotalCapacity() const;
 
+  // --- Device health (fault injection / chaos runs) ---
+  //
+  // A component can degrade at runtime: a bandwidth derate models a CXL or
+  // PMEM device browning out (all links to it slow down proportionally); a
+  // full offline models the device dropping off the bus. Offline components
+  // take no new allocations or migrations, and the MigrationEngine drains
+  // their residents. Latency and tier ordering are unchanged — a degraded
+  // device is still the same distance away, it just moves data slower.
+  void SetBandwidthDerate(ComponentId id, double factor);  // in (0, 1]
+  void SetOffline(ComponentId id, bool offline);
+  bool IsOffline(ComponentId id) const { return health_[id].offline; }
+  double BandwidthDerate(ComponentId id) const { return health_[id].bandwidth_derate; }
+  bool AnyUnhealthy() const;
+  // Healthy components ordered fastest-to-slowest from `socket`; empty
+  // result means every component is offline (the machine is dead).
+  std::vector<ComponentId> HealthyTierOrder(u32 socket) const;
+
   std::string DebugString() const;
 
  private:
+  struct ComponentHealth {
+    bool offline = false;
+    double bandwidth_derate = 1.0;
+  };
+
   u32 num_sockets_;
   std::vector<ComponentSpec> components_;
   std::vector<std::vector<LinkSpec>> links_;       // [socket][component]
+  std::vector<std::vector<LinkSpec>> base_links_;  // pristine copy for derates
+  std::vector<ComponentHealth> health_;
   std::vector<std::vector<ComponentId>> tier_order_;  // [socket] -> ranked components
   std::vector<std::vector<u32>> tier_rank_;        // [socket][component] -> rank
 };

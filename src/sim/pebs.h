@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/common/types.h"
 #include "src/sim/machine.h"
 #include "src/sim/tier.h"
@@ -43,6 +44,10 @@ class PebsEngine {
   void SetEnabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  // Chaos wiring: when set, the kPebsDrop site can force sample drops even
+  // with buffer room, modeling interrupt storms losing PEBS records.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   const Config& config() const { return config_; }
 
   // Called by the access engine on every application access.
@@ -60,6 +65,10 @@ class PebsEngine {
     }
     counter_ = 0;
     if (buffer_.size() >= config_.buffer_capacity) {
+      ++samples_dropped_;
+      return;
+    }
+    if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kPebsDrop)) {
       ++samples_dropped_;
       return;
     }
@@ -81,6 +90,7 @@ class PebsEngine {
   const Machine& machine_;
   Config config_;
   bool enabled_ = false;
+  FaultInjector* injector_ = nullptr;
   u32 counter_ = 0;
   std::vector<PebsSample> buffer_;
   u64 samples_taken_ = 0;

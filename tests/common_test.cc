@@ -285,6 +285,27 @@ TEST(StatusTest, OkAndErrors) {
   EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
 }
 
+TEST(StatusTest, AvailabilityCodes) {
+  Status u = UnavailableError("tier offline");
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsUnavailable(u));
+  EXPECT_EQ(u.ToString(), "UNAVAILABLE: tier offline");
+  Status d = DeadlineExceededError("backoff");
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(IsDeadlineExceeded(d));
+  EXPECT_EQ(d.ToString(), "DEADLINE_EXCEEDED: backoff");
+  EXPECT_FALSE(IsUnavailable(OkStatus()));
+  EXPECT_FALSE(IsDeadlineExceeded(u));
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(OkStatus(), OkStatus());
+  EXPECT_EQ(InternalError("a"), InternalError("a"));
+  EXPECT_NE(InternalError("a"), InternalError("b"));  // same code, new message
+  EXPECT_NE(InternalError("a"), InvalidArgumentError("a"));
+  EXPECT_NE(OkStatus(), UnavailableError("x"));
+}
+
 TEST(ResultTest, ValueAndStatus) {
   Result<int> ok(42);
   EXPECT_TRUE(ok.ok());

@@ -25,11 +25,17 @@
 //   --no-pebs           disable performance-counter assistance       [false]
 //   --sync-migration    disable asynchronous page copy               [false]
 //   --seed=N            deterministic seed                           [42]
+//   --fault_spec=S      chaos spec, ';'-separated clauses            [none]
+//                       copy_fail:p=P | remap_fail:p=P | alloc_fail:p=P |
+//                       pebs_drop:p=P | tier_derate:c=C,at=T,f=F |
+//                       tier_offline:c=C,at=T   (T accepts ns/us/ms/s)
+//                       e.g. "copy_fail:p=0.01;tier_offline:c=3,at=100ms"
 //   --format=F          human|csv|json                               [human]
 //   --record-intervals  include per-interval records (json)          [false]
 #include <cstdio>
 #include <string>
 
+#include "src/common/fault_injection.h"
 #include "src/common/flags.h"
 #include "src/core/driver.h"
 #include "src/core/report.h"
@@ -56,6 +62,16 @@ int main(int argc, char** argv) {
   config.mtm.use_pebs = !flags.GetBool("no-pebs", false);
   if (flags.GetBool("sync-migration", false)) {
     config.mtm.mechanism = mtm::MechanismKind::kMmrSync;
+  }
+  config.fault_spec = flags.GetString("fault_spec", flags.GetString("fault-spec", ""));
+  if (!config.fault_spec.empty()) {
+    // Validate up front for a friendly error instead of a mid-run check.
+    mtm::Result<mtm::FaultInjector> parsed =
+        mtm::FaultInjector::Parse(config.fault_spec, config.seed);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --fault_spec: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
   }
 
   std::string workload = flags.GetString("workload", "gups");
