@@ -35,7 +35,7 @@ SimNanos RunCase(MechanismKind kind, ComponentId src, ComponentId dst, double wr
   FrameAllocator frames(machine);
   MemCounters counters(machine.num_components());
   AccessEngine engine(machine, page_table, clock, counters, AccessEngine::Config{});
-  const u64 total = GiB(1) / scale;
+  const Bytes total = GiB(1) / scale;
   // Base pages: move_pages() operates on 4 KiB pages, and the paper's
   // microbenchmark migrates the array page by page.
   u32 vma = address_space.Allocate(total, /*thp=*/false, "array");
@@ -48,12 +48,12 @@ SimNanos RunCase(MechanismKind kind, ComponentId src, ComponentId dst, double wr
 
   Rng rng(7);
   u64 cursor = 0;
-  for (VirtAddr region = start; region < start + total; region += kHugePageSize) {
-    migration.Submit(MigrationOrder{region, kHugePageSize, dst, 0});
+  for (VirtAddr region = start; region < start + total.value(); region += kHugePageSize) {
+    migration.Submit(MigrationOrder{region, kHugePageBytes, dst, 0});
     // The application keeps streaming over the array during the migration
     // window (sequential, with the pattern's write share).
     for (int i = 0; i < 2048; ++i) {
-      VirtAddr addr = start + (cursor % total);
+      VirtAddr addr = start + (cursor % total.value());
       cursor += 64;
       engine.Apply(addr, rng.NextBernoulli(write_fraction), 0);
     }
@@ -92,11 +92,11 @@ int main() {
           RunCase(MechanismKind::kMoveMemoryRegions, t1, dst, p.write_fraction, scale);
       table.AddRow({p.name, benchutil::Fmt("%.2f", ToMillis(mp)),
                     benchutil::Fmt("%.2f", ToMillis(nb)), benchutil::Fmt("%.2f", ToMillis(mmr)),
-                    benchutil::Fmt("%+.0f%%", (1.0 - static_cast<double>(mmr) /
-                                                         static_cast<double>(mp)) *
+                    benchutil::Fmt("%+.0f%%", (1.0 - static_cast<double>(mmr.value()) /
+                                                         static_cast<double>(mp.value())) *
                                                   100.0),
-                    benchutil::Fmt("%+.0f%%", (1.0 - static_cast<double>(mmr) /
-                                                         static_cast<double>(nb)) *
+                    benchutil::Fmt("%+.0f%%", (1.0 - static_cast<double>(mmr.value()) /
+                                                         static_cast<double>(nb.value())) *
                                                   100.0)});
     }
     table.Print();

@@ -15,7 +15,7 @@
 namespace mtm {
 namespace {
 
-double RunGups(SolutionKind kind, u64 footprint, u32 threads, u64 scale) {
+double RunGups(SolutionKind kind, Bytes footprint, u32 threads, u64 scale) {
   ExperimentConfig config;
   config.sim_scale = scale;
   config.two_tier = true;
@@ -47,12 +47,12 @@ int main() {
   benchutil::PrintHeader("Figure 12", "two-tier GUPS throughput vs working-set/DRAM ratio");
 
   Machine machine = Machine::TwoTier(scale);
-  const u64 dram = machine.component(machine.TierOrder(0)[0]).capacity_bytes;
+  const Bytes dram = machine.component(machine.TierOrder(0)[0]).capacity_bytes;
   std::printf("DRAM tier: %.0f MiB (scaled 96 GB)\n\n", ToMiB(dram));
 
   benchutil::Table table({"ws/dram", "hemem-16t", "hemem-24t", "mtm-16t", "mtm-24t"});
   for (double ratio : {0.5, 0.8, 1.2, 1.6, 2.4, 3.2}) {
-    u64 footprint = HugeAlignUp(static_cast<u64>(static_cast<double>(dram) * ratio));
+    Bytes footprint = HugeAlignUp(BytesFromDouble(static_cast<double>(dram.value()) * ratio));
     double h16 = RunGups(SolutionKind::kHemem, footprint, 16, scale);
     double h24 = RunGups(SolutionKind::kHemem, footprint, 24, scale);
     double m16 = RunGups(SolutionKind::kMtm, footprint, 16, scale);

@@ -119,7 +119,8 @@ int main() {
     DamonProfiler::Config config;
     // Equal overhead: DAMON's scan budget (one page per region per tick)
     // matches MTM's Equation-1 sample count.
-    config.max_regions = static_cast<u32>(interval_ns * 0.05 / (240.0 * 3));
+    config.max_regions =
+        static_cast<u32>(static_cast<double>(interval_ns.value()) * 0.05 / (240.0 * 3));
     return std::make_unique<DamonProfiler>(h.page_table, h.address_space, config);
   });
   ProfilingQuality thermostat_q =

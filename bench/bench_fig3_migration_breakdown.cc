@@ -26,11 +26,11 @@ int main() {
     std::printf("%-24s critical %8.1f us  [alloc %5.1f%% | unmap/remap %5.1f%% | copy %5.1f%% |"
                 " dirty-track %4.1f%% | pt-pages %4.1f%%]  background %8.1f us\n",
                 name, ToMicros(total),
-                100.0 * static_cast<double>(c.allocate_ns) / static_cast<double>(total),
-                100.0 * static_cast<double>(c.unmap_remap_ns) / static_cast<double>(total),
-                100.0 * static_cast<double>(c.copy_ns) / static_cast<double>(total),
-                100.0 * static_cast<double>(c.dirty_tracking_ns) / static_cast<double>(total),
-                100.0 * static_cast<double>(c.page_table_ns) / static_cast<double>(total),
+                100.0 * static_cast<double>(c.allocate_ns.value()) / static_cast<double>(total.value()),
+                100.0 * static_cast<double>(c.unmap_remap_ns.value()) / static_cast<double>(total.value()),
+                100.0 * static_cast<double>(c.copy_ns.value()) / static_cast<double>(total.value()),
+                100.0 * static_cast<double>(c.dirty_tracking_ns.value()) / static_cast<double>(total.value()),
+                100.0 * static_cast<double>(c.page_table_ns.value()) / static_cast<double>(total.value()),
                 ToMicros(cost.BackgroundNs()));
     return total;
   };
@@ -41,8 +41,8 @@ int main() {
 
   std::printf("\nmove_memory_regions() critical-path speedup over move_pages(): %.2fx"
               " (paper: 4.37x)\n",
-              static_cast<double>(mp) / static_cast<double>(mmr));
+              static_cast<double>(mp.value()) / static_cast<double>(mmr.value()));
   std::printf("Nimble speedup over move_pages(): %.2fx\n",
-              static_cast<double>(mp) / static_cast<double>(nimble));
+              static_cast<double>(mp.value()) / static_cast<double>(nimble.value()));
   return 0;
 }

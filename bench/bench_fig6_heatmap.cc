@@ -136,10 +136,11 @@ int main() {
       &truth);
   std::string damon_line = RunAndRender(
       scale, intervals,
-      [&](Machine& m, PageTable& pt, AddressSpace& as, AccessEngine& e, PebsEngine&,
+      [&](Machine&, PageTable& pt, AddressSpace& as, AccessEngine&, PebsEngine&,
           AccessTracker&) -> std::unique_ptr<Profiler> {
         DamonProfiler::Config config;
-        config.max_regions = static_cast<u32>((Seconds(10) / scale) * 0.05 / (240.0 * 3));
+        config.max_regions = static_cast<u32>(
+            static_cast<double>((Seconds(10) / scale).value()) * 0.05 / (240.0 * 3));
         return std::make_unique<DamonProfiler>(pt, as, config);
       },
       nullptr);

@@ -19,10 +19,10 @@ constexpr VirtAddr kBase = 0x5500'0000'0000ull;
 void BM_PageTableWalk(benchmark::State& state) {
   PageTable pt;
   const u64 pages = 1 << 16;
-  MTM_CHECK(pt.MapRange(kBase, pages * kPageSize, 0, false).ok());
+  MTM_CHECK(pt.MapRange(kBase, PagesToBytes(pages), 0, false).ok());
   Rng rng(1);
   for (auto _ : state) {
-    VirtAddr addr = kBase + AddrOfVpn(rng.NextBounded(pages));
+    VirtAddr addr = kBase + AddrOfVpn(Vpn(rng.NextBounded(pages)));
     benchmark::DoNotOptimize(pt.Find(addr));
   }
 }
@@ -31,11 +31,11 @@ BENCHMARK(BM_PageTableWalk);
 void BM_PteScan(benchmark::State& state) {
   PageTable pt;
   const u64 pages = 1 << 16;
-  MTM_CHECK(pt.MapRange(kBase, pages * kPageSize, 0, false).ok());
+  MTM_CHECK(pt.MapRange(kBase, PagesToBytes(pages), 0, false).ok());
   Rng rng(1);
   bool accessed = false;
   for (auto _ : state) {
-    VirtAddr addr = kBase + AddrOfVpn(rng.NextBounded(pages));
+    VirtAddr addr = kBase + AddrOfVpn(Vpn(rng.NextBounded(pages)));
     benchmark::DoNotOptimize(pt.ScanAccessed(addr, &accessed));
   }
 }
@@ -44,15 +44,15 @@ BENCHMARK(BM_PteScan);
 void BM_FullTableScan(benchmark::State& state) {
   // The §3 motivation: scanning every PTE of a large mapping.
   PageTable pt;
-  const u64 bytes = MiB(static_cast<u64>(state.range(0)));
+  const Bytes bytes = MiB(static_cast<u64>(state.range(0)));
   MTM_CHECK(pt.MapRange(kBase, bytes, 0, false).ok());
   for (auto _ : state) {
     u64 visited = 0;
-    pt.ForEachMapping(kBase, bytes, [&](VirtAddr, u64, Pte&) { ++visited; });
+    pt.ForEachMapping(kBase, bytes, [&](VirtAddr, Bytes, Pte&) { ++visited; });
     benchmark::DoNotOptimize(visited);
   }
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
-                          static_cast<i64>(bytes / kPageSize));
+                          static_cast<i64>(NumPages(bytes)));
 }
 BENCHMARK(BM_FullTableScan)->Arg(64)->Arg(256);
 
@@ -70,7 +70,7 @@ void BM_AccessEngineApply(benchmark::State& state) {
   VirtAddr start = as.vma(vma).start;
   Rng rng(1);
   for (auto _ : state) {
-    engine.Apply(start + (rng.Next() & (MiB(64) - 1) & ~u64{7}), false, 0);
+    engine.Apply(start + (rng.Next() & (MiB(64).value() - 1) & ~u64{7}), false, 0);
   }
 }
 BENCHMARK(BM_AccessEngineApply);

@@ -28,7 +28,7 @@ int main() {
                         ? 0.0
                         : static_cast<double>(r.component_app_accesses[0]) / 1e6;
       table.AddRow({workload, SolutionKindName(kind),
-                    benchutil::Fmt("%.1f", ToMiB(static_cast<u64>(r.avg_hot_bytes))),
+                    benchutil::Fmt("%.1f", ToMiB(BytesFromDouble(r.avg_hot_bytes))),
                     benchutil::Fmt("%.1f", fast)});
     }
     std::printf("[%s done]\n", workload.c_str());

@@ -19,9 +19,9 @@ int main() {
   for (const std::string& workload : AllWorkloadNames()) {
     RunResult r = RunExperiment(workload, SolutionKind::kMtm, config);
     table.AddRow({workload, benchutil::Fmt("%.0f MiB", ToMiB(r.footprint_bytes)),
-                  benchutil::Fmt("%.1f KiB", static_cast<double>(r.profiler_memory_bytes) / 1024.0),
-                  benchutil::Fmt("%.4f%%", 100.0 * static_cast<double>(r.profiler_memory_bytes) /
-                                               static_cast<double>(r.footprint_bytes))});
+                  benchutil::Fmt("%.1f KiB", static_cast<double>(r.profiler_memory_bytes.value()) / 1024.0),
+                  benchutil::Fmt("%.4f%%", 100.0 * static_cast<double>(r.profiler_memory_bytes.value()) /
+                                               static_cast<double>(r.footprint_bytes.value()))});
   }
   table.Print();
   std::printf("expected shape: overhead well below 0.01%% of workload memory "

@@ -25,14 +25,14 @@ using namespace mtm;
 // demotion.
 class ThresholdPolicy : public TieringPolicy {
  public:
-  ThresholdPolicy(double threshold, u64 budget) : threshold_(threshold), budget_(budget) {}
+  ThresholdPolicy(double threshold, Bytes budget) : threshold_(threshold), budget_(budget) {}
 
   std::string name() const override { return "threshold-policy"; }
 
   std::vector<MigrationOrder> Decide(const ProfileOutput& profile,
                                      PolicyContext& ctx) override {
     std::vector<MigrationOrder> orders;
-    i64 budget = static_cast<i64>(budget_);
+    i64 budget = static_cast<i64>(budget_.value());
     for (const HotnessEntry& e : profile.entries) {
       if (budget <= 0) {
         break;
@@ -44,7 +44,7 @@ class ThresholdPolicy : public TieringPolicy {
       if (pte == nullptr) {
         continue;
       }
-      u32 rank = ctx.machine->TierRank(e.preferred_socket, pte->component);
+      u32 rank = ctx.machine->TierRank(e.preferred_socket, pte->component).value();
       if (rank == 0) {
         continue;
       }
@@ -53,7 +53,7 @@ class ThresholdPolicy : public TieringPolicy {
         ComponentId dst = ctx.machine->TierOrder(e.preferred_socket)[target];
         if (ctx.frames->free_bytes(dst) >= e.len) {
           orders.push_back(MigrationOrder{e.start, e.len, dst, e.preferred_socket});
-          budget -= static_cast<i64>(e.len);
+          budget -= static_cast<i64>(e.len.value());
           break;
         }
       }
@@ -63,7 +63,7 @@ class ThresholdPolicy : public TieringPolicy {
 
  private:
   double threshold_;
-  u64 budget_;
+  Bytes budget_;
 };
 
 // Runs GUPS under a Solution whose policy we overwrite after construction

@@ -30,7 +30,7 @@ void RunAlgorithm(const char* name) {
   mtm::RunResult with_mtm = mtm::RunExperiment(name, mtm::SolutionKind::kMtm, config, options);
 
   // Effective ns per access = app time / accesses: placement quality.
-  double ft_ns = static_cast<double>(first_touch.app_ns) /
+  double ft_ns = static_cast<double>(first_touch.app_ns.value()) /
                  static_cast<double>(first_touch.total_accesses);
   double mtm_early = 0.0;
   double mtm_late = 0.0;
@@ -44,7 +44,7 @@ void RunAlgorithm(const char* name) {
       mtm_late += static_cast<double>(with_mtm.intervals[i].fast_tier_accesses);
     }
   }
-  double mtm_ns = static_cast<double>(with_mtm.app_ns) /
+  double mtm_ns = static_cast<double>(with_mtm.app_ns.value()) /
                   static_cast<double>(with_mtm.total_accesses);
 
   std::printf("  first-touch: %.1f ns/access, total %.3fs\n", ft_ns,

@@ -38,8 +38,8 @@ int main() {
   mtm::RunResult with_mtm = mtm::RunExperiment("gups", mtm::SolutionKind::kMtm, config);
   PrintResult(with_mtm);
 
-  double speedup = static_cast<double>(first_touch.total_ns()) /
-                   static_cast<double>(with_mtm.total_ns());
+  double speedup = static_cast<double>(first_touch.total_ns().value()) /
+                   static_cast<double>(with_mtm.total_ns().value());
   std::printf("\nMTM speedup over first-touch: %.2fx\n", speedup);
   return 0;
 }

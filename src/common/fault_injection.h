@@ -48,7 +48,7 @@ const char* FaultSiteName(FaultSite site);
 // stays below sim/ in the layering.
 struct TierFaultEvent {
   u32 component = ~u32{0};
-  SimNanos at_ns = 0;
+  SimNanos at_ns;
   bool offline = false;           // full device loss: residents must drain
   double bandwidth_derate = 1.0;  // multiplier applied when not offline
 };

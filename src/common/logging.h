@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -41,6 +42,36 @@ struct Voidify {
   void operator&(LogMessage&) {}
 };
 
+// Builds the "expr (lhs vs rhs)" failure text for MTM_CHECK_* comparisons.
+// Returning an owned string (null on success) lets the macros evaluate each
+// operand exactly once: the captured values are streamed here, not
+// re-evaluated at the failure site.
+template <typename A, typename B>
+std::unique_ptr<std::string> MakeCheckOpString(const A& a, const B& b, const char* expr) {
+  std::ostringstream oss;
+  oss << "CHECK failed: " << expr << " (" << a << " vs " << b << ") ";
+  return std::make_unique<std::string>(oss.str());
+}
+
+#define MTM_DEFINE_CHECK_OP_IMPL(name, op)                                             \
+  template <typename A, typename B>                                                    \
+  std::unique_ptr<std::string> Check##name##Impl(const A& a, const B& b,               \
+                                                 const char* expr) {                   \
+    if (a op b) {                                                                      \
+      return nullptr;                                                                  \
+    }                                                                                  \
+    return MakeCheckOpString(a, b, expr);                                              \
+  }
+
+MTM_DEFINE_CHECK_OP_IMPL(EQ, ==)
+MTM_DEFINE_CHECK_OP_IMPL(NE, !=)
+MTM_DEFINE_CHECK_OP_IMPL(LT, <)
+MTM_DEFINE_CHECK_OP_IMPL(LE, <=)
+MTM_DEFINE_CHECK_OP_IMPL(GT, >)
+MTM_DEFINE_CHECK_OP_IMPL(GE, >=)
+
+#undef MTM_DEFINE_CHECK_OP_IMPL
+
 }  // namespace log_internal
 }  // namespace mtm
 
@@ -54,9 +85,20 @@ struct Voidify {
                                                __LINE__, /*fatal=*/true)               \
                    << "CHECK failed: " #cond " "
 
-#define MTM_CHECK_EQ(a, b) MTM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
-#define MTM_CHECK_NE(a, b) MTM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
-#define MTM_CHECK_LT(a, b) MTM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
-#define MTM_CHECK_LE(a, b) MTM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
-#define MTM_CHECK_GT(a, b) MTM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
-#define MTM_CHECK_GE(a, b) MTM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+// Comparison checks evaluate each operand exactly once (side-effecting
+// arguments are safe). The `while` shape — borrowed from glog — keeps the
+// macro usable as a statement with trailing `<< context`; the body aborts,
+// so the loop never iterates twice.
+#define MTM_CHECK_OP(name, op, a, b)                                                   \
+  while (std::unique_ptr<std::string> mtm_check_msg =                                  \
+             ::mtm::log_internal::Check##name##Impl((a), (b), #a " " #op " " #b))      \
+  ::mtm::log_internal::LogMessage(::mtm::LogLevel::kError, __FILE__, __LINE__,         \
+                                  /*fatal=*/true)                                      \
+      << *mtm_check_msg
+
+#define MTM_CHECK_EQ(a, b) MTM_CHECK_OP(EQ, ==, a, b)
+#define MTM_CHECK_NE(a, b) MTM_CHECK_OP(NE, !=, a, b)
+#define MTM_CHECK_LT(a, b) MTM_CHECK_OP(LT, <, a, b)
+#define MTM_CHECK_LE(a, b) MTM_CHECK_OP(LE, <=, a, b)
+#define MTM_CHECK_GT(a, b) MTM_CHECK_OP(GT, >, a, b)
+#define MTM_CHECK_GE(a, b) MTM_CHECK_OP(GE, >=, a, b)

@@ -1,0 +1,132 @@
+// Strong-type machinery for the simulator's core quantities and identifiers.
+//
+// The simulator's load-bearing numbers — simulated nanoseconds, byte counts,
+// page/frame numbers, tier ranks — used to be bare u64/u32 aliases, so a
+// swapped argument or a bytes-vs-pages mix-up compiled silently and surfaced
+// only as a wrong benchmark number. The CRTP bases here make each such
+// quantity a distinct type with only the arithmetic that is meaningful for
+// its dimension; everything else is a compile error.
+//
+// Two families:
+//   * Quantity — additive dimensions (time, byte counts). Closed under
+//     + and -, scalable by dimensionless integers, and the quotient of two
+//     same-dimension quantities is a dimensionless ratio. No cross-dimension
+//     arithmetic (SimNanos + Bytes does not compile).
+//   * Ordinal — identifiers with an order (page numbers, frame numbers,
+//     tier ranks). Comparable, incrementable, offsettable by a count; the
+//     difference of two ordinals is a count. No products or sums of ids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mtm {
+namespace strong_internal {
+
+template <typename Derived, typename Rep>
+class Quantity {
+ public:
+  using rep = Rep;
+
+  constexpr Quantity() = default;
+  explicit constexpr Quantity(Rep value) : value_(value) {}
+
+  constexpr Rep value() const { return value_; }
+  constexpr bool IsZero() const { return value_ == Rep{0}; }
+  explicit constexpr operator bool() const { return value_ != Rep{0}; }
+
+  // Same-dimension additive arithmetic.
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived(static_cast<Rep>(a.value_ + b.value_));
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived(static_cast<Rep>(a.value_ - b.value_));
+  }
+  friend constexpr Derived& operator+=(Derived& a, Derived b) {
+    a.value_ = static_cast<Rep>(a.value_ + b.value_);
+    return a;
+  }
+  friend constexpr Derived& operator-=(Derived& a, Derived b) {
+    a.value_ = static_cast<Rep>(a.value_ - b.value_);
+    return a;
+  }
+
+  // Scaling by a dimensionless count.
+  friend constexpr Derived operator*(Derived a, Rep s) { return Derived(a.value_ * s); }
+  friend constexpr Derived operator*(Rep s, Derived a) { return Derived(s * a.value_); }
+  friend constexpr Derived operator/(Derived a, Rep s) { return Derived(a.value_ / s); }
+
+  // Quotient of same-dimension quantities is a dimensionless ratio; the
+  // remainder keeps the dimension.
+  friend constexpr Rep operator/(Derived a, Derived b) { return a.value_ / b.value_; }
+  friend constexpr Derived operator%(Derived a, Derived b) {
+    return Derived(a.value_ % b.value_);
+  }
+
+  friend constexpr bool operator==(Derived a, Derived b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Derived a, Derived b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Derived a, Derived b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(Derived a, Derived b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(Derived a, Derived b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(Derived a, Derived b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Derived v) { return os << v.value_; }
+
+ private:
+  Rep value_ = Rep{0};
+};
+
+template <typename Derived, typename Rep>
+class Ordinal {
+ public:
+  using rep = Rep;
+
+  constexpr Ordinal() = default;
+  explicit constexpr Ordinal(Rep value) : value_(value) {}
+
+  constexpr Rep value() const { return value_; }
+
+  // Offset by a count; the difference of two ordinals is a count.
+  friend constexpr Derived operator+(Derived a, Rep n) {
+    return Derived(static_cast<Rep>(a.value_ + n));
+  }
+  friend constexpr Derived operator-(Derived a, Rep n) {
+    return Derived(static_cast<Rep>(a.value_ - n));
+  }
+  friend constexpr Rep operator-(Derived a, Derived b) {
+    return static_cast<Rep>(a.value_ - b.value_);
+  }
+  friend constexpr Derived& operator++(Derived& a) {
+    ++a.value_;
+    return a;
+  }
+  friend constexpr Derived operator++(Derived& a, int) {
+    Derived old = a;
+    ++a.value_;
+    return old;
+  }
+
+  friend constexpr bool operator==(Derived a, Derived b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Derived a, Derived b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Derived a, Derived b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(Derived a, Derived b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(Derived a, Derived b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(Derived a, Derived b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Derived v) { return os << v.value_; }
+
+ private:
+  Rep value_ = Rep{0};
+};
+
+// Hasher usable as the std::hash specialization body for any strong type.
+template <typename Strong>
+struct StrongHash {
+  std::size_t operator()(Strong v) const {
+    return std::hash<typename Strong::rep>{}(v.value());
+  }
+};
+
+}  // namespace strong_internal
+}  // namespace mtm

@@ -1,8 +1,17 @@
 // Core integer and address types shared by every mtm module.
+//
+// The domain quantities — simulated time, byte counts, page/frame numbers,
+// tier ranks — are strong types (see strong_types.h): mixing dimensions or
+// swapping identifier kinds is a compile error, not a wrong benchmark
+// number. Raw virtual addresses stay a bare u64 for now (address bit
+// arithmetic is pervasive); see ROADMAP.md.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+
+#include "src/common/strong_types.h"
 
 namespace mtm {
 
@@ -18,10 +27,33 @@ using i64 = std::int64_t;
 using VirtAddr = u64;
 
 // A virtual page number: VirtAddr >> kPageShift.
-using Vpn = u64;
+class Vpn : public strong_internal::Ordinal<Vpn, u64> {
+  using Ordinal::Ordinal;
+};
+
+// A physical frame number within a memory component. Deliberately a
+// different type from Vpn: translating between the two goes through the
+// page table, never through an implicit conversion.
+class Pfn : public strong_internal::Ordinal<Pfn, u64> {
+  using Ordinal::Ordinal;
+};
+
+// Socket-relative tier rank: 0 is the fastest tier as seen from a socket
+// (the paper's "tier 1"). Distinct from ComponentId — the same component
+// has different tier ranks from different sockets (§6.2 multi-view).
+class TierId : public strong_internal::Ordinal<TierId, u32> {
+  using Ordinal::Ordinal;
+};
 
 // Simulated time in nanoseconds.
-using SimNanos = u64;
+class SimNanos : public strong_internal::Quantity<SimNanos, u64> {
+  using Quantity::Quantity;
+};
+
+// A byte count (capacities, footprints, batch sizes).
+class Bytes : public strong_internal::Quantity<Bytes, u64> {
+  using Quantity::Quantity;
+};
 
 inline constexpr u64 kPageShift = 12;
 inline constexpr u64 kPageSize = u64{1} << kPageShift;  // 4 KiB base page.
@@ -29,8 +61,12 @@ inline constexpr u64 kHugePageShift = 21;
 inline constexpr u64 kHugePageSize = u64{1} << kHugePageShift;  // 2 MiB huge page.
 inline constexpr u64 kPagesPerHugePage = kHugePageSize / kPageSize;  // 512.
 
-inline constexpr Vpn VpnOf(VirtAddr addr) { return addr >> kPageShift; }
-inline constexpr VirtAddr AddrOfVpn(Vpn vpn) { return vpn << kPageShift; }
+// Byte-typed views of the page sizes, for capacity/length arithmetic.
+inline constexpr Bytes kPageBytes{kPageSize};
+inline constexpr Bytes kHugePageBytes{kHugePageSize};
+
+inline constexpr Vpn VpnOf(VirtAddr addr) { return Vpn(addr >> kPageShift); }
+inline constexpr VirtAddr AddrOfVpn(Vpn vpn) { return vpn.value() << kPageShift; }
 inline constexpr VirtAddr PageAlignDown(VirtAddr addr) { return addr & ~(kPageSize - 1); }
 inline constexpr VirtAddr PageAlignUp(VirtAddr addr) {
   return (addr + kPageSize - 1) & ~(kPageSize - 1);
@@ -42,4 +78,30 @@ inline constexpr VirtAddr HugeAlignUp(VirtAddr addr) {
 inline constexpr bool IsHugeAligned(VirtAddr addr) { return (addr & (kHugePageSize - 1)) == 0; }
 inline constexpr bool IsPageAligned(VirtAddr addr) { return (addr & (kPageSize - 1)) == 0; }
 
+// Length-rounding twins of the address alignment helpers.
+inline constexpr Bytes PageAlignUp(Bytes len) { return Bytes(PageAlignUp(len.value())); }
+inline constexpr Bytes HugeAlignUp(Bytes len) { return Bytes(HugeAlignUp(len.value())); }
+inline constexpr Bytes PageAlignDown(Bytes len) { return Bytes(PageAlignDown(len.value())); }
+inline constexpr Bytes HugeAlignDown(Bytes len) { return Bytes(HugeAlignDown(len.value())); }
+
+// Page-count conversions; lengths in bytes round up, so a partial page
+// still occupies a whole frame.
+inline constexpr u64 NumPages(Bytes len) { return (len + kPageBytes - Bytes(1)) / kPageBytes; }
+inline constexpr u64 NumHugePages(Bytes len) {
+  return (len + kHugePageBytes - Bytes(1)) / kHugePageBytes;
+}
+inline constexpr Bytes PagesToBytes(u64 pages) { return Bytes(pages << kPageShift); }
+inline constexpr Bytes HugePagesToBytes(u64 pages) { return Bytes(pages << kHugePageShift); }
+
 }  // namespace mtm
+
+template <>
+struct std::hash<mtm::Vpn> : mtm::strong_internal::StrongHash<mtm::Vpn> {};
+template <>
+struct std::hash<mtm::Pfn> : mtm::strong_internal::StrongHash<mtm::Pfn> {};
+template <>
+struct std::hash<mtm::TierId> : mtm::strong_internal::StrongHash<mtm::TierId> {};
+template <>
+struct std::hash<mtm::SimNanos> : mtm::strong_internal::StrongHash<mtm::SimNanos> {};
+template <>
+struct std::hash<mtm::Bytes> : mtm::strong_internal::StrongHash<mtm::Bytes> {};

@@ -1,26 +1,39 @@
 // Byte-size and time-unit helpers so configuration reads like the paper
 // ("96GB DRAM", "10 second profiling interval", "90ns latency").
+//
+// These are the only blessed constructors for Bytes and SimNanos from
+// literals: call sites say GiB(96) or Seconds(10), never a bare number.
 #pragma once
 
 #include "src/common/types.h"
 
 namespace mtm {
 
-inline constexpr u64 KiB(u64 n) { return n << 10; }
-inline constexpr u64 MiB(u64 n) { return n << 20; }
-inline constexpr u64 GiB(u64 n) { return n << 30; }
-inline constexpr u64 TiB(u64 n) { return n << 40; }
+inline constexpr Bytes KiB(u64 n) { return Bytes(n << 10); }
+inline constexpr Bytes MiB(u64 n) { return Bytes(n << 20); }
+inline constexpr Bytes GiB(u64 n) { return Bytes(n << 30); }
+inline constexpr Bytes TiB(u64 n) { return Bytes(n << 40); }
 
-inline constexpr SimNanos Nanos(u64 n) { return n; }
-inline constexpr SimNanos Micros(u64 n) { return n * 1000ull; }
-inline constexpr SimNanos Millis(u64 n) { return n * 1000'000ull; }
-inline constexpr SimNanos Seconds(u64 n) { return n * 1000'000'000ull; }
+inline constexpr SimNanos Nanos(u64 n) { return SimNanos(n); }
+inline constexpr SimNanos Micros(u64 n) { return SimNanos(n * 1000ull); }
+inline constexpr SimNanos Millis(u64 n) { return SimNanos(n * 1000'000ull); }
+inline constexpr SimNanos Seconds(u64 n) { return SimNanos(n * 1000'000'000ull); }
 
-inline constexpr double ToSeconds(SimNanos ns) { return static_cast<double>(ns) / 1e9; }
-inline constexpr double ToMillis(SimNanos ns) { return static_cast<double>(ns) / 1e6; }
-inline constexpr double ToMicros(SimNanos ns) { return static_cast<double>(ns) / 1e3; }
+inline constexpr double ToSeconds(SimNanos ns) { return static_cast<double>(ns.value()) / 1e9; }
+inline constexpr double ToMillis(SimNanos ns) { return static_cast<double>(ns.value()) / 1e6; }
+inline constexpr double ToMicros(SimNanos ns) { return static_cast<double>(ns.value()) / 1e3; }
 
-inline constexpr double ToMiB(u64 bytes) { return static_cast<double>(bytes) / (1 << 20); }
-inline constexpr double ToGiB(u64 bytes) { return static_cast<double>(bytes) / (1 << 30); }
+inline constexpr double ToMiB(Bytes b) { return static_cast<double>(b.value()) / (1 << 20); }
+inline constexpr double ToGiB(Bytes b) { return static_cast<double>(b.value()) / (1 << 30); }
+
+// Rounding constructors from floating-point intermediate results (cost
+// models, bandwidth division). Explicit by design: the truncation point is
+// visible at the call site.
+inline constexpr SimNanos NanosFromDouble(double ns) {
+  return SimNanos(static_cast<u64>(ns < 0 ? 0 : ns));
+}
+inline constexpr Bytes BytesFromDouble(double b) {
+  return Bytes(static_cast<u64>(b < 0 ? 0 : b));
+}
 
 }  // namespace mtm

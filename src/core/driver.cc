@@ -47,7 +47,7 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
     // Initialization leaves every accessed bit set; clear them so the first
     // profiling interval observes the access phase, not the init loop.
     for (const Vma& vma : solution.address_space().vmas()) {
-      solution.page_table().ForEachMapping(vma.start, vma.len, [](VirtAddr, u64, Pte& pte) {
+      solution.page_table().ForEachMapping(vma.start, vma.len, [](VirtAddr, Bytes, Pte& pte) {
         pte.Clear(Pte::kAccessed);
         pte.Clear(Pte::kDirty);
       });
@@ -135,7 +135,7 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
       record.regions_merged = profile.regions_merged;
       record.regions_split = profile.regions_split;
       record.num_regions = profile.num_regions;
-      hot_bytes_stats.Add(static_cast<double>(profile.hot_bytes));
+      hot_bytes_stats.Add(static_cast<double>(profile.hot_bytes.value()));
       merged_stats.Add(static_cast<double>(profile.regions_merged));
       split_stats.Add(static_cast<double>(profile.regions_split));
       regions_stats.Add(static_cast<double>(profile.num_regions));

@@ -16,9 +16,9 @@
 namespace mtm {
 
 struct IntervalRecord {
-  SimNanos end_time_ns = 0;
+  SimNanos end_time_ns;
   ProfilingQuality quality;  // populated when the workload has ground truth
-  u64 hot_bytes = 0;
+  Bytes hot_bytes;
   u64 fast_tier_accesses = 0;  // app accesses to tier 1 (socket-0 view)
   u64 regions_merged = 0;
   u64 regions_split = 0;
@@ -42,16 +42,16 @@ struct RunResult {
   std::string solution;
   std::string workload;
 
-  SimNanos app_ns = 0;
-  SimNanos profiling_ns = 0;
-  SimNanos migration_ns = 0;
+  SimNanos app_ns;
+  SimNanos profiling_ns;
+  SimNanos migration_ns;
   u64 total_accesses = 0;
 
   std::vector<u64> component_app_accesses;  // per component, app only
   MigrationStats migration_stats;
   FaultSummary faults;
-  u64 profiler_memory_bytes = 0;
-  u64 footprint_bytes = 0;
+  Bytes profiler_memory_bytes;
+  Bytes footprint_bytes;
 
   double avg_hot_bytes = 0.0;
   double avg_regions_merged = 0.0;
@@ -62,9 +62,9 @@ struct RunResult {
 
   SimNanos total_ns() const { return app_ns + profiling_ns + migration_ns; }
   double AccessesPerSecond() const {
-    return total_ns() == 0 ? 0.0
-                           : static_cast<double>(total_accesses) /
-                                 (static_cast<double>(total_ns()) / 1e9);
+    return total_ns().IsZero() ? 0.0
+                               : static_cast<double>(total_accesses) /
+                                     (static_cast<double>(total_ns().value()) / 1e9);
   }
 };
 

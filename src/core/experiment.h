@@ -52,9 +52,9 @@ struct ExperimentConfig {
   // (fixed work, the paper's execution-time methodology); num_intervals
   // then acts as a safety cap.
   u64 target_accesses = 0;
-  SimNanos interval_ns = 0;        // 0: Seconds(10) / sim_scale
-  u64 promote_batch_bytes = 0;     // 0: max(200 MiB / sim_scale, one region)
-  u64 scan_window_bytes = 0;       // 0: max(256 MiB / sim_scale, one region)
+  SimNanos interval_ns;        // 0: Seconds(10) / sim_scale
+  Bytes promote_batch_bytes;   // 0: max(200 MiB / sim_scale, one region)
+  Bytes scan_window_bytes;     // 0: max(256 MiB / sim_scale, one region)
   u64 seed = 42;
   // Fault-injection spec for chaos runs (see FaultInjector::Parse), e.g.
   // "copy_fail:p=0.01;tier_offline:c=3,at=100ms". Empty: fault-free run with
@@ -63,19 +63,19 @@ struct ExperimentConfig {
   MtmKnobs mtm;
 
   SimNanos IntervalNs() const {
-    return interval_ns != 0 ? interval_ns : Seconds(10) / sim_scale;
+    return !interval_ns.IsZero() ? interval_ns : Seconds(10) / sim_scale;
   }
-  u64 PromoteBatchBytes() const {
+  Bytes PromoteBatchBytes() const {
     // Scaled N with a floor of two regions: below that, region-granular
     // promotion cannot make progress (documented substitution in DESIGN.md).
-    return promote_batch_bytes != 0 ? promote_batch_bytes
-                                    : std::max<u64>(MiB(200) / sim_scale, 4 * kHugePageSize);
+    return !promote_batch_bytes.IsZero() ? promote_batch_bytes
+                                         : std::max(MiB(200) / sim_scale, 4 * kHugePageBytes);
   }
-  u64 ScanWindowBytes() const {
+  Bytes ScanWindowBytes() const {
     // Linux NUMA balancing arms up to 256 MB per ~1 s scan period, i.e.
     // ~2.5 GB per 10 s profiling interval on the testbed.
-    return scan_window_bytes != 0 ? scan_window_bytes
-                                  : std::max<u64>(MiB(2560) / sim_scale, kHugePageSize);
+    return !scan_window_bytes.IsZero() ? scan_window_bytes
+                                       : std::max(MiB(2560) / sim_scale, kHugePageBytes);
   }
 };
 

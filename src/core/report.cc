@@ -76,10 +76,11 @@ std::string HumanReport(const RunResult& r) {
     }
     os << "\n";
   }
-  if (r.profiler_memory_bytes > 0) {
-    os << "  profiler metadata: " << static_cast<double>(r.profiler_memory_bytes) / 1024.0
-       << " KiB (" << 100.0 * static_cast<double>(r.profiler_memory_bytes) /
-                          static_cast<double>(r.footprint_bytes)
+  if (!r.profiler_memory_bytes.IsZero()) {
+    os << "  profiler metadata: "
+       << static_cast<double>(r.profiler_memory_bytes.value()) / 1024.0 << " KiB ("
+       << 100.0 * static_cast<double>(r.profiler_memory_bytes.value()) /
+              static_cast<double>(r.footprint_bytes.value())
        << "% of footprint)\n";
   }
   return os.str();

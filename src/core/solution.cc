@@ -128,7 +128,7 @@ Solution::Solution(SolutionKind kind, const ExperimentConfig& config, Workload& 
   }
 
   const SimNanos interval = config.IntervalNs();
-  const u64 batch = config.PromoteBatchBytes();
+  const Bytes batch = config.PromoteBatchBytes();
 
   // Profiler.
   switch (kind) {

@@ -15,12 +15,12 @@ namespace mtm {
 
 struct Vma {
   VirtAddr start = 0;
-  u64 len = 0;
+  Bytes len;
   bool thp = false;       // eligible for transparent 2 MiB mappings
   bool prefault = true;   // touched by application initialization
   std::string name;
 
-  VirtAddr end() const { return start + len; }
+  VirtAddr end() const { return start + len.value(); }
   bool Contains(VirtAddr addr) const { return addr >= start && addr < end(); }
 };
 
@@ -33,15 +33,15 @@ class AddressSpace {
 
   // Reserves a VMA of `len` bytes (rounded up to a huge-page multiple so the
   // whole object is THP-mappable). Returns its index.
-  u32 Allocate(u64 len, bool thp, std::string name, bool prefault = true) {
-    u64 rounded = HugeAlignUp(len);
+  u32 Allocate(Bytes len, bool thp, std::string name, bool prefault = true) {
+    Bytes rounded = HugeAlignUp(len);
     Vma vma;
     vma.start = next_;
     vma.len = rounded;
     vma.thp = thp;
     vma.prefault = prefault;
     vma.name = std::move(name);
-    next_ += rounded + kHugePageSize;  // guard gap
+    next_ += rounded.value() + kHugePageSize;  // guard gap
     vmas_.push_back(vma);
     total_bytes_ += rounded;
     return static_cast<u32>(vmas_.size() - 1);
@@ -59,12 +59,12 @@ class AddressSpace {
     return nullptr;
   }
 
-  u64 total_bytes() const { return total_bytes_; }
+  Bytes total_bytes() const { return total_bytes_; }
 
  private:
   VirtAddr next_ = kBase;
   std::vector<Vma> vmas_;
-  u64 total_bytes_ = 0;
+  Bytes total_bytes_;
 };
 
 }  // namespace mtm

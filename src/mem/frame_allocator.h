@@ -22,16 +22,23 @@ class FrameAllocator {
     for (u32 c = 0; c < machine.num_components(); ++c) {
       capacity_.push_back(machine.component(c).capacity_bytes);
     }
-    used_.assign(machine.num_components(), 0);
+    used_.assign(machine.num_components(), Bytes{});
   }
 
-  u64 capacity(ComponentId c) const { return capacity_[c]; }
-  u64 used(ComponentId c) const { return used_[c]; }
-  u64 free_bytes(ComponentId c) const { return capacity_[c] - used_[c]; }
+  Bytes capacity(ComponentId c) const { return capacity_[c]; }
+  Bytes used(ComponentId c) const { return used_[c]; }
+  Bytes free_bytes(ComponentId c) const { return capacity_[c] - used_[c]; }
+
+  // Frame-granular views of the same accounting: capacities are whole
+  // numbers of 4 KiB frames, and the next frame to be handed out on a
+  // component is its high-water mark.
+  u64 total_frames(ComponentId c) const { return NumPages(capacity_[c]); }
+  u64 used_frames(ComponentId c) const { return NumPages(used_[c]); }
+  Pfn high_water_frame(ComponentId c) const { return Pfn(NumPages(used_[c])); }
 
   // Attempts to reserve `bytes` on component c; returns false if it would
   // exceed capacity.
-  bool Reserve(ComponentId c, u64 bytes) {
+  bool Reserve(ComponentId c, Bytes bytes) {
     if (used_[c] + bytes > capacity_[c]) {
       return false;
     }
@@ -39,22 +46,22 @@ class FrameAllocator {
     return true;
   }
 
-  void Release(ComponentId c, u64 bytes) {
+  void Release(ComponentId c, Bytes bytes) {
     MTM_CHECK_GE(used_[c], bytes);
     used_[c] -= bytes;
   }
 
-  u64 total_used() const {
-    u64 t = 0;
-    for (u64 u : used_) {
+  Bytes total_used() const {
+    Bytes t;
+    for (Bytes u : used_) {
       t += u;
     }
     return t;
   }
 
  private:
-  std::vector<u64> capacity_;
-  std::vector<u64> used_;
+  std::vector<Bytes> capacity_;
+  std::vector<Bytes> used_;
 };
 
 }  // namespace mtm

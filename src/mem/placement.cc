@@ -49,7 +49,7 @@ void PlacementFaultHandler::CandidateOrder(u32 socket, ComponentId out[], u32* c
   *count = n;
 }
 
-ComponentId PlacementFaultHandler::HandlePageFault(VirtAddr addr, u32 socket, bool is_write) {
+ComponentId PlacementFaultHandler::HandlePageFault(VirtAddr addr, u32 socket, bool /*is_write*/) {
   ComponentId candidates[16];
   u32 count = 0;
   CandidateOrder(socket, candidates, &count);
@@ -74,8 +74,8 @@ ComponentId PlacementFaultHandler::HandlePageFault(VirtAddr addr, u32 socket, bo
       want_huge = false;
     } else {
       bool any_mapped = false;
-      page_table_.ForEachMapping(huge_start, kHugePageSize,
-                                 [&](VirtAddr, u64, const Pte&) { any_mapped = true; });
+      page_table_.ForEachMapping(huge_start, kHugePageBytes,
+                                 [&](VirtAddr, Bytes, const Pte&) { any_mapped = true; });
       if (any_mapped) {
         want_huge = false;
       }
@@ -84,14 +84,14 @@ ComponentId PlacementFaultHandler::HandlePageFault(VirtAddr addr, u32 socket, bo
 
   for (u32 i = 0; i < count; ++i) {
     ComponentId c = candidates[i];
-    if (want_huge && frames_.Reserve(c, kHugePageSize)) {
-      Status s = page_table_.MapRange(huge_start, kHugePageSize, c, /*huge=*/true);
+    if (want_huge && frames_.Reserve(c, kHugePageBytes)) {
+      Status s = page_table_.MapRange(huge_start, kHugePageBytes, c, /*huge=*/true);
       MTM_CHECK(s.ok()) << s.ToString();
       ++huge_faults_;
       return c;
     }
-    if (!want_huge && frames_.Reserve(c, kPageSize)) {
-      Status s = page_table_.MapRange(PageAlignDown(addr), kPageSize, c, /*huge=*/false);
+    if (!want_huge && frames_.Reserve(c, kPageBytes)) {
+      Status s = page_table_.MapRange(PageAlignDown(addr), kPageBytes, c, /*huge=*/false);
       MTM_CHECK(s.ok()) << s.ToString();
       ++base_faults_;
       return c;
@@ -101,8 +101,8 @@ ComponentId PlacementFaultHandler::HandlePageFault(VirtAddr addr, u32 socket, bo
   if (want_huge) {
     for (u32 i = 0; i < count; ++i) {
       ComponentId c = candidates[i];
-      if (frames_.Reserve(c, kPageSize)) {
-        Status s = page_table_.MapRange(PageAlignDown(addr), kPageSize, c, /*huge=*/false);
+      if (frames_.Reserve(c, kPageBytes)) {
+        Status s = page_table_.MapRange(PageAlignDown(addr), kPageBytes, c, /*huge=*/false);
         MTM_CHECK(s.ok()) << s.ToString();
         ++base_faults_;
         return c;

@@ -11,6 +11,7 @@
 #include <algorithm>
 
 #include "src/common/types.h"
+#include "src/common/units.h"
 #include "src/sim/machine.h"
 
 namespace mtm {
@@ -18,39 +19,39 @@ namespace mtm {
 struct MigrationCostModel {
   // Per-4 KiB-page kernel work in move_pages() (includes syscall share,
   // rmap/LRU bookkeeping, and TLB shootdown IPIs for unmap).
-  SimNanos alloc_per_page_ns = 1500;
-  SimNanos unmap_per_page_ns = 1600;
-  SimNanos remap_per_page_ns = 1200;
+  SimNanos alloc_per_page_ns = Nanos(1500);
+  SimNanos unmap_per_page_ns = Nanos(1600);
+  SimNanos remap_per_page_ns = Nanos(1200);
 
   // Batched PTE operations in move_memory_regions(): the kernel module
   // walks the region once instead of taking per-page locks.
   double mmr_pte_batch_factor = 0.68;
 
   // Per-2 MiB-page work when a mechanism migrates THP as a unit (Nimble).
-  SimNanos huge_op_per_page_ns = 6000;  // alloc+unmap+remap combined share
+  SimNanos huge_op_per_page_ns = Nanos(6000);  // alloc+unmap+remap combined share
 
   // One-time costs per region operation.
-  SimNanos tlb_flush_ns = 4000;          // single flush for dirty tracking (§7.2)
-  SimNanos write_track_arm_per_page_ns = 60;
-  SimNanos pt_page_move_ns = 2000;       // "move corresponding page table pages"
+  SimNanos tlb_flush_ns = Nanos(4000);          // single flush for dirty tracking (§7.2)
+  SimNanos write_track_arm_per_page_ns = Nanos(60);
+  SimNanos pt_page_move_ns = Nanos(2000);       // "move corresponding page table pages"
 
   // Parallel-copy thread count for Nimble and the MMR helper threads.
   double copy_parallelism = 4.0;
 
   // Bytes moved per copy transaction (one base page).
-  u64 copy_chunk_bytes = kPageSize;
+  Bytes copy_chunk_bytes = kPageBytes;
 
   // Time to copy `bytes` from src to dst as seen from `socket` (the
   // migrating thread's socket): limited by the slower of the two links.
   SimNanos CopyNs(const Machine& machine, u32 socket, ComponentId src, ComponentId dst,
-                  u64 bytes, double parallelism = 1.0) const {
+                  Bytes bytes, double parallelism = 1.0) const {
     const LinkSpec& read = machine.link(socket, src);
     const LinkSpec& write = machine.link(socket, dst);
     double bw = std::min(read.BytesPerNano(), write.BytesPerNano());
-    double chunks = static_cast<double>(bytes) / static_cast<double>(copy_chunk_bytes);
-    double latency = static_cast<double>(read.latency_ns + write.latency_ns) * chunks;
-    double transfer = static_cast<double>(bytes) / bw;
-    return static_cast<SimNanos>((transfer + latency) / std::max(parallelism, 1.0));
+    double chunks = static_cast<double>(bytes.value()) / static_cast<double>(copy_chunk_bytes.value());
+    double latency = static_cast<double>((read.latency_ns + write.latency_ns).value()) * chunks;
+    double transfer = static_cast<double>(bytes.value()) / bw;
+    return NanosFromDouble((transfer + latency) / std::max(parallelism, 1.0));
   }
 };
 

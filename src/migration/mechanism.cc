@@ -20,7 +20,7 @@ MechanismCost ComputeMechanismCost(MechanismKind kind, const MigrationCostModel&
                                    const Machine& machine, u32 socket, ComponentId src,
                                    ComponentId dst, u64 base_pages, u64 huge_pages) {
   MechanismCost cost;
-  const u64 bytes = base_pages * kPageSize + huge_pages * kHugePageSize;
+  const Bytes bytes = PagesToBytes(base_pages) + HugePagesToBytes(huge_pages);
 
   switch (kind) {
     case MechanismKind::kMovePages: {
@@ -47,15 +47,18 @@ MechanismCost ComputeMechanismCost(MechanismKind kind, const MigrationCostModel&
     case MechanismKind::kMmrSync: {
       u64 pte_pages = base_pages + huge_pages;  // one PTE/PDE per mapping
       double batch = model.mmr_pte_batch_factor;
-      cost.critical.unmap_remap_ns = static_cast<SimNanos>(
+      cost.critical.unmap_remap_ns = NanosFromDouble(
           static_cast<double>(pte_pages) *
-          static_cast<double>(model.unmap_per_page_ns + model.remap_per_page_ns) * batch);
+          static_cast<double>((model.unmap_per_page_ns + model.remap_per_page_ns).value()) *
+          batch);
       cost.critical.page_table_ns = model.pt_page_move_ns;
       cost.critical.dirty_tracking_ns =
           model.tlb_flush_ns + pte_pages * model.write_track_arm_per_page_ns;
-      SimNanos alloc = static_cast<SimNanos>(
-          static_cast<double>(base_pages) * model.alloc_per_page_ns * batch +
-          static_cast<double>(huge_pages) * model.huge_op_per_page_ns / 3);
+      SimNanos alloc = NanosFromDouble(
+          static_cast<double>(base_pages) * static_cast<double>(model.alloc_per_page_ns.value()) *
+              batch +
+          static_cast<double>(huge_pages) * static_cast<double>(model.huge_op_per_page_ns.value()) /
+              3);
       SimNanos copy = model.CopyNs(machine, socket, src, dst, bytes, model.copy_parallelism);
       if (kind == MechanismKind::kMoveMemoryRegions) {
         cost.background.allocate_ns = alloc;
@@ -63,7 +66,7 @@ MechanismCost ComputeMechanismCost(MechanismKind kind, const MigrationCostModel&
       } else {
         cost.critical.allocate_ns = alloc;
         cost.critical.copy_ns = copy;
-        cost.critical.dirty_tracking_ns = 0;  // sync copy needs no tracking
+        cost.critical.dirty_tracking_ns = SimNanos{};  // sync copy needs no tracking
       }
       break;
     }

@@ -34,11 +34,11 @@ const char* MechanismKindName(MechanismKind kind);
 
 // Per-step time attribution for one migration (Figures 3 and 11).
 struct MigrationStepBreakdown {
-  SimNanos allocate_ns = 0;
-  SimNanos unmap_remap_ns = 0;  // "page unmap and remap"
-  SimNanos copy_ns = 0;
-  SimNanos dirty_tracking_ns = 0;
-  SimNanos page_table_ns = 0;  // migrate page-table pages
+  SimNanos allocate_ns;
+  SimNanos unmap_remap_ns;  // "page unmap and remap"
+  SimNanos copy_ns;
+  SimNanos dirty_tracking_ns;
+  SimNanos page_table_ns;  // migrate page-table pages
 
   SimNanos Total() const {
     return allocate_ns + unmap_remap_ns + copy_ns + dirty_tracking_ns + page_table_ns;

@@ -20,7 +20,7 @@ MigrationEngine::MigrationEngine(const Machine& machine, PageTable& page_table,
       model_(model) {}
 
 MechanismCost MigrationEngine::PlanCost(const MigrationOrder& order, MechanismKind kind,
-                                        u64* bytes_out) {
+                                        Bytes* bytes_out) {
   // Group the range's mappings by source component.
   struct Run {
     ComponentId src = kInvalidComponent;
@@ -28,8 +28,8 @@ MechanismCost MigrationEngine::PlanCost(const MigrationOrder& order, MechanismKi
     u64 huge_pages = 0;
   };
   std::vector<Run> runs;
-  u64 bytes = 0;
-  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr addr, u64 size, Pte& pte) {
+  Bytes bytes;
+  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr, Bytes size, Pte& pte) {
     if (pte.component == order.dst) {
       return;  // already resident
     }
@@ -39,7 +39,7 @@ MechanismCost MigrationEngine::PlanCost(const MigrationOrder& order, MechanismKi
       runs.push_back(Run{pte.component, 0, 0});
       it = std::prev(runs.end());
     }
-    if (size == kHugePageSize) {
+    if (size == kHugePageBytes) {
       ++it->huge_pages;
     } else {
       ++it->base_pages;
@@ -59,7 +59,7 @@ MechanismCost MigrationEngine::PlanCost(const MigrationOrder& order, MechanismKi
   return total;
 }
 
-bool MigrationEngine::ReclaimFrom(ComponentId component, u64 bytes_needed, int depth) {
+bool MigrationEngine::ReclaimFrom(ComponentId component, Bytes bytes_needed, int depth) {
   if (depth > static_cast<int>(machine_.num_components())) {
     return false;
   }
@@ -70,11 +70,11 @@ bool MigrationEngine::ReclaimFrom(ComponentId component, u64 bytes_needed, int d
   // component's home socket (§6.2 "slow demotion").
   u32 home = machine_.component(component).home_socket;
   const auto& order = machine_.TierOrder(home);
-  u32 rank = machine_.TierRank(home, component);
+  u32 rank = machine_.TierRank(home, component).value();
 
   // Like kswapd, free a batch beyond the immediate need so back-to-back
   // small promotions don't each pay a full victim scan.
-  const u64 target = std::max<u64>(bytes_needed, 2 * kHugePageSize);
+  const Bytes target = std::max(bytes_needed, 2 * kHugePageBytes);
 
   // Two victim passes: inactive (accessed-bit clear) pages first, then any.
   // The per-component clock hand resumes where the last scan stopped, so
@@ -99,19 +99,20 @@ bool MigrationEngine::ReclaimFrom(ComponentId component, u64 bytes_needed, int d
       }
       const Vma& vma = vmas[(start_vma + step) % vmas.size()];
       VirtAddr begin = vma.start;
-      u64 len = vma.len;
+      Bytes len = vma.len;
       if (step == 0 && vma.Contains(reclaim_cursor_[component])) {
         begin = reclaim_cursor_[component];
-        len = vma.end() - begin;
+        len = Bytes(vma.end() - begin);
       } else if (step == vmas.size()) {
         // Wrapped: rescan the head of the cursor VMA.
-        len = reclaim_cursor_[component] > vma.start ? reclaim_cursor_[component] - vma.start
-                                                     : 0;
-        if (len == 0) {
+        len = reclaim_cursor_[component] > vma.start
+                  ? Bytes(reclaim_cursor_[component] - vma.start)
+                  : Bytes{};
+        if (len.IsZero()) {
           break;
         }
       }
-      page_table_.ForEachMapping(begin, len, [&](VirtAddr addr, u64 size, Pte& pte) {
+      page_table_.ForEachMapping(begin, len, [&](VirtAddr addr, Bytes size, Pte& pte) {
         if (frames_.free_bytes(component) >= target) {
           return;
         }
@@ -144,8 +145,8 @@ bool MigrationEngine::ReclaimFrom(ComponentId component, u64 bytes_needed, int d
           // Demotion is a synchronous kernel move; charge its cost.
           MechanismKind k =
               kind_ == MechanismKind::kMoveMemoryRegions ? MechanismKind::kMmrSync : kind_;
-          u64 base = size == kHugePageSize ? 0 : 1;
-          u64 huge = size == kHugePageSize ? 1 : 0;
+          u64 base = size == kHugePageBytes ? 0 : 1;
+          u64 huge = size == kHugePageBytes ? 1 : 0;
           MechanismCost c =
               ComputeMechanismCost(k, model_, machine_, home, component, lower, base, huge);
           clock_.AdvanceMigration(c.CriticalNs());
@@ -157,7 +158,7 @@ bool MigrationEngine::ReclaimFrom(ComponentId component, u64 bytes_needed, int d
           counters_.CountMigrationBytes(lower, size);
           ++stats_.reclaim_demotions;
           stats_.bytes_migrated += size;
-          reclaim_cursor_[component] = addr + size;
+          reclaim_cursor_[component] = addr + size.value();
           return;
         }
       });
@@ -170,7 +171,7 @@ bool MigrationEngine::ReclaimFrom(ComponentId component, u64 bytes_needed, int d
 MigrationEngine::CommitOutcome MigrationEngine::CommitMove(const MigrationOrder& order) {
   CommitOutcome out;
   bool reclaim_hopeless = false;  // don't rescan for every page of the range
-  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr addr, u64 size, Pte& pte) {
+  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr, Bytes size, Pte& pte) {
     if (pte.component == order.dst) {
       return;
     }
@@ -203,21 +204,21 @@ MigrationEngine::CommitOutcome MigrationEngine::CommitMove(const MigrationOrder&
   page_table_.BumpGeneration();
   stats_.bytes_migrated += out.moved;
   stats_.bytes_failed += out.failed_space;
-  if (out.moved > 0) {
+  if (!out.moved.IsZero()) {
     ++stats_.regions_migrated;
   }
   return out;
 }
 
 void MigrationEngine::ArmWriteTracking(const MigrationOrder& order) {
-  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr, u64, Pte& pte) {
+  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr, Bytes, Pte& pte) {
     pte.Set(Pte::kWriteTracked);
   });
   page_table_.BumpGeneration();
 }
 
 void MigrationEngine::DisarmWriteTracking(const MigrationOrder& order) {
-  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr, u64, Pte& pte) {
+  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr, Bytes, Pte& pte) {
     pte.Clear(Pte::kWriteTracked);
   });
   page_table_.BumpGeneration();
@@ -228,7 +229,7 @@ Status MigrationEngine::Submit(const MigrationOrder& order) {
 }
 
 Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) {
-  if (order.len == 0) {
+  if (order.len.IsZero()) {
     return InvalidArgumentError("zero-length migration order");
   }
   if (order.dst >= machine_.num_components()) {
@@ -239,13 +240,14 @@ Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) 
   }
   // Drop orders overlapping an in-flight async move.
   for (const Pending& p : pending_) {
-    if (order.start < p.order.start + p.order.len && p.order.start < order.start + order.len) {
+    if (order.start < p.order.start + p.order.len.value() &&
+        p.order.start < order.start + order.len.value()) {
       return AlreadyExistsError("order overlaps an in-flight migration");
     }
   }
-  u64 bytes = 0;
+  Bytes bytes;
   MechanismCost cost = PlanCost(order, kind_, &bytes);
-  if (bytes == 0) {
+  if (bytes.IsZero()) {
     return OkStatus();  // already fully resident on dst
   }
 
@@ -269,9 +271,9 @@ Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) 
       return UnavailableError("injected remap failure");
     }
     CommitOutcome out = CommitMove(order);
-    if (out.failed_transient > 0) {
+    if (!out.failed_transient.IsZero()) {
       HandleAbort(order, attempt);
-      if (out.moved == 0) {
+      if (out.moved.IsZero()) {
         return UnavailableError("transient allocation failure; retry queued");
       }
     }
@@ -310,8 +312,8 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
     // full copy lands on the critical path, and the fallback goes through
     // the regular per-page kernel migration path, losing the batched-PTE
     // advantage — write-intensive migrations perform like move_pages().
-    SimNanos unbatched_extra = static_cast<SimNanos>(
-        static_cast<double>(p.cost.critical.unmap_remap_ns) *
+    SimNanos unbatched_extra = NanosFromDouble(
+        static_cast<double>(p.cost.critical.unmap_remap_ns.value()) *
         (1.0 / model_.mmr_pte_batch_factor - 1.0));
     exposed += p.background_ns + unbatched_extra;
     stats_.steps.copy_ns += p.background_ns;
@@ -321,7 +323,7 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
     DisarmWriteTracking(p.order);
   } else {
     stats_.background_ns += p.background_ns;
-    stats_.steps.allocate_ns += 0;  // async allocation is off the critical path
+    stats_.steps.allocate_ns += SimNanos{};  // async allocation is off the critical path
   }
   clock_.AdvanceMigration(exposed);
   stats_.critical_ns += exposed;
@@ -334,7 +336,7 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
       DisarmWriteTracking(p.order);
       ++stats_.rollbacks;
       ++stats_.orders_abandoned;  // offline is permanent: no retry
-      u64 remaining = 0;
+      Bytes remaining;
       PlanCost(p.order, kind_, &remaining);
       stats_.bytes_abandoned += remaining;
       return;
@@ -355,13 +357,13 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
     }
   }
   CommitOutcome out = CommitMove(p.order);
-  if (out.failed_transient > 0) {
+  if (!out.failed_transient.IsZero()) {
     HandleAbort(p.order, p.attempt);
   }
 }
 
 void MigrationEngine::HandleAbort(const MigrationOrder& order, u32 attempt) {
-  u64 remaining = 0;
+  Bytes remaining;
   PlanCost(order, kind_, &remaining);  // bytes still off the target
   u32 aborts = ++interval_aborts_[order.start];
   if (aborts >= retry_policy_.thrash_abort_limit) {
@@ -380,7 +382,7 @@ void MigrationEngine::HandleAbort(const MigrationOrder& order, u32 attempt) {
   }
   SimNanos backoff = retry_policy_.initial_backoff_ns;
   for (u32 i = 1; i < attempt && backoff < retry_policy_.max_backoff_ns; ++i) {
-    backoff <<= 1;
+    backoff = backoff * 2;
   }
   backoff = std::min(backoff, retry_policy_.max_backoff_ns);
   retry_queue_.push_back(RetryEntry{order, attempt + 1, clock_.now() + backoff});
@@ -438,14 +440,14 @@ void MigrationEngine::Flush() {
   }
 }
 
-void MigrationEngine::OnWriteTrackFault(VirtAddr addr, u32 socket) {
+void MigrationEngine::OnWriteTrackFault(VirtAddr addr, u32 /*socket*/) {
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     const Pending& p = pending_[i];
-    if (addr >= p.order.start && addr < p.order.start + p.order.len) {
-      double elapsed = static_cast<double>(clock_.now() - p.submitted_at);
-      double remaining = p.background_ns == 0
+    if (addr >= p.order.start && addr < p.order.start + p.order.len.value()) {
+      double elapsed = static_cast<double>((clock_.now() - p.submitted_at).value());
+      double remaining = p.background_ns.IsZero()
                              ? 0.0
-                             : 1.0 - elapsed / static_cast<double>(p.background_ns);
+                             : 1.0 - elapsed / static_cast<double>(p.background_ns.value());
       FinishPending(i, /*forced_sync=*/true, remaining);
       return;
     }
@@ -466,7 +468,7 @@ void MigrationEngine::OnTierFault(const TierFaultEvent& event) {
       DisarmWriteTracking(p.order);
       ++stats_.rollbacks;
       ++stats_.orders_abandoned;  // offline is permanent: no retry
-      u64 remaining = 0;
+      Bytes remaining;
       PlanCost(p.order, kind_, &remaining);
       stats_.bytes_abandoned += remaining;
     } else {
@@ -485,12 +487,12 @@ void MigrationEngine::OnTierFault(const TierFaultEvent& event) {
   DrainComponent(component);
 }
 
-u64 MigrationEngine::DrainComponent(ComponentId component) {
-  u64 drained = 0;
-  u64 failed = 0;
+Bytes MigrationEngine::DrainComponent(ComponentId component) {
+  Bytes drained;
+  Bytes failed;
   const u32 home = machine_.component(component).home_socket;
   const auto& order = machine_.TierOrder(home);
-  const u32 rank = machine_.TierRank(home, component);
+  const u32 rank = machine_.TierRank(home, component).value();
   // Candidate targets from the home-socket view: next lower tiers first (a
   // dead slow device's pages should not crowd the fast tiers), then faster
   // tiers as a last resort.
@@ -505,7 +507,7 @@ u64 MigrationEngine::DrainComponent(ComponentId component) {
   const MechanismKind k =
       kind_ == MechanismKind::kMoveMemoryRegions ? MechanismKind::kMmrSync : kind_;
   for (const Vma& vma : address_space_.vmas()) {
-    page_table_.ForEachMapping(vma.start, vma.len, [&](VirtAddr addr, u64 size, Pte& pte) {
+    page_table_.ForEachMapping(vma.start, vma.len, [&](VirtAddr, Bytes size, Pte& pte) {
       if (pte.component != component) {
         return;
       }
@@ -519,8 +521,8 @@ u64 MigrationEngine::DrainComponent(ComponentId component) {
         if (!frames_.Reserve(dst, size)) {
           continue;
         }
-        u64 base = size == kHugePageSize ? 0 : 1;
-        u64 huge = size == kHugePageSize ? 1 : 0;
+        u64 base = size == kHugePageBytes ? 0 : 1;
+        u64 huge = size == kHugePageBytes ? 1 : 0;
         MechanismCost c =
             ComputeMechanismCost(k, model_, machine_, home, component, dst, base, huge);
         clock_.AdvanceMigration(c.CriticalNs());
@@ -547,14 +549,14 @@ u64 MigrationEngine::DrainComponent(ComponentId component) {
 Status MigrationEngine::VerifyInvariants() const {
   if (frames_.total_used() != page_table_.mapped_bytes()) {
     return InternalError("frame accounting diverged from page table: used=" +
-                         std::to_string(frames_.total_used()) +
-                         " mapped=" + std::to_string(page_table_.mapped_bytes()));
+                         std::to_string(frames_.total_used().value()) +
+                         " mapped=" + std::to_string(page_table_.mapped_bytes().value()));
   }
-  std::vector<u64> resident(machine_.num_components(), 0);
+  std::vector<Bytes> resident(machine_.num_components());
   bool bad_component = false;
   const PageTable& pt = page_table_;
   for (const Vma& vma : address_space_.vmas()) {
-    pt.ForEachMapping(vma.start, vma.len, [&](VirtAddr, u64 size, const Pte& pte) {
+    pt.ForEachMapping(vma.start, vma.len, [&](VirtAddr, Bytes size, const Pte& pte) {
       if (pte.component < machine_.num_components()) {
         resident[pte.component] += size;
       } else {
@@ -568,22 +570,23 @@ Status MigrationEngine::VerifyInvariants() const {
   for (u32 c = 0; c < machine_.num_components(); ++c) {
     if (resident[c] != frames_.used(c)) {
       return InternalError("component " + machine_.component(c).name +
-                           " accounting diverged: resident=" + std::to_string(resident[c]) +
-                           " reserved=" + std::to_string(frames_.used(c)));
+                           " accounting diverged: resident=" +
+                           std::to_string(resident[c].value()) +
+                           " reserved=" + std::to_string(frames_.used(c).value()));
     }
     if (frames_.used(c) > frames_.capacity(c)) {
       return InternalError("component " + machine_.component(c).name + " over capacity");
     }
-    if (machine_.IsOffline(c) && resident[c] != 0 && stats_.drain_failed_bytes == 0) {
+    if (machine_.IsOffline(c) && !resident[c].IsZero() && stats_.drain_failed_bytes.IsZero()) {
       return InternalError("offline component " + machine_.component(c).name +
-                           " still holds " + std::to_string(resident[c]) + " bytes");
+                           " still holds " + std::to_string(resident[c].value()) + " bytes");
     }
   }
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     for (std::size_t j = i + 1; j < pending_.size(); ++j) {
       const MigrationOrder& a = pending_[i].order;
       const MigrationOrder& b = pending_[j].order;
-      if (a.start < b.start + b.len && b.start < a.start + a.len) {
+      if (a.start < b.start + b.len.value() && b.start < a.start + a.len.value()) {
         return InternalError("in-flight migrations overlap");
       }
     }

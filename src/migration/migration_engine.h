@@ -52,7 +52,7 @@ namespace mtm {
 // tier view of `socket` for any cascading demotions.
 struct MigrationOrder {
   VirtAddr start = 0;
-  u64 len = 0;
+  Bytes len;
   ComponentId dst = kInvalidComponent;
   u32 socket = 0;
 };
@@ -62,21 +62,21 @@ struct MigrationOrder {
 // capped at max_backoff_ns.
 struct MigrationRetryPolicy {
   u32 max_attempts = 6;                 // total tries per order, first included
-  SimNanos initial_backoff_ns = 50'000;  // 50 us simulated
-  SimNanos max_backoff_ns = 5'000'000;   // 5 ms simulated
+  SimNanos initial_backoff_ns = Nanos(50'000);  // 50 us simulated
+  SimNanos max_backoff_ns = Nanos(5'000'000);   // 5 ms simulated
   // Aborts of the same region within one profiling interval before the
   // thrash guard abandons it (write storms re-abort the same region).
   u32 thrash_abort_limit = 3;
 };
 
 struct MigrationStats {
-  u64 bytes_migrated = 0;
-  u64 bytes_failed = 0;     // no space anywhere
+  Bytes bytes_migrated;
+  Bytes bytes_failed;       // no space anywhere
   u64 regions_migrated = 0;
   u64 sync_fallbacks = 0;   // async copies switched to sync by a write
   u64 reclaim_demotions = 0;
-  SimNanos critical_ns = 0;
-  SimNanos background_ns = 0;
+  SimNanos critical_ns;
+  SimNanos background_ns;
   MigrationStepBreakdown steps;
 
   // Resilience layer — all zero unless faults are injected or tiers degrade.
@@ -86,11 +86,11 @@ struct MigrationStats {
   u64 rollbacks = 0;                // aborted orders rolled back cleanly
   u64 retries = 0;                  // re-submissions from the retry queue
   u64 orders_abandoned = 0;         // retry budget exhausted or thrash guard
-  u64 bytes_abandoned = 0;
+  Bytes bytes_abandoned;
   u64 thrash_aborts = 0;            // regions dropped by the thrash guard
   u64 tier_drains = 0;              // offline-drain sweeps executed
-  u64 drained_bytes = 0;            // bytes relocated off degraded tiers
-  u64 drain_failed_bytes = 0;       // could not be relocated (machine full)
+  Bytes drained_bytes;              // bytes relocated off degraded tiers
+  Bytes drain_failed_bytes;         // could not be relocated (machine full)
 };
 
 class MigrationEngine : public WriteTrackObserver {
@@ -139,7 +139,7 @@ class MigrationEngine : public WriteTrackObserver {
   // Moves every page resident on `component` to the nearest healthy
   // component with room (next lower tiers first, then faster ones).
   // Returns the number of bytes relocated.
-  u64 DrainComponent(ComponentId component);
+  Bytes DrainComponent(ComponentId component);
 
   // Audits the transactional invariants: frame accounting matches the page
   // table globally and per component, no component is over capacity, no
@@ -154,9 +154,9 @@ class MigrationEngine : public WriteTrackObserver {
  private:
   struct Pending {
     MigrationOrder order;
-    SimNanos complete_at = 0;
-    SimNanos submitted_at = 0;
-    SimNanos background_ns = 0;
+    SimNanos complete_at;
+    SimNanos submitted_at;
+    SimNanos background_ns;
     MechanismCost cost;  // precomputed aggregate cost
     u32 attempt = 1;     // 1-based try counter for backoff on abort
   };
@@ -164,21 +164,21 @@ class MigrationEngine : public WriteTrackObserver {
   struct RetryEntry {
     MigrationOrder order;
     u32 attempt = 1;        // the attempt number this retry will be
-    SimNanos ready_at = 0;  // backoff deadline in simulated time
+    SimNanos ready_at;  // backoff deadline in simulated time
   };
 
   // Per-page commit outcome of one attempt.
   struct CommitOutcome {
-    u64 moved = 0;
-    u64 failed_space = 0;      // no capacity anywhere (permanent, as before)
-    u64 failed_transient = 0;  // injected allocation failures (retryable)
+    Bytes moved;
+    Bytes failed_space;      // no capacity anywhere (permanent, as before)
+    Bytes failed_transient;  // injected allocation failures (retryable)
   };
 
   Status SubmitAttempt(const MigrationOrder& order, u32 attempt);
 
   // Gathers the pages of [start, len) grouped by source component and
   // returns the aggregate mechanism cost; out parameters receive totals.
-  MechanismCost PlanCost(const MigrationOrder& order, MechanismKind kind, u64* bytes_out);
+  MechanismCost PlanCost(const MigrationOrder& order, MechanismKind kind, Bytes* bytes_out);
 
   // Remaps every page of the range to dst, reclaiming on pressure. Pages
   // hit by an injected transient allocation failure are skipped and
@@ -187,7 +187,7 @@ class MigrationEngine : public WriteTrackObserver {
 
   // Demotes inactive pages from `component` until `bytes_needed` are free.
   // Returns true on success. `depth` guards cascade recursion.
-  bool ReclaimFrom(ComponentId component, u64 bytes_needed, int depth);
+  bool ReclaimFrom(ComponentId component, Bytes bytes_needed, int depth);
 
   void ArmWriteTracking(const MigrationOrder& order);
   void DisarmWriteTracking(const MigrationOrder& order);

@@ -10,13 +10,13 @@ namespace mtm {
 namespace {
 
 i64 frames_capacity(PolicyContext& ctx, ComponentId c) {
-  return static_cast<i64>(ctx.frames->capacity(c));
+  return static_cast<i64>(ctx.frames->capacity(c).value());
 }
 
 ComponentId ComponentOf(PolicyContext& ctx, const HotnessEntry& e) {
   const Pte* pte = ctx.page_table->Find(e.start);
   if (pte == nullptr) {
-    pte = ctx.page_table->Find(e.start + e.len / 2);
+    pte = ctx.page_table->Find(e.start + (e.len / 2).value());
   }
   return pte == nullptr ? kInvalidComponent : pte->component;
 }
@@ -25,18 +25,18 @@ ComponentId ComponentOf(PolicyContext& ctx, const HotnessEntry& e) {
 // slice of at most max_len from there; len 0 when none. Lets partial
 // promotions/demotions of large merged regions progress across intervals
 // instead of re-targeting already-moved pages.
-std::pair<VirtAddr, u64> SliceOn(PolicyContext& ctx, const HotnessEntry& e,
-                                 ComponentId component, u64 max_len) {
+std::pair<VirtAddr, Bytes> SliceOn(PolicyContext& ctx, const HotnessEntry& e,
+                                   ComponentId component, Bytes max_len) {
   VirtAddr found = 0;
-  ctx.page_table->ForEachMapping(e.start, e.len, [&](VirtAddr addr, u64 size, Pte& pte) {
+  ctx.page_table->ForEachMapping(e.start, e.len, [&](VirtAddr addr, Bytes, Pte& pte) {
     if (found == 0 && pte.component == component) {
       found = addr;
     }
   });
   if (found == 0) {
-    return {0, 0};
+    return {0, Bytes{}};
   }
-  return {found, std::min<u64>(max_len, e.end() - found)};
+  return {found, std::min(max_len, Bytes(e.end() - found))};
 }
 
 // Finds the first mapping in `e` whose tier rank (seen from `socket`)
@@ -44,11 +44,11 @@ std::pair<VirtAddr, u64> SliceOn(PolicyContext& ctx, const HotnessEntry& e,
 // A large merged region may straddle tiers after partial promotion, so
 // residency must be probed per-mapping, not at the region head.
 std::pair<VirtAddr, ComponentId> SlowestSliceStart(PolicyContext& ctx, const HotnessEntry& e,
-                                                   u32 socket, u32 min_rank) {
+                                                   u32 socket, TierId min_rank) {
   const Machine& machine = *ctx.machine;
   VirtAddr found = 0;
   ComponentId comp = kInvalidComponent;
-  ctx.page_table->ForEachMapping(e.start, e.len, [&](VirtAddr addr, u64 size, Pte& pte) {
+  ctx.page_table->ForEachMapping(e.start, e.len, [&](VirtAddr addr, Bytes, Pte& pte) {
     if (found == 0 && machine.TierRank(socket, pte.component) > min_rank) {
       found = addr;
       comp = pte.component;
@@ -61,7 +61,7 @@ std::pair<VirtAddr, ComponentId> SlowestSliceStart(PolicyContext& ctx, const Hot
 
 std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
                                               PolicyContext& ctx) {
-  MTM_CHECK_GT(config_.promote_batch_bytes, 0ull);
+  MTM_CHECK_GT(config_.promote_batch_bytes, Bytes{});
   const Machine& machine = *ctx.machine;
   std::vector<MigrationOrder> orders;
 
@@ -86,7 +86,7 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
   // Planned free space per component, adjusted as orders accumulate.
   std::vector<i64> planned_free(machine.num_components());
   for (u32 c = 0; c < machine.num_components(); ++c) {
-    planned_free[c] = static_cast<i64>(ctx.frames->free_bytes(c));
+    planned_free[c] = static_cast<i64>(ctx.frames->free_bytes(c).value());
   }
   // Demotion candidates, coldest first.
   std::vector<std::size_t> coldest = hist.ColdestFirst();
@@ -96,13 +96,13 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
   // resident entries one tier down ("slow demotion"). Appends demotion
   // orders; returns true once planned_free[dst] >= need.
   const double hysteresis = hotness_max / static_cast<double>(config_.num_buckets) * 2.0;
-  auto make_room = [&](ComponentId dst, i64 need, double hotness, u32 socket) -> bool {
+  auto make_room = [&](ComponentId dst, i64 need, double hotness, u32 /*socket*/) -> bool {
     if (planned_free[dst] >= need) {
       return true;
     }
     u32 home = machine.component(dst).home_socket;
     const auto& tiers = machine.TierOrder(home);
-    u32 dst_rank = machine.TierRank(home, dst);
+    u32 dst_rank = machine.TierRank(home, dst).value();
     for (std::size_t idx : coldest) {
       if (planned_free[dst] >= need) {
         break;
@@ -119,10 +119,10 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
       }
       // Demote only as much of the victim as the deficit requires; large
       // merged regions step down in huge-page-aligned slices.
-      u64 deficit = static_cast<u64>(need - planned_free[dst]);
+      Bytes deficit{static_cast<u64>(need - planned_free[dst])};
       auto [slice_start, demote_len] =
-          SliceOn(ctx, victim, dst, std::min<u64>(victim.len, HugeAlignUp(deficit)));
-      if (demote_len == 0) {
+          SliceOn(ctx, victim, dst, std::min(victim.len, HugeAlignUp(deficit)));
+      if (demote_len.IsZero()) {
         continue;
       }
       // Next lower tier with planned space; demotion only steps to a
@@ -135,11 +135,11 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
         if (machine.IsOffline(lower)) {
           continue;  // never demote onto a dead device
         }
-        if (planned_free[lower] >= static_cast<i64>(demote_len)) {
+        if (planned_free[lower] >= static_cast<i64>(demote_len.value())) {
           orders.push_back(MigrationOrder{slice_start, demote_len, lower, home});
           planned.insert(idx);
-          planned_free[lower] -= static_cast<i64>(demote_len);
-          planned_free[dst] += static_cast<i64>(demote_len);
+          planned_free[lower] -= static_cast<i64>(demote_len.value());
+          planned_free[dst] += static_cast<i64>(demote_len.value());
           break;
         }
       }
@@ -147,7 +147,7 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
     return planned_free[dst] >= need;
   };
 
-  i64 budget = static_cast<i64>(config_.promote_batch_bytes);
+  i64 budget = static_cast<i64>(config_.promote_batch_bytes.value());
   for (std::size_t idx : hottest) {
     if (budget <= 0) {
       break;
@@ -161,17 +161,17 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
     // Probe per-mapping residency: after partial promotion a merged region
     // straddles tiers, and the remaining slow-resident slice is what needs
     // promoting.
-    auto [slice_start, cur] = SlowestSliceStart(ctx, e, socket, /*min_rank=*/0);
+    auto [slice_start, cur] = SlowestSliceStart(ctx, e, socket, /*min_rank=*/TierId(0));
     if (cur == kInvalidComponent) {
       continue;  // fully resident in the fastest tier
     }
-    u32 cur_rank = machine.TierRank(socket, cur);
+    u32 cur_rank = machine.TierRank(socket, cur).value();
     // The accumulated size of migrated regions is capped at N (§6.1): a
     // merged region larger than the remaining budget promotes in a
     // huge-page-aligned slice and continues next interval.
-    u64 promote_len = std::min<u64>(
-        e.end() - slice_start,
-        std::max<u64>(HugeAlignDown(static_cast<u64>(budget)), kHugePageSize));
+    Bytes promote_len =
+        std::min(Bytes(e.end() - slice_start),
+                 std::max(HugeAlignDown(Bytes(static_cast<u64>(budget))), kHugePageBytes));
     // Fast promotion: aim for the fastest tier; if its residents are all
     // hotter (no room can be made), fall through to the next tier — the
     // paper's "2nd highest bucket to the 2nd-fastest tier" behavior.
@@ -180,17 +180,17 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
       if (machine.IsOffline(dst)) {
         continue;  // degraded device: fall through to the next tier
       }
-      if (static_cast<u64>(frames_capacity(ctx, dst)) < promote_len) {
+      if (static_cast<u64>(frames_capacity(ctx, dst)) < promote_len.value()) {
         continue;
       }
-      if (!make_room(dst, static_cast<i64>(promote_len), e.hotness, socket)) {
+      if (!make_room(dst, static_cast<i64>(promote_len.value()), e.hotness, socket)) {
         continue;
       }
       orders.push_back(MigrationOrder{slice_start, promote_len, dst, socket});
       planned.insert(idx);
-      planned_free[dst] -= static_cast<i64>(promote_len);
-      planned_free[cur] += static_cast<i64>(promote_len);
-      budget -= static_cast<i64>(promote_len);
+      planned_free[dst] -= static_cast<i64>(promote_len.value());
+      planned_free[cur] += static_cast<i64>(promote_len.value());
+      budget -= static_cast<i64>(promote_len.value());
       break;
     }
   }
@@ -199,7 +199,7 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
 
 std::vector<MigrationOrder> AutoNumaPolicy::Decide(const ProfileOutput& profile,
                                                    PolicyContext& ctx) {
-  MTM_CHECK_GT(config_.promote_batch_bytes, 0ull);
+  MTM_CHECK_GT(config_.promote_batch_bytes, Bytes{});
   const Machine& machine = *ctx.machine;
   std::vector<const HotnessEntry*> candidates;
   for (const HotnessEntry& e : profile.entries) {
@@ -216,7 +216,7 @@ std::vector<MigrationOrder> AutoNumaPolicy::Decide(const ProfileOutput& profile,
               });
   }
   std::vector<MigrationOrder> orders;
-  i64 budget = static_cast<i64>(config_.promote_batch_bytes);
+  i64 budget = static_cast<i64>(config_.promote_batch_bytes.value());
   for (const HotnessEntry* e : candidates) {
     if (budget <= 0) {
       break;
@@ -243,21 +243,21 @@ std::vector<MigrationOrder> AutoNumaPolicy::Decide(const ProfileOutput& profile,
       continue;  // already in the task-local DRAM
     }
     orders.push_back(MigrationOrder{e->start, e->len, dst, socket});
-    budget -= static_cast<i64>(e->len);
+    budget -= static_cast<i64>(e->len.value());
   }
   return orders;
 }
 
 std::vector<MigrationOrder> AutoTieringPolicy::Decide(const ProfileOutput& profile,
                                                       PolicyContext& ctx) {
-  MTM_CHECK_GT(config_.promote_batch_bytes, 0ull);
+  MTM_CHECK_GT(config_.promote_batch_bytes, Bytes{});
   const Machine& machine = *ctx.machine;
   std::vector<MigrationOrder> orders;
   std::vector<i64> planned_free(machine.num_components());
   for (u32 c = 0; c < machine.num_components(); ++c) {
-    planned_free[c] = static_cast<i64>(ctx.frames->free_bytes(c));
+    planned_free[c] = static_cast<i64>(ctx.frames->free_bytes(c).value());
   }
-  i64 budget = static_cast<i64>(config_.promote_batch_bytes);
+  i64 budget = static_cast<i64>(config_.promote_batch_bytes.value());
   for (const HotnessEntry& e : profile.entries) {
     if (budget <= 0) {
       break;
@@ -270,7 +270,7 @@ std::vector<MigrationOrder> AutoTieringPolicy::Decide(const ProfileOutput& profi
       continue;
     }
     u32 socket = e.preferred_socket;
-    u32 cur_rank = machine.TierRank(socket, cur);
+    u32 cur_rank = machine.TierRank(socket, cur).value();
     // Opportunistic: the fastest tier that currently has room, regardless
     // of how hot the chunk is relative to anything else; when every faster
     // tier is full, promote to the fastest anyway and let opportunistic
@@ -278,22 +278,22 @@ std::vector<MigrationOrder> AutoTieringPolicy::Decide(const ProfileOutput& profi
     ComponentId dst = machine.TierOrder(socket)[0];
     for (u32 target = 0; target < cur_rank; ++target) {
       ComponentId candidate = machine.TierOrder(socket)[target];
-      if (planned_free[candidate] >= static_cast<i64>(e.len)) {
+      if (planned_free[candidate] >= static_cast<i64>(e.len.value())) {
         dst = candidate;
         break;
       }
     }
     orders.push_back(MigrationOrder{e.start, e.len, dst, socket});
-    planned_free[dst] -= static_cast<i64>(e.len);
-    planned_free[cur] += static_cast<i64>(e.len);
-    budget -= static_cast<i64>(e.len);
+    planned_free[dst] -= static_cast<i64>(e.len.value());
+    planned_free[cur] += static_cast<i64>(e.len.value());
+    budget -= static_cast<i64>(e.len.value());
   }
   return orders;
 }
 
 std::vector<MigrationOrder> HememPolicy::Decide(const ProfileOutput& profile,
                                                 PolicyContext& ctx) {
-  MTM_CHECK_GT(config_.promote_batch_bytes, 0ull);
+  MTM_CHECK_GT(config_.promote_batch_bytes, Bytes{});
   const Machine& machine = *ctx.machine;
   ComponentId dram = machine.TierOrder(0)[0];
   std::vector<const HotnessEntry*> hot;
@@ -306,7 +306,7 @@ std::vector<MigrationOrder> HememPolicy::Decide(const ProfileOutput& profile,
     return a->hotness > b->hotness;
   });
   std::vector<MigrationOrder> orders;
-  i64 budget = static_cast<i64>(config_.promote_batch_bytes);
+  i64 budget = static_cast<i64>(config_.promote_batch_bytes.value());
   for (const HotnessEntry* e : hot) {
     if (budget <= 0) {
       break;
@@ -316,7 +316,7 @@ std::vector<MigrationOrder> HememPolicy::Decide(const ProfileOutput& profile,
       continue;
     }
     orders.push_back(MigrationOrder{e->start, e->len, dram, 0});
-    budget -= static_cast<i64>(e->len);
+    budget -= static_cast<i64>(e->len.value());
   }
   return orders;
 }

@@ -47,7 +47,7 @@ class NullPolicy : public TieringPolicy {
 class MtmPolicy : public TieringPolicy {
  public:
   struct Config {
-    u64 promote_batch_bytes = 0;  // required: N in §6.1 (200 MB on testbed)
+    Bytes promote_batch_bytes;  // required: N in §6.1 (200 MB on testbed)
     u32 num_buckets = 16;
     double hotness_max = 3.0;  // WHI range is [0, num_scans]
     double min_hotness = 1e-9;  // never promote stone-cold regions
@@ -68,7 +68,7 @@ class MtmPolicy : public TieringPolicy {
 class AutoNumaPolicy : public TieringPolicy {
  public:
   struct Config {
-    u64 promote_batch_bytes = 0;  // required
+    Bytes promote_batch_bytes;  // required
     bool patched = true;
   };
 
@@ -87,7 +87,7 @@ class AutoNumaPolicy : public TieringPolicy {
 class AutoTieringPolicy : public TieringPolicy {
  public:
   struct Config {
-    u64 promote_batch_bytes = 0;  // required
+    Bytes promote_batch_bytes;  // required
   };
 
   explicit AutoTieringPolicy(Config config) : config_(config) {}
@@ -103,7 +103,7 @@ class AutoTieringPolicy : public TieringPolicy {
 class HememPolicy : public TieringPolicy {
  public:
   struct Config {
-    u64 promote_batch_bytes = 0;  // required
+    Bytes promote_batch_bytes;  // required
     double hot_threshold = 2.0;
   };
 

@@ -8,16 +8,16 @@ void AutoNumaProfiler::OnIntervalStart() {
   // Arm hint faults over the next scan_window_bytes of mapped space,
   // walking VMAs cyclically.
   armed_this_interval_ = 0;
-  u64 total = address_space_.total_bytes();
-  MTM_CHECK_GT(total, 0ull);
-  MTM_CHECK_GT(config_.scan_window_bytes, 0ull);
-  u64 remaining = std::min(config_.scan_window_bytes, total);
-  while (remaining > 0) {
+  const Bytes total = address_space_.total_bytes();
+  MTM_CHECK_GT(total, Bytes{});
+  MTM_CHECK_GT(config_.scan_window_bytes, Bytes{});
+  Bytes remaining = std::min(config_.scan_window_bytes, total);
+  while (remaining > Bytes{}) {
     // Translate the linear cursor into (vma, offset).
-    u64 offset = scan_cursor_ % total;
+    Bytes offset = scan_cursor_ % total;
     const Vma* target = nullptr;
-    u64 within = 0;
-    u64 walked = 0;
+    Bytes within;
+    Bytes walked;
     for (const Vma& vma : address_space_.vmas()) {
       if (offset < walked + vma.len) {
         target = &vma;
@@ -27,9 +27,9 @@ void AutoNumaProfiler::OnIntervalStart() {
       walked += vma.len;
     }
     MTM_CHECK(target != nullptr);
-    u64 chunk = std::min(remaining, target->len - within);
-    page_table_.ForEachMapping(target->start + within, chunk,
-                               [&](VirtAddr addr, u64 size, Pte& pte) {
+    Bytes chunk = std::min(remaining, target->len - within);
+    page_table_.ForEachMapping(target->start + within.value(), chunk,
+                               [&](VirtAddr, Bytes, Pte& pte) {
                                  pte.Set(Pte::kHintArmed);
                                  ++armed_this_interval_;
                                });
@@ -59,11 +59,11 @@ ProfileOutput AutoNumaProfiler::OnIntervalEnd() {
       it = stats_.erase(it);  // fully decayed
       continue;
     }
-    u64 size = kPageSize;
+    Bytes size = kPageBytes;
     const Pte* pte = page_table_.Find(AddrOfVpn(vpn), &size);
     if (pte != nullptr) {
       HotnessEntry e;
-      e.start = AddrOfVpn(vpn) & ~(size - 1);
+      e.start = AddrOfVpn(vpn) & ~(size.value() - 1);
       e.len = size;
       // Vanilla: binary two-touch signal. Patched: MFU fault count.
       e.hotness = config_.patched ? stat.faults
@@ -82,8 +82,8 @@ ProfileOutput AutoNumaProfiler::OnIntervalEnd() {
   return out;
 }
 
-u64 AutoNumaProfiler::MemoryOverheadBytes() const {
-  return stats_.size() * (sizeof(Vpn) + sizeof(PageStat) + sizeof(void*) * 2);
+Bytes AutoNumaProfiler::MemoryOverheadBytes() const {
+  return Bytes(stats_.size() * (sizeof(Vpn) + sizeof(PageStat) + sizeof(void*) * 2));
 }
 
 }  // namespace mtm

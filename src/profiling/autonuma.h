@@ -28,9 +28,9 @@ namespace mtm {
 class AutoNumaProfiler : public Profiler {
  public:
   struct Config {
-    u64 scan_window_bytes = 0;  // required: 256MB / sim scale
+    Bytes scan_window_bytes;    // required: 256MB / sim scale
     bool patched = true;        // MFU + auto threshold (the default baseline)
-    SimNanos arm_cost_ns = 120;  // cost to arm one PTE (a PTE write)
+    SimNanos arm_cost_ns = Nanos(120);  // cost to arm one PTE (a PTE write)
     double decay = 0.85;         // per-interval decay of fault counts
     double hot_threshold = 1.5;  // vanilla two-touch rule (with decay)
   };
@@ -45,7 +45,7 @@ class AutoNumaProfiler : public Profiler {
   }
   void OnIntervalStart() override;
   ProfileOutput OnIntervalEnd() override;
-  u64 MemoryOverheadBytes() const override;
+  Bytes MemoryOverheadBytes() const override;
 
  private:
   struct PageStat {
@@ -58,7 +58,7 @@ class AutoNumaProfiler : public Profiler {
   AccessEngine& engine_;
   Config config_;
 
-  u64 scan_cursor_ = 0;  // byte offset into the concatenated VMA space
+  Bytes scan_cursor_;    // byte offset into the concatenated VMA space
   u64 armed_this_interval_ = 0;
   std::unordered_map<Vpn, PageStat> stats_;
 };

@@ -5,22 +5,22 @@ namespace mtm {
 void AutoTieringProfiler::OnIntervalStart() {
   sampled_chunks_.clear();
   scans_this_interval_ = 0;
-  u64 budget = config_.scan_window_bytes;
+  Bytes budget = config_.scan_window_bytes;
   const auto& vmas = address_space_.vmas();
-  u64 total = address_space_.total_bytes();
+  const Bytes total = address_space_.total_bytes();
   if (vmas.empty() || total < config_.chunk_bytes) {
     return;
   }
   while (budget >= config_.chunk_bytes) {
     // Byte-weighted random chunk over the whole mapped space.
-    u64 offset = rng_.NextBounded(total);
+    Bytes offset = Bytes(rng_.NextBounded(total.value()));
     budget -= config_.chunk_bytes;
-    u64 walked = 0;
+    Bytes walked;
     for (const Vma& vma : vmas) {
       if (offset < walked + vma.len) {
-        u64 within = (offset - walked) / config_.chunk_bytes * config_.chunk_bytes;
+        Bytes within = (offset - walked) / config_.chunk_bytes * config_.chunk_bytes;
         if (within + config_.chunk_bytes <= vma.len) {
-          sampled_chunks_.push_back(Chunk{vma.start + within, config_.chunk_bytes, 0.0});
+          sampled_chunks_.push_back(Chunk{vma.start + within.value(), config_.chunk_bytes, 0.0});
         }
         break;
       }
@@ -37,9 +37,9 @@ ProfileOutput AutoTieringProfiler::OnIntervalEnd() {
   }
   for (Chunk& c : sampled_chunks_) {
     u32 hits = 0;
-    u64 pages = c.len / kPageSize;
+    u64 pages = c.len / kPageBytes;
     for (u32 i = 0; i < config_.pages_per_chunk; ++i) {
-      VirtAddr addr = c.start + AddrOfVpn(rng_.NextBounded(pages));
+      VirtAddr addr = c.start + AddrOfVpn(Vpn(rng_.NextBounded(pages)));
       bool accessed = false;
       if (page_table_.ScanAccessed(addr, &accessed) && accessed) {
         ++hits;
@@ -68,8 +68,8 @@ ProfileOutput AutoTieringProfiler::OnIntervalEnd() {
   return out;
 }
 
-u64 AutoTieringProfiler::MemoryOverheadBytes() const {
-  return sampled_chunks_.capacity() * sizeof(Chunk);
+Bytes AutoTieringProfiler::MemoryOverheadBytes() const {
+  return Bytes(sampled_chunks_.capacity() * sizeof(Chunk));
 }
 
 }  // namespace mtm

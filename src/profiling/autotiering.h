@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/units.h"
 #include "src/mem/address_space.h"
 #include "src/profiling/profiler.h"
 #include "src/sim/page_table.h"
@@ -22,11 +23,11 @@ namespace mtm {
 class AutoTieringProfiler : public Profiler {
  public:
   struct Config {
-    u64 scan_window_bytes = 0;  // required: 256MB / sim scale
-    u64 chunk_bytes = kHugePageSize;
+    Bytes scan_window_bytes;    // required: 256MB / sim scale
+    Bytes chunk_bytes = kHugePageBytes;
     u32 pages_per_chunk = 4;   // PTEs sampled per chunk, single scan each
     double decay = 0.98;        // accumulated hotness decay per interval
-    SimNanos one_scan_overhead_ns = 120;
+    SimNanos one_scan_overhead_ns = Nanos(120);
     u64 seed = 0xa0707;
   };
 
@@ -37,12 +38,12 @@ class AutoTieringProfiler : public Profiler {
   std::string name() const override { return "autotiering"; }
   void OnIntervalStart() override;
   ProfileOutput OnIntervalEnd() override;
-  u64 MemoryOverheadBytes() const override;
+  Bytes MemoryOverheadBytes() const override;
 
  private:
   struct Chunk {
     VirtAddr start = 0;
-    u64 len = 0;
+    Bytes len;
     double hotness = 0.0;
   };
 

@@ -22,7 +22,7 @@ void DamonProfiler::OnIntervalStart() {
   }
 }
 
-void DamonProfiler::OnScanTick(u32 tick) {
+void DamonProfiler::OnScanTick(u32 /*tick*/) {
   // DAMON's access check: read the accessed bit of the page it mkold'ed at
   // the previous tick (so the bit reflects exactly one sampling window),
   // then pick a new random page and mkold it for the next tick.
@@ -35,8 +35,8 @@ void DamonProfiler::OnScanTick(u32 tick) {
       }
       ++scans_this_interval_;
     }
-    u64 pages = region.bytes() / kPageSize;
-    VirtAddr addr = region.start + AddrOfVpn(rng_.NextBounded(pages));
+    u64 pages = region.bytes() / kPageBytes;
+    VirtAddr addr = region.start + AddrOfVpn(Vpn(rng_.NextBounded(pages)));
     bool ignored = false;
     page_table_.ScanAccessed(addr, &ignored);  // mkold: clear for the next check
     ++scans_this_interval_;
@@ -95,12 +95,12 @@ ProfileOutput DamonProfiler::OnIntervalEnd() {
       auto rit = regions_.FindContaining(start);
       MTM_CHECK(rit != regions_.end());
       Region& r = rit->second;
-      u64 pages = r.bytes() / kPageSize;
+      u64 pages = r.bytes() / kPageBytes;
       if (pages < 2) {
         continue;
       }
       // Random split offset in [1, pages-1], page aligned, huge-unaware.
-      VirtAddr split_at = r.start + AddrOfVpn(1 + rng_.NextBounded(pages - 1));
+      VirtAddr split_at = r.start + AddrOfVpn(Vpn(1 + rng_.NextBounded(pages - 1)));
       RegionMap::iterator first;
       RegionMap::iterator second;
       if (regions_.Split(rit, split_at, &first, &second)) {
@@ -128,8 +128,8 @@ ProfileOutput DamonProfiler::OnIntervalEnd() {
   return out;
 }
 
-u64 DamonProfiler::MemoryOverheadBytes() const {
-  return regions_.size() * (sizeof(Region) + sizeof(DamonState) + sizeof(void*) * 4);
+Bytes DamonProfiler::MemoryOverheadBytes() const {
+  return Bytes(regions_.size() * (sizeof(Region) + sizeof(DamonState) + sizeof(void*) * 4));
 }
 
 }  // namespace mtm

@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "src/common/rng.h"
+#include "src/common/units.h"
 #include "src/mem/address_space.h"
 #include "src/profiling/profiler.h"
 #include "src/profiling/region.h"
@@ -31,7 +32,7 @@ class DamonProfiler : public Profiler {
     // at most this value. Real DAMON compares counts aggregated over many
     // sampling intervals; comparing smoothed values models that.
     double merge_threshold = 0.35;
-    SimNanos one_scan_overhead_ns = 120;
+    SimNanos one_scan_overhead_ns = Nanos(120);
     double hot_threshold = 1.0;  // nr_accesses at/above which a region is hot
     u64 seed = 0xda3017;
   };
@@ -45,7 +46,7 @@ class DamonProfiler : public Profiler {
   void OnIntervalStart() override;
   void OnScanTick(u32 tick) override;
   ProfileOutput OnIntervalEnd() override;
-  u64 MemoryOverheadBytes() const override;
+  Bytes MemoryOverheadBytes() const override;
 
   const RegionMap& regions() const { return regions_; }
 

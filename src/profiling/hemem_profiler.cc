@@ -16,11 +16,11 @@ ProfileOutput HememProfiler::OnIntervalEnd() {
       it = counts_.erase(it);
       continue;
     }
-    u64 size = kPageSize;
+    Bytes size = kPageBytes;
     const Pte* pte = page_table_.Find(AddrOfVpn(it->first), &size);
     if (pte != nullptr) {
       HotnessEntry e;
-      e.start = AddrOfVpn(it->first) & ~(size - 1);
+      e.start = AddrOfVpn(it->first) & ~(size.value() - 1);
       e.len = size;
       e.hotness = it->second;
       out.entries.push_back(e);
@@ -35,8 +35,8 @@ ProfileOutput HememProfiler::OnIntervalEnd() {
   return out;
 }
 
-u64 HememProfiler::MemoryOverheadBytes() const {
-  return counts_.size() * (sizeof(Vpn) + sizeof(double) + sizeof(void*) * 2);
+Bytes HememProfiler::MemoryOverheadBytes() const {
+  return Bytes(counts_.size() * (sizeof(Vpn) + sizeof(double) + sizeof(void*) * 2));
 }
 
 }  // namespace mtm

@@ -9,6 +9,7 @@
 
 #include <unordered_map>
 
+#include "src/common/units.h"
 #include "src/profiling/profiler.h"
 #include "src/sim/page_table.h"
 #include "src/sim/pebs.h"
@@ -20,7 +21,7 @@ class HememProfiler : public Profiler {
   struct Config {
     double hot_threshold = 2.0;   // PEBS samples to classify hot
     double cooling_factor = 0.5;  // per-interval decay
-    SimNanos drain_per_sample_ns = 40;
+    SimNanos drain_per_sample_ns = Nanos(40);
   };
 
   HememProfiler(PageTable& page_table, PebsEngine& pebs, Config config)
@@ -31,7 +32,7 @@ class HememProfiler : public Profiler {
   void Initialize() override { pebs_.SetEnabled(true); }  // always-on PEBS
 
   ProfileOutput OnIntervalEnd() override;
-  u64 MemoryOverheadBytes() const override;
+  Bytes MemoryOverheadBytes() const override;
 
  private:
   PageTable& page_table_;

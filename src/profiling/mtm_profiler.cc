@@ -18,7 +18,7 @@ MtmProfiler::MtmProfiler(const Machine& machine, PageTable& page_table,
       config_(config),
       rng_(config.seed),
       tau_m_current_(config.tau_m) {
-  MTM_CHECK_GT(config_.interval_ns, 0ull);
+  MTM_CHECK_GT(config_.interval_ns, SimNanos{});
   MTM_CHECK_GT(config_.num_scans, 0u);
   if (!config_.use_pebs) {
     pebs_ = nullptr;
@@ -28,11 +28,11 @@ MtmProfiler::MtmProfiler(const Machine& machine, PageTable& page_table,
 double MtmProfiler::EffectiveScanCost() const {
   // One hint fault (12x a scan) per hint_fault_period scans.
   double hint_extra = 12.0 / static_cast<double>(config_.hint_fault_period);
-  return static_cast<double>(config_.one_scan_overhead_ns) * (1.0 + hint_extra);
+  return static_cast<double>(config_.one_scan_overhead_ns.value()) * (1.0 + hint_extra);
 }
 
 u64 MtmProfiler::NumPageSamples() const {
-  double budget_ns = static_cast<double>(config_.interval_ns) * config_.overhead_fraction;
+  double budget_ns = static_cast<double>(config_.interval_ns.value()) * config_.overhead_fraction;
   double per_sample = EffectiveScanCost() * static_cast<double>(config_.num_scans);
   u64 n = static_cast<u64>(budget_ns / per_sample);
   return n == 0 ? 1 : n;
@@ -51,7 +51,7 @@ ComponentId MtmProfiler::RegionComponent(const Region& r) const {
   const Pte* pte = page_table_.Find(r.start);
   if (pte == nullptr) {
     // Probe the middle as well; a region may have an unmapped head.
-    pte = page_table_.Find(r.start + r.bytes() / 2);
+    pte = page_table_.Find(r.start + r.bytes().value() / 2);
   }
   return pte == nullptr ? kInvalidComponent : pte->component;
 }
@@ -99,7 +99,7 @@ void MtmProfiler::SelectSamples() {
     if (quota == 0) {
       quota = 1;
     }
-    u64 pages = region.bytes() / kPageSize;
+    u64 pages = region.bytes() / kPageBytes;
     quota = static_cast<u32>(std::min<u64>(quota, pages));
     // Distinct pages: re-scanning the same PTE within a tick would read the
     // bit it just cleared and destroy the hit count.
@@ -108,7 +108,7 @@ void MtmProfiler::SelectSamples() {
       chosen.insert(rng_.NextBounded(pages));
     }
     for (u64 page : chosen) {
-      VirtAddr addr = region.start + AddrOfVpn(page);
+      VirtAddr addr = region.start + AddrOfVpn(Vpn(page));
       // Prime: clear any stale accessed bit so the first scan measures this
       // interval, not history.
       bool ignored = false;
@@ -231,9 +231,9 @@ void MtmProfiler::MergePass(ProfileOutput& out) {
       u32 combined = a.sample_quota + b.sample_quota;
       u32 new_quota = std::max<u32>(1, combined / 2);
       quota_pool_ += combined - new_quota;
-      double merged_hi = (a.hi * static_cast<double>(a.bytes()) +
-                          b.hi * static_cast<double>(b.bytes())) /
-                         static_cast<double>(a.bytes() + b.bytes());
+      double merged_hi = (a.hi * static_cast<double>(a.bytes().value()) +
+                          b.hi * static_cast<double>(b.bytes().value())) /
+                         static_cast<double>((a.bytes() + b.bytes()).value());
       double merged_whi;
       bool whi_init = a.whi_initialized || b.whi_initialized;
       if (a.whi_initialized && b.whi_initialized) {
@@ -420,14 +420,14 @@ ProfileOutput MtmProfiler::OnIntervalEnd() {
   out.pte_scans = scans_this_interval_;
   out.num_regions = regions_.size();
   out.profiling_cost_ns =
-      static_cast<SimNanos>(static_cast<double>(scans_this_interval_) * EffectiveScanCost()) +
+      NanosFromDouble(static_cast<double>(scans_this_interval_) * EffectiveScanCost()) +
       pebs_samples_drained_ * config_.pebs_drain_per_sample_ns;
   last_scans_ = scans_this_interval_;
   pebs_samples_drained_ = 0;
   return out;
 }
 
-u64 MtmProfiler::MemoryOverheadBytes() const {
+Bytes MtmProfiler::MemoryOverheadBytes() const {
   // Region metadata: begin address + offset, current and historical hotness
   // (two floats), quota, and the socket tallies — per §5.3's accounting.
   u64 per_region = sizeof(Region) + machine_.num_sockets() * sizeof(u32);
@@ -438,7 +438,7 @@ u64 MtmProfiler::MemoryOverheadBytes() const {
   }
   // Hash-map index over address ranges (§9.1) modeled at ~1.5x node cost.
   u64 index = regions_.size() * (sizeof(void*) * 4 + sizeof(u64));
-  return regions_.size() * per_region + samples + index;
+  return Bytes(regions_.size() * per_region + samples + index);
 }
 
 }  // namespace mtm

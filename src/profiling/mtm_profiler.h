@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/units.h"
 #include "src/mem/address_space.h"
 #include "src/profiling/profiler.h"
 #include "src/profiling/region.h"
@@ -44,16 +45,16 @@ class MtmProfiler : public Profiler {
   struct Config {
     u32 num_scans = 3;
     double overhead_fraction = 0.05;
-    SimNanos interval_ns = 0;            // required
-    SimNanos one_scan_overhead_ns = 120;  // measured offline in the paper
+    SimNanos interval_ns;            // required
+    SimNanos one_scan_overhead_ns = Nanos(120);  // measured offline in the paper
     double tau_m = 1.0;                   // default num_scans / 3
     double tau_s = 2.0;                   // default 2 * num_scans / 3
     double alpha = 0.5;                   // Equation 2
     u32 hint_fault_period = 12;           // 1 hint fault per 12 PTE scans
     u32 top_variance_k = 5;               // "top-five" variance records
-    u64 default_region_bytes = kHugePageSize;
+    Bytes default_region_bytes = kHugePageBytes;
     double hot_whi_threshold = 1.0;       // WHI above which a region is "hot"
-    SimNanos pebs_drain_per_sample_ns = 40;
+    SimNanos pebs_drain_per_sample_ns = Nanos(40);
 
     // Ablations (§9.3).
     bool adaptive_regions = true;   // AMR
@@ -73,7 +74,7 @@ class MtmProfiler : public Profiler {
   void OnIntervalStart() override;
   void OnScanTick(u32 tick) override;
   ProfileOutput OnIntervalEnd() override;
-  u64 MemoryOverheadBytes() const override;
+  Bytes MemoryOverheadBytes() const override;
 
   // Equation 1: the per-interval page-sample budget.
   u64 NumPageSamples() const;

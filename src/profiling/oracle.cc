@@ -9,12 +9,12 @@ void Oracle::Normalize(std::vector<HotRange>& ranges) {
             [](const HotRange& a, const HotRange& b) { return a.start < b.start; });
   std::vector<HotRange> merged;
   for (const HotRange& r : ranges) {
-    if (r.len == 0) {
+    if (r.len.IsZero()) {
       continue;
     }
     if (!merged.empty() && r.start <= merged.back().end()) {
       VirtAddr new_end = std::max(merged.back().end(), r.end());
-      merged.back().len = new_end - merged.back().start;
+      merged.back().len = Bytes(new_end - merged.back().start);
     } else {
       merged.push_back(r);
     }
@@ -22,9 +22,9 @@ void Oracle::Normalize(std::vector<HotRange>& ranges) {
   ranges.swap(merged);
 }
 
-u64 Oracle::OverlapBytes(const std::vector<HotRange>& truth, VirtAddr start, u64 len) {
-  VirtAddr end = start + len;
-  u64 overlap = 0;
+Bytes Oracle::OverlapBytes(const std::vector<HotRange>& truth, VirtAddr start, Bytes len) {
+  VirtAddr end = start + len.value();
+  Bytes overlap;
   // First truth range whose end might exceed start.
   auto it = std::lower_bound(truth.begin(), truth.end(), start,
                              [](const HotRange& r, VirtAddr v) { return r.end() <= v; });
@@ -32,7 +32,7 @@ u64 Oracle::OverlapBytes(const std::vector<HotRange>& truth, VirtAddr start, u64
     VirtAddr lo = std::max(it->start, start);
     VirtAddr hi = std::min(it->end(), end);
     if (hi > lo) {
-      overlap += hi - lo;
+      overlap += Bytes(hi - lo);
     }
   }
   return overlap;
@@ -44,7 +44,7 @@ ProfilingQuality Oracle::Evaluate(std::vector<HotRange> truth, const ProfileOutp
   for (const HotRange& r : truth) {
     q.true_hot_bytes += r.len;
   }
-  if (q.true_hot_bytes == 0) {
+  if (q.true_hot_bytes.IsZero()) {
     return q;
   }
 
@@ -65,16 +65,17 @@ ProfilingQuality Oracle::Evaluate(std::vector<HotRange> truth, const ProfileOutp
     // The final entry is clipped to the remaining claim volume so a single
     // giant region cannot blow past the budget (a real system would promote
     // only that much of it).
-    u64 deficit = q.true_hot_bytes - q.claimed_hot_bytes;
-    u64 take = std::min<u64>(e->len, deficit);
+    Bytes deficit = q.true_hot_bytes - q.claimed_hot_bytes;
+    Bytes take = std::min(e->len, deficit);
     q.claimed_hot_bytes += take;
     q.correct_hot_bytes += OverlapBytes(truth, e->start, take);
   }
-  q.recall = static_cast<double>(q.correct_hot_bytes) / static_cast<double>(q.true_hot_bytes);
-  q.accuracy = q.claimed_hot_bytes == 0
+  q.recall = static_cast<double>(q.correct_hot_bytes.value()) /
+             static_cast<double>(q.true_hot_bytes.value());
+  q.accuracy = q.claimed_hot_bytes.IsZero()
                    ? 0.0
-                   : static_cast<double>(q.correct_hot_bytes) /
-                         static_cast<double>(q.claimed_hot_bytes);
+                   : static_cast<double>(q.correct_hot_bytes.value()) /
+                         static_cast<double>(q.claimed_hot_bytes.value());
   return q;
 }
 

@@ -22,16 +22,16 @@ namespace mtm {
 
 struct HotRange {
   VirtAddr start = 0;
-  u64 len = 0;
-  VirtAddr end() const { return start + len; }
+  Bytes len;
+  VirtAddr end() const { return start + len.value(); }
 };
 
 struct ProfilingQuality {
   double recall = 0.0;
   double accuracy = 0.0;
-  u64 true_hot_bytes = 0;
-  u64 claimed_hot_bytes = 0;
-  u64 correct_hot_bytes = 0;
+  Bytes true_hot_bytes;
+  Bytes claimed_hot_bytes;
+  Bytes correct_hot_bytes;
 };
 
 class Oracle {
@@ -40,7 +40,7 @@ class Oracle {
   static ProfilingQuality Evaluate(std::vector<HotRange> truth, const ProfileOutput& output);
 
   // Bytes of overlap between [start, start+len) and the normalized truth.
-  static u64 OverlapBytes(const std::vector<HotRange>& sorted_truth, VirtAddr start, u64 len);
+  static Bytes OverlapBytes(const std::vector<HotRange>& sorted_truth, VirtAddr start, Bytes len);
 
   // Sorts and merges ranges in place.
   static void Normalize(std::vector<HotRange>& ranges);

@@ -22,16 +22,16 @@ namespace mtm {
 // is a page or a small run of pages.
 struct HotnessEntry {
   VirtAddr start = 0;
-  u64 len = 0;
+  Bytes len;
   double hotness = 0.0;       // profiler-specific scale; higher is hotter
   u32 preferred_socket = 0;   // multi-view destination (§6.2)
 
-  VirtAddr end() const { return start + len; }
+  VirtAddr end() const { return start + len.value(); }
 };
 
 struct ProfileOutput {
   std::vector<HotnessEntry> entries;
-  SimNanos profiling_cost_ns = 0;  // charged to the profiling time bucket
+  SimNanos profiling_cost_ns;  // charged to the profiling time bucket
 
   // Statistics for Tables 5 and 7.
   u64 pte_scans = 0;
@@ -41,7 +41,7 @@ struct ProfileOutput {
 
   // Bytes this profiler currently classifies as hot (Table 3's "volume of
   // hot pages identified").
-  u64 hot_bytes = 0;
+  Bytes hot_bytes;
 };
 
 class Profiler {
@@ -57,12 +57,12 @@ class Profiler {
   virtual void OnIntervalStart() {}
 
   // tick runs 0..num_scan_ticks-1 within each interval.
-  virtual void OnScanTick(u32 tick) {}
+  virtual void OnScanTick(u32 /*tick*/) {}
 
   virtual ProfileOutput OnIntervalEnd() = 0;
 
   // Metadata footprint (Table 5).
-  virtual u64 MemoryOverheadBytes() const = 0;
+  virtual Bytes MemoryOverheadBytes() const = 0;
 };
 
 }  // namespace mtm

@@ -4,12 +4,13 @@
 
 namespace mtm {
 
-void RegionMap::SeedRange(VirtAddr start, VirtAddr end, u64 region_bytes) {
+void RegionMap::SeedRange(VirtAddr start, VirtAddr end, Bytes region_bytes) {
   MTM_CHECK_LT(start, end);
-  MTM_CHECK_GT(region_bytes, 0ull);
+  MTM_CHECK_GT(region_bytes, Bytes{});
+  const u64 stride = region_bytes.value();
   VirtAddr cursor = start;
   while (cursor < end) {
-    VirtAddr next = cursor - (cursor % region_bytes) + region_bytes;
+    VirtAddr next = cursor - (cursor % stride) + stride;
     if (next > end) {
       next = end;
     }
@@ -77,12 +78,12 @@ bool RegionMap::Split(iterator it, VirtAddr split_addr, iterator* first, iterato
 }
 
 VirtAddr RegionMap::SplitPoint(const Region& region) {
-  u64 bytes = region.bytes();
-  if (bytes <= kPageSize) {
+  Bytes bytes = region.bytes();
+  if (bytes <= kPageBytes) {
     return 0;
   }
-  VirtAddr mid = region.start + bytes / 2;
-  if (bytes > kHugePageSize) {
+  VirtAddr mid = region.start + bytes.value() / 2;
+  if (bytes > kHugePageBytes) {
     // Round to the nearest huge-page boundary (§5.4). The halves may be
     // slightly unequal; the paper notes the difference is small relative to
     // MB-scale regions.

@@ -37,7 +37,7 @@ struct Region {
   // Multi-view support: per-socket hint-fault tallies (decayed), §6.2.
   std::vector<u32> socket_hits;
 
-  u64 bytes() const { return end - start; }
+  Bytes bytes() const { return Bytes(end - start); }
   double HotnessVariance() const {
     double d = hi - prev_hi;
     return d < 0 ? -d : d;
@@ -53,7 +53,7 @@ class RegionMap {
 
   // Carves [start, end) into regions of at most `region_bytes`, aligned so
   // every boundary except the ends is a multiple of region_bytes.
-  void SeedRange(VirtAddr start, VirtAddr end, u64 region_bytes);
+  void SeedRange(VirtAddr start, VirtAddr end, Bytes region_bytes);
 
   // Inserts [start, end) as one region (DAMON-style one-region-per-VMA
   // seeding).

@@ -7,12 +7,12 @@ namespace mtm {
 ThermostatProfiler::ThermostatProfiler(const AddressSpace& address_space,
                                        const AccessTracker& tracker, Config config)
     : address_space_(address_space), tracker_(tracker), config_(config), rng_(config.seed) {
-  MTM_CHECK_GT(config_.interval_ns, 0ull);
+  MTM_CHECK_GT(config_.interval_ns, SimNanos{});
 }
 
 u64 ThermostatProfiler::SampleBudget() const {
-  double budget_ns = static_cast<double>(config_.interval_ns) * config_.overhead_fraction;
-  double per_sample = static_cast<double>(config_.one_scan_overhead_ns) *
+  double budget_ns = static_cast<double>(config_.interval_ns.value()) * config_.overhead_fraction;
+  double per_sample = static_cast<double>(config_.one_scan_overhead_ns.value()) *
                       config_.cost_multiplier * static_cast<double>(config_.scans_equivalent);
   u64 n = static_cast<u64>(budget_ns / per_sample);
   return n == 0 ? 1 : n;
@@ -20,10 +20,10 @@ u64 ThermostatProfiler::SampleBudget() const {
 
 void ThermostatProfiler::Initialize() {
   for (const Vma& vma : address_space_.vmas()) {
-    for (VirtAddr a = vma.start; a < vma.end(); a += config_.region_bytes) {
+    for (VirtAddr a = vma.start; a < vma.end(); a += config_.region_bytes.value()) {
       FixedRegion r;
       r.start = a;
-      r.len = std::min<u64>(config_.region_bytes, vma.end() - a);
+      r.len = std::min(config_.region_bytes, Bytes(vma.end() - a));
       regions_.push_back(r);
     }
   }
@@ -39,8 +39,8 @@ void ThermostatProfiler::OnIntervalStart() {
   }
   for (u64 i = 0; i < budget; ++i) {
     FixedRegion& r = regions_[(rotation_ + i) % regions_.size()];
-    u64 pages = r.len / kPageSize;
-    r.sampled = r.start + AddrOfVpn(rng_.NextBounded(pages));
+    u64 pages = NumPages(r.len);
+    r.sampled = r.start + AddrOfVpn(Vpn(rng_.NextBounded(pages)));
   }
   rotation_ = (rotation_ + budget) % regions_.size();
 }
@@ -67,14 +67,15 @@ ProfileOutput ThermostatProfiler::OnIntervalEnd() {
   }
   out.num_regions = regions_.size();
   out.pte_scans = sampled_this_interval_;
-  out.profiling_cost_ns = static_cast<SimNanos>(
-      static_cast<double>(sampled_this_interval_) * config_.one_scan_overhead_ns *
-      config_.cost_multiplier * static_cast<double>(config_.scans_equivalent));
+  out.profiling_cost_ns = NanosFromDouble(
+      static_cast<double>(sampled_this_interval_) *
+      static_cast<double>(config_.one_scan_overhead_ns.value()) * config_.cost_multiplier *
+      static_cast<double>(config_.scans_equivalent));
   return out;
 }
 
-u64 ThermostatProfiler::MemoryOverheadBytes() const {
-  return regions_.size() * sizeof(FixedRegion);
+Bytes ThermostatProfiler::MemoryOverheadBytes() const {
+  return Bytes(regions_.size() * sizeof(FixedRegion));
 }
 
 }  // namespace mtm

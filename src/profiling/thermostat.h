@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/units.h"
 #include "src/mem/address_space.h"
 #include "src/profiling/profiler.h"
 #include "src/sim/access_tracker.h"
@@ -23,12 +24,12 @@ namespace mtm {
 class ThermostatProfiler : public Profiler {
  public:
   struct Config {
-    u64 region_bytes = kHugePageSize;  // fixed-size regions
+    Bytes region_bytes = kHugePageBytes;  // fixed-size regions
     double cost_multiplier = 2.5;       // vs one PTE scan (paper §9.3)
     u32 scans_equivalent = 3;           // budget parity with MTM's num_scans
-    SimNanos one_scan_overhead_ns = 120;
+    SimNanos one_scan_overhead_ns = Nanos(120);
     double overhead_fraction = 0.05;
-    SimNanos interval_ns = 0;  // required
+    SimNanos interval_ns;  // required
     double hot_threshold = 8.0;  // exact accesses/interval to call a page hot
     u64 seed = 0x7e7a0;
   };
@@ -40,7 +41,7 @@ class ThermostatProfiler : public Profiler {
   void Initialize() override;
   void OnIntervalStart() override;
   ProfileOutput OnIntervalEnd() override;
-  u64 MemoryOverheadBytes() const override;
+  Bytes MemoryOverheadBytes() const override;
 
   // Number of regions the overhead budget lets Thermostat sample per
   // interval.
@@ -49,7 +50,7 @@ class ThermostatProfiler : public Profiler {
  private:
   struct FixedRegion {
     VirtAddr start = 0;
-    u64 len = 0;
+    Bytes len;
     VirtAddr sampled = 0;   // page sampled this interval (0 = unsampled)
     u64 baseline = 0;       // tracker count when sampling started
     double hotness = 0.0;

@@ -20,23 +20,24 @@ SimNanos AccessEngine::AccessCost(u32 socket, ComponentId component) const {
   // Latency is overlapped across the application's threads; bandwidth at the
   // component is a hard floor that concurrency cannot hide.
   double latency_share =
-      static_cast<double>(link.latency_ns) / static_cast<double>(config_.num_threads);
-  double bandwidth_floor = static_cast<double>(config_.access_bytes) / link.BytesPerNano();
-  double cpu = static_cast<double>(config_.cpu_ns_per_access) /
+      static_cast<double>(link.latency_ns.value()) / static_cast<double>(config_.num_threads);
+  double bandwidth_floor =
+      static_cast<double>(config_.access_bytes.value()) / link.BytesPerNano();
+  double cpu = static_cast<double>(config_.cpu_ns_per_access.value()) /
                static_cast<double>(config_.num_threads);
-  return static_cast<SimNanos>(std::max(latency_share, bandwidth_floor) + cpu);
+  return NanosFromDouble(std::max(latency_share, bandwidth_floor) + cpu);
 }
 
 SimNanos AccessEngine::PageFillCost(u32 socket, ComponentId component) const {
   const LinkSpec& link = machine_.link(socket, component);
   double transfer = static_cast<double>(kPageSize) / link.BytesPerNano();
-  return static_cast<SimNanos>((static_cast<double>(link.latency_ns) + transfer) /
-                               static_cast<double>(config_.num_threads));
+  return NanosFromDouble((static_cast<double>(link.latency_ns.value()) + transfer) /
+                         static_cast<double>(config_.num_threads));
 }
 
 Pte* AccessEngine::Translate(VirtAddr addr) {
   Vpn vpn = VpnOf(addr);
-  TlbEntry& slot = tlb_[vpn & (kTlbSize - 1)];
+  TlbEntry& slot = tlb_[vpn.value() & (kTlbSize - 1)];
   if (slot.vpn == vpn && slot.generation == page_table_.generation()) {
     return slot.pte;
   }
@@ -109,9 +110,10 @@ ComponentId AccessEngine::Apply(VirtAddr addr, bool is_write, u32 socket) {
       // PM bandwidth (modeled as a handful of line transfers of overhead).
       SimNanos miss_cost = AccessCost(socket, component);
       SimNanos fill_cost = PageFillCost(home, component);
-      SimNanos writeback_cost = outcome.dirty_writeback ? PageFillCost(home, component) : 0;
+      SimNanos writeback_cost =
+          outcome.dirty_writeback ? PageFillCost(home, component) : SimNanos{};
       clock_.AdvanceApp(miss_cost + fill_cost + writeback_cost);
-      counters_.CountMigrationBytes(component, kPageSize);
+      counters_.CountMigrationBytes(component, kPageBytes);
     }
     if (pebs_ != nullptr) {
       pebs_->Observe(addr, component, socket, is_write);

@@ -20,6 +20,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/types.h"
+#include "src/common/units.h"
 #include "src/sim/access_tracker.h"
 #include "src/sim/clock.h"
 #include "src/sim/counters.h"
@@ -63,12 +64,12 @@ class AccessEngine {
  public:
   struct Config {
     u32 num_threads = 8;          // concurrency divisor for latency
-    SimNanos cpu_ns_per_access = 8;  // non-memory work per access, per thread
-    SimNanos page_fault_ns = 1500;   // minor fault service time
-    SimNanos hint_fault_ns = 1200;   // NUMA hint fault service time
-    SimNanos write_track_fault_ns = 40000;  // §9.5: ~40us per tracked fault
-    SimNanos hmc_hit_overhead_ns = 40;      // Memory-Mode tag/directory check
-    u64 access_bytes = 64;           // one cache line per access
+    SimNanos cpu_ns_per_access = Nanos(8);  // non-memory work per access, per thread
+    SimNanos page_fault_ns = Nanos(1500);   // minor fault service time
+    SimNanos hint_fault_ns = Nanos(1200);   // NUMA hint fault service time
+    SimNanos write_track_fault_ns = Nanos(40000);  // §9.5: ~40us per tracked fault
+    SimNanos hmc_hit_overhead_ns = Nanos(40);      // Memory-Mode tag/directory check
+    Bytes access_bytes = Bytes(64);  // one cache line per access
   };
 
   AccessEngine(const Machine& machine, PageTable& page_table, SimClock& clock,
@@ -110,7 +111,7 @@ class AccessEngine {
 
  private:
   struct TlbEntry {
-    Vpn vpn = ~u64{0};
+    Vpn vpn = Vpn(~u64{0});
     Pte* pte = nullptr;
     u64 generation = ~u64{0};
   };

@@ -20,16 +20,16 @@ namespace mtm {
 class AccessTracker {
  public:
   struct Range {
-    Vpn first_vpn = 0;
+    Vpn first_vpn;
     u64 num_pages = 0;
     std::vector<u32> reads;
     std::vector<u32> writes;
   };
 
-  void Register(VirtAddr start, u64 len) {
+  void Register(VirtAddr start, Bytes len) {
     Range r;
     r.first_vpn = VpnOf(start);
-    r.num_pages = (PageAlignUp(start + len) - PageAlignDown(start)) / kPageSize;
+    r.num_pages = (PageAlignUp(start + len.value()) - PageAlignDown(start)) / kPageSize;
     r.reads.assign(r.num_pages, 0);
     r.writes.assign(r.num_pages, 0);
     ranges_.push_back(std::move(r));

@@ -19,12 +19,12 @@ class SimClock {
   void AdvanceProfiling(SimNanos ns) { profiling_ns_ += ns; }
   void AdvanceMigration(SimNanos ns) { migration_ns_ += ns; }
 
-  void Reset() { app_ns_ = profiling_ns_ = migration_ns_ = 0; }
+  void Reset() { app_ns_ = profiling_ns_ = migration_ns_ = SimNanos{}; }
 
  private:
-  SimNanos app_ns_ = 0;
-  SimNanos profiling_ns_ = 0;
-  SimNanos migration_ns_ = 0;
+  SimNanos app_ns_;
+  SimNanos profiling_ns_;
+  SimNanos migration_ns_;
 };
 
 }  // namespace mtm

@@ -16,7 +16,7 @@ class MemCounters {
   explicit MemCounters(u32 num_components)
       : app_reads_(num_components, 0),
         app_writes_(num_components, 0),
-        migration_bytes_(num_components, 0) {}
+        migration_bytes_(num_components) {}
 
   void CountApp(ComponentId c, bool is_write) {
     if (is_write) {
@@ -26,12 +26,12 @@ class MemCounters {
     }
   }
 
-  void CountMigrationBytes(ComponentId c, u64 bytes) { migration_bytes_[c] += bytes; }
+  void CountMigrationBytes(ComponentId c, Bytes bytes) { migration_bytes_[c] += bytes; }
 
   u64 app_reads(ComponentId c) const { return app_reads_[c]; }
   u64 app_writes(ComponentId c) const { return app_writes_[c]; }
   u64 app_accesses(ComponentId c) const { return app_reads_[c] + app_writes_[c]; }
-  u64 migration_bytes(ComponentId c) const { return migration_bytes_[c]; }
+  Bytes migration_bytes(ComponentId c) const { return migration_bytes_[c]; }
 
   u64 total_app_accesses() const {
     u64 total = 0;
@@ -44,13 +44,13 @@ class MemCounters {
   void Reset() {
     std::fill(app_reads_.begin(), app_reads_.end(), 0);
     std::fill(app_writes_.begin(), app_writes_.end(), 0);
-    std::fill(migration_bytes_.begin(), migration_bytes_.end(), 0);
+    std::fill(migration_bytes_.begin(), migration_bytes_.end(), Bytes{});
   }
 
  private:
   std::vector<u64> app_reads_;
   std::vector<u64> app_writes_;
-  std::vector<u64> migration_bytes_;
+  std::vector<Bytes> migration_bytes_;
 };
 
 }  // namespace mtm

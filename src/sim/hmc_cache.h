@@ -18,9 +18,9 @@ class HmcCache {
  public:
   // One cache per socket: `dram_capacity` bytes of 4 KiB lines fronting the
   // socket's PM component.
-  HmcCache(const Machine& machine, u32 socket, u64 dram_capacity)
+  HmcCache(const Machine& machine, u32 socket, Bytes dram_capacity)
       : machine_(machine), socket_(socket) {
-    num_sets_ = dram_capacity / kPageSize;
+    num_sets_ = dram_capacity / kPageBytes;
     tags_.assign(num_sets_, kInvalidTag);
     dirty_.assign(num_sets_, 0);
   }
@@ -32,8 +32,8 @@ class HmcCache {
 
   AccessOutcome Access(Vpn vpn, bool is_write) {
     AccessOutcome outcome;
-    u64 set = vpn % num_sets_;
-    if (tags_[set] == vpn) {
+    u64 set = vpn.value() % num_sets_;
+    if (tags_[set] == vpn.value()) {
       outcome.hit = true;
       ++hits_;
     } else {
@@ -42,7 +42,7 @@ class HmcCache {
         outcome.dirty_writeback = true;
         ++dirty_writebacks_;
       }
-      tags_[set] = vpn;
+      tags_[set] = vpn.value();
       dirty_[set] = 0;
     }
     if (is_write) {

@@ -20,7 +20,7 @@ Machine::Machine(u32 num_sockets, std::vector<ComponentSpec> components,
   base_links_ = links_;
   health_.assign(components_.size(), ComponentHealth{});
   tier_order_.resize(num_sockets_);
-  tier_rank_.assign(num_sockets_, std::vector<u32>(components_.size(), 0));
+  tier_rank_.assign(num_sockets_, std::vector<TierId>(components_.size()));
   for (u32 s = 0; s < num_sockets_; ++s) {
     auto& order = tier_order_[s];
     order.resize(components_.size());
@@ -29,15 +29,15 @@ Machine::Machine(u32 num_sockets, std::vector<ComponentSpec> components,
       return links_[s][a].latency_ns < links_[s][b].latency_ns;
     });
     for (u32 rank = 0; rank < order.size(); ++rank) {
-      tier_rank_[s][order[rank]] = rank;
+      tier_rank_[s][order[rank]] = TierId(rank);
     }
   }
 }
 
 Machine Machine::OptaneFourTier(u64 scale) {
   MTM_CHECK_GT(scale, 0ull);
-  const u64 dram = GiB(96) / scale;
-  const u64 pm = GiB(756) / scale;
+  const Bytes dram = GiB(96) / scale;
+  const Bytes pm = GiB(756) / scale;
   std::vector<ComponentSpec> comps = {
       {"DRAM0", MemClass::kDram, /*home_socket=*/0, dram},
       {"DRAM1", MemClass::kDram, /*home_socket=*/1, dram},
@@ -114,8 +114,8 @@ std::vector<ComponentId> Machine::HealthyTierOrder(u32 socket) const {
   return order;
 }
 
-u64 Machine::TotalCapacity() const {
-  u64 total = 0;
+Bytes Machine::TotalCapacity() const {
+  Bytes total;
   for (const auto& c : components_) {
     total += c.capacity_bytes;
   }

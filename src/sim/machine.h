@@ -38,10 +38,10 @@ class Machine {
   const LinkSpec& link(u32 socket, ComponentId id) const { return links_[socket][id]; }
 
   // Components ordered fastest-to-slowest as seen from `socket` (the
-  // socket's tier order). TierRank(socket, c) is the 0-based tier index of
-  // component c in that order (0 == tier 1).
+  // socket's tier order). TierRank(socket, c) is the 0-based tier rank of
+  // component c in that order (TierId(0) == the paper's tier 1).
   const std::vector<ComponentId>& TierOrder(u32 socket) const { return tier_order_[socket]; }
-  u32 TierRank(u32 socket, ComponentId id) const { return tier_rank_[socket][id]; }
+  TierId TierRank(u32 socket, ComponentId id) const { return tier_rank_[socket][id]; }
 
   // The slowest components from any view: every component whose rank is last
   // from its *best* socket. Used by MTM's PEBS-assisted profiling, which
@@ -60,7 +60,7 @@ class Machine {
   }
 
   // Total capacity across all components.
-  u64 TotalCapacity() const;
+  Bytes TotalCapacity() const;
 
   // --- Device health (fault injection / chaos runs) ---
   //
@@ -93,7 +93,7 @@ class Machine {
   std::vector<std::vector<LinkSpec>> base_links_;  // pristine copy for derates
   std::vector<ComponentHealth> health_;
   std::vector<std::vector<ComponentId>> tier_order_;  // [socket] -> ranked components
-  std::vector<std::vector<u32>> tier_rank_;        // [socket][component] -> rank
+  std::vector<std::vector<TierId>> tier_rank_;     // [socket][component] -> rank
 };
 
 }  // namespace mtm

@@ -77,7 +77,7 @@ Status PageTable::MapOne(VirtAddr addr, ComponentId component, bool huge) {
     pte.Set(Pte::kPresent);
     pte.Set(Pte::kHuge);
     pte.component = component;
-    mapped_bytes_ += kHugePageSize;
+    mapped_bytes_ += kHugePageBytes;
     ++mapped_huge_pages_;
     return OkStatus();
   }
@@ -94,52 +94,52 @@ Status PageTable::MapOne(VirtAddr addr, ComponentId component, bool huge) {
   pte = Pte{};
   pte.Set(Pte::kPresent);
   pte.component = component;
-  mapped_bytes_ += kPageSize;
+  mapped_bytes_ += kPageBytes;
   ++mapped_base_pages_;
   return OkStatus();
 }
 
-Status PageTable::MapRange(VirtAddr start, u64 len, ComponentId component, bool huge) {
-  if (len == 0) {
+Status PageTable::MapRange(VirtAddr start, Bytes len, ComponentId component, bool huge) {
+  if (len.IsZero()) {
     return InvalidArgumentError("zero-length map");
   }
   const u64 page = huge ? kHugePageSize : kPageSize;
-  if ((start | len) & (page - 1)) {
+  if ((start | len.value()) & (page - 1)) {
     return InvalidArgumentError("unaligned map range");
   }
-  for (VirtAddr addr = start; addr < start + len; addr += page) {
+  for (VirtAddr addr = start; addr < start + len.value(); addr += page) {
     MTM_RETURN_IF_ERROR(MapOne(addr, component, huge));
   }
   ++generation_;
   return OkStatus();
 }
 
-Status PageTable::UnmapRange(VirtAddr start, u64 len) {
-  if ((start | len) & (kPageSize - 1)) {
+Status PageTable::UnmapRange(VirtAddr start, Bytes len) {
+  if ((start | len.value()) & (kPageSize - 1)) {
     return InvalidArgumentError("unaligned unmap range");
   }
   VirtAddr addr = start;
-  const VirtAddr end = start + len;
+  const VirtAddr end = start + len.value();
   while (addr < end) {
-    u64 size = 0;
+    Bytes size;
     Pte* pte = Find(addr, &size);
     if (pte == nullptr) {
       addr += kPageSize;
       continue;
     }
-    VirtAddr mapping_start = addr & ~(size - 1);
-    if (mapping_start < start || mapping_start + size > end) {
+    VirtAddr mapping_start = addr & ~(size.value() - 1);
+    if (mapping_start < start || mapping_start + size.value() > end) {
       return InvalidArgumentError("unmap range splits a mapping");
     }
-    if (size == kHugePageSize) {
-      mapped_bytes_ -= kHugePageSize;
+    if (size == kHugePageBytes) {
+      mapped_bytes_ -= kHugePageBytes;
       --mapped_huge_pages_;
     } else {
-      mapped_bytes_ -= kPageSize;
+      mapped_bytes_ -= kPageBytes;
       --mapped_base_pages_;
     }
     *pte = Pte{};
-    addr = mapping_start + size;
+    addr = mapping_start + size.value();
   }
   ++generation_;
   return OkStatus();
@@ -169,7 +169,7 @@ Status PageTable::SplitHuge(VirtAddr addr) {
   return OkStatus();
 }
 
-Pte* PageTable::Find(VirtAddr addr, u64* mapping_size) {
+Pte* PageTable::Find(VirtAddr addr, Bytes* mapping_size) {
   Node* dir = WalkTo(addr, 1, /*create=*/false);
   if (dir == nullptr) {
     return nullptr;
@@ -178,7 +178,7 @@ Pte* PageTable::Find(VirtAddr addr, u64* mapping_size) {
   Pte& dir_pte = dir->entries[index];
   if (dir_pte.present()) {
     if (mapping_size != nullptr) {
-      *mapping_size = kHugePageSize;
+      *mapping_size = kHugePageBytes;
     }
     return &dir_pte;
   }
@@ -191,12 +191,12 @@ Pte* PageTable::Find(VirtAddr addr, u64* mapping_size) {
     return nullptr;
   }
   if (mapping_size != nullptr) {
-    *mapping_size = kPageSize;
+    *mapping_size = kPageBytes;
   }
   return &pte;
 }
 
-const Pte* PageTable::Find(VirtAddr addr, u64* mapping_size) const {
+const Pte* PageTable::Find(VirtAddr addr, Bytes* mapping_size) const {
   return const_cast<PageTable*>(this)->Find(addr, mapping_size);
 }
 
@@ -228,12 +228,12 @@ bool PageTable::ScanAccessed(VirtAddr addr, bool* accessed_out) {
   return true;
 }
 
-void PageTable::ForEachMapping(VirtAddr start, u64 len,
-                               const std::function<void(VirtAddr, u64, Pte&)>& fn) {
+void PageTable::ForEachMapping(VirtAddr start, Bytes len,
+                               const std::function<void(VirtAddr, Bytes, Pte&)>& fn) {
   VirtAddr addr = PageAlignDown(start);
-  const VirtAddr end = start + len;
+  const VirtAddr end = start + len.value();
   while (addr < end) {
-    u64 size = 0;
+    Bytes size;
     Pte* pte = Find(addr, &size);
     if (pte == nullptr) {
       // Skip to the next base page; large sparse holes could be skipped at
@@ -241,19 +241,19 @@ void PageTable::ForEachMapping(VirtAddr start, u64 len,
       addr += kPageSize;
       continue;
     }
-    VirtAddr mapping_start = addr & ~(size - 1);
+    VirtAddr mapping_start = addr & ~(size.value() - 1);
     if (mapping_start >= start) {
       fn(mapping_start, size, *pte);
     }
-    addr = mapping_start + size;
+    addr = mapping_start + size.value();
   }
 }
 
 void PageTable::ForEachMapping(
-    VirtAddr start, u64 len,
-    const std::function<void(VirtAddr, u64, const Pte&)>& fn) const {
+    VirtAddr start, Bytes len,
+    const std::function<void(VirtAddr, Bytes, const Pte&)>& fn) const {
   const_cast<PageTable*>(this)->ForEachMapping(
-      start, len, [&fn](VirtAddr a, u64 s, Pte& p) { fn(a, s, p); });
+      start, len, [&fn](VirtAddr a, Bytes s, Pte& p) { fn(a, s, p); });
 }
 
 }  // namespace mtm

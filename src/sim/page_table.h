@@ -73,11 +73,11 @@ class PageTable {
   // Maps [start, start+len) onto `component`. With huge=true, start and len
   // must be 2 MiB aligned and each 2 MiB chunk becomes one huge leaf.
   // Fails with kAlreadyExists if any page in the range is already mapped.
-  Status MapRange(VirtAddr start, u64 len, ComponentId component, bool huge);
+  Status MapRange(VirtAddr start, Bytes len, ComponentId component, bool huge);
 
   // Unmaps every mapping that starts within [start, start+len). Huge
   // mappings must be covered entirely.
-  Status UnmapRange(VirtAddr start, u64 len);
+  Status UnmapRange(VirtAddr start, Bytes len);
 
   // Converts the 2 MiB huge mapping covering addr into 512 base-page PTEs
   // (all inheriting the huge page's component and A/D bits).
@@ -85,8 +85,8 @@ class PageTable {
 
   // Returns the leaf entry covering addr, or nullptr if not mapped.
   // mapping_size (if non-null) receives 4 KiB or 2 MiB.
-  Pte* Find(VirtAddr addr, u64* mapping_size = nullptr);
-  const Pte* Find(VirtAddr addr, u64* mapping_size = nullptr) const;
+  Pte* Find(VirtAddr addr, Bytes* mapping_size = nullptr);
+  const Pte* Find(VirtAddr addr, Bytes* mapping_size = nullptr) const;
 
   // MMU behavior for one memory access: sets the accessed bit, and the
   // dirty bit on writes.
@@ -104,12 +104,12 @@ class PageTable {
 
   // Visits every leaf mapping whose start lies in [start, start+len), in
   // address order. fn(addr, mapping_size, pte).
-  void ForEachMapping(VirtAddr start, u64 len,
-                      const std::function<void(VirtAddr, u64, Pte&)>& fn);
-  void ForEachMapping(VirtAddr start, u64 len,
-                      const std::function<void(VirtAddr, u64, const Pte&)>& fn) const;
+  void ForEachMapping(VirtAddr start, Bytes len,
+                      const std::function<void(VirtAddr, Bytes, Pte&)>& fn);
+  void ForEachMapping(VirtAddr start, Bytes len,
+                      const std::function<void(VirtAddr, Bytes, const Pte&)>& fn) const;
 
-  u64 mapped_bytes() const { return mapped_bytes_; }
+  Bytes mapped_bytes() const { return mapped_bytes_; }
   u64 mapped_base_pages() const { return mapped_base_pages_; }
   u64 mapped_huge_pages() const { return mapped_huge_pages_; }
 
@@ -144,7 +144,7 @@ class PageTable {
   Status MapOne(VirtAddr addr, ComponentId component, bool huge);
 
   Node* root_;
-  u64 mapped_bytes_ = 0;
+  Bytes mapped_bytes_;
   u64 mapped_base_pages_ = 0;
   u64 mapped_huge_pages_ = 0;
   u64 node_count_ = 0;

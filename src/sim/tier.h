@@ -35,12 +35,12 @@ struct ComponentSpec {
   std::string name;
   MemClass mem_class = MemClass::kDram;
   u32 home_socket = 0;
-  u64 capacity_bytes = 0;
+  Bytes capacity_bytes;
 };
 
 // Performance of accessing a component from a socket.
 struct LinkSpec {
-  SimNanos latency_ns = 0;
+  SimNanos latency_ns;
   double bandwidth_gbps = 0.0;  // GB/s (1e9 bytes per second)
 
   double BytesPerNano() const { return bandwidth_gbps; }  // GB/s == bytes/ns

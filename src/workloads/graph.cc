@@ -63,7 +63,8 @@ GraphWorkload::GraphWorkload(Params params, Options options)
   // footprint = n*(kOffsetStride + kStateStride) + n*avg_degree*kEdgeStride.
   double per_vertex = static_cast<double>(kOffsetStride + kStateStride) +
                       options_.avg_degree * static_cast<double>(kEdgeStride);
-  num_vertices_ = static_cast<u64>(static_cast<double>(params_.footprint_bytes) / per_vertex);
+  num_vertices_ =
+      static_cast<u64>(static_cast<double>(params_.footprint_bytes.value()) / per_vertex);
   MTM_CHECK_GT(num_vertices_, 16ull);
   graph_ = std::make_unique<CsrGraph>(num_vertices_, options_.avg_degree, options_.skew_theta,
                                       params_.seed ^ 0x9a4a9);
@@ -72,9 +73,10 @@ GraphWorkload::GraphWorkload(Params params, Options options)
 }
 
 void GraphWorkload::Build(AddressSpace& address_space) {
-  u32 off = address_space.Allocate(num_vertices_ * kOffsetStride, true, "graph.offsets");
-  u32 edg = address_space.Allocate(graph_->num_edges() * kEdgeStride, true, "graph.edges");
-  u32 st = address_space.Allocate(num_vertices_ * kStateStride, true, "graph.state");
+  u32 off = address_space.Allocate(Bytes(num_vertices_ * kOffsetStride), true, "graph.offsets");
+  u32 edg =
+      address_space.Allocate(Bytes(graph_->num_edges() * kEdgeStride), true, "graph.edges");
+  u32 st = address_space.Allocate(Bytes(num_vertices_ * kStateStride), true, "graph.state");
   offsets_start_ = address_space.vma(off).start;
   edges_start_ = address_space.vma(edg).start;
   state_start_ = address_space.vma(st).start;

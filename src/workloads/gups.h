@@ -39,8 +39,8 @@ class GupsWorkload : public Workload {
   double read_fraction() const override { return 0.5; }
 
   // Object extents (for Figure 6's labeled heatmap).
-  HotRange object_a() const { return {index_start_, index_bytes_}; }
-  HotRange object_b() const { return {info_start_, info_bytes_}; }
+  HotRange object_a() const { return {index_start_, Bytes(index_bytes_)}; }
+  HotRange object_b() const { return {info_start_, Bytes(info_bytes_)}; }
   HotRange object_c() const;  // the current hot set within the table
 
  private:

@@ -9,17 +9,17 @@ SparkTeraSortWorkload::SparkTeraSortWorkload(Params params)
 
 SparkTeraSortWorkload::SparkTeraSortWorkload(Params params, Options options)
     : Workload(params), options_(options) {
-  input_bytes_ = HugeAlignDown(params_.footprint_bytes * 2 / 5);
-  shuffle_bytes_ = HugeAlignDown(params_.footprint_bytes * 2 / 5);
-  output_bytes_ = HugeAlignDown(params_.footprint_bytes / 5);
+  input_bytes_ = HugeAlignDown(params_.footprint_bytes.value() * 2 / 5);
+  shuffle_bytes_ = HugeAlignDown(params_.footprint_bytes.value() * 2 / 5);
+  output_bytes_ = HugeAlignDown(params_.footprint_bytes.value() / 5);
   MTM_CHECK_GT(input_bytes_, 0ull);
   phase_budget_ = input_bytes_ / options_.record_bytes * 2;  // read + write per record
 }
 
 void SparkTeraSortWorkload::Build(AddressSpace& address_space) {
-  u32 in = address_space.Allocate(input_bytes_, /*thp=*/true, "spark.input");
-  u32 sh = address_space.Allocate(shuffle_bytes_, /*thp=*/true, "spark.shuffle");
-  u32 outv = address_space.Allocate(output_bytes_, /*thp=*/true, "spark.output");
+  u32 in = address_space.Allocate(Bytes(input_bytes_), /*thp=*/true, "spark.input");
+  u32 sh = address_space.Allocate(Bytes(shuffle_bytes_), /*thp=*/true, "spark.shuffle");
+  u32 outv = address_space.Allocate(Bytes(output_bytes_), /*thp=*/true, "spark.output");
   input_start_ = address_space.vma(in).start;
   shuffle_start_ = address_space.vma(sh).start;
   output_start_ = address_space.vma(outv).start;

@@ -34,7 +34,7 @@ void TraceRecorder::Build(AddressSpace& address_space) {
   std::fwrite(&header, sizeof(header), 1, file_);
   for (const Vma& vma : address_space.vmas()) {
     u64 start = vma.start;
-    u64 len = vma.len;
+    u64 len = vma.len.value();
     u8 thp = vma.thp ? 1 : 0;
     std::fwrite(&start, sizeof(start), 1, file_);
     std::fwrite(&len, sizeof(len), 1, file_);
@@ -119,7 +119,7 @@ void TraceReplayWorkload::Build(AddressSpace& address_space) {
   // (huge-aligned VMAs with one-huge-page guard gaps) means recorded
   // offsets from the first VMA remain valid relative to the new base.
   for (std::size_t i = 0; i < vmas_.size(); ++i) {
-    u32 index = address_space.Allocate(vmas_[i].len, vmas_[i].thp,
+    u32 index = address_space.Allocate(Bytes(vmas_[i].len), vmas_[i].thp,
                                        "trace.vma" + std::to_string(i));
     if (i == 0) {
       replay_base_ = address_space.vma(index).start;

@@ -10,15 +10,15 @@ VoltDbWorkload::VoltDbWorkload(Params params, Options options)
     : Workload(params),
       options_(options),
       warehouse_zipf_(options.num_warehouses, options.warehouse_zipf_theta) {
-  MTM_CHECK_GT(params_.footprint_bytes, kHugePageSize * 8);
+  MTM_CHECK_GT(params_.footprint_bytes, 8 * kHugePageBytes);
   index_bytes_ = options_.index_bytes != 0 ? options_.index_bytes
-                                           : HugeAlignUp(params_.footprint_bytes / 48);
+                                           : HugeAlignUp(params_.footprint_bytes.value() / 48);
   log_bytes_ = options_.log_bytes != 0 ? options_.log_bytes
-                                       : HugeAlignUp(params_.footprint_bytes / 64);
+                                       : HugeAlignUp(params_.footprint_bytes.value() / 64);
   history_bytes_ = options_.history_bytes != 0 ? options_.history_bytes
-                                               : HugeAlignDown(params_.footprint_bytes / 4);
+                                               : HugeAlignDown(params_.footprint_bytes.value() / 4);
   table_bytes_ =
-      HugeAlignDown(params_.footprint_bytes - index_bytes_ - log_bytes_ - history_bytes_);
+      HugeAlignDown(params_.footprint_bytes.value() - index_bytes_ - log_bytes_ - history_bytes_);
   warehouse_bytes_ = table_bytes_ / options_.num_warehouses;
   MTM_CHECK_GT(warehouse_bytes_, 0ull);
 }
@@ -27,13 +27,13 @@ void VoltDbWorkload::Build(AddressSpace& address_space) {
   // Base pages for the record blocks: OLTP touches scattered rows, and
   // access-bit profiling of such traffic needs 4 KiB granularity (a huge
   // page's single accessed bit saturates under any broad traffic).
-  u32 t = address_space.Allocate(table_bytes_, /*thp=*/false, "voltdb.tables");
-  u32 i = address_space.Allocate(index_bytes_, /*thp=*/true, "voltdb.index");
-  u32 l = address_space.Allocate(log_bytes_, /*thp=*/true, "voltdb.orderlog");
+  u32 t = address_space.Allocate(Bytes(table_bytes_), /*thp=*/false, "voltdb.tables");
+  u32 i = address_space.Allocate(Bytes(index_bytes_), /*thp=*/true, "voltdb.index");
+  u32 l = address_space.Allocate(Bytes(log_bytes_), /*thp=*/true, "voltdb.orderlog");
   // Accumulated order-line history: the bulk of a TPC-C database's
   // footprint, appended by every transaction and almost never read back —
   // the cold mass a tiering system parks in slow memory.
-  u32 h = address_space.Allocate(history_bytes_, /*thp=*/true, "voltdb.history",
+  u32 h = address_space.Allocate(Bytes(history_bytes_), /*thp=*/true, "voltdb.history",
                                  /*prefault=*/false);
   table_start_ = address_space.vma(t).start;
   index_start_ = address_space.vma(i).start;

@@ -26,7 +26,7 @@ struct MemAccess {
 class Workload {
  public:
   struct Params {
-    u64 footprint_bytes = 0;  // required, already divided by the sim scale
+    Bytes footprint_bytes;  // required, already divided by the sim scale
     u32 num_threads = 8;
     u64 seed = 1;
   };

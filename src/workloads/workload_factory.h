@@ -12,11 +12,11 @@
 namespace mtm {
 
 // Paper footprints (Table 2), in bytes at scale 1.
-inline constexpr u64 kGupsFootprint = GiB(512);
-inline constexpr u64 kVoltDbFootprint = GiB(300);
-inline constexpr u64 kCassandraFootprint = GiB(400);
-inline constexpr u64 kGraphFootprint = GiB(525);
-inline constexpr u64 kSparkFootprint = GiB(350);
+inline constexpr Bytes kGupsFootprint = GiB(512);
+inline constexpr Bytes kVoltDbFootprint = GiB(300);
+inline constexpr Bytes kCassandraFootprint = GiB(400);
+inline constexpr Bytes kGraphFootprint = GiB(525);
+inline constexpr Bytes kSparkFootprint = GiB(350);
 
 // names: gups, voltdb, cassandra, bfs, sssp, spark
 std::unique_ptr<Workload> MakeWorkload(const std::string& name, u64 sim_scale,

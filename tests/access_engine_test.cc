@@ -21,7 +21,7 @@ class AccessEngineTest : public ::testing::Test {
         counters_(machine_.num_components()),
         engine_(machine_, page_table_, clock_, counters_, AccessEngine::Config{}) {}
 
-  void BuildVma(u64 bytes, bool thp) {
+  void BuildVma(Bytes bytes, bool thp) {
     vma_ = address_space_.Allocate(bytes, thp, "test");
     handler_ = std::make_unique<PlacementFaultHandler>(machine_, page_table_, frames_,
                                                        address_space_,
@@ -56,10 +56,10 @@ TEST_F(AccessEngineTest, FaultAllocatesAndMaps) {
 TEST_F(AccessEngineTest, ThpFaultMapsHugePage) {
   BuildVma(MiB(4), /*thp=*/true);
   engine_.Apply(base() + 12345, false, 0);
-  u64 size = 0;
+  Bytes size;
   ASSERT_NE(page_table_.Find(base(), &size), nullptr);
-  EXPECT_EQ(size, kHugePageSize);
-  EXPECT_EQ(frames_.used(machine_.TierOrder(0)[0]), kHugePageSize);
+  EXPECT_EQ(size, kHugePageBytes);
+  EXPECT_EQ(frames_.used(machine_.TierOrder(0)[0]), kHugePageBytes);
 }
 
 TEST_F(AccessEngineTest, AccessSetsBits) {
@@ -79,8 +79,8 @@ TEST_F(AccessEngineTest, CostModelLatencyVsBandwidth) {
   SimNanos c1 = engine_.AccessCost(0, t1);
   SimNanos c4 = engine_.AccessCost(0, t4);
   EXPECT_LT(c1, c4);
-  EXPECT_GE(c4, 64u);
-  EXPECT_LE(c1, 90u / 8 + engine_.config().cpu_ns_per_access);
+  EXPECT_GE(c4, Nanos(64));
+  EXPECT_LE(c1, Nanos(90 / 8) + engine_.config().cpu_ns_per_access);
 }
 
 TEST_F(AccessEngineTest, ClockAdvancesPerAccess) {
@@ -88,8 +88,8 @@ TEST_F(AccessEngineTest, ClockAdvancesPerAccess) {
   SimNanos before = clock_.app_ns();
   engine_.Apply(base(), false, 0);
   EXPECT_GT(clock_.app_ns(), before);
-  EXPECT_EQ(clock_.profiling_ns(), 0u);
-  EXPECT_EQ(clock_.migration_ns(), 0u);
+  EXPECT_EQ(clock_.profiling_ns(), SimNanos{});
+  EXPECT_EQ(clock_.migration_ns(), SimNanos{});
 }
 
 TEST_F(AccessEngineTest, CountersTrackAppAccesses) {
@@ -168,7 +168,7 @@ TEST_F(AccessEngineTest, HintFaultRecordsSocketAndCost) {
 
 class RecordingObserver : public WriteTrackObserver {
  public:
-  void OnWriteTrackFault(VirtAddr addr, u32 socket) override {
+  void OnWriteTrackFault(VirtAddr addr, u32 /*socket*/) override {
     ++faults;
     last_addr = addr;
   }
@@ -228,11 +228,11 @@ TEST_F(AccessEngineTest, HmcModeChargesCacheCosts) {
 TEST(HmcCacheTest, ConflictEvictionAndWriteback) {
   Machine machine = Machine::OptaneFourTier(512);
   HmcCache cache(machine, 0, MiB(1));  // 256 sets
-  u64 sets = MiB(1) / kPageSize;
-  EXPECT_FALSE(cache.Access(0, /*is_write=*/true).hit);
-  EXPECT_TRUE(cache.Access(0, false).hit);
+  u64 sets = NumPages(MiB(1));
+  EXPECT_FALSE(cache.Access(Vpn(0), /*is_write=*/true).hit);
+  EXPECT_TRUE(cache.Access(Vpn(0), false).hit);
   // Same set, different tag: evicts the dirty line.
-  HmcCache::AccessOutcome out = cache.Access(sets, false);
+  HmcCache::AccessOutcome out = cache.Access(Vpn(sets), false);
   EXPECT_FALSE(out.hit);
   EXPECT_TRUE(out.dirty_writeback);
   EXPECT_EQ(cache.dirty_writebacks(), 1u);

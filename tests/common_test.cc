@@ -38,17 +38,17 @@ TEST(TypesTest, VpnRoundTrip) {
 }
 
 TEST(UnitsTest, Sizes) {
-  EXPECT_EQ(KiB(1), 1024u);
-  EXPECT_EQ(MiB(2), 2u * 1024 * 1024);
-  EXPECT_EQ(GiB(1), 1024u * 1024 * 1024);
+  EXPECT_EQ(KiB(1), Bytes(1024));
+  EXPECT_EQ(MiB(2), Bytes(2ull * 1024 * 1024));
+  EXPECT_EQ(GiB(1), Bytes(1024ull * 1024 * 1024));
   EXPECT_DOUBLE_EQ(ToMiB(MiB(3)), 3.0);
   EXPECT_DOUBLE_EQ(ToGiB(GiB(7)), 7.0);
 }
 
 TEST(UnitsTest, Times) {
-  EXPECT_EQ(Micros(3), 3000u);
-  EXPECT_EQ(Millis(2), 2'000'000u);
-  EXPECT_EQ(Seconds(1), 1'000'000'000u);
+  EXPECT_EQ(Micros(3), Nanos(3000));
+  EXPECT_EQ(Millis(2), Nanos(2'000'000));
+  EXPECT_EQ(Seconds(1), Nanos(1'000'000'000));
   EXPECT_DOUBLE_EQ(ToSeconds(Seconds(4)), 4.0);
   EXPECT_DOUBLE_EQ(ToMicros(Micros(9)), 9.0);
 }

@@ -29,17 +29,17 @@ TEST(SolutionTest, NamesRoundTrip) {
 
 TEST(DriverTest, FirstTouchNeverMigrates) {
   RunResult r = RunExperiment("gups", SolutionKind::kFirstTouch, TinyConfig());
-  EXPECT_EQ(r.migration_stats.bytes_migrated, 0u);
-  EXPECT_EQ(r.profiling_ns, 0u);
-  EXPECT_GT(r.app_ns, 0u);
+  EXPECT_EQ(r.migration_stats.bytes_migrated, Bytes{});
+  EXPECT_EQ(r.profiling_ns, SimNanos{});
+  EXPECT_GT(r.app_ns, SimNanos{});
   EXPECT_GT(r.total_accesses, 0u);
 }
 
 TEST(DriverTest, MtmProfilesAndMigrates) {
   RunResult r = RunExperiment("gups", SolutionKind::kMtm, TinyConfig());
-  EXPECT_GT(r.profiling_ns, 0u);
-  EXPECT_GT(r.migration_stats.bytes_migrated, 0u);
-  EXPECT_GT(r.profiler_memory_bytes, 0u);
+  EXPECT_GT(r.profiling_ns, SimNanos{});
+  EXPECT_GT(r.migration_stats.bytes_migrated, Bytes{});
+  EXPECT_GT(r.profiler_memory_bytes, Bytes{});
   EXPECT_GT(r.avg_num_regions, 0.0);
 }
 
@@ -51,8 +51,8 @@ TEST(DriverTest, BreakdownSumsToTotal) {
 TEST(DriverTest, ProfilingWithinOverheadConstraint) {
   // §5.3: profiling stays within the 5% target (small slack for PEBS).
   RunResult r = RunExperiment("gups", SolutionKind::kMtm, TinyConfig());
-  EXPECT_LT(static_cast<double>(r.profiling_ns),
-            0.07 * static_cast<double>(r.app_ns) + 1e6);
+  EXPECT_LT(static_cast<double>(r.profiling_ns.value()),
+            0.07 * static_cast<double>(r.app_ns.value()) + 1e6);
 }
 
 TEST(DriverTest, FixedWorkStopsEarly) {
@@ -72,7 +72,7 @@ TEST(DriverTest, IntervalRecordsCollected) {
   RunResult r = RunExperiment("gups", SolutionKind::kMtm, config, options);
   ASSERT_EQ(r.intervals.size(), config.num_intervals);
   // GUPS has ground truth; late-interval recall should be meaningful.
-  EXPECT_GT(r.intervals.back().quality.true_hot_bytes, 0u);
+  EXPECT_GT(r.intervals.back().quality.true_hot_bytes, Bytes{});
   EXPECT_GE(r.intervals.back().quality.recall, 0.0);
   EXPECT_LE(r.intervals.back().quality.recall, 1.0);
 }
@@ -101,7 +101,7 @@ TEST_P(AllSolutionsTest, RunsToCompletion) {
   config.num_intervals = 6;
   RunResult r = RunExperiment(param.workload, param.kind, config);
   EXPECT_GT(r.total_accesses, 0u);
-  EXPECT_GT(r.app_ns, 0u);
+  EXPECT_GT(r.app_ns, SimNanos{});
   EXPECT_EQ(r.solution, SolutionKindName(param.kind));
   EXPECT_EQ(r.workload, param.workload);
 }
@@ -136,7 +136,7 @@ TEST(DriverTest, TwoTierMtmRuns) {
   ExperimentConfig config = TinyConfig();
   config.two_tier = true;
   RunResult r = RunExperiment("gups", SolutionKind::kMtm, config);
-  EXPECT_GT(r.migration_stats.bytes_migrated, 0u);
+  EXPECT_GT(r.migration_stats.bytes_migrated, Bytes{});
 }
 
 TEST(DriverTest, MtmAblationsRun) {
@@ -174,8 +174,8 @@ TEST(DriverTest, SlowTierFirstPlacementUsed) {
 TEST(DriverTest, MemoryOverheadTinyVsFootprint) {
   // Table 5: MTM metadata is a vanishing fraction of the working set.
   RunResult r = RunExperiment("gups", SolutionKind::kMtm, TinyConfig());
-  EXPECT_LT(static_cast<double>(r.profiler_memory_bytes),
-            0.01 * static_cast<double>(r.footprint_bytes));
+  EXPECT_LT(static_cast<double>(r.profiler_memory_bytes.value()),
+            0.01 * static_cast<double>(r.footprint_bytes.value()));
 }
 
 TEST(DriverTest, DeterministicAcrossRuns) {

@@ -21,11 +21,11 @@ TEST(PressureTest, MachineNearlyFullStillPlaces) {
   PageTable pt;
   AddressSpace as;
   FrameAllocator frames(machine);
-  u64 footprint = machine.TotalCapacity() * 9 / 10;
+  const Bytes footprint = machine.TotalCapacity() * 9 / 10;
   u32 vma = as.Allocate(footprint, /*thp=*/true, "big");
   PlacementFaultHandler handler(machine, pt, frames, as, PlacementPolicy::kFirstTouch);
   int placed[8] = {};
-  for (u64 off = 0; off < footprint; off += kHugePageSize) {
+  for (u64 off = 0; off < footprint.value(); off += kHugePageSize) {
     ComponentId c = handler.HandlePageFault(as.vma(vma).start + off, 0, false);
     ASSERT_NE(c, kInvalidComponent);
     ++placed[c];
@@ -73,13 +73,13 @@ TEST(PressureTest, MigrationWithNoRoomAnywhereRecordsFailure) {
   }
   // One more region nominally on t3 (accounting-wise it is part of the
   // reserve above; map only).
-  u32 hot_vma = as.Allocate(kHugePageSize, false, "hot");
-  ASSERT_TRUE(pt.MapRange(as.vma(hot_vma).start, kHugePageSize, t3, false).ok());
+  u32 hot_vma = as.Allocate(kHugePageBytes, false, "hot");
+  ASSERT_TRUE(pt.MapRange(as.vma(hot_vma).start, kHugePageBytes, t3, false).ok());
 
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kMovePages);
-  engine.Submit(MigrationOrder{as.vma(hot_vma).start, kHugePageSize, t1, 0});
-  EXPECT_GT(engine.stats().bytes_failed, 0u);
+  engine.Submit(MigrationOrder{as.vma(hot_vma).start, kHugePageBytes, t1, 0});
+  EXPECT_GT(engine.stats().bytes_failed, Bytes{});
   // The hot pages stay where they were.
   EXPECT_EQ(pt.Find(as.vma(hot_vma).start)->component, t3);
 }
@@ -113,7 +113,7 @@ TEST(PressureTest, WorkloadLargerThanFastTiersRuns) {
                             SolutionKind::kAutoTiering, SolutionKind::kMtm}) {
     RunResult r = RunExperiment("gups", kind, config);
     EXPECT_GT(r.total_accesses, 0u) << SolutionKindName(kind);
-    u64 dram = 0;
+    Bytes dram;
     Machine machine = Machine::OptaneFourTier(config.sim_scale);
     for (u32 c = 0; c < machine.num_components(); ++c) {
       if (machine.component(c).mem_class == MemClass::kDram) {
@@ -133,9 +133,9 @@ TEST(PressureTest, ZeroLengthOrderIsNoop) {
   MemCounters counters(machine.num_components());
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kMoveMemoryRegions);
-  engine.Submit(MigrationOrder{0x5500'0000'0000ull, 0, 0, 0});
+  engine.Submit(MigrationOrder{0x5500'0000'0000ull, Bytes{}, 0, 0});
   EXPECT_EQ(engine.pending(), 0u);
-  EXPECT_EQ(engine.stats().bytes_migrated, 0u);
+  EXPECT_EQ(engine.stats().bytes_migrated, Bytes{});
 }
 
 TEST(PressureTest, RepeatedFlushIdempotent) {
@@ -149,7 +149,7 @@ TEST(PressureTest, RepeatedFlushIdempotent) {
                          MechanismKind::kMoveMemoryRegions);
   engine.Flush();
   engine.Flush();
-  EXPECT_EQ(engine.stats().bytes_migrated, 0u);
+  EXPECT_EQ(engine.stats().bytes_migrated, Bytes{});
 }
 
 TEST(PressureTest, TwoTierDemotionTargetsExist) {
@@ -167,13 +167,13 @@ TEST(PressureTest, TwoTierDemotionTargetsExist) {
   u32 fill = as.Allocate(frames.capacity(dram), false, "fill");
   ASSERT_TRUE(pt.MapRange(as.vma(fill).start, frames.capacity(dram), dram, false).ok());
   ASSERT_TRUE(frames.Reserve(dram, frames.capacity(dram)));
-  u32 hot = as.Allocate(kHugePageSize, false, "hot");
-  ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageSize, pm, false).ok());
-  ASSERT_TRUE(frames.Reserve(pm, kHugePageSize));
+  u32 hot = as.Allocate(kHugePageBytes, false, "hot");
+  ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageBytes, pm, false).ok());
+  ASSERT_TRUE(frames.Reserve(pm, kHugePageBytes));
 
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kNimble);
-  engine.Submit(MigrationOrder{as.vma(hot).start, kHugePageSize, dram, 0});
+  engine.Submit(MigrationOrder{as.vma(hot).start, kHugePageBytes, dram, 0});
   EXPECT_EQ(pt.Find(as.vma(hot).start)->component, dram);
   EXPECT_GT(engine.stats().reclaim_demotions, 0u);
 }
@@ -200,7 +200,7 @@ TEST(FaultInjectorTest, SpecParsing) {
   // Schedule is ordered by time: the offline at 250ms precedes the 2s derate.
   EXPECT_EQ(inj->schedule()[0].component, 3u);
   EXPECT_TRUE(inj->schedule()[0].offline);
-  EXPECT_EQ(inj->schedule()[0].at_ns, 250'000'000ull);
+  EXPECT_EQ(inj->schedule()[0].at_ns, Millis(250));
   EXPECT_EQ(inj->schedule()[1].component, 2u);
   EXPECT_FALSE(inj->schedule()[1].offline);
   EXPECT_DOUBLE_EQ(inj->schedule()[1].bandwidth_derate, 0.25);
@@ -214,11 +214,11 @@ TEST(FaultInjectorTest, SpecParsing) {
 }
 
 TEST(FaultInjectorTest, ParseDurationUnits) {
-  EXPECT_EQ(*ParseDuration("1500"), 1500ull);
-  EXPECT_EQ(*ParseDuration("1500ns"), 1500ull);
-  EXPECT_EQ(*ParseDuration("10us"), 10'000ull);
-  EXPECT_EQ(*ParseDuration("250ms"), 250'000'000ull);
-  EXPECT_EQ(*ParseDuration("5s"), 5'000'000'000ull);
+  EXPECT_EQ(*ParseDuration("1500"), Nanos(1500));
+  EXPECT_EQ(*ParseDuration("1500ns"), Nanos(1500));
+  EXPECT_EQ(*ParseDuration("10us"), Micros(10));
+  EXPECT_EQ(*ParseDuration("250ms"), Millis(250));
+  EXPECT_EQ(*ParseDuration("5s"), Seconds(5));
   EXPECT_FALSE(ParseDuration("abc").ok());
   EXPECT_FALSE(ParseDuration("-3s").ok());
 }
@@ -259,26 +259,26 @@ TEST(FaultInjectionTest, CopyFailureRollsBackCleanly) {
   ComponentId t1 = machine.TierOrder(0)[0];
   ComponentId t3 = machine.TierOrder(0)[2];
 
-  u32 hot = as.Allocate(kHugePageSize, false, "hot");
-  ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageSize, t3, false).ok());
-  ASSERT_TRUE(frames.Reserve(t3, kHugePageSize));
+  u32 hot = as.Allocate(kHugePageBytes, false, "hot");
+  ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageBytes, t3, false).ok());
+  ASSERT_TRUE(frames.Reserve(t3, kHugePageBytes));
 
   FaultInjector inj = *FaultInjector::Parse("copy_fail:p=1", 42);
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kMovePages);
   engine.set_fault_injector(&inj);
 
-  Status s = engine.Submit(MigrationOrder{as.vma(hot).start, kHugePageSize, t1, 0});
+  Status s = engine.Submit(MigrationOrder{as.vma(hot).start, kHugePageBytes, t1, 0});
   EXPECT_TRUE(IsUnavailable(s)) << s.ToString();
   // Rollback: source still mapped, nothing landed on the target, frame
   // accounting agrees with the page table, and a retry is queued.
   EXPECT_EQ(pt.Find(as.vma(hot).start)->component, t3);
-  EXPECT_EQ(frames.used(t1), 0u);
+  EXPECT_EQ(frames.used(t1), Bytes{});
   EXPECT_EQ(frames.total_used(), pt.mapped_bytes());
   EXPECT_TRUE(engine.VerifyInvariants().ok());
   EXPECT_EQ(engine.stats().injected_copy_failures, 1u);
   EXPECT_EQ(engine.stats().rollbacks, 1u);
-  EXPECT_EQ(engine.stats().bytes_migrated, 0u);
+  EXPECT_EQ(engine.stats().bytes_migrated, Bytes{});
   EXPECT_EQ(engine.retry_backlog(), 1u);
 }
 
@@ -292,9 +292,9 @@ TEST(FaultInjectionTest, BackoffRetryEventuallySucceeds) {
   ComponentId t1 = machine.TierOrder(0)[0];
   ComponentId t3 = machine.TierOrder(0)[2];
 
-  u32 hot = as.Allocate(kHugePageSize, false, "hot");
-  ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageSize, t3, false).ok());
-  ASSERT_TRUE(frames.Reserve(t3, kHugePageSize));
+  u32 hot = as.Allocate(kHugePageBytes, false, "hot");
+  ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageBytes, t3, false).ok());
+  ASSERT_TRUE(frames.Reserve(t3, kHugePageBytes));
 
   FaultInjector inj = *FaultInjector::Parse("copy_fail:p=1", 42);
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
@@ -302,7 +302,7 @@ TEST(FaultInjectionTest, BackoffRetryEventuallySucceeds) {
   engine.set_fault_injector(&inj);
 
   EXPECT_TRUE(IsUnavailable(
-      engine.Submit(MigrationOrder{as.vma(hot).start, kHugePageSize, t1, 0})));
+      engine.Submit(MigrationOrder{as.vma(hot).start, kHugePageBytes, t1, 0})));
   ASSERT_EQ(engine.retry_backlog(), 1u);
 
   // The device recovers. Before the backoff deadline nothing happens;
@@ -310,12 +310,12 @@ TEST(FaultInjectionTest, BackoffRetryEventuallySucceeds) {
   inj.set_probability(FaultSite::kMigrationCopy, 0.0);
   engine.Poll();
   EXPECT_EQ(engine.retry_backlog(), 1u) << "retried before its backoff expired";
-  clock.AdvanceApp(engine.retry_policy().initial_backoff_ns + 1);
+  clock.AdvanceApp(engine.retry_policy().initial_backoff_ns + Nanos(1));
   engine.Poll();
   EXPECT_EQ(engine.retry_backlog(), 0u);
   EXPECT_EQ(engine.stats().retries, 1u);
   EXPECT_EQ(pt.Find(as.vma(hot).start)->component, t1);
-  EXPECT_EQ(engine.stats().bytes_migrated, kHugePageSize);
+  EXPECT_EQ(engine.stats().bytes_migrated, kHugePageBytes);
   EXPECT_TRUE(engine.VerifyInvariants().ok());
 }
 
@@ -333,21 +333,21 @@ TEST(FaultInjectionTest, ThrashGuardAbandonsHotWrittenRegion) {
   ComponentId t1 = machine.TierOrder(0)[0];
   ComponentId t3 = machine.TierOrder(0)[2];
 
-  u32 hot = as.Allocate(kHugePageSize, false, "hot");
-  ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageSize, t3, false).ok());
-  ASSERT_TRUE(frames.Reserve(t3, kHugePageSize));
+  u32 hot = as.Allocate(kHugePageBytes, false, "hot");
+  ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageBytes, t3, false).ok());
+  ASSERT_TRUE(frames.Reserve(t3, kHugePageBytes));
 
   FaultInjector inj = *FaultInjector::Parse("copy_fail:p=1", 42);
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kMoveMemoryRegions);
   engine.set_fault_injector(&inj);
   MigrationRetryPolicy rp;
-  rp.initial_backoff_ns = 0;  // retry as soon as Poll sees the queue
+  rp.initial_backoff_ns = SimNanos{};  // retry as soon as Poll sees the queue
   engine.set_retry_policy(rp);
   engine.BeginInterval();
 
   const VirtAddr addr = as.vma(hot).start;
-  EXPECT_TRUE(engine.Submit(MigrationOrder{addr, kHugePageSize, t1, 0}).ok());
+  EXPECT_TRUE(engine.Submit(MigrationOrder{addr, kHugePageBytes, t1, 0}).ok());
   for (int round = 0; round < 5; ++round) {
     if (engine.pending() > 0) {
       engine.OnWriteTrackFault(addr, 0);  // the write storm strikes again
@@ -365,7 +365,7 @@ TEST(FaultInjectionTest, ThrashGuardAbandonsHotWrittenRegion) {
   // A new interval opens a fresh thrash window: the region is eligible again.
   engine.BeginInterval();
   inj.set_probability(FaultSite::kMigrationCopy, 0.0);
-  EXPECT_TRUE(engine.Submit(MigrationOrder{addr, kHugePageSize, t1, 0}).ok());
+  EXPECT_TRUE(engine.Submit(MigrationOrder{addr, kHugePageBytes, t1, 0}).ok());
   engine.Flush();
   EXPECT_EQ(pt.Find(addr)->component, t1);
 }
@@ -379,7 +379,7 @@ TEST(FaultInjectionTest, OfflineTierDrainRelocatesEveryResident) {
   MemCounters counters(machine.num_components());
   ComponentId pm0 = machine.TierOrder(0)[2];
 
-  const u64 bytes = 16 * kHugePageSize;
+  const Bytes bytes = 16 * kHugePageBytes;
   u32 data = as.Allocate(bytes, /*thp=*/true, "data");
   ASSERT_TRUE(pt.MapRange(as.vma(data).start, bytes, pm0, true).ok());
   ASSERT_TRUE(frames.Reserve(pm0, bytes));
@@ -393,18 +393,18 @@ TEST(FaultInjectionTest, OfflineTierDrainRelocatesEveryResident) {
   engine.OnTierFault(event);
 
   // Every page left the dead component, and accounting stayed consistent.
-  EXPECT_EQ(frames.used(pm0), 0u);
+  EXPECT_EQ(frames.used(pm0), Bytes{});
   EXPECT_EQ(engine.stats().tier_drains, 1u);
   EXPECT_EQ(engine.stats().drained_bytes, bytes);
-  EXPECT_EQ(engine.stats().drain_failed_bytes, 0u);
-  pt.ForEachMapping(as.vma(data).start, bytes, [&](VirtAddr, u64, const Pte& pte) {
+  EXPECT_EQ(engine.stats().drain_failed_bytes, Bytes{});
+  pt.ForEachMapping(as.vma(data).start, bytes, [&](VirtAddr, Bytes, const Pte& pte) {
     EXPECT_NE(pte.component, pm0);
   });
   EXPECT_EQ(frames.total_used(), pt.mapped_bytes());
   EXPECT_TRUE(engine.VerifyInvariants().ok());
 
   // And the dead tier accepts no new orders.
-  Status s = engine.Submit(MigrationOrder{as.vma(data).start, kHugePageSize, pm0, 0});
+  Status s = engine.Submit(MigrationOrder{as.vma(data).start, kHugePageBytes, pm0, 0});
   EXPECT_TRUE(IsUnavailable(s));
 }
 
@@ -418,14 +418,14 @@ TEST(FaultInjectionTest, OfflineEventRollsBackInFlightOrders) {
   ComponentId t1 = machine.TierOrder(0)[0];
   ComponentId pm0 = machine.TierOrder(0)[2];
 
-  u32 hot = as.Allocate(kHugePageSize, false, "hot");
-  ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageSize, t1, false).ok());
-  ASSERT_TRUE(frames.Reserve(t1, kHugePageSize));
+  u32 hot = as.Allocate(kHugePageBytes, false, "hot");
+  ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageBytes, t1, false).ok());
+  ASSERT_TRUE(frames.Reserve(t1, kHugePageBytes));
 
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kMoveMemoryRegions);
   // Async demotion toward PM0 is in flight when PM0 dies.
-  EXPECT_TRUE(engine.Submit(MigrationOrder{as.vma(hot).start, kHugePageSize, pm0, 0}).ok());
+  EXPECT_TRUE(engine.Submit(MigrationOrder{as.vma(hot).start, kHugePageBytes, pm0, 0}).ok());
   ASSERT_EQ(engine.pending(), 1u);
 
   machine.SetOffline(pm0, true);
@@ -457,7 +457,7 @@ TEST(FaultInjectionTest, ChaosRunStaysConsistentEndToEnd) {
   EXPECT_EQ(r.faults.invariant_violations, 0u) << r.faults.first_violation;
   EXPECT_EQ(r.faults.tier_events, 1u);
   EXPECT_EQ(r.migration_stats.tier_drains, 1u);
-  EXPECT_GT(r.migration_stats.drained_bytes, 0u);
+  EXPECT_GT(r.migration_stats.drained_bytes, Bytes{});
   // The injected faults actually exercised the rollback/retry machinery.
   EXPECT_GT(r.faults.copy_failures + r.faults.alloc_failures, 0u);
   EXPECT_GT(r.migration_stats.rollbacks + r.migration_stats.retries, 0u);

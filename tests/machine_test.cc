@@ -20,13 +20,13 @@ TEST(MachineTest, OptaneFourTierMatchesTable1) {
   EXPECT_EQ(m.component(order[3]).name, "PM1");
 
   // Table 1 latencies and bandwidths from socket 0.
-  EXPECT_EQ(m.link(0, order[0]).latency_ns, 90u);
+  EXPECT_EQ(m.link(0, order[0]).latency_ns, Nanos(90));
   EXPECT_DOUBLE_EQ(m.link(0, order[0]).bandwidth_gbps, 95.0);
-  EXPECT_EQ(m.link(0, order[1]).latency_ns, 145u);
+  EXPECT_EQ(m.link(0, order[1]).latency_ns, Nanos(145));
   EXPECT_DOUBLE_EQ(m.link(0, order[1]).bandwidth_gbps, 35.0);
-  EXPECT_EQ(m.link(0, order[2]).latency_ns, 275u);
+  EXPECT_EQ(m.link(0, order[2]).latency_ns, Nanos(275));
   EXPECT_DOUBLE_EQ(m.link(0, order[2]).bandwidth_gbps, 35.0);
-  EXPECT_EQ(m.link(0, order[3]).latency_ns, 340u);
+  EXPECT_EQ(m.link(0, order[3]).latency_ns, Nanos(340));
   EXPECT_DOUBLE_EQ(m.link(0, order[3]).bandwidth_gbps, 1.0);
 
   // Capacities: 96 GB DRAM, 756 GB PM per socket.
@@ -44,8 +44,8 @@ TEST(MachineTest, MultiViewSymmetry) {
   EXPECT_EQ(m.component(order1[3]).name, "PM0");
   // The same DRAM is tier 1 for its home socket and tier 2 remotely.
   ComponentId dram0 = m.TierOrder(0)[0];
-  EXPECT_EQ(m.TierRank(0, dram0), 0u);
-  EXPECT_EQ(m.TierRank(1, dram0), 1u);
+  EXPECT_EQ(m.TierRank(0, dram0), TierId(0));
+  EXPECT_EQ(m.TierRank(1, dram0), TierId(1));
 }
 
 TEST(MachineTest, ScaleDividesCapacity) {
@@ -53,7 +53,7 @@ TEST(MachineTest, ScaleDividesCapacity) {
   EXPECT_EQ(m.component(m.TierOrder(0)[0]).capacity_bytes, GiB(96) / 512);
   EXPECT_EQ(m.component(m.TierOrder(0)[2]).capacity_bytes, GiB(756) / 512);
   // Latency unchanged by scale.
-  EXPECT_EQ(m.link(0, m.TierOrder(0)[0]).latency_ns, 90u);
+  EXPECT_EQ(m.link(0, m.TierOrder(0)[0]).latency_ns, Nanos(90));
 }
 
 TEST(MachineTest, TierRankInverse) {
@@ -61,7 +61,7 @@ TEST(MachineTest, TierRankInverse) {
   for (u32 s = 0; s < m.num_sockets(); ++s) {
     const auto& order = m.TierOrder(s);
     for (u32 rank = 0; rank < order.size(); ++rank) {
-      EXPECT_EQ(m.TierRank(s, order[rank]), rank);
+      EXPECT_EQ(m.TierRank(s, order[rank]), TierId(rank));
     }
   }
 }

@@ -18,7 +18,7 @@ class MigrationTest : public ::testing::Test {
         t3_(machine_.TierOrder(0)[2]),
         t4_(machine_.TierOrder(0)[3]) {}
 
-  VirtAddr BuildMapped(u64 bytes, ComponentId component, bool huge) {
+  VirtAddr BuildMapped(Bytes bytes, ComponentId component, bool huge) {
     u32 vma = address_space_.Allocate(bytes, huge, "w");
     VirtAddr start = address_space_.vma(vma).start;
     EXPECT_TRUE(page_table_.MapRange(start, address_space_.vma(vma).len, component, huge).ok());
@@ -54,10 +54,10 @@ TEST_F(MigrationTest, MovePagesCopyDominates) {
                                             t1_, t4_, 0, /*huge_pages=*/1);
   EXPECT_GT(cost.critical.copy_ns, cost.critical.allocate_ns);
   EXPECT_GT(cost.critical.copy_ns, cost.critical.unmap_remap_ns / 2);
-  double share = static_cast<double>(cost.critical.copy_ns) /
-                 static_cast<double>(cost.CriticalNs());
+  double share = static_cast<double>(cost.critical.copy_ns.value()) /
+                 static_cast<double>(cost.CriticalNs().value());
   EXPECT_GT(share, 0.3);
-  EXPECT_EQ(cost.BackgroundNs(), 0u);
+  EXPECT_EQ(cost.BackgroundNs(), SimNanos{});
 }
 
 TEST_F(MigrationTest, MmrCriticalPathMuchCheaper) {
@@ -69,11 +69,12 @@ TEST_F(MigrationTest, MmrCriticalPathMuchCheaper) {
                                           t4_, kPagesPerHugePage, 0);
   MechanismCost mmr = ComputeMechanismCost(MechanismKind::kMoveMemoryRegions, model, machine_,
                                            0, t1_, t4_, kPagesPerHugePage, 0);
-  double ratio = static_cast<double>(mp.CriticalNs()) / static_cast<double>(mmr.CriticalNs());
+  double ratio =
+      static_cast<double>(mp.CriticalNs().value()) / static_cast<double>(mmr.CriticalNs().value());
   EXPECT_GT(ratio, 3.0);
   EXPECT_LT(ratio, 15.0);
-  EXPECT_GT(mmr.BackgroundNs(), 0u);
-  EXPECT_EQ(mmr.critical.copy_ns, 0u);
+  EXPECT_GT(mmr.BackgroundNs(), SimNanos{});
+  EXPECT_EQ(mmr.critical.copy_ns, SimNanos{});
 }
 
 TEST_F(MigrationTest, NimbleBetweenMovePagesAndMmr) {
@@ -92,8 +93,8 @@ TEST_F(MigrationTest, MmrSyncExposesCopy) {
   MigrationCostModel model;
   MechanismCost sync = ComputeMechanismCost(MechanismKind::kMmrSync, model, machine_, 0, t1_,
                                             t3_, 0, 1);
-  EXPECT_GT(sync.critical.copy_ns, 0u);
-  EXPECT_EQ(sync.BackgroundNs(), 0u);
+  EXPECT_GT(sync.critical.copy_ns, SimNanos{});
+  EXPECT_EQ(sync.BackgroundNs(), SimNanos{});
 }
 
 TEST_F(MigrationTest, SlowerLinkCostsMore) {
@@ -112,12 +113,12 @@ TEST_F(MigrationTest, SyncSubmitCommitsImmediately) {
   MigrationEngine engine = MakeEngine(MechanismKind::kMovePages);
   engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
   EXPECT_EQ(ComponentAt(start), t1_);
-  EXPECT_EQ(ComponentAt(start + MiB(2)), t3_);  // outside the order
+  EXPECT_EQ(ComponentAt(start + MiB(2).value()), t3_);  // outside the order
   EXPECT_EQ(engine.stats().bytes_migrated, MiB(2));
   EXPECT_EQ(frames_.used(t1_), MiB(2));
   EXPECT_EQ(frames_.used(t3_), MiB(4) - MiB(2));
-  EXPECT_GT(clock_.migration_ns(), 0u);
-  EXPECT_GT(counters_.migration_bytes(t1_), 0u);
+  EXPECT_GT(clock_.migration_ns(), SimNanos{});
+  EXPECT_GT(counters_.migration_bytes(t1_), Bytes{});
 }
 
 TEST_F(MigrationTest, AsyncDefersUntilPoll) {
@@ -165,7 +166,7 @@ TEST_F(MigrationTest, OverlappingAsyncOrderDropped) {
   VirtAddr start = BuildMapped(MiB(4), t3_, false);
   MigrationEngine engine = MakeEngine(MechanismKind::kMoveMemoryRegions);
   engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
-  engine.Submit(MigrationOrder{start + MiB(1), MiB(2), t2_, 0});
+  engine.Submit(MigrationOrder{start + MiB(1).value(), MiB(2), t2_, 0});
   EXPECT_EQ(engine.pending(), 1u);
 }
 
@@ -174,16 +175,16 @@ TEST_F(MigrationTest, NoopOrderIgnored) {
   MigrationEngine engine = MakeEngine(MechanismKind::kMoveMemoryRegions);
   engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});  // already there
   EXPECT_EQ(engine.pending(), 0u);
-  EXPECT_EQ(engine.stats().bytes_migrated, 0u);
+  EXPECT_EQ(engine.stats().bytes_migrated, Bytes{});
 }
 
 TEST_F(MigrationTest, HugeMappingsMigrateWhole) {
   VirtAddr start = BuildMapped(MiB(4), t3_, /*huge=*/true);
   MigrationEngine engine = MakeEngine(MechanismKind::kNimble);
-  engine.Submit(MigrationOrder{start, kHugePageSize, t1_, 0});
-  u64 size = 0;
+  engine.Submit(MigrationOrder{start, kHugePageBytes, t1_, 0});
+  Bytes size;
   ASSERT_NE(page_table_.Find(start, &size), nullptr);
-  EXPECT_EQ(size, kHugePageSize);
+  EXPECT_EQ(size, kHugePageBytes);
   EXPECT_EQ(ComponentAt(start), t1_);
   EXPECT_EQ(ComponentAt(start + kHugePageSize), t3_);
 }
@@ -192,14 +193,14 @@ TEST_F(MigrationTest, ReclaimDemotesWhenDestinationFull) {
   // Fill t1 with cold pages; a promotion then demotes them down-class.
   VirtAddr cold = BuildMapped(frames_.capacity(t1_), t1_, false);
   VirtAddr hot = BuildMapped(MiB(2), t3_, false);
-  ASSERT_EQ(frames_.free_bytes(t1_), 0u);
+  ASSERT_EQ(frames_.free_bytes(t1_), Bytes{});
   MigrationEngine engine = MakeEngine(MechanismKind::kMovePages);
   engine.Submit(MigrationOrder{hot, MiB(2), t1_, 0});
   EXPECT_EQ(ComponentAt(hot), t1_);
   EXPECT_GT(engine.stats().reclaim_demotions, 0u);
   // Victims went to a strictly slower class (PM), never laterally to DRAM1.
   int on_dram1 = 0;
-  page_table_.ForEachMapping(cold, frames_.capacity(t1_), [&](VirtAddr, u64, Pte& pte) {
+  page_table_.ForEachMapping(cold, frames_.capacity(t1_), [&](VirtAddr, Bytes, Pte& pte) {
     on_dram1 += pte.component == t2_;
   });
   EXPECT_EQ(on_dram1, 0);
@@ -210,12 +211,12 @@ TEST_F(MigrationTest, ReclaimPrefersInactivePages) {
   VirtAddr hot = BuildMapped(MiB(2), t3_, false);
   // Mark the first half of t1's pages accessed (active).
   page_table_.ForEachMapping(cold, frames_.capacity(t1_) / 2,
-                             [](VirtAddr, u64, Pte& pte) { pte.Set(Pte::kAccessed); });
+                             [](VirtAddr, Bytes, Pte& pte) { pte.Set(Pte::kAccessed); });
   MigrationEngine engine = MakeEngine(MechanismKind::kMovePages);
   engine.Submit(MigrationOrder{hot, MiB(2), t1_, 0});
   // Active pages survive: count demotions from the active half.
   int demoted_active = 0;
-  page_table_.ForEachMapping(cold, frames_.capacity(t1_) / 2, [&](VirtAddr, u64, Pte& pte) {
+  page_table_.ForEachMapping(cold, frames_.capacity(t1_) / 2, [&](VirtAddr, Bytes, Pte& pte) {
     demoted_active += pte.component != t1_;
   });
   EXPECT_EQ(demoted_active, 0);
@@ -226,9 +227,9 @@ TEST_F(MigrationTest, StepBreakdownAccumulates) {
   MigrationEngine engine = MakeEngine(MechanismKind::kMovePages);
   engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
   const MigrationStepBreakdown& steps = engine.stats().steps;
-  EXPECT_GT(steps.allocate_ns, 0u);
-  EXPECT_GT(steps.unmap_remap_ns, 0u);
-  EXPECT_GT(steps.copy_ns, 0u);
+  EXPECT_GT(steps.allocate_ns, SimNanos{});
+  EXPECT_GT(steps.unmap_remap_ns, SimNanos{});
+  EXPECT_GT(steps.copy_ns, SimNanos{});
   EXPECT_EQ(steps.Total(), engine.stats().critical_ns);
 }
 
@@ -240,7 +241,7 @@ TEST_F(MigrationTest, MixedSourceRegionsHandled) {
   ASSERT_EQ(ComponentAt(start), t4_);
   engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
   EXPECT_EQ(ComponentAt(start), t1_);
-  EXPECT_EQ(ComponentAt(start + MiB(1)), t1_);
+  EXPECT_EQ(ComponentAt(start + MiB(1).value()), t1_);
 }
 
 }  // namespace

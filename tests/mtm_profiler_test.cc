@@ -24,7 +24,7 @@ class MtmProfilerTest : public ::testing::Test {
   }
 
   // Allocates a VMA and maps all of it on `component` with base pages.
-  VirtAddr BuildMapped(u64 bytes, ComponentId component) {
+  VirtAddr BuildMapped(Bytes bytes, ComponentId component) {
     u32 vma = address_space_.Allocate(bytes, false, "w");
     VirtAddr start = address_space_.vma(vma).start;
     EXPECT_TRUE(page_table_.MapRange(start, address_space_.vma(vma).len, component, false).ok());
@@ -34,7 +34,7 @@ class MtmProfilerTest : public ::testing::Test {
   MtmProfiler::Config DefaultConfig() {
     MtmProfiler::Config config;
     config.interval_ns = Millis(20);
-    config.one_scan_overhead_ns = 120;
+    config.one_scan_overhead_ns = Nanos(120);
     return config;
   }
 
@@ -47,10 +47,10 @@ class MtmProfilerTest : public ::testing::Test {
 
   // Runs one profiling interval, touching [hot_start, hot_start+hot_len)
   // heavily before every scan tick.
-  ProfileOutput RunInterval(MtmProfiler& profiler, VirtAddr hot_start, u64 hot_len) {
+  ProfileOutput RunInterval(MtmProfiler& profiler, VirtAddr hot_start, Bytes hot_len) {
     profiler.OnIntervalStart();
     for (u32 tick = 0; tick < 3; ++tick) {
-      for (VirtAddr a = hot_start; a < hot_start + hot_len; a += kPageSize) {
+      for (VirtAddr a = hot_start; a < hot_start + hot_len.value(); a += kPageSize) {
         page_table_.Touch(a, false);
       }
       profiler.OnScanTick(tick);
@@ -95,16 +95,16 @@ TEST_F(MtmProfilerTest, BudgetScalesWithOverheadTarget) {
 TEST_F(MtmProfilerTest, InitialRegionsArePdeSized) {
   BuildMapped(MiB(16), 0);
   auto profiler = MakeProfiler(DefaultConfig());
-  EXPECT_EQ(profiler->regions().size(), MiB(16) / kHugePageSize);
+  EXPECT_EQ(profiler->regions().size(), MiB(16) / kHugePageBytes);
   for (const auto& [start, region] : profiler->regions()) {
-    EXPECT_EQ(region.bytes(), kHugePageSize);
+    EXPECT_EQ(region.bytes(), kHugePageBytes);
   }
 }
 
 TEST_F(MtmProfilerTest, HotRegionsRankAboveCold) {
   VirtAddr start = BuildMapped(MiB(16), 0);  // DRAM: PTE-scan profiled
   auto profiler = MakeProfiler(DefaultConfig());
-  VirtAddr hot_start = start + MiB(4);
+  VirtAddr hot_start = start + MiB(4).value();
   ProfileOutput out;
   for (int i = 0; i < 4; ++i) {
     out = RunInterval(*profiler, hot_start, MiB(2));
@@ -113,9 +113,9 @@ TEST_F(MtmProfilerTest, HotRegionsRankAboveCold) {
   double cold_hotness = 0;
   int cold_count = 0;
   for (const HotnessEntry& e : out.entries) {
-    if (e.start >= hot_start && e.end() <= hot_start + MiB(2)) {
+    if (e.start >= hot_start && e.end() <= hot_start + MiB(2).value()) {
       hot_hotness = std::max(hot_hotness, e.hotness);
-    } else if (e.start >= hot_start + MiB(2) || e.end() <= hot_start) {
+    } else if (e.start >= hot_start + MiB(2).value() || e.end() <= hot_start) {
       cold_hotness += e.hotness;
       ++cold_count;
     }
@@ -133,7 +133,7 @@ TEST_F(MtmProfilerTest, WhiFollowsEquation2) {
   // Two hot intervals then one cold: WHI = 0.5*0 + 0.5*(0.5*3 + 0.5*3) = 1.5.
   RunInterval(*profiler, start, MiB(4));
   RunInterval(*profiler, start, MiB(4));
-  ProfileOutput out = RunInterval(*profiler, start + MiB(4), 0);  // nothing touched
+  ProfileOutput out = RunInterval(*profiler, start + MiB(4).value(), Bytes{});  // nothing touched
   for (const HotnessEntry& e : out.entries) {
     EXPECT_NEAR(e.hotness, 1.5, 0.01);
   }
@@ -143,7 +143,7 @@ TEST_F(MtmProfilerTest, MergesColdNeighbors) {
   BuildMapped(MiB(32), 0);
   auto profiler = MakeProfiler(DefaultConfig());
   std::size_t before = profiler->regions().size();
-  ProfileOutput out = RunInterval(*profiler, 0, 0);  // all cold
+  ProfileOutput out = RunInterval(*profiler, 0, Bytes{});  // all cold
   EXPECT_GT(out.regions_merged, 0u);
   EXPECT_LT(profiler->regions().size(), before);
 }
@@ -153,7 +153,7 @@ TEST_F(MtmProfilerTest, SplitsMixedRegions) {
   auto profiler = MakeProfiler(DefaultConfig());
   // Merge everything first (all cold), then heat half of the space: the
   // giant region shows high sample disparity and splits, huge-aligned.
-  RunInterval(*profiler, 0, 0);
+  RunInterval(*profiler, 0, Bytes{});
   u64 splits = 0;
   for (int i = 0; i < 6; ++i) {
     ProfileOutput out = RunInterval(*profiler, start, MiB(16));
@@ -161,7 +161,7 @@ TEST_F(MtmProfilerTest, SplitsMixedRegions) {
   }
   EXPECT_GT(splits, 0u);
   for (const auto& [rs, region] : profiler->regions()) {
-    if (region.bytes() > kHugePageSize) {
+    if (region.bytes() > kHugePageBytes) {
       EXPECT_TRUE(IsHugeAligned(region.start) || rs == profiler->regions().begin()->first);
     }
   }
@@ -172,7 +172,7 @@ TEST_F(MtmProfilerTest, QuotaConservedAtBudget) {
   auto profiler = MakeProfiler(DefaultConfig());
   VirtAddr start = address_space_.vmas()[0].start;
   for (int i = 0; i < 5; ++i) {
-    RunInterval(*profiler, start + (i % 2) * MiB(16), MiB(8));
+    RunInterval(*profiler, start + static_cast<u64>(i % 2) * MiB(16).value(), MiB(8));
   }
   u64 total_quota = 0;
   for (const auto& [rs, region] : profiler->regions()) {
@@ -192,14 +192,14 @@ TEST_F(MtmProfilerTest, OverheadControlEscalatesTauM) {
   auto profiler = MakeProfiler(config);
   ASSERT_LT(profiler->NumPageSamples(), profiler->regions().size());
   double tau0 = profiler->current_tau_m();
-  RunInterval(*profiler, 0, 0);
+  RunInterval(*profiler, 0, Bytes{});
   EXPECT_GT(profiler->current_tau_m(), tau0);
 }
 
 TEST_F(MtmProfilerTest, ScanCountRespectsBudget) {
   BuildMapped(MiB(64), 0);
   auto profiler = MakeProfiler(DefaultConfig());
-  RunInterval(*profiler, 0, 0);
+  RunInterval(*profiler, 0, Bytes{});
   // Scans per interval <= num_ps * num_scans (plus PEBS-nominated ones).
   EXPECT_LE(profiler->last_interval_scans(), profiler->NumPageSamples() * 3 + 64);
 }
@@ -207,7 +207,7 @@ TEST_F(MtmProfilerTest, ScanCountRespectsBudget) {
 TEST_F(MtmProfilerTest, ProfilingCostWithinConstraint) {
   BuildMapped(MiB(64), 0);
   auto profiler = MakeProfiler(DefaultConfig());
-  ProfileOutput out = RunInterval(*profiler, 0, 0);
+  ProfileOutput out = RunInterval(*profiler, 0, Bytes{});
   // Cost stays within ~the 5% target of the 20 ms interval (1 ms), with
   // small slack for PEBS drains.
   EXPECT_LE(out.profiling_cost_ns, Millis(1) + Micros(200));
@@ -227,7 +227,7 @@ TEST_F(MtmProfilerTest, PebsNominatesSlowTierRegions) {
   // traffic continues across the scan ticks, as in a live interval.
   auto traffic = [&] {
     for (int i = 0; i < 1000; ++i) {
-      engine_.Apply(start + MiB(2) + (static_cast<u64>(i) % 512) * kPageSize, false, 0);
+      engine_.Apply(start + MiB(2).value() + (static_cast<u64>(i) % 512) * kPageSize, false, 0);
     }
   };
   traffic();
@@ -242,7 +242,7 @@ TEST_F(MtmProfilerTest, PebsNominatesSlowTierRegions) {
   bool nominated_hot = false;
   for (const HotnessEntry& e : out.entries) {
     if (e.hotness > 0) {
-      EXPECT_LT(e.start, start + MiB(6));
+      EXPECT_LT(e.start, start + MiB(6).value());
       nominated_hot = true;
     }
   }
@@ -273,7 +273,7 @@ TEST_F(MtmProfilerTest, HintFaultsResolvePreferredSocket) {
     profiler->OnIntervalStart();
     for (u32 tick = 0; tick < 3; ++tick) {
       // All traffic from socket 1.
-      for (VirtAddr a = start; a < start + MiB(4); a += kPageSize) {
+      for (VirtAddr a = start; a < start + MiB(4).value(); a += kPageSize) {
         engine_.Apply(a, false, /*socket=*/1);
       }
       profiler->OnScanTick(tick);
@@ -294,18 +294,18 @@ TEST_F(MtmProfilerTest, AblationFlagsChangeBehavior) {
   MtmProfiler::Config config = DefaultConfig();
   config.adaptive_regions = false;
   auto no_amr = MakeProfiler(config);
-  ProfileOutput out = RunInterval(*no_amr, 0, 0);
+  ProfileOutput out = RunInterval(*no_amr, 0, Bytes{});
   EXPECT_EQ(out.regions_merged, 0u);
   EXPECT_EQ(out.regions_split, 0u);
-  EXPECT_EQ(no_amr->regions().size(), MiB(32) / kHugePageSize);
+  EXPECT_EQ(no_amr->regions().size(), MiB(32) / kHugePageBytes);
 }
 
 TEST_F(MtmProfilerTest, MemoryOverheadSmall) {
   BuildMapped(MiB(64), 0);
   auto profiler = MakeProfiler(DefaultConfig());
-  RunInterval(*profiler, 0, 0);
-  u64 overhead = profiler->MemoryOverheadBytes();
-  EXPECT_GT(overhead, 0u);
+  RunInterval(*profiler, 0, Bytes{});
+  Bytes overhead = profiler->MemoryOverheadBytes();
+  EXPECT_GT(overhead, Bytes{});
   // Table 5: well under 0.1% of the workload footprint.
   EXPECT_LT(overhead, MiB(64) / 1000 + KiB(64));
 }

@@ -9,7 +9,7 @@ namespace {
 
 constexpr VirtAddr kBase = 0x5500'0000'0000ull;
 
-HotnessEntry Entry(VirtAddr start, u64 len, double hotness) {
+HotnessEntry Entry(VirtAddr start, Bytes len, double hotness) {
   HotnessEntry e;
   e.start = start;
   e.len = len;
@@ -19,20 +19,20 @@ HotnessEntry Entry(VirtAddr start, u64 len, double hotness) {
 
 TEST(OracleTest, NormalizeSortsAndMerges) {
   std::vector<HotRange> ranges = {
-      {kBase + MiB(4), MiB(2)}, {kBase, MiB(1)}, {kBase + MiB(5), MiB(3)}};
+      {kBase + MiB(4).value(), MiB(2)}, {kBase, MiB(1)}, {kBase + MiB(5).value(), MiB(3)}};
   Oracle::Normalize(ranges);
   ASSERT_EQ(ranges.size(), 2u);
   EXPECT_EQ(ranges[0].start, kBase);
-  EXPECT_EQ(ranges[1].start, kBase + MiB(4));
+  EXPECT_EQ(ranges[1].start, kBase + MiB(4).value());
   EXPECT_EQ(ranges[1].len, MiB(4));  // [4,6) + [5,8) -> [4,8)
 }
 
 TEST(OracleTest, OverlapBytes) {
-  std::vector<HotRange> truth = {{kBase, MiB(2)}, {kBase + MiB(8), MiB(2)}};
+  std::vector<HotRange> truth = {{kBase, MiB(2)}, {kBase + MiB(8).value(), MiB(2)}};
   Oracle::Normalize(truth);
   EXPECT_EQ(Oracle::OverlapBytes(truth, kBase, MiB(1)), MiB(1));
-  EXPECT_EQ(Oracle::OverlapBytes(truth, kBase + MiB(1), MiB(2)), MiB(1));
-  EXPECT_EQ(Oracle::OverlapBytes(truth, kBase + MiB(4), MiB(2)), 0u);
+  EXPECT_EQ(Oracle::OverlapBytes(truth, kBase + MiB(1).value(), MiB(2)), MiB(1));
+  EXPECT_EQ(Oracle::OverlapBytes(truth, kBase + MiB(4).value(), MiB(2)), Bytes{});
   EXPECT_EQ(Oracle::OverlapBytes(truth, kBase, MiB(16)), MiB(4));
 }
 
@@ -51,7 +51,7 @@ TEST(OracleTest, CoarseRegionLowersAccuracy) {
   // Figure 1(b) behavior).
   ProfileOutput out;
   out.entries.push_back(Entry(kBase, MiB(16), 1.0));
-  ProfilingQuality q = Oracle::Evaluate({{kBase + MiB(2), MiB(4)}}, out);
+  ProfilingQuality q = Oracle::Evaluate({{kBase + MiB(2).value(), MiB(4)}}, out);
   EXPECT_NEAR(q.recall, 0.5, 1e-9);    // only [2,4) of the hot [2,6) is in the clipped claim
   EXPECT_NEAR(q.accuracy, 0.5, 1e-9);  // half the claimed 4 MiB is actually hot
   EXPECT_EQ(q.claimed_hot_bytes, MiB(4));
@@ -69,7 +69,7 @@ TEST(OracleTest, ClaimsRankedByHotnessUntilTrueVolume) {
   // The cold-but-claimed entry ranks below the hot ones and is not taken
   // once the claimed volume matches the truth volume.
   ProfileOutput out;
-  out.entries.push_back(Entry(kBase + MiB(8), MiB(4), 0.2));   // cold claim
+  out.entries.push_back(Entry(kBase + MiB(8).value(), MiB(4), 0.2));   // cold claim
   out.entries.push_back(Entry(kBase, MiB(4), 3.0));            // true hot
   ProfilingQuality q = Oracle::Evaluate({{kBase, MiB(4)}}, out);
   EXPECT_DOUBLE_EQ(q.recall, 1.0);
@@ -90,12 +90,12 @@ TEST(OracleTest, EmptyTruthYieldsZeroes) {
   out.entries.push_back(Entry(kBase, MiB(4), 1.0));
   ProfilingQuality q = Oracle::Evaluate({}, out);
   EXPECT_DOUBLE_EQ(q.recall, 0.0);
-  EXPECT_EQ(q.true_hot_bytes, 0u);
+  EXPECT_EQ(q.true_hot_bytes, Bytes{});
 }
 
 TEST(OracleTest, WrongPlaceClaims) {
   ProfileOutput out;
-  out.entries.push_back(Entry(kBase + MiB(32), MiB(4), 3.0));
+  out.entries.push_back(Entry(kBase + MiB(32).value(), MiB(4), 3.0));
   ProfilingQuality q = Oracle::Evaluate({{kBase, MiB(4)}}, out);
   EXPECT_DOUBLE_EQ(q.recall, 0.0);
   EXPECT_DOUBLE_EQ(q.accuracy, 0.0);

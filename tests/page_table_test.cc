@@ -16,25 +16,25 @@ constexpr VirtAddr kBase = 0x5500'0000'0000ull;
 
 TEST(PageTableTest, MapAndFindBasePage) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kPageSize, 2, /*huge=*/false).ok());
-  u64 size = 0;
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 2, /*huge=*/false).ok());
+  Bytes size;
   Pte* pte = pt.Find(kBase + 100, &size);
   ASSERT_NE(pte, nullptr);
-  EXPECT_EQ(size, kPageSize);
+  EXPECT_EQ(size, kPageBytes);
   EXPECT_EQ(pte->component, 2u);
   EXPECT_TRUE(pte->present());
   EXPECT_FALSE(pte->huge());
-  EXPECT_EQ(pt.mapped_bytes(), kPageSize);
+  EXPECT_EQ(pt.mapped_bytes(), kPageBytes);
   EXPECT_EQ(pt.mapped_base_pages(), 1u);
 }
 
 TEST(PageTableTest, MapAndFindHugePage) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kHugePageSize, 1, /*huge=*/true).ok());
-  u64 size = 0;
+  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, 1, /*huge=*/true).ok());
+  Bytes size;
   Pte* pte = pt.Find(kBase + kPageSize * 37, &size);
   ASSERT_NE(pte, nullptr);
-  EXPECT_EQ(size, kHugePageSize);
+  EXPECT_EQ(size, kHugePageBytes);
   EXPECT_TRUE(pte->huge());
   EXPECT_EQ(pt.mapped_huge_pages(), 1u);
   // The whole 2 MiB range resolves to the same entry.
@@ -44,26 +44,26 @@ TEST(PageTableTest, MapAndFindHugePage) {
 
 TEST(PageTableTest, UnalignedMapRejected) {
   PageTable pt;
-  EXPECT_FALSE(pt.MapRange(kBase + 1, kPageSize, 0, false).ok());
-  EXPECT_FALSE(pt.MapRange(kBase, kPageSize + 1, 0, false).ok());
-  EXPECT_FALSE(pt.MapRange(kBase + kPageSize, kHugePageSize, 0, true).ok());
-  EXPECT_FALSE(pt.MapRange(kBase, 0, 0, false).ok());
+  EXPECT_FALSE(pt.MapRange(kBase + 1, kPageBytes, 0, false).ok());
+  EXPECT_FALSE(pt.MapRange(kBase, kPageBytes + Bytes(1), 0, false).ok());
+  EXPECT_FALSE(pt.MapRange(kBase + kPageSize, kHugePageBytes, 0, true).ok());
+  EXPECT_FALSE(pt.MapRange(kBase, Bytes{}, 0, false).ok());
 }
 
 TEST(PageTableTest, DoubleMapRejected) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kPageSize, 0, false).ok());
-  EXPECT_EQ(pt.MapRange(kBase, kPageSize, 1, false).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 0, false).ok());
+  EXPECT_EQ(pt.MapRange(kBase, kPageBytes, 1, false).code(), StatusCode::kAlreadyExists);
   // Huge over existing base pages rejected, and vice versa.
-  EXPECT_FALSE(pt.MapRange(PageAlignDown(kBase), kHugePageSize, 1, true).ok());
-  ASSERT_TRUE(pt.MapRange(kBase + kHugePageSize, kHugePageSize, 1, true).ok());
-  EXPECT_FALSE(pt.MapRange(kBase + kHugePageSize, kPageSize, 1, false).ok());
+  EXPECT_FALSE(pt.MapRange(PageAlignDown(kBase), kHugePageBytes, 1, true).ok());
+  ASSERT_TRUE(pt.MapRange(kBase + kHugePageSize, kHugePageBytes, 1, true).ok());
+  EXPECT_FALSE(pt.MapRange(kBase + kHugePageSize, kPageBytes, 1, false).ok());
 }
 
 TEST(PageTableTest, UnmapRange) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, 8 * kPageSize, 0, false).ok());
-  ASSERT_TRUE(pt.UnmapRange(kBase, 4 * kPageSize).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, 8 * kPageBytes, 0, false).ok());
+  ASSERT_TRUE(pt.UnmapRange(kBase, 4 * kPageBytes).ok());
   EXPECT_EQ(pt.Find(kBase), nullptr);
   EXPECT_NE(pt.Find(kBase + 4 * kPageSize), nullptr);
   EXPECT_EQ(pt.mapped_base_pages(), 4u);
@@ -71,15 +71,15 @@ TEST(PageTableTest, UnmapRange) {
 
 TEST(PageTableTest, UnmapCannotSplitHugeMapping) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kHugePageSize, 0, true).ok());
-  EXPECT_FALSE(pt.UnmapRange(kBase, kPageSize).ok());
-  EXPECT_TRUE(pt.UnmapRange(kBase, kHugePageSize).ok());
-  EXPECT_EQ(pt.mapped_bytes(), 0u);
+  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, 0, true).ok());
+  EXPECT_FALSE(pt.UnmapRange(kBase, kPageBytes).ok());
+  EXPECT_TRUE(pt.UnmapRange(kBase, kHugePageBytes).ok());
+  EXPECT_EQ(pt.mapped_bytes(), Bytes{});
 }
 
 TEST(PageTableTest, TouchSetsAccessedAndDirty) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kPageSize, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 0, false).ok());
   Pte* pte = nullptr;
   EXPECT_EQ(pt.Touch(kBase, /*is_write=*/false, &pte), PageTable::TouchResult::kOk);
   ASSERT_NE(pte, nullptr);
@@ -96,7 +96,7 @@ TEST(PageTableTest, TouchUnmappedIsFault) {
 
 TEST(PageTableTest, WriteTrackFaultOnlyOnWrite) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kPageSize, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 0, false).ok());
   pt.Find(kBase)->Set(Pte::kWriteTracked);
   EXPECT_EQ(pt.Touch(kBase, /*is_write=*/false), PageTable::TouchResult::kOk);
   EXPECT_EQ(pt.Touch(kBase, /*is_write=*/true), PageTable::TouchResult::kWriteTrackFault);
@@ -106,7 +106,7 @@ TEST(PageTableTest, ScanAccessedReadsAndClears) {
   // The paper's PTE-scan primitive: read the accessed bit, clear it, no TLB
   // flush (§5).
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kPageSize, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 0, false).ok());
   bool accessed = true;
   ASSERT_TRUE(pt.ScanAccessed(kBase, &accessed));
   EXPECT_FALSE(accessed);  // not yet touched
@@ -121,7 +121,7 @@ TEST(PageTableTest, ScanAccessedReadsAndClears) {
 TEST(PageTableTest, HugePageHasOneAccessedBit) {
   // §5.4: a huge page is profiled through its single PDE.
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kHugePageSize, 0, true).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, 0, true).ok());
   pt.Touch(kBase + 300 * kPageSize, false);
   bool accessed = false;
   ASSERT_TRUE(pt.ScanAccessed(kBase + 7 * kPageSize, &accessed));
@@ -130,15 +130,15 @@ TEST(PageTableTest, HugePageHasOneAccessedBit) {
 
 TEST(PageTableTest, SplitHuge) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kHugePageSize, 3, true).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, 3, true).ok());
   pt.Touch(kBase, true);
   ASSERT_TRUE(pt.SplitHuge(kBase + 5 * kPageSize).ok());
   EXPECT_EQ(pt.mapped_huge_pages(), 0u);
   EXPECT_EQ(pt.mapped_base_pages(), kPagesPerHugePage);
-  u64 size = 0;
+  Bytes size;
   Pte* pte = pt.Find(kBase + 100 * kPageSize, &size);
   ASSERT_NE(pte, nullptr);
-  EXPECT_EQ(size, kPageSize);
+  EXPECT_EQ(size, kPageBytes);
   EXPECT_EQ(pte->component, 3u);
   EXPECT_TRUE(pte->accessed());  // A/D bits inherited
   EXPECT_TRUE(pte->dirty());
@@ -147,14 +147,14 @@ TEST(PageTableTest, SplitHuge) {
 
 TEST(PageTableTest, ForEachMappingVisitsInOrder) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, 3 * kPageSize, 0, false).ok());
-  ASSERT_TRUE(pt.MapRange(kBase + kHugePageSize, kHugePageSize, 1, true).ok());
-  std::vector<std::pair<VirtAddr, u64>> seen;
-  pt.ForEachMapping(kBase, 2 * kHugePageSize,
-                    [&](VirtAddr addr, u64 size, Pte&) { seen.emplace_back(addr, size); });
+  ASSERT_TRUE(pt.MapRange(kBase, 3 * kPageBytes, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase + kHugePageSize, kHugePageBytes, 1, true).ok());
+  std::vector<std::pair<VirtAddr, Bytes>> seen;
+  pt.ForEachMapping(kBase, 2 * kHugePageBytes,
+                    [&](VirtAddr addr, Bytes size, Pte&) { seen.emplace_back(addr, size); });
   ASSERT_EQ(seen.size(), 4u);
-  EXPECT_EQ(seen[0], std::make_pair(kBase, kPageSize));
-  EXPECT_EQ(seen[3], std::make_pair(kBase + kHugePageSize, kHugePageSize));
+  EXPECT_EQ(seen[0], std::make_pair(kBase, kPageBytes));
+  EXPECT_EQ(seen[3], std::make_pair(kBase + kHugePageSize, kHugePageBytes));
   for (std::size_t i = 1; i < seen.size(); ++i) {
     EXPECT_GT(seen[i].first, seen[i - 1].first);
   }
@@ -162,20 +162,20 @@ TEST(PageTableTest, ForEachMappingVisitsInOrder) {
 
 TEST(PageTableTest, ForEachMappingRespectsRangeStart) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, 4 * kPageSize, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, 4 * kPageBytes, 0, false).ok());
   int count = 0;
-  pt.ForEachMapping(kBase + 2 * kPageSize, 2 * kPageSize,
-                    [&](VirtAddr, u64, Pte&) { ++count; });
+  pt.ForEachMapping(kBase + 2 * kPageSize, 2 * kPageBytes,
+                    [&](VirtAddr, Bytes, Pte&) { ++count; });
   EXPECT_EQ(count, 2);
 }
 
 TEST(PageTableTest, GenerationBumpsOnStructuralChange) {
   PageTable pt;
   u64 g0 = pt.generation();
-  ASSERT_TRUE(pt.MapRange(kBase, kPageSize, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 0, false).ok());
   u64 g1 = pt.generation();
   EXPECT_GT(g1, g0);
-  ASSERT_TRUE(pt.UnmapRange(kBase, kPageSize).ok());
+  ASSERT_TRUE(pt.UnmapRange(kBase, kPageBytes).ok());
   EXPECT_GT(pt.generation(), g1);
 }
 
@@ -192,8 +192,8 @@ TEST(PageTableTest, ScanCostOfLargeTable) {
   PageTable pt;
   ASSERT_TRUE(pt.MapRange(kBase, MiB(256), 0, false).ok());
   u64 visited = 0;
-  pt.ForEachMapping(kBase, MiB(256), [&](VirtAddr, u64, Pte&) { ++visited; });
-  EXPECT_EQ(visited, MiB(256) / kPageSize);
+  pt.ForEachMapping(kBase, MiB(256), [&](VirtAddr, Bytes, Pte&) { ++visited; });
+  EXPECT_EQ(visited, NumPages(MiB(256)));
 }
 
 // Property test: a random interleaving of maps and unmaps never corrupts
@@ -207,16 +207,16 @@ TEST(PageTablePropertyTest, RandomMapUnmapConsistency) {
     u64 slot = rng.NextBounded(slots);
     VirtAddr addr = kBase + slot * kHugePageSize;
     if (mapped.count(slot)) {
-      ASSERT_TRUE(pt.UnmapRange(addr, kHugePageSize).ok());
+      ASSERT_TRUE(pt.UnmapRange(addr, kHugePageBytes).ok());
       mapped.erase(slot);
     } else {
       bool huge = rng.NextBernoulli(0.5);
-      ASSERT_TRUE(pt.MapRange(addr, kHugePageSize, static_cast<ComponentId>(slot % 4), huge)
+      ASSERT_TRUE(pt.MapRange(addr, kHugePageBytes, static_cast<ComponentId>(slot % 4), huge)
                       .ok());
       mapped.insert(slot);
     }
   }
-  u64 expected_bytes = mapped.size() * kHugePageSize;
+  Bytes expected_bytes = HugePagesToBytes(mapped.size());
   EXPECT_EQ(pt.mapped_bytes(), expected_bytes);
   for (u64 slot = 0; slot < slots; ++slot) {
     VirtAddr addr = kBase + slot * kHugePageSize + kPageSize * 3;
@@ -241,7 +241,7 @@ TEST_P(PageTableParamTest, MapTouchScanCycle) {
   const HugenessCase& param = GetParam();
   PageTable pt;
   u64 unit = param.huge ? kHugePageSize : kPageSize;
-  ASSERT_TRUE(pt.MapRange(kBase, param.pages * unit, 0, param.huge).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, Bytes(param.pages * unit), 0, param.huge).ok());
   for (u64 i = 0; i < param.pages; ++i) {
     EXPECT_EQ(pt.Touch(kBase + i * unit + 64, i % 2 == 0), PageTable::TouchResult::kOk);
   }

@@ -80,9 +80,9 @@ TEST_F(PlacementTest, ThpVmaGetsHugeMapping) {
   auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
   VirtAddr addr = address_space_.vma(vma).start + 123456;
   handler.HandlePageFault(addr, 0, false);
-  u64 size = 0;
+  Bytes size;
   ASSERT_NE(page_table_.Find(addr, &size), nullptr);
-  EXPECT_EQ(size, kHugePageSize);
+  EXPECT_EQ(size, kHugePageBytes);
   EXPECT_EQ(handler.huge_faults(), 1u);
 }
 
@@ -91,15 +91,15 @@ TEST_F(PlacementTest, HugeFallsBackToBasePageUnderPressure) {
   auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
   // Leave less than one huge page free everywhere.
   for (u32 c = 0; c < machine_.num_components(); ++c) {
-    u64 keep = c == machine_.TierOrder(0)[0] ? kPageSize * 3 : 0;
+    Bytes keep = c == machine_.TierOrder(0)[0] ? 3 * kPageBytes : Bytes{};
     ASSERT_TRUE(frames_.Reserve(c, frames_.free_bytes(c) - keep));
   }
   VirtAddr addr = address_space_.vma(vma).start;
   ComponentId placed = handler.HandlePageFault(addr, 0, false);
   EXPECT_NE(placed, kInvalidComponent);
-  u64 size = 0;
+  Bytes size;
   ASSERT_NE(page_table_.Find(addr, &size), nullptr);
-  EXPECT_EQ(size, kPageSize);
+  EXPECT_EQ(size, kPageBytes);
   EXPECT_EQ(handler.base_faults(), 1u);
 }
 
@@ -108,15 +108,15 @@ TEST_F(PlacementTest, NonThpVmaUsesBasePages) {
   auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
   VirtAddr addr = address_space_.vma(vma).start;
   handler.HandlePageFault(addr, 0, false);
-  u64 size = 0;
+  Bytes size;
   ASSERT_NE(page_table_.Find(addr, &size), nullptr);
-  EXPECT_EQ(size, kPageSize);
+  EXPECT_EQ(size, kPageBytes);
 }
 
 TEST_F(PlacementTest, FrameAccountingMatchesMappings) {
   u32 vma = address_space_.Allocate(MiB(4), true, "x");
   auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
-  for (u64 off = 0; off < MiB(4); off += kHugePageSize) {
+  for (u64 off = 0; off < MiB(4).value(); off += kHugePageSize) {
     handler.HandlePageFault(address_space_.vma(vma).start + off, 0, false);
   }
   EXPECT_EQ(frames_.total_used(), MiB(4));
@@ -127,10 +127,10 @@ TEST(FrameAllocatorTest, ReserveRelease) {
   Machine machine = Machine::OptaneFourTier(512);
   FrameAllocator frames(machine);
   ComponentId c = 0;
-  u64 cap = frames.capacity(c);
+  Bytes cap = frames.capacity(c);
   EXPECT_TRUE(frames.Reserve(c, cap));
-  EXPECT_FALSE(frames.Reserve(c, 1));
-  EXPECT_EQ(frames.free_bytes(c), 0u);
+  EXPECT_FALSE(frames.Reserve(c, Bytes(1)));
+  EXPECT_EQ(frames.free_bytes(c), Bytes{});
   frames.Release(c, cap / 2);
   EXPECT_EQ(frames.free_bytes(c), cap / 2);
 }

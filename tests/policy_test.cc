@@ -23,7 +23,7 @@ class PolicyTest : public ::testing::Test {
   }
 
   // Maps a region on `component` and returns its hotness entry.
-  HotnessEntry MakeRegion(u64 bytes, ComponentId component, double hotness, u32 socket = 0) {
+  HotnessEntry MakeRegion(Bytes bytes, ComponentId component, double hotness, u32 socket = 0) {
     u32 vma = address_space_.Allocate(bytes, false, "r");
     VirtAddr start = address_space_.vma(vma).start;
     EXPECT_TRUE(page_table_.MapRange(start, address_space_.vma(vma).len, component, false).ok());
@@ -67,11 +67,11 @@ TEST_F(PolicyTest, MtmRespectsBudget) {
   }
   MtmPolicy policy({.promote_batch_bytes = MiB(4)});
   std::vector<MigrationOrder> orders = policy.Decide(Wrap(entries), ctx_);
-  u64 promoted = 0;
+  Bytes promoted;
   for (const auto& o : orders) {
     promoted += o.len;
   }
-  EXPECT_LE(promoted, MiB(4) + kHugePageSize);
+  EXPECT_LE(promoted, MiB(4) + kHugePageBytes);
   EXPECT_GE(promoted, MiB(4));
 }
 
@@ -133,7 +133,7 @@ TEST_F(PolicyTest, MtmUsesPreferredSocketView) {
 TEST_F(PolicyTest, MtmPartialPromotionTargetsSlowSlice) {
   // A region half-resident in t1 promotes its slow half, not its head.
   HotnessEntry hot = MakeRegion(MiB(4), t3_, 3.0);
-  page_table_.ForEachMapping(hot.start, MiB(2), [&](VirtAddr, u64, Pte& pte) {
+  page_table_.ForEachMapping(hot.start, MiB(2), [&](VirtAddr, Bytes, Pte& pte) {
     pte.component = t1_;
   });
   frames_.Release(t3_, MiB(2));
@@ -141,7 +141,7 @@ TEST_F(PolicyTest, MtmPartialPromotionTargetsSlowSlice) {
   MtmPolicy policy({.promote_batch_bytes = MiB(2)});
   std::vector<MigrationOrder> orders = policy.Decide(Wrap({hot}), ctx_);
   ASSERT_EQ(orders.size(), 1u);
-  EXPECT_EQ(orders[0].start, hot.start + MiB(2));
+  EXPECT_EQ(orders[0].start, hot.start + MiB(2).value());
 }
 
 TEST_F(PolicyTest, MtmAdaptiveHotnessScale) {
@@ -156,7 +156,7 @@ TEST_F(PolicyTest, MtmAdaptiveHotnessScale) {
 
 TEST_F(PolicyTest, AutoNumaPromotesPmToLocalDramOnly) {
   // Kernel-style one-step move: PM page -> the DRAM of its own socket.
-  HotnessEntry page = MakeRegion(kPageSize, t4_, 2.0);  // PM1, home socket 1
+  HotnessEntry page = MakeRegion(kPageBytes, t4_, 2.0);  // PM1, home socket 1
   AutoNumaPolicy policy({.promote_batch_bytes = MiB(2), .patched = true});
   std::vector<MigrationOrder> orders = policy.Decide(Wrap({page}), ctx_);
   ASSERT_EQ(orders.size(), 1u);
@@ -164,7 +164,7 @@ TEST_F(PolicyTest, AutoNumaPromotesPmToLocalDramOnly) {
 }
 
 TEST_F(PolicyTest, AutoNumaRebalancesRemoteDram) {
-  HotnessEntry page = MakeRegion(kPageSize, t2_, 2.0, /*socket=*/0);  // DRAM1
+  HotnessEntry page = MakeRegion(kPageBytes, t2_, 2.0, /*socket=*/0);  // DRAM1
   AutoNumaPolicy policy({.promote_batch_bytes = MiB(2), .patched = true});
   std::vector<MigrationOrder> orders = policy.Decide(Wrap({page}), ctx_);
   ASSERT_EQ(orders.size(), 1u);
@@ -172,18 +172,18 @@ TEST_F(PolicyTest, AutoNumaRebalancesRemoteDram) {
 }
 
 TEST_F(PolicyTest, AutoNumaPatchedRanksByFaults) {
-  HotnessEntry cold = MakeRegion(kPageSize, t3_, 1.0);
-  HotnessEntry hot = MakeRegion(kPageSize, t3_, 9.0);
-  AutoNumaPolicy policy({.promote_batch_bytes = kPageSize, .patched = true});
+  HotnessEntry cold = MakeRegion(kPageBytes, t3_, 1.0);
+  HotnessEntry hot = MakeRegion(kPageBytes, t3_, 9.0);
+  AutoNumaPolicy policy({.promote_batch_bytes = kPageBytes, .patched = true});
   std::vector<MigrationOrder> orders = policy.Decide(Wrap({cold, hot}), ctx_);
   ASSERT_EQ(orders.size(), 1u);
   EXPECT_EQ(orders[0].start, hot.start);
 }
 
 TEST_F(PolicyTest, AutoNumaVanillaTakesArrivalOrder) {
-  HotnessEntry first = MakeRegion(kPageSize, t3_, 1.0);
-  HotnessEntry second = MakeRegion(kPageSize, t3_, 9.0);
-  AutoNumaPolicy policy({.promote_batch_bytes = kPageSize, .patched = false});
+  HotnessEntry first = MakeRegion(kPageBytes, t3_, 1.0);
+  HotnessEntry second = MakeRegion(kPageBytes, t3_, 9.0);
+  AutoNumaPolicy policy({.promote_batch_bytes = kPageBytes, .patched = false});
   std::vector<MigrationOrder> orders = policy.Decide(Wrap({first, second}), ctx_);
   ASSERT_EQ(orders.size(), 1u);
   EXPECT_EQ(orders[0].start, first.start);
@@ -209,8 +209,8 @@ TEST_F(PolicyTest, AutoTieringFallsBackToFullTier) {
 }
 
 TEST_F(PolicyTest, HememPromotesAboveThreshold) {
-  HotnessEntry hot = MakeRegion(kPageSize, t3_, 5.0);
-  HotnessEntry cool = MakeRegion(kPageSize, t3_, 1.0);
+  HotnessEntry hot = MakeRegion(kPageBytes, t3_, 5.0);
+  HotnessEntry cool = MakeRegion(kPageBytes, t3_, 1.0);
   HememPolicy policy({.promote_batch_bytes = MiB(2), .hot_threshold = 2.0});
   std::vector<MigrationOrder> orders = policy.Decide(Wrap({hot, cool}), ctx_);
   ASSERT_EQ(orders.size(), 1u);

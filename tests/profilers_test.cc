@@ -27,7 +27,7 @@ class ProfilersTest : public ::testing::Test {
     engine_.set_tracker(&tracker_);
   }
 
-  VirtAddr BuildMapped(u64 bytes, ComponentId component, bool huge = false) {
+  VirtAddr BuildMapped(Bytes bytes, ComponentId component, bool huge = false) {
     u32 vma = address_space_.Allocate(bytes, huge, "w");
     VirtAddr start = address_space_.vma(vma).start;
     EXPECT_TRUE(page_table_.MapRange(start, address_space_.vma(vma).len, component, huge).ok());
@@ -35,9 +35,9 @@ class ProfilersTest : public ::testing::Test {
     return start;
   }
 
-  void TouchRange(VirtAddr start, u64 len, int repeat = 1, u32 socket = 0) {
+  void TouchRange(VirtAddr start, Bytes len, int repeat = 1, u32 socket = 0) {
     for (int r = 0; r < repeat; ++r) {
-      for (VirtAddr a = start; a < start + len; a += kPageSize) {
+      for (VirtAddr a = start; a < start + len.value(); a += kPageSize) {
         engine_.Apply(a, false, socket);
       }
     }
@@ -88,7 +88,7 @@ TEST_F(ProfilersTest, DamonRegionCountStaysBounded) {
   for (int i = 0; i < 20; ++i) {
     damon.OnIntervalStart();
     for (u32 t = 0; t < 3; ++t) {
-      TouchRange(start + MiB(8), MiB(4));
+      TouchRange(start + MiB(8).value(), MiB(4));
       damon.OnScanTick(t);
     }
     damon.OnIntervalEnd();
@@ -112,7 +112,7 @@ TEST_F(ProfilersTest, DamonDetectsHotVmaEventually) {
     }
     ProfileOutput out = damon.OnIntervalEnd();
     for (const HotnessEntry& e : out.entries) {
-      if (e.start < start + MiB(2)) {
+      if (e.start < start + MiB(2).value()) {
         best_hot = std::max(best_hot, e.hotness);
       }
     }
@@ -130,7 +130,7 @@ TEST_F(ProfilersTest, ThermostatFixedRegions) {
   thermo.Initialize();
   thermo.OnIntervalStart();
   ProfileOutput out = thermo.OnIntervalEnd();
-  EXPECT_EQ(out.num_regions, MiB(8) / kHugePageSize);
+  EXPECT_EQ(out.num_regions, MiB(8) / kHugePageBytes);
 }
 
 TEST_F(ProfilersTest, ThermostatBudgetReflectsCostMultiplier) {
@@ -190,7 +190,7 @@ TEST_F(ProfilersTest, AutoNumaArmsAndObservesFaults) {
   TouchRange(start, MiB(1));
   ProfileOutput out = profiler.OnIntervalEnd();
   EXPECT_GT(out.entries.size(), 0u);
-  EXPECT_EQ(out.entries.size(), MiB(1) / kPageSize);
+  EXPECT_EQ(out.entries.size(), MiB(1) / kPageBytes);
   for (const HotnessEntry& e : out.entries) {
     EXPECT_GE(e.hotness, 0.9);
   }
@@ -203,7 +203,7 @@ TEST_F(ProfilersTest, AutoNumaWindowLimitsArming) {
   AutoNumaProfiler profiler(page_table_, address_space_, engine_, config);
   profiler.OnIntervalStart();
   ProfileOutput out = profiler.OnIntervalEnd();
-  EXPECT_EQ(out.pte_scans, MiB(1) / kPageSize);  // pages armed
+  EXPECT_EQ(out.pte_scans, MiB(1) / kPageBytes);  // pages armed
 }
 
 TEST_F(ProfilersTest, AutoNumaVanillaTwoTouch) {
@@ -256,7 +256,7 @@ TEST_F(ProfilersTest, AutoTieringSamplesWindow) {
   ProfileOutput out = profiler.OnIntervalEnd();
   // The scan touches pages_per_chunk PTEs per sampled chunk; nothing was
   // accessed, so no chunk enters the accumulated hot set.
-  EXPECT_EQ(out.pte_scans, (MiB(8) / kHugePageSize) * config.pages_per_chunk);
+  EXPECT_EQ(out.pte_scans, (MiB(8) / kHugePageBytes) * config.pages_per_chunk);
   EXPECT_EQ(out.num_regions, 0u);
 }
 
@@ -268,7 +268,7 @@ TEST_F(ProfilersTest, AutoTieringDetectsTouchedChunks) {
   profiler.OnIntervalStart();
   TouchRange(start, MiB(8));
   ProfileOutput out = profiler.OnIntervalEnd();
-  EXPECT_GT(out.hot_bytes, 0u);
+  EXPECT_GT(out.hot_bytes, Bytes{});
 }
 
 // ----------------------------------------------------------------- HeMem --

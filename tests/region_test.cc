@@ -11,12 +11,12 @@ constexpr VirtAddr kBase = 0x5500'0000'0000ull;
 
 TEST(RegionMapTest, SeedRangeDefaultSize) {
   RegionMap map;
-  map.SeedRange(kBase, kBase + 8 * kHugePageSize, kHugePageSize);
+  map.SeedRange(kBase, kBase + 8 * kHugePageSize, kHugePageBytes);
   EXPECT_EQ(map.size(), 8u);
   VirtAddr expected = kBase;
   for (const auto& [start, region] : map) {
     EXPECT_EQ(region.start, expected);
-    EXPECT_EQ(region.bytes(), kHugePageSize);
+    EXPECT_EQ(region.bytes(), kHugePageBytes);
     expected = region.end;
   }
   EXPECT_EQ(expected, kBase + 8 * kHugePageSize);
@@ -24,15 +24,15 @@ TEST(RegionMapTest, SeedRangeDefaultSize) {
 
 TEST(RegionMapTest, SeedRangeUnevenTail) {
   RegionMap map;
-  map.SeedRange(kBase, kBase + kHugePageSize + 3 * kPageSize, kHugePageSize);
+  map.SeedRange(kBase, kBase + kHugePageSize + 3 * kPageSize, kHugePageBytes);
   EXPECT_EQ(map.size(), 2u);
   auto last = std::prev(map.end());
-  EXPECT_EQ(last->second.bytes(), 3 * kPageSize);
+  EXPECT_EQ(last->second.bytes(), 3 * kPageBytes);
 }
 
 TEST(RegionMapTest, SeedUnalignedStartAlignsBoundaries) {
   RegionMap map;
-  map.SeedRange(kBase + 3 * kPageSize, kBase + 2 * kHugePageSize, kHugePageSize);
+  map.SeedRange(kBase + 3 * kPageSize, kBase + 2 * kHugePageSize, kHugePageBytes);
   // First region ends at the next huge boundary so later regions align.
   auto it = map.begin();
   EXPECT_EQ(it->second.end % kHugePageSize, 0u);
@@ -40,7 +40,7 @@ TEST(RegionMapTest, SeedUnalignedStartAlignsBoundaries) {
 
 TEST(RegionMapTest, FindContaining) {
   RegionMap map;
-  map.SeedRange(kBase, kBase + 4 * kHugePageSize, kHugePageSize);
+  map.SeedRange(kBase, kBase + 4 * kHugePageSize, kHugePageBytes);
   auto it = map.FindContaining(kBase + kHugePageSize + 7);
   ASSERT_NE(it, map.end());
   EXPECT_EQ(it->second.start, kBase + kHugePageSize);
@@ -50,26 +50,26 @@ TEST(RegionMapTest, FindContaining) {
 
 TEST(RegionMapTest, MergeWithNext) {
   RegionMap map;
-  map.SeedRange(kBase, kBase + 2 * kHugePageSize, kHugePageSize);
+  map.SeedRange(kBase, kBase + 2 * kHugePageSize, kHugePageBytes);
   u64 id = map.begin()->second.id;
   auto merged = map.MergeWithNext(map.begin());
   ASSERT_NE(merged, map.end());
   EXPECT_EQ(map.size(), 1u);
   EXPECT_EQ(merged->second.id, id);  // keeps the left id
-  EXPECT_EQ(merged->second.bytes(), 2 * kHugePageSize);
+  EXPECT_EQ(merged->second.bytes(), 2 * kHugePageBytes);
 }
 
 TEST(RegionMapTest, MergeNonAdjacentFails) {
   RegionMap map;
-  map.SeedRange(kBase, kBase + kHugePageSize, kHugePageSize);
-  map.SeedRange(kBase + 4 * kHugePageSize, kBase + 5 * kHugePageSize, kHugePageSize);
+  map.SeedRange(kBase, kBase + kHugePageSize, kHugePageBytes);
+  map.SeedRange(kBase + 4 * kHugePageSize, kBase + 5 * kHugePageSize, kHugePageBytes);
   EXPECT_EQ(map.MergeWithNext(map.begin()), map.end());
   EXPECT_EQ(map.size(), 2u);
 }
 
 TEST(RegionMapTest, SplitCreatesFreshId) {
   RegionMap map;
-  map.SeedRange(kBase, kBase + 4 * kHugePageSize, 4 * kHugePageSize);
+  map.SeedRange(kBase, kBase + 4 * kHugePageSize, 4 * kHugePageBytes);
   ASSERT_EQ(map.size(), 1u);
   u64 left_id = map.begin()->second.id;
   RegionMap::iterator first;
@@ -83,7 +83,7 @@ TEST(RegionMapTest, SplitCreatesFreshId) {
 
 TEST(RegionMapTest, SplitRejectsBoundaries) {
   RegionMap map;
-  map.SeedRange(kBase, kBase + kHugePageSize, kHugePageSize);
+  map.SeedRange(kBase, kBase + kHugePageSize, kHugePageBytes);
   EXPECT_FALSE(map.Split(map.begin(), kBase, nullptr, nullptr));
   EXPECT_FALSE(map.Split(map.begin(), kBase + kHugePageSize, nullptr, nullptr));
 }
@@ -140,7 +140,7 @@ TEST(RegionTest, HotnessVariance) {
 TEST(RegionMapPropertyTest, CoverageInvariant) {
   RegionMap map;
   const VirtAddr end = kBase + 64 * kHugePageSize;
-  map.SeedRange(kBase, end, kHugePageSize);
+  map.SeedRange(kBase, end, kHugePageBytes);
   Rng rng(99);
   for (int step = 0; step < 500; ++step) {
     u64 pick = rng.NextBounded(map.size());

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/flags.h"
+#include "src/common/units.h"
 #include "src/core/report.h"
 
 namespace mtm {
@@ -11,14 +12,14 @@ RunResult SampleResult() {
   RunResult r;
   r.workload = "gups";
   r.solution = "mtm";
-  r.app_ns = 2'000'000'000;
-  r.profiling_ns = 100'000'000;
-  r.migration_ns = 50'000'000;
+  r.app_ns = Nanos(2'000'000'000);
+  r.profiling_ns = Nanos(100'000'000);
+  r.migration_ns = Nanos(50'000'000);
   r.total_accesses = 1'000'000;
   r.component_app_accesses = {700'000, 100'000, 200'000, 0};
   r.migration_stats.bytes_migrated = MiB(64);
   r.migration_stats.sync_fallbacks = 3;
-  r.profiler_memory_bytes = 4096;
+  r.profiler_memory_bytes = Bytes(4096);
   r.footprint_bytes = GiB(1);
   return r;
 }
@@ -43,7 +44,7 @@ TEST(ReportTest, HumanReportMentionsEverything) {
 TEST(ReportTest, JsonWellFormedish) {
   RunResult r = SampleResult();
   IntervalRecord iv;
-  iv.end_time_ns = 1'000'000;
+  iv.end_time_ns = Nanos(1'000'000);
   iv.fast_tier_accesses = 42;
   r.intervals.push_back(iv);
   std::string json = JsonReport(r);

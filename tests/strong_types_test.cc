@@ -1,0 +1,238 @@
+// Tests for the strong unit/ID types (src/common/strong_types.h,
+// src/common/types.h), the unit constructors (src/common/units.h), and the
+// single-evaluation guarantee of the MTM_CHECK_* comparison macros.
+//
+// The compile-time sections are the point of the strong types: a
+// SimNanos/Bytes or Vpn/Pfn mix-up must fail to build, and the
+// static_asserts below pin that down so a future "convenience" implicit
+// conversion cannot sneak in.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/common/types.h"
+#include "src/common/units.h"
+
+namespace mtm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Expression-validity probes. CanX<A, B> is true iff `a x b` compiles.
+
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type {};
+template <typename A, typename B>
+struct CanAdd<A, B, std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanSub : std::false_type {};
+template <typename A, typename B>
+struct CanSub<A, B, std::void_t<decltype(std::declval<A>() - std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanMul : std::false_type {};
+template <typename A, typename B>
+struct CanMul<A, B, std::void_t<decltype(std::declval<A>() * std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanCompare : std::false_type {};
+template <typename A, typename B>
+struct CanCompare<A, B, std::void_t<decltype(std::declval<A>() < std::declval<B>())>>
+    : std::true_type {};
+
+// --- The deliberate-mix-up matrix: every row here is a bug the old raw
+// --- u64 aliases would have compiled silently.
+static_assert(!CanAdd<SimNanos, Bytes>::value, "time + bytes must not compile");
+static_assert(!CanAdd<Bytes, SimNanos>::value, "bytes + time must not compile");
+static_assert(!CanSub<SimNanos, Bytes>::value, "time - bytes must not compile");
+static_assert(!CanCompare<SimNanos, Bytes>::value, "time < bytes must not compile");
+static_assert(!std::is_constructible_v<Vpn, Pfn>, "Vpn from Pfn must not compile");
+static_assert(!std::is_constructible_v<Pfn, Vpn>, "Pfn from Vpn must not compile");
+static_assert(!std::is_assignable_v<Vpn&, Pfn>, "vpn = pfn must not compile");
+static_assert(!CanCompare<Vpn, Pfn>::value, "vpn < pfn must not compile");
+static_assert(!CanSub<Vpn, Pfn>::value, "vpn - pfn must not compile");
+
+// --- No implicit raw-integer bridging in either direction.
+static_assert(!std::is_convertible_v<u64, Bytes>, "construction must be explicit");
+static_assert(!std::is_convertible_v<u64, SimNanos>, "construction must be explicit");
+static_assert(!std::is_convertible_v<Bytes, u64>, "unwrapping goes through .value()");
+static_assert(!std::is_convertible_v<SimNanos, u64>, "unwrapping goes through .value()");
+static_assert(!std::is_convertible_v<u64, Vpn>, "construction must be explicit");
+static_assert(!CanAdd<Bytes, u64>::value, "bytes + raw count must not compile");
+static_assert(!CanCompare<Bytes, u64>::value, "bytes < raw count must not compile");
+static_assert(!CanCompare<SimNanos, int>::value, "time < raw int must not compile");
+
+// --- Dimensionally meaningless operations on the allowed types.
+static_assert(!CanMul<Bytes, Bytes>::value, "bytes * bytes has no meaning here");
+static_assert(!CanMul<SimNanos, SimNanos>::value, "time * time has no meaning here");
+static_assert(!CanAdd<Vpn, Vpn>::value, "page numbers do not add");
+static_assert(!CanMul<Vpn, u64>::value, "page numbers do not scale");
+
+// --- And the arithmetic that IS meaningful, with the expected result types.
+static_assert(std::is_same_v<decltype(Bytes{} + Bytes{}), Bytes>);
+static_assert(std::is_same_v<decltype(Bytes{} / kPageBytes), u64>, "ratio is dimensionless");
+static_assert(std::is_same_v<decltype(Bytes{} % kPageBytes), Bytes>, "remainder keeps dimension");
+static_assert(std::is_same_v<decltype(Bytes{} * u64{2}), Bytes>);
+static_assert(std::is_same_v<decltype(SimNanos{} - SimNanos{}), SimNanos>);
+static_assert(std::is_same_v<decltype(Vpn{} - Vpn{}), u64>, "ordinal difference is a count");
+static_assert(std::is_same_v<decltype(Vpn{} + u64{3}), Vpn>, "ordinal offset by a count");
+
+// --- Everything stays constexpr-friendly.
+static_assert(MiB(2) == kHugePageBytes);
+static_assert(Seconds(1) / Millis(1) == 1000);
+static_assert(NumPages(kHugePageBytes) == kPagesPerHugePage);
+
+TEST(StrongTypeTest, QuantityArithmetic) {
+  Bytes b = MiB(3);
+  b += MiB(1);
+  EXPECT_EQ(b, MiB(4));
+  b -= MiB(2);
+  EXPECT_EQ(b, MiB(2));
+  EXPECT_EQ(b * 3, MiB(6));
+  EXPECT_EQ(3 * b, MiB(6));
+  EXPECT_EQ(MiB(6) / 3, MiB(2));
+  EXPECT_EQ(MiB(6) / MiB(2), 3u);
+  EXPECT_EQ((MiB(2) + Bytes(5)) % kHugePageBytes, Bytes(5));
+  EXPECT_LT(MiB(1), MiB(2));
+  EXPECT_TRUE(Bytes{}.IsZero());
+  EXPECT_FALSE(static_cast<bool>(Bytes{}));
+  EXPECT_TRUE(static_cast<bool>(Bytes(1)));
+}
+
+TEST(StrongTypeTest, OrdinalArithmetic) {
+  Vpn v(100);
+  EXPECT_EQ(v + 5, Vpn(105));
+  EXPECT_EQ(v - 5, Vpn(95));
+  EXPECT_EQ(Vpn(105) - v, 5u);
+  EXPECT_EQ(++v, Vpn(101));
+  EXPECT_EQ(v++, Vpn(101));
+  EXPECT_EQ(v, Vpn(102));
+  EXPECT_LT(Pfn(1), Pfn(2));
+  EXPECT_LT(TierId(0), TierId(3));
+}
+
+TEST(StrongTypeTest, DefaultConstructionIsZero) {
+  EXPECT_EQ(Bytes{}, Bytes(0));
+  EXPECT_EQ(SimNanos{}, SimNanos(0));
+  EXPECT_EQ(Vpn{}, Vpn(0));
+}
+
+TEST(StrongTypeTest, Streaming) {
+  std::ostringstream os;
+  os << MiB(2) << " " << Nanos(90) << " " << Vpn(7);
+  EXPECT_EQ(os.str(), "2097152 90 7");
+}
+
+TEST(StrongTypeTest, Hashing) {
+  std::unordered_set<Vpn> set;
+  set.insert(Vpn(1));
+  set.insert(Vpn(2));
+  set.insert(Vpn(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(std::hash<Bytes>{}(MiB(1)), std::hash<Bytes>{}(MiB(1)));
+}
+
+TEST(UnitsTest, SizeConstructorsAgree) {
+  EXPECT_EQ(KiB(1024), MiB(1));
+  EXPECT_EQ(MiB(1024), GiB(1));
+  EXPECT_EQ(GiB(1024), TiB(1));
+  EXPECT_EQ(TiB(1).value(), u64{1} << 40);
+}
+
+TEST(UnitsTest, TimeConstructorsAgree) {
+  EXPECT_EQ(Micros(1), Nanos(1000));
+  EXPECT_EQ(Millis(1), Micros(1000));
+  EXPECT_EQ(Seconds(1), Millis(1000));
+  EXPECT_EQ(Seconds(10), Nanos(10'000'000'000ull));
+}
+
+TEST(UnitsTest, LargeSizesNearTheTopOfU64) {
+  // 2^24 - 1 TiB is the largest whole-TiB count representable in u64.
+  const u64 max_tib = (u64{1} << 24) - 1;
+  EXPECT_EQ(TiB(max_tib).value(), max_tib << 40);
+  EXPECT_EQ(TiB(max_tib) / TiB(1), max_tib);
+  // Page-count conversions survive at that extreme.
+  EXPECT_EQ(NumPages(TiB(max_tib)), max_tib << (40 - kPageShift));
+  EXPECT_EQ(PagesToBytes(NumPages(TiB(max_tib))), TiB(max_tib));
+}
+
+TEST(UnitsTest, ConversionPrecision) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(10)), 10.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Millis(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(ToMillis(Micros(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(ToMicros(Nanos(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(ToMiB(kHugePageBytes), 2.0);
+  EXPECT_DOUBLE_EQ(ToMiB(KiB(512)), 0.5);
+  EXPECT_DOUBLE_EQ(ToGiB(GiB(96)), 96.0);
+  // Doubles hold integers exactly up to 2^53; GiB values well past any
+  // machine in the paper stay exact.
+  EXPECT_DOUBLE_EQ(ToGiB(TiB(1024)), 1024.0 * 1024.0);
+}
+
+TEST(UnitsTest, RoundingConstructorsClampAndTruncate) {
+  EXPECT_EQ(NanosFromDouble(1234.9), Nanos(1234));
+  EXPECT_EQ(NanosFromDouble(-5.0), SimNanos{});
+  EXPECT_EQ(BytesFromDouble(4096.7), Bytes(4096));
+  EXPECT_EQ(BytesFromDouble(-1.0), Bytes{});
+}
+
+TEST(UnitsTest, PageCountRoundTrips) {
+  EXPECT_EQ(NumPages(Bytes{}), 0u);
+  EXPECT_EQ(NumPages(Bytes(1)), 1u);
+  EXPECT_EQ(NumPages(kPageBytes), 1u);
+  EXPECT_EQ(NumPages(kPageBytes + Bytes(1)), 2u);
+  EXPECT_EQ(NumHugePages(kHugePageBytes + Bytes(1)), 2u);
+  EXPECT_EQ(HugePagesToBytes(NumHugePages(GiB(1))), GiB(1));
+}
+
+TEST(UnitsTest, AlignmentOnLengths) {
+  EXPECT_EQ(PageAlignUp(Bytes(1)), kPageBytes);
+  EXPECT_EQ(PageAlignDown(kPageBytes + Bytes(7)), kPageBytes);
+  EXPECT_EQ(HugeAlignUp(MiB(3)), MiB(4));
+  EXPECT_EQ(HugeAlignDown(MiB(3)), MiB(2));
+}
+
+// Regression for the classic CHECK-macro bug: each operand of the
+// comparison macros must be evaluated exactly once, or side-effecting
+// arguments (common in call sites like MTM_CHECK_EQ(Pop(), expected))
+// misbehave in release builds.
+TEST(LoggingTest, CheckMacrosEvaluateOperandsOnce) {
+  int x = 0;
+  MTM_CHECK_EQ(++x, 1);
+  EXPECT_EQ(x, 1);
+
+  int y = 5;
+  MTM_CHECK_NE(y++, 0);
+  EXPECT_EQ(y, 6);
+
+  int a = 1;
+  MTM_CHECK_LT(a++, 5);
+  EXPECT_EQ(a, 2);
+
+  int b = 1;
+  MTM_CHECK_LE(b++, 1);
+  EXPECT_EQ(b, 2);
+
+  int c = 5;
+  MTM_CHECK_GT(c--, 1);
+  EXPECT_EQ(c, 4);
+
+  int d = 5;
+  MTM_CHECK_GE(d--, 5);
+  EXPECT_EQ(d, 4);
+}
+
+TEST(LoggingTest, CheckMacrosWorkOnStrongTypes) {
+  MTM_CHECK_EQ(MiB(2), kHugePageBytes);
+  MTM_CHECK_LT(Nanos(90), Micros(1));
+  MTM_CHECK_GE(Vpn(7), Vpn(7));
+}
+
+}  // namespace
+}  // namespace mtm

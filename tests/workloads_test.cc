@@ -15,7 +15,7 @@
 namespace mtm {
 namespace {
 
-Workload::Params SmallParams(u64 footprint) {
+Workload::Params SmallParams(Bytes footprint) {
   Workload::Params p;
   p.footprint_bytes = footprint;
   p.num_threads = 8;
@@ -134,7 +134,7 @@ TEST(VoltDbTest, WarehouseSkew) {
   std::vector<MemAccess> buf(65536);
   voltdb.NextBatch(buf.data(), buf.size());
   // Count accesses per warehouse block; zipf should concentrate them.
-  u64 wh_bytes = HugeAlignDown(tables.len) / 64;
+  u64 wh_bytes = (HugeAlignDown(tables.len) / 64).value();
   std::map<u64, u64> per_wh;
   for (const MemAccess& a : buf) {
     if (tables.Contains(a.addr)) {
@@ -187,7 +187,7 @@ TEST(CassandraTest, ZipfKeysCluster) {
   u64 total = 0;
   for (const MemAccess& a : buf) {
     if (rows.Contains(a.addr)) {
-      per_block[(a.addr - rows.start) / MiB(4)]++;
+      per_block[(a.addr - rows.start) / MiB(4).value()]++;
       ++total;
     }
   }
@@ -319,7 +319,7 @@ TEST(WorkloadFactoryTest, AllNamesBuild) {
     EXPECT_EQ(w->name(), name);
     AddressSpace as;
     w->Build(as);
-    EXPECT_GT(as.total_bytes(), 0u);
+    EXPECT_GT(as.total_bytes(), Bytes{});
     std::vector<MemAccess> buf(1024);
     EXPECT_EQ(w->NextBatch(buf.data(), 1024), 1024u);
   }

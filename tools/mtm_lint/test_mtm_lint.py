@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Self-test for mtm_lint: every check must fire on a bad fixture and stay
+quiet on a good one."""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+LINT = Path(__file__).resolve().parent / "mtm_lint.py"
+
+BAD_HEADER = """\
+#ifndef BAD_H_
+#define BAD_H_
+void Sleep(u64 duration_ns);
+void Copy(const u64 chunk_bytes);
+#endif
+"""
+
+BAD_SOURCE = """\
+#include "src/other.h"
+#include <vector>
+void F() {
+  assert(1 == 1);
+  auto* p = new Widget();
+  FlagSet flags(argc, argv);
+  flags.GetU64("Not_Kebab", 0);
+}
+"""
+
+GOOD_HEADER = """\
+#pragma once
+#include <vector>
+#include "src/common/types.h"
+// assert(in a comment) and "new Thing(" in a string are fine:
+inline const char* kMsg = "never assert(x) or new Foo(";
+void Sleep(SimNanos duration);
+"""
+
+
+def run_lint(root):
+    out = subprocess.run(
+        [sys.executable, str(LINT), "--root", str(root), "--subdirs", "src",
+         "--json", str(root / "report.json")],
+        capture_output=True, text=True,
+    )
+    report = json.loads((root / "report.json").read_text())
+    return out.returncode, report
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        (root / "src").mkdir()
+        (root / "src" / "bad.h").write_text(BAD_HEADER)
+        (root / "src" / "bad.cc").write_text(BAD_SOURCE)
+        rc, report = run_lint(root)
+        checks = {f["check"] for f in report["findings"]}
+        expected = {"pragma-once", "raw-unit-param", "assert-use", "naked-new",
+                    "include-order", "flag-style"}
+        missing = expected - checks
+        assert rc == 1, f"expected exit 1 on bad fixtures, got {rc}"
+        assert not missing, f"checks failed to fire: {missing}"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        (root / "src").mkdir()
+        (root / "src" / "good.h").write_text(GOOD_HEADER)
+        rc, report = run_lint(root)
+        assert rc == 0, f"false positives on good fixture: {report['findings']}"
+
+    print("mtm_lint self-test passed")
+
+
+if __name__ == "__main__":
+    main()
