@@ -48,7 +48,7 @@ SimNanos RunCase(MechanismKind kind, ComponentId src, ComponentId dst, double wr
 
   Rng rng(7);
   u64 cursor = 0;
-  for (VirtAddr region = start; region < start + total.value(); region += kHugePageSize) {
+  for (VirtAddr region = start; region < start + total; region += kHugePageSize) {
     migration.Submit(MigrationOrder{region, kHugePageBytes, dst, 0});
     // The application keeps streaming over the array during the migration
     // window (sequential, with the pattern's write share).

@@ -7,7 +7,20 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/core/report.h"
 #include "src/workloads/workload_factory.h"
+
+namespace {
+
+// Reads one of the time/{app,profiling,migration}_ns gauges the driver
+// publishes each interval, in seconds.
+double PhaseSeconds(const mtm::Observability& obs, const std::string& gauge) {
+  mtm::MetricId id = obs.metrics.Find(gauge);
+  MTM_CHECK(id != mtm::kInvalidMetricId);
+  return mtm::ToSeconds(mtm::SimNanos(static_cast<mtm::u64>(obs.metrics.gauge(id))));
+}
+
+}  // namespace
 
 int main() {
   using namespace mtm;
@@ -23,11 +36,15 @@ int main() {
       {"workload", "solution", "app(s)", "profiling(s)", "migration(s)", "total(s)"});
   for (const std::string& workload : AllWorkloadNames()) {
     for (SolutionKind kind : solutions) {
-      RunResult r = RunExperiment(workload, kind, config);
-      table.AddRow({workload, SolutionKindName(kind),
-                    benchutil::Fmt("%.3f", ToSeconds(r.app_ns)),
-                    benchutil::Fmt("%.3f", ToSeconds(r.profiling_ns)),
-                    benchutil::Fmt("%.3f", ToSeconds(r.migration_ns)),
+      Observability obs;
+      RunOptions options;
+      options.obs = &obs;
+      RunResult r = RunExperiment(workload, kind, config, options);
+      const double app_s = PhaseSeconds(obs, "time/app_ns");
+      const double profiling_s = PhaseSeconds(obs, "time/profiling_ns");
+      const double migration_s = PhaseSeconds(obs, "time/migration_ns");
+      table.AddRow({workload, SolutionKindName(kind), benchutil::Fmt("%.3f", app_s),
+                    benchutil::Fmt("%.3f", profiling_s), benchutil::Fmt("%.3f", migration_s),
                     benchutil::Fmt("%.3f", ToSeconds(r.total_ns()))});
     }
     std::printf("[%s done]\n", workload.c_str());

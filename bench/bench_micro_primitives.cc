@@ -14,7 +14,7 @@
 namespace mtm {
 namespace {
 
-constexpr VirtAddr kBase = 0x5500'0000'0000ull;
+constexpr VirtAddr kBase{0x5500'0000'0000ull};
 
 void BM_PageTableWalk(benchmark::State& state) {
   PageTable pt;
@@ -22,7 +22,7 @@ void BM_PageTableWalk(benchmark::State& state) {
   MTM_CHECK(pt.MapRange(kBase, PagesToBytes(pages), 0, false).ok());
   Rng rng(1);
   for (auto _ : state) {
-    VirtAddr addr = kBase + AddrOfVpn(Vpn(rng.NextBounded(pages)));
+    VirtAddr addr = kBase + PagesToBytes(rng.NextBounded(pages));
     benchmark::DoNotOptimize(pt.Find(addr));
   }
 }
@@ -35,7 +35,7 @@ void BM_PteScan(benchmark::State& state) {
   Rng rng(1);
   bool accessed = false;
   for (auto _ : state) {
-    VirtAddr addr = kBase + AddrOfVpn(Vpn(rng.NextBounded(pages)));
+    VirtAddr addr = kBase + PagesToBytes(rng.NextBounded(pages));
     benchmark::DoNotOptimize(pt.ScanAccessed(addr, &accessed));
   }
 }

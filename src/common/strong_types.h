@@ -97,6 +97,14 @@ class Ordinal {
   friend constexpr Rep operator-(Derived a, Derived b) {
     return static_cast<Rep>(a.value_ - b.value_);
   }
+  friend constexpr Derived& operator+=(Derived& a, Rep n) {
+    a.value_ = static_cast<Rep>(a.value_ + n);
+    return a;
+  }
+  friend constexpr Derived& operator-=(Derived& a, Rep n) {
+    a.value_ = static_cast<Rep>(a.value_ - n);
+    return a;
+  }
   friend constexpr Derived& operator++(Derived& a) {
     ++a.value_;
     return a;

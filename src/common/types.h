@@ -1,10 +1,9 @@
 // Core integer and address types shared by every mtm module.
 //
-// The domain quantities — simulated time, byte counts, page/frame numbers,
-// tier ranks — are strong types (see strong_types.h): mixing dimensions or
-// swapping identifier kinds is a compile error, not a wrong benchmark
-// number. Raw virtual addresses stay a bare u64 for now (address bit
-// arithmetic is pervasive); see ROADMAP.md.
+// The domain quantities — simulated time, byte counts, virtual addresses,
+// page/frame numbers, tier ranks — are strong types (see strong_types.h):
+// mixing dimensions or swapping identifier kinds is a compile error, not a
+// wrong benchmark number.
 #pragma once
 
 #include <cstddef>
@@ -21,10 +20,55 @@ using u32 = std::uint32_t;
 using u64 = std::uint64_t;
 using i64 = std::int64_t;
 
+// Simulated time in nanoseconds.
+class SimNanos : public strong_internal::Quantity<SimNanos, u64> {
+  using Quantity::Quantity;
+};
+
+// A byte count (capacities, footprints, batch sizes).
+class Bytes : public strong_internal::Quantity<Bytes, u64> {
+  using Quantity::Quantity;
+};
+
 // A simulated virtual address. The simulator models a 48-bit canonical
 // address space, matching the four-level/five-level x86-64 layout the paper
 // profiles with PTE scans.
-using VirtAddr = u64;
+//
+// An ordinal, not a quantity: two addresses never add, but an address
+// offsets by a raw count or a Bytes length, and the difference of two
+// addresses is a raw count of bytes. The shift/mask helpers keep address
+// bit arithmetic on the type so call sites never unwrap just to align.
+class VirtAddr : public strong_internal::Ordinal<VirtAddr, u64> {
+ public:
+  using Ordinal::Ordinal;
+
+  constexpr bool IsZero() const { return value() == 0; }
+
+  // Alignment helpers; `alignment` must be a power of two.
+  constexpr VirtAddr AlignDown(u64 alignment) const {
+    return VirtAddr(value() & ~(alignment - 1));
+  }
+  constexpr VirtAddr AlignUp(u64 alignment) const {
+    return VirtAddr((value() + alignment - 1) & ~(alignment - 1));
+  }
+  constexpr bool IsAligned(u64 alignment) const { return (value() & (alignment - 1)) == 0; }
+  // Offset of this address within its enclosing `alignment`-sized block.
+  constexpr u64 OffsetIn(u64 alignment) const { return value() & (alignment - 1); }
+  // The radix-tree index of this address at `shift` (e.g. kPageShift).
+  constexpr u64 Shifted(u64 shift) const { return value() >> shift; }
+
+  // An address offset by a byte length is an address.
+  friend constexpr VirtAddr operator+(VirtAddr a, Bytes len) {
+    return VirtAddr(a.value() + len.value());
+  }
+  friend constexpr VirtAddr operator-(VirtAddr a, Bytes len) {
+    return VirtAddr(a.value() - len.value());
+  }
+  friend constexpr VirtAddr& operator+=(VirtAddr& a, Bytes len) {
+    a = a + len;
+    return a;
+  }
+};
 
 // A virtual page number: VirtAddr >> kPageShift.
 class Vpn : public strong_internal::Ordinal<Vpn, u64> {
@@ -45,16 +89,6 @@ class TierId : public strong_internal::Ordinal<TierId, u32> {
   using Ordinal::Ordinal;
 };
 
-// Simulated time in nanoseconds.
-class SimNanos : public strong_internal::Quantity<SimNanos, u64> {
-  using Quantity::Quantity;
-};
-
-// A byte count (capacities, footprints, batch sizes).
-class Bytes : public strong_internal::Quantity<Bytes, u64> {
-  using Quantity::Quantity;
-};
-
 inline constexpr u64 kPageShift = 12;
 inline constexpr u64 kPageSize = u64{1} << kPageShift;  // 4 KiB base page.
 inline constexpr u64 kHugePageShift = 21;
@@ -65,24 +99,26 @@ inline constexpr u64 kPagesPerHugePage = kHugePageSize / kPageSize;  // 512.
 inline constexpr Bytes kPageBytes{kPageSize};
 inline constexpr Bytes kHugePageBytes{kHugePageSize};
 
-inline constexpr Vpn VpnOf(VirtAddr addr) { return Vpn(addr >> kPageShift); }
-inline constexpr VirtAddr AddrOfVpn(Vpn vpn) { return vpn.value() << kPageShift; }
-inline constexpr VirtAddr PageAlignDown(VirtAddr addr) { return addr & ~(kPageSize - 1); }
-inline constexpr VirtAddr PageAlignUp(VirtAddr addr) {
-  return (addr + kPageSize - 1) & ~(kPageSize - 1);
-}
-inline constexpr VirtAddr HugeAlignDown(VirtAddr addr) { return addr & ~(kHugePageSize - 1); }
-inline constexpr VirtAddr HugeAlignUp(VirtAddr addr) {
-  return (addr + kHugePageSize - 1) & ~(kHugePageSize - 1);
-}
-inline constexpr bool IsHugeAligned(VirtAddr addr) { return (addr & (kHugePageSize - 1)) == 0; }
-inline constexpr bool IsPageAligned(VirtAddr addr) { return (addr & (kPageSize - 1)) == 0; }
+inline constexpr Vpn VpnOf(VirtAddr addr) { return Vpn(addr.Shifted(kPageShift)); }
+inline constexpr VirtAddr AddrOfVpn(Vpn vpn) { return VirtAddr(vpn.value() << kPageShift); }
+inline constexpr VirtAddr PageAlignDown(VirtAddr addr) { return addr.AlignDown(kPageSize); }
+inline constexpr VirtAddr PageAlignUp(VirtAddr addr) { return addr.AlignUp(kPageSize); }
+inline constexpr VirtAddr HugeAlignDown(VirtAddr addr) { return addr.AlignDown(kHugePageSize); }
+inline constexpr VirtAddr HugeAlignUp(VirtAddr addr) { return addr.AlignUp(kHugePageSize); }
+inline constexpr bool IsHugeAligned(VirtAddr addr) { return addr.IsAligned(kHugePageSize); }
+inline constexpr bool IsPageAligned(VirtAddr addr) { return addr.IsAligned(kPageSize); }
 
 // Length-rounding twins of the address alignment helpers.
-inline constexpr Bytes PageAlignUp(Bytes len) { return Bytes(PageAlignUp(len.value())); }
-inline constexpr Bytes HugeAlignUp(Bytes len) { return Bytes(HugeAlignUp(len.value())); }
-inline constexpr Bytes PageAlignDown(Bytes len) { return Bytes(PageAlignDown(len.value())); }
-inline constexpr Bytes HugeAlignDown(Bytes len) { return Bytes(HugeAlignDown(len.value())); }
+inline constexpr Bytes PageAlignUp(Bytes len) {
+  return Bytes((len.value() + kPageSize - 1) & ~(kPageSize - 1));
+}
+inline constexpr Bytes HugeAlignUp(Bytes len) {
+  return Bytes((len.value() + kHugePageSize - 1) & ~(kHugePageSize - 1));
+}
+inline constexpr Bytes PageAlignDown(Bytes len) { return Bytes(len.value() & ~(kPageSize - 1)); }
+inline constexpr Bytes HugeAlignDown(Bytes len) {
+  return Bytes(len.value() & ~(kHugePageSize - 1));
+}
 
 // Page-count conversions; lengths in bytes round up, so a partial page
 // still occupies a whole frame.
@@ -95,6 +131,8 @@ inline constexpr Bytes HugePagesToBytes(u64 pages) { return Bytes(pages << kHuge
 
 }  // namespace mtm
 
+template <>
+struct std::hash<mtm::VirtAddr> : mtm::strong_internal::StrongHash<mtm::VirtAddr> {};
 template <>
 struct std::hash<mtm::Vpn> : mtm::strong_internal::StrongHash<mtm::Vpn> {};
 template <>

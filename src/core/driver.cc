@@ -15,6 +15,46 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
   result.workload = workload.name();
   result.footprint_bytes = workload.params().footprint_bytes;
 
+  // Observability wiring: attach the registry to every instrumented
+  // component, then intern the driver's own metric ids once up front.
+  Observability* obs = options.obs;
+  MetricId interval_id = kInvalidMetricId;
+  MetricId accesses_id = kInvalidMetricId;
+  MetricId hot_bytes_id = kInvalidMetricId;
+  MetricId app_ns_id = kInvalidMetricId;
+  MetricId profiling_ns_id = kInvalidMetricId;
+  MetricId migration_ns_id = kInvalidMetricId;
+  MetricId rollbacks_id = kInvalidMetricId;
+  MetricId abandoned_id = kInvalidMetricId;
+  MetricId sync_fallbacks_id = kInvalidMetricId;
+  std::vector<MetricId> app_access_ids;
+  std::vector<MetricId> migration_bytes_ids;
+  if (obs != nullptr) {
+    if (solution.profiler() != nullptr) {
+      solution.profiler()->set_metrics(&obs->metrics);
+    }
+    if (solution.pebs() != nullptr) {
+      solution.pebs()->AttachMetrics(&obs->metrics);
+    }
+    if (solution.migration() != nullptr) {
+      solution.migration()->AttachObservability(obs);
+    }
+    interval_id = obs->metrics.Counter("driver/intervals");
+    accesses_id = obs->metrics.Counter("driver/accesses");
+    hot_bytes_id = obs->metrics.Gauge("driver/hot_bytes");
+    app_ns_id = obs->metrics.Gauge("time/app_ns");
+    profiling_ns_id = obs->metrics.Gauge("time/profiling_ns");
+    migration_ns_id = obs->metrics.Gauge("time/migration_ns");
+    rollbacks_id = obs->metrics.Gauge("migration/rollbacks");
+    abandoned_id = obs->metrics.Gauge("migration/orders_abandoned");
+    sync_fallbacks_id = obs->metrics.Gauge("migration/sync_fallbacks");
+    for (u32 c = 0; c < solution.machine().num_components(); ++c) {
+      app_access_ids.push_back(obs->metrics.Counter("mem/app_accesses_c" + std::to_string(c)));
+      migration_bytes_ids.push_back(
+          obs->metrics.Gauge("mem/migration_bytes_c" + std::to_string(c)));
+    }
+  }
+
   const SimNanos interval_ns = config.IntervalNs();
   const u32 ticks = std::max<u32>(1, config.mtm.num_scans);
   SimClock& clock = solution.clock();
@@ -123,8 +163,19 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
     fast_tier_accesses_prev = counters.app_accesses(fast_tier);
 
     if (solution.profiler() != nullptr) {
+      MTM_TRACE_SCOPE(obs != nullptr ? obs->wall_registry() : nullptr, "interval_end");
+      const SimNanos profiling_start = clock.now();
       ProfileOutput profile = solution.profiler()->OnIntervalEnd();
       clock.AdvanceProfiling(profile.profiling_cost_ns);
+      if (obs != nullptr) {
+        // The interval's PTE-scan work is charged here as one modeled cost;
+        // the span renders it on the profiling track in simulated time.
+        obs->trace.AddSpan("pte_scan", "profiling", profiling_start,
+                           profile.profiling_cost_ns);
+        obs->metrics.Set(hot_bytes_id, static_cast<double>(profile.hot_bytes.value()));
+        obs->trace.AddCounter("hot_bytes", clock.now(),
+                              static_cast<double>(profile.hot_bytes.value()));
+      }
       if (options.evaluate_quality) {
         std::vector<HotRange> truth = workload.TrueHotRanges();
         if (!truth.empty()) {
@@ -148,6 +199,28 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
       }
     }
     record.end_time_ns = clock.now();
+    if (obs != nullptr) {
+      obs->trace.AddSpan("interval", "driver", interval_start, clock.now() - interval_start);
+      obs->metrics.Add(interval_id);
+      obs->metrics.Add(accesses_id, result.total_accesses - obs->metrics.counter(accesses_id));
+      obs->metrics.Set(app_ns_id, static_cast<double>(clock.app_ns().value()));
+      obs->metrics.Set(profiling_ns_id, static_cast<double>(clock.profiling_ns().value()));
+      obs->metrics.Set(migration_ns_id, static_cast<double>(clock.migration_ns().value()));
+      for (u32 c = 0; c < solution.machine().num_components(); ++c) {
+        MetricId id = app_access_ids[c];
+        u64 cumulative = counters.app_accesses(c);
+        obs->metrics.Add(id, cumulative - obs->metrics.counter(id));
+        obs->metrics.Set(migration_bytes_ids[c],
+                         static_cast<double>(counters.migration_bytes(c).value()));
+      }
+      if (solution.migration() != nullptr) {
+        const MigrationStats& ms = solution.migration()->stats();
+        obs->metrics.Set(rollbacks_id, static_cast<double>(ms.rollbacks));
+        obs->metrics.Set(abandoned_id, static_cast<double>(ms.orders_abandoned));
+        obs->metrics.Set(sync_fallbacks_id, static_cast<double>(ms.sync_fallbacks));
+      }
+      obs->timeline.Snapshot(interval, clock.now(), obs->metrics);
+    }
     if (options.record_intervals) {
       result.intervals.push_back(record);
     }
@@ -190,6 +263,12 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
   result.app_ns = clock.app_ns();
   result.profiling_ns = clock.profiling_ns();
   result.migration_ns = clock.migration_ns();
+  if (obs != nullptr) {
+    obs->metrics.Add(accesses_id, result.total_accesses - obs->metrics.counter(accesses_id));
+    obs->metrics.Set(app_ns_id, static_cast<double>(clock.app_ns().value()));
+    obs->metrics.Set(profiling_ns_id, static_cast<double>(clock.profiling_ns().value()));
+    obs->metrics.Set(migration_ns_id, static_cast<double>(clock.migration_ns().value()));
+  }
   for (u32 c = 0; c < solution.machine().num_components(); ++c) {
     result.component_app_accesses.push_back(counters.app_accesses(c));
   }

@@ -9,6 +9,7 @@
 
 #include "src/core/experiment.h"
 #include "src/core/solution.h"
+#include "src/obs/obs.h"
 #include "src/migration/migration_engine.h"
 #include "src/profiling/oracle.h"
 #include "src/workloads/workload.h"
@@ -71,6 +72,9 @@ struct RunResult {
 struct RunOptions {
   bool record_intervals = false;
   bool evaluate_quality = false;  // per-interval oracle recall/accuracy
+  // When non-null, the run records metrics, sim-time trace spans, and one
+  // timeline snapshot per interval into the bundle (see src/obs/obs.h).
+  Observability* obs = nullptr;
 };
 
 RunResult RunSimulation(Workload& workload, Solution& solution,

@@ -1,5 +1,6 @@
 #include "src/core/report.h"
 
+#include <fstream>
 #include <sstream>
 
 #include "src/common/units.h"
@@ -143,6 +144,31 @@ std::string JsonReport(const RunResult& r) {
   }
   os << "}";
   return os.str();
+}
+
+Status WriteObservabilityFiles(const Observability& obs, const std::string& metrics_path,
+                               const std::string& trace_path) {
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::trunc);
+    if (!out) {
+      return UnavailableError("cannot open metrics output: " + metrics_path);
+    }
+    obs.timeline.WriteJsonl(out, obs.metrics);
+    if (!out) {
+      return UnavailableError("short write to metrics output: " + metrics_path);
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::trunc);
+    if (!out) {
+      return UnavailableError("cannot open trace output: " + trace_path);
+    }
+    obs.trace.WriteChromeTrace(out);
+    if (!out) {
+      return UnavailableError("short write to trace output: " + trace_path);
+    }
+  }
+  return Status::Ok();
 }
 
 std::string Render(const RunResult& result, ReportFormat format) {

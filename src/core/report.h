@@ -4,7 +4,9 @@
 
 #include <string>
 
+#include "src/common/status.h"
 #include "src/core/driver.h"
+#include "src/obs/obs.h"
 
 namespace mtm {
 
@@ -20,5 +22,12 @@ std::string HumanReport(const RunResult& result);
 std::string JsonReport(const RunResult& result);
 
 std::string Render(const RunResult& result, ReportFormat format);
+
+// Exports an observability bundle after a run. Either path may be empty to
+// skip that file: `metrics_path` receives the per-interval timeline as JSONL
+// (one snapshot object per line), `trace_path` the Chrome trace_event JSON
+// loadable in Perfetto / chrome://tracing.
+Status WriteObservabilityFiles(const Observability& obs, const std::string& metrics_path,
+                               const std::string& trace_path);
 
 }  // namespace mtm

@@ -14,13 +14,13 @@
 namespace mtm {
 
 struct Vma {
-  VirtAddr start = 0;
+  VirtAddr start;
   Bytes len;
   bool thp = false;       // eligible for transparent 2 MiB mappings
   bool prefault = true;   // touched by application initialization
   std::string name;
 
-  VirtAddr end() const { return start + len.value(); }
+  VirtAddr end() const { return start + len; }
   bool Contains(VirtAddr addr) const { return addr >= start && addr < end(); }
 };
 
@@ -29,7 +29,7 @@ class AddressSpace {
   // VMAs start above the typical ELF/brk area; gaps of one huge page are
   // left between VMAs so region formation never bridges two objects by
   // accident of adjacency.
-  static constexpr VirtAddr kBase = 0x5500'0000'0000ull;
+  static constexpr VirtAddr kBase{0x5500'0000'0000ull};
 
   // Reserves a VMA of `len` bytes (rounded up to a huge-page multiple so the
   // whole object is THP-mappable). Returns its index.
@@ -41,7 +41,7 @@ class AddressSpace {
     vma.thp = thp;
     vma.prefault = prefault;
     vma.name = std::move(name);
-    next_ += rounded.value() + kHugePageSize;  // guard gap
+    next_ += rounded + Bytes(kHugePageSize);  // guard gap
     vmas_.push_back(vma);
     total_bytes_ += rounded;
     return static_cast<u32>(vmas_.size() - 1);

@@ -64,7 +64,7 @@ bool MigrationEngine::ReclaimFrom(ComponentId component, Bytes bytes_needed, int
     return false;
   }
   if (reclaim_cursor_.size() < machine_.num_components()) {
-    reclaim_cursor_.assign(machine_.num_components(), 0);
+    reclaim_cursor_.assign(machine_.num_components(), VirtAddr{});
   }
   // Demotion target: the next lower tier with space, from the view of the
   // component's home socket (§6.2 "slow demotion").
@@ -154,11 +154,11 @@ bool MigrationEngine::ReclaimFrom(ComponentId component, Bytes bytes_needed, int
           stats_.steps += c.critical;
           frames_.Release(component, size);
           pte.component = lower;
-          counters_.CountMigrationBytes(component, size);
-          counters_.CountMigrationBytes(lower, size);
+          RecordMigrationBytes(component, size);
+          RecordMigrationBytes(lower, size);
           ++stats_.reclaim_demotions;
           stats_.bytes_migrated += size;
-          reclaim_cursor_[component] = addr + size.value();
+          reclaim_cursor_[component] = addr + size;
           return;
         }
       });
@@ -197,8 +197,8 @@ MigrationEngine::CommitOutcome MigrationEngine::CommitMove(const MigrationOrder&
     frames_.Release(src, size);
     pte.component = order.dst;
     pte.Clear(Pte::kWriteTracked);
-    counters_.CountMigrationBytes(src, size);
-    counters_.CountMigrationBytes(order.dst, size);
+    RecordMigrationBytes(src, size);
+    RecordMigrationBytes(order.dst, size);
     out.moved += size;
   });
   page_table_.BumpGeneration();
@@ -224,6 +224,41 @@ void MigrationEngine::DisarmWriteTracking(const MigrationOrder& order) {
   page_table_.BumpGeneration();
 }
 
+void MigrationEngine::AttachObservability(Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    return;
+  }
+  attempts_id_ = obs_->metrics.Counter("migration/attempts");
+  commits_id_ = obs_->metrics.Counter("migration/commits");
+  aborts_id_ = obs_->metrics.Counter("migration/aborts");
+  retries_id_ = obs_->metrics.Counter("migration/retries");
+  bytes_on_component_ids_.clear();
+  for (u32 c = 0; c < machine_.num_components(); ++c) {
+    bytes_on_component_ids_.push_back(
+        obs_->metrics.Counter("migration/bytes_on_c" + std::to_string(c)));
+  }
+}
+
+void MigrationEngine::RecordMigrationBytes(ComponentId component, Bytes bytes) {
+  counters_.CountMigrationBytes(component, bytes);
+  if (obs_ != nullptr) {
+    obs_->metrics.Add(bytes_on_component_ids_[component], bytes.value());
+  }
+}
+
+void MigrationEngine::Bump(MetricId id, u64 delta) {
+  if (obs_ != nullptr && delta != 0) {
+    obs_->metrics.Add(id, delta);
+  }
+}
+
+void MigrationEngine::EmitSpan(const char* span_name, SimNanos start, SimNanos duration) {
+  if (obs_ != nullptr) {
+    obs_->trace.AddSpan(span_name, "migration", start, duration);
+  }
+}
+
 Status MigrationEngine::Submit(const MigrationOrder& order) {
   return SubmitAttempt(order, /*attempt=*/1);
 }
@@ -241,7 +276,7 @@ Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) 
   // Drop orders overlapping an in-flight async move.
   for (const Pending& p : pending_) {
     if (order.start < p.order.start + p.order.len.value() &&
-        p.order.start < order.start + order.len.value()) {
+        p.order.start < order.start + order.len) {
       return AlreadyExistsError("order overlaps an in-flight migration");
     }
   }
@@ -250,9 +285,11 @@ Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) 
   if (bytes.IsZero()) {
     return OkStatus();  // already fully resident on dst
   }
+  Bump(attempts_id_);
 
   if (kind_ != MechanismKind::kMoveMemoryRegions) {
     // Fully synchronous mechanisms: charge and commit now.
+    const SimNanos span_start = clock_.now();
     clock_.AdvanceMigration(cost.CriticalNs());
     stats_.critical_ns += cost.CriticalNs();
     stats_.steps += cost.critical;
@@ -271,21 +308,25 @@ Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) 
       return UnavailableError("injected remap failure");
     }
     CommitOutcome out = CommitMove(order);
+    EmitSpan("migrate", span_start, cost.CriticalNs());
     if (!out.failed_transient.IsZero()) {
       HandleAbort(order, attempt);
       if (out.moved.IsZero()) {
         return UnavailableError("transient allocation failure; retry queued");
       }
     }
+    Bump(commits_id_);
     return OkStatus();
   }
 
   // move_memory_regions: arm dirty tracking now (TLB flushed once), copy in
   // the background, finalize at the deadline.
+  const SimNanos arm_start = clock_.now();
   clock_.AdvanceMigration(cost.critical.dirty_tracking_ns);
   stats_.critical_ns += cost.critical.dirty_tracking_ns;
   stats_.steps.dirty_tracking_ns += cost.critical.dirty_tracking_ns;
   ArmWriteTracking(order);
+  EmitSpan("migrate_arm", arm_start, cost.critical.dirty_tracking_ns);
 
   Pending p;
   p.order = order;
@@ -324,9 +365,12 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
   } else {
     stats_.background_ns += p.background_ns;
     stats_.steps.allocate_ns += SimNanos{};  // async allocation is off the critical path
+    EmitSpan("migrate_copy_async", p.submitted_at, p.background_ns);
   }
+  const SimNanos finish_start = clock_.now();
   clock_.AdvanceMigration(exposed);
   stats_.critical_ns += exposed;
+  EmitSpan(forced_sync ? "migrate_finish_sync" : "migrate_finish", finish_start, exposed);
 
   if (injector_ != nullptr) {
     // The finalize step is where an async attempt can die: the device lost
@@ -359,10 +403,13 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
   CommitOutcome out = CommitMove(p.order);
   if (!out.failed_transient.IsZero()) {
     HandleAbort(p.order, p.attempt);
+  } else {
+    Bump(commits_id_);
   }
 }
 
 void MigrationEngine::HandleAbort(const MigrationOrder& order, u32 attempt) {
+  Bump(aborts_id_);
   Bytes remaining;
   PlanCost(order, kind_, &remaining);  // bytes still off the target
   u32 aborts = ++interval_aborts_[order.start];
@@ -404,6 +451,7 @@ void MigrationEngine::ProcessRetries() {
       continue;
     }
     ++stats_.retries;
+    Bump(retries_id_);
     SubmitAttempt(e.order, e.attempt);
   }
 }
@@ -433,6 +481,7 @@ void MigrationEngine::Flush() {
     RetryEntry e = retry_queue_.front();
     retry_queue_.pop_front();
     ++stats_.retries;
+    Bump(retries_id_);
     SubmitAttempt(e.order, e.attempt);
     while (!pending_.empty()) {
       FinishPending(0, /*forced_sync=*/false, 0.0);
@@ -531,8 +580,8 @@ Bytes MigrationEngine::DrainComponent(ComponentId component) {
         frames_.Release(component, size);
         pte.component = dst;
         pte.Clear(Pte::kWriteTracked);
-        counters_.CountMigrationBytes(component, size);
-        counters_.CountMigrationBytes(dst, size);
+        RecordMigrationBytes(component, size);
+        RecordMigrationBytes(dst, size);
         drained += size;
         return;
       }
@@ -586,7 +635,7 @@ Status MigrationEngine::VerifyInvariants() const {
     for (std::size_t j = i + 1; j < pending_.size(); ++j) {
       const MigrationOrder& a = pending_[i].order;
       const MigrationOrder& b = pending_[j].order;
-      if (a.start < b.start + b.len.value() && b.start < a.start + a.len.value()) {
+      if (a.start < b.start + b.len && b.start < a.start + a.len) {
         return InternalError("in-flight migrations overlap");
       }
     }

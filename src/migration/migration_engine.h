@@ -40,6 +40,7 @@
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
 #include "src/migration/mechanism.h"
+#include "src/obs/obs.h"
 #include "src/sim/access_engine.h"
 #include "src/sim/clock.h"
 #include "src/sim/counters.h"
@@ -51,7 +52,7 @@ namespace mtm {
 // One policy decision: move [start, start+len) to component dst, using the
 // tier view of `socket` for any cascading demotions.
 struct MigrationOrder {
-  VirtAddr start = 0;
+  VirtAddr start;
   Bytes len;
   ComponentId dst = kInvalidComponent;
   u32 socket = 0;
@@ -120,6 +121,11 @@ class MigrationEngine : public WriteTrackObserver {
 
   // WriteTrackObserver: a tracked page was written mid-copy.
   void OnWriteTrackFault(VirtAddr addr, u32 socket) override;
+
+  // Observability wiring: counters for transaction attempts/commits/aborts/
+  // retries and per-component migrated bytes, plus simulated-time spans for
+  // each charged migration step. Null (the default) records nothing.
+  void AttachObservability(Observability* obs);
 
   // Chaos wiring. The injector may be null (fault-free run).
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
@@ -199,6 +205,12 @@ class MigrationEngine : public WriteTrackObserver {
   void HandleAbort(const MigrationOrder& order, u32 attempt);
   void ProcessRetries();
 
+  // Counts migration traffic into MemCounters and, when observability is
+  // attached, the per-component byte counters.
+  void RecordMigrationBytes(ComponentId component, Bytes bytes);
+  void Bump(MetricId id, u64 delta = 1);
+  void EmitSpan(const char* span_name, SimNanos start, SimNanos duration);
+
   const Machine& machine_;
   PageTable& page_table_;
   FrameAllocator& frames_;
@@ -210,6 +222,13 @@ class MigrationEngine : public WriteTrackObserver {
 
   FaultInjector* injector_ = nullptr;
   MigrationRetryPolicy retry_policy_;
+
+  Observability* obs_ = nullptr;
+  MetricId attempts_id_ = kInvalidMetricId;
+  MetricId commits_id_ = kInvalidMetricId;
+  MetricId aborts_id_ = kInvalidMetricId;
+  MetricId retries_id_ = kInvalidMetricId;
+  std::vector<MetricId> bytes_on_component_ids_;  // indexed by ComponentId
 
   std::vector<Pending> pending_;
   std::deque<RetryEntry> retry_queue_;

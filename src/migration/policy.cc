@@ -27,14 +27,14 @@ ComponentId ComponentOf(PolicyContext& ctx, const HotnessEntry& e) {
 // instead of re-targeting already-moved pages.
 std::pair<VirtAddr, Bytes> SliceOn(PolicyContext& ctx, const HotnessEntry& e,
                                    ComponentId component, Bytes max_len) {
-  VirtAddr found = 0;
+  VirtAddr found;
   ctx.page_table->ForEachMapping(e.start, e.len, [&](VirtAddr addr, Bytes, Pte& pte) {
-    if (found == 0 && pte.component == component) {
+    if (found.IsZero() && pte.component == component) {
       found = addr;
     }
   });
-  if (found == 0) {
-    return {0, Bytes{}};
+  if (found.IsZero()) {
+    return {VirtAddr{}, Bytes{}};
   }
   return {found, std::min(max_len, Bytes(e.end() - found))};
 }
@@ -46,10 +46,10 @@ std::pair<VirtAddr, Bytes> SliceOn(PolicyContext& ctx, const HotnessEntry& e,
 std::pair<VirtAddr, ComponentId> SlowestSliceStart(PolicyContext& ctx, const HotnessEntry& e,
                                                    u32 socket, TierId min_rank) {
   const Machine& machine = *ctx.machine;
-  VirtAddr found = 0;
+  VirtAddr found;
   ComponentId comp = kInvalidComponent;
   ctx.page_table->ForEachMapping(e.start, e.len, [&](VirtAddr addr, Bytes, Pte& pte) {
-    if (found == 0 && machine.TierRank(socket, pte.component) > min_rank) {
+    if (found.IsZero() && machine.TierRank(socket, pte.component) > min_rank) {
       found = addr;
       comp = pte.component;
     }

@@ -1,0 +1,24 @@
+// Interned metric identity.
+//
+// A MetricId is an index into a MetricsRegistry's slot table, produced by
+// interning a metric name once (at attach/setup time). Hot paths then carry
+// the id, never the string: recording a counter increment is an array
+// index, not a hash lookup. The id is an Ordinal strong type so a metric id
+// can never be confused with a plain count or another identifier.
+#pragma once
+
+#include "src/common/strong_types.h"
+#include "src/common/types.h"
+
+namespace mtm {
+
+class MetricId : public strong_internal::Ordinal<MetricId, u32> {
+  using Ordinal::Ordinal;
+};
+
+inline constexpr MetricId kInvalidMetricId{~u32{0}};
+
+}  // namespace mtm
+
+template <>
+struct std::hash<mtm::MetricId> : mtm::strong_internal::StrongHash<mtm::MetricId> {};

@@ -1,0 +1,83 @@
+#include "src/obs/metrics.h"
+
+#include "src/common/logging.h"
+
+namespace mtm {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+MetricId MetricsRegistry::Intern(const std::string& name, MetricKind kind) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    MTM_CHECK(slot(it->second).metric_kind == kind)
+        << "metric '" << name << "' re-interned as " << MetricKindName(kind) << ", was "
+        << MetricKindName(slot(it->second).metric_kind);
+    return it->second;
+  }
+  MetricId id{static_cast<u32>(slots_.size())};
+  Slot s;
+  s.name = name;
+  s.metric_kind = kind;
+  slots_.push_back(std::move(s));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+MetricId MetricsRegistry::Counter(const std::string& name) {
+  return Intern(name, MetricKind::kCounter);
+}
+
+MetricId MetricsRegistry::Gauge(const std::string& name) {
+  return Intern(name, MetricKind::kGauge);
+}
+
+MetricId MetricsRegistry::Histogram(const std::string& name) {
+  return Intern(name, MetricKind::kHistogram);
+}
+
+MetricId MetricsRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidMetricId : it->second;
+}
+
+const MetricsRegistry::Slot& MetricsRegistry::slot(MetricId id) const {
+  MTM_CHECK_LT(static_cast<std::size_t>(id.value()), slots_.size());
+  return slots_[id.value()];
+}
+
+void MetricsRegistry::Add(MetricId id, u64 delta) {
+  MTM_CHECK(slot(id).metric_kind == MetricKind::kCounter);
+  slots_[id.value()].count += delta;
+}
+
+void MetricsRegistry::Set(MetricId id, double value) {
+  MTM_CHECK(slot(id).metric_kind == MetricKind::kGauge);
+  slots_[id.value()].value = value;
+}
+
+void MetricsRegistry::Observe(MetricId id, double value) {
+  MTM_CHECK(slot(id).metric_kind == MetricKind::kHistogram);
+  slots_[id.value()].stats.Add(value);
+}
+
+u64 MetricsRegistry::counter(MetricId id) const { return slot(id).count; }
+
+double MetricsRegistry::gauge(MetricId id) const { return slot(id).value; }
+
+const RunningStats& MetricsRegistry::histogram(MetricId id) const { return slot(id).stats; }
+
+const std::string& MetricsRegistry::name(MetricId id) const { return slot(id).name; }
+
+MetricKind MetricsRegistry::kind(MetricId id) const { return slot(id).metric_kind; }
+
+}  // namespace mtm

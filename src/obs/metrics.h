@@ -1,0 +1,72 @@
+// The metrics registry: named counters, gauges, and histograms.
+//
+// Components intern a metric name once (Counter/Gauge/Histogram return a
+// stable MetricId; re-interning the same name returns the same id) and
+// record against the id afterwards. Recording is an array index plus an
+// integer or Welford update — cheap enough for per-access hot paths when
+// guarded by a null registry pointer.
+//
+// Naming scheme (see DESIGN.md §8): lowercase `component/metric` paths,
+// e.g. "profiler/pte_scans", "migration/bytes_moved_c0". Units are spelled
+// in the metric name suffix (_ns, _bytes) rather than carried at runtime.
+// The reserved "wall/" prefix holds host-clock timings (ScopedTimer); those
+// are excluded from the deterministic interval timeline.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/obs/metric_id.h"
+
+namespace mtm {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+class MetricsRegistry {
+ public:
+  // Interning. Idempotent per name; interning an existing name with a
+  // different kind is a programming error (checked).
+  MetricId Counter(const std::string& name);
+  MetricId Gauge(const std::string& name);
+  MetricId Histogram(const std::string& name);
+
+  // Lookup without creating: returns kInvalidMetricId when absent.
+  MetricId Find(const std::string& name) const;
+
+  // Recording.
+  void Add(MetricId id, u64 delta = 1);
+  void Set(MetricId id, double value);
+  void Observe(MetricId id, double value);
+
+  // Reading.
+  u64 counter(MetricId id) const;
+  double gauge(MetricId id) const;
+  const RunningStats& histogram(MetricId id) const;
+
+  // Iteration in registration order (the canonical export order).
+  std::size_t size() const { return slots_.size(); }
+  const std::string& name(MetricId id) const;
+  MetricKind kind(MetricId id) const;
+
+ private:
+  struct Slot {
+    std::string name;
+    MetricKind metric_kind = MetricKind::kCounter;
+    u64 count = 0;
+    double value = 0.0;
+    RunningStats stats;
+  };
+
+  MetricId Intern(const std::string& name, MetricKind kind);
+  const Slot& slot(MetricId id) const;
+
+  std::vector<Slot> slots_;
+  std::unordered_map<std::string, MetricId> by_name_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,28 @@
+// The observability bundle handed to a simulation run: a metrics registry,
+// a simulated-time trace log, and the per-interval timeline. Everything is
+// opt-in — components take a nullable pointer and skip all recording when
+// it is null, so runs without observability pay only pointer tests.
+#pragma once
+
+#include "src/obs/metric_id.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
+#include "src/obs/trace.h"
+
+namespace mtm {
+
+struct Observability {
+  MetricsRegistry metrics;
+  TraceLog trace;
+  IntervalTimeline timeline;
+
+  // Host-clock scope timers ("wall/" histograms) are off by default: they
+  // are nondeterministic and cost a clock read per scope. The deterministic
+  // sim-time spans/counters above are unaffected by this switch.
+  bool wall_timers = false;
+
+  // Registry for MTM_TRACE_SCOPE sites: null (free) unless wall timers on.
+  MetricsRegistry* wall_registry() { return wall_timers ? &metrics : nullptr; }
+};
+
+}  // namespace mtm

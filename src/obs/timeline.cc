@@ -1,0 +1,82 @@
+#include "src/obs/timeline.h"
+
+#include <cstdio>
+
+namespace mtm {
+namespace {
+
+bool IsWallMetric(const std::string& name) { return name.rfind("wall/", 0) == 0; }
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void IntervalTimeline::Snapshot(u64 interval, SimNanos sim_now,
+                                const MetricsRegistry& registry) {
+  TimelineSnapshot snap;
+  snap.interval = interval;
+  snap.sim_now = sim_now;
+  snap.samples.reserve(registry.size());
+  for (u32 i = 0; i < registry.size(); ++i) {
+    MetricId id{i};
+    if (IsWallMetric(registry.name(id))) {
+      continue;
+    }
+    TimelineSample sample;
+    sample.id = id;
+    sample.metric_kind = registry.kind(id);
+    switch (sample.metric_kind) {
+      case MetricKind::kCounter:
+        sample.count = registry.counter(id);
+        break;
+      case MetricKind::kGauge:
+        sample.value = registry.gauge(id);
+        break;
+      case MetricKind::kHistogram: {
+        const RunningStats& stats = registry.histogram(id);
+        sample.observations = stats.count();
+        sample.mean = stats.mean();
+        sample.min = stats.min();
+        sample.max = stats.max();
+        break;
+      }
+    }
+    snap.samples.push_back(sample);
+  }
+  snapshots_.push_back(std::move(snap));
+}
+
+void IntervalTimeline::WriteJsonl(std::ostream& os, const MetricsRegistry& registry) const {
+  for (const TimelineSnapshot& snap : snapshots_) {
+    os << "{\"interval\":" << snap.interval << ",\"sim_ns\":" << snap.sim_now
+       << ",\"metrics\":{";
+    bool first = true;
+    for (const TimelineSample& sample : snap.samples) {
+      if (!first) {
+        os << ",";
+      }
+      first = false;
+      os << "\"" << registry.name(sample.id) << "\":";
+      switch (sample.metric_kind) {
+        case MetricKind::kCounter:
+          os << sample.count;
+          break;
+        case MetricKind::kGauge:
+          os << FormatDouble(sample.value);
+          break;
+        case MetricKind::kHistogram:
+          os << "{\"count\":" << sample.observations << ",\"mean\":"
+             << FormatDouble(sample.mean) << ",\"min\":" << FormatDouble(sample.min)
+             << ",\"max\":" << FormatDouble(sample.max) << "}";
+          break;
+      }
+    }
+    os << "}}\n";
+  }
+}
+
+}  // namespace mtm

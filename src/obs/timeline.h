@@ -1,0 +1,55 @@
+// The interval timeline: one snapshot of the metrics registry per profiling
+// interval, exported as JSONL (one JSON object per line).
+//
+// Snapshots copy cumulative values — a consumer diffing successive lines
+// recovers per-interval rates. Metrics under the "wall/" prefix (host-clock
+// histograms) are skipped so the timeline is a pure function of the seeded
+// simulation and byte-stable across identical runs.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/metrics.h"
+
+namespace mtm {
+
+struct TimelineSample {
+  MetricId id;
+  MetricKind metric_kind = MetricKind::kCounter;
+  u64 count = 0;       // counters
+  double value = 0.0;  // gauges
+  // Histogram summary (count/mean/min/max), flattened for snapshotting.
+  u64 observations = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct TimelineSnapshot {
+  u64 interval = 0;
+  SimNanos sim_now;
+  std::vector<TimelineSample> samples;  // registry order, "wall/" excluded
+};
+
+class IntervalTimeline {
+ public:
+  // Captures the current value of every non-"wall/" metric.
+  void Snapshot(u64 interval, SimNanos sim_now, const MetricsRegistry& registry);
+
+  bool empty() const { return snapshots_.empty(); }
+  const std::vector<TimelineSnapshot>& snapshots() const { return snapshots_; }
+
+  // One line per snapshot:
+  //   {"interval":N,"sim_ns":T,"metrics":{"name":value,...}}
+  // Counters are integers, gauges numbers, histograms
+  // {"count":..,"mean":..,"min":..,"max":..} objects.
+  void WriteJsonl(std::ostream& os, const MetricsRegistry& registry) const;
+
+ private:
+  std::vector<TimelineSnapshot> snapshots_;
+};
+
+}  // namespace mtm

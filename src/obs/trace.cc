@@ -1,0 +1,99 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace mtm {
+namespace {
+
+// Chrome trace timestamps are microseconds; print the exact decimal form of
+// the nanosecond value so output never depends on floating-point rounding.
+std::string FormatMicros(SimNanos ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns.value() / 1000),
+                static_cast<unsigned long long>(ns.value() % 1000));
+  return buf;
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceLog::AddSpan(const std::string& name, const std::string& category, SimNanos start,
+                       SimNanos duration) {
+  spans_.push_back(TraceSpan{name, category, start, duration});
+}
+
+void TraceLog::AddCounter(const std::string& name, SimNanos at, double value) {
+  counters_.push_back(TraceCounter{name, at, value});
+}
+
+void TraceLog::WriteChromeTrace(std::ostream& os) const {
+  // One tid per category, numbered in first-use order, so each category
+  // renders as its own track.
+  std::map<std::string, u32> tids;
+  u32 next_tid = 1;
+  auto tid_of = [&](const std::string& category) {
+    auto [it, inserted] = tids.emplace(category, next_tid);
+    if (inserted) {
+      ++next_tid;
+    }
+    return it->second;
+  };
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+  };
+  sep();
+  os << R"({"ph":"M","pid":1,"name":"process_name","args":{"name":"mtmsim"}})";
+  for (const TraceSpan& span : spans_) {
+    sep();
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid_of(span.category) << ",\"name\":\""
+       << EscapeJson(span.name) << "\",\"cat\":\"" << EscapeJson(span.category)
+       << "\",\"ts\":" << FormatMicros(span.start) << ",\"dur\":" << FormatMicros(span.duration)
+       << "}";
+  }
+  for (const TraceCounter& counter : counters_) {
+    sep();
+    os << "{\"ph\":\"C\",\"pid\":1,\"name\":\"" << EscapeJson(counter.name)
+       << "\",\"ts\":" << FormatMicros(counter.at) << ",\"args\":{\"value\":"
+       << FormatDouble(counter.value) << "}}";
+  }
+  // Name the category tracks, in tid (first-use) order.
+  std::vector<std::pair<u32, std::string>> tracks;
+  for (const auto& [category, tid] : tids) {
+    tracks.emplace_back(tid, category);
+  }
+  std::sort(tracks.begin(), tracks.end());
+  for (const auto& [tid, category] : tracks) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << EscapeJson(category) << "\"}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace mtm

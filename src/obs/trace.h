@@ -1,0 +1,100 @@
+// Tracing: simulated-time spans exported as Chrome trace_event JSON, plus a
+// host-clock scope timer for measuring the simulator's own overhead.
+//
+// The two clocks are deliberately separate:
+//   * TraceLog spans carry *simulated* timestamps and modeled durations
+//     (interval boundaries, PTE-scan cost, migration critical time). Two
+//     runs with the same seed produce byte-identical traces, which is what
+//     the determinism tests and golden files rely on. The JSON loads in
+//     Perfetto / chrome://tracing.
+//   * ScopedTimer (MTM_TRACE_SCOPE) measures *host* wall time of a C++
+//     scope into a "wall/<name>" histogram. Host timings are inherently
+//     nondeterministic, so they never enter the trace or the interval
+//     timeline — only the histogram summary. With a null registry the timer
+//     body is a pointer test; no clock syscall is made.
+#pragma once
+
+#include <chrono>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/metrics.h"
+
+namespace mtm {
+
+// One complete ("X") trace event in simulated time.
+struct TraceSpan {
+  std::string name;
+  std::string category;  // maps to the track (tid) in the rendered trace
+  SimNanos start;
+  SimNanos duration;
+};
+
+// One counter ("C") sample in simulated time.
+struct TraceCounter {
+  std::string name;
+  SimNanos at;
+  double value = 0.0;
+};
+
+class TraceLog {
+ public:
+  void AddSpan(const std::string& name, const std::string& category, SimNanos start,
+               SimNanos duration);
+  void AddCounter(const std::string& name, SimNanos at, double value);
+
+  bool empty() const { return spans_.empty() && counters_.empty(); }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<TraceCounter>& counters() const { return counters_; }
+
+  // Chrome trace_event JSON (one process; one thread track per category,
+  // in first-use order). Deterministic: depends only on recorded events.
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceCounter> counters_;
+};
+
+// RAII host-clock timer recording into a "wall/<name>" histogram in
+// microseconds. Near-zero cost when the registry pointer is null.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, const char* name) : registry_(registry) {
+    if (registry_ != nullptr) {
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (registry_ != nullptr) {
+      auto elapsed = std::chrono::steady_clock::now() - start_;
+      double us =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+          1e3;
+      registry_->Observe(registry_->Histogram(std::string("wall/") + name_), us);
+    }
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  const char* name_ = "";
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define MTM_TRACE_CONCAT_INNER(a, b) a##b
+#define MTM_TRACE_CONCAT(a, b) MTM_TRACE_CONCAT_INNER(a, b)
+
+// Times the enclosing scope on the host clock into "wall/<name>" when
+// `registry` (MetricsRegistry*) is non-null; a pointer test when null.
+#define MTM_TRACE_SCOPE(registry, scope_name) \
+  ::mtm::ScopedTimer MTM_TRACE_CONCAT(mtm_trace_scope_, __LINE__)((registry), (scope_name))
+
+}  // namespace mtm

@@ -28,7 +28,7 @@ void AutoNumaProfiler::OnIntervalStart() {
     }
     MTM_CHECK(target != nullptr);
     Bytes chunk = std::min(remaining, target->len - within);
-    page_table_.ForEachMapping(target->start + within.value(), chunk,
+    page_table_.ForEachMapping(target->start + within, chunk,
                                [&](VirtAddr, Bytes, Pte& pte) {
                                  pte.Set(Pte::kHintArmed);
                                  ++armed_this_interval_;
@@ -63,7 +63,7 @@ ProfileOutput AutoNumaProfiler::OnIntervalEnd() {
     const Pte* pte = page_table_.Find(AddrOfVpn(vpn), &size);
     if (pte != nullptr) {
       HotnessEntry e;
-      e.start = AddrOfVpn(vpn) & ~(size.value() - 1);
+      e.start = AddrOfVpn(vpn).AlignDown(size.value());
       e.len = size;
       // Vanilla: binary two-touch signal. Patched: MFU fault count.
       e.hotness = config_.patched ? stat.faults

@@ -20,7 +20,7 @@ void AutoTieringProfiler::OnIntervalStart() {
       if (offset < walked + vma.len) {
         Bytes within = (offset - walked) / config_.chunk_bytes * config_.chunk_bytes;
         if (within + config_.chunk_bytes <= vma.len) {
-          sampled_chunks_.push_back(Chunk{vma.start + within.value(), config_.chunk_bytes, 0.0});
+          sampled_chunks_.push_back(Chunk{vma.start + within, config_.chunk_bytes, 0.0});
         }
         break;
       }
@@ -39,7 +39,7 @@ ProfileOutput AutoTieringProfiler::OnIntervalEnd() {
     u32 hits = 0;
     u64 pages = c.len / kPageBytes;
     for (u32 i = 0; i < config_.pages_per_chunk; ++i) {
-      VirtAddr addr = c.start + AddrOfVpn(Vpn(rng_.NextBounded(pages)));
+      VirtAddr addr = c.start + PagesToBytes(rng_.NextBounded(pages));
       bool accessed = false;
       if (page_table_.ScanAccessed(addr, &accessed) && accessed) {
         ++hits;

@@ -42,7 +42,7 @@ class AutoTieringProfiler : public Profiler {
 
  private:
   struct Chunk {
-    VirtAddr start = 0;
+    VirtAddr start;
     Bytes len;
     double hotness = 0.0;
   };

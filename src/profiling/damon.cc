@@ -28,7 +28,7 @@ void DamonProfiler::OnScanTick(u32 /*tick*/) {
   // then pick a new random page and mkold it for the next tick.
   for (auto& [start, region] : regions_) {
     DamonState& st = state_[region.id];
-    if (st.sampled != 0 && st.sampled >= region.start && st.sampled < region.end) {
+    if (!st.sampled.IsZero() && st.sampled >= region.start && st.sampled < region.end) {
       bool accessed = false;
       if (page_table_.ScanAccessed(st.sampled, &accessed) && accessed) {
         ++st.nr_accesses;
@@ -36,7 +36,7 @@ void DamonProfiler::OnScanTick(u32 /*tick*/) {
       ++scans_this_interval_;
     }
     u64 pages = region.bytes() / kPageBytes;
-    VirtAddr addr = region.start + AddrOfVpn(Vpn(rng_.NextBounded(pages)));
+    VirtAddr addr = region.start + PagesToBytes(rng_.NextBounded(pages));
     bool ignored = false;
     page_table_.ScanAccessed(addr, &ignored);  // mkold: clear for the next check
     ++scans_this_interval_;
@@ -100,7 +100,7 @@ ProfileOutput DamonProfiler::OnIntervalEnd() {
         continue;
       }
       // Random split offset in [1, pages-1], page aligned, huge-unaware.
-      VirtAddr split_at = r.start + AddrOfVpn(Vpn(1 + rng_.NextBounded(pages - 1)));
+      VirtAddr split_at = r.start + PagesToBytes(1 + rng_.NextBounded(pages - 1));
       RegionMap::iterator first;
       RegionMap::iterator second;
       if (regions_.Split(rit, split_at, &first, &second)) {

@@ -54,7 +54,7 @@ class DamonProfiler : public Profiler {
   struct DamonState {
     u32 nr_accesses = 0;   // hits this aggregation interval
     double smoothed = 0.0;  // age-weighted access estimate across intervals
-    VirtAddr sampled = 0;
+    VirtAddr sampled;
   };
 
   PageTable& page_table_;

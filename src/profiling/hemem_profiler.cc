@@ -20,7 +20,7 @@ ProfileOutput HememProfiler::OnIntervalEnd() {
     const Pte* pte = page_table_.Find(AddrOfVpn(it->first), &size);
     if (pte != nullptr) {
       HotnessEntry e;
-      e.start = AddrOfVpn(it->first) & ~(size.value() - 1);
+      e.start = AddrOfVpn(it->first).AlignDown(size.value());
       e.len = size;
       e.hotness = it->second;
       out.entries.push_back(e);

@@ -51,7 +51,7 @@ ComponentId MtmProfiler::RegionComponent(const Region& r) const {
   const Pte* pte = page_table_.Find(r.start);
   if (pte == nullptr) {
     // Probe the middle as well; a region may have an unmapped head.
-    pte = page_table_.Find(r.start + r.bytes().value() / 2);
+    pte = page_table_.Find(r.start + r.bytes() / 2);
   }
   return pte == nullptr ? kInvalidComponent : pte->component;
 }
@@ -108,7 +108,7 @@ void MtmProfiler::SelectSamples() {
       chosen.insert(rng_.NextBounded(pages));
     }
     for (u64 page : chosen) {
-      VirtAddr addr = region.start + AddrOfVpn(Vpn(page));
+      VirtAddr addr = region.start + PagesToBytes(page);
       // Prime: clear any stale accessed bit so the first scan measures this
       // interval, not history.
       bool ignored = false;
@@ -150,9 +150,14 @@ void MtmProfiler::NominateFromPebs() {
     region.sample_hits.push_back(0);
     pebs_nominations_.push_back(s.addr);
   }
+  if (metrics_ != nullptr) {
+    metrics_->Add(metrics_->Counter("profiler/pebs_samples_drained"), samples.size());
+    metrics_->Add(metrics_->Counter("profiler/pebs_nominations"), pebs_nominations_.size());
+  }
 }
 
 void MtmProfiler::DoScan() {
+  const u64 scans_before = scans_this_interval_;
   for (auto& [start, region] : regions_) {
     for (std::size_t i = 0; i < region.sampled_pages.size(); ++i) {
       bool accessed = false;
@@ -171,6 +176,9 @@ void MtmProfiler::DoScan() {
         }
       }
     }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Add(metrics_->Counter("profiler/pte_scans"), scans_this_interval_ - scans_before);
   }
 }
 
@@ -273,7 +281,7 @@ void MtmProfiler::SplitPass(ProfileOutput& out) {
     auto it = regions_.FindContaining(start);
     MTM_CHECK(it != regions_.end());
     VirtAddr split_at = RegionMap::SplitPoint(it->second);
-    if (split_at == 0) {
+    if (split_at.IsZero()) {
       continue;
     }
     RegionMap::iterator first;
@@ -419,6 +427,12 @@ ProfileOutput MtmProfiler::OnIntervalEnd() {
 
   out.pte_scans = scans_this_interval_;
   out.num_regions = regions_.size();
+  if (metrics_ != nullptr) {
+    metrics_->Add(metrics_->Counter("profiler/regions_merged"), out.regions_merged);
+    metrics_->Add(metrics_->Counter("profiler/regions_split"), out.regions_split);
+    metrics_->Set(metrics_->Gauge("profiler/num_regions"),
+                  static_cast<double>(regions_.size()));
+  }
   out.profiling_cost_ns =
       NanosFromDouble(static_cast<double>(scans_this_interval_) * EffectiveScanCost()) +
       pebs_samples_drained_ * config_.pebs_drain_per_sample_ns;

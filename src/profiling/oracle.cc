@@ -23,7 +23,7 @@ void Oracle::Normalize(std::vector<HotRange>& ranges) {
 }
 
 Bytes Oracle::OverlapBytes(const std::vector<HotRange>& truth, VirtAddr start, Bytes len) {
-  VirtAddr end = start + len.value();
+  VirtAddr end = start + len;
   Bytes overlap;
   // First truth range whose end might exceed start.
   auto it = std::lower_bound(truth.begin(), truth.end(), start,

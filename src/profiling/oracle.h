@@ -21,9 +21,9 @@
 namespace mtm {
 
 struct HotRange {
-  VirtAddr start = 0;
+  VirtAddr start;
   Bytes len;
-  VirtAddr end() const { return start + len.value(); }
+  VirtAddr end() const { return start + len; }
 };
 
 struct ProfilingQuality {

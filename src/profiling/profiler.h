@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 #include "src/sim/tier.h"
 
 namespace mtm {
@@ -21,12 +22,12 @@ namespace mtm {
 // an entry is a region; for page-based profilers (AutoNUMA, HeMem) an entry
 // is a page or a small run of pages.
 struct HotnessEntry {
-  VirtAddr start = 0;
+  VirtAddr start;
   Bytes len;
   double hotness = 0.0;       // profiler-specific scale; higher is hotter
   u32 preferred_socket = 0;   // multi-view destination (§6.2)
 
-  VirtAddr end() const { return start + len.value(); }
+  VirtAddr end() const { return start + len; }
 };
 
 struct ProfileOutput {
@@ -63,6 +64,14 @@ class Profiler {
 
   // Metadata footprint (Table 5).
   virtual Bytes MemoryOverheadBytes() const = 0;
+
+  // Optional observability: when attached, profilers record counters
+  // (PTE scans, structural region operations, PEBS nominations) into the
+  // registry. Null (the default) disables all recording.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ protected:
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace mtm

@@ -10,7 +10,7 @@ void RegionMap::SeedRange(VirtAddr start, VirtAddr end, Bytes region_bytes) {
   const u64 stride = region_bytes.value();
   VirtAddr cursor = start;
   while (cursor < end) {
-    VirtAddr next = cursor - (cursor % stride) + stride;
+    VirtAddr next = cursor - cursor.value() % stride + stride;
     if (next > end) {
       next = end;
     }
@@ -19,6 +19,7 @@ void RegionMap::SeedRange(VirtAddr start, VirtAddr end, Bytes region_bytes) {
     r.start = cursor;
     r.end = next;
     regions_.emplace(cursor, std::move(r));
+    ++total_seeded_;
     cursor = next;
   }
 }
@@ -30,6 +31,7 @@ void RegionMap::SeedWhole(VirtAddr start, VirtAddr end) {
   r.start = start;
   r.end = end;
   regions_.emplace(start, std::move(r));
+  ++total_seeded_;
 }
 
 RegionMap::iterator RegionMap::FindContaining(VirtAddr addr) {
@@ -52,6 +54,7 @@ RegionMap::iterator RegionMap::MergeWithNext(iterator it) {
   }
   it->second.end = next->second.end;
   regions_.erase(next);
+  ++total_merges_;
   return it;
 }
 
@@ -74,15 +77,16 @@ bool RegionMap::Split(iterator it, VirtAddr split_addr, iterator* first, iterato
   if (second != nullptr) {
     *second = rit;
   }
+  ++total_splits_;
   return true;
 }
 
 VirtAddr RegionMap::SplitPoint(const Region& region) {
   Bytes bytes = region.bytes();
   if (bytes <= kPageBytes) {
-    return 0;
+    return VirtAddr{};
   }
-  VirtAddr mid = region.start + bytes.value() / 2;
+  VirtAddr mid = region.start + bytes / 2;
   if (bytes > kHugePageBytes) {
     // Round to the nearest huge-page boundary (§5.4). The halves may be
     // slightly unequal; the paper notes the difference is small relative to
@@ -101,7 +105,8 @@ VirtAddr RegionMap::SplitPoint(const Region& region) {
       return up;
     }
   }
-  return PageAlignDown(mid) > region.start ? PageAlignDown(mid) : region.start + kPageSize;
+  return PageAlignDown(mid) > region.start ? PageAlignDown(mid)
+                                         : region.start + kPageBytes;
 }
 
 }  // namespace mtm

@@ -19,8 +19,8 @@ namespace mtm {
 
 struct Region {
   u64 id = 0;  // stable identity across merges/splits (new ids for products)
-  VirtAddr start = 0;
-  VirtAddr end = 0;
+  VirtAddr start;
+  VirtAddr end;
 
   // Profiling state (§5.2): number of page samples this region receives per
   // interval, and the PTE-scan hit counts of the current interval's samples.
@@ -89,9 +89,19 @@ class RegionMap {
 
   u64 next_id() const { return next_id_; }
 
+  // Cumulative structural-operation counts over the map's lifetime, for
+  // observability: regions created by seeding, successful merges, and
+  // successful splits. Never reset.
+  u64 total_seeded() const { return total_seeded_; }
+  u64 total_merges() const { return total_merges_; }
+  u64 total_splits() const { return total_splits_; }
+
  private:
   Map regions_;
   u64 next_id_ = 1;
+  u64 total_seeded_ = 0;
+  u64 total_merges_ = 0;
+  u64 total_splits_ = 0;
 };
 
 }  // namespace mtm

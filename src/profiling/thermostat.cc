@@ -35,12 +35,12 @@ void ThermostatProfiler::OnIntervalStart() {
   u64 budget = std::min<u64>(SampleBudget(), regions_.size());
   sampled_this_interval_ = budget;
   for (auto& r : regions_) {
-    r.sampled = 0;
+    r.sampled = VirtAddr{};
   }
   for (u64 i = 0; i < budget; ++i) {
     FixedRegion& r = regions_[(rotation_ + i) % regions_.size()];
     u64 pages = NumPages(r.len);
-    r.sampled = r.start + AddrOfVpn(Vpn(rng_.NextBounded(pages)));
+    r.sampled = r.start + PagesToBytes(rng_.NextBounded(pages));
   }
   rotation_ = (rotation_ + budget) % regions_.size();
 }
@@ -48,7 +48,7 @@ void ThermostatProfiler::OnIntervalStart() {
 ProfileOutput ThermostatProfiler::OnIntervalEnd() {
   ProfileOutput out;
   for (auto& r : regions_) {
-    if (r.sampled != 0) {
+    if (!r.sampled.IsZero()) {
       // Exact count of the sampled 4 KiB page (protection-fault counting).
       // Inside a huge page this still measures a single sub-page — the
       // quality loss the paper calls out.

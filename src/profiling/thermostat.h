@@ -49,9 +49,9 @@ class ThermostatProfiler : public Profiler {
 
  private:
   struct FixedRegion {
-    VirtAddr start = 0;
+    VirtAddr start;
     Bytes len;
-    VirtAddr sampled = 0;   // page sampled this interval (0 = unsampled)
+    VirtAddr sampled;   // page sampled this interval (0 = unsampled)
     u64 baseline = 0;       // tracker count when sampling started
     double hotness = 0.0;
   };

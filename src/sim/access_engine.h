@@ -55,7 +55,7 @@ class WriteTrackObserver {
 // multi-view migration destination (§6.2); tiered-AutoNUMA profiles with
 // them exclusively.
 struct HintFaultEvent {
-  VirtAddr addr = 0;
+  VirtAddr addr;
   u32 socket = 0;
   bool is_write = false;
 };

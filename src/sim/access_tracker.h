@@ -29,7 +29,7 @@ class AccessTracker {
   void Register(VirtAddr start, Bytes len) {
     Range r;
     r.first_vpn = VpnOf(start);
-    r.num_pages = (PageAlignUp(start + len.value()) - PageAlignDown(start)) / kPageSize;
+    r.num_pages = (PageAlignUp(start + len) - PageAlignDown(start)) / kPageSize;
     r.reads.assign(r.num_pages, 0);
     r.writes.assign(r.num_pages, 0);
     ranges_.push_back(std::move(r));

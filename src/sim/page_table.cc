@@ -104,10 +104,10 @@ Status PageTable::MapRange(VirtAddr start, Bytes len, ComponentId component, boo
     return InvalidArgumentError("zero-length map");
   }
   const u64 page = huge ? kHugePageSize : kPageSize;
-  if ((start | len.value()) & (page - 1)) {
+  if (!start.IsAligned(page) || (len.value() & (page - 1)) != 0) {
     return InvalidArgumentError("unaligned map range");
   }
-  for (VirtAddr addr = start; addr < start + len.value(); addr += page) {
+  for (VirtAddr addr = start; addr < start + len; addr += page) {
     MTM_RETURN_IF_ERROR(MapOne(addr, component, huge));
   }
   ++generation_;
@@ -115,11 +115,11 @@ Status PageTable::MapRange(VirtAddr start, Bytes len, ComponentId component, boo
 }
 
 Status PageTable::UnmapRange(VirtAddr start, Bytes len) {
-  if ((start | len.value()) & (kPageSize - 1)) {
+  if (!start.IsAligned(kPageSize) || (len.value() & (kPageSize - 1)) != 0) {
     return InvalidArgumentError("unaligned unmap range");
   }
   VirtAddr addr = start;
-  const VirtAddr end = start + len.value();
+  const VirtAddr end = start + len;
   while (addr < end) {
     Bytes size;
     Pte* pte = Find(addr, &size);
@@ -127,8 +127,8 @@ Status PageTable::UnmapRange(VirtAddr start, Bytes len) {
       addr += kPageSize;
       continue;
     }
-    VirtAddr mapping_start = addr & ~(size.value() - 1);
-    if (mapping_start < start || mapping_start + size.value() > end) {
+    VirtAddr mapping_start = addr.AlignDown(size.value());
+    if (mapping_start < start || mapping_start + size > end) {
       return InvalidArgumentError("unmap range splits a mapping");
     }
     if (size == kHugePageBytes) {
@@ -139,7 +139,7 @@ Status PageTable::UnmapRange(VirtAddr start, Bytes len) {
       --mapped_base_pages_;
     }
     *pte = Pte{};
-    addr = mapping_start + size.value();
+    addr = mapping_start + size;
   }
   ++generation_;
   return OkStatus();
@@ -231,7 +231,7 @@ bool PageTable::ScanAccessed(VirtAddr addr, bool* accessed_out) {
 void PageTable::ForEachMapping(VirtAddr start, Bytes len,
                                const std::function<void(VirtAddr, Bytes, Pte&)>& fn) {
   VirtAddr addr = PageAlignDown(start);
-  const VirtAddr end = start + len.value();
+  const VirtAddr end = start + len;
   while (addr < end) {
     Bytes size;
     Pte* pte = Find(addr, &size);
@@ -241,11 +241,11 @@ void PageTable::ForEachMapping(VirtAddr start, Bytes len,
       addr += kPageSize;
       continue;
     }
-    VirtAddr mapping_start = addr & ~(size.value() - 1);
+    VirtAddr mapping_start = addr.AlignDown(size.value());
     if (mapping_start >= start) {
       fn(mapping_start, size, *pte);
     }
-    addr = mapping_start + size.value();
+    addr = mapping_start + size;
   }
 }
 

@@ -130,7 +130,8 @@ class PageTable {
   };
 
   static u64 IndexAt(VirtAddr addr, int level) {
-    return (addr >> (kPageShift + level * kBitsPerLevel)) & (kEntriesPerNode - 1);
+    return addr.Shifted(kPageShift + static_cast<u64>(level) * kBitsPerLevel) &
+           (kEntriesPerNode - 1);
   }
 
   Node* EnsureChild(Node* node, u64 index);

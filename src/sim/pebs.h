@@ -15,13 +15,14 @@
 
 #include "src/common/fault_injection.h"
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 #include "src/sim/machine.h"
 #include "src/sim/tier.h"
 
 namespace mtm {
 
 struct PebsSample {
-  VirtAddr addr = 0;
+  VirtAddr addr;
   ComponentId component = kInvalidComponent;
   u32 socket = 0;  // socket the sampled load issued from
   bool is_write = false;
@@ -48,6 +49,16 @@ class PebsEngine {
   // with buffer room, modeling interrupt storms losing PEBS records.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  // Observability: ids are interned once here so the per-sample hot path
+  // below pays a null test plus an array-indexed increment.
+  void AttachMetrics(MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    if (metrics_ != nullptr) {
+      taken_id_ = metrics_->Counter("pebs/samples_taken");
+      dropped_id_ = metrics_->Counter("pebs/samples_dropped");
+    }
+  }
+
   const Config& config() const { return config_; }
 
   // Called by the access engine on every application access.
@@ -66,14 +77,23 @@ class PebsEngine {
     counter_ = 0;
     if (buffer_.size() >= config_.buffer_capacity) {
       ++samples_dropped_;
+      if (metrics_ != nullptr) {
+        metrics_->Add(dropped_id_);
+      }
       return;
     }
     if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kPebsDrop)) {
       ++samples_dropped_;
+      if (metrics_ != nullptr) {
+        metrics_->Add(dropped_id_);
+      }
       return;
     }
     buffer_.push_back(PebsSample{addr, component, socket, is_write});
     ++samples_taken_;
+    if (metrics_ != nullptr) {
+      metrics_->Add(taken_id_);
+    }
   }
 
   std::vector<PebsSample> Drain() {
@@ -91,6 +111,9 @@ class PebsEngine {
   Config config_;
   bool enabled_ = false;
   FaultInjector* injector_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  MetricId taken_id_ = kInvalidMetricId;
+  MetricId dropped_id_ = kInvalidMetricId;
   u32 counter_ = 0;
   std::vector<PebsSample> buffer_;
   u64 samples_taken_ = 0;

@@ -7,17 +7,17 @@
 namespace mtm {
 namespace {
 
-u64 MemtableBytes(const Workload::Params& p, const CassandraWorkload::Options& o) {
-  return o.memtable_bytes != 0 ? o.memtable_bytes : HugeAlignUp(p.footprint_bytes.value() / 32);
+Bytes MemtableBytes(const Workload::Params& p, const CassandraWorkload::Options& o) {
+  return !o.memtable_bytes.IsZero() ? o.memtable_bytes : HugeAlignUp(p.footprint_bytes / 32);
 }
 
-u64 CommitLogBytes(const Workload::Params& p, const CassandraWorkload::Options& o) {
-  return o.commitlog_bytes != 0 ? o.commitlog_bytes : HugeAlignUp(p.footprint_bytes.value() / 64);
+Bytes CommitLogBytes(const Workload::Params& p, const CassandraWorkload::Options& o) {
+  return !o.commitlog_bytes.IsZero() ? o.commitlog_bytes : HugeAlignUp(p.footprint_bytes / 64);
 }
 
 u64 NumRows(const Workload::Params& p, const CassandraWorkload::Options& o) {
-  u64 rows_bytes =
-      HugeAlignDown(p.footprint_bytes.value() - MemtableBytes(p, o) - CommitLogBytes(p, o));
+  Bytes rows_bytes =
+      HugeAlignDown(p.footprint_bytes - MemtableBytes(p, o) - CommitLogBytes(p, o));
   return std::max<u64>(1, rows_bytes / o.row_bytes);
 }
 
@@ -32,16 +32,16 @@ CassandraWorkload::CassandraWorkload(Params params, Options options)
       key_zipf_(NumRows(params, options), options.zipf_theta) {
   memtable_bytes_ = MemtableBytes(params_, options_);
   commitlog_bytes_ = CommitLogBytes(params_, options_);
-  rows_bytes_ = HugeAlignDown(params_.footprint_bytes.value() - memtable_bytes_ - commitlog_bytes_);
+  rows_bytes_ = HugeAlignDown(params_.footprint_bytes - memtable_bytes_ - commitlog_bytes_);
   num_rows_ = NumRows(params_, options_);
   MTM_CHECK_GT(num_rows_, 0ull);
 }
 
 void CassandraWorkload::Build(AddressSpace& address_space) {
   // Base pages for the row store (scattered row reads/updates, as above).
-  u32 r = address_space.Allocate(Bytes(rows_bytes_), /*thp=*/false, "cassandra.rows");
-  u32 m = address_space.Allocate(Bytes(memtable_bytes_), /*thp=*/true, "cassandra.memtable");
-  u32 c = address_space.Allocate(Bytes(commitlog_bytes_), /*thp=*/true, "cassandra.commitlog");
+  u32 r = address_space.Allocate(rows_bytes_, /*thp=*/false, "cassandra.rows");
+  u32 m = address_space.Allocate(memtable_bytes_, /*thp=*/true, "cassandra.memtable");
+  u32 c = address_space.Allocate(commitlog_bytes_, /*thp=*/true, "cassandra.commitlog");
   rows_start_ = address_space.vma(r).start;
   memtable_start_ = address_space.vma(m).start;
   commitlog_start_ = address_space.vma(c).start;
@@ -61,7 +61,7 @@ VirtAddr CassandraWorkload::RowAddr(u64 key) {
   if (slot >= num_rows_) {
     slot = key % num_rows_;
   }
-  return rows_start_ + slot * options_.row_bytes;
+  return rows_start_ + options_.row_bytes * slot;
 }
 
 u32 CassandraWorkload::NextBatch(MemAccess* out, u32 n) {
@@ -77,12 +77,12 @@ u32 CassandraWorkload::NextBatch(MemAccess* out, u32 n) {
     }
     out[filled++] = MemAccess{row, thread, true};
     if (filled < n && rng_.NextBernoulli(options_.memtable_prob)) {
-      VirtAddr a = memtable_start_ + (memtable_cursor_ % memtable_bytes_);
-      memtable_cursor_ += options_.row_bytes;
+      VirtAddr a = memtable_start_ + Bytes(memtable_cursor_ % memtable_bytes_.value());
+      memtable_cursor_ += options_.row_bytes.value();
       out[filled++] = MemAccess{a, thread, true};
     }
     if (filled < n) {
-      VirtAddr a = commitlog_start_ + (commitlog_cursor_ % commitlog_bytes_);
+      VirtAddr a = commitlog_start_ + Bytes(commitlog_cursor_ % commitlog_bytes_.value());
       commitlog_cursor_ += 64;
       out[filled++] = MemAccess{a, thread, true};
     }

@@ -17,10 +17,10 @@ class CassandraWorkload : public Workload {
  public:
   struct Options {
     double zipf_theta = 0.99;
-    u64 row_bytes = 1024;
-    double memtable_prob = 0.6;   // updates also touch the memtable
-    u64 memtable_bytes = 0;       // default footprint/32
-    u64 commitlog_bytes = 0;      // default footprint/64
+    Bytes row_bytes{1024};
+    double memtable_prob = 0.6;  // updates also touch the memtable
+    Bytes memtable_bytes{};      // default footprint/32
+    Bytes commitlog_bytes{};     // default footprint/64
   };
 
   explicit CassandraWorkload(Params params);
@@ -35,13 +35,13 @@ class CassandraWorkload : public Workload {
   VirtAddr RowAddr(u64 key);
 
   Options options_;
-  u64 rows_bytes_ = 0;
-  u64 memtable_bytes_ = 0;
-  u64 commitlog_bytes_ = 0;
+  Bytes rows_bytes_;
+  Bytes memtable_bytes_;
+  Bytes commitlog_bytes_;
   u64 num_rows_ = 0;
-  VirtAddr rows_start_ = 0;
-  VirtAddr memtable_start_ = 0;
-  VirtAddr commitlog_start_ = 0;
+  VirtAddr rows_start_;
+  VirtAddr memtable_start_;
+  VirtAddr commitlog_start_;
   ZipfSampler key_zipf_;
   u64 memtable_cursor_ = 0;
   u64 commitlog_cursor_ = 0;

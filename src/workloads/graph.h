@@ -69,9 +69,9 @@ class GraphWorkload : public Workload {
   std::unique_ptr<CsrGraph> graph_;
   u64 num_vertices_ = 0;
 
-  VirtAddr offsets_start_ = 0;
-  VirtAddr edges_start_ = 0;
-  VirtAddr state_start_ = 0;  // visited/distance array
+  VirtAddr offsets_start_;
+  VirtAddr edges_start_;
+  VirtAddr state_start_;  // visited/distance array
 
   std::vector<u8> visited_;
   std::vector<u32> dist_;

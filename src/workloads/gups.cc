@@ -9,12 +9,12 @@ GupsWorkload::GupsWorkload(Params params) : GupsWorkload(params, Options{}) {}
 GupsWorkload::GupsWorkload(Params params, Options options)
     : Workload(params), options_(options) {
   MTM_CHECK_GT(params_.footprint_bytes, 4 * kHugePageBytes);
-  index_bytes_ = options_.index_bytes != 0 ? options_.index_bytes
-                                           : HugeAlignUp(params_.footprint_bytes.value() / 64);
-  info_bytes_ = options_.info_bytes != 0 ? options_.info_bytes
-                                         : HugeAlignUp(params_.footprint_bytes.value() / 1024);
-  table_bytes_ = HugeAlignDown(params_.footprint_bytes.value() - index_bytes_ - info_bytes_);
-  table_pages_ = table_bytes_ / kPageSize;
+  index_bytes_ = !options_.index_bytes.IsZero() ? options_.index_bytes
+                                                : HugeAlignUp(params_.footprint_bytes / 64);
+  info_bytes_ = !options_.info_bytes.IsZero() ? options_.info_bytes
+                                              : HugeAlignUp(params_.footprint_bytes / 1024);
+  table_bytes_ = HugeAlignDown(params_.footprint_bytes - index_bytes_ - info_bytes_);
+  table_pages_ = NumPages(table_bytes_);
   hot_pages_ = static_cast<u64>(static_cast<double>(table_pages_) * options_.hot_fraction);
   if (hot_pages_ == 0) {
     hot_pages_ = 1;
@@ -26,9 +26,9 @@ void GupsWorkload::Build(AddressSpace& address_space) {
   // access-bit profiling of such traffic needs 4 KiB granularity (a 2 MiB
   // huge page's single accessed bit saturates under uniform background
   // traffic). The index stays THP-mapped.
-  u32 table = address_space.Allocate(Bytes(table_bytes_), /*thp=*/false, "gups.table");
-  u32 index = address_space.Allocate(Bytes(index_bytes_), /*thp=*/true, "gups.index");
-  u32 info = address_space.Allocate(Bytes(info_bytes_), /*thp=*/false, "gups.info");
+  u32 table = address_space.Allocate(table_bytes_, /*thp=*/false, "gups.table");
+  u32 index = address_space.Allocate(index_bytes_, /*thp=*/true, "gups.index");
+  u32 info = address_space.Allocate(info_bytes_, /*thp=*/false, "gups.info");
   table_start_ = address_space.vma(table).start;
   index_start_ = address_space.vma(index).start;
   info_start_ = address_space.vma(info).start;
@@ -39,7 +39,7 @@ void GupsWorkload::Build(AddressSpace& address_space) {
 }
 
 HotRange GupsWorkload::object_c() const {
-  return {table_start_ + AddrOfVpn(Vpn(hot_first_page_)), PagesToBytes(hot_pages_)};
+  return {table_start_ + PagesToBytes(hot_first_page_), PagesToBytes(hot_pages_)};
 }
 
 std::vector<HotRange> GupsWorkload::TrueHotRanges() const {
@@ -63,10 +63,10 @@ VirtAddr GupsWorkload::SampleTableAddr() {
         hot_pages_, static_cast<double>(hot_pages_) / 2.0,
         static_cast<double>(hot_pages_) * options_.gaussian_stddev_frac);
     u64 page = hot_first_page_ + sampler.Sample(rng_);
-    return table_start_ + AddrOfVpn(Vpn(page)) + (rng_.Next() & (kPageSize - 1) & ~u64{7});
+    return table_start_ + PagesToBytes(page) + Bytes(rng_.Next() & (kPageSize - 1) & ~u64{7});
   }
   u64 page = rng_.NextBounded(table_pages_);
-  return table_start_ + AddrOfVpn(Vpn(page)) + (rng_.Next() & (kPageSize - 1) & ~u64{7});
+  return table_start_ + PagesToBytes(page) + Bytes(rng_.Next() & (kPageSize - 1) & ~u64{7});
 }
 
 u32 GupsWorkload::NextBatch(MemAccess* out, u32 n) {
@@ -80,14 +80,14 @@ u32 GupsWorkload::NextBatch(MemAccess* out, u32 n) {
     u32 thread = NextThread();
     // Occasional reads of the index (A) and hot-set info (B).
     if (filled < n && rng_.NextBernoulli(options_.index_access_prob)) {
-      VirtAddr a = index_start_ + (rng_.NextBounded(index_bytes_) & ~u64{7});
+      VirtAddr a = index_start_ + Bytes(rng_.NextBounded(index_bytes_.value()) & ~u64{7});
       out[filled++] = MemAccess{a, thread, /*is_write=*/false};
       if (filled >= n) {
         break;
       }
     }
     if (filled < n && rng_.NextBernoulli(options_.info_access_prob)) {
-      VirtAddr b = info_start_ + (rng_.NextBounded(info_bytes_) & ~u64{7});
+      VirtAddr b = info_start_ + Bytes(rng_.NextBounded(info_bytes_.value()) & ~u64{7});
       out[filled++] = MemAccess{b, thread, /*is_write=*/false};
       if (filled >= n) {
         break;

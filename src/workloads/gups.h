@@ -25,8 +25,8 @@ class GupsWorkload : public Workload {
     double info_access_prob = 0.05;    // reads of object B per update
     u64 phase_ops = 0;                 // 0 = static hot set
     double gaussian_stddev_frac = 0.15;  // stddev as a fraction of hot pages
-    u64 index_bytes = 0;               // default footprint/64
-    u64 info_bytes = 0;                // default footprint/1024
+    Bytes index_bytes{};               // default footprint/64
+    Bytes info_bytes{};                // default footprint/1024
   };
 
   explicit GupsWorkload(Params params);
@@ -39,8 +39,8 @@ class GupsWorkload : public Workload {
   double read_fraction() const override { return 0.5; }
 
   // Object extents (for Figure 6's labeled heatmap).
-  HotRange object_a() const { return {index_start_, Bytes(index_bytes_)}; }
-  HotRange object_b() const { return {info_start_, Bytes(info_bytes_)}; }
+  HotRange object_a() const { return {index_start_, index_bytes_}; }
+  HotRange object_b() const { return {info_start_, info_bytes_}; }
   HotRange object_c() const;  // the current hot set within the table
 
  private:
@@ -48,12 +48,12 @@ class GupsWorkload : public Workload {
   VirtAddr SampleTableAddr();
 
   Options options_;
-  u64 table_bytes_ = 0;
-  u64 index_bytes_ = 0;
-  u64 info_bytes_ = 0;
-  VirtAddr table_start_ = 0;
-  VirtAddr index_start_ = 0;
-  VirtAddr info_start_ = 0;
+  Bytes table_bytes_;
+  Bytes index_bytes_;
+  Bytes info_bytes_;
+  VirtAddr table_start_;
+  VirtAddr index_start_;
+  VirtAddr info_start_;
 
   u64 table_pages_ = 0;
   u64 hot_pages_ = 0;
@@ -63,7 +63,7 @@ class GupsWorkload : public Workload {
 
   // Pending write-half of an update (read emitted first).
   bool pending_write_ = false;
-  VirtAddr pending_addr_ = 0;
+  VirtAddr pending_addr_;
   u32 pending_thread_ = 0;
 };
 

@@ -9,57 +9,57 @@ SparkTeraSortWorkload::SparkTeraSortWorkload(Params params)
 
 SparkTeraSortWorkload::SparkTeraSortWorkload(Params params, Options options)
     : Workload(params), options_(options) {
-  input_bytes_ = HugeAlignDown(params_.footprint_bytes.value() * 2 / 5);
-  shuffle_bytes_ = HugeAlignDown(params_.footprint_bytes.value() * 2 / 5);
-  output_bytes_ = HugeAlignDown(params_.footprint_bytes.value() / 5);
-  MTM_CHECK_GT(input_bytes_, 0ull);
+  input_bytes_ = HugeAlignDown(params_.footprint_bytes * 2 / 5);
+  shuffle_bytes_ = HugeAlignDown(params_.footprint_bytes * 2 / 5);
+  output_bytes_ = HugeAlignDown(params_.footprint_bytes / 5);
+  MTM_CHECK_GT(input_bytes_, Bytes{});
   phase_budget_ = input_bytes_ / options_.record_bytes * 2;  // read + write per record
 }
 
 void SparkTeraSortWorkload::Build(AddressSpace& address_space) {
-  u32 in = address_space.Allocate(Bytes(input_bytes_), /*thp=*/true, "spark.input");
-  u32 sh = address_space.Allocate(Bytes(shuffle_bytes_), /*thp=*/true, "spark.shuffle");
-  u32 outv = address_space.Allocate(Bytes(output_bytes_), /*thp=*/true, "spark.output");
+  u32 in = address_space.Allocate(input_bytes_, /*thp=*/true, "spark.input");
+  u32 sh = address_space.Allocate(shuffle_bytes_, /*thp=*/true, "spark.shuffle");
+  u32 outv = address_space.Allocate(output_bytes_, /*thp=*/true, "spark.output");
   input_start_ = address_space.vma(in).start;
   shuffle_start_ = address_space.vma(sh).start;
   output_start_ = address_space.vma(outv).start;
 }
 
 u32 SparkTeraSortWorkload::NextBatch(MemAccess* out, u32 n) {
-  const u64 bucket_bytes = shuffle_bytes_ / options_.num_buckets;
+  const Bytes bucket_bytes = shuffle_bytes_ / options_.num_buckets;
   u32 filled = 0;
   while (filled < n) {
     u32 thread = NextThread();
     if (phase_ == Phase::kMap) {
       // Sequential input read; partitioned (pseudo-random bucket) shuffle
       // write.
-      VirtAddr in = input_start_ + (map_cursor_ % input_bytes_);
-      map_cursor_ += options_.record_bytes;
+      VirtAddr in = input_start_ + Bytes(map_cursor_ % input_bytes_.value());
+      map_cursor_ += options_.record_bytes.value();
       out[filled++] = MemAccess{in, thread, false};
       if (filled < n) {
         u64 bucket = rng_.NextBounded(options_.num_buckets);
-        VirtAddr sh = shuffle_start_ + bucket * bucket_bytes +
-                      (rng_.NextBounded(bucket_bytes) & ~u64{63});
+        VirtAddr sh = shuffle_start_ + bucket_bytes * bucket +
+                      Bytes(rng_.NextBounded(bucket_bytes.value()) & ~u64{63});
         out[filled++] = MemAccess{sh, thread, true};
       }
       phase_accesses_ += 2;
       if (phase_accesses_ >= phase_budget_) {
         phase_ = Phase::kReduce;
         phase_accesses_ = 0;
-        phase_budget_ = static_cast<u64>(static_cast<double>(shuffle_bytes_) /
-                                         static_cast<double>(options_.record_bytes) *
+        phase_budget_ = static_cast<u64>(static_cast<double>(shuffle_bytes_.value()) /
+                                         static_cast<double>(options_.record_bytes.value()) *
                                          (options_.reduce_passes + 1.0));
         current_bucket_ = 0;
       }
     } else {
       // Per-bucket merge: random reads within the current (hot) bucket,
       // sequential output writes. Buckets advance so the hot spot moves.
-      VirtAddr sh = shuffle_start_ + current_bucket_ * bucket_bytes +
-                    (rng_.NextBounded(bucket_bytes) & ~u64{63});
+      VirtAddr sh = shuffle_start_ + bucket_bytes * current_bucket_ +
+                    Bytes(rng_.NextBounded(bucket_bytes.value()) & ~u64{63});
       out[filled++] = MemAccess{sh, thread, false};
       if (filled < n && rng_.NextBernoulli(1.0 / (options_.reduce_passes + 1.0))) {
-        VirtAddr o = output_start_ + (output_cursor_ % output_bytes_);
-        output_cursor_ += options_.record_bytes;
+        VirtAddr o = output_start_ + Bytes(output_cursor_ % output_bytes_.value());
+        output_cursor_ += options_.record_bytes.value();
         out[filled++] = MemAccess{o, thread, true};
       }
       phase_accesses_ += 2;

@@ -17,7 +17,7 @@ namespace mtm {
 class SparkTeraSortWorkload : public Workload {
  public:
   struct Options {
-    u64 record_bytes = 128;
+    Bytes record_bytes{128};
     u32 num_buckets = 16;
     // Accesses per phase before switching, as a fraction of records.
     double map_pass_fraction = 1.0;
@@ -36,12 +36,12 @@ class SparkTeraSortWorkload : public Workload {
   enum class Phase { kMap, kReduce };
 
   Options options_;
-  u64 input_bytes_ = 0;
-  u64 shuffle_bytes_ = 0;
-  u64 output_bytes_ = 0;
-  VirtAddr input_start_ = 0;
-  VirtAddr shuffle_start_ = 0;
-  VirtAddr output_start_ = 0;
+  Bytes input_bytes_;
+  Bytes shuffle_bytes_;
+  Bytes output_bytes_;
+  VirtAddr input_start_;
+  VirtAddr shuffle_start_;
+  VirtAddr output_start_;
 
   Phase phase_ = Phase::kMap;
   u64 phase_accesses_ = 0;

@@ -33,7 +33,7 @@ void TraceRecorder::Build(AddressSpace& address_space) {
   header.vma_count = static_cast<u32>(address_space.vmas().size());
   std::fwrite(&header, sizeof(header), 1, file_);
   for (const Vma& vma : address_space.vmas()) {
-    u64 start = vma.start;
+    u64 start = vma.start.value();
     u64 len = vma.len.value();
     u8 thp = vma.thp ? 1 : 0;
     std::fwrite(&start, sizeof(start), 1, file_);
@@ -91,7 +91,7 @@ Result<std::unique_ptr<TraceReplayWorkload>> TraceReplayWorkload::Open(const std
     return Status(StatusCode::kInvalidArgument, "unsupported trace version");
   }
   std::vector<TraceVma> vmas;
-  VirtAddr recorded_base = 0;
+  VirtAddr recorded_base;
   for (u32 i = 0; i < header.vma_count; ++i) {
     u64 start = 0;
     u64 len = 0;
@@ -103,7 +103,7 @@ Result<std::unique_ptr<TraceReplayWorkload>> TraceReplayWorkload::Open(const std
       return Status(StatusCode::kInvalidArgument, "truncated trace header");
     }
     if (i == 0) {
-      recorded_base = start;
+      recorded_base = VirtAddr(start);
     }
     vmas.push_back(TraceVma{len, thp != 0});
   }
@@ -128,7 +128,7 @@ void TraceReplayWorkload::Build(AddressSpace& address_space) {
 }
 
 u32 TraceReplayWorkload::NextBatch(MemAccess* out, u32 n) {
-  MTM_CHECK(replay_base_ != 0) << "Build() must run before NextBatch";
+  MTM_CHECK(!replay_base_.IsZero()) << "Build() must run before NextBatch";
   u32 filled = 0;
   while (filled < n) {
     u64 packed = 0;

@@ -63,7 +63,7 @@ class TraceRecorder : public Workload {
   std::unique_ptr<Workload> inner_;
   std::string path_;
   std::FILE* file_ = nullptr;
-  VirtAddr base_ = 0;
+  VirtAddr base_;
   u64 records_written_ = 0;
 };
 
@@ -96,8 +96,8 @@ class TraceReplayWorkload : public Workload {
   std::FILE* file_;
   std::vector<TraceVma> vmas_;
   long data_offset_;
-  VirtAddr recorded_base_ = 0;  // base used at record time (offset 0)
-  VirtAddr replay_base_ = 0;    // base in the replaying address space
+  VirtAddr recorded_base_;  // base used at record time (offset 0)
+  VirtAddr replay_base_;    // base in the replaying address space
   u64 loops_ = 0;
 };
 

@@ -11,29 +11,29 @@ VoltDbWorkload::VoltDbWorkload(Params params, Options options)
       options_(options),
       warehouse_zipf_(options.num_warehouses, options.warehouse_zipf_theta) {
   MTM_CHECK_GT(params_.footprint_bytes, 8 * kHugePageBytes);
-  index_bytes_ = options_.index_bytes != 0 ? options_.index_bytes
-                                           : HugeAlignUp(params_.footprint_bytes.value() / 48);
-  log_bytes_ = options_.log_bytes != 0 ? options_.log_bytes
-                                       : HugeAlignUp(params_.footprint_bytes.value() / 64);
-  history_bytes_ = options_.history_bytes != 0 ? options_.history_bytes
-                                               : HugeAlignDown(params_.footprint_bytes.value() / 4);
+  index_bytes_ = !options_.index_bytes.IsZero() ? options_.index_bytes
+                                                : HugeAlignUp(params_.footprint_bytes / 48);
+  log_bytes_ = !options_.log_bytes.IsZero() ? options_.log_bytes
+                                            : HugeAlignUp(params_.footprint_bytes / 64);
+  history_bytes_ = !options_.history_bytes.IsZero() ? options_.history_bytes
+                                                    : HugeAlignDown(params_.footprint_bytes / 4);
   table_bytes_ =
-      HugeAlignDown(params_.footprint_bytes.value() - index_bytes_ - log_bytes_ - history_bytes_);
+      HugeAlignDown(params_.footprint_bytes - index_bytes_ - log_bytes_ - history_bytes_);
   warehouse_bytes_ = table_bytes_ / options_.num_warehouses;
-  MTM_CHECK_GT(warehouse_bytes_, 0ull);
+  MTM_CHECK_GT(warehouse_bytes_, Bytes{});
 }
 
 void VoltDbWorkload::Build(AddressSpace& address_space) {
   // Base pages for the record blocks: OLTP touches scattered rows, and
   // access-bit profiling of such traffic needs 4 KiB granularity (a huge
   // page's single accessed bit saturates under any broad traffic).
-  u32 t = address_space.Allocate(Bytes(table_bytes_), /*thp=*/false, "voltdb.tables");
-  u32 i = address_space.Allocate(Bytes(index_bytes_), /*thp=*/true, "voltdb.index");
-  u32 l = address_space.Allocate(Bytes(log_bytes_), /*thp=*/true, "voltdb.orderlog");
+  u32 t = address_space.Allocate(table_bytes_, /*thp=*/false, "voltdb.tables");
+  u32 i = address_space.Allocate(index_bytes_, /*thp=*/true, "voltdb.index");
+  u32 l = address_space.Allocate(log_bytes_, /*thp=*/true, "voltdb.orderlog");
   // Accumulated order-line history: the bulk of a TPC-C database's
   // footprint, appended by every transaction and almost never read back —
   // the cold mass a tiering system parks in slow memory.
-  u32 h = address_space.Allocate(Bytes(history_bytes_), /*thp=*/true, "voltdb.history",
+  u32 h = address_space.Allocate(history_bytes_, /*thp=*/true, "voltdb.history",
                                  /*prefault=*/false);
   table_start_ = address_space.vma(t).start;
   index_start_ = address_space.vma(i).start;
@@ -51,34 +51,34 @@ u32 VoltDbWorkload::NextBatch(MemAccess* out, u32 n) {
   while (filled < n) {
     u32 thread = NextThread();
     u64 warehouse = WarehouseForRank(warehouse_zipf_.Sample(rng_));
-    VirtAddr wh_base = table_start_ + warehouse * warehouse_bytes_;
+    VirtAddr wh_base = table_start_ + warehouse_bytes_ * warehouse;
 
     // Index lookups precede record touches.
     if (rng_.NextBernoulli(options_.index_access_prob)) {
-      VirtAddr a = index_start_ + (rng_.NextBounded(index_bytes_) & ~u64{7});
+      VirtAddr a = index_start_ + Bytes(rng_.NextBounded(index_bytes_.value()) & ~u64{7});
       out[filled++] = MemAccess{a, thread, false};
       if (filled >= n) {
         break;
       }
     }
     for (u32 r = 0; r < options_.records_per_txn && filled < n; ++r) {
-      VirtAddr a = wh_base + (rng_.NextBounded(warehouse_bytes_) & ~u64{7});
+      VirtAddr a = wh_base + Bytes(rng_.NextBounded(warehouse_bytes_.value()) & ~u64{7});
       bool is_write = (r & 1) != 0;  // R/W 1:1 within the transaction
       out[filled++] = MemAccess{a, thread, is_write};
     }
     // Append to the order log and the order-line history.
     if (filled < n) {
-      VirtAddr a = log_start_ + (log_cursor_ % log_bytes_);
+      VirtAddr a = log_start_ + Bytes(log_cursor_ % log_bytes_.value());
       log_cursor_ += 64;
       out[filled++] = MemAccess{a, thread, true};
     }
     if (filled < n) {
-      VirtAddr a = history_start_ + (history_cursor_ % history_bytes_);
+      VirtAddr a = history_start_ + Bytes(history_cursor_ % history_bytes_.value());
       history_cursor_ += 256;
       out[filled++] = MemAccess{a, thread, true};
     }
     if (filled < n && rng_.NextBernoulli(options_.history_read_prob)) {
-      VirtAddr a = history_start_ + (rng_.NextBounded(history_bytes_) & ~u64{7});
+      VirtAddr a = history_start_ + Bytes(rng_.NextBounded(history_bytes_.value()) & ~u64{7});
       out[filled++] = MemAccess{a, thread, false};
     }
     ++txns_;

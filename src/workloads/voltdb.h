@@ -23,9 +23,9 @@ class VoltDbWorkload : public Workload {
     double index_access_prob = 0.5;
     double history_read_prob = 0.02;  // rare lookups into old orders
     u64 rotate_txns = 400000;  // drift the zipf mapping this often
-    u64 index_bytes = 0;       // default footprint/48
-    u64 log_bytes = 0;         // default footprint/64
-    u64 history_bytes = 0;     // default footprint/4: accumulated order lines
+    Bytes index_bytes{};       // default footprint/48
+    Bytes log_bytes{};         // default footprint/64
+    Bytes history_bytes{};     // default footprint/4: accumulated order lines
   };
 
   explicit VoltDbWorkload(Params params);
@@ -40,15 +40,15 @@ class VoltDbWorkload : public Workload {
   u64 WarehouseForRank(u64 rank) const;
 
   Options options_;
-  u64 table_bytes_ = 0;
-  u64 index_bytes_ = 0;
-  u64 log_bytes_ = 0;
-  u64 history_bytes_ = 0;
-  u64 warehouse_bytes_ = 0;
-  VirtAddr table_start_ = 0;
-  VirtAddr index_start_ = 0;
-  VirtAddr log_start_ = 0;
-  VirtAddr history_start_ = 0;
+  Bytes table_bytes_;
+  Bytes index_bytes_;
+  Bytes log_bytes_;
+  Bytes history_bytes_;
+  Bytes warehouse_bytes_;
+  VirtAddr table_start_;
+  VirtAddr index_start_;
+  VirtAddr log_start_;
+  VirtAddr history_start_;
   u64 history_cursor_ = 0;
   ZipfSampler warehouse_zipf_;
   u64 txns_ = 0;

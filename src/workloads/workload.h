@@ -18,7 +18,7 @@
 namespace mtm {
 
 struct MemAccess {
-  VirtAddr addr = 0;
+  VirtAddr addr;
   u32 thread = 0;
   bool is_write = false;
 };

@@ -173,7 +173,7 @@ class RecordingObserver : public WriteTrackObserver {
     last_addr = addr;
   }
   int faults = 0;
-  VirtAddr last_addr = 0;
+  VirtAddr last_addr;
 };
 
 TEST_F(AccessEngineTest, WriteTrackFaultFiresOnceAndOnlyOnWrite) {

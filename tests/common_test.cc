@@ -22,18 +22,27 @@ TEST(TypesTest, PageConstants) {
 }
 
 TEST(TypesTest, Alignment) {
-  EXPECT_EQ(PageAlignDown(4097), 4096u);
-  EXPECT_EQ(PageAlignUp(4097), 8192u);
-  EXPECT_EQ(PageAlignUp(4096), 4096u);
-  EXPECT_EQ(HugeAlignDown(kHugePageSize + 5), kHugePageSize);
-  EXPECT_EQ(HugeAlignUp(kHugePageSize + 5), 2 * kHugePageSize);
-  EXPECT_TRUE(IsHugeAligned(4 * kHugePageSize));
-  EXPECT_FALSE(IsHugeAligned(kHugePageSize + kPageSize));
-  EXPECT_TRUE(IsPageAligned(8192));
+  EXPECT_EQ(PageAlignDown(VirtAddr{4097}), VirtAddr{4096});
+  EXPECT_EQ(PageAlignUp(VirtAddr{4097}), VirtAddr{8192});
+  EXPECT_EQ(PageAlignUp(VirtAddr{4096}), VirtAddr{4096});
+  EXPECT_EQ(HugeAlignDown(VirtAddr{kHugePageSize + 5}), VirtAddr{kHugePageSize});
+  EXPECT_EQ(HugeAlignUp(VirtAddr{kHugePageSize + 5}), VirtAddr{2 * kHugePageSize});
+  EXPECT_TRUE(IsHugeAligned(VirtAddr{4 * kHugePageSize}));
+  EXPECT_FALSE(IsHugeAligned(VirtAddr{kHugePageSize + kPageSize}));
+  EXPECT_TRUE(IsPageAligned(VirtAddr{8192}));
+}
+
+TEST(TypesTest, VirtAddrHelpers) {
+  VirtAddr a{0x5500'0000'1234ull};
+  EXPECT_EQ(a.OffsetIn(kPageSize), 0x234u);
+  EXPECT_EQ(a.Shifted(kPageShift), 0x5500'0000'1ull);
+  EXPECT_TRUE(a.AlignDown(kPageSize).IsAligned(kPageSize));
+  EXPECT_EQ(a + Bytes(0x1000), VirtAddr{0x5500'0000'2234ull});
+  EXPECT_EQ((a + Bytes(16)) - a, 16u);
 }
 
 TEST(TypesTest, VpnRoundTrip) {
-  VirtAddr addr = 0x55001234'5000ull;
+  VirtAddr addr{0x55001234'5000ull};
   EXPECT_EQ(AddrOfVpn(VpnOf(addr)), PageAlignDown(addr));
 }
 

@@ -93,13 +93,13 @@ TEST(PressureTest, PebsBufferOverflowDropsSamples) {
   PebsEngine pebs(machine, config);
   pebs.SetEnabled(true);
   for (int i = 0; i < 100; ++i) {
-    pebs.Observe(0x1000 + static_cast<u64>(i) * kPageSize, 0, 0, false);
+    pebs.Observe(VirtAddr{0x1000} + PagesToBytes(i), 0, 0, false);
   }
   EXPECT_EQ(pebs.pending(), 16u);
   EXPECT_EQ(pebs.samples_dropped(), 84u);
   EXPECT_EQ(pebs.Drain().size(), 16u);
   // Buffer drains and refills.
-  pebs.Observe(0x1000, 0, 0, false);
+  pebs.Observe(VirtAddr{0x1000}, 0, 0, false);
   EXPECT_EQ(pebs.pending(), 1u);
 }
 
@@ -133,7 +133,7 @@ TEST(PressureTest, ZeroLengthOrderIsNoop) {
   MemCounters counters(machine.num_components());
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kMoveMemoryRegions);
-  engine.Submit(MigrationOrder{0x5500'0000'0000ull, Bytes{}, 0, 0});
+  engine.Submit(MigrationOrder{VirtAddr{0x5500'0000'0000ull}, Bytes{}, 0, 0});
   EXPECT_EQ(engine.pending(), 0u);
   EXPECT_EQ(engine.stats().bytes_migrated, Bytes{});
 }

@@ -50,7 +50,7 @@ class MtmProfilerTest : public ::testing::Test {
   ProfileOutput RunInterval(MtmProfiler& profiler, VirtAddr hot_start, Bytes hot_len) {
     profiler.OnIntervalStart();
     for (u32 tick = 0; tick < 3; ++tick) {
-      for (VirtAddr a = hot_start; a < hot_start + hot_len.value(); a += kPageSize) {
+      for (VirtAddr a = hot_start; a < hot_start + hot_len; a += kPageSize) {
         page_table_.Touch(a, false);
       }
       profiler.OnScanTick(tick);
@@ -143,7 +143,7 @@ TEST_F(MtmProfilerTest, MergesColdNeighbors) {
   BuildMapped(MiB(32), 0);
   auto profiler = MakeProfiler(DefaultConfig());
   std::size_t before = profiler->regions().size();
-  ProfileOutput out = RunInterval(*profiler, 0, Bytes{});  // all cold
+  ProfileOutput out = RunInterval(*profiler, VirtAddr{}, Bytes{});  // all cold
   EXPECT_GT(out.regions_merged, 0u);
   EXPECT_LT(profiler->regions().size(), before);
 }
@@ -153,7 +153,7 @@ TEST_F(MtmProfilerTest, SplitsMixedRegions) {
   auto profiler = MakeProfiler(DefaultConfig());
   // Merge everything first (all cold), then heat half of the space: the
   // giant region shows high sample disparity and splits, huge-aligned.
-  RunInterval(*profiler, 0, Bytes{});
+  RunInterval(*profiler, VirtAddr{}, Bytes{});
   u64 splits = 0;
   for (int i = 0; i < 6; ++i) {
     ProfileOutput out = RunInterval(*profiler, start, MiB(16));
@@ -192,14 +192,14 @@ TEST_F(MtmProfilerTest, OverheadControlEscalatesTauM) {
   auto profiler = MakeProfiler(config);
   ASSERT_LT(profiler->NumPageSamples(), profiler->regions().size());
   double tau0 = profiler->current_tau_m();
-  RunInterval(*profiler, 0, Bytes{});
+  RunInterval(*profiler, VirtAddr{}, Bytes{});
   EXPECT_GT(profiler->current_tau_m(), tau0);
 }
 
 TEST_F(MtmProfilerTest, ScanCountRespectsBudget) {
   BuildMapped(MiB(64), 0);
   auto profiler = MakeProfiler(DefaultConfig());
-  RunInterval(*profiler, 0, Bytes{});
+  RunInterval(*profiler, VirtAddr{}, Bytes{});
   // Scans per interval <= num_ps * num_scans (plus PEBS-nominated ones).
   EXPECT_LE(profiler->last_interval_scans(), profiler->NumPageSamples() * 3 + 64);
 }
@@ -207,7 +207,7 @@ TEST_F(MtmProfilerTest, ScanCountRespectsBudget) {
 TEST_F(MtmProfilerTest, ProfilingCostWithinConstraint) {
   BuildMapped(MiB(64), 0);
   auto profiler = MakeProfiler(DefaultConfig());
-  ProfileOutput out = RunInterval(*profiler, 0, Bytes{});
+  ProfileOutput out = RunInterval(*profiler, VirtAddr{}, Bytes{});
   // Cost stays within ~the 5% target of the 20 ms interval (1 ms), with
   // small slack for PEBS drains.
   EXPECT_LE(out.profiling_cost_ns, Millis(1) + Micros(200));
@@ -294,7 +294,7 @@ TEST_F(MtmProfilerTest, AblationFlagsChangeBehavior) {
   MtmProfiler::Config config = DefaultConfig();
   config.adaptive_regions = false;
   auto no_amr = MakeProfiler(config);
-  ProfileOutput out = RunInterval(*no_amr, 0, Bytes{});
+  ProfileOutput out = RunInterval(*no_amr, VirtAddr{}, Bytes{});
   EXPECT_EQ(out.regions_merged, 0u);
   EXPECT_EQ(out.regions_split, 0u);
   EXPECT_EQ(no_amr->regions().size(), MiB(32) / kHugePageBytes);
@@ -303,7 +303,7 @@ TEST_F(MtmProfilerTest, AblationFlagsChangeBehavior) {
 TEST_F(MtmProfilerTest, MemoryOverheadSmall) {
   BuildMapped(MiB(64), 0);
   auto profiler = MakeProfiler(DefaultConfig());
-  RunInterval(*profiler, 0, Bytes{});
+  RunInterval(*profiler, VirtAddr{}, Bytes{});
   Bytes overhead = profiler->MemoryOverheadBytes();
   EXPECT_GT(overhead, Bytes{});
   // Table 5: well under 0.1% of the workload footprint.

@@ -1,0 +1,181 @@
+// Tests for the observability layer: MetricsRegistry semantics, timeline
+// snapshot determinism across identical seeded runs, and a golden-file test
+// pinning the Chrome trace_event exporter's exact output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/driver.h"
+#include "src/core/report.h"
+#include "src/obs/obs.h"
+#include "src/workloads/workload_factory.h"
+
+namespace mtm {
+namespace {
+
+TEST(MetricsRegistryTest, CounterAddAndRead) {
+  MetricsRegistry registry;
+  MetricId id = registry.Counter("profiler/pte_scans");
+  EXPECT_EQ(registry.counter(id), 0u);
+  registry.Add(id);
+  registry.Add(id, 41);
+  EXPECT_EQ(registry.counter(id), 42u);
+  EXPECT_EQ(registry.kind(id), MetricKind::kCounter);
+  EXPECT_EQ(registry.name(id), "profiler/pte_scans");
+}
+
+TEST(MetricsRegistryTest, InterningIsIdempotent) {
+  MetricsRegistry registry;
+  MetricId a = registry.Counter("x");
+  MetricId b = registry.Counter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+  // A second, distinct name gets a fresh id.
+  EXPECT_NE(registry.Gauge("y"), a);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotCreate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.Find("absent"), kInvalidMetricId);
+  EXPECT_EQ(registry.size(), 0u);
+  MetricId id = registry.Gauge("present");
+  EXPECT_EQ(registry.Find("present"), id);
+}
+
+TEST(MetricsRegistryTest, GaugeSetOverwrites) {
+  MetricsRegistry registry;
+  MetricId id = registry.Gauge("driver/hot_bytes");
+  registry.Set(id, 3.5);
+  registry.Set(id, 7.25);
+  EXPECT_DOUBLE_EQ(registry.gauge(id), 7.25);
+}
+
+TEST(MetricsRegistryTest, HistogramAccumulatesRunningStats) {
+  MetricsRegistry registry;
+  MetricId id = registry.Histogram("wall/scan");
+  registry.Observe(id, 1.0);
+  registry.Observe(id, 3.0);
+  registry.Observe(id, 8.0);
+  const RunningStats& stats = registry.histogram(id);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 8.0);
+}
+
+TEST(MetricsRegistryTest, RegistrationOrderIsIterationOrder) {
+  MetricsRegistry registry;
+  registry.Counter("a");
+  registry.Gauge("b");
+  registry.Histogram("c");
+  ASSERT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry.name(MetricId{0}), "a");
+  EXPECT_EQ(registry.name(MetricId{1}), "b");
+  EXPECT_EQ(registry.name(MetricId{2}), "c");
+}
+
+TEST(ScopedTimerTest, NullRegistryIsANoOp) {
+  // Must not crash or allocate; the disabled path is the common case.
+  MTM_TRACE_SCOPE(nullptr, "noop");
+  ScopedTimer timer(nullptr, "noop2");
+}
+
+TEST(ScopedTimerTest, RecordsIntoWallHistogram) {
+  MetricsRegistry registry;
+  {
+    MTM_TRACE_SCOPE(&registry, "unit");
+  }
+  MetricId id = registry.Find("wall/unit");
+  ASSERT_NE(id, kInvalidMetricId);
+  EXPECT_EQ(registry.histogram(id).count(), 1u);
+}
+
+TEST(TimelineTest, SkipsWallMetrics) {
+  MetricsRegistry registry;
+  MetricId kept = registry.Counter("profiler/pte_scans");
+  registry.Histogram("wall/scan");
+  registry.Add(kept, 5);
+  IntervalTimeline timeline;
+  timeline.Snapshot(0, SimNanos(1000), registry);
+  ASSERT_EQ(timeline.snapshots().size(), 1u);
+  ASSERT_EQ(timeline.snapshots()[0].samples.size(), 1u);
+  EXPECT_EQ(timeline.snapshots()[0].samples[0].id, kept);
+  EXPECT_EQ(timeline.snapshots()[0].samples[0].count, 5u);
+}
+
+// Runs the same seeded experiment twice with full observability and demands
+// byte-identical timeline JSONL and Chrome trace output — the acceptance
+// criterion that makes traces diffable artifacts.
+TEST(TimelineTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [](std::string* jsonl, std::string* trace) {
+    ExperimentConfig config;
+    config.sim_scale = 4096;
+    config.num_intervals = 6;
+    config.target_accesses = 400'000;
+    config.seed = 1234;
+    Observability obs;
+    RunOptions options;
+    options.obs = &obs;
+    RunExperiment("gups", SolutionKind::kMtm, config, options);
+    std::ostringstream jsonl_os;
+    obs.timeline.WriteJsonl(jsonl_os, obs.metrics);
+    *jsonl = jsonl_os.str();
+    std::ostringstream trace_os;
+    obs.trace.WriteChromeTrace(trace_os);
+    *trace = trace_os.str();
+  };
+  std::string jsonl1, trace1, jsonl2, trace2;
+  run(&jsonl1, &trace1);
+  run(&jsonl2, &trace2);
+  EXPECT_FALSE(jsonl1.empty());
+  EXPECT_FALSE(trace1.empty());
+  EXPECT_EQ(jsonl1, jsonl2);
+  EXPECT_EQ(trace1, trace2);
+  // The trace must contain the per-interval profiling and migration spans.
+  EXPECT_NE(trace1.find("\"name\":\"pte_scan\""), std::string::npos);
+  EXPECT_NE(trace1.find("\"cat\":\"migration\""), std::string::npos);
+  EXPECT_NE(trace1.find("\"name\":\"interval\""), std::string::npos);
+}
+
+// Golden-file test: the exporter's byte-exact output for a hand-built log.
+// If this fails after an intentional format change, update the expectation
+// and re-validate a real trace in Perfetto.
+TEST(ChromeTraceTest, GoldenOutput) {
+  TraceLog log;
+  log.AddSpan("pte_scan", "profiling", SimNanos(1'500), SimNanos(2'250));
+  log.AddSpan("migrate", "migration", SimNanos(4'000), SimNanos(125));
+  log.AddCounter("hot_bytes", SimNanos(5'000), 1048576.0);
+  std::ostringstream os;
+  log.WriteChromeTrace(os);
+  const char* expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"mtmsim\"}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"pte_scan\","
+      "\"cat\":\"profiling\",\"ts\":1.500,\"dur\":2.250},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"name\":\"migrate\","
+      "\"cat\":\"migration\",\"ts\":4.000,\"dur\":0.125},\n"
+      "{\"ph\":\"C\",\"pid\":1,\"name\":\"hot_bytes\",\"ts\":5.000,"
+      "\"args\":{\"value\":1.04858e+06}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"profiling\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"migration\"}}\n"
+      "]}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(WriteObservabilityFilesTest, EmptyPathsSkipAndSucceed) {
+  Observability obs;
+  EXPECT_TRUE(WriteObservabilityFiles(obs, "", "").ok());
+}
+
+TEST(WriteObservabilityFilesTest, UnwritablePathErrors) {
+  Observability obs;
+  Status status = WriteObservabilityFiles(obs, "/nonexistent-dir/m.jsonl", "");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace mtm

@@ -7,7 +7,7 @@
 namespace mtm {
 namespace {
 
-constexpr VirtAddr kBase = 0x5500'0000'0000ull;
+constexpr VirtAddr kBase{0x5500'0000'0000ull};
 
 HotnessEntry Entry(VirtAddr start, Bytes len, double hotness) {
   HotnessEntry e;

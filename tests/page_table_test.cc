@@ -12,7 +12,7 @@
 namespace mtm {
 namespace {
 
-constexpr VirtAddr kBase = 0x5500'0000'0000ull;
+constexpr VirtAddr kBase{0x5500'0000'0000ull};
 
 TEST(PageTableTest, MapAndFindBasePage) {
   PageTable pt;

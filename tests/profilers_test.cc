@@ -37,7 +37,7 @@ class ProfilersTest : public ::testing::Test {
 
   void TouchRange(VirtAddr start, Bytes len, int repeat = 1, u32 socket = 0) {
     for (int r = 0; r < repeat; ++r) {
-      for (VirtAddr a = start; a < start + len.value(); a += kPageSize) {
+      for (VirtAddr a = start; a < start + len; a += kPageSize) {
         engine_.Apply(a, false, socket);
       }
     }

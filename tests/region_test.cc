@@ -7,7 +7,7 @@
 namespace mtm {
 namespace {
 
-constexpr VirtAddr kBase = 0x5500'0000'0000ull;
+constexpr VirtAddr kBase{0x5500'0000'0000ull};
 
 TEST(RegionMapTest, SeedRangeDefaultSize) {
   RegionMap map;
@@ -35,7 +35,7 @@ TEST(RegionMapTest, SeedUnalignedStartAlignsBoundaries) {
   map.SeedRange(kBase + 3 * kPageSize, kBase + 2 * kHugePageSize, kHugePageBytes);
   // First region ends at the next huge boundary so later regions align.
   auto it = map.begin();
-  EXPECT_EQ(it->second.end % kHugePageSize, 0u);
+  EXPECT_EQ(it->second.end.OffsetIn(kHugePageSize), 0u);
 }
 
 TEST(RegionMapTest, FindContaining) {
@@ -123,7 +123,7 @@ TEST(RegionMapTest, SplitPointSinglePageImpossible) {
   Region r;
   r.start = kBase;
   r.end = kBase + kPageSize;
-  EXPECT_EQ(RegionMap::SplitPoint(r), 0u);
+  EXPECT_EQ(RegionMap::SplitPoint(r), VirtAddr{});
 }
 
 TEST(RegionTest, HotnessVariance) {
@@ -150,7 +150,7 @@ TEST(RegionMapPropertyTest, CoverageInvariant) {
       map.MergeWithNext(it);
     } else {
       VirtAddr split = RegionMap::SplitPoint(it->second);
-      if (split != 0) {
+      if (!split.IsZero()) {
         map.Split(it, split, nullptr, nullptr);
       }
     }

@@ -24,7 +24,7 @@ Workload::Params SmallParams() {
 }
 
 TEST(TracePackTest, RoundTrip) {
-  VirtAddr base = 0x5500'0000'0000ull;
+  VirtAddr base{0x5500'0000'0000ull};
   for (u64 offset : {u64{0}, u64{4096}, GiB(1).value(), (u64{1} << 48) - 8}) {
     for (u32 thread : {0u, 7u, 16383u}) {
       for (bool write : {false, true}) {

@@ -7,6 +7,14 @@ for):
   raw-unit-param   public headers must not declare function parameters of
                    raw integer type named *_ns / *_bytes — use SimNanos /
                    Bytes from src/common/types.h instead.
+  raw-unit-field   same rule for struct/class fields declared in headers.
+  strong-leak      headers must not spell strong_internal:: outside the
+                   strong-type definition sites (src/common/types.h,
+                   src/common/strong_types.h, src/obs/metric_id.h); the
+                   CRTP base is an implementation detail. Deriving a new
+                   strong type (`public strong_internal::...`) and std::hash
+                   specializations via strong_internal::StrongHash are the
+                   two sanctioned uses and stay allowed everywhere.
   assert-use       use MTM_CHECK (src/common/logging.h), never <cassert>'s
                    assert(): MTM_CHECK stays on in release builds and
                    streams context.
@@ -42,11 +50,27 @@ ALLOW_NAKED_NEW = {
 }
 
 # Legacy flag spellings kept for script compatibility.
-ALLOW_FLAG_NAMES = {"fault_spec"}
+ALLOW_FLAG_NAMES = {"fault_spec", "metrics_out", "trace_out"}
+
+# Headers that define the strong-type machinery itself.
+STRONG_TYPE_HOMES = {
+    "src/common/strong_types.h",
+    "src/common/types.h",
+    "src/obs/metric_id.h",
+}
 
 RAW_INT_TYPES = r"(?:u8|u16|u32|u64|i8|i16|i32|i64|int|long|unsigned|size_t|std::size_t)"
 RAW_UNIT_PARAM = re.compile(
     r"[(,]\s*(?:const\s+)?" + RAW_INT_TYPES + r"\s+(\w*_(?:ns|bytes))\b"
+)
+RAW_UNIT_FIELD = re.compile(
+    r"^\s*(?:const\s+|static\s+|constexpr\s+|mutable\s+)*"
+    + RAW_INT_TYPES
+    + r"\s+(\w*_(?:ns|bytes)_?)\s*[;={]"
+)
+STRONG_LEAK = re.compile(r"strong_internal::")
+STRONG_LEAK_ALLOWED = re.compile(
+    r"public\s+(?:\w+::)*strong_internal::|strong_internal::StrongHash"
 )
 ASSERT_CALL = re.compile(r"(?<![_\w])assert\s*\(")
 NAKED_NEW = re.compile(r"(?<![_\w.])new\s+[A-Za-z_:][\w:]*\s*[({\[]")
@@ -117,6 +141,21 @@ class Linter:
                         "raw-unit-param", rel, i,
                         f"parameter '{m.group(1)}' has a raw integer type; use {unit}",
                     )
+                m = RAW_UNIT_FIELD.match(line)
+                if m:
+                    unit = "SimNanos" if m.group(1).rstrip("_").endswith("_ns") else "Bytes"
+                    self.report(
+                        "raw-unit-field", rel, i,
+                        f"field '{m.group(1)}' has a raw integer type; use {unit}",
+                    )
+            if rel not in STRONG_TYPE_HOMES:
+                for i, line in enumerate(lines, 1):
+                    if STRONG_LEAK.search(line) and not STRONG_LEAK_ALLOWED.search(line):
+                        self.report(
+                            "strong-leak", rel, i,
+                            "strong_internal:: is an implementation namespace; public "
+                            "signatures must use the concrete strong types",
+                        )
 
         for i, line in enumerate(lines, 1):
             if ASSERT_CALL.search(line):

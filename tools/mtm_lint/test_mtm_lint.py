@@ -15,6 +15,11 @@ BAD_HEADER = """\
 #define BAD_H_
 void Sleep(u64 duration_ns);
 void Copy(const u64 chunk_bytes);
+struct Stats {
+  u64 total_ns = 0;
+  std::size_t copied_bytes;
+};
+strong_internal::Quantity<Foo, u64> Leak();
 #endif
 """
 
@@ -36,6 +41,13 @@ GOOD_HEADER = """\
 // assert(in a comment) and "new Thing(" in a string are fine:
 inline const char* kMsg = "never assert(x) or new Foo(";
 void Sleep(SimNanos duration);
+struct GoodStats {
+  SimNanos total;
+  Bytes copied;
+};
+class Token : public strong_internal::Ordinal<Token, u32> {};
+template <>
+struct std::hash<Token> : mtm::strong_internal::StrongHash<Token> {};
 """
 
 
@@ -57,7 +69,8 @@ def main():
         (root / "src" / "bad.cc").write_text(BAD_SOURCE)
         rc, report = run_lint(root)
         checks = {f["check"] for f in report["findings"]}
-        expected = {"pragma-once", "raw-unit-param", "assert-use", "naked-new",
+        expected = {"pragma-once", "raw-unit-param", "raw-unit-field",
+                    "strong-leak", "assert-use", "naked-new",
                     "include-order", "flag-style"}
         missing = expected - checks
         assert rc == 1, f"expected exit 1 on bad fixtures, got {rc}"

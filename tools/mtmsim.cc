@@ -32,6 +32,8 @@
 //                       e.g. "copy_fail:p=0.01;tier_offline:c=3,at=100ms"
 //   --format=F          human|csv|json                               [human]
 //   --record-intervals  include per-interval records (json)          [false]
+//   --metrics-out=PATH  write per-interval metrics timeline (JSONL)  [off]
+//   --trace-out=PATH    write Chrome trace_event JSON (Perfetto)     [off]
 #include <cstdio>
 #include <string>
 
@@ -88,8 +90,23 @@ int main(int argc, char** argv) {
   options.record_intervals = flags.GetBool("record-intervals", false);
   options.evaluate_quality = options.record_intervals;
 
+  std::string metrics_out = flags.GetString("metrics-out", flags.GetString("metrics_out", ""));
+  std::string trace_out = flags.GetString("trace-out", flags.GetString("trace_out", ""));
+  mtm::Observability obs;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    options.obs = &obs;
+  }
+
   mtm::RunResult result = mtm::RunExperiment(
       workload, mtm::SolutionKindFromName(solution), config, options);
+
+  if (options.obs != nullptr) {
+    mtm::Status status = mtm::WriteObservabilityFiles(obs, metrics_out, trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "observability export failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
 
   if (format == mtm::ReportFormat::kCsv) {
     std::printf("%s\n", mtm::CsvHeader().c_str());

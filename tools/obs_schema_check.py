@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validates mtmsim observability artifacts.
+
+Checks the structural contract the exporters promise (DESIGN.md §8):
+
+  metrics JSONL  one JSON object per line with integer `interval` (strictly
+                 increasing from 0), integer `sim_ns` (non-decreasing), and a
+                 `metrics` object whose values are numbers or histogram
+                 summaries {count, mean, min, max}. No "wall/" keys — host
+                 timings must not leak into the deterministic timeline.
+  Chrome trace   a JSON object with `traceEvents`; every event has a valid
+                 `ph` (X/C/M), X events carry name/cat/ts/dur, C events carry
+                 name/ts/args.value, and at least one pte_scan span and one
+                 migration-category span exist.
+
+Usage:
+  tools/obs_schema_check.py --metrics run.jsonl --trace trace.json
+
+Exit status 0 when both artifacts validate (either may be omitted).
+"""
+
+import argparse
+import json
+import sys
+
+NUMBER = (int, float)
+HISTOGRAM_KEYS = {"count", "mean", "min", "max"}
+
+
+def fail(msg):
+    print(f"obs_schema_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metric_value(name, value):
+    if isinstance(value, bool):
+        fail(f"metric '{name}' is a bool, expected a number or histogram")
+    if isinstance(value, NUMBER):
+        return
+    if isinstance(value, dict):
+        if set(value) != HISTOGRAM_KEYS:
+            fail(f"metric '{name}' histogram keys {sorted(value)} != "
+                 f"{sorted(HISTOGRAM_KEYS)}")
+        for k, v in value.items():
+            if isinstance(v, bool) or not isinstance(v, NUMBER):
+                fail(f"metric '{name}' histogram field '{k}' is not a number")
+        return
+    fail(f"metric '{name}' has unsupported type {type(value).__name__}")
+
+
+def check_metrics(path):
+    prev_interval = -1
+    prev_sim_ns = -1
+    lines = 0
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            try:
+                snap = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{i}: not valid JSON: {e}")
+            for key in ("interval", "sim_ns", "metrics"):
+                if key not in snap:
+                    fail(f"{path}:{i}: missing key '{key}'")
+            if snap["interval"] != prev_interval + 1:
+                fail(f"{path}:{i}: interval {snap['interval']} after "
+                     f"{prev_interval}; expected {prev_interval + 1}")
+            prev_interval = snap["interval"]
+            if snap["sim_ns"] < prev_sim_ns:
+                fail(f"{path}:{i}: sim_ns went backwards")
+            prev_sim_ns = snap["sim_ns"]
+            if not isinstance(snap["metrics"], dict) or not snap["metrics"]:
+                fail(f"{path}:{i}: 'metrics' must be a non-empty object")
+            for name, value in snap["metrics"].items():
+                if name.startswith("wall/"):
+                    fail(f"{path}:{i}: host-clock metric '{name}' leaked "
+                         "into the deterministic timeline")
+                check_metric_value(name, value)
+    if lines == 0:
+        fail(f"{path}: no snapshots")
+    print(f"obs_schema_check: {path}: {lines} snapshot(s) OK")
+
+
+def check_trace(path):
+    with open(path) as f:
+        try:
+            trace = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail(f"{path}: missing 'traceEvents'")
+    events = trace["traceEvents"]
+    pte_scans = 0
+    migration_spans = 0
+    for n, ev in enumerate(events):
+        where = f"{path}: traceEvents[{n}]"
+        ph = ev.get("ph")
+        if ph not in ("X", "C", "M"):
+            fail(f"{where}: bad ph {ph!r}")
+        if ph == "X":
+            for key in ("name", "cat", "ts", "dur"):
+                if key not in ev:
+                    fail(f"{where}: X event missing '{key}'")
+            if ev["dur"] < 0:
+                fail(f"{where}: negative duration")
+            if ev["name"] == "pte_scan":
+                pte_scans += 1
+            if ev["cat"] == "migration":
+                migration_spans += 1
+        elif ph == "C":
+            for key in ("name", "ts", "args"):
+                if key not in ev:
+                    fail(f"{where}: C event missing '{key}'")
+            if "value" not in ev["args"]:
+                fail(f"{where}: C event args missing 'value'")
+    if pte_scans == 0:
+        fail(f"{path}: no pte_scan spans")
+    if migration_spans == 0:
+        fail(f"{path}: no migration spans")
+    print(f"obs_schema_check: {path}: {len(events)} event(s), "
+          f"{pte_scans} pte_scan span(s), {migration_spans} migration "
+          "span(s) OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", help="metrics timeline JSONL to validate")
+    parser.add_argument("--trace", help="Chrome trace JSON to validate")
+    args = parser.parse_args()
+    if not args.metrics and not args.trace:
+        fail("nothing to check: pass --metrics and/or --trace")
+    if args.metrics:
+        check_metrics(args.metrics)
+    if args.trace:
+        check_trace(args.trace)
+
+
+if __name__ == "__main__":
+    main()
