@@ -6,6 +6,7 @@
 
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/common/units.h"
 #include "src/mem/placement.h"
 #include "src/sim/access_engine.h"
@@ -55,6 +56,85 @@ void BM_FullTableScan(benchmark::State& state) {
                           static_cast<i64>(NumPages(bytes)));
 }
 BENCHMARK(BM_FullTableScan)->Arg(64)->Arg(256);
+
+void BM_ShardedPteScanThroughput(benchmark::State& state) {
+  // Bench analogue of MtmProfiler::ScanSampledPages: a sampled-page list
+  // partitioned into num_threads*4 contiguous shards, each scanned on a
+  // worker, hit counts merged afterwards. Compare Arg(1) against Arg(8)
+  // for the parallel-engine speedup on a multi-core runner.
+  PageTable pt;
+  const u64 pages = 1 << 18;
+  MTM_CHECK(pt.MapRange(kBase, PagesToBytes(pages), 0, false).ok());
+  // Every 4th page sampled, like an Equation-1 budget over a warm region set.
+  std::vector<VirtAddr> sampled;
+  for (u64 page = 0; page < pages; page += 4) {
+    sampled.push_back(kBase + PagesToBytes(page));
+  }
+  const u32 threads = static_cast<u32>(state.range(0));
+  ThreadPool pool(threads);
+  const std::size_t shards = static_cast<std::size_t>(threads) * 4;
+  std::vector<u64> shard_hits(shards, 0);
+  for (auto _ : state) {
+    pool.ParallelFor(shards, [&](std::size_t s) {
+      const std::size_t begin = sampled.size() * s / shards;
+      const std::size_t end = sampled.size() * (s + 1) / shards;
+      u64 hits = 0;
+      bool accessed = false;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (pt.ScanAccessed(sampled[i], &accessed) && accessed) {
+          ++hits;
+        }
+      }
+      shard_hits[s] = hits;
+    });
+    u64 total = 0;
+    for (u64 h : shard_hits) {
+      total += h;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(sampled.size()));
+}
+BENCHMARK(BM_ShardedPteScanThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// ROADMAP question: do the VirtAddr/Bytes strong-type wrappers inhibit
+// vectorization of the scan hot loop's address arithmetic? The two loops
+// below are element-type-identical otherwise; matching throughput means
+// the wrappers compile away entirely.
+void BM_StrongTypeAddressArithmetic(benchmark::State& state) {
+  std::vector<VirtAddr> addrs(1 << 16);
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    addrs[i] = kBase + PagesToBytes(i);
+  }
+  for (auto _ : state) {
+    u64 acc = 0;
+    for (VirtAddr addr : addrs) {
+      acc += addr.Shifted(kPageShift) ^ addr.OffsetIn(kHugePageSize);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(addrs.size()));
+}
+BENCHMARK(BM_StrongTypeAddressArithmetic);
+
+void BM_RawU64AddressArithmetic(benchmark::State& state) {
+  std::vector<u64> addrs(1 << 16);
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    addrs[i] = kBase.value() + (i << kPageShift);
+  }
+  for (auto _ : state) {
+    u64 acc = 0;
+    for (u64 addr : addrs) {
+      acc += (addr >> kPageShift) ^ (addr & (kHugePageSize - 1));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(addrs.size()));
+}
+BENCHMARK(BM_RawU64AddressArithmetic);
 
 void BM_AccessEngineApply(benchmark::State& state) {
   Machine machine = Machine::OptaneFourTier(512);

@@ -1,0 +1,76 @@
+#include "src/common/thread_pool.h"
+
+#include "src/common/logging.h"
+
+namespace mtm {
+
+ThreadPool::ThreadPool(u32 num_threads) : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (u32 i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::DrainTasks(std::unique_lock<std::mutex>& lock) {
+  while (next_task_ < job_tasks_) {
+    const std::size_t index = next_task_++;
+    const std::function<void(std::size_t)>* fn = job_;
+    lock.unlock();
+    (*fn)(index);
+    lock.lock();
+    if (--remaining_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  u64 seen_generation = 0;
+  while (true) {
+    job_cv_.wait(lock, [&] { return stop_ || job_generation_ != seen_generation; });
+    if (stop_) {
+      return;
+    }
+    seen_generation = job_generation_;
+    DrainTasks(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t num_tasks,
+                             const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) {
+    return;
+  }
+  if (workers_.empty() || num_tasks == 1) {
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  MTM_CHECK(job_ == nullptr) << "ThreadPool::ParallelFor is not reentrant";
+  job_ = &fn;
+  job_tasks_ = num_tasks;
+  next_task_ = 0;
+  remaining_ = num_tasks;
+  ++job_generation_;
+  job_cv_.notify_all();
+  DrainTasks(lock);  // the caller is one of the num_threads executors
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  job_tasks_ = 0;
+}
+
+}  // namespace mtm

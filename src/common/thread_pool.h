@@ -1,0 +1,63 @@
+// A deterministic worker pool for sharded simulation work.
+//
+// The pool executes a fixed-size batch of independent tasks (shards) and
+// blocks the caller until every task has finished. Determinism is by
+// construction, not by scheduling: a task may run on any worker in any
+// order, so callers must write results only into task-indexed slots and
+// merge them afterwards in task order. Used by the sharded PTE-scan path
+// (see DESIGN.md §9); any code that follows the same slot-merge discipline
+// can reuse it.
+//
+// With num_threads <= 1 the pool spawns no threads at all and ParallelFor
+// degenerates to an inline loop, so single-threaded configurations pay
+// nothing and produce bitwise-identical results trivially.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace mtm {
+
+class ThreadPool {
+ public:
+  // num_threads counts the caller too: ParallelFor runs tasks on the calling
+  // thread plus (num_threads - 1) workers.
+  explicit ThreadPool(u32 num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  u32 num_threads() const { return num_threads_; }
+
+  // Runs fn(task_index) for every index in [0, num_tasks) and returns once
+  // all calls have completed. fn must not call back into the same pool
+  // (not reentrant) and must confine its writes to per-task state.
+  void ParallelFor(std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Claims and runs tasks of the current job until none remain. Expects
+  // `lock` held on entry; releases it around each task body.
+  void DrainTasks(std::unique_lock<std::mutex>& lock);
+
+  const u32 num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers: new job or stop
+  std::condition_variable done_cv_;  // caller: all tasks complete
+  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by mu_
+  std::size_t job_tasks_ = 0;                              // guarded by mu_
+  std::size_t next_task_ = 0;                              // guarded by mu_
+  std::size_t remaining_ = 0;                              // guarded by mu_
+  u64 job_generation_ = 0;                                 // guarded by mu_
+  bool stop_ = false;                                      // guarded by mu_
+};
+
+}  // namespace mtm

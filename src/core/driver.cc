@@ -154,6 +154,7 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
         }
       }
       if (solution.profiler() != nullptr) {
+        MTM_TRACE_SCOPE(obs != nullptr ? obs->wall_registry() : nullptr, "scan_tick");
         solution.profiler()->OnScanTick(tick);
       }
     }

@@ -27,6 +27,9 @@ struct MtmKnobs {
   bool adaptive_sampling = true;  // APS ablation
   bool overhead_control = true;   // OC ablation
   bool use_pebs = true;           // PEBS-assist ablation
+  // Worker threads for the sharded PTE-scan engine. Purely a host-side
+  // speedup: every value yields byte-identical simulation output.
+  u32 scan_threads = 1;
   MechanismKind mechanism = MechanismKind::kMoveMemoryRegions;  // kMmrSync: w/o async
   // Initial placement: MTM allocates in the local slow tier first (§9.1);
   // Table 4 shows the choice converges with first-touch as promotion

@@ -144,6 +144,7 @@ Solution::Solution(SolutionKind kind, const ExperimentConfig& config, Workload& 
       pc.adaptive_sampling = config.mtm.adaptive_sampling;
       pc.overhead_control = config.mtm.overhead_control;
       pc.use_pebs = config.mtm.use_pebs;
+      pc.scan_threads = config.mtm.scan_threads;
       pc.seed = config.seed ^ 0x5151;
       profiler_ = std::make_unique<MtmProfiler>(*machine_, page_table_, address_space_,
                                                 *engine_, pebs_.get(), pc);

@@ -1,0 +1,35 @@
+#include "src/obs/delta.h"
+
+namespace mtm {
+
+void ObsDelta::AddCounter(const std::string& name, u64 delta) {
+  for (auto& [existing, total] : counters_) {
+    if (existing == name) {
+      total += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(name, delta);
+}
+
+void ObsDelta::AddSpan(const std::string& name, const std::string& category, SimNanos start,
+                       SimNanos duration) {
+  spans_.push_back(TraceSpan{name, category, start, duration});
+}
+
+void ObsDelta::FlushTo(MetricsRegistry* metrics, TraceLog* trace) {
+  if (metrics != nullptr) {
+    for (const auto& [name, total] : counters_) {
+      metrics->Add(metrics->Counter(name), total);
+    }
+  }
+  if (trace != nullptr) {
+    for (const TraceSpan& span : spans_) {
+      trace->AddSpan(span.name, span.category, span.start, span.duration);
+    }
+  }
+  counters_.clear();
+  spans_.clear();
+}
+
+}  // namespace mtm

@@ -1,0 +1,45 @@
+// A buffered batch of observability updates, for code that runs on worker
+// threads. MetricsRegistry and TraceLog are deliberately unsynchronized (the
+// hot recording path is an array index); parallel shards therefore record
+// into a private ObsDelta and the coordinator flushes the per-shard deltas
+// serially, in shard order, after the fan-in barrier. Flushing in a fixed
+// order keeps registry interning order — and therefore the metrics JSONL and
+// Chrome-trace bytes — independent of worker scheduling (DESIGN.md §9).
+//
+// Counters are keyed by name, not MetricId, so a worker never touches the
+// registry's intern table; FlushTo interns on the (serial) flush path.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace mtm {
+
+class ObsDelta {
+ public:
+  // Accumulates `delta` against the named counter. Repeated names are
+  // coalesced so a flush performs one registry Add per distinct counter.
+  void AddCounter(const std::string& name, u64 delta);
+
+  // Buffers a simulated-time span for the trace log.
+  void AddSpan(const std::string& name, const std::string& category, SimNanos start,
+               SimNanos duration);
+
+  bool empty() const { return counters_.empty() && spans_.empty(); }
+
+  // Applies every buffered update in recording order. Null destinations are
+  // skipped (matching the nullable-pointer convention of src/obs). Clears
+  // the delta so it can be reused for the next shard pass.
+  void FlushTo(MetricsRegistry* metrics, TraceLog* trace);
+
+ private:
+  std::vector<std::pair<std::string, u64>> counters_;  // insertion order
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,191 @@
+// Differential determinism tests for the sharded PTE-scan engine: the same
+// seeded workload must produce byte-identical metrics JSONL, interval
+// timeline, Chrome trace, and report JSON for every --scan-threads value —
+// and identical to the pre-PR serial golden output checked into
+// tests/golden/ (generated before the parallel path existed).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/common/thread_pool.h"
+#include "src/core/driver.h"
+#include "src/core/report.h"
+#include "src/profiling/mtm_profiler.h"
+
+namespace mtm {
+namespace {
+
+struct RunArtifacts {
+  std::string metrics_jsonl;
+  std::string trace_json;
+  std::string report_json;
+};
+
+// Mirrors the CI observability smoke invocation of mtmsim:
+//   mtmsim --workload=gups --solution=mtm --intervals=12 --accesses=3000000
+RunArtifacts RunWithScanThreads(u32 scan_threads) {
+  ExperimentConfig config;
+  config.num_intervals = 12;
+  config.target_accesses = 3'000'000;
+  config.mtm.scan_threads = scan_threads;
+  Observability obs;
+  RunOptions options;
+  options.obs = &obs;
+  RunResult result = RunExperiment("gups", SolutionKind::kMtm, config, options);
+
+  RunArtifacts artifacts;
+  std::ostringstream metrics;
+  obs.timeline.WriteJsonl(metrics, obs.metrics);
+  artifacts.metrics_jsonl = metrics.str();
+  std::ostringstream trace;
+  obs.trace.WriteChromeTrace(trace);
+  artifacts.trace_json = trace.str();
+  // mtmsim prints the report with a trailing newline; the goldens carry it.
+  artifacts.report_json = Render(result, ReportFormat::kJson) + "\n";
+  return artifacts;
+}
+
+std::string ReadGolden(const std::string& name) {
+  std::ifstream in(std::string(MTM_TESTS_GOLDEN_DIR) + "/" + name, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << name;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ParallelScanTest, ScanThreadsProduceByteIdenticalArtifacts) {
+  RunArtifacts serial = RunWithScanThreads(1);
+  for (u32 threads : {2u, 8u}) {
+    RunArtifacts parallel = RunWithScanThreads(threads);
+    EXPECT_EQ(serial.metrics_jsonl, parallel.metrics_jsonl) << "scan_threads=" << threads;
+    EXPECT_EQ(serial.trace_json, parallel.trace_json) << "scan_threads=" << threads;
+    EXPECT_EQ(serial.report_json, parallel.report_json) << "scan_threads=" << threads;
+  }
+}
+
+TEST(ParallelScanTest, MatchesPreParallelSerialGolden) {
+  // Both the serial and a parallel run must reproduce the golden bytes
+  // captured from the build that predates the sharded scan engine.
+  const std::string golden_metrics = ReadGolden("scan_gups_metrics.jsonl");
+  const std::string golden_trace = ReadGolden("scan_gups_trace.json");
+  const std::string golden_report = ReadGolden("scan_gups_report.json");
+  for (u32 threads : {1u, 8u}) {
+    RunArtifacts artifacts = RunWithScanThreads(threads);
+    EXPECT_EQ(artifacts.metrics_jsonl, golden_metrics) << "scan_threads=" << threads;
+    EXPECT_EQ(artifacts.trace_json, golden_trace) << "scan_threads=" << threads;
+    EXPECT_EQ(artifacts.report_json, golden_report) << "scan_threads=" << threads;
+  }
+}
+
+// Profiler-level differential: two MtmProfiler instances over identically
+// prepared page tables, one serial and one with an odd worker count (odd so
+// shards and threads never divide evenly), must converge to bitwise-equal
+// region state. This is the test TSan exercises most heavily.
+class ProfilerHarness {
+ public:
+  explicit ProfilerHarness(u32 scan_threads)
+      : machine_(Machine::OptaneFourTier(512)),
+        counters_(machine_.num_components()),
+        engine_(machine_, page_table_, clock_, counters_, AccessEngine::Config{}),
+        pebs_(machine_, PebsEngine::Config{}) {
+    engine_.set_pebs(&pebs_);
+    u32 vma = address_space_.Allocate(MiB(32), false, "w");
+    start_ = address_space_.vma(vma).start;
+    EXPECT_TRUE(
+        page_table_.MapRange(start_, address_space_.vma(vma).len, 0, false).ok());
+    MtmProfiler::Config config;
+    config.interval_ns = Millis(20);
+    config.scan_threads = scan_threads;
+    config.hint_fault_period = 7;  // exercise hint arming across shard seams
+    profiler_ = std::make_unique<MtmProfiler>(machine_, page_table_, address_space_, engine_,
+                                              &pebs_, config);
+    profiler_->Initialize();
+  }
+
+  // One profiling interval with a seeded pseudo-random touch pattern.
+  void RunInterval(u64 interval_seed) {
+    Rng rng(interval_seed);
+    profiler_->OnIntervalStart();
+    for (u32 tick = 0; tick < 3; ++tick) {
+      for (int i = 0; i < 4000; ++i) {
+        VirtAddr addr = start_ + PagesToBytes(rng.NextBounded(NumPages(MiB(8))));
+        page_table_.Touch(addr, rng.NextBernoulli(0.3));
+      }
+      profiler_->OnScanTick(tick);
+    }
+    profiler_->OnIntervalEnd();
+  }
+
+  const MtmProfiler& profiler() const { return *profiler_; }
+
+ private:
+  Machine machine_;
+  SimClock clock_;
+  PageTable page_table_;
+  AddressSpace address_space_;
+  MemCounters counters_;
+  AccessEngine engine_;
+  PebsEngine pebs_;
+  VirtAddr start_;
+  std::unique_ptr<MtmProfiler> profiler_;
+};
+
+TEST(ParallelScanTest, RegionStateBitwiseEqualAcrossThreadCounts) {
+  ProfilerHarness serial(1);
+  ProfilerHarness parallel(3);
+  for (u64 interval = 0; interval < 6; ++interval) {
+    serial.RunInterval(0x9000 + interval);
+    parallel.RunInterval(0x9000 + interval);
+  }
+  const RegionMap& a = serial.profiler().regions();
+  const RegionMap& b = parallel.profiler().regions();
+  ASSERT_EQ(a.size(), b.size());
+  auto ita = a.begin();
+  auto itb = b.begin();
+  for (; ita != a.end(); ++ita, ++itb) {
+    const Region& ra = ita->second;
+    const Region& rb = itb->second;
+    EXPECT_EQ(ra.start, rb.start);
+    EXPECT_EQ(ra.end, rb.end);
+    EXPECT_EQ(ra.id, rb.id);
+    EXPECT_EQ(ra.sample_quota, rb.sample_quota);
+    EXPECT_EQ(ra.sampled_pages, rb.sampled_pages);
+    EXPECT_EQ(ra.sample_hits, rb.sample_hits);
+    // Bitwise, not approximate: the parallel path must evaluate the exact
+    // same floating-point expressions per region.
+    EXPECT_EQ(ra.hi, rb.hi);
+    EXPECT_EQ(ra.prev_hi, rb.prev_hi);
+    EXPECT_EQ(ra.whi, rb.whi);
+    EXPECT_EQ(ra.socket_hits, rb.socket_hits);
+  }
+  EXPECT_EQ(serial.profiler().last_interval_scans(), parallel.profiler().last_interval_scans());
+  EXPECT_EQ(serial.profiler().current_tau_m(), parallel.profiler().current_tau_m());
+}
+
+TEST(ParallelScanTest, ThreadPoolRunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<int> hits(257, 0);
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 50) << "task " << i;
+  }
+}
+
+TEST(ParallelScanTest, ThreadPoolInlineWhenSingleThreaded) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  pool.ParallelFor(ran.size(), [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : ran) {
+    EXPECT_EQ(id, caller);  // no worker threads exist at num_threads=1
+  }
+}
+
+}  // namespace
+}  // namespace mtm

@@ -20,6 +20,8 @@
 //   --overhead=F        profiling overhead target                    [0.05]
 //   --alpha=F           EMA weight (Equation 2)                      [0.5]
 //   --num-scans=N       PTE scans per sample per interval            [3]
+//   --scan-threads=N    workers for the sharded PTE-scan engine;
+//                       output is byte-identical for any value       [1]
 //   --two-tier          use the single-socket DRAM+PM machine        [false]
 //   --spread-threads    spread threads over both sockets             [false]
 //   --no-pebs           disable performance-counter assistance       [false]
@@ -61,6 +63,8 @@ int main(int argc, char** argv) {
   config.mtm.overhead_fraction = flags.GetDouble("overhead", 0.05);
   config.mtm.alpha = flags.GetDouble("alpha", 0.5);
   config.mtm.num_scans = static_cast<mtm::u32>(flags.GetU64("num-scans", 3));
+  config.mtm.scan_threads = static_cast<mtm::u32>(
+      flags.GetU64("scan-threads", flags.GetU64("scan_threads", 1)));
   config.mtm.use_pebs = !flags.GetBool("no-pebs", false);
   if (flags.GetBool("sync-migration", false)) {
     config.mtm.mechanism = mtm::MechanismKind::kMmrSync;
