@@ -13,8 +13,19 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/mem/placement.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/common/units.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
+#include "src/migration/mechanism.h"
 #include "src/migration/migration_engine.h"
+#include "src/sim/access_engine.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
 
 namespace mtm {
 namespace {

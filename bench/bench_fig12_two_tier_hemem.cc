@@ -9,7 +9,13 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/common/types.h"
+#include "src/common/units.h"
+#include "src/core/driver.h"
+#include "src/core/experiment.h"
 #include "src/core/solution.h"
+#include "src/mem/placement.h"
+#include "src/sim/machine.h"
 #include "src/workloads/gups.h"
 
 namespace mtm {

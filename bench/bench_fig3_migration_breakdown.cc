@@ -7,7 +7,11 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/common/types.h"
+#include "src/common/units.h"
+#include "src/migration/cost_model.h"
 #include "src/migration/mechanism.h"
+#include "src/sim/machine.h"
 
 int main() {
   using namespace mtm;

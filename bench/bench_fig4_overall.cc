@@ -10,6 +10,10 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "src/common/units.h"
+#include "src/core/driver.h"
+#include "src/core/experiment.h"
+#include "src/core/solution.h"
 #include "src/workloads/workload_factory.h"
 
 int main() {

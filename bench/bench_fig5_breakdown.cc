@@ -7,7 +7,14 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/report.h"
+#include "src/common/logging.h"
+#include "src/common/types.h"
+#include "src/common/units.h"
+#include "src/core/driver.h"
+#include "src/core/experiment.h"
+#include "src/core/solution.h"
+#include "src/obs/metric_id.h"
+#include "src/obs/obs.h"
 #include "src/workloads/workload_factory.h"
 
 namespace {

@@ -10,10 +10,24 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "src/common/types.h"
+#include "src/common/units.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
 #include "src/mem/placement.h"
 #include "src/profiling/damon.h"
 #include "src/profiling/mtm_profiler.h"
+#include "src/profiling/oracle.h"
+#include "src/profiling/profiler.h"
+#include "src/sim/access_engine.h"
+#include "src/sim/access_tracker.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+#include "src/sim/pebs.h"
 #include "src/workloads/gups.h"
+#include "src/workloads/workload.h"
 
 namespace mtm {
 namespace {

@@ -12,7 +12,11 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/workloads/workload_factory.h"
+#include "src/common/units.h"
+#include "src/core/driver.h"
+#include "src/core/experiment.h"
+#include "src/core/solution.h"
+#include "src/migration/mechanism.h"
 
 int main() {
   using namespace mtm;

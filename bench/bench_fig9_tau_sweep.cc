@@ -8,7 +8,10 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/workloads/workload_factory.h"
+#include "src/common/units.h"
+#include "src/core/driver.h"
+#include "src/core/experiment.h"
+#include "src/core/solution.h"
 
 int main() {
   using namespace mtm;

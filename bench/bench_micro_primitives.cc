@@ -5,12 +5,21 @@
 #include <benchmark/benchmark.h>
 
 #include "src/common/histogram.h"
+#include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
+#include "src/common/types.h"
 #include "src/common/units.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
 #include "src/mem/placement.h"
 #include "src/sim/access_engine.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
 #include "src/workloads/gups.h"
+#include "src/workloads/workload.h"
 
 namespace mtm {
 namespace {
@@ -20,7 +29,7 @@ constexpr VirtAddr kBase{0x5500'0000'0000ull};
 void BM_PageTableWalk(benchmark::State& state) {
   PageTable pt;
   const u64 pages = 1 << 16;
-  MTM_CHECK(pt.MapRange(kBase, PagesToBytes(pages), 0, false).ok());
+  MTM_CHECK(pt.MapRange(kBase, PagesToBytes(pages), ComponentId(0), false).ok());
   Rng rng(1);
   for (auto _ : state) {
     VirtAddr addr = kBase + PagesToBytes(rng.NextBounded(pages));
@@ -32,7 +41,7 @@ BENCHMARK(BM_PageTableWalk);
 void BM_PteScan(benchmark::State& state) {
   PageTable pt;
   const u64 pages = 1 << 16;
-  MTM_CHECK(pt.MapRange(kBase, PagesToBytes(pages), 0, false).ok());
+  MTM_CHECK(pt.MapRange(kBase, PagesToBytes(pages), ComponentId(0), false).ok());
   Rng rng(1);
   bool accessed = false;
   for (auto _ : state) {
@@ -46,7 +55,7 @@ void BM_FullTableScan(benchmark::State& state) {
   // The §3 motivation: scanning every PTE of a large mapping.
   PageTable pt;
   const Bytes bytes = MiB(static_cast<u64>(state.range(0)));
-  MTM_CHECK(pt.MapRange(kBase, bytes, 0, false).ok());
+  MTM_CHECK(pt.MapRange(kBase, bytes, ComponentId(0), false).ok());
   for (auto _ : state) {
     u64 visited = 0;
     pt.ForEachMapping(kBase, bytes, [&](VirtAddr, Bytes, Pte&) { ++visited; });
@@ -64,7 +73,7 @@ void BM_ShardedPteScanThroughput(benchmark::State& state) {
   // for the parallel-engine speedup on a multi-core runner.
   PageTable pt;
   const u64 pages = 1 << 18;
-  MTM_CHECK(pt.MapRange(kBase, PagesToBytes(pages), 0, false).ok());
+  MTM_CHECK(pt.MapRange(kBase, PagesToBytes(pages), ComponentId(0), false).ok());
   // Every 4th page sampled, like an Equation-1 budget over a warm region set.
   std::vector<VirtAddr> sampled;
   for (u64 page = 0; page < pages; page += 4) {

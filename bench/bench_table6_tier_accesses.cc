@@ -7,7 +7,11 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/workloads/workload_factory.h"
+#include "src/common/types.h"
+#include "src/core/driver.h"
+#include "src/core/experiment.h"
+#include "src/core/solution.h"
+#include "src/sim/machine.h"
 
 int main() {
   using namespace mtm;
@@ -28,7 +32,7 @@ int main() {
     for (u32 rank = 0; rank < 4; ++rank) {
       ComponentId c = machine.TierOrder(0)[rank];
       row.push_back(benchutil::Fmt(
-          "%.2f", static_cast<double>(r.component_app_accesses[c]) / 1e6));
+          "%.2f", static_cast<double>(r.component_app_accesses[c.value()]) / 1e6));
     }
     table.AddRow(row);
   }

@@ -8,7 +8,6 @@
 #include <vector>
 
 #include "src/common/units.h"
-#include "src/core/driver.h"
 #include "src/core/experiment.h"
 
 namespace mtm {

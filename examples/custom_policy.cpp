@@ -11,10 +11,17 @@
 #include <cstdio>
 #include <memory>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/core/driver.h"
+#include "src/core/experiment.h"
 #include "src/core/solution.h"
+#include "src/migration/migration_engine.h"
+#include "src/migration/policy.h"
+#include "src/profiling/profiler.h"
+#include "src/sim/page_table.h"
 #include "src/workloads/gups.h"
+#include "src/workloads/workload.h"
 #include "src/workloads/workload_factory.h"
 
 namespace {

@@ -10,6 +10,8 @@
 
 #include "src/common/units.h"
 #include "src/core/driver.h"
+#include "src/core/experiment.h"
+#include "src/core/solution.h"
 #include "src/workloads/workload_factory.h"
 
 namespace {

@@ -8,6 +8,8 @@
 
 #include "src/common/units.h"
 #include "src/core/driver.h"
+#include "src/core/experiment.h"
+#include "src/core/solution.h"
 
 namespace {
 

@@ -146,7 +146,7 @@ Result<FaultInjector> FaultInjector::Parse(const std::string& spec, u64 seed) {
         return InvalidArgumentError("'" + clause->name + "' requires c=<component>,at=<time>");
       }
       char* end = nullptr;
-      event.component = static_cast<u32>(std::strtoul(c->c_str(), &end, 10));
+      event.component = ComponentId(static_cast<u32>(std::strtoul(c->c_str(), &end, 10)));
       if (end == c->c_str() || *end != '\0') {
         return InvalidArgumentError("bad component id: " + *c);
       }

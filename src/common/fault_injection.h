@@ -43,11 +43,10 @@ inline constexpr u32 kNumFaultSites = 4;
 
 const char* FaultSiteName(FaultSite site);
 
-// One scheduled per-component degradation event. `component` is a
-// ComponentId (an index into the Machine); declared as u32 here so common/
-// stays below sim/ in the layering.
+// One scheduled per-component degradation event. `component` indexes the
+// Machine's component table.
 struct TierFaultEvent {
-  u32 component = ~u32{0};
+  ComponentId component = kInvalidComponent;
   SimNanos at_ns;
   bool offline = false;           // full device loss: residents must drain
   double bandwidth_derate = 1.0;  // multiplier applied when not offline

@@ -17,9 +17,10 @@
 //     difference of two ordinals is a count. No products or sums of ids.
 #pragma once
 
-#include <cstdint>
+#include <cstddef>
 #include <functional>
 #include <ostream>
+#include <vector>
 
 namespace mtm {
 namespace strong_internal {
@@ -137,4 +138,46 @@ struct StrongHash {
 };
 
 }  // namespace strong_internal
+
+// A vector whose subscript is a strong ordinal Id instead of a raw integer.
+//
+// Dense id-indexed tables (per-component capacities, counters, link rows)
+// used to be plain std::vector<T> indexed by a raw u32, so indexing one
+// table with an id of the wrong kind compiled silently. IdMap keeps the
+// contiguous-vector representation but only accepts the Id type at the
+// subscript, making cross-id indexing a compile error. Deliberately
+// minimal: size/iteration mirror std::vector, and ids() gives the
+// half-open id range for indexed loops.
+template <typename Id, typename T>
+class IdMap {
+ public:
+  using value_type = T;
+
+  IdMap() = default;
+  explicit IdMap(std::size_t count) : items_(count) {}
+  IdMap(std::size_t count, const T& init) : items_(count, init) {}
+  explicit IdMap(std::vector<T> items) : items_(std::move(items)) {}
+
+  T& operator[](Id id) { return items_[static_cast<std::size_t>(id.value())]; }
+  const T& operator[](Id id) const { return items_[static_cast<std::size_t>(id.value())]; }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void assign(std::size_t count, const T& value) { items_.assign(count, value); }
+  void resize(std::size_t count) { items_.resize(count); }
+  void push_back(T value) { items_.push_back(std::move(value)); }
+
+  // Value iteration (ids are implicit; use ids() when the loop needs them).
+  typename std::vector<T>::iterator begin() { return items_.begin(); }
+  typename std::vector<T>::iterator end() { return items_.end(); }
+  typename std::vector<T>::const_iterator begin() const { return items_.begin(); }
+  typename std::vector<T>::const_iterator end() const { return items_.end(); }
+
+  // One-past-the-last valid id, e.g. `for (Id c{0}; c < m.end_id(); ++c)`.
+  Id end_id() const { return Id(static_cast<typename Id::rep>(items_.size())); }
+
+ private:
+  std::vector<T> items_;
+};
+
 }  // namespace mtm

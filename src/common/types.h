@@ -89,6 +89,17 @@ class TierId : public strong_internal::Ordinal<TierId, u32> {
   using Ordinal::Ordinal;
 };
 
+// Index of a memory component within a Machine (a physical device: the DRAM
+// on socket 0, the PM on socket 1, ...). An ordinal, not a quantity — and a
+// different kind of id from TierId, because the same component has different
+// tier ranks from different sockets (§6.2 multi-view). Dense per-component
+// tables index by it through IdMap<ComponentId, T>.
+class ComponentId : public strong_internal::Ordinal<ComponentId, u32> {
+  using Ordinal::Ordinal;
+};
+
+inline constexpr ComponentId kInvalidComponent{~u32{0}};
+
 inline constexpr u64 kPageShift = 12;
 inline constexpr u64 kPageSize = u64{1} << kPageShift;  // 4 KiB base page.
 inline constexpr u64 kHugePageShift = 21;
@@ -139,6 +150,8 @@ template <>
 struct std::hash<mtm::Pfn> : mtm::strong_internal::StrongHash<mtm::Pfn> {};
 template <>
 struct std::hash<mtm::TierId> : mtm::strong_internal::StrongHash<mtm::TierId> {};
+template <>
+struct std::hash<mtm::ComponentId> : mtm::strong_internal::StrongHash<mtm::ComponentId> {};
 template <>
 struct std::hash<mtm::SimNanos> : mtm::strong_internal::StrongHash<mtm::SimNanos> {};
 template <>

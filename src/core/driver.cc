@@ -2,8 +2,21 @@
 
 #include <array>
 
+#include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 #include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/strong_types.h"
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
+#include "src/migration/policy.h"
+#include "src/obs/metric_id.h"
+#include "src/obs/trace.h"
+#include "src/profiling/profiler.h"
+#include "src/sim/access_engine.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/page_table.h"
 #include "src/workloads/workload_factory.h"
 
 namespace mtm {
@@ -27,8 +40,8 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
   MetricId rollbacks_id = kInvalidMetricId;
   MetricId abandoned_id = kInvalidMetricId;
   MetricId sync_fallbacks_id = kInvalidMetricId;
-  std::vector<MetricId> app_access_ids;
-  std::vector<MetricId> migration_bytes_ids;
+  IdMap<ComponentId, MetricId> app_access_ids;
+  IdMap<ComponentId, MetricId> migration_bytes_ids;
   if (obs != nullptr) {
     if (solution.profiler() != nullptr) {
       solution.profiler()->set_metrics(&obs->metrics);
@@ -48,10 +61,11 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
     rollbacks_id = obs->metrics.Gauge("migration/rollbacks");
     abandoned_id = obs->metrics.Gauge("migration/orders_abandoned");
     sync_fallbacks_id = obs->metrics.Gauge("migration/sync_fallbacks");
-    for (u32 c = 0; c < solution.machine().num_components(); ++c) {
-      app_access_ids.push_back(obs->metrics.Counter("mem/app_accesses_c" + std::to_string(c)));
+    for (ComponentId c{0}; c < solution.machine().end_component(); ++c) {
+      app_access_ids.push_back(
+          obs->metrics.Counter("mem/app_accesses_c" + std::to_string(c.value())));
       migration_bytes_ids.push_back(
-          obs->metrics.Gauge("mem/migration_bytes_c" + std::to_string(c)));
+          obs->metrics.Gauge("mem/migration_bytes_c" + std::to_string(c.value())));
     }
   }
 
@@ -107,7 +121,7 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
       return;
     }
     for (const TierFaultEvent& event : injector->TakeDue(clock.now())) {
-      MTM_CHECK_LT(event.component, solution.machine().num_components());
+      MTM_CHECK_LT(event.component.value(), solution.machine().num_components());
       ++result.faults.tier_events;
       if (event.offline) {
         solution.mutable_machine().SetOffline(event.component, true);
@@ -207,7 +221,7 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
       obs->metrics.Set(app_ns_id, static_cast<double>(clock.app_ns().value()));
       obs->metrics.Set(profiling_ns_id, static_cast<double>(clock.profiling_ns().value()));
       obs->metrics.Set(migration_ns_id, static_cast<double>(clock.migration_ns().value()));
-      for (u32 c = 0; c < solution.machine().num_components(); ++c) {
+      for (ComponentId c{0}; c < solution.machine().end_component(); ++c) {
         MetricId id = app_access_ids[c];
         u64 cumulative = counters.app_accesses(c);
         obs->metrics.Add(id, cumulative - obs->metrics.counter(id));
@@ -270,7 +284,7 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
     obs->metrics.Set(profiling_ns_id, static_cast<double>(clock.profiling_ns().value()));
     obs->metrics.Set(migration_ns_id, static_cast<double>(clock.migration_ns().value()));
   }
-  for (u32 c = 0; c < solution.machine().num_components(); ++c) {
+  for (ComponentId c{0}; c < solution.machine().end_component(); ++c) {
     result.component_app_accesses.push_back(counters.app_accesses(c));
   }
   if (solution.profiler() != nullptr) {

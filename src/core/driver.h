@@ -7,10 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "src/common/types.h"
 #include "src/core/experiment.h"
 #include "src/core/solution.h"
-#include "src/obs/obs.h"
 #include "src/migration/migration_engine.h"
+#include "src/obs/obs.h"
 #include "src/profiling/oracle.h"
 #include "src/workloads/workload.h"
 

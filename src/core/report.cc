@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/common/units.h"
+#include "src/migration/migration_engine.h"
 
 namespace mtm {
 namespace {

@@ -1,12 +1,16 @@
 #include "src/core/solution.h"
 
 #include "src/common/logging.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/migration/mechanism.h"
 #include "src/profiling/autonuma.h"
 #include "src/profiling/autotiering.h"
 #include "src/profiling/damon.h"
 #include "src/profiling/hemem_profiler.h"
 #include "src/profiling/mtm_profiler.h"
 #include "src/profiling/thermostat.h"
+#include "src/sim/tier.h"
 
 namespace mtm {
 
@@ -109,7 +113,7 @@ Solution::Solution(SolutionKind kind, const ExperimentConfig& config, Workload& 
     std::vector<HmcCache*> caches;
     for (u32 s = 0; s < machine_->num_sockets(); ++s) {
       ComponentId dram = kInvalidComponent;
-      for (u32 c = 0; c < machine_->num_components(); ++c) {
+      for (ComponentId c{0}; c < machine_->end_component(); ++c) {
         if (machine_->component(c).mem_class == MemClass::kDram &&
             machine_->component(c).home_socket == s) {
           dram = c;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/strong_types.h"
 #include "src/common/types.h"
 #include "src/sim/machine.h"
 
@@ -18,8 +19,7 @@ namespace mtm {
 class FrameAllocator {
  public:
   explicit FrameAllocator(const Machine& machine) {
-    capacity_.reserve(machine.num_components());
-    for (u32 c = 0; c < machine.num_components(); ++c) {
+    for (ComponentId c{0}; c < machine.end_component(); ++c) {
       capacity_.push_back(machine.component(c).capacity_bytes);
     }
     used_.assign(machine.num_components(), Bytes{});
@@ -60,8 +60,8 @@ class FrameAllocator {
   }
 
  private:
-  std::vector<Bytes> capacity_;
-  std::vector<Bytes> used_;
+  IdMap<ComponentId, Bytes> capacity_;
+  IdMap<ComponentId, Bytes> used_;
 };
 
 }  // namespace mtm

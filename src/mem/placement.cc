@@ -1,6 +1,8 @@
 #include "src/mem/placement.h"
 
 #include "src/common/logging.h"
+#include "src/common/status.h"
+#include "src/sim/tier.h"
 
 namespace mtm {
 

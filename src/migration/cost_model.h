@@ -13,6 +13,7 @@
 #include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/sim/machine.h"
+#include "src/sim/tier.h"
 
 namespace mtm {
 

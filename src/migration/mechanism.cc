@@ -1,5 +1,8 @@
 #include "src/migration/mechanism.h"
 
+#include "src/common/units.h"
+#include "src/sim/machine.h"
+
 namespace mtm {
 
 const char* MechanismKindName(MechanismKind kind) {

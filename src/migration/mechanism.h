@@ -20,6 +20,7 @@
 
 #include "src/common/types.h"
 #include "src/migration/cost_model.h"
+#include "src/sim/machine.h"
 
 namespace mtm {
 

@@ -3,6 +3,10 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/strong_types.h"
+#include "src/common/units.h"
+#include "src/migration/cost_model.h"
+#include "src/obs/metric_id.h"
 
 namespace mtm {
 
@@ -132,11 +136,11 @@ bool MigrationEngine::ReclaimFrom(ComponentId component, Bytes bytes_needed, int
           if (machine_.IsOffline(lower)) {
             continue;  // never demote onto a dead device
           }
-          if (hopeless_lower & (1u << lower)) {
+          if (hopeless_lower & (1u << lower.value())) {
             continue;  // cascading reclaim already failed there this scan
           }
           if (frames_.free_bytes(lower) < size && !ReclaimFrom(lower, size, depth + 1)) {
-            hopeless_lower |= 1u << lower;
+            hopeless_lower |= 1u << lower.value();
             continue;
           }
           if (!frames_.Reserve(lower, size)) {
@@ -233,10 +237,10 @@ void MigrationEngine::AttachObservability(Observability* obs) {
   commits_id_ = obs_->metrics.Counter("migration/commits");
   aborts_id_ = obs_->metrics.Counter("migration/aborts");
   retries_id_ = obs_->metrics.Counter("migration/retries");
-  bytes_on_component_ids_.clear();
-  for (u32 c = 0; c < machine_.num_components(); ++c) {
+  bytes_on_component_ids_ = IdMap<ComponentId, MetricId>();
+  for (ComponentId c{0}; c < machine_.end_component(); ++c) {
     bytes_on_component_ids_.push_back(
-        obs_->metrics.Counter("migration/bytes_on_c" + std::to_string(c)));
+        obs_->metrics.Counter("migration/bytes_on_c" + std::to_string(c.value())));
   }
 }
 
@@ -267,7 +271,7 @@ Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) 
   if (order.len.IsZero()) {
     return InvalidArgumentError("zero-length migration order");
   }
-  if (order.dst >= machine_.num_components()) {
+  if (order.dst >= machine_.end_component()) {
     return InvalidArgumentError("migration order targets unknown component");
   }
   if (machine_.IsOffline(order.dst)) {
@@ -505,7 +509,7 @@ void MigrationEngine::OnWriteTrackFault(VirtAddr addr, u32 /*socket*/) {
 
 void MigrationEngine::OnTierFault(const TierFaultEvent& event) {
   const ComponentId component = event.component;
-  MTM_CHECK_LT(component, machine_.num_components());
+  MTM_CHECK_LT(component.value(), machine_.num_components());
   if (!event.offline) {
     return;  // bandwidth derates only change costs; the Machine holds them
   }
@@ -601,12 +605,12 @@ Status MigrationEngine::VerifyInvariants() const {
                          std::to_string(frames_.total_used().value()) +
                          " mapped=" + std::to_string(page_table_.mapped_bytes().value()));
   }
-  std::vector<Bytes> resident(machine_.num_components());
+  IdMap<ComponentId, Bytes> resident(machine_.num_components());
   bool bad_component = false;
   const PageTable& pt = page_table_;
   for (const Vma& vma : address_space_.vmas()) {
     pt.ForEachMapping(vma.start, vma.len, [&](VirtAddr, Bytes size, const Pte& pte) {
-      if (pte.component < machine_.num_components()) {
+      if (pte.component < machine_.end_component()) {
         resident[pte.component] += size;
       } else {
         bad_component = true;
@@ -616,7 +620,7 @@ Status MigrationEngine::VerifyInvariants() const {
   if (bad_component) {
     return InternalError("mapped page references an unknown component");
   }
-  for (u32 c = 0; c < machine_.num_components(); ++c) {
+  for (ComponentId c{0}; c < machine_.end_component(); ++c) {
     if (resident[c] != frames_.used(c)) {
       return InternalError("component " + machine_.component(c).name +
                            " accounting diverged: resident=" +

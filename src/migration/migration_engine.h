@@ -36,10 +36,13 @@
 
 #include "src/common/fault_injection.h"
 #include "src/common/status.h"
+#include "src/common/strong_types.h"
 #include "src/common/types.h"
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
+#include "src/migration/cost_model.h"
 #include "src/migration/mechanism.h"
+#include "src/obs/metric_id.h"
 #include "src/obs/obs.h"
 #include "src/sim/access_engine.h"
 #include "src/sim/clock.h"
@@ -228,7 +231,7 @@ class MigrationEngine : public WriteTrackObserver {
   MetricId commits_id_ = kInvalidMetricId;
   MetricId aborts_id_ = kInvalidMetricId;
   MetricId retries_id_ = kInvalidMetricId;
-  std::vector<MetricId> bytes_on_component_ids_;  // indexed by ComponentId
+  IdMap<ComponentId, MetricId> bytes_on_component_ids_;
 
   std::vector<Pending> pending_;
   std::deque<RetryEntry> retry_queue_;
@@ -237,7 +240,7 @@ class MigrationEngine : public WriteTrackObserver {
   MigrationStats stats_;
   // Per-component clock hand for reclaim victim scanning (kswapd-style
   // round-robin over the address space).
-  std::vector<VirtAddr> reclaim_cursor_;
+  IdMap<ComponentId, VirtAddr> reclaim_cursor_;
 };
 
 }  // namespace mtm

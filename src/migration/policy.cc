@@ -5,11 +5,14 @@
 
 #include "src/common/histogram.h"
 #include "src/common/logging.h"
+#include "src/common/strong_types.h"
+#include "src/common/types.h"
+#include "src/sim/tier.h"
 
 namespace mtm {
 namespace {
 
-i64 frames_capacity(PolicyContext& ctx, ComponentId c) {
+i64 FramesCapacity(PolicyContext& ctx, ComponentId c) {
   return static_cast<i64>(ctx.frames->capacity(c).value());
 }
 
@@ -84,8 +87,8 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
   std::vector<std::size_t> hottest = hist.HottestFirst();
 
   // Planned free space per component, adjusted as orders accumulate.
-  std::vector<i64> planned_free(machine.num_components());
-  for (u32 c = 0; c < machine.num_components(); ++c) {
+  IdMap<ComponentId, i64> planned_free(machine.num_components());
+  for (ComponentId c{0}; c < machine.end_component(); ++c) {
     planned_free[c] = static_cast<i64>(ctx.frames->free_bytes(c).value());
   }
   // Demotion candidates, coldest first.
@@ -119,7 +122,7 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
       }
       // Demote only as much of the victim as the deficit requires; large
       // merged regions step down in huge-page-aligned slices.
-      Bytes deficit{static_cast<u64>(need - planned_free[dst])};
+      Bytes deficit(static_cast<u64>(need - planned_free[dst]));
       auto [slice_start, demote_len] =
           SliceOn(ctx, victim, dst, std::min(victim.len, HugeAlignUp(deficit)));
       if (demote_len.IsZero()) {
@@ -180,7 +183,7 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
       if (machine.IsOffline(dst)) {
         continue;  // degraded device: fall through to the next tier
       }
-      if (static_cast<u64>(frames_capacity(ctx, dst)) < promote_len.value()) {
+      if (static_cast<u64>(FramesCapacity(ctx, dst)) < promote_len.value()) {
         continue;
       }
       if (!make_room(dst, static_cast<i64>(promote_len.value()), e.hotness, socket)) {
@@ -253,8 +256,8 @@ std::vector<MigrationOrder> AutoTieringPolicy::Decide(const ProfileOutput& profi
   MTM_CHECK_GT(config_.promote_batch_bytes, Bytes{});
   const Machine& machine = *ctx.machine;
   std::vector<MigrationOrder> orders;
-  std::vector<i64> planned_free(machine.num_components());
-  for (u32 c = 0; c < machine.num_components(); ++c) {
+  IdMap<ComponentId, i64> planned_free(machine.num_components());
+  for (ComponentId c{0}; c < machine.end_component(); ++c) {
     planned_free[c] = static_cast<i64>(ctx.frames->free_bytes(c).value());
   }
   i64 budget = static_cast<i64>(config_.promote_batch_bytes.value());

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/types.h"
 #include "src/mem/frame_allocator.h"
 #include "src/migration/migration_engine.h"
 #include "src/profiling/profiler.h"

@@ -4,7 +4,6 @@
 // it is null, so runs without observability pay only pointer tests.
 #pragma once
 
-#include "src/obs/metric_id.h"
 #include "src/obs/metrics.h"
 #include "src/obs/timeline.h"
 #include "src/obs/trace.h"

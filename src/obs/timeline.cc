@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "src/common/stats.h"
+#include "src/obs/metric_id.h"
+
 namespace mtm {
 namespace {
 

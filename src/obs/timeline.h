@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/obs/metric_id.h"
 #include "src/obs/metrics.h"
 
 namespace mtm {

@@ -16,8 +16,9 @@
 // cyclically as task_numa_work does.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
+#include "src/common/types.h"
 #include "src/mem/address_space.h"
 #include "src/profiling/profiler.h"
 #include "src/sim/access_engine.h"
@@ -60,7 +61,8 @@ class AutoNumaProfiler : public Profiler {
 
   Bytes scan_cursor_;    // byte offset into the concatenated VMA space
   u64 armed_this_interval_ = 0;
-  std::unordered_map<Vpn, PageStat> stats_;
+  // Ordered by Vpn so the emitted entry list is independent of hash layout.
+  std::map<Vpn, PageStat> stats_;
 };
 
 }  // namespace mtm

@@ -1,5 +1,7 @@
 #include "src/profiling/autotiering.h"
 
+#include "src/common/types.h"
+
 namespace mtm {
 
 void AutoTieringProfiler::OnIntervalStart() {

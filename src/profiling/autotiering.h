@@ -9,10 +9,11 @@
 // demonstrates (slow ramp to high recall).
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/mem/address_space.h"
 #include "src/profiling/profiler.h"
@@ -53,8 +54,9 @@ class AutoTieringProfiler : public Profiler {
   Rng rng_;
   std::vector<Chunk> sampled_chunks_;
   // Hot chunks identified so far (start -> decayed hotness): random
-  // sampling is slow, but what it finds is remembered.
-  std::unordered_map<VirtAddr, double> accumulated_;
+  // sampling is slow, but what it finds is remembered. Ordered by address
+  // so the emitted entry list is independent of hash layout.
+  std::map<VirtAddr, double> accumulated_;
   u64 scans_this_interval_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/types.h"
 
 namespace mtm {
 

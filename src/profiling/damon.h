@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "src/common/rng.h"
+#include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/mem/address_space.h"
 #include "src/profiling/profiler.h"

@@ -1,5 +1,7 @@
 #include "src/profiling/hemem_profiler.h"
 
+#include "src/common/types.h"
+
 namespace mtm {
 
 ProfileOutput HememProfiler::OnIntervalEnd() {

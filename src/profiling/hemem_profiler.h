@@ -7,8 +7,9 @@
 // out — and there is no region formation at all.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/profiling/profiler.h"
 #include "src/sim/page_table.h"
@@ -38,7 +39,8 @@ class HememProfiler : public Profiler {
   PageTable& page_table_;
   PebsEngine& pebs_;
   Config config_;
-  std::unordered_map<Vpn, double> counts_;
+  // Ordered by Vpn so the emitted entry list is independent of hash layout.
+  std::map<Vpn, double> counts_;
 };
 
 }  // namespace mtm

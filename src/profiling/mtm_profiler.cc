@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/common/logging.h"
+#include "src/common/types.h"
 
 namespace mtm {
 

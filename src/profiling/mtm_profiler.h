@@ -30,9 +30,10 @@
 
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
+#include "src/common/types.h"
 #include "src/common/units.h"
-#include "src/obs/delta.h"
 #include "src/mem/address_space.h"
+#include "src/obs/delta.h"
 #include "src/profiling/profiler.h"
 #include "src/profiling/region.h"
 #include "src/sim/access_engine.h"

@@ -1,6 +1,7 @@
 #include "src/profiling/thermostat.h"
 
 #include "src/common/logging.h"
+#include "src/common/types.h"
 
 namespace mtm {
 

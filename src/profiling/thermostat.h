@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/mem/address_space.h"
 #include "src/profiling/profiler.h"

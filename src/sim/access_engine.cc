@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/common/logging.h"
+#include "src/sim/tier.h"
+
 namespace mtm {
 
 AccessEngine::AccessEngine(const Machine& machine, PageTable& page_table, SimClock& clock,

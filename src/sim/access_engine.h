@@ -18,7 +18,6 @@
 
 #include <vector>
 
-#include "src/common/logging.h"
 #include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/sim/access_tracker.h"

@@ -12,7 +12,6 @@
 
 #include <vector>
 
-#include "src/common/logging.h"
 #include "src/common/types.h"
 
 namespace mtm {

@@ -6,8 +6,8 @@
 
 #include <vector>
 
+#include "src/common/strong_types.h"
 #include "src/common/types.h"
-#include "src/sim/tier.h"
 
 namespace mtm {
 
@@ -35,7 +35,7 @@ class MemCounters {
 
   u64 total_app_accesses() const {
     u64 total = 0;
-    for (std::size_t c = 0; c < app_reads_.size(); ++c) {
+    for (ComponentId c{0}; c < app_reads_.end_id(); ++c) {
       total += app_reads_[c] + app_writes_[c];
     }
     return total;
@@ -48,9 +48,9 @@ class MemCounters {
   }
 
  private:
-  std::vector<u64> app_reads_;
-  std::vector<u64> app_writes_;
-  std::vector<Bytes> migration_bytes_;
+  IdMap<ComponentId, u64> app_reads_;
+  IdMap<ComponentId, u64> app_writes_;
+  IdMap<ComponentId, Bytes> migration_bytes_;
 };
 
 }  // namespace mtm

@@ -5,26 +5,28 @@
 #include <sstream>
 
 #include "src/common/logging.h"
+#include "src/common/strong_types.h"
 #include "src/common/units.h"
 
 namespace mtm {
 
 Machine::Machine(u32 num_sockets, std::vector<ComponentSpec> components,
                  std::vector<std::vector<LinkSpec>> links)
-    : num_sockets_(num_sockets), components_(std::move(components)), links_(std::move(links)) {
+    : num_sockets_(num_sockets), components_(std::move(components)) {
   MTM_CHECK_GT(num_sockets_, 0u);
-  MTM_CHECK_EQ(links_.size(), num_sockets_);
-  for (const auto& row : links_) {
+  MTM_CHECK_EQ(links.size(), num_sockets_);
+  for (auto& row : links) {
     MTM_CHECK_EQ(row.size(), components_.size());
+    links_.push_back(IdMap<ComponentId, LinkSpec>(std::move(row)));
   }
   base_links_ = links_;
   health_.assign(components_.size(), ComponentHealth{});
   tier_order_.resize(num_sockets_);
-  tier_rank_.assign(num_sockets_, std::vector<TierId>(components_.size()));
+  tier_rank_.assign(num_sockets_, IdMap<ComponentId, TierId>(components_.size()));
   for (u32 s = 0; s < num_sockets_; ++s) {
     auto& order = tier_order_[s];
     order.resize(components_.size());
-    std::iota(order.begin(), order.end(), 0u);
+    std::iota(order.begin(), order.end(), ComponentId{0});
     std::stable_sort(order.begin(), order.end(), [&](ComponentId a, ComponentId b) {
       return links_[s][a].latency_ns < links_[s][b].latency_ns;
     });
@@ -82,7 +84,7 @@ bool Machine::IsSlowestTier(ComponentId id) const {
 }
 
 void Machine::SetBandwidthDerate(ComponentId id, double factor) {
-  MTM_CHECK_LT(id, components_.size());
+  MTM_CHECK_LT(id.value(), components_.size());
   MTM_CHECK(factor > 0.0 && factor <= 1.0) << "derate factor out of (0,1]: " << factor;
   health_[id].bandwidth_derate = factor;
   for (u32 s = 0; s < num_sockets_; ++s) {
@@ -91,7 +93,7 @@ void Machine::SetBandwidthDerate(ComponentId id, double factor) {
 }
 
 void Machine::SetOffline(ComponentId id, bool offline) {
-  MTM_CHECK_LT(id, components_.size());
+  MTM_CHECK_LT(id.value(), components_.size());
   health_[id].offline = offline;
 }
 

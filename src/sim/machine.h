@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "src/common/status.h"
+#include "src/common/strong_types.h"
 #include "src/common/types.h"
 #include "src/sim/tier.h"
 
@@ -33,6 +33,9 @@ class Machine {
 
   u32 num_sockets() const { return num_sockets_; }
   u32 num_components() const { return static_cast<u32>(components_.size()); }
+  // One-past-the-last valid ComponentId, for indexed loops:
+  //   for (ComponentId c{0}; c < machine.end_component(); ++c)
+  ComponentId end_component() const { return components_.end_id(); }
 
   const ComponentSpec& component(ComponentId id) const { return components_[id]; }
   const LinkSpec& link(u32 socket, ComponentId id) const { return links_[socket][id]; }
@@ -88,12 +91,12 @@ class Machine {
   };
 
   u32 num_sockets_;
-  std::vector<ComponentSpec> components_;
-  std::vector<std::vector<LinkSpec>> links_;       // [socket][component]
-  std::vector<std::vector<LinkSpec>> base_links_;  // pristine copy for derates
-  std::vector<ComponentHealth> health_;
+  IdMap<ComponentId, ComponentSpec> components_;
+  std::vector<IdMap<ComponentId, LinkSpec>> links_;       // [socket][component]
+  std::vector<IdMap<ComponentId, LinkSpec>> base_links_;  // pristine copy for derates
+  IdMap<ComponentId, ComponentHealth> health_;
   std::vector<std::vector<ComponentId>> tier_order_;  // [socket] -> ranked components
-  std::vector<std::vector<TierId>> tier_rank_;     // [socket][component] -> rank
+  std::vector<IdMap<ComponentId, TierId>> tier_rank_;  // [socket][component] -> rank
 };
 
 }  // namespace mtm

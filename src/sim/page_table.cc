@@ -1,6 +1,5 @@
 #include "src/sim/page_table.h"
 
-#include "src/common/logging.h"
 
 namespace mtm {
 

@@ -23,7 +23,6 @@
 
 #include "src/common/status.h"
 #include "src/common/types.h"
-#include "src/sim/tier.h"
 
 namespace mtm {
 

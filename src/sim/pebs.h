@@ -15,6 +15,7 @@
 
 #include "src/common/fault_injection.h"
 #include "src/common/types.h"
+#include "src/obs/metric_id.h"
 #include "src/obs/metrics.h"
 #include "src/sim/machine.h"
 #include "src/sim/tier.h"

@@ -14,10 +14,10 @@
 
 namespace mtm {
 
-// Index of a memory component within a Machine.
-using ComponentId = u32;
-
-inline constexpr ComponentId kInvalidComponent = ~ComponentId{0};
+// ComponentId — the index of a memory component within a Machine — lives in
+// src/common/types.h with the other strong ids, so common-layer code (e.g.
+// the fault injector's tier-event schedule) can name it without depending
+// on sim/.
 
 // Technology class of a component; determines which PEBS event stream its
 // accesses feed (MEM_LOAD_RETIRED.{LOCAL,REMOTE}_PMM in the paper).

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
 
 namespace mtm {
 namespace {

@@ -9,6 +9,9 @@
 // than one hot blob.
 #pragma once
 
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
 #include "src/workloads/workload.h"
 
 namespace mtm {

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
 
 namespace mtm {
 namespace {

@@ -15,6 +15,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
 #include "src/workloads/workload.h"
 
 namespace mtm {

@@ -1,6 +1,10 @@
 #include "src/workloads/gups.h"
 
 #include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
+#include "src/profiling/oracle.h"
 
 namespace mtm {
 

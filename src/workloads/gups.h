@@ -12,6 +12,9 @@
 // access-pattern variance, as in §9.3's DAMON comparison.
 #pragma once
 
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
+#include "src/profiling/oracle.h"
 #include "src/workloads/workload.h"
 
 namespace mtm {

@@ -1,6 +1,8 @@
 #include "src/workloads/spark.h"
 
 #include "src/common/logging.h"
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
 
 namespace mtm {
 

@@ -10,6 +10,8 @@
 // that adapt quickly.
 #pragma once
 
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
 #include "src/workloads/workload.h"
 
 namespace mtm {

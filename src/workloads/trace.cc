@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
 
 namespace mtm {
 namespace {
@@ -108,6 +110,8 @@ Result<std::unique_ptr<TraceReplayWorkload>> TraceReplayWorkload::Open(const std
     vmas.push_back(TraceVma{len, thp != 0});
   }
   long data_offset = std::ftell(file);
+  // NOLINTNEXTLINE(modernize-make-unique): the ctor is private, so
+  // make_unique cannot reach it; mtm_lint allowlists this naked new.
   auto workload = std::unique_ptr<TraceReplayWorkload>(
       new TraceReplayWorkload(params, file, std::move(vmas), data_offset));
   workload->recorded_base_ = recorded_base;

@@ -20,6 +20,9 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
+#include "src/profiling/oracle.h"
 #include "src/workloads/workload.h"
 
 namespace mtm {

@@ -1,6 +1,8 @@
 #include "src/workloads/voltdb.h"
 
 #include "src/common/logging.h"
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
 
 namespace mtm {
 

@@ -10,6 +10,9 @@
 //    hotness that distinguishes adaptive profilers.
 #pragma once
 
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
 #include "src/workloads/workload.h"
 
 namespace mtm {

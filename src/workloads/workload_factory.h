@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/workloads/workload.h"
 

@@ -4,11 +4,19 @@
 
 #include <memory>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
 #include "src/mem/placement.h"
 #include "src/sim/access_engine.h"
+#include "src/sim/access_tracker.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/hmc_cache.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+#include "src/sim/pebs.h"
 
 namespace mtm {
 namespace {

@@ -1,9 +1,11 @@
 // End-to-end integration tests: the §8 daemon loop over every solution.
 #include <gtest/gtest.h>
 
-#include "src/common/units.h"
+#include "src/common/types.h"
 #include "src/core/driver.h"
-#include "src/workloads/workload_factory.h"
+#include "src/core/experiment.h"
+#include "src/core/solution.h"
+#include "src/migration/mechanism.h"
 
 namespace mtm {
 namespace {

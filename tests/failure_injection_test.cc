@@ -5,11 +5,23 @@
 #include <gtest/gtest.h>
 
 #include "src/common/fault_injection.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/core/driver.h"
+#include "src/core/experiment.h"
+#include "src/core/solution.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
 #include "src/mem/placement.h"
+#include "src/migration/mechanism.h"
 #include "src/migration/migration_engine.h"
-#include "src/workloads/workload_factory.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+#include "src/sim/pebs.h"
+#include "src/sim/tier.h"
 
 namespace mtm {
 namespace {
@@ -28,11 +40,11 @@ TEST(PressureTest, MachineNearlyFullStillPlaces) {
   for (u64 off = 0; off < footprint.value(); off += kHugePageSize) {
     ComponentId c = handler.HandlePageFault(as.vma(vma).start + off, 0, false);
     ASSERT_NE(c, kInvalidComponent);
-    ++placed[c];
+    ++placed[c.value()];
   }
   // Every component received pages.
-  for (u32 c = 0; c < machine.num_components(); ++c) {
-    EXPECT_GT(placed[c], 0) << machine.component(c).name;
+  for (ComponentId c{0}; c < machine.end_component(); ++c) {
+    EXPECT_GT(placed[c.value()], 0) << machine.component(c).name;
   }
   EXPECT_EQ(frames.total_used(), pt.mapped_bytes());
 }
@@ -42,7 +54,7 @@ TEST(PressureTest, PlacementFailsCleanlyWhenMachineFull) {
   PageTable pt;
   AddressSpace as;
   FrameAllocator frames(machine);
-  for (u32 c = 0; c < machine.num_components(); ++c) {
+  for (ComponentId c{0}; c < machine.end_component(); ++c) {
     ASSERT_TRUE(frames.Reserve(c, frames.free_bytes(c)));
   }
   u32 vma = as.Allocate(MiB(4), false, "x");
@@ -66,7 +78,7 @@ TEST(PressureTest, MigrationWithNoRoomAnywhereRecordsFailure) {
   u32 resident_vma = as.Allocate(frames.capacity(t1), false, "resident");
   ASSERT_TRUE(pt.MapRange(as.vma(resident_vma).start, frames.capacity(t1), t1, false).ok());
   ASSERT_TRUE(frames.Reserve(t1, frames.capacity(t1)));
-  for (u32 c = 0; c < machine.num_components(); ++c) {
+  for (ComponentId c{0}; c < machine.end_component(); ++c) {
     if (c != t1) {
       ASSERT_TRUE(frames.Reserve(c, frames.free_bytes(c)));
     }
@@ -93,13 +105,13 @@ TEST(PressureTest, PebsBufferOverflowDropsSamples) {
   PebsEngine pebs(machine, config);
   pebs.SetEnabled(true);
   for (int i = 0; i < 100; ++i) {
-    pebs.Observe(VirtAddr{0x1000} + PagesToBytes(i), 0, 0, false);
+    pebs.Observe(VirtAddr{0x1000} + PagesToBytes(i), ComponentId(0), 0, false);
   }
   EXPECT_EQ(pebs.pending(), 16u);
   EXPECT_EQ(pebs.samples_dropped(), 84u);
   EXPECT_EQ(pebs.Drain().size(), 16u);
   // Buffer drains and refills.
-  pebs.Observe(VirtAddr{0x1000}, 0, 0, false);
+  pebs.Observe(VirtAddr{0x1000}, ComponentId(0), 0, false);
   EXPECT_EQ(pebs.pending(), 1u);
 }
 
@@ -115,7 +127,7 @@ TEST(PressureTest, WorkloadLargerThanFastTiersRuns) {
     EXPECT_GT(r.total_accesses, 0u) << SolutionKindName(kind);
     Bytes dram;
     Machine machine = Machine::OptaneFourTier(config.sim_scale);
-    for (u32 c = 0; c < machine.num_components(); ++c) {
+    for (ComponentId c{0}; c < machine.end_component(); ++c) {
       if (machine.component(c).mem_class == MemClass::kDram) {
         dram += machine.component(c).capacity_bytes;
       }
@@ -133,7 +145,7 @@ TEST(PressureTest, ZeroLengthOrderIsNoop) {
   MemCounters counters(machine.num_components());
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kMoveMemoryRegions);
-  engine.Submit(MigrationOrder{VirtAddr{0x5500'0000'0000ull}, Bytes{}, 0, 0});
+  engine.Submit(MigrationOrder{VirtAddr{0x5500'0000'0000ull}, Bytes{}, ComponentId(0), 0});
   EXPECT_EQ(engine.pending(), 0u);
   EXPECT_EQ(engine.stats().bytes_migrated, Bytes{});
 }
@@ -198,10 +210,10 @@ TEST(FaultInjectorTest, SpecParsing) {
   EXPECT_DOUBLE_EQ(inj->probability(FaultSite::kPebsDrop), 0.0);
   ASSERT_EQ(inj->schedule().size(), 2u);
   // Schedule is ordered by time: the offline at 250ms precedes the 2s derate.
-  EXPECT_EQ(inj->schedule()[0].component, 3u);
+  EXPECT_EQ(inj->schedule()[0].component, ComponentId(3));
   EXPECT_TRUE(inj->schedule()[0].offline);
   EXPECT_EQ(inj->schedule()[0].at_ns, Millis(250));
-  EXPECT_EQ(inj->schedule()[1].component, 2u);
+  EXPECT_EQ(inj->schedule()[1].component, ComponentId(2));
   EXPECT_FALSE(inj->schedule()[1].offline);
   EXPECT_DOUBLE_EQ(inj->schedule()[1].bandwidth_derate, 0.25);
 

@@ -1,8 +1,10 @@
 // Tests for the machine topology (Table 1 of the paper).
 #include <gtest/gtest.h>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/sim/machine.h"
+#include "src/sim/tier.h"
 
 namespace mtm {
 namespace {
@@ -69,7 +71,7 @@ TEST(MachineTest, TierRankInverse) {
 TEST(MachineTest, SlowestTierIsPm) {
   Machine m = Machine::OptaneFourTier(64);
   int slowest = 0;
-  for (u32 c = 0; c < m.num_components(); ++c) {
+  for (ComponentId c{0}; c < m.end_component(); ++c) {
     if (m.IsSlowestTier(c)) {
       ++slowest;
       EXPECT_EQ(m.component(c).mem_class, MemClass::kPm);

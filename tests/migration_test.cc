@@ -1,8 +1,17 @@
 // Tests for migration mechanisms and the migration engine (§7).
 #include <gtest/gtest.h>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
+#include "src/migration/cost_model.h"
+#include "src/migration/mechanism.h"
 #include "src/migration/migration_engine.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
 
 namespace mtm {
 namespace {

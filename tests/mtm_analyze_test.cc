@@ -1,0 +1,224 @@
+// Unit tests for tools/mtm_analyze: each pass has at least one true
+// positive and one rejected near-miss in the fixture tree under
+// tools/mtm_analyze/testdata/, plus a golden --json report.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/mtm_analyze/mtm_analyze.h"
+
+namespace mtm::analyze {
+namespace {
+
+std::string TestdataRoot() { return MTM_ANALYZE_TESTDATA; }
+
+std::vector<std::string> FixtureSeeds() {
+  return {
+      "proj/liba/unused_inc.cc", "proj/liba/transitive.cc", "proj/liba/upward.cc",
+      "proj/liba/cycle_x.h",     "proj/det/sink_loop.cc",   "proj/det/mutate_loop.cc",
+      "proj/det/clock.cc",       "proj/det/sim_clock.cc",   "proj/det/seed.cc",
+      "proj/det/seeded_ok.cc",   "proj/det/suppressed.cc",  "proj/det/nojust.cc",
+  };
+}
+
+class AnalyzeFixtureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::ifstream in(TestdataRoot() + "/layers.toml");
+    ASSERT_TRUE(in.good()) << "missing fixture layers.toml";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string error;
+    ASSERT_TRUE(ParseConfig(ss.str(), &config_, &error)) << error;
+    project_ = Project::Load(TestdataRoot(), FixtureSeeds());
+    findings_ = Analyze(project_, config_);
+  }
+
+  bool HasFinding(const std::string& check, const std::string& file) const {
+    for (const Finding& f : findings_) {
+      if (f.check == check && f.file == file) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool AnyFindingIn(const std::string& file) const {
+    for (const Finding& f : findings_) {
+      if (f.file == file) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Config config_;
+  Project project_;
+  std::vector<Finding> findings_;
+};
+
+// ------------------------------------------------------ include-graph pass
+
+TEST_F(AnalyzeFixtureTest, FlagsUnusedDirectInclude) {
+  EXPECT_TRUE(HasFinding("unused-include", "proj/liba/unused_inc.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, DoesNotFlagUsedInclude) {
+  // unused_inc.cc's only finding is the unused extra.h; the used base.h
+  // include stays silent.
+  int count = 0;
+  for (const Finding& f : findings_) {
+    if (f.file == "proj/liba/unused_inc.cc") {
+      ++count;
+      EXPECT_EQ(f.check, "unused-include");
+      EXPECT_NE(f.message.find("extra.h"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(AnalyzeFixtureTest, FlagsTransitiveIncludeReliance) {
+  EXPECT_TRUE(HasFinding("transitive-include", "proj/liba/transitive.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, DoesNotFlagDirectUseAsUnusedOrTransitive) {
+  // transitive.cc uses ExtraThing directly: extra.h is neither unused nor
+  // a transitive-reliance target.
+  for (const Finding& f : findings_) {
+    if (f.file == "proj/liba/transitive.cc") {
+      EXPECT_EQ(f.check, "transitive-include");
+      EXPECT_NE(f.message.find("BaseThing"), std::string::npos);
+    }
+  }
+  EXPECT_FALSE(HasFinding("unused-include", "proj/liba/transitive.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, FlagsIncludeCycleOnce) {
+  int cycles = 0;
+  for (const Finding& f : findings_) {
+    if (f.check == "include-cycle") {
+      ++cycles;
+      EXPECT_NE(f.message.find("cycle_x.h"), std::string::npos);
+      EXPECT_NE(f.message.find("cycle_y.h"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(cycles, 1);
+}
+
+// ----------------------------------------------------------- layering pass
+
+TEST_F(AnalyzeFixtureTest, FlagsUpwardLayerEdge) {
+  EXPECT_TRUE(HasFinding("layering", "proj/liba/upward.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, AllowsDeclaredDownwardEdge) {
+  EXPECT_FALSE(AnyFindingIn("proj/libb/top.h"));
+}
+
+// -------------------------------------------------------- determinism pass
+
+TEST_F(AnalyzeFixtureTest, FlagsUnorderedIterationReachingSink) {
+  EXPECT_TRUE(HasFinding("unordered-iteration", "proj/det/sink_loop.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, DoesNotFlagMutateOnlyUnorderedLoop) {
+  EXPECT_FALSE(AnyFindingIn("proj/det/mutate_loop.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, FlagsWallClockOutsideSanctionedSites) {
+  EXPECT_TRUE(HasFinding("wall-clock", "proj/det/clock.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, AllowsSanctionedWallClockSite) {
+  EXPECT_FALSE(AnyFindingIn("proj/det/sim_clock.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, FlagsRandomDevice) {
+  EXPECT_TRUE(HasFinding("raw-random", "proj/det/seed.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, DoesNotFlagRandSubstrings) {
+  EXPECT_FALSE(AnyFindingIn("proj/det/seeded_ok.cc"));
+}
+
+// ----------------------------------------------------------- suppressions
+
+TEST_F(AnalyzeFixtureTest, JustifiedSuppressionSilencesFinding) {
+  EXPECT_FALSE(AnyFindingIn("proj/det/suppressed.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, UnjustifiedSuppressionIsReported) {
+  EXPECT_TRUE(HasFinding("suppression", "proj/det/nojust.cc"));
+  EXPECT_FALSE(HasFinding("unordered-iteration", "proj/det/nojust.cc"));
+}
+
+// ----------------------------------------------------------------- report
+
+TEST_F(AnalyzeFixtureTest, JsonReportMatchesGolden) {
+  std::ifstream in(TestdataRoot() + "/golden_report.json");
+  ASSERT_TRUE(in.good()) << "missing golden_report.json";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(FormatJson(findings_, project_.files().size()), ss.str());
+}
+
+TEST_F(AnalyzeFixtureTest, TextReportUsesLintFormat) {
+  std::string text = FormatText(findings_);
+  EXPECT_NE(text.find("proj/liba/upward.cc:2: [layering]"), std::string::npos);
+}
+
+// ------------------------------------------------------------- lexer unit
+
+TEST(StripTest, RemovesCommentsAndStringsPreservingLines) {
+  std::string stripped = StripCommentsAndStrings("a /* x\n y */ b // tail\n\"s\" 'c'\n");
+  std::vector<std::string> lines = SplitLines(stripped);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a ");
+  EXPECT_EQ(lines[1], " b ");
+  EXPECT_EQ(lines[2], "\"\" ''");
+}
+
+TEST(StripTest, DigitSeparatorIsNotACharLiteral) {
+  std::string stripped = StripCommentsAndStrings("u64 x = 1'000'000; int y = 2;");
+  EXPECT_NE(stripped.find("y = 2"), std::string::npos);
+}
+
+TEST(ContainsWordTest, RespectsBoundaries) {
+  EXPECT_TRUE(ContainsWord("x = rand();", "rand"));
+  EXPECT_FALSE(ContainsWord("x = randomize();", "rand"));
+  EXPECT_FALSE(ContainsWord("x = my_rand;", "rand"));
+}
+
+TEST(ConfigTest, RejectsMalformedInput) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(ParseConfig("[layers]\nbroken line\n", &config, &error));
+  EXPECT_NE(error.find("expected key = value"), std::string::npos);
+}
+
+TEST(ConfigTest, ParsesLayersAndAllowlists) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(ParseConfig("[layers]\n\"a\" = [\"b\", \"c\"]\n\n[determinism]\n"
+                          "wallclock_allow = [\"x.cc\"]\nrandom_allow = []\n",
+                          &config, &error))
+      << error;
+  ASSERT_EQ(config.layers.count("a"), 1u);
+  EXPECT_EQ(config.layers["a"], (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(config.wallclock_allow, std::vector<std::string>{"x.cc"});
+  EXPECT_TRUE(config.random_allow.empty());
+}
+
+TEST(CompileCommandsTest, ExtractsFileEntries) {
+  std::vector<std::string> files = ParseCompileCommands(
+      "[{\"directory\": \"/b\", \"command\": \"g++ -c a.cc\", \"file\": \"/r/a.cc\"},\n"
+      " {\"file\": \"/r/b.cc\", \"output\": \"b.o\"}]\n");
+  EXPECT_EQ(files, (std::vector<std::string>{"/r/a.cc", "/r/b.cc"}));
+}
+
+}  // namespace
+}  // namespace mtm::analyze

@@ -5,9 +5,19 @@
 
 #include <memory>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
 #include "src/mem/placement.h"
 #include "src/profiling/mtm_profiler.h"
+#include "src/profiling/profiler.h"
+#include "src/sim/access_engine.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+#include "src/sim/pebs.h"
 
 namespace mtm {
 namespace {
@@ -69,7 +79,7 @@ class MtmProfilerTest : public ::testing::Test {
 };
 
 TEST_F(MtmProfilerTest, Equation1Budget) {
-  BuildMapped(MiB(16), 0);
+  BuildMapped(MiB(16), ComponentId(0));
   MtmProfiler::Config config = DefaultConfig();
   auto profiler = MakeProfiler(config);
   // num_ps = interval * overhead / (effective_scan * num_scans); the
@@ -81,7 +91,7 @@ TEST_F(MtmProfilerTest, Equation1Budget) {
 }
 
 TEST_F(MtmProfilerTest, BudgetScalesWithOverheadTarget) {
-  BuildMapped(MiB(16), 0);
+  BuildMapped(MiB(16), ComponentId(0));
   MtmProfiler::Config config = DefaultConfig();
   config.overhead_fraction = 0.10;
   auto ten = MakeProfiler(config);
@@ -93,7 +103,7 @@ TEST_F(MtmProfilerTest, BudgetScalesWithOverheadTarget) {
 }
 
 TEST_F(MtmProfilerTest, InitialRegionsArePdeSized) {
-  BuildMapped(MiB(16), 0);
+  BuildMapped(MiB(16), ComponentId(0));
   auto profiler = MakeProfiler(DefaultConfig());
   EXPECT_EQ(profiler->regions().size(), MiB(16) / kHugePageBytes);
   for (const auto& [start, region] : profiler->regions()) {
@@ -102,7 +112,7 @@ TEST_F(MtmProfilerTest, InitialRegionsArePdeSized) {
 }
 
 TEST_F(MtmProfilerTest, HotRegionsRankAboveCold) {
-  VirtAddr start = BuildMapped(MiB(16), 0);  // DRAM: PTE-scan profiled
+  VirtAddr start = BuildMapped(MiB(16), ComponentId(0));  // DRAM: PTE-scan profiled
   auto profiler = MakeProfiler(DefaultConfig());
   VirtAddr hot_start = start + MiB(4).value();
   ProfileOutput out;
@@ -126,7 +136,7 @@ TEST_F(MtmProfilerTest, HotRegionsRankAboveCold) {
 }
 
 TEST_F(MtmProfilerTest, WhiFollowsEquation2) {
-  VirtAddr start = BuildMapped(MiB(4), 0);
+  VirtAddr start = BuildMapped(MiB(4), ComponentId(0));
   MtmProfiler::Config config = DefaultConfig();
   config.adaptive_regions = false;  // keep regions stable for exact math
   auto profiler = MakeProfiler(config);
@@ -140,7 +150,7 @@ TEST_F(MtmProfilerTest, WhiFollowsEquation2) {
 }
 
 TEST_F(MtmProfilerTest, MergesColdNeighbors) {
-  BuildMapped(MiB(32), 0);
+  BuildMapped(MiB(32), ComponentId(0));
   auto profiler = MakeProfiler(DefaultConfig());
   std::size_t before = profiler->regions().size();
   ProfileOutput out = RunInterval(*profiler, VirtAddr{}, Bytes{});  // all cold
@@ -149,7 +159,7 @@ TEST_F(MtmProfilerTest, MergesColdNeighbors) {
 }
 
 TEST_F(MtmProfilerTest, SplitsMixedRegions) {
-  VirtAddr start = BuildMapped(MiB(32), 0);
+  VirtAddr start = BuildMapped(MiB(32), ComponentId(0));
   auto profiler = MakeProfiler(DefaultConfig());
   // Merge everything first (all cold), then heat half of the space: the
   // giant region shows high sample disparity and splits, huge-aligned.
@@ -168,7 +178,7 @@ TEST_F(MtmProfilerTest, SplitsMixedRegions) {
 }
 
 TEST_F(MtmProfilerTest, QuotaConservedAtBudget) {
-  BuildMapped(MiB(64), 0);
+  BuildMapped(MiB(64), ComponentId(0));
   auto profiler = MakeProfiler(DefaultConfig());
   VirtAddr start = address_space_.vmas()[0].start;
   for (int i = 0; i < 5; ++i) {
@@ -183,7 +193,7 @@ TEST_F(MtmProfilerTest, QuotaConservedAtBudget) {
 }
 
 TEST_F(MtmProfilerTest, OverheadControlEscalatesTauM) {
-  BuildMapped(MiB(64), 0);
+  BuildMapped(MiB(64), ComponentId(0));
   MtmProfiler::Config config = DefaultConfig();
   // Tiny budget: far fewer samples than regions. Freeze region formation so
   // merging cannot hide the escalation itself.
@@ -197,7 +207,7 @@ TEST_F(MtmProfilerTest, OverheadControlEscalatesTauM) {
 }
 
 TEST_F(MtmProfilerTest, ScanCountRespectsBudget) {
-  BuildMapped(MiB(64), 0);
+  BuildMapped(MiB(64), ComponentId(0));
   auto profiler = MakeProfiler(DefaultConfig());
   RunInterval(*profiler, VirtAddr{}, Bytes{});
   // Scans per interval <= num_ps * num_scans (plus PEBS-nominated ones).
@@ -205,7 +215,7 @@ TEST_F(MtmProfilerTest, ScanCountRespectsBudget) {
 }
 
 TEST_F(MtmProfilerTest, ProfilingCostWithinConstraint) {
-  BuildMapped(MiB(64), 0);
+  BuildMapped(MiB(64), ComponentId(0));
   auto profiler = MakeProfiler(DefaultConfig());
   ProfileOutput out = RunInterval(*profiler, VirtAddr{}, Bytes{});
   // Cost stays within ~the 5% target of the 20 ms interval (1 ms), with
@@ -265,7 +275,7 @@ TEST_F(MtmProfilerTest, WithoutPebsSlowTierSampledDirectly) {
 }
 
 TEST_F(MtmProfilerTest, HintFaultsResolvePreferredSocket) {
-  VirtAddr start = BuildMapped(MiB(4), 0);
+  VirtAddr start = BuildMapped(MiB(4), ComponentId(0));
   MtmProfiler::Config config = DefaultConfig();
   config.hint_fault_period = 1;  // arm aggressively for the test
   auto profiler = MakeProfiler(config);
@@ -290,7 +300,7 @@ TEST_F(MtmProfilerTest, HintFaultsResolvePreferredSocket) {
 }
 
 TEST_F(MtmProfilerTest, AblationFlagsChangeBehavior) {
-  BuildMapped(MiB(32), 0);
+  BuildMapped(MiB(32), ComponentId(0));
   MtmProfiler::Config config = DefaultConfig();
   config.adaptive_regions = false;
   auto no_amr = MakeProfiler(config);
@@ -301,7 +311,7 @@ TEST_F(MtmProfilerTest, AblationFlagsChangeBehavior) {
 }
 
 TEST_F(MtmProfilerTest, MemoryOverheadSmall) {
-  BuildMapped(MiB(64), 0);
+  BuildMapped(MiB(64), ComponentId(0));
   auto profiler = MakeProfiler(DefaultConfig());
   RunInterval(*profiler, VirtAddr{}, Bytes{});
   Bytes overhead = profiler->MemoryOverheadBytes();
@@ -311,7 +321,7 @@ TEST_F(MtmProfilerTest, MemoryOverheadSmall) {
 }
 
 TEST_F(MtmProfilerTest, HotBytesTracksHotVolume) {
-  VirtAddr start = BuildMapped(MiB(32), 0);
+  VirtAddr start = BuildMapped(MiB(32), ComponentId(0));
   auto profiler = MakeProfiler(DefaultConfig());
   ProfileOutput out;
   for (int i = 0; i < 4; ++i) {

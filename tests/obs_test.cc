@@ -5,10 +5,18 @@
 
 #include <sstream>
 
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
 #include "src/core/driver.h"
+#include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/core/solution.h"
+#include "src/obs/metric_id.h"
+#include "src/obs/metrics.h"
 #include "src/obs/obs.h"
-#include "src/workloads/workload_factory.h"
+#include "src/obs/timeline.h"
+#include "src/obs/trace.h"
 
 namespace mtm {
 namespace {

@@ -1,8 +1,10 @@
 // Tests for the profiling-quality oracle (Figure 1 recall/accuracy).
 #include <gtest/gtest.h>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/profiling/oracle.h"
+#include "src/profiling/profiler.h"
 
 namespace mtm {
 namespace {

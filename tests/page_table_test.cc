@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/sim/page_table.h"
 
@@ -16,12 +18,12 @@ constexpr VirtAddr kBase{0x5500'0000'0000ull};
 
 TEST(PageTableTest, MapAndFindBasePage) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 2, /*huge=*/false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, ComponentId(2), /*huge=*/false).ok());
   Bytes size;
   Pte* pte = pt.Find(kBase + 100, &size);
   ASSERT_NE(pte, nullptr);
   EXPECT_EQ(size, kPageBytes);
-  EXPECT_EQ(pte->component, 2u);
+  EXPECT_EQ(pte->component, ComponentId(2));
   EXPECT_TRUE(pte->present());
   EXPECT_FALSE(pte->huge());
   EXPECT_EQ(pt.mapped_bytes(), kPageBytes);
@@ -30,7 +32,7 @@ TEST(PageTableTest, MapAndFindBasePage) {
 
 TEST(PageTableTest, MapAndFindHugePage) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, 1, /*huge=*/true).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, ComponentId(1), /*huge=*/true).ok());
   Bytes size;
   Pte* pte = pt.Find(kBase + kPageSize * 37, &size);
   ASSERT_NE(pte, nullptr);
@@ -44,25 +46,25 @@ TEST(PageTableTest, MapAndFindHugePage) {
 
 TEST(PageTableTest, UnalignedMapRejected) {
   PageTable pt;
-  EXPECT_FALSE(pt.MapRange(kBase + 1, kPageBytes, 0, false).ok());
-  EXPECT_FALSE(pt.MapRange(kBase, kPageBytes + Bytes(1), 0, false).ok());
-  EXPECT_FALSE(pt.MapRange(kBase + kPageSize, kHugePageBytes, 0, true).ok());
-  EXPECT_FALSE(pt.MapRange(kBase, Bytes{}, 0, false).ok());
+  EXPECT_FALSE(pt.MapRange(kBase + 1, kPageBytes, ComponentId(0), false).ok());
+  EXPECT_FALSE(pt.MapRange(kBase, kPageBytes + Bytes(1), ComponentId(0), false).ok());
+  EXPECT_FALSE(pt.MapRange(kBase + kPageSize, kHugePageBytes, ComponentId(0), true).ok());
+  EXPECT_FALSE(pt.MapRange(kBase, Bytes{}, ComponentId(0), false).ok());
 }
 
 TEST(PageTableTest, DoubleMapRejected) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 0, false).ok());
-  EXPECT_EQ(pt.MapRange(kBase, kPageBytes, 1, false).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, ComponentId(0), false).ok());
+  EXPECT_EQ(pt.MapRange(kBase, kPageBytes, ComponentId(1), false).code(), StatusCode::kAlreadyExists);
   // Huge over existing base pages rejected, and vice versa.
-  EXPECT_FALSE(pt.MapRange(PageAlignDown(kBase), kHugePageBytes, 1, true).ok());
-  ASSERT_TRUE(pt.MapRange(kBase + kHugePageSize, kHugePageBytes, 1, true).ok());
-  EXPECT_FALSE(pt.MapRange(kBase + kHugePageSize, kPageBytes, 1, false).ok());
+  EXPECT_FALSE(pt.MapRange(PageAlignDown(kBase), kHugePageBytes, ComponentId(1), true).ok());
+  ASSERT_TRUE(pt.MapRange(kBase + kHugePageSize, kHugePageBytes, ComponentId(1), true).ok());
+  EXPECT_FALSE(pt.MapRange(kBase + kHugePageSize, kPageBytes, ComponentId(1), false).ok());
 }
 
 TEST(PageTableTest, UnmapRange) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, 8 * kPageBytes, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, 8 * kPageBytes, ComponentId(0), false).ok());
   ASSERT_TRUE(pt.UnmapRange(kBase, 4 * kPageBytes).ok());
   EXPECT_EQ(pt.Find(kBase), nullptr);
   EXPECT_NE(pt.Find(kBase + 4 * kPageSize), nullptr);
@@ -71,7 +73,7 @@ TEST(PageTableTest, UnmapRange) {
 
 TEST(PageTableTest, UnmapCannotSplitHugeMapping) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, 0, true).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, ComponentId(0), true).ok());
   EXPECT_FALSE(pt.UnmapRange(kBase, kPageBytes).ok());
   EXPECT_TRUE(pt.UnmapRange(kBase, kHugePageBytes).ok());
   EXPECT_EQ(pt.mapped_bytes(), Bytes{});
@@ -79,7 +81,7 @@ TEST(PageTableTest, UnmapCannotSplitHugeMapping) {
 
 TEST(PageTableTest, TouchSetsAccessedAndDirty) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, ComponentId(0), false).ok());
   Pte* pte = nullptr;
   EXPECT_EQ(pt.Touch(kBase, /*is_write=*/false, &pte), PageTable::TouchResult::kOk);
   ASSERT_NE(pte, nullptr);
@@ -96,7 +98,7 @@ TEST(PageTableTest, TouchUnmappedIsFault) {
 
 TEST(PageTableTest, WriteTrackFaultOnlyOnWrite) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, ComponentId(0), false).ok());
   pt.Find(kBase)->Set(Pte::kWriteTracked);
   EXPECT_EQ(pt.Touch(kBase, /*is_write=*/false), PageTable::TouchResult::kOk);
   EXPECT_EQ(pt.Touch(kBase, /*is_write=*/true), PageTable::TouchResult::kWriteTrackFault);
@@ -106,7 +108,7 @@ TEST(PageTableTest, ScanAccessedReadsAndClears) {
   // The paper's PTE-scan primitive: read the accessed bit, clear it, no TLB
   // flush (§5).
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, ComponentId(0), false).ok());
   bool accessed = true;
   ASSERT_TRUE(pt.ScanAccessed(kBase, &accessed));
   EXPECT_FALSE(accessed);  // not yet touched
@@ -121,7 +123,7 @@ TEST(PageTableTest, ScanAccessedReadsAndClears) {
 TEST(PageTableTest, HugePageHasOneAccessedBit) {
   // §5.4: a huge page is profiled through its single PDE.
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, 0, true).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, ComponentId(0), true).ok());
   pt.Touch(kBase + 300 * kPageSize, false);
   bool accessed = false;
   ASSERT_TRUE(pt.ScanAccessed(kBase + 7 * kPageSize, &accessed));
@@ -130,7 +132,7 @@ TEST(PageTableTest, HugePageHasOneAccessedBit) {
 
 TEST(PageTableTest, SplitHuge) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, 3, true).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kHugePageBytes, ComponentId(3), true).ok());
   pt.Touch(kBase, true);
   ASSERT_TRUE(pt.SplitHuge(kBase + 5 * kPageSize).ok());
   EXPECT_EQ(pt.mapped_huge_pages(), 0u);
@@ -139,7 +141,7 @@ TEST(PageTableTest, SplitHuge) {
   Pte* pte = pt.Find(kBase + 100 * kPageSize, &size);
   ASSERT_NE(pte, nullptr);
   EXPECT_EQ(size, kPageBytes);
-  EXPECT_EQ(pte->component, 3u);
+  EXPECT_EQ(pte->component, ComponentId(3));
   EXPECT_TRUE(pte->accessed());  // A/D bits inherited
   EXPECT_TRUE(pte->dirty());
   EXPECT_FALSE(pt.SplitHuge(kBase).ok());  // already split
@@ -147,8 +149,8 @@ TEST(PageTableTest, SplitHuge) {
 
 TEST(PageTableTest, ForEachMappingVisitsInOrder) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, 3 * kPageBytes, 0, false).ok());
-  ASSERT_TRUE(pt.MapRange(kBase + kHugePageSize, kHugePageBytes, 1, true).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, 3 * kPageBytes, ComponentId(0), false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase + kHugePageSize, kHugePageBytes, ComponentId(1), true).ok());
   std::vector<std::pair<VirtAddr, Bytes>> seen;
   pt.ForEachMapping(kBase, 2 * kHugePageBytes,
                     [&](VirtAddr addr, Bytes size, Pte&) { seen.emplace_back(addr, size); });
@@ -162,7 +164,7 @@ TEST(PageTableTest, ForEachMappingVisitsInOrder) {
 
 TEST(PageTableTest, ForEachMappingRespectsRangeStart) {
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, 4 * kPageBytes, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, 4 * kPageBytes, ComponentId(0), false).ok());
   int count = 0;
   pt.ForEachMapping(kBase + 2 * kPageSize, 2 * kPageBytes,
                     [&](VirtAddr, Bytes, Pte&) { ++count; });
@@ -172,7 +174,7 @@ TEST(PageTableTest, ForEachMappingRespectsRangeStart) {
 TEST(PageTableTest, GenerationBumpsOnStructuralChange) {
   PageTable pt;
   u64 g0 = pt.generation();
-  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, kPageBytes, ComponentId(0), false).ok());
   u64 g1 = pt.generation();
   EXPECT_GT(g1, g0);
   ASSERT_TRUE(pt.UnmapRange(kBase, kPageBytes).ok());
@@ -182,7 +184,7 @@ TEST(PageTableTest, GenerationBumpsOnStructuralChange) {
 TEST(PageTableTest, PageTablePagesGrow) {
   PageTable pt;
   u64 before = pt.page_table_pages();
-  ASSERT_TRUE(pt.MapRange(kBase, MiB(8), 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, MiB(8), ComponentId(0), false).ok());
   EXPECT_GT(pt.page_table_pages(), before);
 }
 
@@ -190,7 +192,7 @@ TEST(PageTableTest, ScanCostOfLargeTable) {
   // §3 motivation: large memory means many PTEs; sanity-check the count a
   // full scan would visit for a 256 MiB mapping in base pages.
   PageTable pt;
-  ASSERT_TRUE(pt.MapRange(kBase, MiB(256), 0, false).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, MiB(256), ComponentId(0), false).ok());
   u64 visited = 0;
   pt.ForEachMapping(kBase, MiB(256), [&](VirtAddr, Bytes, Pte&) { ++visited; });
   EXPECT_EQ(visited, NumPages(MiB(256)));
@@ -223,7 +225,7 @@ TEST(PageTablePropertyTest, RandomMapUnmapConsistency) {
     Pte* pte = pt.Find(addr);
     if (mapped.count(slot)) {
       ASSERT_NE(pte, nullptr) << slot;
-      EXPECT_EQ(pte->component, slot % 4);
+      EXPECT_EQ(pte->component, ComponentId(static_cast<u32>(slot % 4)));
     } else {
       EXPECT_EQ(pte, nullptr) << slot;
     }
@@ -241,7 +243,7 @@ TEST_P(PageTableParamTest, MapTouchScanCycle) {
   const HugenessCase& param = GetParam();
   PageTable pt;
   u64 unit = param.huge ? kHugePageSize : kPageSize;
-  ASSERT_TRUE(pt.MapRange(kBase, Bytes(param.pages * unit), 0, param.huge).ok());
+  ASSERT_TRUE(pt.MapRange(kBase, Bytes(param.pages * unit), ComponentId(0), param.huge).ok());
   for (u64 i = 0; i < param.pages; ++i) {
     EXPECT_EQ(pt.Touch(kBase + i * unit + 64, i % 2 == 0), PageTable::TouchResult::kOk);
   }

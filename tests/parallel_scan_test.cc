@@ -10,10 +10,24 @@
 #include <sstream>
 #include <string>
 
+#include "src/common/rng.h"
 #include "src/common/thread_pool.h"
+#include "src/common/types.h"
+#include "src/common/units.h"
 #include "src/core/driver.h"
+#include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/core/solution.h"
+#include "src/mem/address_space.h"
+#include "src/obs/obs.h"
 #include "src/profiling/mtm_profiler.h"
+#include "src/profiling/region.h"
+#include "src/sim/access_engine.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+#include "src/sim/pebs.h"
 
 namespace mtm {
 namespace {
@@ -95,7 +109,7 @@ class ProfilerHarness {
     u32 vma = address_space_.Allocate(MiB(32), false, "w");
     start_ = address_space_.vma(vma).start;
     EXPECT_TRUE(
-        page_table_.MapRange(start_, address_space_.vma(vma).len, 0, false).ok());
+        page_table_.MapRange(start_, address_space_.vma(vma).len, ComponentId(0), false).ok());
     MtmProfiler::Config config;
     config.interval_ns = Millis(20);
     config.scan_threads = scan_threads;

@@ -2,9 +2,14 @@
 // PM-only) and their THP behavior.
 #include <gtest/gtest.h>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
 #include "src/mem/placement.h"
 #include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+#include "src/sim/tier.h"
 
 namespace mtm {
 namespace {
@@ -55,7 +60,7 @@ TEST_F(PlacementTest, SlowTierFirstPrefersLocalPm) {
 TEST_F(PlacementTest, SlowTierFirstFallsBackToDram) {
   u32 vma = address_space_.Allocate(MiB(4), false, "x");
   auto handler = MakeHandler(PlacementPolicy::kSlowTierFirst);
-  for (u32 c = 0; c < machine_.num_components(); ++c) {
+  for (ComponentId c{0}; c < machine_.end_component(); ++c) {
     if (machine_.component(c).mem_class == MemClass::kPm) {
       ASSERT_TRUE(frames_.Reserve(c, frames_.free_bytes(c)));
     }
@@ -90,7 +95,7 @@ TEST_F(PlacementTest, HugeFallsBackToBasePageUnderPressure) {
   u32 vma = address_space_.Allocate(MiB(4), /*thp=*/true, "x");
   auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
   // Leave less than one huge page free everywhere.
-  for (u32 c = 0; c < machine_.num_components(); ++c) {
+  for (ComponentId c{0}; c < machine_.end_component(); ++c) {
     Bytes keep = c == machine_.TierOrder(0)[0] ? 3 * kPageBytes : Bytes{};
     ASSERT_TRUE(frames_.Reserve(c, frames_.free_bytes(c) - keep));
   }
@@ -126,7 +131,7 @@ TEST_F(PlacementTest, FrameAccountingMatchesMappings) {
 TEST(FrameAllocatorTest, ReserveRelease) {
   Machine machine = Machine::OptaneFourTier(512);
   FrameAllocator frames(machine);
-  ComponentId c = 0;
+  ComponentId c{0};
   Bytes cap = frames.capacity(c);
   EXPECT_TRUE(frames.Reserve(c, cap));
   EXPECT_FALSE(frames.Reserve(c, Bytes(1)));

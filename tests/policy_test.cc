@@ -2,8 +2,15 @@
 // histogram policy and the baseline policies.
 #include <gtest/gtest.h>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
+#include "src/migration/migration_engine.h"
 #include "src/migration/policy.h"
+#include "src/profiling/profiler.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
 
 namespace mtm {
 namespace {

@@ -4,14 +4,22 @@
 
 #include <memory>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
+#include "src/mem/address_space.h"
 #include "src/profiling/autonuma.h"
 #include "src/profiling/autotiering.h"
 #include "src/profiling/damon.h"
 #include "src/profiling/hemem_profiler.h"
+#include "src/profiling/profiler.h"
 #include "src/profiling/thermostat.h"
 #include "src/sim/access_engine.h"
 #include "src/sim/access_tracker.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+#include "src/sim/pebs.h"
 
 namespace mtm {
 namespace {
@@ -56,15 +64,15 @@ class ProfilersTest : public ::testing::Test {
 // ---------------------------------------------------------------- DAMON --
 
 TEST_F(ProfilersTest, DamonSeedsOneRegionPerVma) {
-  BuildMapped(MiB(8), 0);
-  BuildMapped(MiB(4), 0);
+  BuildMapped(MiB(8), ComponentId(0));
+  BuildMapped(MiB(4), ComponentId(0));
   DamonProfiler damon(page_table_, address_space_, DamonProfiler::Config{});
   damon.Initialize();
   EXPECT_EQ(damon.regions().size(), 2u);
 }
 
 TEST_F(ProfilersTest, DamonSplitsWhenUnderBudget) {
-  BuildMapped(MiB(8), 0);
+  BuildMapped(MiB(8), ComponentId(0));
   DamonProfiler::Config config;
   config.max_regions = 64;
   DamonProfiler damon(page_table_, address_space_, config);
@@ -78,7 +86,7 @@ TEST_F(ProfilersTest, DamonSplitsWhenUnderBudget) {
 }
 
 TEST_F(ProfilersTest, DamonRegionCountStaysBounded) {
-  BuildMapped(MiB(32), 0);
+  BuildMapped(MiB(32), ComponentId(0));
   DamonProfiler::Config config;
   config.max_regions = 32;
   config.min_regions = 4;
@@ -98,7 +106,7 @@ TEST_F(ProfilersTest, DamonRegionCountStaysBounded) {
 }
 
 TEST_F(ProfilersTest, DamonDetectsHotVmaEventually) {
-  VirtAddr start = BuildMapped(MiB(16), 0);
+  VirtAddr start = BuildMapped(MiB(16), ComponentId(0));
   DamonProfiler::Config config;
   config.max_regions = 128;
   DamonProfiler damon(page_table_, address_space_, config);
@@ -123,7 +131,7 @@ TEST_F(ProfilersTest, DamonDetectsHotVmaEventually) {
 // ----------------------------------------------------------- Thermostat --
 
 TEST_F(ProfilersTest, ThermostatFixedRegions) {
-  BuildMapped(MiB(8), 0);
+  BuildMapped(MiB(8), ComponentId(0));
   ThermostatProfiler::Config config;
   config.interval_ns = Millis(20);
   ThermostatProfiler thermo(address_space_, tracker_, config);
@@ -134,7 +142,7 @@ TEST_F(ProfilersTest, ThermostatFixedRegions) {
 }
 
 TEST_F(ProfilersTest, ThermostatBudgetReflectsCostMultiplier) {
-  BuildMapped(MiB(8), 0);
+  BuildMapped(MiB(8), ComponentId(0));
   ThermostatProfiler::Config config;
   config.interval_ns = Millis(20);
   ThermostatProfiler thermo(address_space_, tracker_, config);
@@ -146,7 +154,7 @@ TEST_F(ProfilersTest, ThermostatBudgetReflectsCostMultiplier) {
 }
 
 TEST_F(ProfilersTest, ThermostatCountsExactAccesses) {
-  VirtAddr start = BuildMapped(MiB(2), 0);
+  VirtAddr start = BuildMapped(MiB(2), ComponentId(0));
   ThermostatProfiler::Config config;
   config.interval_ns = Seconds(1);  // budget covers every region
   ThermostatProfiler thermo(address_space_, tracker_, config);
@@ -161,7 +169,7 @@ TEST_F(ProfilersTest, ThermostatCountsExactAccesses) {
 TEST_F(ProfilersTest, ThermostatHugePageSampling4KOnly) {
   // Inside a huge page Thermostat still samples one 4 KiB sub-page; traffic
   // to the other 511 sub-pages is invisible to it (§5.4's critique).
-  VirtAddr start = BuildMapped(MiB(2), 0, /*huge=*/true);
+  VirtAddr start = BuildMapped(MiB(2), ComponentId(0), /*huge=*/true);
   ThermostatProfiler::Config config;
   config.interval_ns = Seconds(1);
   config.seed = 7;
@@ -182,7 +190,7 @@ TEST_F(ProfilersTest, ThermostatHugePageSampling4KOnly) {
 // -------------------------------------------------------- tiered-AutoNUMA --
 
 TEST_F(ProfilersTest, AutoNumaArmsAndObservesFaults) {
-  VirtAddr start = BuildMapped(MiB(8), 0);
+  VirtAddr start = BuildMapped(MiB(8), ComponentId(0));
   AutoNumaProfiler::Config config;
   config.scan_window_bytes = MiB(8);
   AutoNumaProfiler profiler(page_table_, address_space_, engine_, config);
@@ -197,7 +205,7 @@ TEST_F(ProfilersTest, AutoNumaArmsAndObservesFaults) {
 }
 
 TEST_F(ProfilersTest, AutoNumaWindowLimitsArming) {
-  BuildMapped(MiB(8), 0);
+  BuildMapped(MiB(8), ComponentId(0));
   AutoNumaProfiler::Config config;
   config.scan_window_bytes = MiB(1);
   AutoNumaProfiler profiler(page_table_, address_space_, engine_, config);
@@ -207,7 +215,7 @@ TEST_F(ProfilersTest, AutoNumaWindowLimitsArming) {
 }
 
 TEST_F(ProfilersTest, AutoNumaVanillaTwoTouch) {
-  VirtAddr start = BuildMapped(MiB(2), 0);
+  VirtAddr start = BuildMapped(MiB(2), ComponentId(0));
   AutoNumaProfiler::Config config;
   config.scan_window_bytes = MiB(2);
   config.patched = false;
@@ -232,7 +240,7 @@ TEST_F(ProfilersTest, AutoNumaVanillaTwoTouch) {
 }
 
 TEST_F(ProfilersTest, AutoNumaRecordsFaultingSocket) {
-  VirtAddr start = BuildMapped(MiB(2), 0);
+  VirtAddr start = BuildMapped(MiB(2), ComponentId(0));
   AutoNumaProfiler::Config config;
   config.scan_window_bytes = MiB(2);
   AutoNumaProfiler profiler(page_table_, address_space_, engine_, config);
@@ -248,7 +256,7 @@ TEST_F(ProfilersTest, AutoNumaRecordsFaultingSocket) {
 // ------------------------------------------------------------ AutoTiering --
 
 TEST_F(ProfilersTest, AutoTieringSamplesWindow) {
-  BuildMapped(MiB(32), 0);
+  BuildMapped(MiB(32), ComponentId(0));
   AutoTieringProfiler::Config config;
   config.scan_window_bytes = MiB(8);
   AutoTieringProfiler profiler(page_table_, address_space_, config);
@@ -261,7 +269,7 @@ TEST_F(ProfilersTest, AutoTieringSamplesWindow) {
 }
 
 TEST_F(ProfilersTest, AutoTieringDetectsTouchedChunks) {
-  VirtAddr start = BuildMapped(MiB(8), 0);
+  VirtAddr start = BuildMapped(MiB(8), ComponentId(0));
   AutoTieringProfiler::Config config;
   config.scan_window_bytes = MiB(8);  // samples roughly everything
   AutoTieringProfiler profiler(page_table_, address_space_, config);
@@ -274,7 +282,7 @@ TEST_F(ProfilersTest, AutoTieringDetectsTouchedChunks) {
 // ----------------------------------------------------------------- HeMem --
 
 TEST_F(ProfilersTest, HememAccumulatesPebsCounts) {
-  VirtAddr start = BuildMapped(MiB(4), 0);
+  VirtAddr start = BuildMapped(MiB(4), ComponentId(0));
   HememProfiler profiler(page_table_, pebs_, HememProfiler::Config{});
   profiler.Initialize();
   EXPECT_TRUE(pebs_.enabled());
@@ -285,7 +293,7 @@ TEST_F(ProfilersTest, HememAccumulatesPebsCounts) {
 }
 
 TEST_F(ProfilersTest, HememCoolsCounts) {
-  VirtAddr start = BuildMapped(MiB(4), 0);
+  VirtAddr start = BuildMapped(MiB(4), ComponentId(0));
   HememProfiler::Config config;
   config.cooling_factor = 0.5;
   HememProfiler profiler(page_table_, pebs_, config);
@@ -308,7 +316,7 @@ TEST_F(ProfilersTest, HememCoolsCounts) {
 TEST_F(ProfilersTest, HememSamplingMissesRarePages) {
   // The §5.5 critique: 1-in-N counter sampling misses pages with few
   // accesses. One touch of one page is almost never sampled at period 20.
-  VirtAddr start = BuildMapped(MiB(4), 0);
+  VirtAddr start = BuildMapped(MiB(4), ComponentId(0));
   HememProfiler profiler(page_table_, pebs_, HememProfiler::Config{});
   profiler.Initialize();
   engine_.Apply(start, false, 0);

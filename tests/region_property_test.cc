@@ -11,9 +11,17 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/types.h"
 #include "src/common/units.h"
+#include "src/mem/address_space.h"
 #include "src/profiling/mtm_profiler.h"
 #include "src/profiling/region.h"
+#include "src/sim/access_engine.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+#include "src/sim/pebs.h"
 
 namespace mtm {
 namespace {
@@ -147,7 +155,7 @@ class ProfilerPropertyTest : public ::testing::Test {
   VirtAddr BuildMapped(Bytes bytes) {
     u32 vma = address_space_.Allocate(bytes, false, "w");
     VirtAddr start = address_space_.vma(vma).start;
-    EXPECT_TRUE(page_table_.MapRange(start, address_space_.vma(vma).len, 0, false).ok());
+    EXPECT_TRUE(page_table_.MapRange(start, address_space_.vma(vma).len, ComponentId(0), false).ok());
     return start;
   }
 

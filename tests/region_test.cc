@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/common/types.h"
 #include "src/profiling/region.h"
 
 namespace mtm {

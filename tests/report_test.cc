@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include "src/common/flags.h"
+#include "src/common/types.h"
 #include "src/common/units.h"
+#include "src/core/driver.h"
 #include "src/core/report.h"
 
 namespace mtm {

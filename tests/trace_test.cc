@@ -4,9 +4,13 @@
 #include <cstdio>
 #include <memory>
 
+#include "src/common/status.h"
+#include "src/common/types.h"
 #include "src/common/units.h"
+#include "src/mem/address_space.h"
 #include "src/workloads/gups.h"
 #include "src/workloads/trace.h"
+#include "src/workloads/workload.h"
 
 namespace mtm {
 namespace {

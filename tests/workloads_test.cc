@@ -4,12 +4,16 @@
 #include <map>
 #include <memory>
 
+#include "src/common/types.h"
 #include "src/common/units.h"
+#include "src/mem/address_space.h"
+#include "src/profiling/oracle.h"
 #include "src/workloads/cassandra.h"
 #include "src/workloads/graph.h"
 #include "src/workloads/gups.h"
 #include "src/workloads/spark.h"
 #include "src/workloads/voltdb.h"
+#include "src/workloads/workload.h"
 #include "src/workloads/workload_factory.h"
 
 namespace mtm {

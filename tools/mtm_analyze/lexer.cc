@@ -1,0 +1,96 @@
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "tools/mtm_analyze/mtm_analyze.h"
+
+namespace mtm::analyze {
+
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') {
+        ++i;
+      }
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t j = text.find("*/", i + 2);
+      std::size_t end = (j == std::string::npos) ? n : j + 2;
+      for (std::size_t k = i; k < end; ++k) {
+        if (text[k] == '\n') {
+          out.push_back('\n');
+        }
+      }
+      i = end;
+    } else if (c == 'R' && i + 2 < n && text[i + 1] == '"' && text[i + 2] == '(') {
+      // Raw string with empty delimiter: R"( ... )".
+      std::size_t j = text.find(")\"", i + 3);
+      std::size_t end = (j == std::string::npos) ? n : j + 2;
+      out.append("\"\"");
+      for (std::size_t k = i; k < end; ++k) {
+        if (text[k] == '\n') {
+          out.push_back('\n');
+        }
+      }
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      // Don't treat digit separators (1'000) or apostrophes after
+      // identifiers as character literals.
+      if (c == '\'' && i > 0 && (std::isalnum(static_cast<unsigned char>(text[i - 1])) != 0 ||
+                                 text[i - 1] == '_')) {
+        out.push_back(c);
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < n && text[j] != c && text[j] != '\n') {
+        j += (text[j] == '\\' && j + 1 < n) ? 2 : 1;
+      }
+      out.push_back(c);
+      out.push_back(c);
+      i = (j < n) ? j + 1 : n;
+    } else {
+      out.push_back(c);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool ContainsWord(const std::string& line, const std::string& word) {
+  std::size_t pos = 0;
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !is_ident(line[pos - 1]);
+    std::size_t after = pos + word.size();
+    bool right_ok = after >= line.size() || !is_ident(line[after]);
+    if (left_ok && right_ok) {
+      return true;
+    }
+    pos = after;
+  }
+  return false;
+}
+
+}  // namespace mtm::analyze

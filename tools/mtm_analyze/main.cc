@@ -1,0 +1,138 @@
+// mtm_analyze command-line driver. See mtm_analyze.h for the pass
+// catalogue and suppression syntax.
+//
+// Usage:
+//   mtm_analyze --root DIR [--compdb build/compile_commands.json]
+//               [--config tools/mtm_analyze/layers.toml] [--json PATH]
+//               [extra-root-relative-files...]
+//
+// Seeds the project from the compilation database (plus any positional
+// files), closes over project includes, runs all passes, and prints
+// findings in mtm_lint format. Exit status 0 iff the tree is clean.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/mtm_analyze/mtm_analyze.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::string ArgValue(const std::string& arg, const std::string& name) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string compdb;
+  std::string config_path;
+  std::string json_path;
+  std::vector<std::string> seeds;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (!(value = ArgValue(arg, "root")).empty()) {
+      root = value;
+    } else if (!(value = ArgValue(arg, "compdb")).empty()) {
+      compdb = value;
+    } else if (!(value = ArgValue(arg, "config")).empty()) {
+      config_path = value;
+    } else if (!(value = ArgValue(arg, "json")).empty()) {
+      json_path = value;
+    } else if (arg == "--help") {
+      std::printf("usage: mtm_analyze --root=DIR [--compdb=PATH] [--config=PATH] "
+                  "[--json=PATH] [files...]\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "mtm_analyze: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      seeds.push_back(arg);
+    }
+  }
+  while (!root.empty() && root.back() == '/') {
+    root.pop_back();
+  }
+  // Database entries are absolute, so `--root=.` must become absolute too
+  // before the prefix match below can relativize them.
+  std::error_code ec;
+  std::string abs_root = std::filesystem::canonical(root, ec).string();
+  if (ec) {
+    std::fprintf(stderr, "mtm_analyze: cannot resolve root %s\n", root.c_str());
+    return 2;
+  }
+  root = abs_root;
+
+  if (!compdb.empty()) {
+    std::string text;
+    if (!ReadFile(compdb, &text)) {
+      std::fprintf(stderr, "mtm_analyze: cannot read %s\n", compdb.c_str());
+      return 2;
+    }
+    for (std::string file : mtm::analyze::ParseCompileCommands(text)) {
+      // Database entries are usually absolute; make them root-relative and
+      // drop anything outside the tree (system or generated sources).
+      if (file.rfind(root + "/", 0) == 0) {
+        file = file.substr(root.size() + 1);
+      } else if (!file.empty() && file[0] == '/') {
+        continue;
+      }
+      seeds.push_back(file);
+    }
+  }
+  if (seeds.empty()) {
+    std::fprintf(stderr, "mtm_analyze: no input files (use --compdb or list files)\n");
+    return 2;
+  }
+
+  mtm::analyze::Config config;
+  if (config_path.empty()) {
+    std::ifstream probe(root + "/tools/mtm_analyze/layers.toml");
+    if (probe) {
+      config_path = root + "/tools/mtm_analyze/layers.toml";
+    }
+  }
+  if (!config_path.empty()) {
+    std::string text;
+    std::string error;
+    if (!ReadFile(config_path, &text)) {
+      std::fprintf(stderr, "mtm_analyze: cannot read %s\n", config_path.c_str());
+      return 2;
+    }
+    if (!mtm::analyze::ParseConfig(text, &config, &error)) {
+      std::fprintf(stderr, "mtm_analyze: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  mtm::analyze::Project project = mtm::analyze::Project::Load(root, seeds);
+  std::vector<mtm::analyze::Finding> findings = mtm::analyze::Analyze(project, config);
+
+  std::fputs(mtm::analyze::FormatText(findings).c_str(), stdout);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    out << mtm::analyze::FormatJson(findings, project.files().size());
+  }
+  std::printf("mtm_analyze: %zu files checked, %zu finding(s)\n", project.files().size(),
+              findings.size());
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+// mtm_analyze: compile_commands-driven static analysis for the MTM tree.
+//
+// A deliberately small, dependency-free analyzer (no libclang): a lexer
+// that strips comments/strings, an include-graph builder seeded from
+// build/compile_commands.json, and three passes over the result:
+//
+//   include-graph   unused direct project includes (IWYU-lite), reliance
+//                   on transitive includes for symbols a file uses, and
+//                   include cycles.
+//   layering        the module DAG declared in tools/mtm_analyze/layers.toml
+//                   is enforced: a module may only include modules listed
+//                   as its allowed dependencies.
+//   determinism     iteration over unordered containers whose loop body
+//                   reaches an output sink, wall-clock reads outside
+//                   sanctioned sites, and rand()/random_device outside the
+//                   project RNG.
+//
+// Findings can be suppressed inline with
+//   // mtm-analyze: allow(<check-or-pass>) <justification>
+// on the finding line or the line above; a suppression without a
+// justification is itself reported.
+//
+// The tool exits 0 when the tree is clean and 1 otherwise; --json writes a
+// machine-readable report in the same schema as tools/mtm_lint.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mtm::analyze {
+
+// ------------------------------------------------------------------ lexer --
+
+// Returns `text` with comments and string/char literals blanked out
+// (newlines preserved, so line numbers survive). Raw strings are handled
+// for the common R"(...)" delimiter-free form.
+std::string StripCommentsAndStrings(const std::string& text);
+
+// Splits stripped text into lines.
+std::vector<std::string> SplitLines(const std::string& text);
+
+// True if `line` contains identifier `word` with word boundaries.
+bool ContainsWord(const std::string& line, const std::string& word);
+
+// ------------------------------------------------------------------ model --
+
+struct IncludeEdge {
+  std::string target;  // repo-relative path when resolved, raw text otherwise
+  int line = 0;
+  bool resolved = false;  // target exists inside the project root
+};
+
+struct SourceFile {
+  std::string path;               // repo-relative, forward slashes
+  std::vector<std::string> raw;   // raw lines (suppression comments live here)
+  std::vector<std::string> code;  // comment/string-stripped lines
+  std::vector<IncludeEdge> includes;
+
+  // Identifier tokens used in stripped code (excluding include directives),
+  // mapped to the first line they appear on.
+  std::map<std::string, int> tokens;
+
+  // Symbols this file declares at namespace/class scope: macros, type
+  // names, using-aliases, enumerators, functions, variables/constants.
+  std::set<std::string> exported;
+
+  // The subset of `exported` declared at namespace scope (plus macros).
+  // Only these anchor transitive-include attribution: class members and
+  // methods are reached through an object whose type carries its own
+  // attribution, so counting them would misattribute usage.
+  std::set<std::string> attributable;
+};
+
+// A set of source files closed under project-include resolution.
+class Project {
+ public:
+  // `root` is the absolute project root; `seeds` are root-relative paths.
+  // Files named by unresolvable includes are silently treated as external.
+  static Project Load(const std::string& root, const std::vector<std::string>& seeds);
+
+  const std::map<std::string, SourceFile>& files() const { return files_; }
+  const SourceFile* Find(const std::string& path) const;
+
+  // Transitive closure of resolved includes, excluding `path` itself.
+  std::set<std::string> IncludeClosure(const std::string& path) const;
+
+ private:
+  std::map<std::string, SourceFile> files_;
+};
+
+// ----------------------------------------------------------------- config --
+
+struct Config {
+  // Module prefix -> allowed dependency prefixes. The entry "*" in the
+  // value list means the module may include anything.
+  std::map<std::string, std::vector<std::string>> layers;
+  // Path prefixes where wall-clock reads / raw randomness are sanctioned.
+  std::vector<std::string> wallclock_allow;
+  std::vector<std::string> random_allow;
+};
+
+// Parses the TOML subset used by layers.toml ([section], key = ["a", "b"]).
+// Returns false and fills `error` on malformed input.
+bool ParseConfig(const std::string& text, Config* config, std::string* error);
+
+// Extracts the "file" entries of a compile_commands.json database.
+std::vector<std::string> ParseCompileCommands(const std::string& text);
+
+// ----------------------------------------------------------------- passes --
+
+struct Finding {
+  std::string check;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+std::vector<Finding> RunIncludeGraphPass(const Project& project);
+std::vector<Finding> RunLayeringPass(const Project& project, const Config& config);
+std::vector<Finding> RunDeterminismPass(const Project& project, const Config& config);
+
+// Runs all passes, applies inline suppressions, and returns the surviving
+// findings sorted by (file, line, check).
+std::vector<Finding> Analyze(const Project& project, const Config& config);
+
+// ----------------------------------------------------------------- report --
+
+// One finding per line, mtm_lint style: "file:line: [check] message".
+std::string FormatText(const std::vector<Finding>& findings);
+
+// JSON report matching the mtm_lint schema:
+//   {"files_checked": N, "findings": [...], "ok": bool}
+std::string FormatJson(const std::vector<Finding>& findings, std::size_t files_checked);
+
+}  // namespace mtm::analyze

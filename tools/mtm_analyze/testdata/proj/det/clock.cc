@@ -1,0 +1,7 @@
+// True positive: a wall-clock read outside the sanctioned sites.
+#include <chrono>
+
+long NowNanos() {
+  auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}

@@ -1,0 +1,11 @@
+// Near-miss: iterating an unordered container is fine when the body only
+// mutates internal state — no bytes escape, order cannot be observed.
+#include <unordered_map>
+
+void Decay() {
+  std::unordered_map<int, double> weights;
+  weights[3] = 1.0;
+  for (auto& [key, value] : weights) {
+    value *= 0.5;
+  }
+}

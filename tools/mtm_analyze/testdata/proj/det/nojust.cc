@@ -1,0 +1,12 @@
+// A suppression with no justification is itself reported.
+#include <ostream>
+#include <unordered_map>
+
+void EmitUnjustified(std::ostream& os) {
+  std::unordered_map<int, int> counts;
+  counts[3] = 1;
+  // mtm-analyze: allow(determinism)
+  for (const auto& [key, value] : counts) {
+    os << key << "=" << value << "\n";
+  }
+}

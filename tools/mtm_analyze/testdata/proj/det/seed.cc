@@ -1,0 +1,7 @@
+// True positive: random_device yields an unreproducible seed.
+#include <random>
+
+unsigned NondeterministicSeed() {
+  std::random_device device;
+  return device();
+}

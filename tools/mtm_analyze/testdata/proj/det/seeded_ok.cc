@@ -1,0 +1,8 @@
+// Near-miss: 'randomize' and 'rands' contain "rand" as a substring but are
+// not the banned calls; word-boundary matching must not fire here.
+int randomize(int x) { return x * 2654435761; }
+
+int UseRandomize() {
+  int rands = randomize(7);
+  return rands;
+}

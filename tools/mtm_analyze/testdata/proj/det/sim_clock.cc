@@ -1,0 +1,8 @@
+// Near-miss: this file is listed in wallclock_allow, so the identical
+// clock read is sanctioned.
+#include <chrono>
+
+long SanctionedNowNanos() {
+  auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}

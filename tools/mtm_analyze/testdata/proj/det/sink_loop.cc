@@ -1,0 +1,12 @@
+// True positive: hash-order iteration feeds an output stream, so the
+// emitted bytes depend on the container's hash layout.
+#include <ostream>
+#include <unordered_map>
+
+void EmitCounts(std::ostream& os) {
+  std::unordered_map<int, int> counts;
+  counts[3] = 1;
+  for (const auto& [key, value] : counts) {
+    os << key << "=" << value << "\n";
+  }
+}

@@ -1,0 +1,12 @@
+// A justified suppression silences the unordered-iteration finding.
+#include <ostream>
+#include <unordered_map>
+
+void EmitUnordered(std::ostream& os) {
+  std::unordered_map<int, int> counts;
+  counts[3] = 1;
+  // mtm-analyze: allow(determinism) fixture: demonstrates a justified suppression
+  for (const auto& [key, value] : counts) {
+    os << key << "=" << value << "\n";
+  }
+}

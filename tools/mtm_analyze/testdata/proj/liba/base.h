@@ -1,0 +1,8 @@
+// Base layer: the one declaring header for BaseThing and kBaseLimit.
+#pragma once
+
+struct BaseThing {
+  int weight = 0;
+};
+
+inline constexpr int kBaseLimit = 16;

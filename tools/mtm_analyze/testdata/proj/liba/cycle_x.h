@@ -1,0 +1,8 @@
+// Half of an include cycle with cycle_y.h.
+#pragma once
+
+#include "proj/liba/cycle_y.h"
+
+struct CycleX {
+  CycleY* peer = nullptr;
+};

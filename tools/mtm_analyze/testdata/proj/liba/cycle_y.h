@@ -1,0 +1,8 @@
+// Half of an include cycle with cycle_x.h.
+#pragma once
+
+#include "proj/liba/cycle_x.h"
+
+struct CycleY {
+  CycleX* peer = nullptr;
+};

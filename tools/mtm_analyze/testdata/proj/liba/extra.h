@@ -1,0 +1,9 @@
+// Re-exports base.h: files that include extra.h can (wrongly) reach
+// BaseThing without a direct include.
+#pragma once
+
+#include "proj/liba/base.h"
+
+struct ExtraThing {
+  BaseThing inner;
+};

@@ -1,0 +1,10 @@
+// True positive: BaseThing is used but only reachable through extra.h's
+// include of base.h. ExtraThing itself is a legitimate direct use, so
+// extra.h must not be flagged as unused (near-miss).
+#include "proj/liba/extra.h"
+
+int TotalWeight() {
+  ExtraThing extra;
+  BaseThing solo;
+  return extra.inner.weight + solo.weight;
+}

@@ -1,0 +1,9 @@
+// True positive: extra.h is included but nothing it declares is used.
+// Near-miss: base.h IS used (BaseThing), so it must not be flagged.
+#include "proj/liba/base.h"
+#include "proj/liba/extra.h"
+
+int WeightOf() {
+  BaseThing thing;
+  return thing.weight;
+}

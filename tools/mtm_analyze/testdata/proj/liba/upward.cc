@@ -1,0 +1,7 @@
+// True positive: liba may not include libb (upward edge in the DAG).
+#include "proj/libb/top.h"
+
+int TopOf() {
+  TopThing top;
+  return top.base.weight;
+}

@@ -1,0 +1,9 @@
+// Near-miss for the layering pass: libb -> liba is a declared, allowed
+// downward dependency.
+#pragma once
+
+#include "proj/liba/base.h"
+
+struct TopThing {
+  BaseThing base;
+};

@@ -26,6 +26,8 @@ for):
                    project includes; the only quoted include allowed ahead
                    of them is a .cc file's own header on the first line.
   flag-style       command-line flag names are kebab-case ([a-z0-9-]).
+  endl-use         no std::endl — it forces a flush on every use; write
+                   '\\n' and let the stream decide when to flush.
 
 Usage:
   tools/mtm_lint/mtm_lint.py [--root DIR] [--json PATH]
@@ -75,6 +77,7 @@ STRONG_LEAK_ALLOWED = re.compile(
 ASSERT_CALL = re.compile(r"(?<![_\w])assert\s*\(")
 NAKED_NEW = re.compile(r"(?<![_\w.])new\s+[A-Za-z_:][\w:]*\s*[({\[]")
 FLAG_GET = re.compile(r"flags\.Get(?:String|U64|Bool|Double)\s*\(\s*\"([^\"]+)\"")
+ENDL_USE = re.compile(r"\bendl\b")
 INCLUDE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
 GUARD = re.compile(r"^\s*#\s*ifndef\s+\w+_H_?\b")
 
@@ -162,6 +165,11 @@ class Linter:
                 self.report(
                     "assert-use", rel, i,
                     "use MTM_CHECK (stays on in release, streams context) instead of assert()",
+                )
+            if ENDL_USE.search(line):
+                self.report(
+                    "endl-use", rel, i,
+                    "std::endl flushes the stream on every use; write '\\n' instead",
                 )
             m = NAKED_NEW.search(line)
             if m and not any(

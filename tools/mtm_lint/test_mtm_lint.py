@@ -31,6 +31,7 @@ void F() {
   auto* p = new Widget();
   FlagSet flags(argc, argv);
   flags.GetU64("Not_Kebab", 0);
+  std::cout << "done" << std::endl;
 }
 """
 
@@ -38,8 +39,10 @@ GOOD_HEADER = """\
 #pragma once
 #include <vector>
 #include "src/common/types.h"
-// assert(in a comment) and "new Thing(" in a string are fine:
-inline const char* kMsg = "never assert(x) or new Foo(";
+// assert(in a comment), "new Thing(" in a string, and std::endl in either
+// are fine; so is an identifier merely containing endl:
+inline const char* kMsg = "never assert(x), new Foo(, or std::endl";
+void AppendLine(int appendline_count);
 void Sleep(SimNanos duration);
 struct GoodStats {
   SimNanos total;
@@ -71,7 +74,7 @@ def main():
         checks = {f["check"] for f in report["findings"]}
         expected = {"pragma-once", "raw-unit-param", "raw-unit-field",
                     "strong-leak", "assert-use", "naked-new",
-                    "include-order", "flag-style"}
+                    "include-order", "flag-style", "endl-use"}
         missing = expected - checks
         assert rc == 1, f"expected exit 1 on bad fixtures, got {rc}"
         assert not missing, f"checks failed to fire: {missing}"

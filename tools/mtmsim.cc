@@ -41,9 +41,13 @@
 
 #include "src/common/fault_injection.h"
 #include "src/common/flags.h"
+#include "src/common/status.h"
 #include "src/core/driver.h"
+#include "src/core/experiment.h"
 #include "src/core/report.h"
-#include "src/workloads/workload_factory.h"
+#include "src/core/solution.h"
+#include "src/migration/mechanism.h"
+#include "src/obs/obs.h"
 
 int main(int argc, char** argv) {
   mtm::FlagSet flags(argc, argv);
