@@ -16,6 +16,7 @@
 #include "src/core/driver.h"
 #include "src/core/experiment.h"
 #include "src/core/solution.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/migration_engine.h"
 #include "src/migration/policy.h"
 #include "src/profiling/profiler.h"

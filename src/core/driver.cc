@@ -9,6 +9,7 @@
 #include "src/common/strong_types.h"
 #include "src/common/types.h"
 #include "src/mem/address_space.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/policy.h"
 #include "src/obs/metric_id.h"
 #include "src/obs/trace.h"
@@ -40,8 +41,24 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
   MetricId rollbacks_id = kInvalidMetricId;
   MetricId abandoned_id = kInvalidMetricId;
   MetricId sync_fallbacks_id = kInvalidMetricId;
+  MetricId thrash_id = kInvalidMetricId;
+  MetricId retry_backlog_id = kInvalidMetricId;
+  MetricId admitted_id = kInvalidMetricId;
+  MetricId deferred_id = kInvalidMetricId;
+  MetricId rejected_id = kInvalidMetricId;
+  MetricId flip_bytes_id = kInvalidMetricId;
+  MetricId pingpong_id = kInvalidMetricId;
   IdMap<ComponentId, MetricId> app_access_ids;
   IdMap<ComponentId, MetricId> migration_bytes_ids;
+  // Resilience and admission metrics join the timeline only when the run
+  // can produce them (chaos run, or a non-vanilla controller armed): the
+  // timeline snapshots every interned metric, so interning them on
+  // fault-free vanilla runs would change the seed goldens' schema.
+  const bool admission_active = solution.migration() != nullptr &&
+                                solution.migration()->admission() != nullptr &&
+                                solution.migration()->admission()->kind() !=
+                                    AdmissionKind::kVanilla;
+  const bool chaos = solution.fault_injector() != nullptr;
   if (obs != nullptr) {
     if (solution.profiler() != nullptr) {
       solution.profiler()->set_metrics(&obs->metrics);
@@ -61,6 +78,17 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
     rollbacks_id = obs->metrics.Gauge("migration/rollbacks");
     abandoned_id = obs->metrics.Gauge("migration/orders_abandoned");
     sync_fallbacks_id = obs->metrics.Gauge("migration/sync_fallbacks");
+    if (chaos || admission_active) {
+      thrash_id = obs->metrics.Gauge("migration/thrash_aborts");
+      retry_backlog_id = obs->metrics.Gauge("migration/retry_backlog");
+    }
+    if (admission_active) {
+      admitted_id = obs->metrics.Gauge("admission/admitted");
+      deferred_id = obs->metrics.Gauge("admission/deferred");
+      rejected_id = obs->metrics.Gauge("admission/rejected");
+      flip_bytes_id = obs->metrics.Gauge("admission/flip_bytes");
+      pingpong_id = obs->metrics.Gauge("admission/max_pingpong_score");
+    }
     for (ComponentId c{0}; c < solution.machine().end_component(); ++c) {
       app_access_ids.push_back(
           obs->metrics.Counter("mem/app_accesses_c" + std::to_string(c.value())));
@@ -208,9 +236,7 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
 
       if (solution.policy() != nullptr && solution.migration() != nullptr) {
         std::vector<MigrationOrder> orders = solution.policy()->Decide(profile, ctx);
-        for (const MigrationOrder& order : orders) {
-          solution.migration()->Submit(order);
-        }
+        solution.migration()->SubmitAll(orders);
       }
     }
     record.end_time_ns = clock.now();
@@ -233,6 +259,20 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
         obs->metrics.Set(rollbacks_id, static_cast<double>(ms.rollbacks));
         obs->metrics.Set(abandoned_id, static_cast<double>(ms.orders_abandoned));
         obs->metrics.Set(sync_fallbacks_id, static_cast<double>(ms.sync_fallbacks));
+        if (chaos || admission_active) {
+          obs->metrics.Set(thrash_id, static_cast<double>(ms.thrash_aborts));
+          obs->metrics.Set(retry_backlog_id,
+                           static_cast<double>(solution.migration()->retry_backlog()));
+        }
+        if (admission_active) {
+          const AdmissionStats& as = solution.migration()->admission_stats();
+          obs->metrics.Set(admitted_id, static_cast<double>(as.admitted));
+          obs->metrics.Set(deferred_id, static_cast<double>(as.deferred));
+          obs->metrics.Set(rejected_id, static_cast<double>(as.rejected));
+          obs->metrics.Set(flip_bytes_id, static_cast<double>(as.flip_bytes.value()));
+          obs->metrics.Set(pingpong_id,
+                           solution.migration()->history().MaxPingPongScore());
+        }
       }
       obs->timeline.Snapshot(interval, clock.now(), obs->metrics);
     }
@@ -258,6 +298,11 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
   if (solution.migration() != nullptr) {
     solution.migration()->Flush();
     result.migration_stats = solution.migration()->stats();
+    result.admission_stats = solution.migration()->admission_stats();
+    if (solution.migration()->admission() != nullptr) {
+      result.admission = solution.migration()->admission()->name();
+      result.admission_active = admission_active;
+    }
   }
   if (injector != nullptr) {
     result.faults.copy_failures = injector->injected(FaultSite::kMigrationCopy);

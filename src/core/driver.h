@@ -10,6 +10,7 @@
 #include "src/common/types.h"
 #include "src/core/experiment.h"
 #include "src/core/solution.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/migration_engine.h"
 #include "src/obs/obs.h"
 #include "src/profiling/oracle.h"
@@ -51,6 +52,12 @@ struct RunResult {
 
   std::vector<u64> component_app_accesses;  // per component, app only
   MigrationStats migration_stats;
+  // Admission-stage outcome. admission_active only when a controller other
+  // than vanilla was armed; reports gate their admission sections on it so
+  // vanilla output stays byte-identical to the pre-admission format.
+  AdmissionStats admission_stats;
+  std::string admission;  // controller name; empty when the run had no stage
+  bool admission_active = false;
   FaultSummary faults;
   Bytes profiler_memory_bytes;
   Bytes footprint_bytes;

@@ -11,6 +11,7 @@
 #include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/mem/placement.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/mechanism.h"
 
 namespace mtm {
@@ -31,6 +32,13 @@ struct MtmKnobs {
   // speedup: every value yields byte-identical simulation output.
   u32 scan_threads = 1;
   MechanismKind mechanism = MechanismKind::kMoveMemoryRegions;  // kMmrSync: w/o async
+  // Admission controller gating migration orders (src/migration/admission).
+  // vanilla admits everything and is byte-identical to the pre-admission
+  // behavior; ppt throttles ping-ponging regions; bandwidth sheds the
+  // lowest-value promotions once the per-interval budget is spent.
+  AdmissionKind admission = AdmissionKind::kVanilla;
+  // bandwidth controller's per-interval budget; 0: PromoteBatchBytes().
+  Bytes admission_budget_bytes;
   // Initial placement: MTM allocates in the local slow tier first (§9.1);
   // Table 4 shows the choice converges with first-touch as promotion
   // catches up.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/common/units.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/migration_engine.h"
 
 namespace mtm {
@@ -60,6 +61,13 @@ std::string HumanReport(const RunResult& r) {
     os << " c" << c << "=" << r.component_app_accesses[c];
   }
   os << "\n";
+  if (r.admission_active) {
+    const AdmissionStats& a = r.admission_stats;
+    os << "  admission (" << r.admission << "): " << a.admitted << " admitted / " << a.deferred
+       << " deferred / " << a.rejected << " rejected (" << ToMiB(a.admitted_bytes)
+       << " MiB in, " << ToMiB(a.deferred_bytes + a.rejected_bytes) << " MiB shed), "
+       << a.flip_moves << " flips (" << ToMiB(a.flip_bytes) << " MiB)\n";
+  }
   if (r.faults.active) {
     const MigrationStats& m = r.migration_stats;
     os << "  resilience: " << r.faults.copy_failures << " copy / " << r.faults.remap_failures
@@ -107,6 +115,23 @@ std::string JsonReport(const RunResult& r) {
     os << (c == 0 ? "" : ",") << r.component_app_accesses[c];
   }
   os << "]";
+  if (r.admission_active) {
+    // Emitted only when a non-vanilla controller was armed, so existing
+    // (and vanilla) JSON stays byte-identical.
+    const AdmissionStats& a = r.admission_stats;
+    os << ",\"admission\":{";
+    os << "\"controller\":\"" << EscapeJson(r.admission) << "\",";
+    os << "\"admitted\":" << a.admitted << ",";
+    os << "\"deferred\":" << a.deferred << ",";
+    os << "\"rejected\":" << a.rejected << ",";
+    os << "\"admitted_bytes\":" << a.admitted_bytes << ",";
+    os << "\"deferred_bytes\":" << a.deferred_bytes << ",";
+    os << "\"rejected_bytes\":" << a.rejected_bytes << ",";
+    os << "\"flip_moves\":" << a.flip_moves << ",";
+    os << "\"flip_bytes\":" << a.flip_bytes << ",";
+    os << "\"thrash_aborts\":" << r.migration_stats.thrash_aborts;
+    os << "}";
+  }
   if (r.faults.active) {
     // Emitted only for chaos runs so fault-free JSON stays byte-identical
     // to builds without the fault framework.

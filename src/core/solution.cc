@@ -3,6 +3,7 @@
 #include "src/common/logging.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/mechanism.h"
 #include "src/profiling/autonuma.h"
 #include "src/profiling/autotiering.h"
@@ -266,6 +267,19 @@ Solution::Solution(SolutionKind kind, const ExperimentConfig& config, Workload& 
   if (fault_injector() != nullptr) {
     migration_->set_fault_injector(fault_injector());
   }
+
+  // Admission stage: sim-time windows derive from the profiling interval so
+  // the controllers scale with the experiment, and the bandwidth budget
+  // defaults to the policy's promote batch (N, §6.1).
+  AdmissionTuning tuning;
+  tuning.flip_window_ns = interval * 5;
+  tuning.ppt_base_cooldown_ns = interval;
+  tuning.ppt_max_cooldown_ns = interval * 32;
+  tuning.interval_budget_bytes = !config.mtm.admission_budget_bytes.IsZero()
+                                     ? config.mtm.admission_budget_bytes
+                                     : batch;
+  admission_ = MakeAdmissionController(config.mtm.admission, tuning);
+  migration_->set_admission(admission_.get(), tuning);
 }
 
 }  // namespace mtm

@@ -12,6 +12,7 @@
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
 #include "src/mem/placement.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/migration_engine.h"
 #include "src/migration/policy.h"
 #include "src/profiling/profiler.h"
@@ -68,6 +69,7 @@ class Solution {
   Profiler* profiler() { return profiler_.get(); }          // may be null
   TieringPolicy* policy() { return policy_.get(); }          // may be null
   MigrationEngine* migration() { return migration_.get(); }  // may be null
+  AdmissionController* admission() { return admission_.get(); }  // null with migration
   // Armed when the config carried a non-empty fault_spec; null otherwise.
   FaultInjector* fault_injector() { return injector_ != nullptr && injector_->armed()
                                                ? injector_.get()
@@ -97,6 +99,7 @@ class Solution {
   std::unique_ptr<Profiler> profiler_;
   std::unique_ptr<TieringPolicy> policy_;
   std::unique_ptr<MigrationEngine> migration_;
+  std::unique_ptr<AdmissionController> admission_;
 };
 
 }  // namespace mtm

@@ -24,7 +24,7 @@ MigrationEngine::MigrationEngine(const Machine& machine, PageTable& page_table,
       model_(model) {}
 
 MechanismCost MigrationEngine::PlanCost(const MigrationOrder& order, MechanismKind kind,
-                                        Bytes* bytes_out) {
+                                        Bytes* bytes_out, ComponentId* src_out) {
   // Group the range's mappings by source component.
   struct Run {
     ComponentId src = kInvalidComponent;
@@ -60,7 +60,39 @@ MechanismCost MigrationEngine::PlanCost(const MigrationOrder& order, MechanismKi
   if (bytes_out != nullptr) {
     *bytes_out = bytes;
   }
+  if (src_out != nullptr) {
+    *src_out = runs.empty() ? kInvalidComponent : runs.front().src;
+  }
   return total;
+}
+
+bool MigrationEngine::IsPromotion(const MigrationOrder& order, ComponentId src) const {
+  if (src == kInvalidComponent || order.dst >= machine_.end_component()) {
+    return false;
+  }
+  return machine_.TierRank(order.socket, order.dst) < machine_.TierRank(order.socket, src);
+}
+
+void MigrationEngine::RecordHistory(const MigrationOrder& order, ComponentId src, Bytes moved) {
+  if (moved.IsZero() || src == kInvalidComponent) {
+    return;
+  }
+  // Book every huge region the order covers, not just the first: reclaim
+  // records demotions at region granularity, so the promote side must match
+  // or re-promotions of the later regions in a span would escape the
+  // ping-pong accounting (and the ppt gate that reads it).
+  const bool is_promotion = IsPromotion(order, src);
+  const VirtAddr end = order.start + order.len;
+  for (VirtAddr r = HugeAlignDown(order.start); r < end; r += kHugePageBytes) {
+    const VirtAddr seg_begin = std::max(r, order.start);
+    const VirtAddr seg_end = std::min(r + kHugePageBytes, end);
+    const Bytes seg(seg_end - seg_begin);
+    MigrationHistory::Outcome out = history_.RecordMove(r, is_promotion, seg, clock_.now());
+    if (out.flipped) {
+      ++admission_stats_.flip_moves;
+      admission_stats_.flip_bytes += seg;
+    }
+  }
 }
 
 bool MigrationEngine::ReclaimFrom(ComponentId component, Bytes bytes_needed, int depth) {
@@ -162,6 +194,15 @@ bool MigrationEngine::ReclaimFrom(ComponentId component, Bytes bytes_needed, int
           RecordMigrationBytes(lower, size);
           ++stats_.reclaim_demotions;
           stats_.bytes_migrated += size;
+          // Reclaim bypasses the admission gate (it relieves pressure), but
+          // it IS the demote half of every ping-pong cycle, so it must be
+          // booked into the history for re-promotion throttling to see it.
+          MigrationHistory::Outcome hist =
+              history_.RecordMove(addr, /*is_promotion=*/false, size, clock_.now());
+          if (hist.flipped) {
+            ++admission_stats_.flip_moves;
+            admission_stats_.flip_bytes += size;
+          }
           reclaim_cursor_[component] = addr + size;
           return;
         }
@@ -267,6 +308,40 @@ Status MigrationEngine::Submit(const MigrationOrder& order) {
   return SubmitAttempt(order, /*attempt=*/1);
 }
 
+void MigrationEngine::SubmitAll(const std::vector<MigrationOrder>& orders) {
+  if (admission_ == nullptr) {
+    for (const MigrationOrder& order : orders) {
+      Submit(order);
+    }
+    return;
+  }
+  // Let the controller re-sequence the interval's batch before the
+  // per-order gate; planning here is read-only (no cost charged, no
+  // tracking armed), so a shed order leaves no trace.
+  std::vector<AdmissionRequest> batch;
+  batch.reserve(orders.size());
+  for (const MigrationOrder& order : orders) {
+    AdmissionRequest request;
+    request.order = order;
+    ComponentId src = kInvalidComponent;
+    PlanCost(order, kind_, &request.bytes, &src);
+    request.is_promotion = IsPromotion(order, src);
+    request.now = clock_.now();
+    batch.push_back(request);
+  }
+  admission_->Sequence(batch);
+  for (const AdmissionRequest& request : batch) {
+    Submit(request.order);
+  }
+}
+
+void MigrationEngine::set_admission(AdmissionController* controller,
+                                    const AdmissionTuning& tuning) {
+  admission_ = controller;
+  history_ = MigrationHistory(tuning);
+  budget_ = AdmissionBudget{tuning.interval_budget_bytes, Bytes{}};
+}
+
 Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) {
   if (order.len.IsZero()) {
     return InvalidArgumentError("zero-length migration order");
@@ -285,9 +360,35 @@ Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) 
     }
   }
   Bytes bytes;
-  MechanismCost cost = PlanCost(order, kind_, &bytes);
+  ComponentId src = kInvalidComponent;
+  MechanismCost cost = PlanCost(order, kind_, &bytes, &src);
   if (bytes.IsZero()) {
     return OkStatus();  // already fully resident on dst
+  }
+  const bool is_promotion = IsPromotion(order, src);
+  if (admission_ != nullptr) {
+    AdmissionRequest request{order, bytes, is_promotion, attempt, clock_.now()};
+    switch (admission_->Admit(request, history_, budget_)) {
+      case AdmissionVerdict::kAdmit:
+        ++admission_stats_.admitted;
+        admission_stats_.admitted_bytes += bytes;
+        // Only promotions draw on the budget: demotions relieve pressure
+        // and blocking them would turn ping-pong into tier overflow.
+        if (is_promotion) {
+          budget_.admitted_bytes += bytes;
+        }
+        break;
+      case AdmissionVerdict::kDefer:
+        // Dropped, not queued: the next interval's policy decision re-derives
+        // the order if the region is still worth moving.
+        ++admission_stats_.deferred;
+        admission_stats_.deferred_bytes += bytes;
+        return FailedPreconditionError("admission deferred order");
+      case AdmissionVerdict::kReject:
+        ++admission_stats_.rejected;
+        admission_stats_.rejected_bytes += bytes;
+        return ResourceExhaustedError("admission rejected order");
+    }
   }
   Bump(attempts_id_);
 
@@ -312,6 +413,7 @@ Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) 
       return UnavailableError("injected remap failure");
     }
     CommitOutcome out = CommitMove(order);
+    RecordHistory(order, src, out.moved);
     EmitSpan("migrate", span_start, cost.CriticalNs());
     if (!out.failed_transient.IsZero()) {
       HandleAbort(order, attempt);
@@ -404,7 +506,11 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
       return;
     }
   }
+  Bytes still_to_move;
+  ComponentId src = kInvalidComponent;
+  PlanCost(p.order, kind_, &still_to_move, &src);
   CommitOutcome out = CommitMove(p.order);
+  RecordHistory(p.order, src, out.moved);
   if (!out.failed_transient.IsZero()) {
     HandleAbort(p.order, p.attempt);
   } else {
@@ -431,11 +537,17 @@ void MigrationEngine::HandleAbort(const MigrationOrder& order, u32 attempt) {
     stats_.bytes_abandoned += remaining;
     return;
   }
-  SimNanos backoff = retry_policy_.initial_backoff_ns;
-  for (u32 i = 1; i < attempt && backoff < retry_policy_.max_backoff_ns; ++i) {
-    backoff = backoff * 2;
+  // initial_backoff_ns << (attempt - 1), saturating at max_backoff_ns: the
+  // shifted-out comparison detects overflow without a doubling loop.
+  const u64 initial = retry_policy_.initial_backoff_ns.value();
+  const u64 max = retry_policy_.max_backoff_ns.value();
+  const u32 shift = attempt - 1;
+  SimNanos backoff = SimNanos(max);
+  if (initial != 0 && shift < 64 && initial <= (max >> shift)) {
+    backoff = SimNanos(initial << shift);
+  } else if (initial == 0) {
+    backoff = SimNanos{};
   }
-  backoff = std::min(backoff, retry_policy_.max_backoff_ns);
   retry_queue_.push_back(RetryEntry{order, attempt + 1, clock_.now() + backoff});
 }
 
@@ -460,7 +572,14 @@ void MigrationEngine::ProcessRetries() {
   }
 }
 
-void MigrationEngine::BeginInterval() { interval_aborts_.clear(); }
+void MigrationEngine::BeginInterval() {
+  interval_aborts_.clear();
+  history_.EndInterval();
+  budget_.admitted_bytes = Bytes{};
+  if (admission_ != nullptr) {
+    admission_->BeginInterval(clock_.now(), budget_);
+  }
+}
 
 void MigrationEngine::Poll() {
   for (std::size_t i = 0; i < pending_.size();) {

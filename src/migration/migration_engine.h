@@ -28,6 +28,14 @@
 // component while in-flight orders targeting it are rolled back.
 // VerifyInvariants() audits the page-table/frame-accounting agreement and
 // is run by the driver after every interval of a chaos run.
+//
+// An optional AdmissionController (src/migration/admission) gates every
+// policy order before it is armed — see admission.h for the controller
+// contracts. The engine maintains the per-region MigrationHistory the
+// controllers read, recording every committed policy move and every reclaim
+// demotion (the demote half of a ping-pong cycle). Reclaim demotions and
+// offline drains are emergency traffic and bypass the admission gate
+// itself; drains are also not recorded (evacuation is not hotness-driven).
 #pragma once
 
 #include <deque>
@@ -40,6 +48,7 @@
 #include "src/common/types.h"
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/cost_model.h"
 #include "src/migration/mechanism.h"
 #include "src/obs/metric_id.h"
@@ -51,15 +60,6 @@
 #include "src/sim/page_table.h"
 
 namespace mtm {
-
-// One policy decision: move [start, start+len) to component dst, using the
-// tier view of `socket` for any cascading demotions.
-struct MigrationOrder {
-  VirtAddr start;
-  Bytes len;
-  ComponentId dst = kInvalidComponent;
-  u32 socket = 0;
-};
 
 // Retry/backoff/thrash-guard parameters for aborted orders. Backoff is
 // exponential in simulated time: initial_backoff_ns << (attempt - 1),
@@ -112,7 +112,15 @@ class MigrationEngine : public WriteTrackObserver {
   //   kUnavailable         target offline, or an injected fault aborted the
   //                        attempt (a retry is queued)
   //   kAlreadyExists       overlaps an in-flight async move; dropped
+  //   kFailedPrecondition  admission deferred the order (cooldown window)
+  //   kResourceExhausted   admission rejected the order (over budget)
   Status Submit(const MigrationOrder& order);
+
+  // Submits one interval's batch through the admission stage: the attached
+  // controller may re-sequence the batch (e.g. hottest promotions first)
+  // before each order goes through Submit's per-order gate. Without a
+  // controller this degenerates to submitting in policy order.
+  void SubmitAll(const std::vector<MigrationOrder>& orders);
 
   // Completes async copies whose deadline has passed and re-submits queued
   // retries whose backoff expired. Call frequently.
@@ -135,8 +143,20 @@ class MigrationEngine : public WriteTrackObserver {
   void set_retry_policy(const MigrationRetryPolicy& policy) { retry_policy_ = policy; }
   const MigrationRetryPolicy& retry_policy() const { return retry_policy_; }
 
+  // Admission wiring: installs the controller consulted before every order
+  // is armed and re-tunes the history table. The controller may be null
+  // (admit everything, record history only); the engine does not own it.
+  // Emergency moves — reclaim demotions and offline drains — bypass
+  // admission: they relieve pressure rather than spend the policy's budget.
+  void set_admission(AdmissionController* controller, const AdmissionTuning& tuning);
+  AdmissionController* admission() const { return admission_; }
+  const AdmissionStats& admission_stats() const { return admission_stats_; }
+  const MigrationHistory& history() const { return history_; }
+  const AdmissionBudget& admission_budget() const { return budget_; }
+
   // Driver hook at each profiling-interval boundary: opens a fresh
-  // thrash-guard window.
+  // thrash-guard window, decays ping-pong scores, and resets the admission
+  // budget.
   void BeginInterval();
 
   // Applies a degradation event to this engine (the Machine's health state
@@ -187,7 +207,18 @@ class MigrationEngine : public WriteTrackObserver {
 
   // Gathers the pages of [start, len) grouped by source component and
   // returns the aggregate mechanism cost; out parameters receive totals.
-  MechanismCost PlanCost(const MigrationOrder& order, MechanismKind kind, Bytes* bytes_out);
+  // `src_out` (optional) receives the first run's source component —
+  // kInvalidComponent when nothing needs to move.
+  MechanismCost PlanCost(const MigrationOrder& order, MechanismKind kind, Bytes* bytes_out,
+                         ComponentId* src_out = nullptr);
+
+  // True when the order moves its first still-to-move run toward a faster
+  // tier of its socket view.
+  bool IsPromotion(const MigrationOrder& order, ComponentId src) const;
+
+  // Books a committed move into the per-region history and the flip
+  // counters of AdmissionStats.
+  void RecordHistory(const MigrationOrder& order, ComponentId src, Bytes moved);
 
   // Remaps every page of the range to dst, reclaiming on pressure. Pages
   // hit by an injected transient allocation failure are skipped and
@@ -225,6 +256,14 @@ class MigrationEngine : public WriteTrackObserver {
 
   FaultInjector* injector_ = nullptr;
   MigrationRetryPolicy retry_policy_;
+
+  // Admission stage. The history is engine-owned bookkeeping and is kept
+  // even with no controller attached; the controller is a borrowed
+  // strategy object (Solution owns it).
+  AdmissionController* admission_ = nullptr;
+  MigrationHistory history_{AdmissionTuning{}};
+  AdmissionBudget budget_;
+  AdmissionStats admission_stats_;
 
   Observability* obs_ = nullptr;
   MetricId attempts_id_ = kInvalidMetricId;

@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/common/strong_types.h"
 #include "src/common/types.h"
+#include "src/migration/admission/admission.h"
 #include "src/sim/tier.h"
 
 namespace mtm {
@@ -139,7 +140,7 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
           continue;  // never demote onto a dead device
         }
         if (planned_free[lower] >= static_cast<i64>(demote_len.value())) {
-          orders.push_back(MigrationOrder{slice_start, demote_len, lower, home});
+          orders.push_back(MigrationOrder{slice_start, demote_len, lower, home, victim.hotness});
           planned.insert(idx);
           planned_free[lower] -= static_cast<i64>(demote_len.value());
           planned_free[dst] += static_cast<i64>(demote_len.value());
@@ -189,7 +190,7 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
       if (!make_room(dst, static_cast<i64>(promote_len.value()), e.hotness, socket)) {
         continue;
       }
-      orders.push_back(MigrationOrder{slice_start, promote_len, dst, socket});
+      orders.push_back(MigrationOrder{slice_start, promote_len, dst, socket, e.hotness});
       planned.insert(idx);
       planned_free[dst] -= static_cast<i64>(promote_len.value());
       planned_free[cur] += static_cast<i64>(promote_len.value());
@@ -245,7 +246,7 @@ std::vector<MigrationOrder> AutoNumaPolicy::Decide(const ProfileOutput& profile,
     } else {
       continue;  // already in the task-local DRAM
     }
-    orders.push_back(MigrationOrder{e->start, e->len, dst, socket});
+    orders.push_back(MigrationOrder{e->start, e->len, dst, socket, e->hotness});
     budget -= static_cast<i64>(e->len.value());
   }
   return orders;
@@ -286,7 +287,7 @@ std::vector<MigrationOrder> AutoTieringPolicy::Decide(const ProfileOutput& profi
         break;
       }
     }
-    orders.push_back(MigrationOrder{e.start, e.len, dst, socket});
+    orders.push_back(MigrationOrder{e.start, e.len, dst, socket, e.hotness});
     planned_free[dst] -= static_cast<i64>(e.len.value());
     planned_free[cur] += static_cast<i64>(e.len.value());
     budget -= static_cast<i64>(e.len.value());
@@ -318,7 +319,7 @@ std::vector<MigrationOrder> HememPolicy::Decide(const ProfileOutput& profile,
     if (cur == kInvalidComponent || cur == dram) {
       continue;
     }
-    orders.push_back(MigrationOrder{e->start, e->len, dram, 0});
+    orders.push_back(MigrationOrder{e->start, e->len, dram, 0, e->hotness});
     budget -= static_cast<i64>(e->len.value());
   }
   return orders;

@@ -8,6 +8,7 @@
 
 #include "src/common/types.h"
 #include "src/mem/frame_allocator.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/migration_engine.h"
 #include "src/profiling/profiler.h"
 #include "src/sim/machine.h"

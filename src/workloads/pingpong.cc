@@ -1,0 +1,87 @@
+#include "src/workloads/pingpong.h"
+
+#include "src/common/logging.h"
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
+#include "src/profiling/oracle.h"
+
+namespace mtm {
+
+PingPongWorkload::PingPongWorkload(Params params) : PingPongWorkload(params, Options{}) {}
+
+PingPongWorkload::PingPongWorkload(Params params, Options options)
+    : Workload(params), options_(options) {
+  MTM_CHECK_GT(params_.footprint_bytes, 4 * kHugePageBytes);
+  MTM_CHECK_GT(options_.hot_fraction, 0.0);
+  MTM_CHECK_LT(options_.hot_fraction, 0.5);
+  table_bytes_ = HugeAlignDown(params_.footprint_bytes);
+  table_pages_ = NumPages(table_bytes_);
+  set_pages_ = static_cast<u64>(static_cast<double>(table_pages_) * options_.hot_fraction);
+  if (set_pages_ == 0) {
+    set_pages_ = 1;
+  }
+}
+
+void PingPongWorkload::Build(AddressSpace& address_space) {
+  // Base pages, as for GUPS: random 8-byte updates need 4 KiB profiling
+  // granularity.
+  u32 table = address_space.Allocate(table_bytes_, /*thp=*/false, "pingpong.table");
+  table_start_ = address_space.vma(table).start;
+  // Sets at the 1/4 and 3/4 marks: symmetric, disjoint, and past what
+  // first-touch keeps in DRAM, so reaching either requires promotion.
+  a_first_page_ = table_pages_ / 4 - set_pages_ / 2;
+  b_first_page_ = (3 * table_pages_) / 4 - set_pages_ / 2;
+  MTM_CHECK_LT(a_first_page_ + set_pages_, b_first_page_);
+  MTM_CHECK_LE(b_first_page_ + set_pages_, table_pages_);
+}
+
+HotRange PingPongWorkload::set_a() const {
+  return {table_start_ + PagesToBytes(a_first_page_), PagesToBytes(set_pages_)};
+}
+
+HotRange PingPongWorkload::set_b() const {
+  return {table_start_ + PagesToBytes(b_first_page_), PagesToBytes(set_pages_)};
+}
+
+std::vector<HotRange> PingPongWorkload::TrueHotRanges() const {
+  return {epoch_ % 2 == 0 ? set_a() : set_b()};
+}
+
+void PingPongWorkload::AdvanceEpochIfNeeded() {
+  if (options_.flip_ops == 0 || ops_ == 0 || ops_ % options_.flip_ops != 0) {
+    return;
+  }
+  ++epoch_;
+}
+
+VirtAddr PingPongWorkload::SampleAddr() {
+  if (rng_.NextBernoulli(options_.hot_access_prob)) {
+    u64 first = epoch_ % 2 == 0 ? a_first_page_ : b_first_page_;
+    u64 page = first + rng_.NextBounded(set_pages_);
+    return table_start_ + PagesToBytes(page) + Bytes(rng_.Next() & (kPageSize - 1) & ~u64{7});
+  }
+  u64 page = rng_.NextBounded(table_pages_);
+  return table_start_ + PagesToBytes(page) + Bytes(rng_.Next() & (kPageSize - 1) & ~u64{7});
+}
+
+u32 PingPongWorkload::NextBatch(MemAccess* out, u32 n) {
+  u32 filled = 0;
+  while (filled < n) {
+    if (pending_write_) {
+      out[filled++] = MemAccess{pending_addr_, pending_thread_, /*is_write=*/true};
+      pending_write_ = false;
+      continue;
+    }
+    u32 thread = NextThread();
+    VirtAddr addr = SampleAddr();
+    out[filled++] = MemAccess{addr, thread, /*is_write=*/false};
+    pending_write_ = true;
+    pending_addr_ = addr;
+    pending_thread_ = thread;
+    ++ops_;
+    AdvanceEpochIfNeeded();
+  }
+  return filled;
+}
+
+}  // namespace mtm

@@ -1,0 +1,73 @@
+// Ping-pong: an adversarial microbenchmark for migration admission control.
+//
+// Two disjoint page sets (A and B) inside one table alternate roles every
+// flip_ops updates: the active set receives hot_access_prob of the update
+// traffic, the inactive set goes cold, and the remainder of the table sees
+// uniform background accesses. A tiering policy that promotes on observed
+// hotness will promote the active set, watch it go cold one epoch later,
+// demote it, and promote the other set — each flip re-migrating the same
+// pages in the opposite direction. This is the §6 thrashing pattern the
+// ppt admission controller is designed to damp; under vanilla admission it
+// maximises flip-wasted migration bytes.
+//
+// Accesses are GUPS-style updates: a read followed by a write of the same
+// location (R/W 1:1).
+#pragma once
+
+#include "src/common/types.h"
+#include "src/mem/address_space.h"
+#include "src/profiling/oracle.h"
+#include "src/workloads/workload.h"
+
+namespace mtm {
+
+class PingPongWorkload : public Workload {
+ public:
+  // Defaults are tuned against the default experiment scale (512): each set
+  // is small enough to migrate within one epoch at the default promote
+  // batch, and an epoch (2 * flip_ops accesses) spans a few profiling
+  // intervals — inside the admission stage's flip window, so reversals
+  // register as ping-pong rather than slow drift.
+  struct Options {
+    double hot_fraction = 0.05;    // size of EACH set, as a fraction of the table
+    double hot_access_prob = 0.9;  // updates landing in the active set
+    u64 flip_ops = 1'000'000;      // updates per epoch; 0 = never flip (set A stays hot)
+  };
+
+  explicit PingPongWorkload(Params params);
+  PingPongWorkload(Params params, Options options);
+
+  std::string name() const override { return "pingpong"; }
+  void Build(AddressSpace& address_space) override;
+  u32 NextBatch(MemAccess* out, u32 n) override;
+  // The currently active set only — the inactive set is genuinely cold.
+  std::vector<HotRange> TrueHotRanges() const override;
+  double read_fraction() const override { return 0.5; }
+
+  // Set extents (stable across flips; which one is hot alternates).
+  HotRange set_a() const;
+  HotRange set_b() const;
+  u64 epoch() const { return epoch_; }
+
+ private:
+  void AdvanceEpochIfNeeded();
+  VirtAddr SampleAddr();
+
+  Options options_;
+  Bytes table_bytes_;
+  VirtAddr table_start_;
+
+  u64 table_pages_ = 0;
+  u64 set_pages_ = 0;      // pages per set
+  u64 a_first_page_ = 0;   // set A offset (pages) within the table
+  u64 b_first_page_ = 0;   // set B offset (pages) within the table
+  u64 ops_ = 0;
+  u64 epoch_ = 0;          // even epochs: A hot; odd epochs: B hot
+
+  // Pending write-half of an update (read emitted first).
+  bool pending_write_ = false;
+  VirtAddr pending_addr_;
+  u32 pending_thread_ = 0;
+};
+
+}  // namespace mtm

@@ -4,6 +4,7 @@
 #include "src/workloads/cassandra.h"
 #include "src/workloads/gups.h"
 #include "src/workloads/graph.h"
+#include "src/workloads/pingpong.h"
 #include "src/workloads/spark.h"
 #include "src/workloads/voltdb.h"
 
@@ -40,6 +41,10 @@ std::unique_ptr<Workload> MakeWorkload(const std::string& name, u64 sim_scale,
   if (name == "spark") {
     params.footprint_bytes = kSparkFootprint / sim_scale;
     return std::make_unique<SparkTeraSortWorkload>(params);
+  }
+  if (name == "pingpong") {
+    params.footprint_bytes = kPingPongFootprint / sim_scale;
+    return std::make_unique<PingPongWorkload>(params);
   }
   MTM_CHECK(false) << "unknown workload: " << name;
   return nullptr;

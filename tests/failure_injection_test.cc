@@ -14,6 +14,7 @@
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
 #include "src/mem/placement.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/mechanism.h"
 #include "src/migration/migration_engine.h"
 #include "src/sim/clock.h"

@@ -5,6 +5,7 @@
 #include "src/common/units.h"
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/cost_model.h"
 #include "src/migration/mechanism.h"
 #include "src/migration/migration_engine.h"

@@ -6,6 +6,7 @@
 #include "src/common/units.h"
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/migration_engine.h"
 #include "src/migration/policy.h"
 #include "src/profiling/profiler.h"

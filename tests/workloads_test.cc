@@ -11,6 +11,7 @@
 #include "src/workloads/cassandra.h"
 #include "src/workloads/graph.h"
 #include "src/workloads/gups.h"
+#include "src/workloads/pingpong.h"
 #include "src/workloads/spark.h"
 #include "src/workloads/voltdb.h"
 #include "src/workloads/workload.h"
@@ -314,6 +315,79 @@ TEST(SparkTest, ReadWriteMix) {
   double wf = MeasuredWriteFraction(spark);
   EXPECT_GT(wf, 0.25);
   EXPECT_LT(wf, 0.65);
+}
+
+TEST(PingPongTest, BuildAndAddresses) {
+  PingPongWorkload pp(SmallParams(MiB(64)));
+  AddressSpace as;
+  pp.Build(as);
+  EXPECT_EQ(as.vmas().size(), 1u);  // one table; the two sets live inside it
+  CheckAddressesInVmas(pp, as);
+}
+
+TEST(PingPongTest, ReadWriteOneToOne) {
+  PingPongWorkload pp(SmallParams(MiB(64)));
+  AddressSpace as;
+  pp.Build(as);
+  EXPECT_DOUBLE_EQ(MeasuredWriteFraction(pp), 0.5);  // pure read+write updates
+}
+
+TEST(PingPongTest, ActiveSetReceivesMostAccesses) {
+  PingPongWorkload::Options options;
+  options.flip_ops = 0;  // hold set A hot for the whole measurement
+  PingPongWorkload pp(SmallParams(MiB(64)), options);
+  AddressSpace as;
+  pp.Build(as);
+  std::vector<HotRange> truth = pp.TrueHotRanges();
+  ASSERT_EQ(truth.size(), 1u);
+  EXPECT_EQ(truth[0].start, pp.set_a().start);
+  std::vector<MemAccess> buf(65536);
+  pp.NextBatch(buf.data(), buf.size());
+  u64 active = 0;
+  u64 inactive = 0;
+  for (const MemAccess& a : buf) {
+    active += a.addr >= truth[0].start && a.addr < truth[0].end();
+    inactive += a.addr >= pp.set_b().start && a.addr < pp.set_b().end();
+  }
+  // ~90% of updates hit the active set; the cold set only sees its share of
+  // the uniform background (hot_fraction of the remaining 10%).
+  EXPECT_GT(static_cast<double>(active) / buf.size(), 0.8);
+  EXPECT_LT(static_cast<double>(inactive) / buf.size(), 0.05);
+}
+
+TEST(PingPongTest, HotSetFlipsEachEpoch) {
+  PingPongWorkload::Options options;
+  options.flip_ops = 1000;
+  PingPongWorkload pp(SmallParams(MiB(64)), options);
+  AddressSpace as;
+  pp.Build(as);
+  ASSERT_EQ(pp.TrueHotRanges()[0].start, pp.set_a().start);
+  std::vector<MemAccess> buf(2048);  // 1024 updates = one epoch boundary
+  pp.NextBatch(buf.data(), buf.size());
+  EXPECT_EQ(pp.epoch(), 1u);
+  EXPECT_EQ(pp.TrueHotRanges()[0].start, pp.set_b().start);
+  pp.NextBatch(buf.data(), buf.size());
+  EXPECT_EQ(pp.epoch(), 2u);
+  EXPECT_EQ(pp.TrueHotRanges()[0].start, pp.set_a().start);
+}
+
+TEST(PingPongTest, SetsAreDisjoint) {
+  PingPongWorkload pp(SmallParams(MiB(64)));
+  AddressSpace as;
+  pp.Build(as);
+  EXPECT_LT(pp.set_a().end(), pp.set_b().start);
+  EXPECT_EQ(pp.set_a().len, pp.set_b().len);
+}
+
+TEST(WorkloadFactoryTest, PingPongRegistered) {
+  auto w = MakeWorkload("pingpong", /*sim_scale=*/4096, 8, 1);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->name(), "pingpong");
+  EXPECT_EQ(w->params().footprint_bytes, GiB(400) / 4096);
+  AddressSpace as;
+  w->Build(as);
+  std::vector<MemAccess> buf(1024);
+  EXPECT_EQ(w->NextBatch(buf.data(), 1024), 1024u);
 }
 
 TEST(WorkloadFactoryTest, AllNamesBuild) {

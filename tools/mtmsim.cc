@@ -9,7 +9,8 @@
 //   mtmsim --workload=gups --solution=mtm --two-tier --threads=16
 //
 // Flags (defaults in brackets):
-//   --workload=NAME     gups|voltdb|cassandra|bfs|sssp|spark        [gups]
+//   --workload=NAME     gups|voltdb|cassandra|bfs|sssp|spark|
+//                       pingpong (adversarial admission microbench)  [gups]
 //   --solution=NAME     first-touch|hmc|vanilla-tiered-autonuma|
 //                       tiered-autonuma|autotiering|hemem|mtm|
 //                       thermostat+mtm-migration|autonuma+mtm-migration [mtm]
@@ -26,6 +27,13 @@
 //   --spread-threads    spread threads over both sockets             [false]
 //   --no-pebs           disable performance-counter assistance       [false]
 //   --sync-migration    disable asynchronous page copy               [false]
+//   --admission=NAME    migration admission controller               [vanilla]
+//                       vanilla: admit-all (byte-identical to no stage)
+//                       ppt: ping-pong throttling, exponential
+//                       re-promotion backoff; bandwidth: per-interval
+//                       byte budget, hottest promotions first
+//   --admission-budget-mb=N  bandwidth budget per interval
+//                       (0 = the promote batch N)                     [0]
 //   --seed=N            deterministic seed                           [42]
 //   --fault_spec=S      chaos spec, ';'-separated clauses            [none]
 //                       copy_fail:p=P | remap_fail:p=P | alloc_fail:p=P |
@@ -42,10 +50,12 @@
 #include "src/common/fault_injection.h"
 #include "src/common/flags.h"
 #include "src/common/status.h"
+#include "src/common/units.h"
 #include "src/core/driver.h"
 #include "src/core/experiment.h"
 #include "src/core/report.h"
 #include "src/core/solution.h"
+#include "src/migration/admission/admission.h"
 #include "src/migration/mechanism.h"
 #include "src/obs/obs.h"
 
@@ -73,6 +83,13 @@ int main(int argc, char** argv) {
   if (flags.GetBool("sync-migration", false)) {
     config.mtm.mechanism = mtm::MechanismKind::kMmrSync;
   }
+  std::string admission_name = flags.GetString("admission", "vanilla");
+  if (!mtm::AdmissionKindFromName(admission_name, &config.mtm.admission)) {
+    std::fprintf(stderr, "bad --admission: %s (want vanilla|ppt|bandwidth)\n",
+                 admission_name.c_str());
+    return 1;
+  }
+  config.mtm.admission_budget_bytes = mtm::MiB(flags.GetU64("admission-budget-mb", 0));
   config.fault_spec = flags.GetString("fault_spec", flags.GetString("fault-spec", ""));
   if (!config.fault_spec.empty()) {
     // Validate up front for a friendly error instead of a mid-run check.
