@@ -53,7 +53,7 @@ SimNanos RunCase(MechanismKind kind, ComponentId src, ComponentId dst, double wr
   u32 vma = address_space.Allocate(total, /*thp=*/false, "array");
   VirtAddr start = address_space.vma(vma).start;
   MTM_CHECK(page_table.MapRange(start, total, src, false).ok());
-  MTM_CHECK(frames.Reserve(src, total));
+  MTM_CHECK(frames.Reserve(src, total).ok());
 
   MigrationEngine migration(machine, page_table, frames, address_space, counters, clock, kind);
   engine.set_write_track_observer(&migration);
@@ -61,7 +61,7 @@ SimNanos RunCase(MechanismKind kind, ComponentId src, ComponentId dst, double wr
   Rng rng(7);
   u64 cursor = 0;
   for (VirtAddr region = start; region < start + total; region += kHugePageSize) {
-    migration.Submit(MigrationOrder{region, kHugePageBytes, dst, 0});
+    (void)migration.Submit(MigrationOrder{region, kHugePageBytes, dst, 0});
     // The application keeps streaming over the array during the migration
     // window (sequential, with the pattern's write share).
     for (int i = 0; i < 2048; ++i) {

@@ -4,7 +4,6 @@
 // Expected shape: MTM serves the most accesses from tier 1 (12-14% more
 // than tiered-AutoNUMA / AutoTiering in the paper) and nearly starves
 // tier 4.
-#include <cstdio>
 
 #include "bench/bench_util.h"
 #include "src/common/types.h"

@@ -9,7 +9,6 @@
 //
 //   ./build/examples/custom_policy
 #include <cstdio>
-#include <memory>
 
 #include "src/common/types.h"
 #include "src/common/units.h"
@@ -117,7 +116,7 @@ double RunWithPolicy(TieringPolicy* policy, const ExperimentConfig& config) {
     solution.clock().AdvanceProfiling(out.profiling_cost_ns);
     TieringPolicy* active = policy != nullptr ? policy : solution.policy();
     for (const MigrationOrder& order : active->Decide(out, ctx)) {
-      solution.migration()->Submit(order);
+      (void)solution.migration()->Submit(order);
     }
   }
   solution.migration()->Flush();

@@ -4,8 +4,6 @@
 // programmer errors, never for recoverable conditions (those return Status).
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cmath>
-#include <vector>
 
 #include "src/common/logging.h"
 #include "src/common/types.h"

@@ -7,9 +7,8 @@
 // §6.2).
 #pragma once
 
-#include <vector>
-
 #include "src/common/logging.h"
+#include "src/common/status.h"
 #include "src/common/strong_types.h"
 #include "src/common/types.h"
 #include "src/sim/machine.h"
@@ -36,14 +35,14 @@ class FrameAllocator {
   u64 used_frames(ComponentId c) const { return NumPages(used_[c]); }
   Pfn high_water_frame(ComponentId c) const { return Pfn(NumPages(used_[c])); }
 
-  // Attempts to reserve `bytes` on component c; returns false if it would
-  // exceed capacity.
-  bool Reserve(ComponentId c, Bytes bytes) {
+  // Attempts to reserve `bytes` on component c; kResourceExhausted if it
+  // would exceed capacity (callers branch on ok() to fall through tiers).
+  Status Reserve(ComponentId c, Bytes bytes) {
     if (used_[c] + bytes > capacity_[c]) {
-      return false;
+      return ResourceExhaustedError("component capacity exceeded");
     }
     used_[c] += bytes;
-    return true;
+    return OkStatus();
   }
 
   void Release(ComponentId c, Bytes bytes) {

@@ -86,13 +86,13 @@ ComponentId PlacementFaultHandler::HandlePageFault(VirtAddr addr, u32 socket, bo
 
   for (u32 i = 0; i < count; ++i) {
     ComponentId c = candidates[i];
-    if (want_huge && frames_.Reserve(c, kHugePageBytes)) {
+    if (want_huge && frames_.Reserve(c, kHugePageBytes).ok()) {
       Status s = page_table_.MapRange(huge_start, kHugePageBytes, c, /*huge=*/true);
       MTM_CHECK(s.ok()) << s.ToString();
       ++huge_faults_;
       return c;
     }
-    if (!want_huge && frames_.Reserve(c, kPageBytes)) {
+    if (!want_huge && frames_.Reserve(c, kPageBytes).ok()) {
       Status s = page_table_.MapRange(PageAlignDown(addr), kPageBytes, c, /*huge=*/false);
       MTM_CHECK(s.ok()) << s.ToString();
       ++base_faults_;
@@ -103,7 +103,7 @@ ComponentId PlacementFaultHandler::HandlePageFault(VirtAddr addr, u32 socket, bo
   if (want_huge) {
     for (u32 i = 0; i < count; ++i) {
       ComponentId c = candidates[i];
-      if (frames_.Reserve(c, kPageBytes)) {
+      if (frames_.Reserve(c, kPageBytes).ok()) {
         Status s = page_table_.MapRange(PageAlignDown(addr), kPageBytes, c, /*huge=*/false);
         MTM_CHECK(s.ok()) << s.ToString();
         ++base_faults_;

@@ -16,8 +16,6 @@
 //     "w/o async migration" ablation of §9.3: batched PTE work, sync copy).
 #pragma once
 
-#include <string>
-
 #include "src/common/types.h"
 #include "src/migration/cost_model.h"
 #include "src/sim/machine.h"

@@ -2,7 +2,6 @@
 // move where (§6).
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 

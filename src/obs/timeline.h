@@ -8,7 +8,6 @@
 #pragma once
 
 #include <ostream>
-#include <string>
 #include <vector>
 
 #include "src/common/types.h"

@@ -4,8 +4,6 @@
 // application's tier-access statistics.
 #pragma once
 
-#include <vector>
-
 #include "src/common/strong_types.h"
 #include "src/common/types.h"
 

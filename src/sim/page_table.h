@@ -17,9 +17,7 @@
 #pragma once
 
 #include <array>
-#include <cstring>
 #include <functional>
-#include <memory>
 
 #include "src/common/status.h"
 #include "src/common/types.h"

@@ -286,7 +286,7 @@ class AdmissionEngineTest : public ::testing::Test {
     u32 vma = address_space_.Allocate(bytes, false, "w");
     VirtAddr start = address_space_.vma(vma).start;
     EXPECT_TRUE(page_table_.MapRange(start, address_space_.vma(vma).len, component, false).ok());
-    EXPECT_TRUE(frames_.Reserve(component, address_space_.vma(vma).len));
+    EXPECT_TRUE(frames_.Reserve(component, address_space_.vma(vma).len).ok());
     return start;
   }
 

@@ -1,7 +1,6 @@
 // Tests for src/common: RNG and samplers, histogram, stats, status, units.
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <map>
 #include <vector>
 

@@ -56,7 +56,7 @@ TEST(PressureTest, PlacementFailsCleanlyWhenMachineFull) {
   AddressSpace as;
   FrameAllocator frames(machine);
   for (ComponentId c{0}; c < machine.end_component(); ++c) {
-    ASSERT_TRUE(frames.Reserve(c, frames.free_bytes(c)));
+    ASSERT_TRUE(frames.Reserve(c, frames.free_bytes(c)).ok());
   }
   u32 vma = as.Allocate(MiB(4), false, "x");
   PlacementFaultHandler handler(machine, pt, frames, as, PlacementPolicy::kFirstTouch);
@@ -78,10 +78,10 @@ TEST(PressureTest, MigrationWithNoRoomAnywhereRecordsFailure) {
   // Fill t1 exactly; fill every PM component so demotion has nowhere to go.
   u32 resident_vma = as.Allocate(frames.capacity(t1), false, "resident");
   ASSERT_TRUE(pt.MapRange(as.vma(resident_vma).start, frames.capacity(t1), t1, false).ok());
-  ASSERT_TRUE(frames.Reserve(t1, frames.capacity(t1)));
+  ASSERT_TRUE(frames.Reserve(t1, frames.capacity(t1)).ok());
   for (ComponentId c{0}; c < machine.end_component(); ++c) {
     if (c != t1) {
-      ASSERT_TRUE(frames.Reserve(c, frames.free_bytes(c)));
+      ASSERT_TRUE(frames.Reserve(c, frames.free_bytes(c)).ok());
     }
   }
   // One more region nominally on t3 (accounting-wise it is part of the
@@ -91,7 +91,7 @@ TEST(PressureTest, MigrationWithNoRoomAnywhereRecordsFailure) {
 
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kMovePages);
-  engine.Submit(MigrationOrder{as.vma(hot_vma).start, kHugePageBytes, t1, 0});
+  (void)engine.Submit(MigrationOrder{as.vma(hot_vma).start, kHugePageBytes, t1, 0});
   EXPECT_GT(engine.stats().bytes_failed, Bytes{});
   // The hot pages stay where they were.
   EXPECT_EQ(pt.Find(as.vma(hot_vma).start)->component, t3);
@@ -146,7 +146,7 @@ TEST(PressureTest, ZeroLengthOrderIsNoop) {
   MemCounters counters(machine.num_components());
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kMoveMemoryRegions);
-  engine.Submit(MigrationOrder{VirtAddr{0x5500'0000'0000ull}, Bytes{}, ComponentId(0), 0});
+  (void)engine.Submit(MigrationOrder{VirtAddr{0x5500'0000'0000ull}, Bytes{}, ComponentId(0), 0});
   EXPECT_EQ(engine.pending(), 0u);
   EXPECT_EQ(engine.stats().bytes_migrated, Bytes{});
 }
@@ -179,14 +179,14 @@ TEST(PressureTest, TwoTierDemotionTargetsExist) {
 
   u32 fill = as.Allocate(frames.capacity(dram), false, "fill");
   ASSERT_TRUE(pt.MapRange(as.vma(fill).start, frames.capacity(dram), dram, false).ok());
-  ASSERT_TRUE(frames.Reserve(dram, frames.capacity(dram)));
+  ASSERT_TRUE(frames.Reserve(dram, frames.capacity(dram)).ok());
   u32 hot = as.Allocate(kHugePageBytes, false, "hot");
   ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageBytes, pm, false).ok());
-  ASSERT_TRUE(frames.Reserve(pm, kHugePageBytes));
+  ASSERT_TRUE(frames.Reserve(pm, kHugePageBytes).ok());
 
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kNimble);
-  engine.Submit(MigrationOrder{as.vma(hot).start, kHugePageBytes, dram, 0});
+  (void)engine.Submit(MigrationOrder{as.vma(hot).start, kHugePageBytes, dram, 0});
   EXPECT_EQ(pt.Find(as.vma(hot).start)->component, dram);
   EXPECT_GT(engine.stats().reclaim_demotions, 0u);
 }
@@ -274,7 +274,7 @@ TEST(FaultInjectionTest, CopyFailureRollsBackCleanly) {
 
   u32 hot = as.Allocate(kHugePageBytes, false, "hot");
   ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageBytes, t3, false).ok());
-  ASSERT_TRUE(frames.Reserve(t3, kHugePageBytes));
+  ASSERT_TRUE(frames.Reserve(t3, kHugePageBytes).ok());
 
   FaultInjector inj = *FaultInjector::Parse("copy_fail:p=1", 42);
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
@@ -307,7 +307,7 @@ TEST(FaultInjectionTest, BackoffRetryEventuallySucceeds) {
 
   u32 hot = as.Allocate(kHugePageBytes, false, "hot");
   ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageBytes, t3, false).ok());
-  ASSERT_TRUE(frames.Reserve(t3, kHugePageBytes));
+  ASSERT_TRUE(frames.Reserve(t3, kHugePageBytes).ok());
 
   FaultInjector inj = *FaultInjector::Parse("copy_fail:p=1", 42);
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
@@ -348,7 +348,7 @@ TEST(FaultInjectionTest, ThrashGuardAbandonsHotWrittenRegion) {
 
   u32 hot = as.Allocate(kHugePageBytes, false, "hot");
   ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageBytes, t3, false).ok());
-  ASSERT_TRUE(frames.Reserve(t3, kHugePageBytes));
+  ASSERT_TRUE(frames.Reserve(t3, kHugePageBytes).ok());
 
   FaultInjector inj = *FaultInjector::Parse("copy_fail:p=1", 42);
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
@@ -395,7 +395,7 @@ TEST(FaultInjectionTest, OfflineTierDrainRelocatesEveryResident) {
   const Bytes bytes = 16 * kHugePageBytes;
   u32 data = as.Allocate(bytes, /*thp=*/true, "data");
   ASSERT_TRUE(pt.MapRange(as.vma(data).start, bytes, pm0, true).ok());
-  ASSERT_TRUE(frames.Reserve(pm0, bytes));
+  ASSERT_TRUE(frames.Reserve(pm0, bytes).ok());
 
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kMoveMemoryRegions);
@@ -433,7 +433,7 @@ TEST(FaultInjectionTest, OfflineEventRollsBackInFlightOrders) {
 
   u32 hot = as.Allocate(kHugePageBytes, false, "hot");
   ASSERT_TRUE(pt.MapRange(as.vma(hot).start, kHugePageBytes, t1, false).ok());
-  ASSERT_TRUE(frames.Reserve(t1, kHugePageBytes));
+  ASSERT_TRUE(frames.Reserve(t1, kHugePageBytes).ok());
 
   MigrationEngine engine(machine, pt, frames, as, counters, clock,
                          MechanismKind::kMoveMemoryRegions);

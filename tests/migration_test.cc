@@ -32,7 +32,7 @@ class MigrationTest : public ::testing::Test {
     u32 vma = address_space_.Allocate(bytes, huge, "w");
     VirtAddr start = address_space_.vma(vma).start;
     EXPECT_TRUE(page_table_.MapRange(start, address_space_.vma(vma).len, component, huge).ok());
-    EXPECT_TRUE(frames_.Reserve(component, address_space_.vma(vma).len));
+    EXPECT_TRUE(frames_.Reserve(component, address_space_.vma(vma).len).ok());
     return start;
   }
 
@@ -121,7 +121,7 @@ TEST_F(MigrationTest, SlowerLinkCostsMore) {
 TEST_F(MigrationTest, SyncSubmitCommitsImmediately) {
   VirtAddr start = BuildMapped(MiB(4), t3_, false);
   MigrationEngine engine = MakeEngine(MechanismKind::kMovePages);
-  engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
+  (void)engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
   EXPECT_EQ(ComponentAt(start), t1_);
   EXPECT_EQ(ComponentAt(start + MiB(2).value()), t3_);  // outside the order
   EXPECT_EQ(engine.stats().bytes_migrated, MiB(2));
@@ -134,7 +134,7 @@ TEST_F(MigrationTest, SyncSubmitCommitsImmediately) {
 TEST_F(MigrationTest, AsyncDefersUntilPoll) {
   VirtAddr start = BuildMapped(MiB(4), t3_, false);
   MigrationEngine engine = MakeEngine(MechanismKind::kMoveMemoryRegions);
-  engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
+  (void)engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
   // Copy is in flight: pages still on the source, write tracking armed.
   EXPECT_EQ(engine.pending(), 1u);
   EXPECT_EQ(ComponentAt(start), t3_);
@@ -154,7 +154,7 @@ TEST_F(MigrationTest, WriteDuringAsyncSwitchesToSync) {
   // copy immediately".
   VirtAddr start = BuildMapped(MiB(4), t3_, false);
   MigrationEngine engine = MakeEngine(MechanismKind::kMoveMemoryRegions);
-  engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
+  (void)engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
   SimNanos before = clock_.migration_ns();
   engine.OnWriteTrackFault(start + kPageSize, 0);
   EXPECT_EQ(engine.pending(), 0u);
@@ -166,7 +166,7 @@ TEST_F(MigrationTest, WriteDuringAsyncSwitchesToSync) {
 TEST_F(MigrationTest, FlushCompletesPending) {
   VirtAddr start = BuildMapped(MiB(4), t3_, false);
   MigrationEngine engine = MakeEngine(MechanismKind::kMoveMemoryRegions);
-  engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
+  (void)engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
   engine.Flush();
   EXPECT_EQ(engine.pending(), 0u);
   EXPECT_EQ(ComponentAt(start), t1_);
@@ -175,15 +175,15 @@ TEST_F(MigrationTest, FlushCompletesPending) {
 TEST_F(MigrationTest, OverlappingAsyncOrderDropped) {
   VirtAddr start = BuildMapped(MiB(4), t3_, false);
   MigrationEngine engine = MakeEngine(MechanismKind::kMoveMemoryRegions);
-  engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
-  engine.Submit(MigrationOrder{start + MiB(1).value(), MiB(2), t2_, 0});
+  (void)engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
+  (void)engine.Submit(MigrationOrder{start + MiB(1).value(), MiB(2), t2_, 0});
   EXPECT_EQ(engine.pending(), 1u);
 }
 
 TEST_F(MigrationTest, NoopOrderIgnored) {
   VirtAddr start = BuildMapped(MiB(2), t1_, false);
   MigrationEngine engine = MakeEngine(MechanismKind::kMoveMemoryRegions);
-  engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});  // already there
+  (void)engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});  // already there
   EXPECT_EQ(engine.pending(), 0u);
   EXPECT_EQ(engine.stats().bytes_migrated, Bytes{});
 }
@@ -191,7 +191,7 @@ TEST_F(MigrationTest, NoopOrderIgnored) {
 TEST_F(MigrationTest, HugeMappingsMigrateWhole) {
   VirtAddr start = BuildMapped(MiB(4), t3_, /*huge=*/true);
   MigrationEngine engine = MakeEngine(MechanismKind::kNimble);
-  engine.Submit(MigrationOrder{start, kHugePageBytes, t1_, 0});
+  (void)engine.Submit(MigrationOrder{start, kHugePageBytes, t1_, 0});
   Bytes size;
   ASSERT_NE(page_table_.Find(start, &size), nullptr);
   EXPECT_EQ(size, kHugePageBytes);
@@ -205,7 +205,7 @@ TEST_F(MigrationTest, ReclaimDemotesWhenDestinationFull) {
   VirtAddr hot = BuildMapped(MiB(2), t3_, false);
   ASSERT_EQ(frames_.free_bytes(t1_), Bytes{});
   MigrationEngine engine = MakeEngine(MechanismKind::kMovePages);
-  engine.Submit(MigrationOrder{hot, MiB(2), t1_, 0});
+  (void)engine.Submit(MigrationOrder{hot, MiB(2), t1_, 0});
   EXPECT_EQ(ComponentAt(hot), t1_);
   EXPECT_GT(engine.stats().reclaim_demotions, 0u);
   // Victims went to a strictly slower class (PM), never laterally to DRAM1.
@@ -223,7 +223,7 @@ TEST_F(MigrationTest, ReclaimPrefersInactivePages) {
   page_table_.ForEachMapping(cold, frames_.capacity(t1_) / 2,
                              [](VirtAddr, Bytes, Pte& pte) { pte.Set(Pte::kAccessed); });
   MigrationEngine engine = MakeEngine(MechanismKind::kMovePages);
-  engine.Submit(MigrationOrder{hot, MiB(2), t1_, 0});
+  (void)engine.Submit(MigrationOrder{hot, MiB(2), t1_, 0});
   // Active pages survive: count demotions from the active half.
   int demoted_active = 0;
   page_table_.ForEachMapping(cold, frames_.capacity(t1_) / 2, [&](VirtAddr, Bytes, Pte& pte) {
@@ -235,7 +235,7 @@ TEST_F(MigrationTest, ReclaimPrefersInactivePages) {
 TEST_F(MigrationTest, StepBreakdownAccumulates) {
   VirtAddr start = BuildMapped(MiB(4), t3_, false);
   MigrationEngine engine = MakeEngine(MechanismKind::kMovePages);
-  engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
+  (void)engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
   const MigrationStepBreakdown& steps = engine.stats().steps;
   EXPECT_GT(steps.allocate_ns, SimNanos{});
   EXPECT_GT(steps.unmap_remap_ns, SimNanos{});
@@ -247,9 +247,9 @@ TEST_F(MigrationTest, MixedSourceRegionsHandled) {
   // A range straddling two components migrates everything to the target.
   VirtAddr start = BuildMapped(MiB(4), t3_, false);
   MigrationEngine engine = MakeEngine(MechanismKind::kMovePages);
-  engine.Submit(MigrationOrder{start, MiB(1), t4_, 0});
+  (void)engine.Submit(MigrationOrder{start, MiB(1), t4_, 0});
   ASSERT_EQ(ComponentAt(start), t4_);
-  engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
+  (void)engine.Submit(MigrationOrder{start, MiB(2), t1_, 0});
   EXPECT_EQ(ComponentAt(start), t1_);
   EXPECT_EQ(ComponentAt(start + MiB(1).value()), t1_);
 }

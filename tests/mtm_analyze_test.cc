@@ -1,8 +1,11 @@
 // Unit tests for tools/mtm_analyze: each pass has at least one true
 // positive and one rejected near-miss in the fixture tree under
-// tools/mtm_analyze/testdata/, plus a golden --json report.
+// tools/mtm_analyze/testdata/, plus a golden --json report and a --fix
+// before/after golden with an idempotence round-trip.
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
-#include <set>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,24 +19,32 @@ namespace {
 
 std::string TestdataRoot() { return MTM_ANALYZE_TESTDATA; }
 
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
 std::vector<std::string> FixtureSeeds() {
   return {
       "proj/liba/unused_inc.cc", "proj/liba/transitive.cc", "proj/liba/upward.cc",
       "proj/liba/cycle_x.h",     "proj/det/sink_loop.cc",   "proj/det/mutate_loop.cc",
       "proj/det/clock.cc",       "proj/det/sim_clock.cc",   "proj/det/seed.cc",
       "proj/det/seeded_ok.cc",   "proj/det/suppressed.cc",  "proj/det/nojust.cc",
+      "proj/err/discard.cc",     "proj/err/unwrap.cc",      "proj/err/rawret.cc",
+      "proj/conc/tasks.cc",      "proj/conc/named.cc",      "proj/conc/serial.cc",
+      "proj/conc/delta.cc",
   };
 }
 
 class AnalyzeFixtureTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    std::ifstream in(TestdataRoot() + "/layers.toml");
-    ASSERT_TRUE(in.good()) << "missing fixture layers.toml";
-    std::ostringstream ss;
-    ss << in.rdbuf();
     std::string error;
-    ASSERT_TRUE(ParseConfig(ss.str(), &config_, &error)) << error;
+    ASSERT_TRUE(ParseConfig(ReadFileOrDie(TestdataRoot() + "/layers.toml"), &config_, &error))
+        << error;
     project_ = Project::Load(TestdataRoot(), FixtureSeeds());
     findings_ = Analyze(project_, config_);
   }
@@ -54,6 +65,17 @@ class AnalyzeFixtureTest : public ::testing::Test {
       }
     }
     return false;
+  }
+
+  // Lines of every `check` finding in `file`, in report order.
+  std::vector<int> FindingLines(const std::string& check, const std::string& file) const {
+    std::vector<int> lines;
+    for (const Finding& f : findings_) {
+      if (f.check == check && f.file == file) {
+        lines.push_back(f.line);
+      }
+    }
+    return lines;
   }
 
   Config config_;
@@ -145,6 +167,69 @@ TEST_F(AnalyzeFixtureTest, DoesNotFlagRandSubstrings) {
   EXPECT_FALSE(AnyFindingIn("proj/det/seeded_ok.cc"));
 }
 
+// --------------------------------------------------- error-discipline pass
+
+TEST_F(AnalyzeFixtureTest, FlagsDiscardedStatusCall) {
+  // FireAndForget drops SubmitOrder's Status; the ok()-checked call in
+  // SubmitAndCount stays silent.
+  EXPECT_EQ(FindingLines("discarded-status", "proj/err/discard.cc"), (std::vector<int>{9}));
+}
+
+TEST_F(AnalyzeFixtureTest, FlagsUncheckedResultUnwraps) {
+  // Both the never-checked variable unwrap and the temporary unwrap are
+  // flagged; CheckedUnwrap's ok()-dominated unwrap is not.
+  EXPECT_EQ(FindingLines("unchecked-result-unwrap", "proj/err/unwrap.cc"),
+            (std::vector<int>{10, 13}));
+}
+
+TEST_F(AnalyzeFixtureTest, FlagsRawErrorReturnOnFallibleVerb) {
+  // Only bool TryReserve trips: the Status variant, Trylock (verb is a
+  // prefix fragment only), and IsReady (no verb) are near-misses.
+  EXPECT_EQ(FindingLines("raw-error-return", "proj/err/rawret.cc"), (std::vector<int>{9}));
+  int total = 0;
+  for (const Finding& f : findings_) {
+    if (f.file == "proj/err/rawret.cc") {
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 1);
+}
+
+// -------------------------------------------------------- concurrency pass
+
+TEST_F(AnalyzeFixtureTest, FlagsTaskWritesToGlobalAndMember) {
+  // The RunShards lambda writes a namespace-scope counter and a member.
+  EXPECT_EQ(FindingLines("task-static-write", "proj/conc/tasks.cc"),
+            (std::vector<int>{17, 31}));
+  EXPECT_EQ(FindingLines("task-member-write", "proj/conc/tasks.cc"),
+            (std::vector<int>{13, 18}));
+}
+
+TEST_F(AnalyzeFixtureTest, FlagsMemberWriteReachedThroughCallGraph) {
+  // Line 13 is Worker::BumpHits, reached only via RunIndirect's lambda.
+  std::vector<int> lines = FindingLines("task-member-write", "proj/conc/tasks.cc");
+  EXPECT_NE(std::find(lines.begin(), lines.end(), 13), lines.end());
+}
+
+TEST_F(AnalyzeFixtureTest, FlagsStaticLocalInTaskEntry) {
+  // ShardEntry is seeded by task_entries; its mutable static local at
+  // line 31 is shared across shards.
+  std::vector<int> lines = FindingLines("task-static-write", "proj/conc/tasks.cc");
+  EXPECT_NE(std::find(lines.begin(), lines.end(), 31), lines.end());
+}
+
+TEST_F(AnalyzeFixtureTest, FlagsNamedLambdaPassedByIdentifier) {
+  EXPECT_EQ(FindingLines("task-static-write", "proj/conc/named.cc"), (std::vector<int>{11}));
+}
+
+TEST_F(AnalyzeFixtureTest, DoesNotFlagSerialMutation) {
+  EXPECT_FALSE(AnyFindingIn("proj/conc/serial.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, AllowlistedMergePointStopsTheWalk) {
+  EXPECT_FALSE(AnyFindingIn("proj/conc/delta.cc"));
+}
+
 // ----------------------------------------------------------- suppressions
 
 TEST_F(AnalyzeFixtureTest, JustifiedSuppressionSilencesFinding) {
@@ -159,16 +244,159 @@ TEST_F(AnalyzeFixtureTest, UnjustifiedSuppressionIsReported) {
 // ----------------------------------------------------------------- report
 
 TEST_F(AnalyzeFixtureTest, JsonReportMatchesGolden) {
-  std::ifstream in(TestdataRoot() + "/golden_report.json");
-  ASSERT_TRUE(in.good()) << "missing golden_report.json";
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  EXPECT_EQ(FormatJson(findings_, project_.files().size()), ss.str());
+  EXPECT_EQ(FormatJson(findings_, project_.files().size()),
+            ReadFileOrDie(TestdataRoot() + "/golden_report.json"));
 }
 
 TEST_F(AnalyzeFixtureTest, TextReportUsesLintFormat) {
   std::string text = FormatText(findings_);
   EXPECT_NE(text.find("proj/liba/upward.cc:2: [layering]"), std::string::npos);
+}
+
+// ------------------------------------------------------------- fix engine
+
+class FixProjTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    project_ = Project::Load(TestdataRoot(), {"fixproj/order.cc"});
+    config_.check_system_includes = true;
+    findings_ = RunIncludeGraphPass(project_, config_);
+  }
+
+  Config config_;
+  Project project_;
+  std::vector<Finding> findings_;
+};
+
+TEST_F(FixProjTest, DeadSystemIncludeIsOptInAndSpecific) {
+  // <vector> is dead, <cstring> is alive through strlen; the check only
+  // exists behind check_system_includes.
+  int dead = 0;
+  for (const Finding& f : findings_) {
+    if (f.check == "dead-system-include") {
+      ++dead;
+      EXPECT_EQ(f.subject, "vector");
+    }
+  }
+  EXPECT_EQ(dead, 1);
+
+  Config off;
+  for (const Finding& f : RunIncludeGraphPass(project_, off)) {
+    EXPECT_NE(f.check, "dead-system-include");
+  }
+}
+
+TEST_F(FixProjTest, FixOutputMatchesGolden) {
+  // One pass repairs all three defects: dead <vector> deleted, <cstring>
+  // hoisted above the quoted block, base.h promoted to a direct include.
+  std::map<std::string, std::string> fixed = ComputeFixedContents(project_, findings_);
+  ASSERT_EQ(fixed.size(), 1u);
+  ASSERT_EQ(fixed.begin()->first, "fixproj/order.cc");
+  EXPECT_EQ(fixed.begin()->second, ReadFileOrDie(TestdataRoot() + "/fixproj/order.cc.golden"));
+}
+
+TEST_F(FixProjTest, FixIsIdempotent) {
+  // Applying the fixed contents and re-running the analysis+fixer yields
+  // no further edits: --fix twice == --fix once.
+  std::map<std::string, std::string> fixed = ComputeFixedContents(project_, findings_);
+  ASSERT_EQ(fixed.size(), 1u);
+
+  namespace fs = std::filesystem;
+  fs::path tmp = fs::path(::testing::TempDir()) / "mtm_analyze_fixproj";
+  fs::create_directories(tmp / "fixproj");
+  for (const char* header : {"fixproj/order.h", "fixproj/dep.h", "fixproj/base.h"}) {
+    fs::copy_file(fs::path(TestdataRoot()) / header, tmp / header,
+                  fs::copy_options::overwrite_existing);
+  }
+  std::ofstream out(tmp / "fixproj/order.cc", std::ios::binary);
+  out << fixed.begin()->second;
+  out.close();
+
+  Project reloaded = Project::Load(tmp.string(), {"fixproj/order.cc"});
+  std::vector<Finding> refindings = RunIncludeGraphPass(reloaded, config_);
+  EXPECT_TRUE(ComputeFixedContents(reloaded, refindings).empty());
+}
+
+// ----------------------------------------------------- function model unit
+
+SourceFile ParseSnippet(const std::string& text) {
+  SourceFile f;
+  f.path = "snippet.cc";
+  f.raw = SplitLines(text);
+  f.code = SplitLines(StripCommentsAndStrings(text));
+  BuildFunctionModel(&f);
+  return f;
+}
+
+TEST(FunctionModelTest, QualifiesMembersAndRecordsReturnTypes) {
+  SourceFile f = ParseSnippet("Status Engine::Submit(Order o) { return OkStatus(); }\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  EXPECT_EQ(f.functions[0].qualified, "Engine::Submit");
+  EXPECT_EQ(f.functions[0].return_type, "Status");
+  EXPECT_TRUE(f.functions[0].has_body);
+}
+
+TEST(FunctionModelTest, AttributesLambdaToCallbackCallee) {
+  SourceFile f = ParseSnippet(
+      "void Engine::Run() {\n"
+      "  ParallelFor(2, [&](int s) { hits_ += s; });\n"
+      "}\n");
+  ASSERT_EQ(f.functions.size(), 2u);
+  const FunctionInfo& lambda = f.functions[1];
+  EXPECT_TRUE(lambda.is_lambda);
+  EXPECT_EQ(lambda.callback_of, "ParallelFor");
+  ASSERT_EQ(lambda.writes.size(), 1u);
+  EXPECT_EQ(lambda.writes[0].name, "hits_");
+  EXPECT_EQ(lambda.writes[0].kind, WriteSite::Kind::kMember);
+}
+
+TEST(FunctionModelTest, RecordsDiscardedWholeStatementCallsOnly) {
+  SourceFile f = ParseSnippet(
+      "void F() {\n"
+      "  Submit(o);\n"
+      "  Status s = Submit(o);\n"
+      "  if (Submit(o).ok()) {\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  ASSERT_EQ(f.functions[0].discarded_calls.size(), 1u);
+  EXPECT_EQ(f.functions[0].discarded_calls[0].name, "Submit");
+  EXPECT_EQ(f.functions[0].discarded_calls[0].line, 2);
+}
+
+TEST(FunctionModelTest, ReplaysResultFlowEvents) {
+  SourceFile f = ParseSnippet(
+      "int F() {\n"
+      "  Result<int> r = Look(1);\n"
+      "  if (!r.ok()) { return 0; }\n"
+      "  return r.value();\n"
+      "}\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  std::vector<VarEvent::Kind> kinds;
+  for (const VarEvent& ev : f.functions[0].var_events) {
+    kinds.push_back(ev.kind);
+  }
+  EXPECT_EQ(kinds, (std::vector<VarEvent::Kind>{VarEvent::Kind::kResultDecl,
+                                                VarEvent::Kind::kOkCheck,
+                                                VarEvent::Kind::kUnwrap}));
+}
+
+TEST(FunctionModelTest, RecordsMutableStaticLocalButNotConst) {
+  SourceFile f = ParseSnippet(
+      "void F() {\n"
+      "  static int counter = 0;\n"
+      "  static const int kLimit = 8;\n"
+      "  counter += kLimit;\n"
+      "}\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  int static_decls = 0;
+  for (const WriteSite& w : f.functions[0].writes) {
+    if (w.kind == WriteSite::Kind::kStaticLocalDecl) {
+      ++static_decls;
+      EXPECT_EQ(w.name, "counter");
+    }
+  }
+  EXPECT_EQ(static_decls, 1);
 }
 
 // ------------------------------------------------------------- lexer unit
@@ -213,11 +441,50 @@ TEST(ConfigTest, ParsesLayersAndAllowlists) {
   EXPECT_TRUE(config.random_allow.empty());
 }
 
+TEST(ConfigTest, ParsesErrorDisciplineAndConcurrencySections) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(ParseConfig("[error_discipline]\nstatus_paths = [\"src/migration\"]\n"
+                          "fallible_verbs = [\"Try\"]\n\n[concurrency]\n"
+                          "task_callbacks = [\"ParallelFor\"]\ntask_entries = []\n"
+                          "mutation_allow = [\"ObsDelta::*\"]\n",
+                          &config, &error))
+      << error;
+  EXPECT_EQ(config.status_paths, std::vector<std::string>{"src/migration"});
+  EXPECT_EQ(config.fallible_verbs, std::vector<std::string>{"Try"});
+  EXPECT_EQ(config.task_callbacks, std::vector<std::string>{"ParallelFor"});
+  EXPECT_TRUE(config.task_entries.empty());
+  EXPECT_EQ(config.mutation_allow, std::vector<std::string>{"ObsDelta::*"});
+}
+
 TEST(CompileCommandsTest, ExtractsFileEntries) {
   std::vector<std::string> files = ParseCompileCommands(
       "[{\"directory\": \"/b\", \"command\": \"g++ -c a.cc\", \"file\": \"/r/a.cc\"},\n"
       " {\"file\": \"/r/b.cc\", \"output\": \"b.o\"}]\n");
   EXPECT_EQ(files, (std::vector<std::string>{"/r/a.cc", "/r/b.cc"}));
+}
+
+TEST(CompileCommandsTest, ExtractsIncludeDirs) {
+  CompileDb db = ParseCompileDb(
+      "[{\"directory\": \"/b\", \"command\": \"g++ -I/r/include -isystem /r/sys -I /r/alt "
+      "-c a.cc\", \"file\": \"/r/a.cc\"}]\n");
+  EXPECT_EQ(db.files, std::vector<std::string>{"/r/a.cc"});
+  EXPECT_EQ(db.include_dirs, (std::vector<std::string>{"/r/include", "/r/sys", "/r/alt"}));
+}
+
+// ------------------------------------------------------------ known checks
+
+TEST(KnownChecksTest, CoversEveryCheckAndPassName) {
+  // mtm_lint's unknown-suppression check hardcodes this list; its
+  // suppression-targets sync check parses passes.cc to keep them aligned.
+  for (const char* check :
+       {"unused-include", "transitive-include", "include-cycle", "dead-system-include",
+        "layering", "unordered-iteration", "wall-clock", "raw-random", "discarded-status",
+        "raw-error-return", "unchecked-result-unwrap", "task-member-write", "task-static-write",
+        "include-graph", "determinism", "error-discipline", "concurrency", "suppression"}) {
+    EXPECT_EQ(KnownChecks().count(check), 1u) << check;
+  }
+  EXPECT_EQ(KnownChecks().size(), 18u);
 }
 
 }  // namespace

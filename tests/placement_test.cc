@@ -42,7 +42,7 @@ TEST_F(PlacementTest, FirstTouchSpillsWhenFull) {
   auto handler = MakeHandler(PlacementPolicy::kFirstTouch);
   // Fill local DRAM completely.
   ComponentId t1 = machine_.TierOrder(0)[0];
-  ASSERT_TRUE(frames_.Reserve(t1, frames_.free_bytes(t1)));
+  ASSERT_TRUE(frames_.Reserve(t1, frames_.free_bytes(t1)).ok());
   VirtAddr addr = address_space_.vma(vma).start;
   EXPECT_EQ(handler.HandlePageFault(addr, 0, false), machine_.TierOrder(0)[1]);
 }
@@ -62,7 +62,7 @@ TEST_F(PlacementTest, SlowTierFirstFallsBackToDram) {
   auto handler = MakeHandler(PlacementPolicy::kSlowTierFirst);
   for (ComponentId c{0}; c < machine_.end_component(); ++c) {
     if (machine_.component(c).mem_class == MemClass::kPm) {
-      ASSERT_TRUE(frames_.Reserve(c, frames_.free_bytes(c)));
+      ASSERT_TRUE(frames_.Reserve(c, frames_.free_bytes(c)).ok());
     }
   }
   VirtAddr addr = address_space_.vma(vma).start;
@@ -97,7 +97,7 @@ TEST_F(PlacementTest, HugeFallsBackToBasePageUnderPressure) {
   // Leave less than one huge page free everywhere.
   for (ComponentId c{0}; c < machine_.end_component(); ++c) {
     Bytes keep = c == machine_.TierOrder(0)[0] ? 3 * kPageBytes : Bytes{};
-    ASSERT_TRUE(frames_.Reserve(c, frames_.free_bytes(c) - keep));
+    ASSERT_TRUE(frames_.Reserve(c, frames_.free_bytes(c) - keep).ok());
   }
   VirtAddr addr = address_space_.vma(vma).start;
   ComponentId placed = handler.HandlePageFault(addr, 0, false);
@@ -133,8 +133,8 @@ TEST(FrameAllocatorTest, ReserveRelease) {
   FrameAllocator frames(machine);
   ComponentId c{0};
   Bytes cap = frames.capacity(c);
-  EXPECT_TRUE(frames.Reserve(c, cap));
-  EXPECT_FALSE(frames.Reserve(c, Bytes(1)));
+  EXPECT_TRUE(frames.Reserve(c, cap).ok());
+  EXPECT_FALSE(frames.Reserve(c, Bytes(1)).ok());
   EXPECT_EQ(frames.free_bytes(c), Bytes{});
   frames.Release(c, cap / 2);
   EXPECT_EQ(frames.free_bytes(c), cap / 2);

@@ -35,7 +35,7 @@ class PolicyTest : public ::testing::Test {
     u32 vma = address_space_.Allocate(bytes, false, "r");
     VirtAddr start = address_space_.vma(vma).start;
     EXPECT_TRUE(page_table_.MapRange(start, address_space_.vma(vma).len, component, false).ok());
-    EXPECT_TRUE(frames_.Reserve(component, address_space_.vma(vma).len));
+    EXPECT_TRUE(frames_.Reserve(component, address_space_.vma(vma).len).ok());
     HotnessEntry e;
     e.start = start;
     e.len = bytes;
@@ -145,7 +145,7 @@ TEST_F(PolicyTest, MtmPartialPromotionTargetsSlowSlice) {
     pte.component = t1_;
   });
   frames_.Release(t3_, MiB(2));
-  ASSERT_TRUE(frames_.Reserve(t1_, MiB(2)));
+  ASSERT_TRUE(frames_.Reserve(t1_, MiB(2)).ok());
   MtmPolicy policy({.promote_batch_bytes = MiB(2)});
   std::vector<MigrationOrder> orders = policy.Decide(Wrap({hot}), ctx_);
   ASSERT_EQ(orders.size(), 1u);

@@ -2,8 +2,6 @@
 // AutoTiering, HeMem.
 #include <gtest/gtest.h>
 
-#include <memory>
-
 #include "src/common/types.h"
 #include "src/common/units.h"
 #include "src/mem/address_space.h"

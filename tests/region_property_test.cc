@@ -8,7 +8,6 @@
 
 #include <memory>
 #include <set>
-#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/types.h"

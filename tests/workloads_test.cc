@@ -2,7 +2,6 @@
 #include <gtest/gtest.h>
 
 #include <map>
-#include <memory>
 
 #include "src/common/types.h"
 #include "src/common/units.h"

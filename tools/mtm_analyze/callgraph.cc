@@ -1,0 +1,198 @@
+// Shared-state concurrency pass: walks the intra-project call graph from
+// sharded task entries and flags mutation of cross-task state.
+//
+// Seeds (tools/mtm_analyze/concurrency.toml):
+//   * lambdas passed directly to a [concurrency] task_callbacks call
+//     (ThreadPool::ParallelFor, ForEachRegionSharded, ...),
+//   * named local lambdas passed to such a call by identifier,
+//   * functions listed explicitly in task_entries.
+//
+// From each seed the pass walks CallSites: a callee resolves to a same-file
+// definition first, else to a globally-unique definition by name; ambiguous
+// or external names are skipped (documented false-negative envelope,
+// DESIGN.md §12). Functions matching mutation_allow ("Class::Method",
+// "Class::*", or a bare name) are sanctioned merge points: their writes are
+// not examined and their callees are not traversed.
+//
+// Inside reachable functions three mutation shapes are findings:
+//   task-member-write   bare/this-> writes or mutating calls on foo_ members
+//   task-static-write   writes to namespace-scope mutable variables, and
+//                       declarations of mutable function-local statics
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/mtm_analyze/mtm_analyze.h"
+
+namespace mtm::analyze {
+namespace {
+
+struct FnRef {
+  const SourceFile* file = nullptr;
+  const FunctionInfo* fn = nullptr;
+};
+
+bool MatchesAllow(const FunctionInfo& fn, const std::vector<std::string>& allow) {
+  for (const std::string& entry : allow) {
+    if (entry == fn.qualified || entry == fn.name) {
+      return true;
+    }
+    if (entry.size() > 3 && entry.compare(entry.size() - 3, 3, "::*") == 0) {
+      const std::string prefix = entry.substr(0, entry.size() - 2);  // "Class::"
+      if (fn.qualified.compare(0, prefix.size(), prefix) == 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  for (const std::string& e : v) {
+    if (e == s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Call-site names that mirror the STL container interface are never
+// resolved: `res.armed.push_back(x)` on a std::vector would otherwise
+// resolve to whichever project class happens to define the only push_back
+// (e.g. IdMap) and import its writes. Mutation through such calls is still
+// caught at the call site itself when the receiver is a member or global.
+bool IsStlLikeName(const std::string& name) {
+  static const std::set<std::string> kStlLike = {
+      "push_back", "emplace_back", "pop_back", "push_front", "pop_front", "insert", "emplace",
+      "erase",     "clear",        "resize",   "assign",     "push",      "pop",    "reset",
+      "store",     "fetch_add",    "fetch_sub", "exchange",  "swap",      "begin",  "end",
+      "size",      "empty",        "front",    "back",       "at",        "find",   "count"};
+  return kStlLike.count(name) > 0;
+}
+
+}  // namespace
+
+std::vector<Finding> RunConcurrencyPass(const Project& project, const Config& config) {
+  std::vector<Finding> findings;
+  if (config.task_callbacks.empty() && config.task_entries.empty()) {
+    return findings;
+  }
+
+  // Indexes: definitions by unqualified name, globally and per file.
+  std::map<std::string, std::vector<FnRef>> by_name;
+  std::map<const SourceFile*, std::map<std::string, std::vector<FnRef>>> by_file;
+  std::set<std::string> mutable_globals;
+  for (const auto& [path, file] : project.files()) {
+    for (const FunctionInfo& fn : file.functions) {
+      if (!fn.has_body) {
+        continue;
+      }
+      FnRef ref{&file, &fn};
+      by_name[fn.name].push_back(ref);
+      by_file[&file][fn.name].push_back(ref);
+    }
+    mutable_globals.insert(file.mutable_globals.begin(), file.mutable_globals.end());
+  }
+
+  // Seed collection.
+  std::deque<FnRef> queue;
+  std::set<const FunctionInfo*> visited;
+  auto enqueue = [&](const FnRef& ref) {
+    if (visited.insert(ref.fn).second) {
+      queue.push_back(ref);
+    }
+  };
+  for (const auto& [path, file] : project.files()) {
+    for (const FunctionInfo& fn : file.functions) {
+      if (!fn.has_body) {
+        continue;
+      }
+      if (fn.is_lambda && Contains(config.task_callbacks, fn.callback_of)) {
+        enqueue({&file, &fn});
+      }
+      if (Contains(config.task_entries, fn.qualified) ||
+          Contains(config.task_entries, fn.name)) {
+        enqueue({&file, &fn});
+      }
+      // Named local lambdas passed by identifier: ParallelFor(n, scan_shard).
+      for (const CallSite& call : fn.calls) {
+        if (!Contains(config.task_callbacks, call.name)) {
+          continue;
+        }
+        for (const std::string& arg : call.arg_idents) {
+          for (const FunctionInfo& cand : file.functions) {
+            if (cand.is_lambda && cand.has_body && cand.name == arg) {
+              enqueue({&file, &cand});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // BFS over the call graph.
+  while (!queue.empty()) {
+    FnRef ref = queue.front();
+    queue.pop_front();
+    const FunctionInfo& fn = *ref.fn;
+
+    if (MatchesAllow(fn, config.mutation_allow)) {
+      continue;  // sanctioned merge point: writes and callees are off-limits
+    }
+
+    for (const WriteSite& write : fn.writes) {
+      switch (write.kind) {
+        case WriteSite::Kind::kMember:
+          findings.push_back(
+              {"task-member-write", ref.file->path, write.line,
+               "'" + fn.qualified + "' runs on pool workers but mutates member '" + write.name +
+                   "' outside the slot-merge/ObsDelta discipline; buffer into a per-shard "
+                   "delta or allowlist the merge point in concurrency.toml",
+               write.name});
+          break;
+        case WriteSite::Kind::kPlain:
+          if (mutable_globals.count(write.name) > 0) {
+            findings.push_back(
+                {"task-static-write", ref.file->path, write.line,
+                 "'" + fn.qualified + "' runs on pool workers but writes namespace-scope "
+                 "mutable '" + write.name + "'; shard the state or allowlist the merge point",
+                 write.name});
+          }
+          break;
+        case WriteSite::Kind::kStaticLocalDecl:
+          findings.push_back(
+              {"task-static-write", ref.file->path, write.line,
+               "'" + fn.qualified + "' runs on pool workers but declares mutable static "
+               "local '" + write.name + "'; statics are shared across shards",
+               write.name});
+          break;
+      }
+    }
+
+    for (const CallSite& call : fn.calls) {
+      if (IsStlLikeName(call.name)) {
+        continue;
+      }
+      auto file_it = by_file.find(ref.file);
+      if (file_it != by_file.end()) {
+        auto it = file_it->second.find(call.name);
+        if (it != file_it->second.end()) {
+          for (const FnRef& cand : it->second) {
+            enqueue(cand);
+          }
+          continue;  // same-file definitions shadow global resolution
+        }
+      }
+      auto global_it = by_name.find(call.name);
+      if (global_it != by_name.end() && global_it->second.size() == 1) {
+        enqueue(global_it->second.front());
+      }
+      // Ambiguous (overloaded across files) or external names are skipped.
+    }
+  }
+  return findings;
+}
+
+}  // namespace mtm::analyze

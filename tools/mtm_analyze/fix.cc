@@ -1,0 +1,277 @@
+// Autofix engine for machine-applicable include-graph findings.
+//
+// Three rewrites, all line-based splices on the raw file text:
+//   * unused-include / dead-system-include  -> delete the include line
+//   * transitive-include                    -> insert a direct include of the
+//     owning header, alphabetically within the quoted-include block
+//   * include-order (mtm_lint's rule: own header, <system>, "project") ->
+//     permute the include lines in place, but only when the file actually
+//     violates the rule, so a clean tree is a fixed point.
+//
+// Files with preprocessor conditionals between their first and last include
+// are left alone for insertion/reorder (the fix cannot know which branch an
+// include belongs to); deletions still apply since they target the exact
+// line the analysis flagged.
+//
+// ComputeFixedContents is idempotent by construction: running the analysis
+// on its output produces no machine-fixable findings, so a second call
+// returns an empty map (covered by tests).
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/mtm_analyze/mtm_analyze.h"
+
+namespace mtm::analyze {
+namespace {
+
+struct IncludeLine {
+  std::size_t index = 0;  // 0-based into the line vector
+  bool angle = false;
+  std::string target;
+};
+
+std::string Trimmed(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) {
+    return "";
+  }
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// Parses `#include <x>` / `#include "x"`; returns false otherwise.
+bool ParseIncludeLine(const std::string& line, bool* angle, std::string* target) {
+  std::string t = Trimmed(line);
+  if (t.empty() || t[0] != '#') {
+    return false;
+  }
+  t = Trimmed(t.substr(1));
+  const std::string kWord = "include";
+  if (t.compare(0, kWord.size(), kWord) != 0) {
+    return false;
+  }
+  t = Trimmed(t.substr(kWord.size()));
+  if (t.size() < 2) {
+    return false;
+  }
+  char open = t[0];
+  char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+  if (close == '\0') {
+    return false;
+  }
+  std::size_t end = t.find(close, 1);
+  if (end == std::string::npos) {
+    return false;
+  }
+  *angle = open == '<';
+  *target = t.substr(1, end - 1);
+  return true;
+}
+
+bool IsConditionalDirective(const std::string& line) {
+  std::string t = Trimmed(line);
+  if (t.empty() || t[0] != '#') {
+    return false;
+  }
+  t = Trimmed(t.substr(1));
+  for (const char* d : {"if", "ifdef", "ifndef", "elif", "else", "endif"}) {
+    std::string word = d;
+    if (t.compare(0, word.size(), word) == 0 &&
+        (t.size() == word.size() || std::isalnum(static_cast<unsigned char>(t[word.size()])) == 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<IncludeLine> CollectIncludes(const std::vector<std::string>& lines) {
+  std::vector<IncludeLine> includes;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    bool angle = false;
+    std::string target;
+    if (ParseIncludeLine(lines[i], &angle, &target)) {
+      includes.push_back({i, angle, target});
+    }
+  }
+  return includes;
+}
+
+bool HasConditionalInsideIncludeSpan(const std::vector<std::string>& lines,
+                                     const std::vector<IncludeLine>& includes) {
+  if (includes.empty()) {
+    return false;
+  }
+  for (std::size_t i = includes.front().index; i <= includes.back().index; ++i) {
+    if (IsConditionalDirective(lines[i])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// True when includes[0] is the file's own header (".cc"/".cpp" path only).
+bool FirstIsOwnHeader(const std::string& path, const std::vector<IncludeLine>& includes) {
+  if (includes.empty() || includes.front().angle) {
+    return false;
+  }
+  std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || path.compare(dot, std::string::npos, ".h") == 0) {
+    return false;
+  }
+  std::string own = path.substr(0, dot) + ".h";
+  std::size_t slash = own.find_last_of('/');
+  std::string base = slash == std::string::npos ? own : own.substr(slash + 1);
+  const std::string& t = includes.front().target;
+  return t == base || (t.size() > base.size() + 1 &&
+                       t.compare(t.size() - base.size() - 1, base.size() + 1, "/" + base) == 0);
+}
+
+// mtm_lint include-order violation: an angle include after a quoted one,
+// ignoring a leading own-header include.
+bool ViolatesIncludeOrder(const std::string& path, const std::vector<IncludeLine>& includes) {
+  std::size_t start = FirstIsOwnHeader(path, includes) ? 1 : 0;
+  bool seen_quoted = false;
+  for (std::size_t i = start; i < includes.size(); ++i) {
+    if (!includes[i].angle) {
+      seen_quoted = true;
+    } else if (seen_quoted) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> ComputeFixedContents(const Project& project,
+                                                        const std::vector<Finding>& findings) {
+  // Per file: include lines to delete (1-based) and headers to add.
+  std::map<std::string, std::set<int>> deletions;
+  std::map<std::string, std::set<std::string>> insertions;
+  for (const Finding& finding : findings) {
+    if (finding.subject.empty()) {
+      continue;
+    }
+    if (finding.check == "unused-include" || finding.check == "dead-system-include") {
+      deletions[finding.file].insert(finding.line);
+    } else if (finding.check == "transitive-include") {
+      insertions[finding.file].insert(finding.subject);
+    }
+  }
+
+  std::map<std::string, std::string> fixed;
+  for (const auto& [path, file] : project.files()) {
+    auto del_it = deletions.find(path);
+    auto ins_it = insertions.find(path);
+    std::vector<IncludeLine> original_includes = CollectIncludes(file.raw);
+    bool needs_reorder = ViolatesIncludeOrder(path, original_includes);
+    if (del_it == deletions.end() && ins_it == insertions.end() && !needs_reorder) {
+      continue;
+    }
+
+    std::vector<std::string> lines = file.raw;
+
+    // 1. Deletions: drop the flagged include lines, verifying each still
+    // parses as an include (stale line numbers must not eat code). When a
+    // deletion removes a whole include group, collapse the blank line it
+    // leaves behind — clang-format (MaxEmptyLinesToKeep: 1) would reject a
+    // double blank.
+    if (del_it != deletions.end()) {
+      std::vector<std::string> kept;
+      kept.reserve(lines.size());
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        bool angle = false;
+        std::string target;
+        if (del_it->second.count(static_cast<int>(i + 1)) > 0 &&
+            ParseIncludeLine(lines[i], &angle, &target)) {
+          if (!kept.empty() && Trimmed(kept.back()).empty() && i + 1 < lines.size() &&
+              Trimmed(lines[i + 1]).empty()) {
+            kept.pop_back();
+          }
+          continue;
+        }
+        kept.push_back(lines[i]);
+      }
+      lines = std::move(kept);
+    }
+
+    std::vector<IncludeLine> includes = CollectIncludes(lines);
+    bool guarded = HasConditionalInsideIncludeSpan(lines, includes);
+
+    // 2. Reorder on violation: permute the include-line *contents* across
+    // the existing include-line slots — own header stays first, then angle
+    // includes, then quoted, each group keeping its original relative order.
+    if (!guarded && ViolatesIncludeOrder(path, includes)) {
+      std::size_t start = FirstIsOwnHeader(path, includes) ? 1 : 0;
+      std::vector<std::string> angle_lines;
+      std::vector<std::string> quoted_lines;
+      for (std::size_t i = start; i < includes.size(); ++i) {
+        (includes[i].angle ? angle_lines : quoted_lines).push_back(lines[includes[i].index]);
+      }
+      std::size_t slot = start;
+      for (const std::string& text : angle_lines) {
+        lines[includes[slot++].index] = text;
+      }
+      for (const std::string& text : quoted_lines) {
+        lines[includes[slot++].index] = text;
+      }
+      includes = CollectIncludes(lines);
+    }
+
+    // 3. Insertions: add a direct quoted include, alphabetically within the
+    // quoted block (after own header / angle includes when the block is
+    // empty). Skipped for conditional-guarded spans.
+    if (!guarded && ins_it != insertions.end()) {
+      for (const std::string& header : ins_it->second) {
+        includes = CollectIncludes(lines);
+        bool already = false;
+        for (const IncludeLine& inc : includes) {
+          if (!inc.angle && inc.target == header) {
+            already = true;
+            break;
+          }
+        }
+        if (already || includes.empty()) {
+          continue;
+        }
+        std::size_t start = FirstIsOwnHeader(path, includes) ? 1 : 0;
+        // Insert before the first quoted include whose target sorts after
+        // `header`; otherwise after the last include line.
+        std::size_t insert_at = includes.back().index + 1;
+        for (std::size_t i = start; i < includes.size(); ++i) {
+          if (!includes[i].angle && header < includes[i].target) {
+            insert_at = includes[i].index;
+            break;
+          }
+        }
+        lines.insert(lines.begin() + static_cast<long>(insert_at),
+                     "#include \"" + header + "\"");
+      }
+    }
+
+    std::string original;
+    for (std::size_t i = 0; i < file.raw.size(); ++i) {
+      original += file.raw[i];
+      if (i + 1 < file.raw.size()) {
+        original += '\n';
+      }
+    }
+    std::string updated;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      updated += lines[i];
+      if (i + 1 < lines.size()) {
+        updated += '\n';
+      }
+    }
+    if (updated != original) {
+      fixed[path] = updated;
+    }
+  }
+  return fixed;
+}
+
+}  // namespace mtm::analyze

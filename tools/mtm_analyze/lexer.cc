@@ -93,4 +93,65 @@ bool ContainsWord(const std::string& line, const std::string& word) {
   return false;
 }
 
+namespace {
+
+bool TokIsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool TokIsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string TokTrim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) {
+    return "";
+  }
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::vector<Token> TokenizeCode(const std::vector<std::string>& code) {
+  std::vector<Token> tokens;
+  bool in_directive = false;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& line = code[li];
+    bool continued = !line.empty() && line.back() == '\\';
+    if (in_directive) {
+      in_directive = continued;
+      continue;
+    }
+    std::string trimmed = TokTrim(line);
+    if (!trimmed.empty() && trimmed[0] == '#') {
+      in_directive = continued;
+      continue;
+    }
+    std::size_t i = 0;
+    while (i < line.size()) {
+      char c = line[i];
+      if (TokIsIdentStart(c)) {
+        std::size_t j = i;
+        while (j < line.size() && TokIsIdentChar(line[j])) {
+          ++j;
+        }
+        tokens.push_back({line.substr(i, j - i), static_cast<int>(li + 1)});
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        while (i < line.size() && (TokIsIdentChar(line[i]) || line[i] == '\'')) {
+          ++i;
+        }
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+      } else {
+        tokens.push_back({std::string(1, c), static_cast<int>(li + 1)});
+        ++i;
+      }
+    }
+  }
+  return tokens;
+}
+
 }  // namespace mtm::analyze

@@ -3,15 +3,23 @@
 //
 // Usage:
 //   mtm_analyze --root DIR [--compdb build/compile_commands.json]
-//               [--config tools/mtm_analyze/layers.toml] [--json PATH]
-//               [extra-root-relative-files...]
+//               [--config tools/mtm_analyze/layers.toml]
+//               [--concurrency tools/mtm_analyze/concurrency.toml]
+//               [--json PATH] [--check-system-includes]
+//               [--fix [--check]] [extra-root-relative-files...]
 //
 // Seeds the project from the compilation database (plus any positional
 // files), closes over project includes, runs all passes, and prints
 // findings in mtm_lint format. Exit status 0 iff the tree is clean.
+//
+// --fix rewrites machine-applicable include-graph findings in place and
+// exits 0 when edits were applied cleanly; --fix --check writes nothing and
+// exits 1 iff the autofixer would change any file (CI uses this to prove
+// the tree is fix-clean).
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,13 +47,33 @@ std::string ArgValue(const std::string& arg, const std::string& name) {
   return "";
 }
 
+// Merges a TOML config file into `config`; returns false after printing a
+// diagnostic on failure.
+bool LoadConfigFile(const std::string& path, mtm::analyze::Config* config) {
+  std::string text;
+  std::string error;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "mtm_analyze: cannot read %s\n", path.c_str());
+    return false;
+  }
+  if (!mtm::analyze::ParseConfig(text, config, &error)) {
+    std::fprintf(stderr, "mtm_analyze: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string compdb;
   std::string config_path;
+  std::string concurrency_path;
   std::string json_path;
+  bool fix = false;
+  bool check = false;
+  bool check_system_includes = false;
   std::vector<std::string> seeds;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -56,11 +84,20 @@ int main(int argc, char** argv) {
       compdb = value;
     } else if (!(value = ArgValue(arg, "config")).empty()) {
       config_path = value;
+    } else if (!(value = ArgValue(arg, "concurrency")).empty()) {
+      concurrency_path = value;
     } else if (!(value = ArgValue(arg, "json")).empty()) {
       json_path = value;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--check-system-includes") {
+      check_system_includes = true;
     } else if (arg == "--help") {
       std::printf("usage: mtm_analyze --root=DIR [--compdb=PATH] [--config=PATH] "
-                  "[--json=PATH] [files...]\n");
+                  "[--concurrency=PATH] [--json=PATH] [--check-system-includes] "
+                  "[--fix [--check]] [files...]\n");
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "mtm_analyze: unknown flag %s\n", arg.c_str());
@@ -68,6 +105,10 @@ int main(int argc, char** argv) {
     } else {
       seeds.push_back(arg);
     }
+  }
+  if (check && !fix) {
+    std::fprintf(stderr, "mtm_analyze: --check requires --fix\n");
+    return 2;
   }
   while (!root.empty() && root.back() == '/') {
     root.pop_back();
@@ -82,13 +123,15 @@ int main(int argc, char** argv) {
   }
   root = abs_root;
 
+  std::vector<std::string> include_dirs;
   if (!compdb.empty()) {
     std::string text;
     if (!ReadFile(compdb, &text)) {
       std::fprintf(stderr, "mtm_analyze: cannot read %s\n", compdb.c_str());
       return 2;
     }
-    for (std::string file : mtm::analyze::ParseCompileCommands(text)) {
+    mtm::analyze::CompileDb db = mtm::analyze::ParseCompileDb(text);
+    for (std::string file : db.files) {
       // Database entries are usually absolute; make them root-relative and
       // drop anything outside the tree (system or generated sources).
       if (file.rfind(root + "/", 0) == 0) {
@@ -97,6 +140,16 @@ int main(int argc, char** argv) {
         continue;
       }
       seeds.push_back(file);
+    }
+    // -I/-isystem directories inside the tree resolve angle includes into
+    // project files; external directories are dropped (their headers stay
+    // opaque system includes).
+    for (std::string dir : db.include_dirs) {
+      if (dir == root) {
+        include_dirs.push_back("");
+      } else if (dir.rfind(root + "/", 0) == 0) {
+        include_dirs.push_back(dir.substr(root.size() + 1));
+      }
     }
   }
   if (seeds.empty()) {
@@ -111,21 +164,45 @@ int main(int argc, char** argv) {
       config_path = root + "/tools/mtm_analyze/layers.toml";
     }
   }
-  if (!config_path.empty()) {
-    std::string text;
-    std::string error;
-    if (!ReadFile(config_path, &text)) {
-      std::fprintf(stderr, "mtm_analyze: cannot read %s\n", config_path.c_str());
-      return 2;
-    }
-    if (!mtm::analyze::ParseConfig(text, &config, &error)) {
-      std::fprintf(stderr, "mtm_analyze: %s\n", error.c_str());
-      return 2;
+  if (concurrency_path.empty()) {
+    std::ifstream probe(root + "/tools/mtm_analyze/concurrency.toml");
+    if (probe) {
+      concurrency_path = root + "/tools/mtm_analyze/concurrency.toml";
     }
   }
+  if (!config_path.empty() && !LoadConfigFile(config_path, &config)) {
+    return 2;
+  }
+  if (!concurrency_path.empty() && !LoadConfigFile(concurrency_path, &config)) {
+    return 2;
+  }
+  config.check_system_includes = check_system_includes;
 
-  mtm::analyze::Project project = mtm::analyze::Project::Load(root, seeds);
+  mtm::analyze::Project project = mtm::analyze::Project::Load(root, seeds, include_dirs);
   std::vector<mtm::analyze::Finding> findings = mtm::analyze::Analyze(project, config);
+
+  if (fix) {
+    std::map<std::string, std::string> fixed =
+        mtm::analyze::ComputeFixedContents(project, findings);
+    if (check) {
+      for (const auto& [path, unused] : fixed) {
+        std::printf("%s: would be rewritten by --fix\n", path.c_str());
+      }
+      std::printf("mtm_analyze: --fix --check: %zu file(s) would change\n", fixed.size());
+      return fixed.empty() ? 0 : 1;
+    }
+    for (const auto& [path, contents] : fixed) {
+      std::ofstream out(root + "/" + path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "mtm_analyze: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      out << contents;
+      std::printf("%s: fixed\n", path.c_str());
+    }
+    std::printf("mtm_analyze: --fix: %zu file(s) rewritten\n", fixed.size());
+    return 0;
+  }
 
   std::fputs(mtm::analyze::FormatText(findings).c_str(), stdout);
   if (!json_path.empty()) {

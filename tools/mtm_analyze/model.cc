@@ -1,6 +1,7 @@
 #include <cctype>
 #include <deque>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -70,54 +71,6 @@ bool ReadFile(const std::string& path, std::string* out) {
   ss << in.rdbuf();
   *out = ss.str();
   return true;
-}
-
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
-// Tokenizes stripped code into identifiers and single punctuation
-// characters; preprocessor directive lines are omitted (handled
-// separately), honoring backslash continuations.
-std::vector<Token> Tokenize(const std::vector<std::string>& code) {
-  std::vector<Token> tokens;
-  bool in_directive = false;
-  for (std::size_t li = 0; li < code.size(); ++li) {
-    const std::string& line = code[li];
-    bool continued = !line.empty() && line.back() == '\\';
-    if (in_directive) {
-      in_directive = continued;
-      continue;
-    }
-    std::string trimmed = Trim(line);
-    if (!trimmed.empty() && trimmed[0] == '#') {
-      in_directive = continued;
-      continue;
-    }
-    std::size_t i = 0;
-    while (i < line.size()) {
-      char c = line[i];
-      if (IsIdentStart(c)) {
-        std::size_t j = i;
-        while (j < line.size() && IsIdentChar(line[j])) {
-          ++j;
-        }
-        tokens.push_back({line.substr(i, j - i), static_cast<int>(li + 1)});
-        i = j;
-      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-        while (i < line.size() && (IsIdentChar(line[i]) || line[i] == '\'')) {
-          ++i;
-        }
-      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-        ++i;
-      } else {
-        tokens.push_back({std::string(1, c), static_cast<int>(li + 1)});
-        ++i;
-      }
-    }
-  }
-  return tokens;
 }
 
 const std::set<std::string>& ExportBlocklist() {
@@ -283,7 +236,9 @@ void ParseFile(const std::string& rel, const std::string& contents, SourceFile* 
   file->code = SplitLines(stripped);
 
   // Includes come from raw lines (string contents are blanked in the
-  // stripped view). Only quoted includes are project candidates.
+  // stripped view). Quoted includes are project candidates; angle-bracket
+  // includes are kept so they can be resolved against the database's
+  // include directories and classified by the system-include check.
   for (std::size_t i = 0; i < file->raw.size(); ++i) {
     std::string line = Trim(file->raw[i]);
     if (line.rfind("#", 0) != 0) {
@@ -294,12 +249,14 @@ void ParseFile(const std::string& rel, const std::string& contents, SourceFile* 
       continue;
     }
     std::string spec = Trim(after.substr(7));
-    if (spec.size() >= 2 && spec[0] == '"') {
-      std::size_t close = spec.find('"', 1);
+    if (spec.size() >= 2 && (spec[0] == '"' || spec[0] == '<')) {
+      char close_ch = spec[0] == '"' ? '"' : '>';
+      std::size_t close = spec.find(close_ch, 1);
       if (close != std::string::npos) {
         IncludeEdge edge;
         edge.target = spec.substr(1, close - 1);
         edge.line = static_cast<int>(i + 1);
+        edge.angle = spec[0] == '<';
         file->includes.push_back(edge);
       }
     }
@@ -345,12 +302,14 @@ void ParseFile(const std::string& rel, const std::string& contents, SourceFile* 
     }
   }
 
-  ExtractDeclarations(Tokenize(file->code), &file->exported, &file->attributable);
+  ExtractDeclarations(TokenizeCode(file->code), &file->exported, &file->attributable);
+  BuildFunctionModel(file);
 }
 
 }  // namespace
 
-Project Project::Load(const std::string& root, const std::vector<std::string>& seeds) {
+Project Project::Load(const std::string& root, const std::vector<std::string>& seeds,
+                      const std::vector<std::string>& include_dirs) {
   Project project;
   std::deque<std::string> queue(seeds.begin(), seeds.end());
   while (!queue.empty()) {
@@ -366,12 +325,20 @@ Project Project::Load(const std::string& root, const std::vector<std::string>& s
     SourceFile file;
     ParseFile(rel, contents, &file);
     for (IncludeEdge& edge : file.includes) {
-      // Project includes are root-relative by convention; fall back to
-      // includer-relative for trees that use local includes.
-      std::string candidate = NormalizePath(edge.target);
-      std::string local = NormalizePath(DirName(rel) + "/" + edge.target);
+      // Quoted project includes are root-relative by convention, with an
+      // includer-relative fallback for trees that use local includes.
+      // Angle includes resolve only through the database's include dirs:
+      // a <...> include that lands inside the tree is a project include.
+      std::vector<std::string> candidates;
+      if (!edge.angle) {
+        candidates.push_back(NormalizePath(edge.target));
+        candidates.push_back(NormalizePath(DirName(rel) + "/" + edge.target));
+      }
+      for (const std::string& dir : include_dirs) {
+        candidates.push_back(NormalizePath(dir.empty() ? edge.target : dir + "/" + edge.target));
+      }
       std::string probe;
-      for (const std::string& c : {candidate, local}) {
+      for (const std::string& c : candidates) {
         std::ifstream in(root + "/" + c);
         if (in) {
           probe = c;
@@ -470,6 +437,26 @@ bool ParseConfig(const std::string& text, Config* config, std::string* error) {
         *error = "layers.toml:" + std::to_string(line_no) + ": unknown determinism key " + key;
         return false;
       }
+    } else if (section == "error_discipline") {
+      if (key == "status_paths") {
+        config->status_paths = items;
+      } else if (key == "fallible_verbs") {
+        config->fallible_verbs = items;
+      } else {
+        *error = "config:" + std::to_string(line_no) + ": unknown error_discipline key " + key;
+        return false;
+      }
+    } else if (section == "concurrency") {
+      if (key == "task_callbacks") {
+        config->task_callbacks = items;
+      } else if (key == "task_entries") {
+        config->task_entries = items;
+      } else if (key == "mutation_allow") {
+        config->mutation_allow = items;
+      } else {
+        *error = "config:" + std::to_string(line_no) + ": unknown concurrency key " + key;
+        return false;
+      }
     } else {
       *error = "layers.toml:" + std::to_string(line_no) + ": unknown section [" + section + "]";
       return false;
@@ -478,11 +465,15 @@ bool ParseConfig(const std::string& text, Config* config, std::string* error) {
   return true;
 }
 
-std::vector<std::string> ParseCompileCommands(const std::string& text) {
-  std::vector<std::string> files;
+namespace {
+
+// Collects every JSON string value keyed `key` ("file", "command", ...).
+std::vector<std::string> JsonStringValues(const std::string& text, const std::string& key) {
+  std::vector<std::string> values;
+  const std::string needle = "\"" + key + "\"";
   std::size_t pos = 0;
-  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
-    pos += 6;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
     while (pos < text.size() &&
            (std::isspace(static_cast<unsigned char>(text[pos])) != 0 || text[pos] == ':')) {
       ++pos;
@@ -499,9 +490,50 @@ std::vector<std::string> ParseCompileCommands(const std::string& text) {
       value.push_back(text[pos]);
       ++pos;
     }
-    files.push_back(value);
+    values.push_back(value);
   }
-  return files;
+  return values;
+}
+
+}  // namespace
+
+std::vector<std::string> ParseCompileCommands(const std::string& text) {
+  return ParseCompileDb(text).files;
+}
+
+CompileDb ParseCompileDb(const std::string& text) {
+  CompileDb db;
+  db.files = JsonStringValues(text, "file");
+  std::set<std::string> seen;
+  for (const std::string& command : JsonStringValues(text, "command")) {
+    std::size_t i = 0;
+    while (i < command.size()) {
+      std::size_t end = command.find(' ', i);
+      if (end == std::string::npos) {
+        end = command.size();
+      }
+      std::string word = command.substr(i, end - i);
+      std::string dir;
+      if (word.rfind("-I", 0) == 0 && word.size() > 2) {
+        dir = word.substr(2);
+      } else if (word == "-I" || word == "-isystem") {
+        std::size_t next = command.find_first_not_of(' ', end);
+        if (next != std::string::npos) {
+          std::size_t next_end = command.find(' ', next);
+          dir = command.substr(next, (next_end == std::string::npos ? command.size() : next_end) -
+                                         next);
+          end = next_end == std::string::npos ? command.size() : next_end;
+        }
+      } else if (word.rfind("-isystem", 0) == 0 && word.size() > 8) {
+        dir = word.substr(8);
+      }
+      if (!dir.empty() && seen.insert(dir).second) {
+        db.include_dirs.push_back(dir);
+      }
+      i = end + 1;
+    }
+  }
+  return db;
 }
 
 }  // namespace mtm::analyze

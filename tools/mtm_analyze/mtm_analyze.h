@@ -2,23 +2,41 @@
 //
 // A deliberately small, dependency-free analyzer (no libclang): a lexer
 // that strips comments/strings, an include-graph builder seeded from
-// build/compile_commands.json, and three passes over the result:
+// build/compile_commands.json, a per-file function model (functions,
+// lambdas, call sites, write sites), and five passes over the result:
 //
-//   include-graph   unused direct project includes (IWYU-lite), reliance
-//                   on transitive includes for symbols a file uses, and
-//                   include cycles.
-//   layering        the module DAG declared in tools/mtm_analyze/layers.toml
-//                   is enforced: a module may only include modules listed
-//                   as its allowed dependencies.
-//   determinism     iteration over unordered containers whose loop body
-//                   reaches an output sink, wall-clock reads outside
-//                   sanctioned sites, and rand()/random_device outside the
-//                   project RNG.
+//   include-graph    unused direct project includes (IWYU-lite), reliance
+//                    on transitive includes for symbols a file uses,
+//                    include cycles, and (behind --check-system-includes)
+//                    dead angle-bracket system includes.
+//   layering         the module DAG declared in tools/mtm_analyze/layers.toml
+//                    is enforced: a module may only include modules listed
+//                    as its allowed dependencies.
+//   determinism      iteration over unordered containers whose loop body
+//                    reaches an output sink, wall-clock reads outside
+//                    sanctioned sites, and rand()/random_device outside the
+//                    project RNG.
+//   error-discipline fallible operations return Status/Result<T> and every
+//                    return is consumed: discarded whole-statement calls to
+//                    Status/Result-returning functions, raw bool/int error
+//                    codes on fallible paths, and Result unwraps not
+//                    dominated by an ok() check.
+//   concurrency      code reachable from sharded task entries (ThreadPool::
+//                    ParallelFor lambdas, ForEachRegionSharded callbacks —
+//                    declared in tools/mtm_analyze/concurrency.toml) may only
+//                    mutate state through the slot-merge/ObsDelta discipline:
+//                    member writes, namespace-scope-mutable writes, and
+//                    mutable static locals outside the allowlist are flagged.
 //
 // Findings can be suppressed inline with
 //   // mtm-analyze: allow(<check-or-pass>) <justification>
 // on the finding line or the line above; a suppression without a
 // justification is itself reported.
+//
+// --fix rewrites machine-applicable include-graph findings in place (delete
+// dead includes, promote transitive includes to direct, reorder include
+// blocks per the mtm_lint include-order rule); --fix --check verifies the
+// tree is already fix-clean without writing.
 //
 // The tool exits 0 when the tree is clean and 1 otherwise; --json writes a
 // machine-readable report in the same schema as tools/mtm_lint.
@@ -44,12 +62,78 @@ std::vector<std::string> SplitLines(const std::string& text);
 // True if `line` contains identifier `word` with word boundaries.
 bool ContainsWord(const std::string& line, const std::string& word);
 
+// A stripped-code token: an identifier or a single punctuation character.
+// Numeric literals and preprocessor directive lines are omitted.
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+// Tokenizes stripped code lines into Tokens.
+std::vector<Token> TokenizeCode(const std::vector<std::string>& code);
+
 // ------------------------------------------------------------------ model --
 
 struct IncludeEdge {
   std::string target;  // repo-relative path when resolved, raw text otherwise
   int line = 0;
   bool resolved = false;  // target exists inside the project root
+  bool angle = false;     // spelled <...> rather than "..."
+};
+
+// A function call site inside a function body.
+struct CallSite {
+  std::string name;  // unqualified callee name
+  int line = 0;
+  // Identifier tokens appearing anywhere inside the call's argument list;
+  // used to seed task entries from named lambdas passed by identifier.
+  std::vector<std::string> arg_idents;
+};
+
+// A mutation site inside a function body.
+struct WriteSite {
+  enum class Kind {
+    kMember,           // bare or this-> write/mutating call on a foo_ member
+    kPlain,            // write to an unqualified identifier (local or global)
+    kStaticLocalDecl,  // declaration of a mutable function-local static
+  };
+  std::string name;  // written lvalue root identifier
+  int line = 0;
+  Kind kind = Kind::kPlain;
+};
+
+// Status/Result flow events inside a function body, in source order. The
+// error-discipline pass replays them per variable.
+struct VarEvent {
+  enum class Kind {
+    kResultDecl,    // Result<...> var
+    kAutoCallDecl,  // auto var = Callee(...)
+    kOkCheck,       // var.ok()
+    kUnwrap,        // var.value() / *var / var-> (var empty: Callee(...).value())
+  };
+  Kind kind = Kind::kOkCheck;
+  std::string var;     // variable name; empty for chained temporary unwraps
+  std::string callee;  // for kAutoCallDecl and chained kUnwrap
+  int line = 0;
+};
+
+struct FunctionInfo {
+  std::string name;         // unqualified name ("Run", "scan_shard", "<lambda>")
+  std::string qualified;    // "Class::Run", "Outer::scan_shard", ...
+  int line = 0;             // declaration line
+  std::string return_type;  // specifier-stripped tokens, space-joined; empty for
+                            // constructors/destructors/lambdas
+  bool has_body = false;
+  bool is_lambda = false;
+  // For a lambda appearing directly in a call's argument list: the callee
+  // name of that call (e.g. "ParallelFor"); empty otherwise.
+  std::string callback_of;
+  std::vector<CallSite> calls;
+  std::vector<WriteSite> writes;
+  std::vector<VarEvent> var_events;
+  // Whole-statement call chains whose final return value is discarded
+  // (`Foo(x);`, `obj.Submit(o);`): the final callee of each.
+  std::vector<CallSite> discarded_calls;
 };
 
 struct SourceFile {
@@ -71,14 +155,28 @@ struct SourceFile {
   // methods are reached through an object whose type carries its own
   // attribution, so counting them would misattribute usage.
   std::set<std::string> attributable;
+
+  // Functions and lambdas defined or declared in this file, in source order
+  // (lambdas follow their enclosing function).
+  std::vector<FunctionInfo> functions;
+
+  // Namespace-scope variables declared here without const/constexpr.
+  std::set<std::string> mutable_globals;
 };
+
+// Builds `functions` and `mutable_globals` for a parsed file. Exposed for
+// unit tests; Project::Load calls it for every file.
+void BuildFunctionModel(SourceFile* file);
 
 // A set of source files closed under project-include resolution.
 class Project {
  public:
   // `root` is the absolute project root; `seeds` are root-relative paths.
-  // Files named by unresolvable includes are silently treated as external.
-  static Project Load(const std::string& root, const std::vector<std::string>& seeds);
+  // `include_dirs` are root-relative -I/-isystem directories used to resolve
+  // angle-bracket includes into the tree ("" means the root itself). Files
+  // named by unresolvable includes are silently treated as external.
+  static Project Load(const std::string& root, const std::vector<std::string>& seeds,
+                      const std::vector<std::string>& include_dirs = {});
 
   const std::map<std::string, SourceFile>& files() const { return files_; }
   const SourceFile* Find(const std::string& path) const;
@@ -99,14 +197,38 @@ struct Config {
   // Path prefixes where wall-clock reads / raw randomness are sanctioned.
   std::vector<std::string> wallclock_allow;
   std::vector<std::string> random_allow;
+
+  // [error_discipline] — path prefixes where bool/int-returning functions
+  // named with a fallible verb must return Status instead, and the verbs.
+  std::vector<std::string> status_paths;
+  std::vector<std::string> fallible_verbs;
+
+  // [concurrency] — functions whose callable arguments run on pool workers,
+  // explicitly-seeded task entry functions, and sanctioned mutation points
+  // ("Class::Method", "Class::*", or a bare name).
+  std::vector<std::string> task_callbacks;
+  std::vector<std::string> task_entries;
+  std::vector<std::string> mutation_allow;
+
+  // Enables the dead-system-include check (--check-system-includes).
+  bool check_system_includes = false;
 };
 
-// Parses the TOML subset used by layers.toml ([section], key = ["a", "b"]).
-// Returns false and fills `error` on malformed input.
+// Parses the TOML subset used by layers.toml / concurrency.toml
+// ([section], key = ["a", "b"]). Merges into `config` so multiple files can
+// feed one Config. Returns false and fills `error` on malformed input.
 bool ParseConfig(const std::string& text, Config* config, std::string* error);
 
 // Extracts the "file" entries of a compile_commands.json database.
 std::vector<std::string> ParseCompileCommands(const std::string& text);
+
+// "file" entries plus every -I / -isystem directory mentioned in "command"
+// entries (absolute, as written in the database).
+struct CompileDb {
+  std::vector<std::string> files;
+  std::vector<std::string> include_dirs;
+};
+CompileDb ParseCompileDb(const std::string& text);
 
 // ----------------------------------------------------------------- passes --
 
@@ -115,15 +237,36 @@ struct Finding {
   std::string file;
   int line = 0;
   std::string message;
+  // Machine-applicable payload for the fix engine (e.g. the include path to
+  // delete or insert); not serialized into reports.
+  std::string subject;
 };
 
-std::vector<Finding> RunIncludeGraphPass(const Project& project);
+std::vector<Finding> RunIncludeGraphPass(const Project& project, const Config& config);
 std::vector<Finding> RunLayeringPass(const Project& project, const Config& config);
 std::vector<Finding> RunDeterminismPass(const Project& project, const Config& config);
+std::vector<Finding> RunErrorDisciplinePass(const Project& project, const Config& config);
+std::vector<Finding> RunConcurrencyPass(const Project& project, const Config& config);
+
+// Every check name the tool can emit, plus the pass names (both are valid
+// suppression targets). Keep tools/mtm_lint/mtm_lint.py's
+// VALID_SUPPRESSION_TARGETS in sync with this list.
+const std::set<std::string>& KnownChecks();
 
 // Runs all passes, applies inline suppressions, and returns the surviving
 // findings sorted by (file, line, check).
 std::vector<Finding> Analyze(const Project& project, const Config& config);
+
+// ------------------------------------------------------------------- fix --
+
+// Computes the machine-applicable rewrites for the given findings (delete
+// unused/dead includes, insert directly-included headers for transitive
+// reliance) plus include-block reordering per the mtm_lint include-order
+// rule. Returns new file contents keyed by repo-relative path, only for
+// files that change. Running the result through Analyze+ComputeFixedContents
+// again yields an empty map (idempotence; covered by tests).
+std::map<std::string, std::string> ComputeFixedContents(const Project& project,
+                                                        const std::vector<Finding>& findings);
 
 // ----------------------------------------------------------------- report --
 

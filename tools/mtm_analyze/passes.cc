@@ -101,7 +101,7 @@ void FindCycles(const Project& project, std::vector<Finding>* findings) {
               chain += c + " -> ";
             }
             chain += edge.target;
-            findings->push_back({"include-cycle", node, edge.line, "include cycle: " + chain});
+            findings->push_back({"include-cycle", node, edge.line, "include cycle: " + chain, ""});
           }
         } else if (target_color == 0) {
           stack.emplace_back(edge.target, 0);
@@ -118,9 +118,77 @@ void FindCycles(const Project& project, std::vector<Finding>* findings) {
   }
 }
 
+// Marker symbols for common standard headers: a file whose tokens contain
+// none of a header's markers does not use that header. The table is
+// deliberately conservative — headers not listed are never flagged, and a
+// single marker hit keeps the include.
+const std::map<std::string, std::vector<std::string>>& SystemHeaderMarkers() {
+  static const std::map<std::string, std::vector<std::string>> kMarkers = {
+      {"algorithm",
+       {"sort", "stable_sort", "find", "find_if", "min", "max", "min_element", "max_element",
+        "lower_bound", "upper_bound", "count", "count_if", "any_of", "all_of", "none_of", "copy",
+        "transform", "remove", "remove_if", "unique", "reverse", "fill", "accumulate", "clamp",
+        "shuffle", "partition", "nth_element", "binary_search", "equal", "swap", "for_each"}},
+      {"array", {"array"}},
+      {"atomic", {"atomic", "atomic_flag", "memory_order_relaxed", "memory_order_seq_cst"}},
+      {"cctype", {"isalnum", "isalpha", "isdigit", "isspace", "isupper", "islower", "toupper",
+                  "tolower", "ispunct", "isxdigit"}},
+      {"chrono", {"chrono", "steady_clock", "system_clock", "high_resolution_clock",
+                  "milliseconds", "nanoseconds", "microseconds", "seconds", "duration_cast"}},
+      {"cmath", {"sqrt", "pow", "fabs", "abs", "ceil", "floor", "round", "log", "log2", "log10",
+                 "exp", "isnan", "isinf", "fmod", "lround", "llround"}},
+      {"condition_variable", {"condition_variable", "cv_status"}},
+      {"cstdint", {"uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t", "int32_t",
+                   "int64_t", "uintptr_t", "intptr_t", "size_t", "UINT64_MAX", "INT64_MAX",
+                   "UINT32_MAX", "UINT64_C"}},
+      {"cstdio", {"printf", "fprintf", "snprintf", "sprintf", "fopen", "fclose", "fread",
+                  "fwrite", "stderr", "stdout", "FILE", "fgets", "puts", "remove", "rename"}},
+      {"cstdlib", {"malloc", "free", "calloc", "realloc", "exit", "abort", "getenv", "atoi",
+                   "atol", "strtol", "strtoul", "strtoull", "strtod", "EXIT_FAILURE",
+                   "EXIT_SUCCESS", "rand", "srand"}},
+      {"cstring", {"memcpy", "memset", "memmove", "memcmp", "strlen", "strcmp", "strncmp",
+                   "strcpy", "strncpy", "strchr", "strstr", "strerror"}},
+      {"deque", {"deque"}},
+      {"filesystem", {"filesystem"}},
+      {"fstream", {"ifstream", "ofstream", "fstream"}},
+      {"functional", {"function", "bind", "ref", "cref", "hash", "reference_wrapper"}},
+      {"iomanip", {"setw", "setprecision", "setfill", "fixed", "hex", "dec", "quoted"}},
+      {"iostream", {"cout", "cerr", "cin", "clog", "endl"}},
+      {"iterator", {"back_inserter", "inserter", "distance", "advance", "next", "prev",
+                    "make_move_iterator", "begin", "end"}},
+      {"limits", {"numeric_limits"}},
+      {"map", {"map", "multimap"}},
+      {"memory", {"unique_ptr", "shared_ptr", "weak_ptr", "make_unique", "make_shared",
+                  "enable_shared_from_this", "allocator", "addressof"}},
+      {"mutex", {"mutex", "lock_guard", "unique_lock", "scoped_lock", "once_flag", "call_once"}},
+      {"numeric", {"accumulate", "iota", "reduce", "inner_product", "partial_sum", "gcd", "lcm"}},
+      {"optional", {"optional", "nullopt", "make_optional"}},
+      {"queue", {"queue", "priority_queue"}},
+      {"random", {"mt19937", "mt19937_64", "random_device", "uniform_int_distribution",
+                  "uniform_real_distribution", "normal_distribution", "bernoulli_distribution",
+                  "discrete_distribution", "seed_seq"}},
+      {"set", {"set", "multiset"}},
+      {"sstream", {"stringstream", "istringstream", "ostringstream"}},
+      {"string", {"string", "to_string", "stoi", "stol", "stoul", "stoull", "stod", "getline",
+                  "char_traits"}},
+      {"string_view", {"string_view"}},
+      {"thread", {"thread", "this_thread", "hardware_concurrency"}},
+      {"tuple", {"tuple", "make_tuple", "tie", "get", "tuple_size", "apply"}},
+      {"type_traits", {"enable_if", "is_same", "decay", "remove_reference", "is_integral",
+                       "is_floating_point", "conditional", "underlying_type", "declval",
+                       "is_trivially_copyable", "invoke_result"}},
+      {"unordered_map", {"unordered_map", "unordered_multimap"}},
+      {"unordered_set", {"unordered_set", "unordered_multiset"}},
+      {"utility", {"move", "forward", "pair", "make_pair", "swap", "exchange", "in_place"}},
+      {"variant", {"variant", "visit", "holds_alternative", "get_if", "monostate"}},
+      {"vector", {"vector"}},
+  };
+  return kMarkers;
+}
+
 }  // namespace
 
-std::vector<Finding> RunIncludeGraphPass(const Project& project) {
+std::vector<Finding> RunIncludeGraphPass(const Project& project, const Config& config) {
   std::vector<Finding> findings;
 
   // Map each distinctive symbol to the headers that declare it; symbols
@@ -177,7 +245,36 @@ std::vector<Finding> RunIncludeGraphPass(const Project& project) {
       if (!used) {
         findings.push_back({"unused-include", path, edge.line,
                             "include \"" + edge.target +
-                                "\" is unused: no symbol it declares is referenced here"});
+                                "\" is unused: no symbol it declares is referenced here",
+                            edge.target});
+      }
+    }
+
+    // dead-system-include: an angle-bracket include of a known standard
+    // header none of whose marker symbols appears in the file. Opt-in
+    // (--check-system-includes): the marker table is a heuristic.
+    if (config.check_system_includes) {
+      for (const IncludeEdge& edge : file.includes) {
+        if (!edge.angle || edge.resolved) {
+          continue;
+        }
+        auto it = SystemHeaderMarkers().find(edge.target);
+        if (it == SystemHeaderMarkers().end()) {
+          continue;
+        }
+        bool used = false;
+        for (const std::string& marker : it->second) {
+          if (file.tokens.count(marker) > 0) {
+            used = true;
+            break;
+          }
+        }
+        if (!used) {
+          findings.push_back({"dead-system-include", path, edge.line,
+                              "include <" + edge.target +
+                                  "> appears dead: none of its marker symbols is used here",
+                              edge.target});
+        }
       }
     }
 
@@ -208,7 +305,8 @@ std::vector<Finding> RunIncludeGraphPass(const Project& project) {
       if (!provided_directly) {
         findings.push_back({"transitive-include", path, first_line,
                             "'" + token + "' is declared in \"" + owner +
-                                "\", which is only included transitively; include it directly"});
+                                "\", which is only included transitively; include it directly",
+                            owner});
       }
     }
   }
@@ -260,7 +358,8 @@ std::vector<Finding> RunLayeringPass(const Project& project, const Config& confi
         }
         findings.push_back({"layering", path, edge.line,
                             module + " may not include " + target_module + " (allowed: " +
-                                (allowed_text.empty() ? "none" : allowed_text) + ")"});
+                                (allowed_text.empty() ? "none" : allowed_text) + ")",
+                            ""});
       }
     }
   }
@@ -496,7 +595,8 @@ void CheckUnorderedIteration(const SourceFile& file, const std::set<std::string>
           {"unordered-iteration", file.path, LineOfOffset(text, start),
            "iteration over unordered container '" + container +
                "' reaches an output sink; hash order leaks into output — use an ordered "
-               "container or emit in sorted order"});
+               "container or emit in sorted order",
+           ""});
     }
   }
 }
@@ -521,7 +621,8 @@ std::vector<Finding> RunDeterminismPass(const Project& project, const Config& co
             findings.push_back({"wall-clock", path, static_cast<int>(i + 1),
                                 std::string("wall-clock read ('") + token +
                                     "') outside sanctioned sites; simulation code must use "
-                                    "SimNanos virtual time"});
+                                    "SimNanos virtual time",
+                                ""});
             break;
           }
         }
@@ -546,7 +647,8 @@ std::vector<Finding> RunDeterminismPass(const Project& project, const Config& co
           findings.push_back({"raw-random", path, static_cast<int>(i + 1),
                               std::string("'") + token +
                                   "' outside src/common/rng; use the seeded project Rng for "
-                                  "reproducible runs"});
+                                  "reproducible runs",
+                              ""});
           break;
         }
       }
@@ -560,11 +662,19 @@ std::vector<Finding> RunDeterminismPass(const Project& project, const Config& co
 namespace {
 
 std::string PassOf(const std::string& check) {
-  if (check == "unused-include" || check == "transitive-include" || check == "include-cycle") {
+  if (check == "unused-include" || check == "transitive-include" || check == "include-cycle" ||
+      check == "dead-system-include") {
     return "include-graph";
   }
   if (check == "layering") {
     return "layering";
+  }
+  if (check == "discarded-status" || check == "raw-error-return" ||
+      check == "unchecked-result-unwrap") {
+    return "error-discipline";
+  }
+  if (check == "task-member-write" || check == "task-static-write") {
+    return "concurrency";
   }
   return "determinism";
 }
@@ -610,7 +720,8 @@ void ApplySuppressions(const Project& project, std::vector<Finding>* findings) {
     }
     if (needs_justification) {
       kept.push_back({"suppression", finding.file, finding.line,
-                      "suppression for '" + finding.check + "' is missing a justification"});
+                      "suppression for '" + finding.check + "' is missing a justification",
+                      ""});
     } else if (!suppressed) {
       kept.push_back(finding);
     }
@@ -620,12 +731,32 @@ void ApplySuppressions(const Project& project, std::vector<Finding>* findings) {
 
 }  // namespace
 
+const std::set<std::string>& KnownChecks() {
+  static const std::set<std::string> kChecks = {
+      // include-graph
+      "unused-include", "transitive-include", "include-cycle", "dead-system-include",
+      // layering
+      "layering",
+      // determinism
+      "unordered-iteration", "wall-clock", "raw-random",
+      // error-discipline
+      "discarded-status", "raw-error-return", "unchecked-result-unwrap",
+      // concurrency
+      "task-member-write", "task-static-write",
+      // pass names double as suppression targets
+      "include-graph", "determinism", "error-discipline", "concurrency",
+      // emitted for a suppression missing its justification
+      "suppression"};
+  return kChecks;
+}
+
 std::vector<Finding> Analyze(const Project& project, const Config& config) {
-  std::vector<Finding> findings = RunIncludeGraphPass(project);
-  std::vector<Finding> layering = RunLayeringPass(project, config);
-  std::vector<Finding> determinism = RunDeterminismPass(project, config);
-  findings.insert(findings.end(), layering.begin(), layering.end());
-  findings.insert(findings.end(), determinism.begin(), determinism.end());
+  std::vector<Finding> findings = RunIncludeGraphPass(project, config);
+  for (auto* pass : {RunLayeringPass, RunDeterminismPass, RunErrorDisciplinePass,
+                     RunConcurrencyPass}) {
+    std::vector<Finding> more = pass(project, config);
+    findings.insert(findings.end(), more.begin(), more.end());
+  }
   ApplySuppressions(project, &findings);
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) {

@@ -1,0 +1,14 @@
+// Declares BaseUnit (used by dep.h, so dep.h's include is legitimate) and
+// BaseFn, which order.cc uses while only including this header
+// transitively — the autofix promotes it to a direct include.
+#pragma once
+
+namespace fixproj {
+
+struct BaseUnit {
+  int v = 0;
+};
+
+int BaseFn(int weight);
+
+}  // namespace fixproj

@@ -1,0 +1,14 @@
+// Direct dependency of order.cc; needs base.h for BaseUnit and thereby
+// drags BaseFn's declaration in transitively.
+#pragma once
+
+#include "fixproj/base.h"
+
+namespace fixproj {
+
+struct DepThing {
+  BaseUnit unit;
+  int weight = 1;
+};
+
+}  // namespace fixproj

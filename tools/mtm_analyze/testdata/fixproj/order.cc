@@ -1,0 +1,17 @@
+// Deliberately messy translation unit for the --fix engine: <vector> is
+// dead, <cstring> sits after the quoted includes (include-order
+// violation), and BaseFn is used via dep.h's transitive include of
+// base.h. ComputeFixedContents must repair all three in one shot.
+#include "fixproj/order.h"
+#include "fixproj/dep.h"
+#include <cstring>
+#include <vector>
+
+namespace fixproj {
+
+int OrderThing::Weigh(const char* name) {
+  DepThing dep;
+  return static_cast<int>(strlen(name)) + BaseFn(dep.weight);
+}
+
+}  // namespace fixproj

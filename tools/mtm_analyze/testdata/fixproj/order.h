@@ -1,0 +1,10 @@
+// Own header for the --fix fixture translation unit.
+#pragma once
+
+namespace fixproj {
+
+struct OrderThing {
+  int Weigh(const char* name);
+};
+
+}  // namespace fixproj

@@ -1,0 +1,16 @@
+// Near-miss: Delta::Add mutates its member, but Delta::* is the sanctioned
+// merge point in the fixture config — the call-graph walk stops at the
+// allowlist boundary and reports nothing.
+#include "proj/conc/worker.h"
+
+#include "proj/conc/pool.h"
+
+namespace conc {
+
+void Delta::Add(int v) { total_ += v; }
+
+void Worker::RunDelta() {
+  ParallelFor(2, [&](int shard) { delta_.Add(shard); });
+}
+
+}  // namespace conc

@@ -1,0 +1,15 @@
+// True positive: a named local lambda handed to ParallelFor by identifier
+// is a task seed too, so its write to the namespace-scope counter is
+// flagged.
+#include "proj/conc/pool.h"
+
+namespace conc {
+
+int g_named = 0;
+
+void RunNamed() {
+  auto shard_body = [&](int shard) { g_named += shard; };
+  ParallelFor(2, shard_body);
+}
+
+}  // namespace conc

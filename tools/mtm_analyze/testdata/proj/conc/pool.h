@@ -1,0 +1,24 @@
+// Minimal pool surface for the concurrency fixtures. ParallelFor is the
+// sharded task-callback listed in the fixture config; Delta is the
+// sanctioned merge point (mutation_allow = ["Delta::*"]).
+#pragma once
+
+namespace conc {
+
+template <typename Fn>
+void ParallelFor(int shards, Fn&& fn) {
+  for (int s = 0; s < shards; ++s) {
+    fn(s);
+  }
+}
+
+class Delta {
+ public:
+  void Add(int v);
+  int total() const { return total_; }
+
+ private:
+  int total_ = 0;
+};
+
+}  // namespace conc

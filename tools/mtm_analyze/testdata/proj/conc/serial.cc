@@ -1,0 +1,9 @@
+// Near-miss: the same member mutation outside any ParallelFor body is the
+// serial simulator loop's business; the concurrency pass must stay silent.
+#include "proj/conc/worker.h"
+
+namespace conc {
+
+void Worker::RunSerial() { hits_ += 1; }
+
+}  // namespace conc

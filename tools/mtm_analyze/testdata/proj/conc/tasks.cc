@@ -1,0 +1,35 @@
+// True positives: shard bodies reached from ParallelFor mutate shared
+// state — a namespace-scope counter and a member directly from the lambda,
+// a member through a helper reached via the call graph, and a mutable
+// static local inside the task_entries-seeded ShardEntry.
+#include "proj/conc/worker.h"
+
+#include "proj/conc/pool.h"
+
+namespace conc {
+
+int g_ticks = 0;
+
+void Worker::BumpHits() { hits_ += 1; }
+
+void Worker::RunShards() {
+  ParallelFor(4, [&](int shard) {
+    g_ticks += shard;
+    hits_ += shard;
+  });
+}
+
+void Worker::RunIndirect() {
+  ParallelFor(2, [&](int shard) {
+    if (shard > 0) {
+      BumpHits();
+    }
+  });
+}
+
+void ShardEntry(int shard) {
+  static int calls = 0;
+  calls += shard;
+}
+
+}  // namespace conc

@@ -1,0 +1,25 @@
+// Worker under test: its shard bodies run through ParallelFor, so writes
+// reachable from them are cross-task mutations.
+#pragma once
+
+#include "proj/conc/pool.h"
+
+namespace conc {
+
+class Worker {
+ public:
+  void RunShards();
+  void RunIndirect();
+  void RunDelta();
+  void RunSerial();
+  int hits() const { return hits_; }
+
+ private:
+  void BumpHits();
+  Delta delta_;
+  int hits_ = 0;
+};
+
+void ShardEntry(int shard);
+
+}  // namespace conc

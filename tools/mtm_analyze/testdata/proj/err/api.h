@@ -1,0 +1,21 @@
+// Declarations shared by the error-discipline fixtures. Status and
+// Result mirror the src/common/status.h shapes closely enough for the
+// analyzer's return-kind table.
+#pragma once
+
+namespace err {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+template <typename T>
+struct Result {
+  bool ok() const { return true; }
+  T value() const { return T{}; }
+};
+
+Status SubmitOrder(int order);
+Result<int> LookupSlot(int key);
+
+}  // namespace err

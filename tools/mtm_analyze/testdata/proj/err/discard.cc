@@ -1,0 +1,20 @@
+// True positive: the Status returned by SubmitOrder is dropped on the
+// floor. Near-miss: naming the Status and branching on it is the
+// sanctioned shape and must stay silent.
+#include "proj/err/api.h"
+
+namespace err {
+
+void FireAndForget() {
+  SubmitOrder(1);
+}
+
+int CountSubmitted() {
+  Status status = SubmitOrder(2);
+  if (!status.ok()) {
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace err

@@ -1,0 +1,17 @@
+// True positive: TryReserve carries a fallible verb on a status path but
+// signals failure through bool. Near-misses: the Status-returning variant,
+// a name where "Try" is only a prefix fragment (Trylock), and a bool
+// accessor with no fallible verb at all.
+#include "proj/err/api.h"
+
+namespace err {
+
+bool TryReserve(int frames) { return frames > 0; }
+
+Status TryReserveChecked(int frames) { return SubmitOrder(frames); }
+
+bool Trylock(int frames) { return frames != 0; }
+
+bool IsReady() { return true; }
+
+}  // namespace err

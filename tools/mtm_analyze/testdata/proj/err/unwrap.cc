@@ -1,0 +1,23 @@
+// True positives: value() on a Result variable that was never
+// ok()-checked, and an unwrap of the temporary Result returned by
+// LookupSlot. Near-miss: an ok() check dominating the unwrap silences it.
+#include "proj/err/api.h"
+
+namespace err {
+
+int UncheckedUnwrap() {
+  Result<int> slot = LookupSlot(3);
+  return slot.value();
+}
+
+int TemporaryUnwrap() { return LookupSlot(4).value(); }
+
+int CheckedUnwrap() {
+  Result<int> slot = LookupSlot(5);
+  if (!slot.ok()) {
+    return 0;
+  }
+  return slot.value();
+}
+
+}  // namespace err

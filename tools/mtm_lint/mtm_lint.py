@@ -28,6 +28,13 @@ for):
   flag-style       command-line flag names are kebab-case ([a-z0-9-]).
   endl-use         no std::endl — it forces a flush on every use; write
                    '\\n' and let the stream decide when to flush.
+  unknown-suppression
+                   every `// mtm-analyze: allow(<target>)` suppression names
+                   a check or pass that mtm_analyze can actually emit;
+                   anything else is a typo that silently suppresses nothing.
+  suppression-sync VALID_SUPPRESSION_TARGETS below must match KnownChecks()
+                   in tools/mtm_analyze/passes.cc; this check parses that
+                   file and fails when the two lists drift.
 
 Usage:
   tools/mtm_lint/mtm_lint.py [--root DIR] [--json PATH]
@@ -80,6 +87,21 @@ FLAG_GET = re.compile(r"flags\.Get(?:String|U64|Bool|Double)\s*\(\s*\"([^\"]+)\"
 ENDL_USE = re.compile(r"\bendl\b")
 INCLUDE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
 GUARD = re.compile(r"^\s*#\s*ifndef\s+\w+_H_?\b")
+SUPPRESSION = re.compile(r"mtm-analyze:\s*allow\(([^)]*)\)")
+
+# Valid targets for `// mtm-analyze: allow(<target>)` suppressions: every
+# check name mtm_analyze can emit plus the pass names. Must match
+# KnownChecks() in tools/mtm_analyze/passes.cc — the suppression-sync check
+# parses that file and fails when the two lists drift.
+VALID_SUPPRESSION_TARGETS = {
+    "unused-include", "transitive-include", "include-cycle", "dead-system-include",
+    "layering",
+    "unordered-iteration", "wall-clock", "raw-random",
+    "discarded-status", "raw-error-return", "unchecked-result-unwrap",
+    "task-member-write", "task-static-write",
+    "include-graph", "determinism", "error-discipline", "concurrency",
+    "suppression",
+}
 
 
 def strip_comments(text):
@@ -187,6 +209,18 @@ class Linter:
                         "flag-style", rel, i,
                         f"flag '--{m.group(1)}' is not kebab-case",
                     )
+            m = SUPPRESSION.search(line)
+            if m:
+                target = m.group(1).strip()
+                # Placeholders like allow(<check>) in docs/tool sources and
+                # string-literal fragments are not real suppressions.
+                if re.fullmatch(r"[a-z][a-z-]*", target):
+                    if target not in VALID_SUPPRESSION_TARGETS:
+                        self.report(
+                            "unknown-suppression", rel, i,
+                            f"suppression target '{target}' is not a check or pass "
+                            "mtm_analyze can emit; it silently suppresses nothing",
+                        )
 
         self.lint_include_order(rel, path, raw_lines)
 
@@ -215,16 +249,38 @@ class Linter:
                 )
                 return  # one finding per file is enough to fix ordering
 
+    def check_suppression_sync(self):
+        passes = self.root / "tools" / "mtm_analyze" / "passes.cc"
+        if not passes.exists():
+            return
+        rel = "tools/mtm_analyze/passes.cc"
+        m = re.search(r"KnownChecks\(\)\s*\{(.*?)return kChecks;", passes.read_text(), re.S)
+        if not m:
+            self.report(
+                "suppression-sync", rel, 1,
+                "cannot locate the KnownChecks() literal; update mtm_lint's parser",
+            )
+            return
+        found = set(re.findall(r'"([^"]+)"', m.group(1)))
+        if found != VALID_SUPPRESSION_TARGETS:
+            drift = ", ".join(sorted(found ^ VALID_SUPPRESSION_TARGETS))
+            self.report(
+                "suppression-sync", rel, 1,
+                f"KnownChecks() and mtm_lint's VALID_SUPPRESSION_TARGETS drifted: {drift}",
+            )
+
     def run(self, subdirs):
         files = []
         for sub in subdirs:
             files += sorted((self.root / sub).rglob("*.h"))
             files += sorted((self.root / sub).rglob("*.cc"))
             files += sorted((self.root / sub).rglob("*.cpp"))
+        # mtm_analyze's testdata fixtures deliberately violate the rules the
+        # analyzer (and this linter) enforce; they are inputs, not code.
+        files = [f for f in files if f.name != "mtm_lint.py" and "testdata" not in f.parts]
         for f in files:
-            if f.name == "mtm_lint.py":
-                continue
             self.lint_file(f)
+        self.check_suppression_sync()
         return files
 
 

@@ -32,6 +32,15 @@ void F() {
   FlagSet flags(argc, argv);
   flags.GetU64("Not_Kebab", 0);
   std::cout << "done" << std::endl;
+  // mtm-analyze: allow(wall-clcok) typo'd target suppresses nothing
+}
+"""
+
+# A KnownChecks() literal that omits most targets: suppression-sync drift.
+BAD_PASSES_CC = """\
+const std::set<std::string>& KnownChecks() {
+  static const std::set<std::string> kChecks = {"unused-include", "layering"};
+  return kChecks;
 }
 """
 
@@ -51,6 +60,8 @@ struct GoodStats {
 class Token : public strong_internal::Ordinal<Token, u32> {};
 template <>
 struct std::hash<Token> : mtm::strong_internal::StrongHash<Token> {};
+// mtm-analyze: allow(determinism) a real target with a justification is fine
+// and a doc placeholder like `mtm-analyze: allow(<check>) reason` is ignored.
 """
 
 
@@ -70,14 +81,22 @@ def main():
         (root / "src").mkdir()
         (root / "src" / "bad.h").write_text(BAD_HEADER)
         (root / "src" / "bad.cc").write_text(BAD_SOURCE)
+        (root / "tools" / "mtm_analyze").mkdir(parents=True)
+        (root / "tools" / "mtm_analyze" / "passes.cc").write_text(BAD_PASSES_CC)
+        # Fixture trees named testdata are exempt from every check.
+        (root / "src" / "testdata").mkdir()
+        (root / "src" / "testdata" / "fixture.h").write_text("#ifndef FIXTURE_H_\n#endif\n")
         rc, report = run_lint(root)
         checks = {f["check"] for f in report["findings"]}
         expected = {"pragma-once", "raw-unit-param", "raw-unit-field",
                     "strong-leak", "assert-use", "naked-new",
-                    "include-order", "flag-style", "endl-use"}
+                    "include-order", "flag-style", "endl-use",
+                    "unknown-suppression", "suppression-sync"}
         missing = expected - checks
         assert rc == 1, f"expected exit 1 on bad fixtures, got {rc}"
         assert not missing, f"checks failed to fire: {missing}"
+        assert not any(f["file"].startswith("src/testdata") for f in report["findings"]), \
+            "testdata fixtures must be exempt from linting"
 
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(tmp)
