@@ -1,0 +1,65 @@
+// Figure 14 (extension): the policy-as-plugin registry on a Table-2
+// workload. Every row swaps only the tiering policy — profiling and
+// migration stay MTM's — via --policy-style overrides, plus the standalone
+// baseline solutions for reference:
+//
+//  * mtm (full)       the default heuristic (WHI histogram policy);
+//  * mtm-feature      the same heuristic expressed as a FeaturePolicy
+//                     (the plugin path; must match mtm exactly);
+//  * logistic         the fitted logistic scorer over the full feature
+//                     vector (tools/fit_logistic_policy.py);
+//  * autonuma/autotiering swapped into the MTM stack via the registry;
+//  * tiered-autonuma / autotiering as whole solutions (Figure 4 baselines).
+//
+// Expected shape: mtm and mtm-feature are identical; logistic lands close
+// to the heuristic and ahead of the swapped-in and standalone baselines.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/units.h"
+#include "src/core/driver.h"
+#include "src/core/experiment.h"
+#include "src/core/solution.h"
+
+int main() {
+  using namespace mtm;
+  ExperimentConfig base = benchutil::DefaultConfig();
+  benchutil::PrintHeader("Figure 14", "pluggable tiering policies on VoltDB (seconds)");
+  benchutil::PrintConfig(base);
+
+  benchutil::Table table({"policy", "app(s)", "total(s)", "fast-tier %", "moved(MiB)",
+                          "vs mtm"});
+  double mtm_total = 0.0;
+
+  auto run = [&](const char* name, SolutionKind kind, const std::string& policy) {
+    ExperimentConfig config = base;
+    config.policy_override = policy;
+    RunResult r = RunExperiment("voltdb", kind, config);
+    double total = ToSeconds(r.total_ns());
+    if (mtm_total == 0.0) {
+      mtm_total = total;
+    }
+    double fast_share = 0.0;
+    if (!r.component_app_accesses.empty() && r.total_accesses > 0) {
+      fast_share = static_cast<double>(r.component_app_accesses[0]) /
+                   static_cast<double>(r.total_accesses) * 100.0;
+    }
+    table.AddRow({name, benchutil::Fmt("%.3f", ToSeconds(r.app_ns)),
+                  benchutil::Fmt("%.3f", total), benchutil::Fmt("%.1f", fast_share),
+                  benchutil::Fmt("%.1f", ToMiB(r.migration_stats.bytes_migrated)),
+                  benchutil::Fmt("%+.1f%%", (total - mtm_total) / mtm_total * 100.0)});
+    std::printf("[%s done]\n", name);
+  };
+
+  run("mtm (full)", SolutionKind::kMtm, "");
+  run("mtm-feature (plugin path)", SolutionKind::kMtm, "mtm-feature");
+  run("logistic (fitted)", SolutionKind::kMtm, "logistic");
+  run("autonuma policy in mtm stack", SolutionKind::kMtm, "autonuma");
+  run("autotiering policy in mtm stack", SolutionKind::kMtm, "autotiering");
+  run("tiered-autonuma (solution)", SolutionKind::kTieredAutoNuma, "");
+  run("autotiering (solution)", SolutionKind::kAutoTiering, "");
+
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

@@ -28,6 +28,10 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
   result.solution = solution.name();
   result.workload = workload.name();
   result.footprint_bytes = workload.params().footprint_bytes;
+  if (solution.policy() != nullptr) {
+    result.policy = solution.policy()->name();
+    result.policy_overridden = solution.policy_overridden();
+  }
 
   // Observability wiring: attach the registry to every instrumented
   // component, then intern the driver's own metric ids once up front.
@@ -107,6 +111,10 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
   ctx.machine = &solution.machine();
   ctx.page_table = &solution.page_table();
   ctx.frames = &solution.frames();
+  ctx.interval_ns = interval_ns;
+  if (solution.migration() != nullptr) {
+    ctx.history = &solution.migration()->history();
+  }
 
   constexpr u32 kBatch = 2048;
   std::array<MemAccess, kBatch> batch;
@@ -234,8 +242,26 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
       split_stats.Add(static_cast<double>(profile.regions_split));
       regions_stats.Add(static_cast<double>(profile.num_regions));
 
-      if (solution.policy() != nullptr && solution.migration() != nullptr) {
-        std::vector<MigrationOrder> orders = solution.policy()->Decide(profile, ctx);
+      // Decide before exporting, submit after: the exporters see exactly
+      // the residency and history state the policy consumed, plus the
+      // orders it produced, before migration perturbs either.
+      ctx.now = clock.now();
+      const bool deciding = solution.policy() != nullptr && solution.migration() != nullptr;
+      std::vector<MigrationOrder> orders;
+      if (deciding) {
+        orders = solution.policy()->Decide(profile, ctx);
+      }
+      if (options.feature_export != nullptr || options.heatmap_export != nullptr) {
+        std::vector<FeatureVector> features = BuildFeatures(profile, ctx);
+        if (options.heatmap_export != nullptr) {
+          options.heatmap_export->OnInterval(interval, clock.now(), profile, features);
+        }
+        if (options.feature_export != nullptr) {
+          options.feature_export->OnInterval(interval, clock.now(), profile, features, orders,
+                                             ctx);
+        }
+      }
+      if (deciding) {
         solution.migration()->SubmitAll(orders);
       }
     }

@@ -11,6 +11,7 @@
 #include "src/core/experiment.h"
 #include "src/core/solution.h"
 #include "src/migration/admission/admission.h"
+#include "src/migration/features.h"
 #include "src/migration/migration_engine.h"
 #include "src/obs/obs.h"
 #include "src/profiling/oracle.h"
@@ -58,6 +59,11 @@ struct RunResult {
   AdmissionStats admission_stats;
   std::string admission;  // controller name; empty when the run had no stage
   bool admission_active = false;
+  // Tiering-policy identity. policy_overridden only when --policy swapped
+  // the solution's default; reports gate their policy line on it so default
+  // runs stay byte-identical to the pre-registry format.
+  std::string policy;  // empty when the solution has no policy
+  bool policy_overridden = false;
   FaultSummary faults;
   Bytes profiler_memory_bytes;
   Bytes footprint_bytes;
@@ -83,6 +89,11 @@ struct RunOptions {
   // When non-null, the run records metrics, sim-time trace spans, and one
   // timeline snapshot per interval into the bundle (see src/obs/obs.h).
   Observability* obs = nullptr;
+  // When non-null, each profiled interval streams per-region training rows
+  // (--policy-features-out) / a hotness heatmap line (--heatmap-out) into
+  // the exporter. Both read the decision before migration executes it.
+  FeatureExporter* feature_export = nullptr;
+  HeatmapExporter* heatmap_export = nullptr;
 };
 
 RunResult RunSimulation(Workload& workload, Solution& solution,

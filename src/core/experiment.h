@@ -71,6 +71,11 @@ struct ExperimentConfig {
   // "copy_fail:p=0.01;tier_offline:c=3,at=100ms". Empty: fault-free run with
   // behavior identical to a build without the fault framework.
   std::string fault_spec;
+  // When non-empty, the tiering policy is constructed by this registry name
+  // (src/migration/policy_registry.h) instead of the solution kind's
+  // default — the knob behind --policy=<name>. Solutions without a policy
+  // (first-touch, hmc) ignore it.
+  std::string policy_override;
   MtmKnobs mtm;
 
   SimNanos IntervalNs() const {

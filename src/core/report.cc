@@ -47,6 +47,11 @@ std::string CsvRow(const RunResult& r) {
 std::string HumanReport(const RunResult& r) {
   std::ostringstream os;
   os << r.workload << " under " << r.solution << "\n";
+  if (r.policy_overridden) {
+    // Only when --policy swapped the default, so existing reports stay
+    // byte-identical.
+    os << "  policy: " << r.policy << " (overridden)\n";
+  }
   os << "  time: app " << ToSeconds(r.app_ns) << "s, profiling " << ToSeconds(r.profiling_ns)
      << "s, migration " << ToSeconds(r.migration_ns) << "s, total " << ToSeconds(r.total_ns())
      << "s\n";
@@ -67,6 +72,10 @@ std::string HumanReport(const RunResult& r) {
        << " deferred / " << a.rejected << " rejected (" << ToMiB(a.admitted_bytes)
        << " MiB in, " << ToMiB(a.deferred_bytes + a.rejected_bytes) << " MiB shed), "
        << a.flip_moves << " flips (" << ToMiB(a.flip_bytes) << " MiB)\n";
+    if (a.split_orders > 0) {
+      os << "  partial admission: " << a.split_orders << " orders split at the budget ("
+         << ToMiB(a.split_shed_bytes) << " MiB shed past the boundary)\n";
+    }
   }
   if (r.faults.active) {
     const MigrationStats& m = r.migration_stats;
@@ -101,6 +110,11 @@ std::string JsonReport(const RunResult& r) {
   os << "{";
   os << "\"workload\":\"" << EscapeJson(r.workload) << "\",";
   os << "\"solution\":\"" << EscapeJson(r.solution) << "\",";
+  if (r.policy_overridden) {
+    // Emitted only when --policy swapped the solution's default policy, so
+    // existing JSON stays byte-identical.
+    os << "\"policy\":\"" << EscapeJson(r.policy) << "\",";
+  }
   os << "\"app_s\":" << ToSeconds(r.app_ns) << ",";
   os << "\"profiling_s\":" << ToSeconds(r.profiling_ns) << ",";
   os << "\"migration_s\":" << ToSeconds(r.migration_ns) << ",";
@@ -130,6 +144,12 @@ std::string JsonReport(const RunResult& r) {
     os << "\"flip_moves\":" << a.flip_moves << ",";
     os << "\"flip_bytes\":" << a.flip_bytes << ",";
     os << "\"thrash_aborts\":" << r.migration_stats.thrash_aborts;
+    if (a.split_orders > 0) {
+      // Partial-admission fields appear only when a split happened, so the
+      // ppt/vanilla goldens keep their exact bytes.
+      os << ",\"split_orders\":" << a.split_orders;
+      os << ",\"split_shed_bytes\":" << a.split_shed_bytes;
+    }
     os << "}";
   }
   if (r.faults.active) {

@@ -5,6 +5,7 @@
 #include "src/common/types.h"
 #include "src/migration/admission/admission.h"
 #include "src/migration/mechanism.h"
+#include "src/migration/policy_registry.h"
 #include "src/profiling/autonuma.h"
 #include "src/profiling/autotiering.h"
 #include "src/profiling/damon.h"
@@ -205,45 +206,47 @@ Solution::Solution(SolutionKind kind, const ExperimentConfig& config, Workload& 
     profiler_->Initialize();
   }
 
-  // Policy.
+  // Policy: every solution's default policy resolves by name through the
+  // registry, and config.policy_override swaps in any registered plugin
+  // (the knob behind --policy=<name>). The params stay those of the
+  // solution kind, so an override inherits the experiment's batch size and
+  // score range — --policy=mtm-feature on the mtm solution is byte-identical
+  // to the hand-wired default.
+  std::string policy_name;
+  PolicyParams params;
+  params.promote_batch_bytes = batch;
   switch (kind) {
-    case SolutionKind::kMtm: {
-      MtmPolicy::Config pc;
-      pc.promote_batch_bytes = batch;
-      pc.hotness_max = static_cast<double>(config.mtm.num_scans);
-      policy_ = std::make_unique<MtmPolicy>(pc);
+    case SolutionKind::kMtm:
+      policy_name = "mtm";
+      params.hotness_max = static_cast<double>(config.mtm.num_scans);
       break;
-    }
     case SolutionKind::kThermostatProfilerMtmMigration:
-    case SolutionKind::kAutoNumaProfilerMtmMigration: {
-      MtmPolicy::Config pc;
-      pc.promote_batch_bytes = batch;
-      pc.hotness_max = -1.0;  // adapt to the foreign profiler's scale
-      policy_ = std::make_unique<MtmPolicy>(pc);
+    case SolutionKind::kAutoNumaProfilerMtmMigration:
+      policy_name = "mtm";
+      params.hotness_max = -1.0;  // adapt to the foreign profiler's scale
       break;
-    }
     case SolutionKind::kVanillaTieredAutoNuma:
-    case SolutionKind::kTieredAutoNuma: {
-      AutoNumaPolicy::Config pc;
-      pc.promote_batch_bytes = batch;
-      pc.patched = kind == SolutionKind::kTieredAutoNuma;
-      policy_ = std::make_unique<AutoNumaPolicy>(pc);
+      policy_name = "vanilla-autonuma";
       break;
-    }
-    case SolutionKind::kAutoTiering: {
-      AutoTieringPolicy::Config pc;
-      pc.promote_batch_bytes = batch;
-      policy_ = std::make_unique<AutoTieringPolicy>(pc);
+    case SolutionKind::kTieredAutoNuma:
+      policy_name = "autonuma";
       break;
-    }
-    case SolutionKind::kHemem: {
-      HememPolicy::Config pc;
-      pc.promote_batch_bytes = batch;
-      policy_ = std::make_unique<HememPolicy>(pc);
+    case SolutionKind::kAutoTiering:
+      policy_name = "autotiering";
       break;
-    }
+    case SolutionKind::kHemem:
+      policy_name = "hemem";
+      break;
     default:
       break;
+  }
+  if (!policy_name.empty() && !config.policy_override.empty()) {
+    policy_overridden_ = config.policy_override != policy_name;
+    policy_name = config.policy_override;
+  }
+  if (!policy_name.empty()) {
+    policy_ = MakePolicy(policy_name, params);
+    MTM_CHECK(policy_ != nullptr) << "unknown policy: " << policy_name;
   }
 
   // Migration mechanism.

@@ -68,6 +68,9 @@ class Solution {
 
   Profiler* profiler() { return profiler_.get(); }          // may be null
   TieringPolicy* policy() { return policy_.get(); }          // may be null
+  // True when config.policy_override swapped in a policy other than the
+  // solution kind's default (reports surface the active policy then).
+  bool policy_overridden() const { return policy_overridden_; }
   MigrationEngine* migration() { return migration_.get(); }  // may be null
   AdmissionController* admission() { return admission_.get(); }  // null with migration
   // Armed when the config carried a non-empty fault_spec; null otherwise.
@@ -96,6 +99,7 @@ class Solution {
   std::unique_ptr<PlacementFaultHandler> fault_handler_;
   std::vector<std::unique_ptr<HmcCache>> hmc_caches_;
 
+  bool policy_overridden_ = false;
   std::unique_ptr<Profiler> profiler_;
   std::unique_ptr<TieringPolicy> policy_;
   std::unique_ptr<MigrationEngine> migration_;

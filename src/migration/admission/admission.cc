@@ -76,6 +76,12 @@ double MigrationHistory::MaxPingPongScore() const {
   return max_score;
 }
 
+AdmissionDecision AdmissionController::DecideOrder(const AdmissionRequest& request,
+                                                   const MigrationHistory& history,
+                                                   const AdmissionBudget& budget) {
+  return AdmissionDecision{Admit(request, history, budget), Bytes{}};
+}
+
 void AdmissionController::Sequence(std::vector<AdmissionRequest>& batch) { (void)batch; }
 
 void AdmissionController::BeginInterval(SimNanos now, AdmissionBudget& budget) {
@@ -163,6 +169,22 @@ class BandwidthAdmission : public AdmissionController {
       return AdmissionVerdict::kReject;
     }
     return AdmissionVerdict::kAdmit;
+  }
+
+  // Partial admission: instead of shedding a whole order that straddles the
+  // budget boundary, admit the largest huge-page-aligned prefix that still
+  // fits — the budget fills completely and the hottest region's head still
+  // moves. Below one huge page nothing can split, so reject as before.
+  AdmissionDecision DecideOrder(const AdmissionRequest& request, const MigrationHistory& history,
+                                const AdmissionBudget& budget) override {
+    if (!request.is_promotion || request.bytes <= budget.remaining()) {
+      return AdmissionDecision{Admit(request, history, budget), Bytes{}};
+    }
+    const Bytes fit = HugeAlignDown(budget.remaining());
+    if (fit < kHugePageBytes) {
+      return AdmissionDecision{AdmissionVerdict::kReject, Bytes{}};
+    }
+    return AdmissionDecision{AdmissionVerdict::kAdmit, fit};
   }
 
   void Sequence(std::vector<AdmissionRequest>& batch) override {

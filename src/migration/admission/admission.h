@@ -147,6 +147,17 @@ struct AdmissionBudget {
   }
 };
 
+// Verdict plus the optional partial-admission boundary. When the verdict is
+// kAdmit and admit_bytes is nonzero and smaller than request.bytes, the
+// engine splits the order at the largest huge-page-aligned prefix whose
+// to-move bytes fit admit_bytes; the armed prefix migrates and the
+// remainder is shed as rejected (per-order partial admission at the
+// bandwidth-budget boundary). A zero admit_bytes admits the whole order.
+struct AdmissionDecision {
+  AdmissionVerdict verdict = AdmissionVerdict::kAdmit;
+  Bytes admit_bytes;
+};
+
 class AdmissionController {
  public:
   virtual ~AdmissionController() = default;
@@ -159,6 +170,14 @@ class AdmissionController {
   virtual AdmissionVerdict Admit(const AdmissionRequest& request,
                                  const MigrationHistory& history,
                                  const AdmissionBudget& budget) = 0;
+
+  // Gate with partial-admission support; this is what the engine actually
+  // calls. The default delegates to Admit() and never splits, so
+  // controllers that think in whole orders stay byte-identical; controllers
+  // that can split at a byte boundary (bandwidth) override it.
+  virtual AdmissionDecision DecideOrder(const AdmissionRequest& request,
+                                        const MigrationHistory& history,
+                                        const AdmissionBudget& budget);
 
   // Reorders one interval's batch before per-order admission. The default
   // keeps the policy's execution sequence (demotions that make room come
@@ -184,6 +203,11 @@ struct AdmissionStats {
   Bytes rejected_bytes;
   u64 flip_moves = 0;  // committed moves that reversed a recent move
   Bytes flip_bytes;    // migrated bytes wasted on those reversals
+  // Partial admission: orders split at the budget boundary instead of shed
+  // whole, and the remainder bytes those splits dropped (a subset of
+  // rejected_bytes).
+  u64 split_orders = 0;
+  Bytes split_shed_bytes;
 };
 
 }  // namespace mtm

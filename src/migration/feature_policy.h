@@ -1,0 +1,102 @@
+// The plugin side of the policy API: a FeaturePolicy scores FeatureVectors
+// (src/migration/features.h) and inherits MTM's fast-promotion /
+// slow-demotion machinery (DecideByScore) for turning scores into orders.
+// FeatureDrivenPolicy adapts any FeaturePolicy to the TieringPolicy
+// interface the driver runs, so plugins slot into every experiment via the
+// registry (src/migration/policy_registry.h) without touching the driver.
+//
+// Two scorers ship here:
+//   * MtmScorePolicy  — the WHI passthrough; behind FeatureDrivenPolicy it
+//     is byte-identical to MtmPolicy (differential-tested against
+//     tests/golden/), the proof the feature path adds no decision drift;
+//   * LogisticPolicy  — a fitted logistic scorer over the full feature
+//     vector, coefficients produced offline by tools/fit_logistic_policy.py
+//     from --policy-features-out dumps and checked in.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/migration/admission/admission.h"
+#include "src/migration/features.h"
+#include "src/migration/policy.h"
+#include "src/profiling/profiler.h"
+
+namespace mtm {
+
+class FeaturePolicy {
+ public:
+  // `decide_config` parameterizes the shared DecideByScore machinery
+  // (promotion budget, histogram buckets, score range; a non-positive
+  // hotness_max adapts to the scorer's output scale each interval).
+  explicit FeaturePolicy(const MtmPolicy::Config& decide_config)
+      : decide_config_(decide_config) {}
+  virtual ~FeaturePolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Per-region score: higher promotes first, colder demotes first. Must be
+  // a pure function of the features (determinism contract).
+  virtual double Score(const FeatureVector& features) const = 0;
+
+  // Batch decision. The default scores every region and runs DecideByScore;
+  // override only to replace the order-construction machinery itself.
+  virtual std::vector<MigrationOrder> Decide(const ProfileOutput& profile,
+                                             const std::vector<FeatureVector>& features,
+                                             PolicyContext& ctx);
+
+ protected:
+  MtmPolicy::Config decide_config_;
+};
+
+// TieringPolicy adapter: builds the feature vectors each interval and hands
+// them to the wrapped FeaturePolicy.
+class FeatureDrivenPolicy : public TieringPolicy {
+ public:
+  explicit FeatureDrivenPolicy(std::unique_ptr<FeaturePolicy> impl) : impl_(std::move(impl)) {}
+  std::string name() const override { return impl_->name(); }
+  std::vector<MigrationOrder> Decide(const ProfileOutput& profile, PolicyContext& ctx) override;
+
+ private:
+  std::unique_ptr<FeaturePolicy> impl_;
+};
+
+// WHI passthrough scorer: Score returns the raw hotness feature, so the
+// decisions match MtmPolicy byte-for-byte under the same config.
+class MtmScorePolicy : public FeaturePolicy {
+ public:
+  using FeaturePolicy::FeaturePolicy;
+  std::string name() const override { return "mtm-feature"; }
+  double Score(const FeatureVector& features) const override { return features.x[kFeatWhi]; }
+};
+
+// Fitted logistic scorer: sigmoid(w . x + b) estimates the probability the
+// region is hot next interval. Scores live in (0, 1), so the decide config
+// must use an adaptive hotness_max (the registry forces it). Stone-cold
+// regions (zero WHI) score zero outright so the bias term alone can never
+// promote them.
+class LogisticPolicy : public FeaturePolicy {
+ public:
+  struct Coefficients {
+    std::array<double, kNumFeatures> weights{};
+    double bias = 0.0;
+  };
+
+  // Checked-in coefficients, fitted by tools/fit_logistic_policy.py on
+  // --policy-features-out dumps of the Table-2 workloads under --policy=mtm.
+  static Coefficients FittedCoefficients();
+
+  LogisticPolicy(const MtmPolicy::Config& decide_config, Coefficients coef)
+      : FeaturePolicy(decide_config), coef_(coef) {}
+  explicit LogisticPolicy(const MtmPolicy::Config& decide_config)
+      : LogisticPolicy(decide_config, FittedCoefficients()) {}
+
+  std::string name() const override { return "logistic"; }
+  double Score(const FeatureVector& features) const override;
+
+ private:
+  Coefficients coef_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,101 @@
+// Feature-vector stage of the policy-as-plugin API: turns one interval's
+// ProfileOutput plus decision-time context (migration history, residency,
+// sim time) into a normalized per-region FeatureVector that any
+// FeaturePolicy can score. Also hosts the two deterministic JSONL export
+// surfaces built on the same vectors:
+//   * FeatureExporter  — training rows (features + the heuristic's action +
+//     the realized next-interval hotness label) for offline policy fitting;
+//   * HeatmapExporter  — one line per interval with every region's hotness,
+//     residency, and ping-pong score, for heatmap rendering.
+// Both exporters emit keys in a fixed explicit order; two identical seeded
+// runs produce byte-identical files.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/migration/admission/admission.h"
+#include "src/migration/policy.h"
+#include "src/obs/jsonl.h"
+#include "src/profiling/profiler.h"
+
+namespace mtm {
+
+// Index of each feature in FeatureVector::x. kFeatureNames (the JSONL
+// schema) must stay in sync.
+enum FeatureIndex : u32 {
+  kFeatWhi = 0,       // profiler hotness EMA (the WHI for MTM), raw scale
+  kFeatHi,            // latest interval's hotness indication — the recency signal
+  kFeatTrend,         // latest_hi - prev_hi: heating (+) vs cooling (-)
+  kFeatSkew,          // intra-region sample disparity in [0, 1]
+  kFeatLogSizePages,  // log2(len / base page) / 16, ~[0, 1] up to 256 GiB
+  kFeatTierRank,      // resident tier rank / (tiers - 1); 1.0 when unmapped
+  kFeatPingPong,      // MigrationHistory ping-pong score (flip EMA), raw scale
+  kFeatMoveRecency,   // min(intervals since last move, 32) / 32; 1.0 = never moved
+  kNumFeatures,
+};
+
+// JSONL field name of each feature, indexed by FeatureIndex.
+extern const char* const kFeatureNames[kNumFeatures];
+
+struct FeatureVector {
+  VirtAddr start;
+  Bytes len;
+  u32 preferred_socket = 0;
+  ComponentId resident = kInvalidComponent;  // probed residency, invalid when unmapped
+  u32 tier_rank = 0;  // rank of `resident` in the preferred socket's view
+  std::array<double, kNumFeatures> x{};
+};
+
+// Builds one FeatureVector per profile entry, index-aligned with
+// profile.entries. Reads ctx.history / ctx.now / ctx.interval_ns when set;
+// history-derived features are neutral (0 ping-pong, never-moved recency)
+// when they are not.
+std::vector<FeatureVector> BuildFeatures(const ProfileOutput& profile, const PolicyContext& ctx);
+
+// Streams deterministic training rows (the --policy-features-out mode): one
+// JSONL row per profiled region per interval, carrying the feature vector,
+// the action the active policy took on the region, and — once the next
+// interval's profile is known — the realized next-interval hotness label.
+// Rows whose region disappears before the next interval, and rows from the
+// final interval, never receive a label and are dropped.
+class FeatureExporter {
+ public:
+  // Records one interval's decision. `features` must be BuildFeatures'
+  // output for `profile` and `orders` the policy's decision on it; labels
+  // and flushes the previous interval's rows against `profile` first.
+  void OnInterval(u64 interval, SimNanos now, const ProfileOutput& profile,
+                  const std::vector<FeatureVector>& features,
+                  const std::vector<MigrationOrder>& orders, const PolicyContext& ctx);
+
+  const JsonlSink& sink() const { return sink_; }
+  Status WriteFile(const std::string& path) const { return sink_.WriteFile(path); }
+
+ private:
+  struct PendingRow {
+    std::string prefix;  // serialized row up to (and excluding) the label
+    VirtAddr start;      // label lookup key: region start at emission time
+  };
+  std::vector<PendingRow> pending_;
+  JsonlSink sink_;
+};
+
+// Streams one JSONL line per interval with every region's hotness view,
+// residency, and MigrationHistory ping-pong score (the --heatmap-out mode).
+// Regions are emitted in address order regardless of profiler entry order.
+class HeatmapExporter {
+ public:
+  void OnInterval(u64 interval, SimNanos now, const ProfileOutput& profile,
+                  const std::vector<FeatureVector>& features);
+
+  const JsonlSink& sink() const { return sink_; }
+  Status WriteFile(const std::string& path) const { return sink_.WriteFile(path); }
+
+ private:
+  JsonlSink sink_;
+};
+
+}  // namespace mtm

@@ -344,7 +344,32 @@ void MigrationEngine::set_admission(AdmissionController* controller,
   budget_ = AdmissionBudget{tuning.interval_budget_bytes, Bytes{}};
 }
 
-Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) {
+Bytes MigrationEngine::SplitLenForBudget(const MigrationOrder& order, Bytes admit_bytes) {
+  // Per-huge-region to-move bytes, in address order (std::map).
+  std::map<VirtAddr, Bytes> chunks;
+  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr addr, Bytes size, Pte& pte) {
+    if (pte.component == order.dst) {
+      return;  // already resident: free to keep in the prefix
+    }
+    chunks[HugeAlignDown(addr)] += size;
+  });
+  VirtAddr split_end = order.start;
+  Bytes moving;
+  for (const auto& [chunk, bytes] : chunks) {
+    if (moving + bytes > admit_bytes) {
+      break;
+    }
+    moving += bytes;
+    split_end = chunk + kHugePageBytes;
+  }
+  if (split_end <= order.start) {
+    return Bytes{};
+  }
+  return std::min(order.len, Bytes(split_end - order.start));
+}
+
+Status MigrationEngine::SubmitAttempt(const MigrationOrder& submitted, u32 attempt) {
+  MigrationOrder order = submitted;
   if (order.len.IsZero()) {
     return InvalidArgumentError("zero-length migration order");
   }
@@ -370,7 +395,27 @@ Status MigrationEngine::SubmitAttempt(const MigrationOrder& order, u32 attempt) 
   const bool is_promotion = IsPromotion(order, src);
   if (admission_ != nullptr) {
     AdmissionRequest request{order, bytes, is_promotion, attempt, clock_.now()};
-    switch (admission_->Admit(request, history_, budget_)) {
+    AdmissionDecision decision = admission_->DecideOrder(request, history_, budget_);
+    if (decision.verdict == AdmissionVerdict::kAdmit && !decision.admit_bytes.IsZero() &&
+        decision.admit_bytes < bytes) {
+      // Partial admission: truncate to the largest huge-aligned prefix that
+      // fits the granted bytes and shed the rest as rejected. The truncated
+      // order re-plans so every downstream cost and byte count matches what
+      // actually moves.
+      const Bytes split_len = SplitLenForBudget(order, decision.admit_bytes);
+      if (split_len.IsZero()) {
+        decision.verdict = AdmissionVerdict::kReject;
+      } else {
+        order.len = split_len;
+        const Bytes whole = bytes;
+        cost = PlanCost(order, kind_, &bytes, &src);
+        ++admission_stats_.split_orders;
+        admission_stats_.split_shed_bytes += whole - bytes;
+        ++admission_stats_.rejected;
+        admission_stats_.rejected_bytes += whole - bytes;
+      }
+    }
+    switch (decision.verdict) {
       case AdmissionVerdict::kAdmit:
         ++admission_stats_.admitted;
         admission_stats_.admitted_bytes += bytes;

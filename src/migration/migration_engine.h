@@ -203,7 +203,12 @@ class MigrationEngine : public WriteTrackObserver {
     Bytes failed_transient;  // injected allocation failures (retryable)
   };
 
-  Status SubmitAttempt(const MigrationOrder& order, u32 attempt);
+  Status SubmitAttempt(const MigrationOrder& submitted, u32 attempt);
+
+  // Largest huge-page-aligned prefix length of `order` whose to-move bytes
+  // (pages not already on order.dst) fit `admit_bytes`; zero when not even
+  // the first huge region fits. Supports partial admission.
+  Bytes SplitLenForBudget(const MigrationOrder& order, Bytes admit_bytes);
 
   // Gathers the pages of [start, len) grouped by source component and
   // returns the aggregate mechanism cost; out parameters receive totals.

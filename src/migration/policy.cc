@@ -65,25 +65,40 @@ std::pair<VirtAddr, ComponentId> SlowestSliceStart(PolicyContext& ctx, const Hot
 
 std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
                                               PolicyContext& ctx) {
-  MTM_CHECK_GT(config_.promote_batch_bytes, Bytes{});
+  // The raw WHI is the score (§6): DecideByScore with scores == hotness is
+  // the pre-refactor MtmPolicy, byte-for-byte.
+  std::vector<double> scores;
+  scores.reserve(profile.entries.size());
+  for (const HotnessEntry& e : profile.entries) {
+    scores.push_back(e.hotness);
+  }
+  return DecideByScore(profile, scores, ctx, config_);
+}
+
+std::vector<MigrationOrder> DecideByScore(const ProfileOutput& profile,
+                                          const std::vector<double>& scores, PolicyContext& ctx,
+                                          const MtmPolicy::Config& config) {
+  MTM_CHECK_GT(config.promote_batch_bytes, Bytes{});
+  MTM_CHECK_EQ(scores.size(), profile.entries.size());
   const Machine& machine = *ctx.machine;
   std::vector<MigrationOrder> orders;
 
-  // Histogram of WHI across all regions in all tiers — the global view.
-  // A non-positive hotness_max adapts to the profiler's scale (used when
-  // MTM's policy runs on a foreign profiler's output, §9.3).
-  double hotness_max = config_.hotness_max;
+  // Histogram of scores across all regions in all tiers — the global view.
+  // A non-positive hotness_max adapts to the scorer's scale (used when
+  // MTM's policy runs on a foreign profiler's output, §9.3, and by fitted
+  // scorers whose range is not [0, num_scans]).
+  double hotness_max = config.hotness_max;
   if (hotness_max <= 0.0) {
-    for (const HotnessEntry& e : profile.entries) {
-      hotness_max = std::max(hotness_max, e.hotness);
+    for (double s : scores) {
+      hotness_max = std::max(hotness_max, s);
     }
     if (hotness_max <= 0.0) {
       return {};
     }
   }
-  BucketedHistogram<std::size_t> hist(0.0, hotness_max, config_.num_buckets);
+  BucketedHistogram<std::size_t> hist(0.0, hotness_max, config.num_buckets);
   for (std::size_t i = 0; i < profile.entries.size(); ++i) {
-    hist.Update(i, profile.entries[i].hotness);
+    hist.Update(i, scores[i]);
   }
   std::vector<std::size_t> hottest = hist.HottestFirst();
 
@@ -96,11 +111,11 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
   std::vector<std::size_t> coldest = hist.ColdestFirst();
   std::unordered_set<std::size_t> planned;  // entries already part of an order
 
-  // Tries to free `need` bytes on dst by demoting colder-than-`hotness`
+  // Tries to free `need` bytes on dst by demoting colder-than-`score`
   // resident entries one tier down ("slow demotion"). Appends demotion
   // orders; returns true once planned_free[dst] >= need.
-  const double hysteresis = hotness_max / static_cast<double>(config_.num_buckets) * 2.0;
-  auto make_room = [&](ComponentId dst, i64 need, double hotness, u32 /*socket*/) -> bool {
+  const double hysteresis = hotness_max / static_cast<double>(config.num_buckets) * 2.0;
+  auto make_room = [&](ComponentId dst, i64 need, double score, u32 /*socket*/) -> bool {
     if (planned_free[dst] >= need) {
       return true;
     }
@@ -118,7 +133,7 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
       // Hysteresis: only displace victims meaningfully colder than the
       // incoming region, or near-ties ping-pong across intervals and the
       // migration budget burns on churn.
-      if (victim.hotness >= hotness - hysteresis) {
+      if (scores[idx] >= score - hysteresis) {
         break;  // coldest-first order: everything beyond is hotter
       }
       // Demote only as much of the victim as the deficit requires; large
@@ -140,7 +155,7 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
           continue;  // never demote onto a dead device
         }
         if (planned_free[lower] >= static_cast<i64>(demote_len.value())) {
-          orders.push_back(MigrationOrder{slice_start, demote_len, lower, home, victim.hotness});
+          orders.push_back(MigrationOrder{slice_start, demote_len, lower, home, scores[idx]});
           planned.insert(idx);
           planned_free[lower] -= static_cast<i64>(demote_len.value());
           planned_free[dst] += static_cast<i64>(demote_len.value());
@@ -151,13 +166,13 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
     return planned_free[dst] >= need;
   };
 
-  i64 budget = static_cast<i64>(config_.promote_batch_bytes.value());
+  i64 budget = static_cast<i64>(config.promote_batch_bytes.value());
   for (std::size_t idx : hottest) {
     if (budget <= 0) {
       break;
     }
     const HotnessEntry& e = profile.entries[idx];
-    if (e.hotness < config_.min_hotness || planned.count(idx) > 0) {
+    if (scores[idx] < config.min_hotness || planned.count(idx) > 0) {
       continue;
     }
     u32 socket = e.preferred_socket;
@@ -187,10 +202,10 @@ std::vector<MigrationOrder> MtmPolicy::Decide(const ProfileOutput& profile,
       if (static_cast<u64>(FramesCapacity(ctx, dst)) < promote_len.value()) {
         continue;
       }
-      if (!make_room(dst, static_cast<i64>(promote_len.value()), e.hotness, socket)) {
+      if (!make_room(dst, static_cast<i64>(promote_len.value()), scores[idx], socket)) {
         continue;
       }
-      orders.push_back(MigrationOrder{slice_start, promote_len, dst, socket, e.hotness});
+      orders.push_back(MigrationOrder{slice_start, promote_len, dst, socket, scores[idx]});
       planned.insert(idx);
       planned_free[dst] -= static_cast<i64>(promote_len.value());
       planned_free[cur] += static_cast<i64>(promote_len.value());

@@ -19,6 +19,12 @@ struct PolicyContext {
   const Machine* machine = nullptr;
   PageTable* page_table = nullptr;
   FrameAllocator* frames = nullptr;
+  // Decision-time signals for feature-driven policies (src/migration/
+  // features.h). The driver fills them every interval; standalone callers
+  // may leave them null/zero — feature builders degrade gracefully.
+  const MigrationHistory* history = nullptr;  // per-region migration history
+  SimNanos now;          // simulated time of this decision
+  SimNanos interval_ns;  // profiling-interval length (recency normalization)
 };
 
 class TieringPolicy {
@@ -61,6 +67,18 @@ class MtmPolicy : public TieringPolicy {
  private:
   Config config_;
 };
+
+// The fast-promotion / slow-demotion core of MtmPolicy::Decide, driven by an
+// explicit per-entry score vector (`scores[i]` ranks `profile.entries[i]`;
+// higher promotes first, colder demotes first). MtmPolicy passes the raw WHI
+// as the score; feature-driven policies (src/migration/feature_policy.h)
+// substitute any fitted scorer and inherit the same histogram thresholds,
+// make-room hysteresis, and huge-page slicing. With scores equal to the
+// entry hotness this is byte-identical to the pre-refactor MtmPolicy.
+// `scores.size()` must equal `profile.entries.size()`.
+std::vector<MigrationOrder> DecideByScore(const ProfileOutput& profile,
+                                          const std::vector<double>& scores, PolicyContext& ctx,
+                                          const MtmPolicy::Config& config);
 
 // Tiered-AutoNUMA policy: pages promote one tier at a time toward the
 // faulting socket's faster memory. Vanilla uses the binary two-touch

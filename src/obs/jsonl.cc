@@ -1,0 +1,34 @@
+#include "src/obs/jsonl.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mtm {
+
+std::string JsonlDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void JsonlSink::Append(const std::string& line) {
+  buffer_ += line;
+  buffer_ += '\n';
+  ++lines_;
+}
+
+void JsonlSink::WriteTo(std::ostream& os) const { os << buffer_; }
+
+Status JsonlSink::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    return UnavailableError("cannot open jsonl output: " + path);
+  }
+  WriteTo(out);
+  if (!out) {
+    return UnavailableError("short write to jsonl output: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace mtm

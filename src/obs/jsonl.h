@@ -1,0 +1,39 @@
+// Deterministic JSONL sink shared by the export surfaces that stream one
+// JSON object per line (feature export, heatmap export). Writers build each
+// line with explicit key order — never by iterating a hash container — so
+// two identical seeded runs produce identical bytes, the property every
+// golden-dump test and CI byte-compare relies on.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace mtm {
+
+// Formats a double exactly like the interval timeline does ("%.6g"), so all
+// JSONL artifacts share one float syntax and one determinism contract.
+std::string JsonlDouble(double v);
+
+// An append-only buffer of JSONL lines. Lines are composed by the caller
+// (explicit key order); the sink owns completion ('\n') and file output.
+class JsonlSink {
+ public:
+  // Appends one object line. `line` must be a complete JSON object without
+  // the trailing newline.
+  void Append(const std::string& line);
+
+  std::size_t lines() const { return lines_; }
+  const std::string& contents() const { return buffer_; }
+
+  void WriteTo(std::ostream& os) const;
+  // Truncates `path` and writes every buffered line.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace mtm

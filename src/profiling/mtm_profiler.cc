@@ -527,6 +527,20 @@ ProfileOutput MtmProfiler::OnIntervalEnd() {
     e.start = region.start;
     e.len = region.bytes();
     e.hotness = region.whi;
+    e.latest_hi = region.hi;
+    e.prev_hi = region.prev_hi;
+    // Intra-region disparity of this interval's sample hits, the same
+    // signal the split pass thresholds with tau_s, normalized to [0, 1].
+    if (region.sample_hits.size() >= 2) {
+      u32 min_hits = region.sample_hits[0];
+      u32 max_hits = region.sample_hits[0];
+      for (u32 hits : region.sample_hits) {
+        min_hits = std::min(min_hits, hits);
+        max_hits = std::max(max_hits, hits);
+      }
+      e.skew = static_cast<double>(max_hits - min_hits) /
+               static_cast<double>(std::max<u32>(1, config_.num_scans));
+    }
     u32 best_socket = 0;
     u32 best_hits = 0;
     for (u32 s = 0; s < region.socket_hits.size(); ++s) {

@@ -27,6 +27,17 @@ struct HotnessEntry {
   double hotness = 0.0;       // profiler-specific scale; higher is hotter
   u32 preferred_socket = 0;   // multi-view destination (§6.2)
 
+  // Recency/trend signals for the feature-vector policy API
+  // (src/migration/features.h). MTM's profiler fills them from region
+  // state: latest_hi is the most recent interval's hotness indication (the
+  // recency signal), prev_hi the one before it, and skew the normalized
+  // intra-region sample disparity (max-min hit count over num_scans).
+  // Profilers without per-interval structure leave them zero; consumers
+  // must degrade gracefully.
+  double latest_hi = 0.0;
+  double prev_hi = 0.0;
+  double skew = 0.0;
+
   VirtAddr end() const { return start + len; }
 };
 

@@ -269,6 +269,42 @@ TEST(BandwidthAdmissionTest, SequencesDemotionsFirstThenHottest) {
   EXPECT_EQ(batch[4].order.start, VirtAddr(kHugePageSize * 1));
 }
 
+TEST(BandwidthAdmissionTest, SplitsPromotionsAtTheBudgetBoundary) {
+  auto bw = MakeAdmissionController(AdmissionKind::kBandwidth, TestTuning());
+  MigrationHistory history(TestTuning());
+  const VirtAddr a(kHugePageSize);
+  AdmissionBudget budget{MiB(8), MiB(3)};  // MiB(5) remaining
+  // Fits: whole-order admit, no split boundary.
+  AdmissionDecision whole = bw->DecideOrder(Promote(a, MiB(4), Nanos(1)), history, budget);
+  EXPECT_EQ(whole.verdict, AdmissionVerdict::kAdmit);
+  EXPECT_TRUE(whole.admit_bytes.IsZero());
+  // Over budget: admit the huge-aligned prefix of what remains.
+  AdmissionDecision split = bw->DecideOrder(Promote(a, MiB(6), Nanos(1)), history, budget);
+  EXPECT_EQ(split.verdict, AdmissionVerdict::kAdmit);
+  EXPECT_EQ(split.admit_bytes, MiB(4));
+  // Less than one huge page left: nothing worth splitting.
+  budget.admitted_bytes = MiB(8) - kPageBytes;
+  AdmissionDecision reject = bw->DecideOrder(Promote(a, MiB(2), Nanos(1)), history, budget);
+  EXPECT_EQ(reject.verdict, AdmissionVerdict::kReject);
+  // Demotions bypass the budget and never split.
+  budget.admitted_bytes = MiB(8);
+  AdmissionDecision demote = bw->DecideOrder(Demote(a, MiB(64), Nanos(1)), history, budget);
+  EXPECT_EQ(demote.verdict, AdmissionVerdict::kAdmit);
+  EXPECT_TRUE(demote.admit_bytes.IsZero());
+}
+
+TEST(PptAdmissionTest, DecideOrderNeverSplits) {
+  // Whole-order controllers inherit the default DecideOrder: the verdict
+  // matches Admit and the split boundary stays unset.
+  auto ppt = MakeAdmissionController(AdmissionKind::kPpt, TestTuning());
+  MigrationHistory history(TestTuning());
+  AdmissionBudget budget{Bytes{}, Bytes{}};
+  AdmissionDecision d =
+      ppt->DecideOrder(Promote(VirtAddr(kHugePageSize), GiB(1), Nanos(1)), history, budget);
+  EXPECT_EQ(d.verdict, AdmissionVerdict::kAdmit);
+  EXPECT_TRUE(d.admit_bytes.IsZero());
+}
+
 // --------------------------------------------------- engine integration --
 
 class AdmissionEngineTest : public ::testing::Test {
@@ -369,6 +405,50 @@ TEST_F(AdmissionEngineTest, DemotionsBypassTheBandwidthBudget) {
   EXPECT_TRUE(engine_.Submit(MigrationOrder{hot, MiB(2), t1_, 0}).ok());  // budget spent
   EXPECT_TRUE(engine_.Submit(MigrationOrder{cold, MiB(8), t3_, 0}).ok());
   EXPECT_EQ(engine_.admission_budget().admitted_bytes, MiB(2));  // demotion uncharged
+}
+
+TEST_F(AdmissionEngineTest, PartialAdmissionSplitsAtTheBudgetBoundary) {
+  AdmissionTuning tuning = TestTuning();
+  tuning.interval_budget_bytes = MiB(4);
+  auto bw = MakeAdmissionController(AdmissionKind::kBandwidth, tuning);
+  engine_.set_admission(bw.get(), tuning);
+  VirtAddr start = BuildMapped(MiB(8), t3_);
+  // One order twice the budget: the prefix moves, the remainder sheds.
+  EXPECT_TRUE(engine_.Submit(MigrationOrder{start, MiB(8), t1_, 0}).ok());
+  EXPECT_EQ(ComponentAt(start), t1_);
+  EXPECT_EQ(ComponentAt(start + MiB(4) - kPageBytes), t1_);
+  EXPECT_EQ(ComponentAt(start + MiB(4)), t3_);
+  EXPECT_EQ(ComponentAt(start + MiB(8) - kPageBytes), t3_);
+  const AdmissionStats& stats = engine_.admission_stats();
+  EXPECT_EQ(stats.split_orders, 1u);
+  EXPECT_EQ(stats.split_shed_bytes, MiB(4));
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.admitted_bytes, MiB(4));
+  // The shed remainder books as rejected bytes too (it did not move).
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.rejected_bytes, MiB(4));
+  EXPECT_EQ(engine_.stats().bytes_migrated, MiB(4));
+  EXPECT_EQ(engine_.admission_budget().admitted_bytes, MiB(4));
+}
+
+TEST_F(AdmissionEngineTest, SplitPrefixSkipsAlreadyResidentPages) {
+  AdmissionTuning tuning = TestTuning();
+  tuning.interval_budget_bytes = MiB(2);
+  auto bw = MakeAdmissionController(AdmissionKind::kBandwidth, tuning);
+  engine_.set_admission(bw.get(), tuning);
+  VirtAddr start = BuildMapped(MiB(8), t3_);
+  // Interval 1 moves [0, 2 MiB); re-submitting the whole order next interval
+  // must extend the prefix past the already-resident pages, not re-count
+  // them against the budget.
+  EXPECT_TRUE(engine_.Submit(MigrationOrder{start, MiB(8), t1_, 0}).ok());
+  EXPECT_EQ(ComponentAt(start + MiB(2) - kPageBytes), t1_);
+  EXPECT_EQ(ComponentAt(start + MiB(2)), t3_);
+  engine_.BeginInterval();
+  EXPECT_TRUE(engine_.Submit(MigrationOrder{start, MiB(8), t1_, 0}).ok());
+  EXPECT_EQ(ComponentAt(start + MiB(4) - kPageBytes), t1_);
+  EXPECT_EQ(ComponentAt(start + MiB(4)), t3_);
+  EXPECT_EQ(engine_.admission_stats().split_orders, 2u);
+  EXPECT_EQ(engine_.stats().bytes_migrated, MiB(4));
 }
 
 // -------------------------------------------- vanilla golden differential --

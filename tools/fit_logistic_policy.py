@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Fit the LogisticPolicy coefficients from feature-export dumps.
+
+Input: one or more JSONL files produced by `mtmsim --policy-features-out=...`
+(one row per region per interval: features, the heuristic's action, and the
+realized next-interval hotness label). The fit is plain batch gradient
+descent on logistic loss — no third-party dependencies — with the binary
+target label >= HOT_THRESHOLD (the region stayed/became hot next interval).
+
+Output: the C++ initializer for LogisticPolicy::FittedCoefficients() in
+src/migration/feature_policy.cc; paste it in and rebuild. Keep the feature
+order in sync with FeatureIndex (src/migration/features.h).
+
+Usage:
+  tools/fit_logistic_policy.py dump1.jsonl [dump2.jsonl ...]
+"""
+
+import json
+import math
+import sys
+
+# (JSONL field, FeatureIndex enumerator) in FeatureIndex order.
+FEATURE_INDEX = [
+    ("whi", "kFeatWhi"),
+    ("hi", "kFeatHi"),
+    ("trend", "kFeatTrend"),
+    ("skew", "kFeatSkew"),
+    ("log_size", "kFeatLogSizePages"),
+    ("tier_rank", "kFeatTierRank"),
+    ("pingpong", "kFeatPingPong"),
+    ("move_recency", "kFeatMoveRecency"),
+]
+FEATURES = [name for name, _ in FEATURE_INDEX]
+HOT_THRESHOLD = 1.0
+EPOCHS = 4000
+LEARNING_RATE = 0.5
+L2 = 1e-4
+
+
+def load_rows(paths):
+    xs, ys = [], []
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                xs.append([float(row[name]) for name in FEATURES])
+                ys.append(1.0 if float(row["label"]) >= HOT_THRESHOLD else 0.0)
+    return xs, ys
+
+
+def sigmoid(z):
+    if z >= 0:
+        return 1.0 / (1.0 + math.exp(-z))
+    ez = math.exp(z)
+    return ez / (1.0 + ez)
+
+
+def fit(xs, ys):
+    n, d = len(xs), len(FEATURES)
+    w = [0.0] * d
+    b = 0.0
+    for _ in range(EPOCHS):
+        grad_w = [L2 * wi for wi in w]
+        grad_b = 0.0
+        for x, y in zip(xs, ys):
+            err = sigmoid(b + sum(wi * xi for wi, xi in zip(w, x))) - y
+            for j in range(d):
+                grad_w[j] += err * x[j] / n
+            grad_b += err / n
+        w = [wi - LEARNING_RATE * gi for wi, gi in zip(w, grad_w)]
+        b -= LEARNING_RATE * grad_b
+    return w, b
+
+
+def accuracy(xs, ys, w, b):
+    hits = sum(
+        1
+        for x, y in zip(xs, ys)
+        if (sigmoid(b + sum(wi * xi for wi, xi in zip(w, x))) >= 0.5) == (y >= 0.5)
+    )
+    return hits / max(1, len(xs))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    xs, ys = load_rows(argv[1:])
+    if not xs:
+        print("no rows loaded", file=sys.stderr)
+        return 1
+    w, b = fit(xs, ys)
+    pos = sum(ys) / len(ys)
+    print(f"// {len(xs)} rows, {pos:.1%} positive, "
+          f"train accuracy {accuracy(xs, ys, w, b):.1%}")
+    for (_, index), wi in zip(FEATURE_INDEX, w):
+        print(f"  coef.weights[{index}] = {wi:.4f};")
+    print(f"  coef.bias = {b:.4f};")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

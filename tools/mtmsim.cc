@@ -34,6 +34,12 @@
 //                       byte budget, hottest promotions first
 //   --admission-budget-mb=N  bandwidth budget per interval
 //                       (0 = the promote batch N)                     [0]
+//   --policy=NAME       override the solution's tiering policy with any
+//                       registered one: none|mtm|mtm-feature|logistic|
+//                       autonuma|vanilla-autonuma|autotiering|hemem  [default]
+//   --policy-features-out=PATH  per-region training rows (JSONL):
+//                       features + policy action + next-interval label [off]
+//   --heatmap-out=PATH  per-interval region hotness heatmap (JSONL)   [off]
 //   --seed=N            deterministic seed                           [42]
 //   --fault_spec=S      chaos spec, ';'-separated clauses            [none]
 //                       copy_fail:p=P | remap_fail:p=P | alloc_fail:p=P |
@@ -56,7 +62,9 @@
 #include "src/core/report.h"
 #include "src/core/solution.h"
 #include "src/migration/admission/admission.h"
+#include "src/migration/features.h"
 #include "src/migration/mechanism.h"
+#include "src/migration/policy_registry.h"
 #include "src/obs/obs.h"
 
 int main(int argc, char** argv) {
@@ -90,6 +98,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   config.mtm.admission_budget_bytes = mtm::MiB(flags.GetU64("admission-budget-mb", 0));
+  config.policy_override = flags.GetString("policy", "");
+  if (!config.policy_override.empty() && !mtm::IsKnownPolicy(config.policy_override)) {
+    std::string known;
+    for (const std::string& name : mtm::KnownPolicyNames()) {
+      known += known.empty() ? name : "|" + name;
+    }
+    std::fprintf(stderr, "bad --policy: %s (want %s)\n", config.policy_override.c_str(),
+                 known.c_str());
+    return 1;
+  }
   config.fault_spec = flags.GetString("fault_spec", flags.GetString("fault-spec", ""));
   if (!config.fault_spec.empty()) {
     // Validate up front for a friendly error instead of a mid-run check.
@@ -121,6 +139,17 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty() || !trace_out.empty()) {
     options.obs = &obs;
   }
+  std::string features_out =
+      flags.GetString("policy-features-out", flags.GetString("policy_features_out", ""));
+  std::string heatmap_out = flags.GetString("heatmap-out", flags.GetString("heatmap_out", ""));
+  mtm::FeatureExporter feature_export;
+  mtm::HeatmapExporter heatmap_export;
+  if (!features_out.empty()) {
+    options.feature_export = &feature_export;
+  }
+  if (!heatmap_out.empty()) {
+    options.heatmap_export = &heatmap_export;
+  }
 
   mtm::RunResult result = mtm::RunExperiment(
       workload, mtm::SolutionKindFromName(solution), config, options);
@@ -129,6 +158,20 @@ int main(int argc, char** argv) {
     mtm::Status status = mtm::WriteObservabilityFiles(obs, metrics_out, trace_out);
     if (!status.ok()) {
       std::fprintf(stderr, "observability export failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!features_out.empty()) {
+    mtm::Status status = feature_export.WriteFile(features_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "feature export failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!heatmap_out.empty()) {
+    mtm::Status status = heatmap_export.WriteFile(heatmap_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "heatmap export failed: %s\n", status.ToString().c_str());
       return 1;
     }
   }

@@ -13,10 +13,22 @@ Checks the structural contract the exporters promise (DESIGN.md §8):
                  name/ts/args.value, and at least one pte_scan span and one
                  migration-category span exist.
 
-Usage:
-  tools/obs_schema_check.py --metrics run.jsonl --trace trace.json
+  features JSONL one training row per region per interval
+                 (--policy-features-out): the fixed key order
+                 interval/sim_ns/start/len/socket/tier, the eight features of
+                 FeatureIndex (src/migration/features.h), then
+                 action/dst_tier/label. Intervals are non-decreasing, action
+                 is -1/0/+1 and carries a destination tier iff nonzero.
+  heatmap JSONL  one line per interval (--heatmap-out): strictly increasing
+                 `interval`, non-decreasing `sim_ns`, and a `regions` array
+                 sorted by `start` whose entries carry
+                 start/len/whi/hi/tier/pingpong.
 
-Exit status 0 when both artifacts validate (either may be omitted).
+Usage:
+  tools/obs_schema_check.py --metrics run.jsonl --trace trace.json \
+      --features features.jsonl --heatmap heatmap.jsonl
+
+Exit status 0 when every passed artifact validates (each may be omitted).
 """
 
 import argparse
@@ -125,17 +137,124 @@ def check_trace(path):
           "span(s) OK")
 
 
+# Keep in sync with kFeatureNames (src/migration/features.h).
+FEATURE_NAMES = ["whi", "hi", "trend", "skew", "log_size", "tier_rank",
+                 "pingpong", "move_recency"]
+FEATURE_ROW_KEYS = (["interval", "sim_ns", "start", "len", "socket", "tier"]
+                    + FEATURE_NAMES + ["action", "dst_tier", "label"])
+HEATMAP_REGION_KEYS = ["start", "len", "whi", "hi", "tier", "pingpong"]
+
+
+def check_number(where, name, value):
+    if isinstance(value, bool) or not isinstance(value, NUMBER):
+        fail(f"{where}: '{name}' is not a number")
+
+
+def check_features(path):
+    prev_interval = -1
+    prev_sim_ns = -1
+    rows = 0
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            rows += 1
+            where = f"{path}:{i}"
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{where}: not valid JSON: {e}")
+            if list(row) != FEATURE_ROW_KEYS:
+                fail(f"{where}: keys {list(row)} != {FEATURE_ROW_KEYS}")
+            for name in ("interval", "sim_ns", "start", "len", "socket",
+                         "tier", "action", "dst_tier"):
+                if isinstance(row[name], bool) or not isinstance(row[name], int):
+                    fail(f"{where}: '{name}' is not an integer")
+            for name in FEATURE_NAMES + ["label"]:
+                check_number(where, name, row[name])
+            # Rows are labeled one interval late, so several rows share an
+            # interval and intervals only need to be non-decreasing.
+            if row["interval"] < prev_interval:
+                fail(f"{where}: interval went backwards")
+            prev_interval = row["interval"]
+            if row["sim_ns"] < prev_sim_ns:
+                fail(f"{where}: sim_ns went backwards")
+            prev_sim_ns = row["sim_ns"]
+            if row["action"] not in (-1, 0, 1):
+                fail(f"{where}: action {row['action']} not in -1/0/+1")
+            if (row["dst_tier"] == -1) != (row["action"] == 0):
+                fail(f"{where}: dst_tier {row['dst_tier']} inconsistent "
+                     f"with action {row['action']}")
+            if not 0.0 <= row["skew"] <= 1.0:
+                fail(f"{where}: skew {row['skew']} outside [0, 1]")
+    if rows == 0:
+        fail(f"{path}: no feature rows")
+    print(f"obs_schema_check: {path}: {rows} feature row(s) OK")
+
+
+def check_heatmap(path):
+    prev_interval = -1
+    prev_sim_ns = -1
+    lines = 0
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            where = f"{path}:{i}"
+            try:
+                snap = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{where}: not valid JSON: {e}")
+            if list(snap) != ["interval", "sim_ns", "regions"]:
+                fail(f"{where}: keys {list(snap)} != "
+                     "['interval', 'sim_ns', 'regions']")
+            if snap["interval"] != prev_interval + 1:
+                fail(f"{where}: interval {snap['interval']} after "
+                     f"{prev_interval}; expected {prev_interval + 1}")
+            prev_interval = snap["interval"]
+            if snap["sim_ns"] < prev_sim_ns:
+                fail(f"{where}: sim_ns went backwards")
+            prev_sim_ns = snap["sim_ns"]
+            if not isinstance(snap["regions"], list):
+                fail(f"{where}: 'regions' must be an array")
+            prev_start = -1
+            for n, region in enumerate(snap["regions"]):
+                rwhere = f"{where}: regions[{n}]"
+                if list(region) != HEATMAP_REGION_KEYS:
+                    fail(f"{rwhere}: keys {list(region)} != "
+                         f"{HEATMAP_REGION_KEYS}")
+                for name in HEATMAP_REGION_KEYS:
+                    check_number(rwhere, name, region[name])
+                if region["start"] <= prev_start:
+                    fail(f"{rwhere}: starts not strictly increasing")
+                prev_start = region["start"]
+    if lines == 0:
+        fail(f"{path}: no heatmap lines")
+    print(f"obs_schema_check: {path}: {lines} heatmap line(s) OK")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", help="metrics timeline JSONL to validate")
     parser.add_argument("--trace", help="Chrome trace JSON to validate")
+    parser.add_argument("--features",
+                        help="feature-export training-row JSONL to validate")
+    parser.add_argument("--heatmap", help="heatmap JSONL to validate")
     args = parser.parse_args()
-    if not args.metrics and not args.trace:
-        fail("nothing to check: pass --metrics and/or --trace")
+    if not (args.metrics or args.trace or args.features or args.heatmap):
+        fail("nothing to check: pass --metrics, --trace, --features, "
+             "and/or --heatmap")
     if args.metrics:
         check_metrics(args.metrics)
     if args.trace:
         check_trace(args.trace)
+    if args.features:
+        check_features(args.features)
+    if args.heatmap:
+        check_heatmap(args.heatmap)
 
 
 if __name__ == "__main__":
