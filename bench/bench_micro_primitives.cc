@@ -13,6 +13,7 @@
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
 #include "src/mem/placement.h"
+#include "src/migration/async_copy.h"
 #include "src/sim/access_engine.h"
 #include "src/sim/clock.h"
 #include "src/sim/counters.h"
@@ -106,6 +107,30 @@ void BM_ShardedPteScanThroughput(benchmark::State& state) {
                           static_cast<i64>(sampled.size()));
 }
 BENCHMARK(BM_ShardedPteScanThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_AsyncCopyStage(benchmark::State& state) {
+  // Bench analogue of one move_memory_regions staging window (DESIGN.md
+  // §14): snapshot a 64 MiB region of huge pages, Begin dispatches the copy
+  // shards to helper threads, Join merges the task-indexed checksums in
+  // shard order. Arg is the AsyncCopyEngine thread count; compare Arg(1)
+  // (inline copy at Begin) against Arg(8) for the overlap win.
+  const u64 huge_pages = 32;
+  std::vector<PageCopyRecord> pages;
+  Rng rng(9);
+  for (u64 h = 0; h < huge_pages; ++h) {
+    pages.push_back(PageCopyRecord{kBase + h * kHugePageSize, kHugePageBytes, ComponentId(2),
+                                   rng.Next()});
+  }
+  AsyncCopyEngine engine(static_cast<u32>(state.range(0)));
+  for (auto _ : state) {
+    AsyncCopyEngine::Ticket ticket = engine.Begin(pages);
+    RegionCopyResult result = engine.Join(ticket);
+    benchmark::DoNotOptimize(result.checksum);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(huge_pages * kHugePageSize));
+}
+BENCHMARK(BM_AsyncCopyStage)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 // ROADMAP question: do the VirtAddr/Bytes strong-type wrappers inhibit
 // vectorization of the scan hot loop's address arithmetic? The two loops

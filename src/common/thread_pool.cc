@@ -35,16 +35,45 @@ void ThreadPool::DrainTasks(std::unique_lock<std::mutex>& lock) {
   }
 }
 
+void ThreadPool::DrainAsyncJob(std::unique_lock<std::mutex>& lock, AsyncJob* job) {
+  while (job->next < job->num_tasks) {
+    const std::size_t index = job->next++;
+    lock.unlock();
+    job->fn(index);
+    lock.lock();
+    if (--job->remaining == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool::AsyncJob* ThreadPool::NextAsyncJob() {
+  for (auto& [id, job] : async_jobs_) {
+    if (job.next < job.num_tasks) {
+      return &job;
+    }
+  }
+  return nullptr;
+}
+
 void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   u64 seen_generation = 0;
   while (true) {
-    job_cv_.wait(lock, [&] { return stop_ || job_generation_ != seen_generation; });
+    job_cv_.wait(lock, [&] {
+      return stop_ || job_generation_ != seen_generation || NextAsyncJob() != nullptr;
+    });
     if (stop_) {
       return;
     }
-    seen_generation = job_generation_;
-    DrainTasks(lock);
+    if (job_generation_ != seen_generation) {
+      // ParallelFor batches take priority: a blocked caller is waiting.
+      seen_generation = job_generation_;
+      DrainTasks(lock);
+    }
+    for (AsyncJob* job = NextAsyncJob(); job != nullptr; job = NextAsyncJob()) {
+      DrainAsyncJob(lock, job);
+    }
   }
 }
 
@@ -71,6 +100,46 @@ void ThreadPool::ParallelFor(std::size_t num_tasks,
   done_cv_.wait(lock, [&] { return remaining_ == 0; });
   job_ = nullptr;
   job_tasks_ = 0;
+}
+
+ThreadPool::JobId ThreadPool::StartJob(std::size_t num_tasks,
+                                       std::function<void(std::size_t)> fn) {
+  if (workers_.empty()) {
+    // No helper threads exist: the batch runs inline, deterministically, and
+    // WaitJob finds it already complete.
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      fn(i);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const JobId id = next_job_id_++;
+    AsyncJob& job = async_jobs_[id];
+    job.num_tasks = num_tasks;
+    job.next = num_tasks;
+    job.remaining = 0;
+    return id;
+  }
+  JobId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_job_id_++;
+    AsyncJob& job = async_jobs_[id];
+    job.fn = std::move(fn);
+    job.num_tasks = num_tasks;
+    job.next = 0;
+    job.remaining = num_tasks;
+  }
+  job_cv_.notify_all();
+  return id;
+}
+
+void ThreadPool::WaitJob(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = async_jobs_.find(id);
+  MTM_CHECK(it != async_jobs_.end()) << "ThreadPool::WaitJob: unknown or already-waited job";
+  AsyncJob* job = &it->second;
+  DrainAsyncJob(lock, job);  // the caller helps finish the batch
+  done_cv_.wait(lock, [&] { return job->remaining == 0; });
+  async_jobs_.erase(it);
 }
 
 }  // namespace mtm

@@ -11,10 +11,18 @@
 // With num_threads <= 1 the pool spawns no threads at all and ParallelFor
 // degenerates to an inline loop, so single-threaded configurations pay
 // nothing and produce bitwise-identical results trivially.
+//
+// Besides the blocking ParallelFor, the pool offers detached batches for
+// work that overlaps with the caller: StartJob dispatches a task batch to
+// the workers and returns immediately; WaitJob joins it (the caller helps
+// run any still-unclaimed tasks, exactly the ParallelFor discipline). Used
+// by the asynchronous migration copy engine (DESIGN.md §14), whose staged
+// shard copies run while the simulation loop keeps executing accesses.
 #pragma once
 
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -25,6 +33,9 @@ namespace mtm {
 
 class ThreadPool {
  public:
+  // Handle for a detached batch started with StartJob.
+  using JobId = u64;
+
   // num_threads counts the caller too: ParallelFor runs tasks on the calling
   // thread plus (num_threads - 1) workers.
   explicit ThreadPool(u32 num_threads);
@@ -40,11 +51,36 @@ class ThreadPool {
   // (not reentrant) and must confine its writes to per-task state.
   void ParallelFor(std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
 
+  // Dispatches fn(task_index) for every index in [0, num_tasks) to the
+  // workers and returns immediately. fn and everything it captures must stay
+  // valid until WaitJob returns; the same slot-merge discipline as
+  // ParallelFor applies. With no workers (num_threads <= 1) the batch runs
+  // inline here, so single-threaded configurations stay deterministic and
+  // thread-free.
+  JobId StartJob(std::size_t num_tasks, std::function<void(std::size_t)> fn);
+
+  // Joins a detached batch: helps run its unclaimed tasks, then blocks until
+  // every task has completed. Each JobId must be waited exactly once.
+  void WaitJob(JobId id);
+
  private:
+  // A detached batch. Nodes live in async_jobs_ (node-based map, so worker
+  // pointers into an entry stay valid while other entries come and go).
+  struct AsyncJob {
+    std::function<void(std::size_t)> fn;
+    std::size_t num_tasks = 0;
+    std::size_t next = 0;       // guarded by mu_
+    std::size_t remaining = 0;  // guarded by mu_
+  };
+
   void WorkerLoop();
   // Claims and runs tasks of the current job until none remain. Expects
   // `lock` held on entry; releases it around each task body.
   void DrainTasks(std::unique_lock<std::mutex>& lock);
+  // Same for one detached batch; stops once its tasks are all claimed.
+  void DrainAsyncJob(std::unique_lock<std::mutex>& lock, AsyncJob* job);
+  // First detached batch with unclaimed tasks (lowest id), or null.
+  AsyncJob* NextAsyncJob();
 
   const u32 num_threads_;
   std::vector<std::thread> workers_;
@@ -58,6 +94,8 @@ class ThreadPool {
   std::size_t remaining_ = 0;                              // guarded by mu_
   u64 job_generation_ = 0;                                 // guarded by mu_
   bool stop_ = false;                                      // guarded by mu_
+  std::map<JobId, AsyncJob> async_jobs_;                   // guarded by mu_
+  JobId next_job_id_ = 1;                                  // guarded by mu_
 };
 
 }  // namespace mtm

@@ -47,6 +47,8 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
   MetricId sync_fallbacks_id = kInvalidMetricId;
   MetricId thrash_id = kInvalidMetricId;
   MetricId retry_backlog_id = kInvalidMetricId;
+  MetricId async_copies_id = kInvalidMetricId;
+  MetricId fallback_copy_bytes_id = kInvalidMetricId;
   MetricId admitted_id = kInvalidMetricId;
   MetricId deferred_id = kInvalidMetricId;
   MetricId rejected_id = kInvalidMetricId;
@@ -85,6 +87,13 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
     if (chaos || admission_active) {
       thrash_id = obs->metrics.Gauge("migration/thrash_aborts");
       retry_backlog_id = obs->metrics.Gauge("migration/retry_backlog");
+    }
+    if (obs->async_flows) {
+      // Copy-engine gauges ride the same opt-in as the flow arrows: the
+      // timeline snapshots every interned metric, so interning these
+      // unconditionally would change the seed goldens' schema.
+      async_copies_id = obs->metrics.Gauge("migration/async_copies");
+      fallback_copy_bytes_id = obs->metrics.Gauge("migration/fallback_copy_bytes");
     }
     if (admission_active) {
       admitted_id = obs->metrics.Gauge("admission/admitted");
@@ -285,6 +294,11 @@ RunResult RunSimulation(Workload& workload, Solution& solution,
         obs->metrics.Set(rollbacks_id, static_cast<double>(ms.rollbacks));
         obs->metrics.Set(abandoned_id, static_cast<double>(ms.orders_abandoned));
         obs->metrics.Set(sync_fallbacks_id, static_cast<double>(ms.sync_fallbacks));
+        if (obs->async_flows) {
+          obs->metrics.Set(async_copies_id, static_cast<double>(ms.async_copies));
+          obs->metrics.Set(fallback_copy_bytes_id,
+                           static_cast<double>(ms.fallback_copy_bytes.value()));
+        }
         if (chaos || admission_active) {
           obs->metrics.Set(thrash_id, static_cast<double>(ms.thrash_aborts));
           obs->metrics.Set(retry_backlog_id,

@@ -27,7 +27,8 @@ std::string CsvHeader() {
   return "workload,solution,app_s,profiling_s,migration_s,total_s,accesses,"
          "migrated_bytes,failed_bytes,sync_fallbacks,reclaim_demotions,"
          "profiler_memory_bytes,avg_regions,avg_hot_bytes,"
-         "retries,rollbacks,orders_abandoned,drained_bytes,invariant_violations";
+         "retries,rollbacks,orders_abandoned,drained_bytes,invariant_violations,"
+         "async_copies,copy_shards,async_copy_bytes,fallback_copy_bytes,copy_checksum";
 }
 
 std::string CsvRow(const RunResult& r) {
@@ -40,7 +41,9 @@ std::string CsvRow(const RunResult& r) {
      << r.profiler_memory_bytes << ',' << r.avg_num_regions << ',' << r.avg_hot_bytes << ','
      << r.migration_stats.retries << ',' << r.migration_stats.rollbacks << ','
      << r.migration_stats.orders_abandoned << ',' << r.migration_stats.drained_bytes << ','
-     << r.faults.invariant_violations;
+     << r.faults.invariant_violations << ',' << r.migration_stats.async_copies << ','
+     << r.migration_stats.copy_shards << ',' << r.migration_stats.async_copy_bytes << ','
+     << r.migration_stats.fallback_copy_bytes << ',' << r.migration_stats.copy_checksum;
   return os.str();
 }
 
@@ -61,6 +64,14 @@ std::string HumanReport(const RunResult& r) {
      << r.migration_stats.regions_migrated << " region moves, "
      << r.migration_stats.sync_fallbacks << " sync fallbacks, "
      << r.migration_stats.reclaim_demotions << " reclaim demotions\n";
+  if (r.migration_stats.async_copies > 0 || r.migration_stats.sync_fallbacks > 0) {
+    // Helper-thread copy engine accounting (move_memory_regions only).
+    os << "  async copy: " << r.migration_stats.async_copies << " staged commits ("
+       << r.migration_stats.copy_shards << " shards, "
+       << ToMiB(r.migration_stats.async_copy_bytes) << " MiB), "
+       << ToMiB(r.migration_stats.fallback_copy_bytes) << " MiB re-copied sync, checksum "
+       << r.migration_stats.copy_checksum << "\n";
+  }
   os << "  per-component app accesses:";
   for (std::size_t c = 0; c < r.component_app_accesses.size(); ++c) {
     os << " c" << c << "=" << r.component_app_accesses[c];

@@ -266,6 +266,7 @@ Solution::Solution(SolutionKind kind, const ExperimentConfig& config, Workload& 
   }
   migration_ = std::make_unique<MigrationEngine>(*machine_, page_table_, *frames_,
                                                  address_space_, *counters_, clock_, mech);
+  migration_->set_migrate_threads(config.mtm.migrate_threads);
   engine_->set_write_track_observer(migration_.get());
   if (fault_injector() != nullptr) {
     migration_->set_fault_injector(fault_injector());

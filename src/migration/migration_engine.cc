@@ -21,7 +21,19 @@ MigrationEngine::MigrationEngine(const Machine& machine, PageTable& page_table,
       counters_(counters),
       clock_(clock),
       kind_(kind),
-      model_(model) {}
+      model_(model) {
+  if (MechanismUsesAsyncCopy(kind_)) {
+    copy_engine_ = std::make_unique<AsyncCopyEngine>(migrate_threads_);
+  }
+}
+
+void MigrationEngine::set_migrate_threads(u32 num_threads) {
+  MTM_CHECK(pending_.empty()) << "set_migrate_threads with copies in flight";
+  migrate_threads_ = num_threads == 0 ? 1 : num_threads;
+  if (MechanismUsesAsyncCopy(kind_)) {
+    copy_engine_ = std::make_unique<AsyncCopyEngine>(migrate_threads_);
+  }
+}
 
 MechanismCost MigrationEngine::PlanCost(const MigrationOrder& order, MechanismKind kind,
                                         Bytes* bytes_out, ComponentId* src_out) {
@@ -256,17 +268,31 @@ MigrationEngine::CommitOutcome MigrationEngine::CommitMove(const MigrationOrder&
 }
 
 void MigrationEngine::ArmWriteTracking(const MigrationOrder& order) {
-  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr, Bytes, Pte& pte) {
-    pte.Set(Pte::kWriteTracked);
-  });
-  page_table_.BumpGeneration();
+  page_table_.ArmWriteTracking(order.start, order.len);
 }
 
 void MigrationEngine::DisarmWriteTracking(const MigrationOrder& order) {
-  page_table_.ForEachMapping(order.start, order.len, [&](VirtAddr, Bytes, Pte& pte) {
-    pte.Clear(Pte::kWriteTracked);
+  page_table_.DisarmWriteTracking(order.start, order.len);
+}
+
+std::vector<PageCopyRecord> MigrationEngine::SnapshotCopyRecords(
+    const MigrationOrder& order) const {
+  std::vector<PageCopyRecord> records;
+  const PageTable& pt = page_table_;
+  pt.ForEachMapping(order.start, order.len, [&](VirtAddr addr, Bytes size, const Pte& pte) {
+    if (pte.component == order.dst) {
+      return;  // already resident: nothing to copy
+    }
+    records.push_back(PageCopyRecord{addr, size, pte.component, pte.payload});
   });
-  page_table_.BumpGeneration();
+  return records;
+}
+
+void MigrationEngine::DiscardStagedCopy(Pending& p) {
+  if (copy_engine_ != nullptr && p.copy_ticket != 0) {
+    copy_engine_->Cancel(p.copy_ticket);
+    p.copy_ticket = 0;
+  }
 }
 
 void MigrationEngine::AttachObservability(Observability* obs) {
@@ -488,6 +514,17 @@ Status MigrationEngine::SubmitAttempt(const MigrationOrder& submitted, u32 attem
   p.complete_at = clock_.now() + p.background_ns;
   p.cost = cost;
   p.attempt = attempt;
+  if (copy_engine_ != nullptr) {
+    // Stage the real copy: snapshot the still-to-move pages while the arming
+    // TLB flush is fresh and dispatch the shards to the helper threads. The
+    // write-track fault is the join point, so no simulated write can change
+    // a page between this snapshot and the copy's commit.
+    p.copy_ticket = copy_engine_->Begin(SnapshotCopyRecords(order));
+  }
+  if (obs_ != nullptr && obs_->async_flows) {
+    p.flow_id = next_flow_id_++;
+    obs_->trace.AddFlowStart("migrate_window", "migration", p.flow_id, arm_start);
+  }
   pending_.push_back(p);
   return OkStatus();
 }
@@ -514,6 +551,10 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
     stats_.steps.unmap_remap_ns += unbatched_extra;
     ++stats_.sync_fallbacks;
     (void)remaining_fraction;
+    // The staged pages are stale the moment the tracked write lands:
+    // discard the helper-thread copy; the commit path below re-reads the
+    // live contents serially.
+    DiscardStagedCopy(p);
     DisarmWriteTracking(p.order);
   } else {
     stats_.background_ns += p.background_ns;
@@ -524,12 +565,18 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
   clock_.AdvanceMigration(exposed);
   stats_.critical_ns += exposed;
   EmitSpan(forced_sync ? "migrate_finish_sync" : "migrate_finish", finish_start, exposed);
+  if (p.flow_id != 0 && obs_ != nullptr) {
+    // Close the async-flow arrow inside the finish span just emitted.
+    obs_->trace.AddFlowEnd("migrate_window", "migration", p.flow_id, finish_start);
+  }
 
   if (injector_ != nullptr) {
     // The finalize step is where an async attempt can die: the device lost
     // the copy, the remap failed, or the target went offline mid-flight.
-    // All three roll back identically — tracking disarmed, no page moved.
+    // All three roll back identically — staged copy discarded, tracking
+    // disarmed, no page moved.
     if (machine_.IsOffline(p.order.dst)) {
+      DiscardStagedCopy(p);
       DisarmWriteTracking(p.order);
       ++stats_.rollbacks;
       ++stats_.orders_abandoned;  // offline is permanent: no retry
@@ -539,6 +586,7 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
       return;
     }
     if (injector_->ShouldFail(FaultSite::kMigrationCopy)) {
+      DiscardStagedCopy(p);
       DisarmWriteTracking(p.order);
       ++stats_.injected_copy_failures;
       ++stats_.rollbacks;
@@ -546,6 +594,7 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
       return;
     }
     if (injector_->ShouldFail(FaultSite::kMigrationRemap)) {
+      DiscardStagedCopy(p);
       DisarmWriteTracking(p.order);
       ++stats_.injected_remap_failures;
       ++stats_.rollbacks;
@@ -556,6 +605,31 @@ void MigrationEngine::FinishPending(std::size_t index, bool forced_sync,
   Bytes still_to_move;
   ComponentId src = kInvalidComponent;
   PlanCost(p.order, kind_, &still_to_move, &src);
+  if (copy_engine_ != nullptr) {
+    if (forced_sync) {
+      // §7.2 synchronous re-copy: the committed contents are re-read from
+      // the live payloads on the critical path (charged above), so the
+      // post-write values land on the destination — no lost updates.
+      u64 checksum = kCopyChecksumSeed;
+      Bytes resynced;
+      for (const PageCopyRecord& rec : SnapshotCopyRecords(p.order)) {
+        checksum = FoldCopyChecksum(checksum, CopyPageContent(rec));
+        resynced += rec.size;
+      }
+      stats_.copy_checksum = FoldCopyChecksum(stats_.copy_checksum, checksum);
+      stats_.fallback_copy_bytes += resynced;
+    } else if (p.copy_ticket != 0) {
+      // Commit from the staged helper-thread copy: join the batch and fold
+      // its region checksum. No write hit the window (the fault would have
+      // forced sync), so the snapshot still matches the live contents.
+      RegionCopyResult staged = copy_engine_->Join(p.copy_ticket);
+      p.copy_ticket = 0;
+      stats_.copy_checksum = FoldCopyChecksum(stats_.copy_checksum, staged.checksum);
+      stats_.async_copy_bytes += staged.bytes;
+      stats_.copy_shards += staged.shards;
+      ++stats_.async_copies;
+    }
+  }
   CommitOutcome out = CommitMove(p.order);
   RecordHistory(p.order, src, out.moved);
   if (!out.failed_transient.IsZero()) {
@@ -686,6 +760,7 @@ void MigrationEngine::OnTierFault(const TierFaultEvent& event) {
     if (pending_[i].order.dst == component) {
       Pending p = pending_[i];
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      DiscardStagedCopy(p);
       DisarmWriteTracking(p.order);
       ++stats_.rollbacks;
       ++stats_.orders_abandoned;  // offline is permanent: no retry

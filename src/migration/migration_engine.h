@@ -39,6 +39,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +50,7 @@
 #include "src/mem/address_space.h"
 #include "src/mem/frame_allocator.h"
 #include "src/migration/admission/admission.h"
+#include "src/migration/async_copy.h"
 #include "src/migration/cost_model.h"
 #include "src/migration/mechanism.h"
 #include "src/obs/metric_id.h"
@@ -82,6 +84,15 @@ struct MigrationStats {
   SimNanos critical_ns;
   SimNanos background_ns;
   MigrationStepBreakdown steps;
+
+  // Helper-thread copy engine (move_memory_regions only; see async_copy.h).
+  // All deterministic functions of the simulation — identical for every
+  // --migrate-threads value, which the differential tests assert.
+  u64 async_copies = 0;       // regions committed from the staged async copy
+  u64 copy_shards = 0;        // helper-thread work units dispatched for them
+  Bytes async_copy_bytes;     // bytes committed from staged copies
+  Bytes fallback_copy_bytes;  // bytes re-copied serially after a §7.2 fault
+  u64 copy_checksum = 0;      // fold of every committed region's content checksum
 
   // Resilience layer — all zero unless faults are injected or tiers degrade.
   u64 injected_copy_failures = 0;
@@ -138,6 +149,15 @@ class MigrationEngine : public WriteTrackObserver {
   // each charged migration step. Null (the default) records nothing.
   void AttachObservability(Observability* obs);
 
+  // Host-side parallelism of the move_memory_regions copy stage: staged
+  // copies are sharded across `num_threads` helper threads (the caller
+  // participates; 1 = inline, the default). Purely a host-side speedup —
+  // simulated time, reports, and traces are byte-identical for any value.
+  // Must be called before the first Submit (no copies may be in flight).
+  void set_migrate_threads(u32 num_threads);
+  u32 migrate_threads() const { return migrate_threads_; }
+  const AsyncCopyEngine* copy_engine() const { return copy_engine_.get(); }
+
   // Chaos wiring. The injector may be null (fault-free run).
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   void set_retry_policy(const MigrationRetryPolicy& policy) { retry_policy_ = policy; }
@@ -188,6 +208,11 @@ class MigrationEngine : public WriteTrackObserver {
     SimNanos background_ns;
     MechanismCost cost;  // precomputed aggregate cost
     u32 attempt = 1;     // 1-based try counter for backoff on abort
+    // Staged helper-thread copy of this region (0 = none staged).
+    AsyncCopyEngine::Ticket copy_ticket = 0;
+    // Chrome trace flow id linking migrate_arm to the finish span (0 = flow
+    // emission disabled).
+    u64 flow_id = 0;
   };
 
   struct RetryEntry {
@@ -238,6 +263,13 @@ class MigrationEngine : public WriteTrackObserver {
   void DisarmWriteTracking(const MigrationOrder& order);
   void FinishPending(std::size_t index, bool forced_sync, double remaining_fraction);
 
+  // Snapshot of the order's still-to-move pages (address order, pages
+  // already on order.dst skipped) for the copy engine.
+  std::vector<PageCopyRecord> SnapshotCopyRecords(const MigrationOrder& order) const;
+
+  // Joins and discards a staged copy, if any (fallback and abort paths).
+  void DiscardStagedCopy(Pending& p);
+
   // Abort bookkeeping: rolls the attempt back (caller already restored all
   // state) and either queues a retry with exponential backoff or abandons
   // the order (retry budget exhausted / thrash guard tripped).
@@ -276,6 +308,12 @@ class MigrationEngine : public WriteTrackObserver {
   MetricId aborts_id_ = kInvalidMetricId;
   MetricId retries_id_ = kInvalidMetricId;
   IdMap<ComponentId, MetricId> bytes_on_component_ids_;
+
+  // Helper-thread copy engine, created only for mechanisms that stage real
+  // copies (MechanismUsesAsyncCopy); rebuilt by set_migrate_threads.
+  std::unique_ptr<AsyncCopyEngine> copy_engine_;
+  u32 migrate_threads_ = 1;
+  u64 next_flow_id_ = 1;
 
   std::vector<Pending> pending_;
   std::deque<RetryEntry> retry_queue_;

@@ -20,6 +20,11 @@ struct Observability {
   // sim-time spans/counters above are unaffected by this switch.
   bool wall_timers = false;
 
+  // Chrome async-flow arrows linking migrate_arm to the matching finish
+  // span. Off by default so existing golden traces stay byte-identical;
+  // deterministic (sim-time) when enabled (mtmsim --trace-flows).
+  bool async_flows = false;
+
   // Registry for MTM_TRACE_SCOPE sites: null (free) unless wall timers on.
   MetricsRegistry* wall_registry() { return wall_timers ? &metrics : nullptr; }
 };

@@ -46,6 +46,16 @@ void TraceLog::AddCounter(const std::string& name, SimNanos at, double value) {
   counters_.push_back(TraceCounter{name, at, value});
 }
 
+void TraceLog::AddFlowStart(const std::string& name, const std::string& category, u64 id,
+                            SimNanos at) {
+  flows_.push_back(TraceFlow{name, category, id, at, /*start=*/true});
+}
+
+void TraceLog::AddFlowEnd(const std::string& name, const std::string& category, u64 id,
+                          SimNanos at) {
+  flows_.push_back(TraceFlow{name, category, id, at, /*start=*/false});
+}
+
 void TraceLog::WriteChromeTrace(std::ostream& os) const {
   // One tid per category, numbered in first-use order, so each category
   // renders as its own track.
@@ -75,6 +85,18 @@ void TraceLog::WriteChromeTrace(std::ostream& os) const {
        << EscapeJson(span.name) << "\",\"cat\":\"" << EscapeJson(span.category)
        << "\",\"ts\":" << FormatMicros(span.start) << ",\"dur\":" << FormatMicros(span.duration)
        << "}";
+  }
+  for (const TraceFlow& flow : flows_) {
+    sep();
+    // Finish events bind to the enclosing slice ("bp":"e"), matching how
+    // the engine timestamps them inside the migrate_finish span.
+    os << "{\"ph\":\"" << (flow.start ? 's' : 'f') << "\"";
+    if (!flow.start) {
+      os << ",\"bp\":\"e\"";
+    }
+    os << ",\"pid\":1,\"tid\":" << tid_of(flow.category) << ",\"name\":\""
+       << EscapeJson(flow.name) << "\",\"cat\":\"" << EscapeJson(flow.category)
+       << "\",\"id\":" << flow.id << ",\"ts\":" << FormatMicros(flow.at) << "}";
   }
   for (const TraceCounter& counter : counters_) {
     sep();

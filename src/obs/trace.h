@@ -39,15 +39,31 @@ struct TraceCounter {
   double value = 0.0;
 };
 
+// One flow-event endpoint ("s" start / "f" finish) in simulated time. A
+// start/finish pair with the same name, category, and id renders as an
+// arrow linking the spans enclosing the two timestamps (Perfetto binds each
+// endpoint to the slice it lands inside) — used to connect migrate_arm to
+// the matching migrate_finish across the async copy window.
+struct TraceFlow {
+  std::string name;
+  std::string category;
+  u64 id = 0;
+  SimNanos at;
+  bool start = true;
+};
+
 class TraceLog {
  public:
   void AddSpan(const std::string& name, const std::string& category, SimNanos start,
                SimNanos duration);
   void AddCounter(const std::string& name, SimNanos at, double value);
+  void AddFlowStart(const std::string& name, const std::string& category, u64 id, SimNanos at);
+  void AddFlowEnd(const std::string& name, const std::string& category, u64 id, SimNanos at);
 
-  bool empty() const { return spans_.empty() && counters_.empty(); }
+  bool empty() const { return spans_.empty() && counters_.empty() && flows_.empty(); }
   const std::vector<TraceSpan>& spans() const { return spans_; }
   const std::vector<TraceCounter>& counters() const { return counters_; }
+  const std::vector<TraceFlow>& flows() const { return flows_; }
 
   // Chrome trace_event JSON (one process; one thread track per category,
   // in first-use order). Deterministic: depends only on recorded events.
@@ -56,6 +72,7 @@ class TraceLog {
  private:
   std::vector<TraceSpan> spans_;
   std::vector<TraceCounter> counters_;
+  std::vector<TraceFlow> flows_;
 };
 
 // RAII host-clock timer recording into a "wall/<name>" histogram in

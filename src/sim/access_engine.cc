@@ -73,7 +73,11 @@ ComponentId AccessEngine::Apply(VirtAddr addr, bool is_write, u32 socket) {
     clock_.AdvanceApp(config_.hint_fault_ns / config_.num_threads);
   }
 
-  // Write-tracking fault (move_memory_regions dirtiness tracking).
+  // Write-tracking fault (move_memory_regions dirtiness tracking). The
+  // fault is serviced before the write's effect lands: the observer joins
+  // any in-flight helper-thread copy of the page while the simulated
+  // contents are still the ones it staged, which is what makes the copy
+  // engine's fallback deterministic and race-free (DESIGN.md §14).
   if (is_write && pte->write_tracked()) {
     pte->Clear(Pte::kWriteTracked);
     page_table_.BumpGeneration();
@@ -84,10 +88,12 @@ ComponentId AccessEngine::Apply(VirtAddr addr, bool is_write, u32 socket) {
     }
   }
 
-  // MMU: accessed/dirty bits.
+  // MMU: accessed/dirty bits; writes mutate the page's payload word (the
+  // simulated contents the migration copy engine checksums).
   pte->Set(Pte::kAccessed);
   if (is_write) {
     pte->Set(Pte::kDirty);
+    pte->payload = MixPayload(pte->payload, addr);
   }
 
   ComponentId component = pte->component;

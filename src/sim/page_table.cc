@@ -257,4 +257,24 @@ void PageTable::ForEachMapping(
       start, len, [&fn](VirtAddr a, Bytes s, Pte& p) { fn(a, s, p); });
 }
 
+u64 PageTable::ArmWriteTracking(VirtAddr start, Bytes len) {
+  u64 armed = 0;
+  ForEachMapping(start, len, [&armed](VirtAddr, Bytes, Pte& pte) {
+    pte.Set(Pte::kWriteTracked);
+    ++armed;
+  });
+  BumpGeneration();  // the one TLB flush the arming step pays (§7.2)
+  return armed;
+}
+
+u64 PageTable::DisarmWriteTracking(VirtAddr start, Bytes len) {
+  u64 disarmed = 0;
+  ForEachMapping(start, len, [&disarmed](VirtAddr, Bytes, Pte& pte) {
+    pte.Clear(Pte::kWriteTracked);
+    ++disarmed;
+  });
+  BumpGeneration();
+  return disarmed;
+}
+
 }  // namespace mtm

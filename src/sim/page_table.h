@@ -43,6 +43,12 @@ struct Pte {
 
   u16 flags = 0;
   ComponentId component = kInvalidComponent;
+  // Deterministic stand-in for the page's contents: every simulated write
+  // folds the address into this word (see MixPayload). The migration copy
+  // engine snapshots it when staging an asynchronous copy and checksums the
+  // expanded contents, so "no lost update" is a testable property rather
+  // than a modeling assumption. Placement and cost never read it.
+  u64 payload = 0;
 
   bool present() const { return flags & kPresent; }
   bool accessed() const { return flags & kAccessed; }
@@ -53,6 +59,17 @@ struct Pte {
   void Set(Flags f) { flags |= f; }
   void Clear(Flags f) { flags = static_cast<u16>(flags & ~f); }
 };
+
+// One simulated write's effect on a page payload: a splitmix64-style mix of
+// the old payload and the written address. Non-commutative, so reordered or
+// lost writes produce a different payload — exactly what the migration
+// copy-checksum tests need to detect.
+inline constexpr u64 MixPayload(u64 payload, VirtAddr addr) {
+  u64 x = payload ^ (addr.value() + 0x9e3779b97f4a7c15ull);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 class PageTable {
  public:
@@ -98,6 +115,16 @@ class PageTable {
   // addr and clears it. Returns false if unmapped; accessed_out receives the
   // bit value. No TLB flush is modeled, matching the paper.
   bool ScanAccessed(VirtAddr addr, bool* accessed_out);
+
+  // Write-tracking arm for move_memory_regions (§7.2): sets (clears) the
+  // reserved write-protect bit on every leaf mapping of [start, start+len)
+  // and bumps the generation once — the single TLB flush the paper charges.
+  // Returns the number of mappings touched. The next write to an armed page
+  // reports TouchResult::kWriteTrackFault from Touch() before the write's
+  // payload lands, which is what lets the copy engine join its in-flight
+  // helper-thread copy before the simulated contents change.
+  u64 ArmWriteTracking(VirtAddr start, Bytes len);
+  u64 DisarmWriteTracking(VirtAddr start, Bytes len);
 
   // Visits every leaf mapping whose start lies in [start, start+len), in
   // address order. fn(addr, mapping_size, pte).

@@ -174,6 +174,74 @@ TEST(ChromeTraceTest, GoldenOutput) {
   EXPECT_EQ(os.str(), expected);
 }
 
+// Golden-file test for async-flow arrows: a migrate_arm span linked to its
+// finish span by an s/f pair (DESIGN.md §14). Byte-exact, like GoldenOutput.
+TEST(ChromeTraceTest, FlowGoldenOutput) {
+  TraceLog log;
+  log.AddSpan("migrate_arm", "migration", SimNanos(1'000), SimNanos(500));
+  log.AddSpan("migrate_finish", "migration", SimNanos(9'000), SimNanos(250));
+  log.AddFlowStart("migrate_window", "migration", 7, SimNanos(1'000));
+  log.AddFlowEnd("migrate_window", "migration", 7, SimNanos(9'000));
+  std::ostringstream os;
+  log.WriteChromeTrace(os);
+  const char* expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"mtmsim\"}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"migrate_arm\","
+      "\"cat\":\"migration\",\"ts\":1.000,\"dur\":0.500},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"migrate_finish\","
+      "\"cat\":\"migration\",\"ts\":9.000,\"dur\":0.250},\n"
+      "{\"ph\":\"s\",\"pid\":1,\"tid\":1,\"name\":\"migrate_window\","
+      "\"cat\":\"migration\",\"id\":7,\"ts\":1.000},\n"
+      "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":1,\"name\":\"migrate_window\","
+      "\"cat\":\"migration\",\"id\":7,\"ts\":9.000},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"migration\"}}\n"
+      "]}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ChromeTraceTest, FlowsAreOptInAndDeterministic) {
+  // async_flows off (the default) must leave the trace without any flow
+  // events — that is what keeps the golden traces byte-identical. On, the
+  // trace gains matched s/f pairs and stays deterministic across runs.
+  auto run = [](bool flows) {
+    ExperimentConfig config;
+    config.sim_scale = 4096;
+    config.num_intervals = 6;
+    config.target_accesses = 400'000;
+    config.seed = 1234;
+    Observability obs;
+    obs.async_flows = flows;
+    RunOptions options;
+    options.obs = &obs;
+    RunExperiment("gups", SolutionKind::kMtm, config, options);
+    std::ostringstream trace_os;
+    obs.trace.WriteChromeTrace(trace_os);
+    return trace_os.str();
+  };
+  std::string off = run(false);
+  EXPECT_EQ(off.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(off.find("migrate_window"), std::string::npos);
+  std::string on = run(true);
+  EXPECT_EQ(on, run(true));
+  EXPECT_NE(on.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(on.find("\"ph\":\"f\",\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(on.find("\"name\":\"migrate_window\""), std::string::npos);
+  // Every start is closed: equal counts of s and f events.
+  auto count = [](const std::string& s, const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = s.find(needle); pos != std::string::npos;
+         pos = s.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count(on, "\"ph\":\"s\""), 0u);
+  EXPECT_EQ(count(on, "\"ph\":\"s\""), count(on, "\"ph\":\"f\""));
+}
+
 TEST(WriteObservabilityFilesTest, EmptyPathsSkipAndSucceed) {
   Observability obs;
   EXPECT_TRUE(WriteObservabilityFiles(obs, "", "").ok());

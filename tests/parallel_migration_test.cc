@@ -1,0 +1,550 @@
+// Differential / property / stress harness for the truly-async migration
+// copy engine (src/migration/async_copy.h, DESIGN.md §14).
+//
+// Three layers of proof:
+//   * differential: the same seeded workload must produce byte-identical
+//     metrics JSONL, Chrome trace, and report JSON for every
+//     --migrate-threads value — including under --fault_spec chaos — and
+//     the serial run must match the pre-existing tests/golden/ files
+//     (generated before the copy engine existed);
+//   * property: seeded copy-shard invariants (disjoint full coverage,
+//     huge-page clean breaks, shard-order merge independence) and §7.2
+//     write-fault fallback properties (a write inside an in-flight window
+//     forces sync fallback exactly once, no lost updates, the fallback
+//     counter is monotone, checksums match serial references);
+//   * stress: async migration x pingpong workload x ppt admission, the
+//     adversarial combination, differential across thread counts. The full
+//     suite runs under TSan in CI, so the helper-thread copies are also
+//     race-checked.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/common/types.h"
+#include "src/common/units.h"
+#include "src/core/driver.h"
+#include "src/core/experiment.h"
+#include "src/core/report.h"
+#include "src/core/solution.h"
+#include "src/mem/address_space.h"
+#include "src/mem/frame_allocator.h"
+#include "src/migration/admission/admission.h"
+#include "src/migration/async_copy.h"
+#include "src/migration/mechanism.h"
+#include "src/migration/migration_engine.h"
+#include "src/obs/obs.h"
+#include "src/sim/access_engine.h"
+#include "src/sim/clock.h"
+#include "src/sim/counters.h"
+#include "src/sim/machine.h"
+#include "src/sim/page_table.h"
+
+namespace mtm {
+namespace {
+
+// ------------------------------------------------- differential harness --
+
+struct RunArtifacts {
+  std::string metrics_jsonl;
+  std::string trace_json;
+  std::string report_json;
+  MigrationStats migration;
+};
+
+// Mirrors the CI observability smoke invocation of mtmsim:
+//   mtmsim --workload=gups --solution=mtm --intervals=12 --accesses=3000000
+RunArtifacts RunWithMigrateThreads(u32 migrate_threads, const std::string& fault_spec = "") {
+  ExperimentConfig config;
+  config.num_intervals = 12;
+  config.target_accesses = 3'000'000;
+  config.mtm.migrate_threads = migrate_threads;
+  config.fault_spec = fault_spec;
+  Observability obs;
+  RunOptions options;
+  options.obs = &obs;
+  RunResult result = RunExperiment("gups", SolutionKind::kMtm, config, options);
+
+  RunArtifacts artifacts;
+  std::ostringstream metrics;
+  obs.timeline.WriteJsonl(metrics, obs.metrics);
+  artifacts.metrics_jsonl = metrics.str();
+  std::ostringstream trace;
+  obs.trace.WriteChromeTrace(trace);
+  artifacts.trace_json = trace.str();
+  // mtmsim prints the report with a trailing newline; the goldens carry it.
+  artifacts.report_json = Render(result, ReportFormat::kJson) + "\n";
+  artifacts.migration = result.migration_stats;
+  return artifacts;
+}
+
+std::string ReadGolden(const std::string& name) {
+  std::ifstream in(std::string(MTM_TESTS_GOLDEN_DIR) + "/" + name, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << name;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void ExpectSameCopyStats(const MigrationStats& a, const MigrationStats& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.async_copies, b.async_copies) << label;
+  EXPECT_EQ(a.copy_shards, b.copy_shards) << label;
+  EXPECT_EQ(a.async_copy_bytes, b.async_copy_bytes) << label;
+  EXPECT_EQ(a.fallback_copy_bytes, b.fallback_copy_bytes) << label;
+  EXPECT_EQ(a.copy_checksum, b.copy_checksum) << label;
+  EXPECT_EQ(a.sync_fallbacks, b.sync_fallbacks) << label;
+}
+
+TEST(ParallelMigrationTest, MigrateThreadsProduceByteIdenticalArtifacts) {
+  RunArtifacts serial = RunWithMigrateThreads(1);
+  // The run must actually exercise both copy paths, or this differential
+  // proves nothing: staged commits and §7.2 write-fault fallbacks.
+  EXPECT_GT(serial.migration.async_copies, 0u);
+  EXPECT_GT(serial.migration.sync_fallbacks, 0u);
+  EXPECT_GT(serial.migration.copy_shards, 0u);
+  EXPECT_NE(serial.migration.copy_checksum, 0u);
+  for (u32 threads : {2u, 8u}) {
+    RunArtifacts parallel = RunWithMigrateThreads(threads);
+    std::string label = "migrate_threads=" + std::to_string(threads);
+    EXPECT_EQ(serial.metrics_jsonl, parallel.metrics_jsonl) << label;
+    EXPECT_EQ(serial.trace_json, parallel.trace_json) << label;
+    EXPECT_EQ(serial.report_json, parallel.report_json) << label;
+    ExpectSameCopyStats(serial.migration, parallel.migration, label);
+  }
+}
+
+TEST(ParallelMigrationTest, SerialRunMatchesPreAsyncGoldens) {
+  // The goldens predate the copy engine (PR 4/PR 6 vintage): a default
+  // (--migrate-threads=1) run staging real copies must not move a byte of
+  // output.
+  RunArtifacts serial = RunWithMigrateThreads(1);
+  EXPECT_EQ(serial.metrics_jsonl, ReadGolden("scan_gups_metrics.jsonl"));
+  EXPECT_EQ(serial.trace_json, ReadGolden("scan_gups_trace.json"));
+  EXPECT_EQ(serial.report_json, ReadGolden("scan_gups_report.json"));
+}
+
+TEST(ParallelMigrationTest, ParallelRunMatchesPreAsyncGoldens) {
+  RunArtifacts parallel = RunWithMigrateThreads(8);
+  EXPECT_EQ(parallel.metrics_jsonl, ReadGolden("scan_gups_metrics.jsonl"));
+  EXPECT_EQ(parallel.trace_json, ReadGolden("scan_gups_trace.json"));
+  EXPECT_EQ(parallel.report_json, ReadGolden("scan_gups_report.json"));
+}
+
+TEST(ParallelMigrationTest, MigrateThreadsByteIdenticalUnderChaos) {
+  // Injected copy/remap/alloc faults exercise every Cancel path in the
+  // engine (rollbacks, retries, abandons); thread count must still not leak
+  // into any output.
+  const std::string spec = "copy_fail:p=0.02;remap_fail:p=0.01;alloc_fail:p=0.01";
+  RunArtifacts serial = RunWithMigrateThreads(1, spec);
+  EXPECT_GT(serial.migration.rollbacks, 0u);
+  for (u32 threads : {2u, 8u}) {
+    RunArtifacts parallel = RunWithMigrateThreads(threads, spec);
+    std::string label = "chaos migrate_threads=" + std::to_string(threads);
+    EXPECT_EQ(serial.metrics_jsonl, parallel.metrics_jsonl) << label;
+    EXPECT_EQ(serial.trace_json, parallel.trace_json) << label;
+    EXPECT_EQ(serial.report_json, parallel.report_json) << label;
+    ExpectSameCopyStats(serial.migration, parallel.migration, label);
+  }
+}
+
+// ------------------------------------------------ shard-plan properties --
+
+// Random still-to-move snapshot: huge frames in address order, each either
+// one 2 MiB record or a random subset of its 4 KiB base pages (a region
+// mid-split), with random gaps between frames (pages already on dst).
+std::vector<PageCopyRecord> RandomSnapshot(Rng& rng) {
+  std::vector<PageCopyRecord> pages;
+  const u64 frames = 1 + rng.NextBounded(24);
+  VirtAddr frame = VirtAddr(GiB(1).value());
+  for (u64 f = 0; f < frames; ++f) {
+    frame = frame + (1 + rng.NextBounded(3)) * kHugePageBytes;
+    if (rng.NextBounded(2) == 0) {
+      pages.push_back(PageCopyRecord{frame, kHugePageBytes, ComponentId{2}, rng.Next()});
+    } else {
+      for (u64 p = 0; p < kPagesPerHugePage; ++p) {
+        if (rng.NextBounded(4) == 0) {
+          pages.push_back(PageCopyRecord{frame + p * kPageBytes.value(), kPageBytes,
+                                         ComponentId{3}, rng.Next()});
+        }
+      }
+    }
+  }
+  return pages;
+}
+
+TEST(CopyShardPlanTest, ShardsPartitionTheSnapshot) {
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<PageCopyRecord> pages = RandomSnapshot(rng);
+    std::vector<CopyShard> shards = PlanCopyShards(pages, Bytes{});
+    if (pages.empty()) {
+      EXPECT_TRUE(shards.empty());
+      continue;
+    }
+    // Disjoint full coverage: shard index ranges are contiguous, in order,
+    // and cover [0, pages.size()) exactly once.
+    std::size_t next = 0;
+    Bytes total;
+    for (const CopyShard& shard : shards) {
+      EXPECT_EQ(shard.first, next);
+      EXPECT_GT(shard.count, 0u);
+      Bytes bytes;
+      for (std::size_t i = 0; i < shard.count; ++i) {
+        bytes += pages[shard.first + i].size;
+      }
+      EXPECT_EQ(bytes, shard.bytes);
+      next = shard.first + shard.count;
+      total += shard.bytes;
+    }
+    EXPECT_EQ(next, pages.size());
+    Bytes expected;
+    for (const PageCopyRecord& page : pages) {
+      expected += page.size;
+    }
+    EXPECT_EQ(total, expected);
+  }
+}
+
+TEST(CopyShardPlanTest, ShardsBreakOnlyAtHugeFrameBoundaries) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<PageCopyRecord> pages = RandomSnapshot(rng);
+    std::vector<CopyShard> shards = PlanCopyShards(pages, Bytes{});
+    for (std::size_t s = 1; s < shards.size(); ++s) {
+      // Clean break: the first record of a shard starts a new 2 MiB huge
+      // frame, so one huge page's base-page remnants never split.
+      const PageCopyRecord& head = pages[shards[s].first];
+      const PageCopyRecord& prev = pages[shards[s].first - 1];
+      EXPECT_NE(HugeAlignDown(head.addr), HugeAlignDown(prev.addr))
+          << "shard " << s << " splits a huge frame";
+    }
+  }
+}
+
+TEST(CopyShardPlanTest, JoinResultIndependentOfThreadCount) {
+  Rng rng(0xFEED);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<PageCopyRecord> pages = RandomSnapshot(rng);
+    // Shard-order merge reference, built from the plan by hand.
+    std::vector<CopyShard> shards = PlanCopyShards(pages, Bytes{});
+    u64 expected = kCopyChecksumSeed;
+    for (const CopyShard& shard : shards) {
+      u64 piece = kCopyChecksumSeed;
+      for (std::size_t i = 0; i < shard.count; ++i) {
+        piece = FoldCopyChecksum(piece, CopyPageContent(pages[shard.first + i]));
+      }
+      expected = FoldCopyChecksum(expected, piece);
+    }
+    for (u32 threads : {1u, 4u}) {
+      AsyncCopyEngine engine(threads);
+      AsyncCopyEngine::Ticket ticket = engine.Begin(pages);
+      RegionCopyResult result = engine.Join(ticket);
+      EXPECT_EQ(result.checksum, expected) << "threads=" << threads;
+      EXPECT_EQ(result.shards, shards.size()) << "threads=" << threads;
+      EXPECT_EQ(engine.in_flight(), 0u);
+    }
+  }
+}
+
+TEST(CopyShardPlanTest, CancelDiscardsWithoutSideEffects) {
+  Rng rng(0xD00D);
+  std::vector<PageCopyRecord> pages = RandomSnapshot(rng);
+  AsyncCopyEngine engine(4);
+  AsyncCopyEngine::Ticket a = engine.Begin(pages);
+  AsyncCopyEngine::Ticket b = engine.Begin(pages);
+  EXPECT_EQ(engine.in_flight(), 2u);
+  engine.Cancel(a);
+  RegionCopyResult result = engine.Join(b);
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_NE(result.checksum, 0u);
+}
+
+// ------------------------------------------- write-fault fallback (§7.2) --
+
+class AsyncFallbackTest : public ::testing::Test {
+ protected:
+  AsyncFallbackTest()
+      : machine_(Machine::OptaneFourTier(512)),
+        frames_(machine_),
+        counters_(machine_.num_components()),
+        t1_(machine_.TierOrder(0)[0]),
+        t3_(machine_.TierOrder(0)[2]) {}
+
+  VirtAddr BuildMapped(Bytes bytes, ComponentId component, bool huge) {
+    u32 vma = address_space_.Allocate(bytes, huge, "w");
+    VirtAddr start = address_space_.vma(vma).start;
+    EXPECT_TRUE(page_table_.MapRange(start, address_space_.vma(vma).len, component, huge).ok());
+    EXPECT_TRUE(frames_.Reserve(component, address_space_.vma(vma).len).ok());
+    return start;
+  }
+
+  MigrationEngine MakeEngine(u32 migrate_threads) {
+    MigrationEngine engine(machine_, page_table_, frames_, address_space_, counters_, clock_,
+                           MechanismKind::kMoveMemoryRegions);
+    engine.set_migrate_threads(migrate_threads);
+    return engine;
+  }
+
+  // Still-to-move snapshot of [start, len) toward dst, the engine's own
+  // staging rule re-derived for reference checksums.
+  std::vector<PageCopyRecord> LiveRecords(VirtAddr start, Bytes len, ComponentId dst) {
+    std::vector<PageCopyRecord> records;
+    const PageTable& pt = page_table_;
+    pt.ForEachMapping(start, len, [&](VirtAddr addr, Bytes size, const Pte& pte) {
+      if (pte.component == dst) {
+        return;
+      }
+      records.push_back(PageCopyRecord{addr, size, pte.component, pte.payload});
+    });
+    return records;
+  }
+
+  // What stats().copy_checksum holds after one staged (async) commit.
+  static u64 StagedChecksum(const std::vector<PageCopyRecord>& records) {
+    std::vector<CopyShard> shards = PlanCopyShards(records, Bytes{});
+    u64 region = kCopyChecksumSeed;
+    for (const CopyShard& shard : shards) {
+      u64 piece = kCopyChecksumSeed;
+      for (std::size_t i = 0; i < shard.count; ++i) {
+        piece = FoldCopyChecksum(piece, CopyPageContent(records[shard.first + i]));
+      }
+      region = FoldCopyChecksum(region, piece);
+    }
+    return FoldCopyChecksum(0, region);
+  }
+
+  // What stats().copy_checksum holds after one §7.2 serial re-copy (flat
+  // fold, no shard structure: the fallback is a single synchronous pass).
+  static u64 SerialChecksum(const std::vector<PageCopyRecord>& records) {
+    u64 region = kCopyChecksumSeed;
+    for (const PageCopyRecord& record : records) {
+      region = FoldCopyChecksum(region, CopyPageContent(record));
+    }
+    return FoldCopyChecksum(0, region);
+  }
+
+  Machine machine_;
+  SimClock clock_;
+  PageTable page_table_;
+  AddressSpace address_space_;
+  FrameAllocator frames_;
+  MemCounters counters_;
+  ComponentId t1_, t3_;
+};
+
+TEST_F(AsyncFallbackTest, WriteInWindowForcesSyncFallbackExactlyOnce) {
+  VirtAddr start = BuildMapped(MiB(4), t3_, false);
+  MigrationEngine engine = MakeEngine(4);
+  ASSERT_TRUE(engine.Submit(MigrationOrder{start, MiB(2), t1_, 0}).ok());
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.OnWriteTrackFault(start + kPageSize, 0);
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.stats().sync_fallbacks, 1u);
+  EXPECT_EQ(engine.stats().fallback_copy_bytes, MiB(2));
+  EXPECT_EQ(engine.stats().async_copies, 0u);
+  // A second fault against the same (now committed) region is a no-op: the
+  // fallback fires exactly once per in-flight window.
+  engine.OnWriteTrackFault(start + kPageSize, 0);
+  EXPECT_EQ(engine.stats().sync_fallbacks, 1u);
+  EXPECT_EQ(engine.stats().fallback_copy_bytes, MiB(2));
+}
+
+TEST_F(AsyncFallbackTest, FallbackChecksumMatchesSerialReference) {
+  VirtAddr start = BuildMapped(MiB(4), t3_, false);
+  MigrationEngine engine = MakeEngine(4);
+  ASSERT_TRUE(engine.Submit(MigrationOrder{start, MiB(2), t1_, 0}).ok());
+  // No write mutated any payload between submit and fault, so the serial
+  // re-copy reads exactly the staged contents — and must still discard the
+  // helper-thread result and re-fold flat (§7.2 "must be copied again").
+  u64 expected = SerialChecksum(LiveRecords(start, MiB(2), t1_));
+  engine.OnWriteTrackFault(start, 0);
+  EXPECT_EQ(engine.stats().copy_checksum, expected);
+}
+
+TEST_F(AsyncFallbackTest, AsyncCommitChecksumMatchesShardMergeReference) {
+  VirtAddr start = BuildMapped(MiB(8), t3_, true);
+  MigrationEngine engine = MakeEngine(4);
+  ASSERT_TRUE(engine.Submit(MigrationOrder{start, MiB(8), t1_, 0}).ok());
+  u64 expected = StagedChecksum(LiveRecords(start, MiB(8), t1_));
+  clock_.AdvanceApp(Seconds(1));
+  engine.Poll();
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.stats().async_copies, 1u);
+  EXPECT_EQ(engine.stats().copy_shards, 4u);  // one shard per huge frame
+  EXPECT_EQ(engine.stats().async_copy_bytes, MiB(8));
+  EXPECT_EQ(engine.stats().copy_checksum, expected);
+}
+
+TEST_F(AsyncFallbackTest, EngineChecksumsIndependentOfMigrateThreads) {
+  // Two identical scenarios, one serial and one with helper threads: every
+  // copy-engine stat must agree. (The driver-level differential above
+  // covers the full system; this pins the engine in isolation.)
+  MigrationStats results[2];
+  int slot = 0;
+  for (u32 threads : {1u, 4u}) {
+    SimClock clock;
+    PageTable page_table;
+    AddressSpace address_space;
+    FrameAllocator frames(machine_);
+    MemCounters counters(machine_.num_components());
+    u32 vma = address_space.Allocate(MiB(8), false, "w");
+    VirtAddr start = address_space.vma(vma).start;
+    ASSERT_TRUE(page_table.MapRange(start, MiB(8), t3_, false).ok());
+    ASSERT_TRUE(frames.Reserve(t3_, MiB(8)).ok());
+    // Distinct per-page contents so a mis-merged checksum cannot collide.
+    u64 salt = 0;
+    page_table.ForEachMapping(start, MiB(8), [&](VirtAddr addr, Bytes, Pte& pte) {
+      pte.payload = MixPayload(++salt, addr);
+    });
+    MigrationEngine engine(machine_, page_table, frames, address_space, counters, clock,
+                           MechanismKind::kMoveMemoryRegions);
+    engine.set_migrate_threads(threads);
+    ASSERT_TRUE(engine.Submit(MigrationOrder{start, MiB(4), t1_, 0}).ok());
+    clock.AdvanceApp(Seconds(1));
+    engine.Poll();
+    ASSERT_TRUE(engine.Submit(MigrationOrder{start + MiB(4).value(), MiB(4), t1_, 0}).ok());
+    engine.OnWriteTrackFault(start + MiB(5).value(), 0);  // fallback leg
+    results[slot++] = engine.stats();
+  }
+  ExpectSameCopyStats(results[0], results[1], "engine-level threads 1 vs 4");
+  EXPECT_EQ(results[0].async_copies, 1u);
+  EXPECT_EQ(results[0].sync_fallbacks, 1u);
+}
+
+TEST_F(AsyncFallbackTest, NoLostUpdates) {
+  // The faulting write must land on the destination page: the fault joins
+  // the copy *before* the write's effect, the serial re-copy commits the
+  // pre-write contents, and the write then mutates the (moved) page — the
+  // same end state as the real mechanism, where the blocked store retires
+  // against the destination after the synchronous copy.
+  VirtAddr start = BuildMapped(MiB(4), t3_, false);
+  AccessEngine::Config config;
+  config.num_threads = 1;
+  AccessEngine access(machine_, page_table_, clock_, counters_, config);
+  MigrationEngine engine = MakeEngine(4);
+  access.set_write_track_observer(&engine);
+
+  ASSERT_TRUE(engine.Submit(MigrationOrder{start, MiB(2), t1_, 0}).ok());
+  const VirtAddr target = start + 3 * kPageSize;
+  const u64 payload_before = page_table_.Find(target)->payload;
+  access.Apply(target, /*is_write=*/true, 0);
+
+  EXPECT_EQ(access.write_track_faults(), 1u);
+  EXPECT_EQ(engine.stats().sync_fallbacks, 1u);
+  Pte* pte = page_table_.Find(target);
+  ASSERT_NE(pte, nullptr);
+  EXPECT_EQ(pte->component, t1_);  // committed by the fallback
+  EXPECT_EQ(pte->payload, MixPayload(payload_before, target));  // write survived
+  EXPECT_FALSE(pte->write_tracked());
+}
+
+TEST_F(AsyncFallbackTest, FallbackCounterMonotone) {
+  Rng rng(0x5EED);
+  MigrationEngine engine = MakeEngine(2);
+  u64 last = 0;
+  for (int round = 0; round < 12; ++round) {
+    VirtAddr start = BuildMapped(MiB(2), t3_, false);
+    ASSERT_TRUE(engine.Submit(MigrationOrder{start, MiB(2), t1_, 0}).ok());
+    if (rng.NextBounded(2) == 0) {
+      engine.OnWriteTrackFault(start + rng.NextBounded(512) * kPageSize, 0);
+    } else {
+      clock_.AdvanceApp(Seconds(1));
+      engine.Poll();
+    }
+    EXPECT_GE(engine.stats().sync_fallbacks, last);
+    last = engine.stats().sync_fallbacks;
+    EXPECT_EQ(engine.pending(), 0u);
+  }
+  EXPECT_EQ(engine.stats().async_copies + engine.stats().sync_fallbacks, 12u);
+}
+
+// ------------------------------------------------- thread-pool detached --
+
+TEST(ThreadPoolJobTest, StartJobRunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<u32> hits(257, 0);
+  ThreadPool::JobId job =
+      pool.StartJob(hits.size(), [&hits](std::size_t i) { hits[i] += 1; });
+  pool.WaitJob(job);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1u) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolJobTest, StartJobRunsInlineWhenSingleThreaded) {
+  ThreadPool pool(1);
+  std::vector<u32> hits(16, 0);
+  ThreadPool::JobId job =
+      pool.StartJob(hits.size(), [&hits](std::size_t i) { hits[i] += 1; });
+  // No workers exist, so the batch completed inside StartJob.
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1u);
+  }
+  pool.WaitJob(job);
+}
+
+TEST(ThreadPoolJobTest, DetachedJobsInterleaveAndJoinOutOfOrder) {
+  ThreadPool pool(3);
+  std::vector<u32> a(64, 0);
+  std::vector<u32> b(64, 0);
+  ThreadPool::JobId ja = pool.StartJob(a.size(), [&a](std::size_t i) { a[i] += 1; });
+  ThreadPool::JobId jb = pool.StartJob(b.size(), [&b](std::size_t i) { b[i] += 1; });
+  pool.WaitJob(jb);  // reverse order
+  pool.WaitJob(ja);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i] + b[i], 2u);
+  }
+}
+
+TEST(ThreadPoolJobTest, ParallelForStillWorksAlongsideDetachedJobs) {
+  ThreadPool pool(4);
+  std::vector<u32> detached(128, 0);
+  std::vector<u32> blocking(128, 0);
+  ThreadPool::JobId job =
+      pool.StartJob(detached.size(), [&detached](std::size_t i) { detached[i] += 1; });
+  pool.ParallelFor(blocking.size(), [&blocking](std::size_t i) { blocking[i] += 1; });
+  pool.WaitJob(job);
+  for (std::size_t i = 0; i < detached.size(); ++i) {
+    EXPECT_EQ(detached[i], 1u);
+    EXPECT_EQ(blocking[i], 1u);
+  }
+}
+
+// ------------------------------------------------------------- stress ----
+
+TEST(ParallelMigrationStressTest, PingpongPptChaosIdenticalAcrossThreads) {
+  // The adversarial combination: a ping-ponging workload under the ppt
+  // admission controller with injected faults, so staged copies are
+  // cancelled by rollbacks, re-staged by retries, and interleaved with
+  // reclaim demotions — while helper threads run the copies. Run under
+  // TSan via the CI matrix.
+  auto run = [](u32 migrate_threads) {
+    ExperimentConfig config;
+    config.num_intervals = 10;
+    config.target_accesses = 1'500'000;
+    config.mtm.migrate_threads = migrate_threads;
+    config.mtm.admission = AdmissionKind::kPpt;
+    config.fault_spec = "copy_fail:p=0.02;alloc_fail:p=0.01";
+    RunOptions options;
+    RunResult result = RunExperiment("pingpong", SolutionKind::kMtm, config, options);
+    return result;
+  };
+  RunResult serial = run(1);
+  for (u32 threads : {8u}) {
+    RunResult parallel = run(threads);
+    std::string label = "pingpong migrate_threads=" + std::to_string(threads);
+    EXPECT_EQ(Render(serial, ReportFormat::kJson), Render(parallel, ReportFormat::kJson))
+        << label;
+    EXPECT_EQ(Render(serial, ReportFormat::kCsv), Render(parallel, ReportFormat::kCsv))
+        << label;
+    ExpectSameCopyStats(serial.migration_stats, parallel.migration_stats, label);
+  }
+}
+
+}  // namespace
+}  // namespace mtm

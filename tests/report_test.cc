@@ -21,6 +21,11 @@ RunResult SampleResult() {
   r.component_app_accesses = {700'000, 100'000, 200'000, 0};
   r.migration_stats.bytes_migrated = MiB(64);
   r.migration_stats.sync_fallbacks = 3;
+  r.migration_stats.async_copies = 5;
+  r.migration_stats.copy_shards = 12;
+  r.migration_stats.async_copy_bytes = MiB(48);
+  r.migration_stats.fallback_copy_bytes = MiB(16);
+  r.migration_stats.copy_checksum = 0xDEADBEEF;
   r.profiler_memory_bytes = Bytes(4096);
   r.footprint_bytes = GiB(1);
   return r;
@@ -34,6 +39,10 @@ TEST(ReportTest, CsvRowMatchesHeaderColumns) {
   };
   EXPECT_EQ(count(header), count(row));
   EXPECT_NE(row.find("gups,mtm"), std::string::npos);
+  // Copy-engine accounting rides in the CSV (the JSON schema is goldened).
+  EXPECT_NE(header.find("async_copies"), std::string::npos);
+  EXPECT_NE(header.find("copy_checksum"), std::string::npos);
+  EXPECT_NE(row.find(std::to_string(u64{0xDEADBEEF})), std::string::npos);
 }
 
 TEST(ReportTest, HumanReportMentionsEverything) {
@@ -41,6 +50,7 @@ TEST(ReportTest, HumanReportMentionsEverything) {
   EXPECT_NE(report.find("gups under mtm"), std::string::npos);
   EXPECT_NE(report.find("migration"), std::string::npos);
   EXPECT_NE(report.find("sync fallbacks"), std::string::npos);
+  EXPECT_NE(report.find("async copy"), std::string::npos);
 }
 
 TEST(ReportTest, JsonWellFormedish) {

@@ -23,6 +23,9 @@
 //   --num-scans=N       PTE scans per sample per interval            [3]
 //   --scan-threads=N    workers for the sharded PTE-scan engine;
 //                       output is byte-identical for any value       [1]
+//   --migrate-threads=N helper threads for the move_memory_regions
+//                       copy stage; output is byte-identical for any
+//                       value                                        [1]
 //   --two-tier          use the single-socket DRAM+PM machine        [false]
 //   --spread-threads    spread threads over both sockets             [false]
 //   --no-pebs           disable performance-counter assistance       [false]
@@ -50,6 +53,8 @@
 //   --record-intervals  include per-interval records (json)          [false]
 //   --metrics-out=PATH  write per-interval metrics timeline (JSONL)  [off]
 //   --trace-out=PATH    write Chrome trace_event JSON (Perfetto)     [off]
+//   --trace-flows       add async-flow arrows linking migrate_arm to
+//                       the matching finish span (needs --trace-out) [false]
 #include <cstdio>
 #include <string>
 
@@ -87,6 +92,8 @@ int main(int argc, char** argv) {
   config.mtm.num_scans = static_cast<mtm::u32>(flags.GetU64("num-scans", 3));
   config.mtm.scan_threads = static_cast<mtm::u32>(
       flags.GetU64("scan-threads", flags.GetU64("scan_threads", 1)));
+  config.mtm.migrate_threads = static_cast<mtm::u32>(
+      flags.GetU64("migrate-threads", flags.GetU64("migrate_threads", 1)));
   config.mtm.use_pebs = !flags.GetBool("no-pebs", false);
   if (flags.GetBool("sync-migration", false)) {
     config.mtm.mechanism = mtm::MechanismKind::kMmrSync;
@@ -136,6 +143,7 @@ int main(int argc, char** argv) {
   std::string metrics_out = flags.GetString("metrics-out", flags.GetString("metrics_out", ""));
   std::string trace_out = flags.GetString("trace-out", flags.GetString("trace_out", ""));
   mtm::Observability obs;
+  obs.async_flows = flags.GetBool("trace-flows", flags.GetBool("trace_flows", false));
   if (!metrics_out.empty() || !trace_out.empty()) {
     options.obs = &obs;
   }

@@ -9,9 +9,12 @@ Checks the structural contract the exporters promise (DESIGN.md §8):
                  summaries {count, mean, min, max}. No "wall/" keys — host
                  timings must not leak into the deterministic timeline.
   Chrome trace   a JSON object with `traceEvents`; every event has a valid
-                 `ph` (X/C/M), X events carry name/cat/ts/dur, C events carry
-                 name/ts/args.value, and at least one pte_scan span and one
-                 migration-category span exist.
+                 `ph` (X/C/M, or the s/f flow pair), X events carry
+                 name/cat/ts/dur, C events carry name/ts/args.value, flow
+                 events carry name/cat/id/ts with every `f` closing a prior
+                 `s` of the same name/cat/id (and `f` carrying bp="e"), and
+                 at least one pte_scan span and one migration-category span
+                 exist.
 
   features JSONL one training row per region per interval
                  (--policy-features-out): the fixed key order
@@ -107,11 +110,29 @@ def check_trace(path):
     events = trace["traceEvents"]
     pte_scans = 0
     migration_spans = 0
+    flow_pairs = 0
+    open_flows = {}  # (name, cat, id) -> count of unmatched starts
     for n, ev in enumerate(events):
         where = f"{path}: traceEvents[{n}]"
         ph = ev.get("ph")
-        if ph not in ("X", "C", "M"):
+        if ph not in ("X", "C", "M", "s", "f"):
             fail(f"{where}: bad ph {ph!r}")
+        if ph in ("s", "f"):
+            for key in ("name", "cat", "id", "ts"):
+                if key not in ev:
+                    fail(f"{where}: flow event missing '{key}'")
+            flow_key = (ev["name"], ev["cat"], ev["id"])
+            if ph == "s":
+                open_flows[flow_key] = open_flows.get(flow_key, 0) + 1
+            else:
+                if ev.get("bp") != "e":
+                    fail(f"{where}: flow finish must bind to the enclosing "
+                         'slice (bp="e")')
+                if open_flows.get(flow_key, 0) == 0:
+                    fail(f"{where}: flow finish {flow_key} has no matching "
+                         "start")
+                open_flows[flow_key] -= 1
+                flow_pairs += 1
         if ph == "X":
             for key in ("name", "cat", "ts", "dur"):
                 if key not in ev:
@@ -134,7 +155,7 @@ def check_trace(path):
         fail(f"{path}: no migration spans")
     print(f"obs_schema_check: {path}: {len(events)} event(s), "
           f"{pte_scans} pte_scan span(s), {migration_spans} migration "
-          "span(s) OK")
+          f"span(s), {flow_pairs} flow pair(s) OK")
 
 
 # Keep in sync with kFeatureNames (src/migration/features.h).
