@@ -22,6 +22,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+// mtm-analyze: requires(mu_)
 void ThreadPool::DrainTasks(std::unique_lock<std::mutex>& lock) {
   while (next_task_ < job_tasks_) {
     const std::size_t index = next_task_++;
@@ -35,6 +36,7 @@ void ThreadPool::DrainTasks(std::unique_lock<std::mutex>& lock) {
   }
 }
 
+// mtm-analyze: requires(mu_)
 void ThreadPool::DrainAsyncJob(std::unique_lock<std::mutex>& lock, AsyncJob* job) {
   while (job->next < job->num_tasks) {
     const std::size_t index = job->next++;

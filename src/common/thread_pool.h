@@ -69,8 +69,8 @@ class ThreadPool {
   struct AsyncJob {
     std::function<void(std::size_t)> fn;
     std::size_t num_tasks = 0;
-    std::size_t next = 0;       // guarded by mu_
-    std::size_t remaining = 0;  // guarded by mu_
+    std::size_t next = 0;       // mtm-analyze: guarded_by(mu_)
+    std::size_t remaining = 0;  // mtm-analyze: guarded_by(mu_)
   };
 
   void WorkerLoop();
@@ -88,14 +88,14 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable job_cv_;   // workers: new job or stop
   std::condition_variable done_cv_;  // caller: all tasks complete
-  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by mu_
-  std::size_t job_tasks_ = 0;                              // guarded by mu_
-  std::size_t next_task_ = 0;                              // guarded by mu_
-  std::size_t remaining_ = 0;                              // guarded by mu_
-  u64 job_generation_ = 0;                                 // guarded by mu_
-  bool stop_ = false;                                      // guarded by mu_
-  std::map<JobId, AsyncJob> async_jobs_;                   // guarded by mu_
-  JobId next_job_id_ = 1;                                  // guarded by mu_
+  const std::function<void(std::size_t)>* job_ = nullptr;  // mtm-analyze: guarded_by(mu_)
+  std::size_t job_tasks_ = 0;                              // mtm-analyze: guarded_by(mu_)
+  std::size_t next_task_ = 0;                              // mtm-analyze: guarded_by(mu_)
+  std::size_t remaining_ = 0;                              // mtm-analyze: guarded_by(mu_)
+  u64 job_generation_ = 0;                                 // mtm-analyze: guarded_by(mu_)
+  bool stop_ = false;                                      // mtm-analyze: guarded_by(mu_)
+  std::map<JobId, AsyncJob> async_jobs_;                   // mtm-analyze: guarded_by(mu_)
+  JobId next_job_id_ = 1;                                  // mtm-analyze: guarded_by(mu_)
 };
 
 }  // namespace mtm

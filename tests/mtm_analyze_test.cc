@@ -35,7 +35,11 @@ std::vector<std::string> FixtureSeeds() {
       "proj/det/seeded_ok.cc",   "proj/det/suppressed.cc",  "proj/det/nojust.cc",
       "proj/err/discard.cc",     "proj/err/unwrap.cc",      "proj/err/rawret.cc",
       "proj/conc/tasks.cc",      "proj/conc/named.cc",      "proj/conc/serial.cc",
-      "proj/conc/delta.cc",
+      "proj/conc/delta.cc",      "proj/conc/capture.cc",    "proj/conc/capture_ok.cc",
+      "proj/conc/xtu_impl.cc",   "proj/conc/xtu_caller.cc", "proj/conc/ambig_one.cc",
+      "proj/conc/ambig_two.cc",  "proj/conc/ambig_caller.cc", "proj/lock/guarded.cc",
+      "proj/lock/guarded_ok.cc", "proj/lock/order_a.cc",    "proj/lock/order_b.cc",
+      "proj/lock/order_ok.cc",
   };
 }
 
@@ -230,6 +234,76 @@ TEST_F(AnalyzeFixtureTest, AllowlistedMergePointStopsTheWalk) {
   EXPECT_FALSE(AnyFindingIn("proj/conc/delta.cc"));
 }
 
+TEST_F(AnalyzeFixtureTest, FlagsCaptureWrites) {
+  // Line 14 writes an enclosing local through a by-reference capture;
+  // line 19 writes a pointee through a pointer captured by value.
+  EXPECT_EQ(FindingLines("task-capture-write", "proj/conc/capture.cc"),
+            (std::vector<int>{14, 19}));
+}
+
+TEST_F(AnalyzeFixtureTest, DoesNotFlagShardLocalCapturePatterns) {
+  // Shard-indexed subscripts, lambda-local scratch, and mutable by-value
+  // copies are all private to a shard.
+  EXPECT_FALSE(AnyFindingIn("proj/conc/capture_ok.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, WalksAcrossTranslationUnits) {
+  // xtu_caller.cc's lambda calls CrossBump, whose body (and the flagged
+  // global write) lives in a different TU.
+  EXPECT_EQ(FindingLines("task-static-write", "proj/conc/xtu_impl.cc"), (std::vector<int>{9}));
+  EXPECT_FALSE(AnyFindingIn("proj/conc/xtu_caller.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, AmbiguousCallWalksEveryCandidate) {
+  // AmbigBump(shard) matches one-argument definitions in two TUs: both
+  // bodies are walked (conservative multi-target edge), while the
+  // two-argument overload at ambig_two.cc:13 is arity-filtered out.
+  EXPECT_EQ(FindingLines("task-static-write", "proj/conc/ambig_one.cc"), (std::vector<int>{8}));
+  EXPECT_EQ(FindingLines("task-static-write", "proj/conc/ambig_two.cc"),
+            (std::vector<int>{11}));
+}
+
+// ---------------------------------------------------- lock-discipline pass
+
+TEST_F(AnalyzeFixtureTest, FlagsUnguardedMemberWrite) {
+  // The shard lambda writes the guarded_by(mu_) member with no lock held;
+  // the guarded-member interplay keeps task-member-write out of the way.
+  EXPECT_EQ(FindingLines("unguarded-member-write", "proj/lock/guarded.cc"),
+            (std::vector<int>{10}));
+  EXPECT_FALSE(HasFinding("task-member-write", "proj/lock/guarded.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, LockScopeAndRequiresAnnotationAreClean) {
+  EXPECT_FALSE(AnyFindingIn("proj/lock/guarded_ok.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, FlagsInconsistentLockOrderAcrossTUs) {
+  // LockBoth holds mu_a_ while the cross-TU call to AcquireB takes mu_b_;
+  // ReverseOrder nests them the other way round — one finding per
+  // direction, at each direction's first acquisition site.
+  EXPECT_TRUE(HasFinding("lock-order", "proj/lock/order_a.cc"));
+  EXPECT_TRUE(HasFinding("lock-order", "proj/lock/order_b.cc"));
+}
+
+TEST_F(AnalyzeFixtureTest, SequentialAndScopedLockImposeNoOrder) {
+  EXPECT_FALSE(AnyFindingIn("proj/lock/order_ok.cc"));
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST_F(AnalyzeFixtureTest, StatsCountFilesAndCallEdges) {
+  AnalyzeStats stats;
+  Analyze(project_, config_, &stats);
+  EXPECT_EQ(stats.files_checked, project_.files().size());
+  EXPECT_GT(stats.edges.resolved_edges, 0u);
+  // The AmbigBump call is the fixture tree's multi-target edge.
+  EXPECT_GT(stats.edges.multi_target_edges, 0u);
+  EXPECT_EQ(stats.findings_by_check.count("task-capture-write"), 1u);
+  std::string text = FormatStats(stats);
+  EXPECT_NE(text.find("call edges:"), std::string::npos);
+  EXPECT_NE(text.find("files analyzed:"), std::string::npos);
+}
+
 // ----------------------------------------------------------- suppressions
 
 TEST_F(AnalyzeFixtureTest, JustifiedSuppressionSilencesFinding) {
@@ -399,6 +473,34 @@ TEST(FunctionModelTest, RecordsMutableStaticLocalButNotConst) {
   EXPECT_EQ(static_decls, 1);
 }
 
+TEST(FunctionModelTest, RecordsLambdaCapturesParamsAndLocals) {
+  SourceFile f = ParseSnippet(
+      "void F() {\n"
+      "  int total = 0;\n"
+      "  ParallelFor(2, [&total, this](int s) { total += s; });\n"
+      "}\n");
+  ASSERT_EQ(f.functions.size(), 2u);
+  const FunctionInfo& lambda = f.functions[1];
+  EXPECT_EQ(lambda.capture_refs, std::vector<std::string>{"total"});
+  EXPECT_TRUE(lambda.captures_this);
+  EXPECT_EQ(lambda.locals.count("s"), 1u);
+  EXPECT_EQ(lambda.locals.count("total"), 0u);
+  EXPECT_EQ(f.functions[0].locals.count("total"), 1u);
+}
+
+TEST(FunctionModelTest, RecordsLockGuardScopes) {
+  SourceFile f = ParseSnippet(
+      "void Engine::Tick() {\n"
+      "  std::lock_guard<std::mutex> lock(mu_);\n"
+      "  count_ += 1;\n"
+      "}\n");
+  ASSERT_EQ(f.functions.size(), 1u);
+  ASSERT_EQ(f.functions[0].locks.size(), 1u);
+  EXPECT_EQ(f.functions[0].locks[0].mutex, "mu_");
+  EXPECT_EQ(f.functions[0].locks[0].line, 2);
+  EXPECT_GE(f.functions[0].locks[0].end_line, 3);
+}
+
 // ------------------------------------------------------------- lexer unit
 
 TEST(StripTest, RemovesCommentsAndStringsPreservingLines) {
@@ -413,6 +515,34 @@ TEST(StripTest, RemovesCommentsAndStringsPreservingLines) {
 TEST(StripTest, DigitSeparatorIsNotACharLiteral) {
   std::string stripped = StripCommentsAndStrings("u64 x = 1'000'000; int y = 2;");
   EXPECT_NE(stripped.find("y = 2"), std::string::npos);
+}
+
+TEST(StripTest, RawStringWithCustomDelimiterKeepsLineNumbers) {
+  // R"x(...)x" must close on )x", not on the first )" inside the body, and
+  // the newline inside the literal must survive so lines stay aligned.
+  std::string stripped =
+      StripCommentsAndStrings("auto s = R\"x(one \"two\" )\"\nthree)x\";\nint z = 3;\n");
+  std::vector<std::string> lines = SplitLines(stripped);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "int z = 3;");
+  EXPECT_EQ(stripped.find("two"), std::string::npos);
+  EXPECT_EQ(stripped.find("three"), std::string::npos);
+}
+
+TEST(StripTest, BackslashContinuedStringKeepsLineNumbers) {
+  std::string stripped = StripCommentsAndStrings("const char* s = \"ab\\\ncd\";\nint q = 7;\n");
+  std::vector<std::string> lines = SplitLines(stripped);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "int q = 7;");
+  EXPECT_EQ(stripped.find("cd"), std::string::npos);
+}
+
+TEST(StripTest, BackslashContinuedLineCommentKeepsLineNumbers) {
+  std::string stripped = StripCommentsAndStrings("// first \\\nstill comment\nint w = 9;\n");
+  std::vector<std::string> lines = SplitLines(stripped);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "int w = 9;");
+  EXPECT_EQ(stripped.find("still"), std::string::npos);
 }
 
 TEST(ContainsWordTest, RespectsBoundaries) {
@@ -481,10 +611,11 @@ TEST(KnownChecksTest, CoversEveryCheckAndPassName) {
        {"unused-include", "transitive-include", "include-cycle", "dead-system-include",
         "layering", "unordered-iteration", "wall-clock", "raw-random", "discarded-status",
         "raw-error-return", "unchecked-result-unwrap", "task-member-write", "task-static-write",
-        "include-graph", "determinism", "error-discipline", "concurrency", "suppression"}) {
+        "task-capture-write", "unguarded-member-write", "lock-order", "include-graph",
+        "determinism", "error-discipline", "concurrency", "lock-discipline", "suppression"}) {
     EXPECT_EQ(KnownChecks().count(check), 1u) << check;
   }
-  EXPECT_EQ(KnownChecks().size(), 18u);
+  EXPECT_EQ(KnownChecks().size(), 22u);
 }
 
 }  // namespace

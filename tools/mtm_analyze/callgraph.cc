@@ -1,23 +1,37 @@
-// Shared-state concurrency pass: walks the intra-project call graph from
-// sharded task entries and flags mutation of cross-task state.
+// Linked whole-program model and the shared-state concurrency pass.
 //
-// Seeds (tools/mtm_analyze/concurrency.toml):
-//   * lambdas passed directly to a [concurrency] task_callbacks call
-//     (ThreadPool::ParallelFor, ForEachRegionSharded, ...),
-//   * named local lambdas passed to such a call by identifier,
-//   * functions listed explicitly in task_entries.
+// LinkedModel merges the per-TU function models of every file reached from
+// compile_commands.json into one call graph. Calls resolve in order:
+//   1. explicit qualifier (Q::Name) against qualified definition names,
+//   2. member lookup through the caller's enclosing scope chain
+//      (ThreadPool::WorkerLoop calling DrainTasks finds
+//      ThreadPool::DrainTasks in any TU),
+//   3. same-file definitions (shadow cross-TU resolution),
+//   4. include-visibility: definitions in the caller's include closure,
+//      widened to *all* definitions of the name when a bodyless declaration
+//      of it is visible in the closure (the normal header/impl split),
+// then an argument-arity filter disambiguates overloads when the call's
+// argument count is known. Survivors: one target is a resolved edge, many
+// are a conservative multi-target edge (every candidate is walked), zero is
+// an external edge.
 //
-// From each seed the pass walks CallSites: a callee resolves to a same-file
-// definition first, else to a globally-unique definition by name; ambiguous
-// or external names are skipped (documented false-negative envelope,
-// DESIGN.md §12). Functions matching mutation_allow ("Class::Method",
-// "Class::*", or a bare name) are sanctioned merge points: their writes are
-// not examined and their callees are not traversed.
-//
-// Inside reachable functions three mutation shapes are findings:
+// The concurrency pass walks this graph from sharded task entries
+// (tools/mtm_analyze/concurrency.toml) and flags mutation of cross-task
+// state:
 //   task-member-write   bare/this-> writes or mutating calls on foo_ members
+//                       (members annotated `mtm-analyze: guarded_by(mu)` are
+//                       owned by the lock-discipline pass instead)
 //   task-static-write   writes to namespace-scope mutable variables, and
 //                       declarations of mutable function-local statics
+//   task-capture-write  writes in task lambdas through by-reference captures
+//                       (or pointer-valued by-value captures, `p->field =`),
+//                       the points-to-free heuristic: shard-indexed slot
+//                       writes (`out[shard] = ...`) and atomic RMW calls are
+//                       exempt
+// Functions matching mutation_allow ("Class::Method", "Class::*", or a bare
+// name) are sanctioned merge points: their writes are not examined and
+// their callees are not traversed.
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <set>
@@ -28,11 +42,6 @@
 
 namespace mtm::analyze {
 namespace {
-
-struct FnRef {
-  const SourceFile* file = nullptr;
-  const FunctionInfo* fn = nullptr;
-};
 
 bool MatchesAllow(const FunctionInfo& fn, const std::vector<std::string>& allow) {
   for (const std::string& entry : allow) {
@@ -72,49 +81,178 @@ bool IsStlLikeName(const std::string& name) {
   return kStlLike.count(name) > 0;
 }
 
+// Atomic read-modify-write members: a `counter.fetch_add(1)` through a
+// captured reference is already a sanctioned cross-shard primitive.
+bool IsAtomicRmw(const std::string& method) {
+  static const std::set<std::string> kRmw = {"fetch_add", "fetch_sub", "store", "exchange",
+                                             "compare_exchange_weak", "compare_exchange_strong"};
+  return kRmw.count(method) > 0;
+}
+
+std::vector<std::string> SplitQualified(const std::string& qualified) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= qualified.size()) {
+    std::size_t pos = qualified.find("::", start);
+    if (pos == std::string::npos) {
+      parts.push_back(qualified.substr(start));
+      break;
+    }
+    parts.push_back(qualified.substr(start, pos - start));
+    start = pos + 2;
+  }
+  return parts;
+}
+
 }  // namespace
 
-std::vector<Finding> RunConcurrencyPass(const Project& project, const Config& config) {
-  std::vector<Finding> findings;
-  if (config.task_callbacks.empty() && config.task_entries.empty()) {
-    return findings;
-  }
-
-  // Indexes: definitions by unqualified name, globally and per file.
-  std::map<std::string, std::vector<FnRef>> by_name;
-  std::map<const SourceFile*, std::map<std::string, std::vector<FnRef>>> by_file;
-  std::set<std::string> mutable_globals;
+LinkedModel::LinkedModel(const Project& project) : project_(project) {
   for (const auto& [path, file] : project.files()) {
-    for (const FunctionInfo& fn : file.functions) {
-      if (!fn.has_body) {
-        continue;
+    for (std::size_t idx = 0; idx < file.functions.size(); ++idx) {
+      const FunctionInfo& fn = file.functions[idx];
+      FnRef ref{path, static_cast<int>(idx)};
+      if (fn.has_body) {
+        by_name_[fn.name].push_back(ref);
+        by_qualified_[fn.qualified].push_back(ref);
+      } else {
+        decl_files_[fn.name].insert(path);
       }
-      FnRef ref{&file, &fn};
-      by_name[fn.name].push_back(ref);
-      by_file[&file][fn.name].push_back(ref);
     }
-    mutable_globals.insert(file.mutable_globals.begin(), file.mutable_globals.end());
+    mutable_globals_.insert(file.mutable_globals.begin(), file.mutable_globals.end());
+    std::set<std::string> closure = project.IncludeClosure(path);
+    closure.insert(path);
+    closures_[path] = std::move(closure);
   }
+}
 
-  // Seed collection.
-  std::deque<FnRef> queue;
-  std::set<const FunctionInfo*> visited;
-  auto enqueue = [&](const FnRef& ref) {
-    if (visited.insert(ref.fn).second) {
-      queue.push_back(ref);
+const FunctionInfo& LinkedModel::Fn(const FnRef& ref) const {
+  return project_.Find(ref.file)->functions[static_cast<std::size_t>(ref.index)];
+}
+
+const SourceFile& LinkedModel::File(const FnRef& ref) const { return *project_.Find(ref.file); }
+
+std::vector<FnRef> LinkedModel::Resolve(const FnRef& caller, const CallSite& call,
+                                        CallEdgeStats* stats) const {
+  if (IsStlLikeName(call.name)) {
+    return {};
+  }
+  std::vector<FnRef> candidates;
+  auto append_unique = [&](const std::vector<FnRef>& refs) {
+    for (const FnRef& r : refs) {
+      if (std::find(candidates.begin(), candidates.end(), r) == candidates.end()) {
+        candidates.push_back(r);
+      }
     }
   };
-  for (const auto& [path, file] : project.files()) {
-    for (const FunctionInfo& fn : file.functions) {
+
+  // 1. Explicit qualifier: Q::Name matches "Q::Name" exactly or any
+  //    qualified name ending in "::Q::Name" (nested namespaces).
+  if (!call.qualifier.empty()) {
+    const std::string qname = call.qualifier + "::" + call.name;
+    auto it = by_qualified_.find(qname);
+    if (it != by_qualified_.end()) {
+      append_unique(it->second);
+    } else {
+      const std::string suffix = "::" + qname;
+      for (const auto& [qualified, refs] : by_qualified_) {
+        if (qualified.size() > suffix.size() &&
+            qualified.compare(qualified.size() - suffix.size(), suffix.size(), suffix) == 0) {
+          append_unique(refs);
+        }
+      }
+    }
+  }
+
+  // 2. Member call: look the name up under each enclosing scope component
+  //    of the caller (class, then outer scopes for nested lambdas).
+  if (candidates.empty()) {
+    for (const std::string& part : SplitQualified(Fn(caller).qualified)) {
+      auto it = by_qualified_.find(part + "::" + call.name);
+      if (it != by_qualified_.end()) {
+        append_unique(it->second);
+      }
+    }
+  }
+
+  // 3. Same-file definitions shadow cross-TU resolution.
+  auto name_it = by_name_.find(call.name);
+  if (candidates.empty() && name_it != by_name_.end()) {
+    for (const FnRef& ref : name_it->second) {
+      if (ref.file == caller.file) {
+        candidates.push_back(ref);
+      }
+    }
+  }
+
+  // 4. Include visibility: definitions inside the caller's include closure;
+  //    a visible bodyless declaration widens to every definition (the
+  //    declaration promises an out-of-closure body at link time).
+  if (candidates.empty() && name_it != by_name_.end()) {
+    const std::set<std::string>& closure = closures_.at(caller.file);
+    bool decl_visible = false;
+    auto decl_it = decl_files_.find(call.name);
+    if (decl_it != decl_files_.end()) {
+      for (const std::string& decl_file : decl_it->second) {
+        if (closure.count(decl_file) > 0) {
+          decl_visible = true;
+          break;
+        }
+      }
+    }
+    for (const FnRef& ref : name_it->second) {
+      if (decl_visible || closure.count(ref.file) > 0) {
+        candidates.push_back(ref);
+      }
+    }
+  }
+
+  // Arity filter: keep exact-arity overloads when the call's argument count
+  // is known; an empty exact set keeps every candidate (default arguments,
+  // miscounted packs) — conservative, never truncating.
+  if (call.arg_count >= 0 && candidates.size() > 1) {
+    std::vector<FnRef> exact;
+    for (const FnRef& ref : candidates) {
+      if (Fn(ref).param_count == call.arg_count) {
+        exact.push_back(ref);
+      }
+    }
+    if (!exact.empty()) {
+      candidates = std::move(exact);
+    }
+  }
+
+  if (stats != nullptr) {
+    if (candidates.empty()) {
+      ++stats->external_edges;
+    } else if (candidates.size() == 1) {
+      ++stats->resolved_edges;
+    } else {
+      ++stats->multi_target_edges;
+    }
+  }
+  return candidates;
+}
+
+std::vector<FnRef> LinkedModel::TaskSeeds(const Config& config) const {
+  std::vector<FnRef> seeds;
+  std::set<FnRef> seen;
+  auto add = [&](const FnRef& ref) {
+    if (seen.insert(ref).second) {
+      seeds.push_back(ref);
+    }
+  };
+  for (const auto& [path, file] : project_.files()) {
+    for (std::size_t idx = 0; idx < file.functions.size(); ++idx) {
+      const FunctionInfo& fn = file.functions[idx];
       if (!fn.has_body) {
         continue;
       }
+      FnRef ref{path, static_cast<int>(idx)};
       if (fn.is_lambda && Contains(config.task_callbacks, fn.callback_of)) {
-        enqueue({&file, &fn});
+        add(ref);
       }
-      if (Contains(config.task_entries, fn.qualified) ||
-          Contains(config.task_entries, fn.name)) {
-        enqueue({&file, &fn});
+      if (Contains(config.task_entries, fn.qualified) || Contains(config.task_entries, fn.name)) {
+        add(ref);
       }
       // Named local lambdas passed by identifier: ParallelFor(n, scan_shard).
       for (const CallSite& call : fn.calls) {
@@ -122,74 +260,124 @@ std::vector<Finding> RunConcurrencyPass(const Project& project, const Config& co
           continue;
         }
         for (const std::string& arg : call.arg_idents) {
-          for (const FunctionInfo& cand : file.functions) {
-            if (cand.is_lambda && cand.has_body && cand.name == arg) {
-              enqueue({&file, &cand});
+          for (std::size_t cand = 0; cand < file.functions.size(); ++cand) {
+            const FunctionInfo& cfn = file.functions[cand];
+            if (cfn.is_lambda && cfn.has_body && cfn.name == arg) {
+              add({path, static_cast<int>(cand)});
             }
           }
         }
       }
     }
   }
+  return seeds;
+}
 
-  // BFS over the call graph.
+std::set<FnRef> LinkedModel::TaskReachable(const Config& config, CallEdgeStats* stats) const {
+  std::set<FnRef> reachable;
+  std::deque<FnRef> queue;
+  auto enqueue = [&](const FnRef& ref) {
+    if (MatchesAllow(Fn(ref), config.mutation_allow)) {
+      return;  // sanctioned merge point: writes and callees are off-limits
+    }
+    if (reachable.insert(ref).second) {
+      queue.push_back(ref);
+    }
+  };
+  for (const FnRef& seed : TaskSeeds(config)) {
+    enqueue(seed);
+  }
   while (!queue.empty()) {
     FnRef ref = queue.front();
     queue.pop_front();
-    const FunctionInfo& fn = *ref.fn;
-
-    if (MatchesAllow(fn, config.mutation_allow)) {
-      continue;  // sanctioned merge point: writes and callees are off-limits
+    for (const CallSite& call : Fn(ref).calls) {
+      for (const FnRef& target : Resolve(ref, call, stats)) {
+        enqueue(target);
+      }
     }
+  }
+  return reachable;
+}
+
+std::vector<Finding> RunConcurrencyPass(const Project& project, const Config& config) {
+  return RunConcurrencyPass(project, config, nullptr);
+}
+
+std::vector<Finding> RunConcurrencyPass(const Project& project, const Config& config,
+                                        CallEdgeStats* stats) {
+  std::vector<Finding> findings;
+  if (config.task_callbacks.empty() && config.task_entries.empty()) {
+    return findings;
+  }
+
+  const LinkedModel model(project);
+  const std::map<std::string, std::string> guarded = CollectGuardedMembers(project);
+
+  for (const FnRef& ref : model.TaskReachable(config, stats)) {
+    const FunctionInfo& fn = model.Fn(ref);
+    const std::string& path = model.File(ref).path;
 
     for (const WriteSite& write : fn.writes) {
       switch (write.kind) {
         case WriteSite::Kind::kMember:
+          if (guarded.count(write.name) > 0) {
+            break;  // the lock-discipline pass owns annotated members
+          }
           findings.push_back(
-              {"task-member-write", ref.file->path, write.line,
+              {"task-member-write", path, write.line,
                "'" + fn.qualified + "' runs on pool workers but mutates member '" + write.name +
                    "' outside the slot-merge/ObsDelta discipline; buffer into a per-shard "
                    "delta or allowlist the merge point in concurrency.toml",
                write.name});
           break;
-        case WriteSite::Kind::kPlain:
-          if (mutable_globals.count(write.name) > 0) {
+        case WriteSite::Kind::kPlain: {
+          if (guarded.count(write.name) > 0) {
+            break;
+          }
+          if (model.mutable_globals().count(write.name) > 0) {
             findings.push_back(
-                {"task-static-write", ref.file->path, write.line,
+                {"task-static-write", path, write.line,
                  "'" + fn.qualified + "' runs on pool workers but writes namespace-scope "
                  "mutable '" + write.name + "'; shard the state or allowlist the merge point",
                  write.name});
+            break;
+          }
+          // task-capture-write: points-to-free capture heuristic, lambdas
+          // only. Locals are shard-private; shard-indexed slot writes and
+          // atomic RMW calls are the sanctioned disciplines.
+          if (!fn.is_lambda || fn.locals.count(write.name) > 0 || write.subscripted ||
+              IsAtomicRmw(write.last_method)) {
+            break;
+          }
+          bool by_val =
+              Contains(fn.capture_vals, write.name) || fn.capture_default_val;
+          bool by_ref = Contains(fn.capture_refs, write.name) ||
+                        (fn.capture_default_ref && !Contains(fn.capture_vals, write.name));
+          if (by_ref) {
+            findings.push_back(
+                {"task-capture-write", path, write.line,
+                 "'" + fn.qualified + "' runs on pool workers but writes '" + write.name +
+                     "' through a by-reference capture shared across shards; buffer into "
+                     "per-shard state, index by shard, or allowlist the merge point",
+                 write.name});
+          } else if (by_val && write.via_arrow) {
+            findings.push_back(
+                {"task-capture-write", path, write.line,
+                 "'" + fn.qualified + "' runs on pool workers and writes through pointer '" +
+                     write.name + "' captured by value; the pointee is shared across shards — "
+                     "buffer into per-shard state or index by shard",
+                 write.name});
           }
           break;
+        }
         case WriteSite::Kind::kStaticLocalDecl:
           findings.push_back(
-              {"task-static-write", ref.file->path, write.line,
+              {"task-static-write", path, write.line,
                "'" + fn.qualified + "' runs on pool workers but declares mutable static "
                "local '" + write.name + "'; statics are shared across shards",
                write.name});
           break;
       }
-    }
-
-    for (const CallSite& call : fn.calls) {
-      if (IsStlLikeName(call.name)) {
-        continue;
-      }
-      auto file_it = by_file.find(ref.file);
-      if (file_it != by_file.end()) {
-        auto it = file_it->second.find(call.name);
-        if (it != file_it->second.end()) {
-          for (const FnRef& cand : it->second) {
-            enqueue(cand);
-          }
-          continue;  // same-file definitions shadow global resolution
-        }
-      }
-      auto global_it = by_name.find(call.name);
-      if (global_it != by_name.end() && global_it->second.size() == 1) {
-        enqueue(global_it->second.front());
-      }
-      // Ambiguous (overloaded across files) or external names are skipped.
     }
   }
   return findings;

@@ -6,6 +6,14 @@
 
 namespace mtm::analyze {
 
+namespace {
+
+bool StripIsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
 std::string StripCommentsAndStrings(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -14,7 +22,17 @@ std::string StripCommentsAndStrings(const std::string& text) {
   while (i < n) {
     char c = text[i];
     if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      while (i < n && text[i] != '\n') {
+      // A backslash immediately before the newline continues the comment
+      // onto the next physical line; keep consuming, emitting each newline
+      // so line numbers stay aligned.
+      while (true) {
+        while (i < n && text[i] != '\n') {
+          ++i;
+        }
+        if (i >= n || text[i - 1] != '\\') {
+          break;
+        }
+        out.push_back('\n');
         ++i;
       }
     } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
@@ -26,10 +44,24 @@ std::string StripCommentsAndStrings(const std::string& text) {
         }
       }
       i = end;
-    } else if (c == 'R' && i + 2 < n && text[i + 1] == '"' && text[i + 2] == '(') {
-      // Raw string with empty delimiter: R"( ... )".
-      std::size_t j = text.find(")\"", i + 3);
-      std::size_t end = (j == std::string::npos) ? n : j + 2;
+    } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+               (i == 0 || !StripIsIdentChar(text[i - 1]))) {
+      // Raw string with any delimiter: R"delim( ... )delim". The delimiter
+      // is the (possibly empty) run of chars between the quote and '('.
+      std::size_t open = text.find('(', i + 2);
+      std::string delim =
+          (open == std::string::npos) ? "" : text.substr(i + 2, open - (i + 2));
+      if (open == std::string::npos || delim.size() > 16 ||
+          delim.find_first_of(" \t\n\\)\"") != std::string::npos) {
+        // Not actually a raw-string introducer; emit the R and rescan from
+        // the quote so the ordinary string branch handles it.
+        out.push_back(c);
+        ++i;
+        continue;
+      }
+      std::string closer = ")" + delim + "\"";
+      std::size_t j = text.find(closer, open + 1);
+      std::size_t end = (j == std::string::npos) ? n : j + closer.size();
       out.append("\"\"");
       for (std::size_t k = i; k < end; ++k) {
         if (text[k] == '\n') {
@@ -47,11 +79,25 @@ std::string StripCommentsAndStrings(const std::string& text) {
         continue;
       }
       std::size_t j = i + 1;
+      int swallowed_newlines = 0;
       while (j < n && text[j] != c && text[j] != '\n') {
-        j += (text[j] == '\\' && j + 1 < n) ? 2 : 1;
+        if (text[j] == '\\' && j + 1 < n) {
+          // A backslash-newline continuation inside the literal spans a
+          // physical line; count it so the newline can be re-emitted after
+          // the blanked literal and token lines never desync.
+          if (text[j + 1] == '\n') {
+            ++swallowed_newlines;
+          }
+          j += 2;
+        } else {
+          ++j;
+        }
       }
       out.push_back(c);
       out.push_back(c);
+      for (int k = 0; k < swallowed_newlines; ++k) {
+        out.push_back('\n');
+      }
       i = (j < n) ? j + 1 : n;
     } else {
       out.push_back(c);

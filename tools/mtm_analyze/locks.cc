@@ -1,0 +1,300 @@
+// Lock-discipline pass: guarded-member annotations and acquisition orders
+// over the linked whole-program model.
+//
+// Annotation grammar (comments, so the compiler never sees them):
+//   // mtm-analyze: guarded_by(mu_)   on a member's declaration line (or
+//                                     the line above): every task-reachable
+//                                     write to that member must hold mu_
+//   // mtm-analyze: requires(mu_)     on the line above a function
+//                                     definition: callers pass the lock in;
+//                                     the body counts as holding mu_
+//
+// Two checks:
+//   unguarded-member-write  a task-reachable write to a guarded_by member
+//                           outside a std::lock_guard/unique_lock/
+//                           scoped_lock scope on the named mutex (and not
+//                           inside a requires(mu) function)
+//   lock-order              two mutexes acquired in opposite orders
+//                           anywhere in the linked call graph (intra- and
+//                           cross-TU: the held set at a call site is paired
+//                           against every mutex the callee transitively
+//                           acquires); multi-mutex std::scoped_lock siblings
+//                           are order-free by construction
+//
+// Mutex identity is compared by the last dotted component ("engine_->mu_"
+// and "mu_" both compare as "mu_"): one shared-suffix alias is accepted in
+// exchange for not modeling points-to. Early unlock() and condition-variable
+// waits are modeled as still-held (scope lifetime), both inside the
+// documented envelope (DESIGN.md §15).
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/mtm_analyze/mtm_analyze.h"
+
+namespace mtm::analyze {
+namespace {
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+// Last dotted component of a mutex path: "engine_.mu_" -> "mu_".
+std::string LastComponent(const std::string& path) {
+  std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+// The declared member name on stripped-code line `li` (0-based): the last
+// identifier before the first '=', ';' or '{'. Lines carrying a '(' are
+// declarators of functions, not data members — rejected.
+std::string MemberNameOn(const SourceFile& file, std::size_t li) {
+  if (li >= file.code.size()) {
+    return "";
+  }
+  const std::string& line = file.code[li];
+  std::string name;
+  for (std::size_t i = 0; i < line.size();) {
+    char c = line[i];
+    if (c == '=' || c == ';' || c == '{') {
+      break;
+    }
+    if (c == '(') {
+      return "";
+    }
+    if (IsIdentChar(c)) {
+      std::size_t j = i;
+      while (j < line.size() && IsIdentChar(line[j])) {
+        ++j;
+      }
+      std::string word = line.substr(i, j - i);
+      if (word.empty() || (word[0] >= '0' && word[0] <= '9')) {
+        i = j;
+        continue;
+      }
+      name = word;
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+  return name;
+}
+
+// The argument of `marker(...)` when it appears in raw line `li`; empty
+// otherwise.
+std::string MarkerArgOn(const SourceFile& file, std::size_t li, const std::string& marker) {
+  if (li >= file.raw.size()) {
+    return "";
+  }
+  const std::string& line = file.raw[li];
+  std::size_t pos = line.find(marker);
+  if (pos == std::string::npos) {
+    return "";
+  }
+  std::size_t open = pos + marker.size();
+  std::size_t close = line.find(')', open);
+  if (close == std::string::npos) {
+    return "";
+  }
+  std::string arg = line.substr(open, close - open);
+  // Normalize member-access spellings to the dotted form locks use.
+  std::string out;
+  for (std::size_t i = 0; i < arg.size(); ++i) {
+    if (arg[i] == ' ' || arg[i] == '\t') {
+      continue;
+    }
+    if (arg[i] == '-' && i + 1 < arg.size() && arg[i + 1] == '>') {
+      out.push_back('.');
+      ++i;
+      continue;
+    }
+    out.push_back(arg[i]);
+  }
+  return out;
+}
+
+// An observed "acquired b while holding a" direction, anchored at its first
+// occurrence.
+struct OrderSite {
+  std::string file;
+  int line = 0;
+  std::string context;  // qualified function name
+};
+
+}  // namespace
+
+std::map<std::string, std::string> CollectGuardedMembers(const Project& project) {
+  static const std::string kMarker = "mtm-analyze: guarded_by(";
+  std::map<std::string, std::string> guarded;
+  for (const auto& [path, file] : project.files()) {
+    for (std::size_t li = 0; li < file.raw.size(); ++li) {
+      std::string mutex = MarkerArgOn(file, li, kMarker);
+      if (mutex.empty()) {
+        continue;
+      }
+      // The member lives on the marker's own line (trailing comment) or on
+      // the next line (comment above the declaration).
+      std::string member = MemberNameOn(file, li);
+      if (member.empty()) {
+        member = MemberNameOn(file, li + 1);
+      }
+      if (!member.empty()) {
+        guarded[member] = mutex;
+      }
+    }
+  }
+  return guarded;
+}
+
+std::string RequiredMutex(const SourceFile& file, const FunctionInfo& fn) {
+  static const std::string kMarker = "mtm-analyze: requires(";
+  if (fn.line <= 0) {
+    return "";
+  }
+  // fn.line is 1-based: check the declaration's own line, then up to two
+  // lines above it (the comment usually sits directly above).
+  std::size_t decl = static_cast<std::size_t>(fn.line - 1);
+  std::string arg = MarkerArgOn(file, decl, kMarker);
+  if (arg.empty() && decl >= 1) {
+    arg = MarkerArgOn(file, decl - 1, kMarker);
+  }
+  if (arg.empty() && decl >= 2) {
+    arg = MarkerArgOn(file, decl - 2, kMarker);
+  }
+  return arg;
+}
+
+std::vector<Finding> RunLockDisciplinePass(const Project& project, const Config& config) {
+  std::vector<Finding> findings;
+  const LinkedModel model(project);
+  const std::map<std::string, std::string> guarded = CollectGuardedMembers(project);
+
+  // ---- unguarded-member-write over the task-reachable set ----
+  for (const FnRef& ref : model.TaskReachable(config, nullptr)) {
+    const FunctionInfo& fn = model.Fn(ref);
+    const SourceFile& file = model.File(ref);
+    const std::string required = LastComponent(RequiredMutex(file, fn));
+    for (const WriteSite& write : fn.writes) {
+      auto it = guarded.find(write.name);
+      if (it == guarded.end()) {
+        continue;
+      }
+      const std::string mutex = LastComponent(it->second);
+      if (!required.empty() && required == mutex) {
+        continue;
+      }
+      bool covered = false;
+      for (const LockSite& lock : fn.locks) {
+        if (LastComponent(lock.mutex) == mutex && lock.line <= write.line &&
+            write.line <= lock.end_line) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        findings.push_back(
+            {"unguarded-member-write", file.path, write.line,
+             "'" + fn.qualified + "' writes '" + write.name + "' (guarded_by " + it->second +
+                 ") without holding '" + it->second +
+                 "'; take a std::lock_guard on it or annotate the function "
+                 "`mtm-analyze: requires(" + it->second + ")`",
+             write.name});
+      }
+    }
+  }
+
+  // ---- lock-order over every function body in the linked graph ----
+  // Ordered pairs (a, b) = "acquired b while holding a", anchored at their
+  // first observed site. A pair plus its reverse is an inconsistency.
+  std::map<std::pair<std::string, std::string>, OrderSite> observed;
+  auto record = [&](const std::string& held, const std::string& acquired, const std::string& path,
+                    int line, const std::string& context) {
+    if (held == acquired) {
+      return;
+    }
+    observed.emplace(std::make_pair(held, acquired), OrderSite{path, line, context});
+  };
+
+  // Memoized transitive set of mutexes a function acquires (by last
+  // component). Cycles see the in-progress entry (empty) and terminate.
+  std::map<FnRef, std::set<std::string>> closure_memo;
+  std::function<const std::set<std::string>&(const FnRef&)> acquired_closure =
+      [&](const FnRef& ref) -> const std::set<std::string>& {
+    auto it = closure_memo.find(ref);
+    if (it != closure_memo.end()) {
+      return it->second;
+    }
+    auto& entry = closure_memo[ref];  // inserted empty first: cycle-safe
+    const FunctionInfo& fn = model.Fn(ref);
+    std::set<std::string> acc;
+    for (const LockSite& lock : fn.locks) {
+      acc.insert(LastComponent(lock.mutex));
+    }
+    for (const CallSite& call : fn.calls) {
+      for (const FnRef& target : model.Resolve(ref, call, nullptr)) {
+        const std::set<std::string>& sub = acquired_closure(target);
+        acc.insert(sub.begin(), sub.end());
+      }
+    }
+    entry = std::move(acc);
+    return closure_memo[ref];
+  };
+
+  for (const auto& [path, file] : project.files()) {
+    for (std::size_t idx = 0; idx < file.functions.size(); ++idx) {
+      const FunctionInfo& fn = file.functions[idx];
+      if (!fn.has_body) {
+        continue;
+      }
+      FnRef ref{path, static_cast<int>(idx)};
+      // Intra-function: each site against the mutexes already held at it.
+      for (const LockSite& lock : fn.locks) {
+        for (const std::string& held : lock.held) {
+          record(LastComponent(held), LastComponent(lock.mutex), path, lock.line, fn.qualified);
+        }
+      }
+      // Cross-function: the held set at a call site against everything the
+      // callee transitively acquires.
+      for (const CallSite& call : fn.calls) {
+        std::set<std::string> held_here;
+        for (const LockSite& lock : fn.locks) {
+          if (lock.line <= call.line && call.line <= lock.end_line) {
+            held_here.insert(LastComponent(lock.mutex));
+          }
+        }
+        if (held_here.empty()) {
+          continue;
+        }
+        for (const FnRef& target : model.Resolve(ref, call, nullptr)) {
+          for (const std::string& acquired : acquired_closure(target)) {
+            for (const std::string& held : held_here) {
+              record(held, acquired, path, call.line, fn.qualified);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& [pair, site] : observed) {
+    auto reverse = observed.find({pair.second, pair.first});
+    if (reverse == observed.end()) {
+      continue;
+    }
+    const OrderSite& other = reverse->second;
+    findings.push_back(
+        {"lock-order", site.file, site.line,
+         "'" + site.context + "' acquires '" + pair.second + "' while holding '" + pair.first +
+             "', but " + other.file + ":" + std::to_string(other.line) + " ('" + other.context +
+             "') acquires them in the opposite order; pick one global order",
+         pair.first + "<" + pair.second});
+  }
+
+  return findings;
+}
+
+}  // namespace mtm::analyze

@@ -5,7 +5,7 @@
 //   mtm_analyze --root DIR [--compdb build/compile_commands.json]
 //               [--config tools/mtm_analyze/layers.toml]
 //               [--concurrency tools/mtm_analyze/concurrency.toml]
-//               [--json PATH] [--check-system-includes]
+//               [--json PATH] [--check-system-includes] [--stats]
 //               [--fix [--check]] [extra-root-relative-files...]
 //
 // Seeds the project from the compilation database (plus any positional
@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
   bool fix = false;
   bool check = false;
   bool check_system_includes = false;
+  bool stats = false;
   std::vector<std::string> seeds;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -94,10 +95,12 @@ int main(int argc, char** argv) {
       check = true;
     } else if (arg == "--check-system-includes") {
       check_system_includes = true;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--help") {
       std::printf("usage: mtm_analyze --root=DIR [--compdb=PATH] [--config=PATH] "
                   "[--concurrency=PATH] [--json=PATH] [--check-system-includes] "
-                  "[--fix [--check]] [files...]\n");
+                  "[--stats] [--fix [--check]] [files...]\n");
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "mtm_analyze: unknown flag %s\n", arg.c_str());
@@ -179,7 +182,9 @@ int main(int argc, char** argv) {
   config.check_system_includes = check_system_includes;
 
   mtm::analyze::Project project = mtm::analyze::Project::Load(root, seeds, include_dirs);
-  std::vector<mtm::analyze::Finding> findings = mtm::analyze::Analyze(project, config);
+  mtm::analyze::AnalyzeStats analyze_stats;
+  std::vector<mtm::analyze::Finding> findings =
+      mtm::analyze::Analyze(project, config, stats ? &analyze_stats : nullptr);
 
   if (fix) {
     std::map<std::string, std::string> fixed =
@@ -208,6 +213,9 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::binary);
     out << mtm::analyze::FormatJson(findings, project.files().size());
+  }
+  if (stats) {
+    std::fputs(mtm::analyze::FormatStats(analyze_stats).c_str(), stdout);
   }
   std::printf("mtm_analyze: %zu files checked, %zu finding(s)\n", project.files().size(),
               findings.size());

@@ -673,8 +673,12 @@ std::string PassOf(const std::string& check) {
       check == "unchecked-result-unwrap") {
     return "error-discipline";
   }
-  if (check == "task-member-write" || check == "task-static-write") {
+  if (check == "task-member-write" || check == "task-static-write" ||
+      check == "task-capture-write") {
     return "concurrency";
+  }
+  if (check == "unguarded-member-write" || check == "lock-order") {
+    return "lock-discipline";
   }
   return "determinism";
 }
@@ -742,19 +746,30 @@ const std::set<std::string>& KnownChecks() {
       // error-discipline
       "discarded-status", "raw-error-return", "unchecked-result-unwrap",
       // concurrency
-      "task-member-write", "task-static-write",
+      "task-member-write", "task-static-write", "task-capture-write",
+      // lock-discipline
+      "unguarded-member-write", "lock-order",
       // pass names double as suppression targets
-      "include-graph", "determinism", "error-discipline", "concurrency",
+      "include-graph", "determinism", "error-discipline", "concurrency", "lock-discipline",
       // emitted for a suppression missing its justification
       "suppression"};
   return kChecks;
 }
 
 std::vector<Finding> Analyze(const Project& project, const Config& config) {
+  return Analyze(project, config, nullptr);
+}
+
+std::vector<Finding> Analyze(const Project& project, const Config& config, AnalyzeStats* stats) {
   std::vector<Finding> findings = RunIncludeGraphPass(project, config);
   for (auto* pass : {RunLayeringPass, RunDeterminismPass, RunErrorDisciplinePass,
-                     RunConcurrencyPass}) {
+                     RunLockDisciplinePass}) {
     std::vector<Finding> more = pass(project, config);
+    findings.insert(findings.end(), more.begin(), more.end());
+  }
+  {
+    std::vector<Finding> more =
+        RunConcurrencyPass(project, config, stats != nullptr ? &stats->edges : nullptr);
     findings.insert(findings.end(), more.begin(), more.end());
   }
   ApplySuppressions(project, &findings);
@@ -767,6 +782,12 @@ std::vector<Finding> Analyze(const Project& project, const Config& config) {
     }
     return a.check < b.check;
   });
+  if (stats != nullptr) {
+    stats->files_checked = project.files().size();
+    for (const Finding& finding : findings) {
+      ++stats->findings_by_check[finding.check];
+    }
+  }
   return findings;
 }
 

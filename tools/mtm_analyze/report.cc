@@ -65,4 +65,22 @@ std::string FormatJson(const std::vector<Finding>& findings, std::size_t files_c
   return os.str();
 }
 
+std::string FormatStats(const AnalyzeStats& stats) {
+  std::ostringstream os;
+  os << "mtm_analyze stats:\n";
+  os << "  files analyzed:     " << stats.files_checked << "\n";
+  os << "  call edges:         " << stats.edges.resolved_edges << " resolved, "
+     << stats.edges.multi_target_edges << " multi-target, " << stats.edges.external_edges
+     << " external\n";
+  if (stats.findings_by_check.empty()) {
+    os << "  findings:           none\n";
+  } else {
+    os << "  findings by check:\n";
+    for (const auto& [check, count] : stats.findings_by_check) {
+      os << "    " << check << ": " << count << "\n";
+    }
+  }
+  return os.str();
+}
+
 }  // namespace mtm::analyze

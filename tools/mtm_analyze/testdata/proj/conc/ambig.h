@@ -1,0 +1,11 @@
+// Ambiguous-call surface: two one-argument AmbigBump definitions live in
+// different TUs (ambig_one.cc and ambig_two.cc). Resolution keeps both as
+// a multi-target edge and walks both bodies; the two-argument overload is
+// excluded by argument-count disambiguation.
+#pragma once
+
+namespace conc {
+
+void AmbigBump(int shard);
+
+}  // namespace conc

@@ -1,0 +1,14 @@
+// The ambiguous call site: AmbigBump(shard) matches the one-argument
+// definitions in both ambig_one.cc and ambig_two.cc — the walk must visit
+// both (two findings), while the two-argument overload stays unvisited.
+#include "proj/conc/ambig.h"
+
+#include "proj/conc/pool.h"
+
+namespace conc {
+
+void RunAmbig() {
+  ParallelFor(2, [&](int shard) { AmbigBump(shard); });
+}
+
+}  // namespace conc

@@ -1,0 +1,10 @@
+// First candidate TU for the ambiguous AmbigBump call.
+#include "proj/conc/ambig.h"
+
+namespace conc {
+
+int g_one = 0;
+
+void AmbigBump(int shard) { g_one += shard; }
+
+}  // namespace conc

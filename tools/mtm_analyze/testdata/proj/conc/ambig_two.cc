@@ -1,0 +1,15 @@
+// Second candidate TU for the ambiguous AmbigBump call, plus a
+// two-argument overload that argument-count disambiguation must exclude
+// from the one-argument call in ambig_caller.cc.
+#include "proj/conc/ambig.h"
+
+namespace conc {
+
+int g_two = 0;
+int g_three = 0;
+
+void AmbigBump(int shard) { g_two += shard; }
+
+void AmbigBump(int shard, int weight) { g_three += shard * weight; }
+
+}  // namespace conc

@@ -1,0 +1,22 @@
+// True positives for task-capture-write: a shard lambda mutates an
+// enclosing local through a by-reference capture, and mutates a pointee
+// through a pointer captured by value — both are shared across shards.
+#include "proj/conc/pool.h"
+
+namespace conc {
+
+struct Tally {
+  int value = 0;
+};
+
+int SumByReference() {
+  int total = 0;
+  ParallelFor(4, [&](int shard) { total += shard; });
+  return total;
+}
+
+void SumThroughPointer(Tally* tally) {
+  ParallelFor(4, [tally](int shard) { tally->value += shard; });
+}
+
+}  // namespace conc

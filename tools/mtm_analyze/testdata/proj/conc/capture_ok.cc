@@ -1,0 +1,25 @@
+// Near-misses for task-capture-write: a by-reference capture written only
+// through a shard-indexed subscript, a lambda-local scratch variable, and
+// a mutable by-value copy — none is shared mutation.
+#include "proj/conc/pool.h"
+
+namespace conc {
+
+int ShardIndexedWrites() {
+  int slots[4] = {0, 0, 0, 0};
+  ParallelFor(4, [&](int shard) { slots[shard] = shard; });
+  return slots[0];
+}
+
+void LambdaLocalScratch() {
+  ParallelFor(4, [](int shard) {
+    int scratch = 0;
+    scratch += shard;
+  });
+}
+
+void MutableValueCopy(int base) {
+  ParallelFor(4, [base](int shard) mutable { base += shard; });
+}
+
+}  // namespace conc

@@ -1,0 +1,10 @@
+// Cross-TU surface: CrossBump is declared here and defined in
+// xtu_impl.cc. A caller that sees this declaration in its include closure
+// links the call to the out-of-TU definition.
+#pragma once
+
+namespace conc {
+
+void CrossBump(int shard);
+
+}  // namespace conc

@@ -1,0 +1,14 @@
+// True positive across translation units: the shard lambda calls
+// CrossBump, declared in xtu.h but defined in xtu_impl.cc. The linked
+// model follows the edge and flags the global write in the other TU.
+#include "proj/conc/xtu.h"
+
+#include "proj/conc/pool.h"
+
+namespace conc {
+
+void RunCross() {
+  ParallelFor(2, [&](int shard) { CrossBump(shard); });
+}
+
+}  // namespace conc

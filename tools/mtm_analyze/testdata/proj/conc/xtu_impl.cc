@@ -1,0 +1,11 @@
+// Definition TU for CrossBump: the body writes a namespace-scope mutable
+// counter, which the whole-program walk reaches from xtu_caller.cc.
+#include "proj/conc/xtu.h"
+
+namespace conc {
+
+int g_xtu = 0;
+
+void CrossBump(int shard) { g_xtu += shard; }
+
+}  // namespace conc

@@ -1,0 +1,13 @@
+// True positive for unguarded-member-write: the shard lambda writes the
+// guarded member with no lock held anywhere on the path.
+#include "proj/lock/state.h"
+
+#include "proj/conc/pool.h"
+
+namespace lockfix {
+
+void Counter::RunUnguarded() {
+  conc::ParallelFor(2, [this](int shard) { value_ += shard; });
+}
+
+}  // namespace lockfix

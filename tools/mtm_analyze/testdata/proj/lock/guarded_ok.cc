@@ -1,0 +1,29 @@
+// Near-misses for unguarded-member-write: the same member written inside
+// a lock_guard scope, and through a helper annotated requires(mu_) that
+// callers invoke with the lock held — both clean.
+#include "proj/lock/state.h"
+
+#include "proj/conc/pool.h"
+
+namespace lockfix {
+
+void Counter::RunGuarded() {
+  conc::ParallelFor(2, [this](int shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ += shard;
+  });
+}
+
+// mtm-analyze: requires(mu_)
+void Counter::BumpLocked() { value_ += 1; }
+
+void Counter::RunThroughHelper() {
+  conc::ParallelFor(2, [this](int shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard > 0) {
+      BumpLocked();
+    }
+  });
+}
+
+}  // namespace lockfix

@@ -1,0 +1,24 @@
+// Lock-order fixture surface: two mutexes acquired in conflicting orders
+// across order_a.cc and order_b.cc, plus clean sequential and scoped_lock
+// shapes in order_ok.cc.
+#pragma once
+
+#include <mutex>
+
+namespace lockfix {
+
+class Ordered {
+ public:
+  void LockBoth();
+  void AcquireB();
+  void ReverseOrder();
+  void Sequential();
+  void Both();
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+  int touches_ = 0;
+};
+
+}  // namespace lockfix

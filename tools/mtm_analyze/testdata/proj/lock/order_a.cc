@@ -1,0 +1,12 @@
+// One half of the inconsistent order: mu_a_ first, then mu_b_ through the
+// cross-TU call to AcquireB (defined in order_b.cc).
+#include "proj/lock/order.h"
+
+namespace lockfix {
+
+void Ordered::LockBoth() {
+  std::lock_guard<std::mutex> lock(mu_a_);
+  AcquireB();
+}
+
+}  // namespace lockfix

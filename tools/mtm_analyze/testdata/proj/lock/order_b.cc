@@ -1,0 +1,18 @@
+// The other half: AcquireB takes mu_b_ on its own, and ReverseOrder nests
+// mu_a_ inside mu_b_ — the opposite of LockBoth's mu_a_-then-mu_b_ order.
+#include "proj/lock/order.h"
+
+namespace lockfix {
+
+void Ordered::AcquireB() {
+  std::lock_guard<std::mutex> lock(mu_b_);
+  touches_ += 1;
+}
+
+void Ordered::ReverseOrder() {
+  std::lock_guard<std::mutex> outer(mu_b_);
+  std::lock_guard<std::mutex> inner(mu_a_);
+  touches_ += 1;
+}
+
+}  // namespace lockfix

@@ -1,0 +1,24 @@
+// Near-misses for lock-order: sequential non-nested scopes impose no
+// ordering, and a multi-mutex scoped_lock acquires its group atomically —
+// neither records an ordered pair.
+#include "proj/lock/order.h"
+
+namespace lockfix {
+
+void Ordered::Sequential() {
+  {
+    std::lock_guard<std::mutex> a(mu_a_);
+    touches_ += 1;
+  }
+  {
+    std::lock_guard<std::mutex> b(mu_b_);
+    touches_ += 1;
+  }
+}
+
+void Ordered::Both() {
+  std::scoped_lock both(mu_a_, mu_b_);
+  touches_ += 1;
+}
+
+}  // namespace lockfix

@@ -1,0 +1,23 @@
+// Guarded-member fixture surface: Counter::value_ may only be written
+// while mu_ is held, or from a function annotated
+// `mtm-analyze: requires(mu_)`.
+#pragma once
+
+#include <mutex>
+
+namespace lockfix {
+
+class Counter {
+ public:
+  void RunUnguarded();
+  void RunGuarded();
+  void RunThroughHelper();
+
+ private:
+  void BumpLocked();
+
+  std::mutex mu_;
+  int value_ = 0;  // mtm-analyze: guarded_by(mu_)
+};
+
+}  // namespace lockfix

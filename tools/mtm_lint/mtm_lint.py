@@ -98,9 +98,10 @@ VALID_SUPPRESSION_TARGETS = {
     "layering",
     "unordered-iteration", "wall-clock", "raw-random",
     "discarded-status", "raw-error-return", "unchecked-result-unwrap",
-    "task-member-write", "task-static-write",
+    "task-member-write", "task-static-write", "task-capture-write",
+    "unguarded-member-write", "lock-order",
     "include-graph", "determinism", "error-discipline", "concurrency",
-    "suppression",
+    "lock-discipline", "suppression",
 }
 
 
